@@ -1,0 +1,59 @@
+//! Experiment A2: value of the post-routing cleanup pass — wirelength
+//! and via reduction over the switchbox suite.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_a2_cleanup
+//! ```
+
+use mighty::{MightyRouter, RouterConfig};
+use route_bench::table;
+use route_benchdata::suite::switchbox_suite;
+use route_opt::{cleanup, minimize_vias, OptimizeConfig};
+use route_verify::verify;
+
+fn main() {
+    println!("A2: post-routing cleanup — weighted cost before/after (via weight 3)\n");
+    let router = MightyRouter::new(RouterConfig::default());
+    let mut rows = Vec::new();
+    for (name, problem) in switchbox_suite() {
+        eprintln!("routing {name} ...");
+        let outcome = router.route(&problem);
+        let mut db = outcome.into_db();
+        let before = db.stats();
+
+        let mut wire_db = db.clone();
+        let stats = cleanup(&problem, &mut wire_db, &OptimizeConfig::default());
+        let report = verify(&problem, &wire_db);
+        assert!(
+            report.is_clean() || report.is_legal_but_incomplete(),
+            "cleanup broke {name}: {report}"
+        );
+        let after = wire_db.stats();
+
+        let via_stats = minimize_vias(&problem, &mut db);
+        let via_report = verify(&problem, &db);
+        assert!(
+            via_report.is_clean() || via_report.is_legal_but_incomplete(),
+            "via pass broke {name}: {via_report}"
+        );
+        let after_vias = db.stats();
+
+        rows.push(vec![
+            name.to_string(),
+            format!("{}/{}", before.wirelength, before.vias),
+            format!("{}/{}", after.wirelength, after.vias),
+            stats.improved.to_string(),
+            format!("{}/{}", after_vias.wirelength, after_vias.vias),
+            via_stats.improved.to_string(),
+        ]);
+    }
+    let header = [
+        "switchbox",
+        "wire/vias before",
+        "after cleanup",
+        "nets improved",
+        "after via-min",
+        "nets improved",
+    ];
+    println!("{}", table::render(&header, &rows));
+}

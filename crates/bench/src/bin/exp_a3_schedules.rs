@@ -1,0 +1,61 @@
+//! Experiment A3: design-choice ablations of the rip-up/reroute router —
+//! penalty escalation schedule and initial net ordering.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_a3_schedules
+//! ```
+
+use mighty::{NetOrder, PenaltyGrowth, RouterConfig};
+use route_bench::sweeps::completion_point;
+use route_bench::table;
+
+const SIDE: u32 = 16;
+const SEEDS: u64 = 10;
+const NET_COUNTS: [u32; 3] = [16, 20, 24];
+
+fn main() {
+    println!(
+        "A3a: penalty escalation schedule — completion % and rips on random \
+         {SIDE}x{SIDE} switchboxes, {SEEDS} seeds per point\n"
+    );
+    let schedules = [
+        ("geometric", PenaltyGrowth::Geometric),
+        ("linear", PenaltyGrowth::Linear),
+    ];
+    let mut rows = Vec::new();
+    for nets in NET_COUNTS {
+        eprintln!("penalty sweep, nets = {nets} ...");
+        let mut cells = vec![nets.to_string()];
+        for (_, growth) in schedules {
+            let cfg = RouterConfig { penalty_growth: growth, ..RouterConfig::default() };
+            let p = completion_point(SIDE, nets, SEEDS, cfg);
+            cells.push(format!("{:5.1}", p.completion_pct));
+            cells.push(p.stats.rips.to_string());
+        }
+        rows.push(cells);
+    }
+    let header = ["nets", "geo %", "geo rips", "lin %", "lin rips"];
+    println!("{}", table::render(&header, &rows));
+
+    println!("\nA3b: initial net ordering — completion % on the same sweep\n");
+    let orders = [
+        ("short-first", NetOrder::ShortFirst),
+        ("long-first", NetOrder::LongFirst),
+        ("pin-count", NetOrder::PinCountDesc),
+        ("congestion", NetOrder::CongestionFirst),
+        ("declared", NetOrder::Declared),
+    ];
+    let mut rows = Vec::new();
+    for nets in NET_COUNTS {
+        eprintln!("order sweep, nets = {nets} ...");
+        let mut cells = vec![nets.to_string()];
+        for (_, order) in orders {
+            let cfg = RouterConfig { order, ..RouterConfig::default() };
+            let p = completion_point(SIDE, nets, SEEDS, cfg);
+            cells.push(format!("{:5.1}", p.completion_pct));
+        }
+        rows.push(cells);
+    }
+    let header = ["nets", "short-first", "long-first", "pin-count", "congestion", "declared"];
+    println!("{}", table::render(&header, &rows));
+}

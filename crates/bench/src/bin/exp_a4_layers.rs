@@ -1,0 +1,56 @@
+//! Experiment A4: two-layer vs three-layer (HVH) channel routing — the
+//! multi-layer extension of this router generation (cf. Chameleon,
+//! DAC 1986). With a second horizontal layer the rip-up router should
+//! need roughly half the tracks.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_a4_layers
+//! ```
+
+use mighty::{MightyRouter, RouterConfig};
+use route_bench::table;
+use route_benchdata::suite::channel_suite;
+use route_channel::ChannelSpec;
+use route_verify::verify;
+
+/// Minimum track count at which the rip-up router completes `spec` with
+/// the given layer count, searching up from 1.
+fn min_tracks(spec: &ChannelSpec, layers: u8, cap: usize) -> Option<usize> {
+    let router = MightyRouter::new(RouterConfig::default());
+    for tracks in 1..=cap {
+        let problem = spec.to_problem_with_layers(tracks, layers);
+        let outcome = router.route(&problem);
+        if outcome.is_complete() {
+            let report = verify(&problem, outcome.db());
+            assert!(report.is_clean(), "illegal routing at {tracks} tracks: {report}");
+            return Some(tracks);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("A4: rip-up/reroute minimum tracks, two vs three layers\n");
+    let mut rows = Vec::new();
+    for (name, spec) in channel_suite() {
+        eprintln!("routing {name} ...");
+        let cap = spec.density() as usize + 9;
+        let two = min_tracks(&spec, 2, cap);
+        let three = min_tracks(&spec, 3, cap);
+        let cell = |t: Option<usize>| t.map_or("fail".to_string(), |t| t.to_string());
+        let ratio = match (two, three) {
+            (Some(a), Some(b)) => format!("{:.2}", b as f64 / a as f64),
+            _ => "-".to_string(),
+        };
+        rows.push(vec![
+            name.to_string(),
+            spec.density().to_string(),
+            cell(two),
+            cell(three),
+            ratio,
+        ]);
+    }
+    let header = ["channel", "density", "2-layer", "3-layer", "ratio"];
+    println!("{}", table::render(&header, &rows));
+    println!("density is the 2-layer lower bound; 3-layer HVH can beat it.");
+}

@@ -1,0 +1,52 @@
+//! Experiment F1: completion rate vs congestion for the four ablation
+//! configurations of the modification machinery, plus (with `--ablate`)
+//! the modification-work counters.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_f1_completion [--ablate]
+//! ```
+
+use route_bench::sweeps::{completion_point, ABLATIONS};
+use route_bench::table;
+
+const SIDE: u32 = 16;
+const SEEDS: u64 = 10;
+const NET_COUNTS: [u32; 6] = [8, 12, 16, 20, 24, 28];
+
+fn main() {
+    let ablate = std::env::args().any(|a| a == "--ablate");
+    println!(
+        "F1: completion rate (% of nets) on random {SIDE}x{SIDE} switchboxes, \
+         {SEEDS} seeds per point\n"
+    );
+    let mut rows = Vec::new();
+    let mut work_rows = Vec::new();
+    for nets in NET_COUNTS {
+        eprintln!("nets = {nets} ...");
+        let mut cells = vec![nets.to_string()];
+        for (name, cfg) in ABLATIONS {
+            let point = completion_point(SIDE, nets, SEEDS, cfg());
+            cells.push(format!("{:5.1}", point.completion_pct));
+            if ablate && name == "weak+strong" {
+                let s = point.stats;
+                work_rows.push(vec![
+                    nets.to_string(),
+                    s.hard_routes.to_string(),
+                    s.soft_routes.to_string(),
+                    s.weak_pushes.to_string(),
+                    s.rips.to_string(),
+                    s.reroutes.to_string(),
+                ]);
+            }
+        }
+        rows.push(cells);
+    }
+    let header = ["nets", "none", "weak-only", "strong-only", "weak+strong"];
+    println!("{}", table::render(&header, &rows));
+
+    if ablate {
+        println!("\nA1: modification work of the full configuration (sums over seeds)\n");
+        let header = ["nets", "hard", "soft", "weak-push", "rips", "reroutes"];
+        println!("{}", table::render(&header, &work_rows));
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment F2: runtime and search-effort scaling of the
+//! rip-up/reroute router with problem size.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_f2_scaling
+//! ```
+
+use route_bench::sweeps::scaling_point;
+use route_bench::table;
+
+const POINTS: [(u32, u32); 6] = [(8, 6), (12, 10), (16, 14), (24, 22), (32, 30), (48, 44)];
+const SEEDS: u64 = 5;
+
+fn main() {
+    println!("F2: rip-up/reroute scaling — mean over {SEEDS} seeds per size\n");
+    let mut rows = Vec::new();
+    for (side, nets) in POINTS {
+        eprintln!("side = {side} ...");
+        let mut millis = 0.0;
+        let mut expanded = 0u64;
+        let mut complete = 0u32;
+        for seed in 0..SEEDS {
+            let p = scaling_point(side, nets, seed);
+            millis += p.millis;
+            expanded += p.expanded;
+            complete += u32::from(p.complete);
+        }
+        rows.push(vec![
+            format!("{side}x{side}"),
+            nets.to_string(),
+            format!("{:.2}", millis / SEEDS as f64),
+            (expanded / SEEDS).to_string(),
+            format!("{complete}/{SEEDS}"),
+        ]);
+    }
+    let header = ["grid", "nets", "mean ms", "mean expanded", "complete"];
+    println!("{}", table::render(&header, &rows));
+    println!("expanded = A* nodes settled; growth should track grid area x nets.");
+}

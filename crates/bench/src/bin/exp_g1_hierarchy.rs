@@ -1,0 +1,64 @@
+//! Experiment G1: hierarchical (tile-planned) vs flat detailed routing
+//! on chip-scale floorplans — completion and wall time.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_g1_hierarchy
+//! ```
+
+use std::time::Instant;
+
+use mighty::{MightyRouter, RouterConfig};
+use route_bench::table;
+use route_benchdata::gen::SwitchboxGen;
+use route_global::{route_hierarchical, GlobalConfig};
+use route_verify::verify;
+
+const POINTS: [(u32, u32); 4] = [(48, 30), (64, 44), (96, 70), (128, 96)];
+const SEEDS: u64 = 3;
+
+fn main() {
+    println!(
+        "G1: flat rip-up/reroute vs hierarchical (16-cell tiles + fallback), \
+         mean over {SEEDS} seeds per size\n"
+    );
+    let mut rows = Vec::new();
+    for (side, nets) in POINTS {
+        eprintln!("side = {side} ...");
+        let mut flat_ms = 0.0;
+        let mut hier_ms = 0.0;
+        let mut flat_failed = 0usize;
+        let mut hier_failed = 0usize;
+        let mut crossings = 0usize;
+        for seed in 0..SEEDS {
+            let problem = SwitchboxGen { width: side, height: side, nets, seed }.build();
+
+            let start = Instant::now();
+            let flat = MightyRouter::new(RouterConfig::default()).route(&problem);
+            flat_ms += start.elapsed().as_secs_f64() * 1e3;
+            let report = verify(&problem, flat.db());
+            assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+            flat_failed += flat.failed().len();
+
+            let start = Instant::now();
+            let hier = route_hierarchical(&problem, &GlobalConfig::default());
+            hier_ms += start.elapsed().as_secs_f64() * 1e3;
+            let report = verify(&problem, hier.db());
+            assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+            hier_failed += hier.failed().len();
+            crossings += hier.stats().crossings;
+        }
+        let total_nets = (nets as u64 * SEEDS) as f64;
+        rows.push(vec![
+            format!("{side}x{side}"),
+            nets.to_string(),
+            format!("{:.1}", flat_ms / SEEDS as f64),
+            format!("{:.1}", hier_ms / SEEDS as f64),
+            format!("{:4.1}", 100.0 * (total_nets - flat_failed as f64) / total_nets),
+            format!("{:4.1}", 100.0 * (total_nets - hier_failed as f64) / total_nets),
+            (crossings / SEEDS as usize).to_string(),
+        ]);
+    }
+    let header =
+        ["grid", "nets", "flat ms", "hier ms", "flat %", "hier %", "crossings"];
+    println!("{}", table::render(&header, &rows));
+}

@@ -1,0 +1,37 @@
+//! Experiment T1: tracks vs density for every channel router on the
+//! channel suite (including the Deutsch-class difficult channel).
+//!
+//! Regenerates the "channel results" table of `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_t1_channels
+//! ```
+
+use route_bench::channels::evaluate;
+use route_bench::table;
+use route_benchdata::suite::channel_suite;
+
+fn main() {
+    println!("T1: channel routing — tracks used (density is the lower bound)\n");
+    let mut rows = Vec::new();
+    for (name, spec) in channel_suite() {
+        eprintln!("routing {name} ...");
+        let row = evaluate(name, &spec);
+        rows.push(vec![
+            row.name.clone(),
+            row.width.to_string(),
+            row.nets.to_string(),
+            row.density.to_string(),
+            row.lea.cell(),
+            row.dogleg.cell(),
+            row.greedy.cell(),
+            row.yacr.cell(),
+            row.mighty.cell(),
+        ]);
+    }
+    let header = [
+        "channel", "cols", "nets", "density", "LEA", "dogleg", "greedy", "YACR-style", "rip-up",
+    ];
+    println!("{}", table::render(&header, &rows));
+    println!("greedy cells show `tracks(+Nc)` when N extension columns were needed.");
+}

@@ -1,0 +1,34 @@
+//! Experiment T3: routing around obstacles in irregular regions —
+//! completion vs obstacle density for the baseline and the
+//! rip-up/reroute router.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_t3_obstacles
+//! ```
+
+use route_bench::sweeps::obstacle_point;
+use route_bench::table;
+
+const SIDE: u32 = 20;
+const NETS: u32 = 12;
+const SEEDS: u64 = 10;
+const OBSTACLE_PCTS: [u32; 5] = [0, 5, 10, 20, 30];
+
+fn main() {
+    println!(
+        "T3: completion (% of nets) on {SIDE}x{SIDE} boxes with {NETS} nets and \
+         random obstacle blocks, {SEEDS} seeds per point\n"
+    );
+    let mut rows = Vec::new();
+    for pct in OBSTACLE_PCTS {
+        eprintln!("obstacles = {pct}% ...");
+        let p = obstacle_point(SIDE, NETS, pct, SEEDS);
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{:5.1}", p.sequential_pct),
+            format!("{:5.1}", p.mighty_pct),
+        ]);
+    }
+    let header = ["obstacles", "sequential", "rip-up/reroute"];
+    println!("{}", table::render(&header, &rows));
+}

@@ -1,0 +1,191 @@
+//! Experiment T1 driver: every channel router on every suite channel.
+
+use mighty::{MightyRouter, RouterConfig};
+use route_channel::{dogleg, greedy, lea, yacr, ChannelSpec};
+use route_verify::verify;
+
+/// What one router achieved on one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelScore {
+    /// Routed legally with this many tracks (plus extension columns for
+    /// the greedy router).
+    Tracks {
+        /// Tracks used.
+        tracks: usize,
+        /// Columns used beyond the channel (greedy only; 0 otherwise).
+        extra_columns: usize,
+    },
+    /// The router cannot route this channel (vertical cycle or budget).
+    Failed,
+}
+
+impl ChannelScore {
+    /// Compact cell text for the result table.
+    pub fn cell(&self) -> String {
+        match self {
+            ChannelScore::Tracks { tracks, extra_columns: 0 } => tracks.to_string(),
+            ChannelScore::Tracks { tracks, extra_columns } => {
+                format!("{tracks}(+{extra_columns}c)")
+            }
+            ChannelScore::Failed => "fail".to_string(),
+        }
+    }
+
+    /// The track count, if routed.
+    pub fn tracks(&self) -> Option<usize> {
+        match self {
+            ChannelScore::Tracks { tracks, .. } => Some(*tracks),
+            ChannelScore::Failed => None,
+        }
+    }
+}
+
+/// One row of the T1 table: all five routers on one channel.
+#[derive(Debug, Clone)]
+pub struct ChannelRow {
+    /// Instance name.
+    pub name: String,
+    /// Channel width in columns.
+    pub width: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Density lower bound.
+    pub density: u32,
+    /// Left-edge result.
+    pub lea: ChannelScore,
+    /// Dogleg result.
+    pub dogleg: ChannelScore,
+    /// Greedy result.
+    pub greedy: ChannelScore,
+    /// YACR-style result.
+    pub yacr: ChannelScore,
+    /// Rip-up/reroute (minimum track search) result.
+    pub mighty: ChannelScore,
+}
+
+/// Largest number of tracks above density the minimum-track search tries.
+pub const MIGHTY_EXTRA_TRACKS: u32 = 8;
+
+/// Evaluates all five routers on `spec`, verifying every successful
+/// routing.
+///
+/// # Panics
+///
+/// Panics if any router produces an illegal routing — the harness never
+/// tabulates unverified results.
+pub fn evaluate(name: &str, spec: &ChannelSpec) -> ChannelRow {
+    let lea_score = match lea::route(spec) {
+        Ok(sol) => {
+            let (problem, db) = sol.layout.realize(spec).expect("LEA layout realizes");
+            let report = verify(&problem, &db);
+            assert!(report.is_clean(), "LEA produced illegal routing on {name}: {report}");
+            // Cross-check: the realized geometry must use exactly the
+            // claimed number of horizontal tracks.
+            let rows = route_verify::rows_used(&db, route_geom::Layer::M1);
+            assert!(
+                rows <= sol.tracks,
+                "LEA claims {} tracks but uses {rows} rows on {name}",
+                sol.tracks
+            );
+            ChannelScore::Tracks { tracks: sol.tracks, extra_columns: 0 }
+        }
+        Err(_) => ChannelScore::Failed,
+    };
+    let dogleg_score = match dogleg::route(spec) {
+        Ok(sol) => {
+            let (problem, db) = sol.layout.realize(spec).expect("dogleg layout realizes");
+            let report = verify(&problem, &db);
+            assert!(report.is_clean(), "dogleg produced illegal routing on {name}: {report}");
+            ChannelScore::Tracks { tracks: sol.tracks, extra_columns: 0 }
+        }
+        Err(_) => ChannelScore::Failed,
+    };
+    let greedy_score = match greedy::route(spec) {
+        Ok(sol) => {
+            let (problem, db) = sol.layout.realize(spec).expect("greedy layout realizes");
+            let report = verify(&problem, &db);
+            assert!(report.is_clean(), "greedy produced illegal routing on {name}: {report}");
+            ChannelScore::Tracks { tracks: sol.tracks, extra_columns: sol.extra_columns }
+        }
+        Err(_) => ChannelScore::Failed,
+    };
+    // The track-assignment router gets a generous budget: when it still
+    // fails, the failure is structural, not budgetary.
+    let yacr_score = match yacr::route(spec, 2 * MIGHTY_EXTRA_TRACKS) {
+        Ok(sol) => {
+            let report = verify(&sol.problem, &sol.db);
+            assert!(report.is_clean(), "yacr produced illegal routing on {name}: {report}");
+            ChannelScore::Tracks { tracks: sol.tracks, extra_columns: 0 }
+        }
+        Err(_) => ChannelScore::Failed,
+    };
+    let mighty_score = match mighty_min_tracks(spec, MIGHTY_EXTRA_TRACKS) {
+        Some(tracks) => ChannelScore::Tracks { tracks, extra_columns: 0 },
+        None => ChannelScore::Failed,
+    };
+    ChannelRow {
+        name: name.to_string(),
+        width: spec.width(),
+        nets: spec.net_ids().len(),
+        density: spec.density(),
+        lea: lea_score,
+        dogleg: dogleg_score,
+        greedy: greedy_score,
+        yacr: yacr_score,
+        mighty: mighty_score,
+    }
+}
+
+/// The smallest track count at which the rip-up/reroute router completes
+/// `spec` (searching density..=density+`max_extra`), with verification.
+pub fn mighty_min_tracks(spec: &ChannelSpec, max_extra: u32) -> Option<usize> {
+    let density = spec.density().max(1);
+    let router = MightyRouter::new(RouterConfig::default());
+    for extra in 0..=max_extra {
+        let tracks = (density + extra) as usize;
+        let problem = spec.to_problem(tracks);
+        let outcome = router.route(&problem);
+        if outcome.is_complete() {
+            let report = verify(&problem, outcome.db());
+            assert!(
+                report.is_clean(),
+                "rip-up/reroute produced illegal routing at {tracks} tracks: {report}"
+            );
+            return Some(tracks);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_small_channel() {
+        let spec = ChannelSpec::new(vec![1, 0, 2, 0], vec![0, 1, 0, 2]).unwrap();
+        let row = evaluate("tiny", &spec);
+        assert_eq!(row.density, 1); // the two spans do not overlap
+        for score in [&row.lea, &row.dogleg, &row.greedy, &row.yacr, &row.mighty] {
+            let tracks = score.tracks().expect("trivial channel routes everywhere");
+            assert!(tracks >= row.density as usize);
+        }
+    }
+
+    #[test]
+    fn cyclic_channel_separates_routers() {
+        let spec = ChannelSpec::new(vec![1, 2, 0], vec![2, 1, 0]).unwrap();
+        let row = evaluate("cycle", &spec);
+        assert_eq!(row.lea, ChannelScore::Failed);
+        assert_eq!(row.dogleg, ChannelScore::Failed);
+        assert!(row.greedy.tracks().is_some(), "greedy handles cycles");
+        assert!(row.mighty.tracks().is_some(), "rip-up/reroute handles cycles");
+    }
+
+    #[test]
+    fn score_cells() {
+        assert_eq!(ChannelScore::Tracks { tracks: 5, extra_columns: 0 }.cell(), "5");
+        assert_eq!(ChannelScore::Tracks { tracks: 5, extra_columns: 2 }.cell(), "5(+2c)");
+        assert_eq!(ChannelScore::Failed.cell(), "fail");
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// Formats rows of cells as an aligned text table with a header rule.
+///
+/// # Examples
+///
+/// ```
+/// use route_bench::table::render;
+///
+/// let out = render(
+///     &["net", "tracks"],
+///     &[vec!["a".into(), "3".into()], vec!["b".into(), "12".into()]],
+/// );
+/// assert!(out.contains("net"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let out = render(
+            &["x", "longer"],
+            &[vec!["aaaa".into(), "1".into()], vec!["b".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every row.
+        let offset = lines[0].find("longer").unwrap();
+        assert_eq!(&lines[2][offset..offset + 1], "1");
+        assert_eq!(&lines[3][offset..offset + 1], "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let _ = render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Seeded random workload generators.
+//!
+//! Every generator is a pure function of its configuration (including the
+//! seed), so experiments are reproducible run to run and machine to
+//! machine.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use route_channel::ChannelSpec;
+use route_geom::{Point, Rect};
+use route_model::{PinSide, Problem, ProblemBuilder};
+
+/// Configuration of the random switchbox generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchboxGen {
+    /// Grid width.
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Number of two-pin nets.
+    pub nets: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SwitchboxGen {
+    /// Generates the switchbox problem: each net gets two pins on
+    /// distinct random boundary positions (natural entry layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary cannot host `2 * nets` pins.
+    pub fn build(&self) -> Problem {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut slots = boundary_slots(self.width, self.height);
+        assert!(
+            slots.len() >= (self.nets as usize) * 2,
+            "boundary too small for {} nets",
+            self.nets
+        );
+        slots.shuffle(&mut rng);
+        let mut builder = ProblemBuilder::switchbox(self.width, self.height);
+        for i in 0..self.nets {
+            let (s1, o1) = slots.pop().expect("enough slots");
+            let (s2, o2) = slots.pop().expect("enough slots");
+            builder
+                .net(format!("n{i}"))
+                .pin_side(s1, o1)
+                .pin_side(s2, o2);
+        }
+        builder.build().expect("generated pins are distinct and in bounds")
+    }
+}
+
+/// All boundary pin slots of a `width x height` box as `(side, offset)`
+/// pairs, corners assigned to the left/right sides.
+fn boundary_slots(width: u32, height: u32) -> Vec<(PinSide, u32)> {
+    let mut slots = Vec::new();
+    for y in 0..height {
+        slots.push((PinSide::Left, y));
+        slots.push((PinSide::Right, y));
+    }
+    for x in 1..width.saturating_sub(1) {
+        slots.push((PinSide::Top, x));
+        slots.push((PinSide::Bottom, x));
+    }
+    slots
+}
+
+/// Configuration of the random channel generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelGen {
+    /// Number of columns.
+    pub width: usize,
+    /// Number of nets.
+    pub nets: u32,
+    /// Average extra pins per net beyond two (multi-pin pressure),
+    /// in percent (0 = all two-pin nets, 100 = one extra pin on average).
+    pub extra_pin_pct: u32,
+    /// Maximum span of a net's pins in columns (`0` = unbounded). Real
+    /// channels (standard-cell rows) have localized nets; bounding the
+    /// span keeps the density realistic for a given net count.
+    pub span_window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChannelGen {
+    /// Generates a channel spec: pins are scattered over both edges so
+    /// that every net has at least two pins, no column holds two pins of
+    /// the same edge, and (when `span_window > 0`) each net's pins stay
+    /// within a window of that many columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel cannot host the requested pins
+    /// (`2 * width` slots total, and per-window capacity when
+    /// `span_window > 0`).
+    pub fn build(&self) -> ChannelSpec {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut top = vec![0u32; self.width];
+        let mut bottom = vec![0u32; self.width];
+        let window = if self.span_window == 0 { self.width } else { self.span_window.min(self.width) };
+        let mut free_top = vec![true; self.width];
+        let mut free_bottom = vec![true; self.width];
+
+        for net0 in 0..self.nets {
+            let net = net0 + 1;
+            let budget =
+                2 + u32::from(rng.gen_range(0..100) < self.extra_pin_pct);
+            // Find a window with enough free slots, retrying other
+            // starting columns before giving up.
+            let mut placed = false;
+            for _ in 0..4 * self.width {
+                let start = rng.gen_range(0..=self.width - window);
+                let mut open: Vec<(bool, usize)> = (start..start + window)
+                    .flat_map(|c| {
+                        let mut v = Vec::new();
+                        if free_top[c] {
+                            v.push((true, c));
+                        }
+                        if free_bottom[c] {
+                            v.push((false, c));
+                        }
+                        v
+                    })
+                    .collect();
+                if (open.len() as u32) < budget {
+                    continue;
+                }
+                open.shuffle(&mut rng);
+                for _ in 0..budget {
+                    let (is_top, c) = open.pop().expect("capacity checked");
+                    if is_top {
+                        top[c] = net;
+                        free_top[c] = false;
+                    } else {
+                        bottom[c] = net;
+                        free_bottom[c] = false;
+                    }
+                }
+                placed = true;
+                break;
+            }
+            assert!(placed, "channel too crowded for net {net} (window {window})");
+        }
+        ChannelSpec::new(top, bottom).expect("every net got at least two pins")
+    }
+}
+
+/// Configuration of the obstructed-region generator (experiment T3).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObstructedGen {
+    /// Grid width.
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Number of two-pin nets.
+    pub nets: u32,
+    /// Obstacle coverage of the interior, in percent of cells.
+    pub obstacle_pct: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ObstructedGen {
+    /// Generates a switchbox with random full-stack obstacle blocks in
+    /// its interior (never touching the boundary ring, where pins live).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary cannot host `2 * nets` pins.
+    pub fn build(&self) -> Problem {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x0b57);
+        let mut builder = ProblemBuilder::switchbox(self.width, self.height);
+        // Obstacles: random 1x1..3x2 blocks in the interior.
+        let interior_cells = (self.width.saturating_sub(2) * self.height.saturating_sub(2)) as u64;
+        let target = interior_cells * self.obstacle_pct as u64 / 100;
+        let mut placed = 0u64;
+        let mut guard = 0;
+        while placed < target && guard < 10_000 {
+            guard += 1;
+            if self.width <= 4 || self.height <= 4 {
+                break;
+            }
+            let w = rng.gen_range(1..=3u32);
+            let h = rng.gen_range(1..=2u32);
+            let x = rng.gen_range(1..self.width.saturating_sub(w).max(2));
+            let y = rng.gen_range(1..self.height.saturating_sub(h).max(2));
+            let rect = Rect::with_size(Point::new(x as i32, y as i32), w, h);
+            if rect.max().x as u32 >= self.width - 1 || rect.max().y as u32 >= self.height - 1 {
+                continue;
+            }
+            builder.obstacle_rect(rect);
+            placed += rect.area();
+        }
+        // Pins on the boundary, like the plain switchbox generator.
+        let mut slots = boundary_slots(self.width, self.height);
+        assert!(slots.len() >= (self.nets as usize) * 2, "boundary too small");
+        slots.shuffle(&mut rng);
+        for i in 0..self.nets {
+            let (s1, o1) = slots.pop().expect("enough slots");
+            let (s2, o2) = slots.pop().expect("enough slots");
+            builder
+                .net(format!("n{i}"))
+                .pin_side(s1, o1)
+                .pin_side(s2, o2);
+        }
+        builder.build().expect("pins on boundary never collide with interior obstacles")
+    }
+}
+
+/// A switchbox whose nets are *guaranteed routable*: the instance is
+/// produced by carving `nets` disjoint straight bands and exposing their
+/// endpoints as pins. Useful for completion-rate experiments where a
+/// 100% ceiling must exist.
+pub fn routable_switchbox(width: u32, height: u32, nets: u32, seed: u64) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37);
+    let nets = nets.min(height.saturating_sub(2)).max(1);
+    // Horizontal bands on distinct rows: trivially routable on M1.
+    let mut rows: Vec<u32> = (1..height - 1).collect();
+    rows.shuffle(&mut rng);
+    let mut builder = ProblemBuilder::switchbox(width, height);
+    for (i, &y) in rows.iter().take(nets as usize).enumerate() {
+        builder
+            .net(format!("band{i}"))
+            .pin_side(PinSide::Left, y)
+            .pin_side(PinSide::Right, y);
+    }
+    builder.build().expect("bands are disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switchbox_gen_is_deterministic() {
+        let cfg = SwitchboxGen { width: 12, height: 10, nets: 8, seed: 7 };
+        let a = cfg.build();
+        let b = cfg.build();
+        assert_eq!(a.nets(), b.nets());
+        assert_eq!(a.nets().len(), 8);
+    }
+
+    #[test]
+    fn switchbox_gen_seed_changes_instance() {
+        let a = SwitchboxGen { width: 12, height: 10, nets: 8, seed: 1 }.build();
+        let b = SwitchboxGen { width: 12, height: 10, nets: 8, seed: 2 }.build();
+        assert_ne!(a.nets(), b.nets());
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary too small")]
+    fn switchbox_gen_rejects_overfull() {
+        let _ = SwitchboxGen { width: 3, height: 3, nets: 50, seed: 0 }.build();
+    }
+
+    #[test]
+    fn channel_gen_produces_valid_specs() {
+        let cfg = ChannelGen { width: 30, nets: 12, extra_pin_pct: 50, span_window: 0, seed: 11 };
+        let spec = cfg.build();
+        assert_eq!(spec.width(), 30);
+        assert_eq!(spec.net_ids().len(), 12);
+        assert!(spec.density() >= 1);
+        // Determinism.
+        assert_eq!(spec, cfg.build());
+    }
+
+    #[test]
+    fn obstructed_gen_places_obstacles() {
+        let cfg = ObstructedGen { width: 20, height: 20, nets: 6, obstacle_pct: 15, seed: 3 };
+        let p = cfg.build();
+        assert!(!p.obstacles().is_empty());
+        assert_eq!(p.nets().len(), 6);
+        // Zero obstacle percentage yields no obstacles.
+        let clean = ObstructedGen { obstacle_pct: 0, ..cfg }.build();
+        assert!(clean.obstacles().is_empty());
+    }
+
+    #[test]
+    fn routable_switchbox_is_routable_by_construction() {
+        use route_maze::{sequential, CostModel};
+        let p = routable_switchbox(10, 8, 5, 42);
+        let out = sequential::route_all(&p, CostModel::default());
+        assert!(out.is_complete());
+    }
+}

@@ -1,0 +1,172 @@
+//! The frozen hard instances: class-equivalent reconstructions of the
+//! classic difficult benchmarks (see the crate docs for why the historic
+//! pin lists themselves are not shipped).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use route_channel::ChannelSpec;
+use route_model::{PinSide, Problem, ProblemBuilder};
+
+use crate::gen::ChannelGen;
+
+/// Columns of the Burstein-class switchbox (as in the original: 23).
+pub const BURSTEIN_WIDTH: u32 = 23;
+/// Rows of the Burstein-class switchbox (as in the original: 15).
+pub const BURSTEIN_HEIGHT: u32 = 15;
+/// Nets of the Burstein-class switchbox (as in the original: 24).
+const BURSTEIN_NETS: usize = 24;
+/// Frozen seed; changing it changes the benchmark. Selected so that the
+/// instance separates the routers the way the original did (see the T2
+/// experiment).
+const BURSTEIN_SEED: u64 = 23;
+
+/// Frozen seed of the Deutsch-class difficult channel.
+const DEUTSCH_SEED: u64 = 1976;
+
+/// A Deutsch-class difficult channel: 174 columns, 72 nets, high density
+/// with long constraint chains — the same difficulty class as Deutsch's
+/// difficult example (DAC 1976), reconstructed deterministically.
+pub fn deutsch_class() -> ChannelSpec {
+    ChannelGen { width: 174, nets: 72, extra_pin_pct: 80, span_window: 52, seed: DEUTSCH_SEED }
+        .build()
+}
+
+/// A Burstein-class difficult switchbox: 23 x 15 cells, 24 nets with
+/// pins crowding all four sides, at its nominal width.
+pub fn burstein_class() -> Problem {
+    burstein_class_width(BURSTEIN_WIDTH)
+}
+
+/// The Burstein-class switchbox with the **same pins** placed in a box of
+/// a different width (left/right pins keep their rows; top/bottom pins
+/// keep their columns). `burstein_class_width(BURSTEIN_WIDTH - 1)` is the
+/// "one less column" instance of experiment T2.
+///
+/// # Panics
+///
+/// Panics if `width` is too small to hold the top/bottom pin columns
+/// (less than `BURSTEIN_WIDTH - 1`).
+pub fn burstein_class_width(width: u32) -> Problem {
+    assert!(
+        width >= BURSTEIN_WIDTH - 1,
+        "width {width} cannot hold the benchmark's pin columns"
+    );
+    let mut rng = SmallRng::seed_from_u64(BURSTEIN_SEED);
+    // Slots are generated for the NOMINAL width so that every width
+    // variant shares the same pin set.
+    let mut slots: Vec<(PinSide, u32)> = Vec::new();
+    for y in 0..BURSTEIN_HEIGHT {
+        slots.push((PinSide::Left, y));
+        slots.push((PinSide::Right, y));
+    }
+    // Keep top/bottom pins off the last nominal column so the reduced
+    // width can host them too.
+    for x in 1..BURSTEIN_WIDTH - 2 {
+        slots.push((PinSide::Top, x));
+        slots.push((PinSide::Bottom, x));
+    }
+    slots.shuffle(&mut rng);
+
+    let mut builder = ProblemBuilder::switchbox(width, BURSTEIN_HEIGHT);
+    for i in 0..BURSTEIN_NETS {
+        let pins = if rng.gen_range(0..100) < 30 { 3 } else { 2 };
+        let mut nb = builder.net(format!("n{i}"));
+        for _ in 0..pins {
+            let (side, offset) = slots.pop().expect("enough boundary slots");
+            nb.pin_side(side, offset);
+        }
+    }
+    builder.build().expect("frozen benchmark is valid")
+}
+
+/// Frozen seed of the terminal-dense switchbox.
+const DENSE_SEED: u64 = 85;
+
+/// A terminal-dense switchbox: 20 x 12 cells, 20 nets where nearly half
+/// have three pins, filling ~90% of the boundary — the multi-pin-heavy
+/// difficulty class (pin pressure rather than area pressure).
+pub fn terminal_dense_class() -> Problem {
+    let mut rng = SmallRng::seed_from_u64(DENSE_SEED);
+    let (width, height) = (20u32, 12u32);
+    let mut slots: Vec<(PinSide, u32)> = Vec::new();
+    for y in 0..height {
+        slots.push((PinSide::Left, y));
+        slots.push((PinSide::Right, y));
+    }
+    for x in 1..width - 1 {
+        slots.push((PinSide::Top, x));
+        slots.push((PinSide::Bottom, x));
+    }
+    slots.shuffle(&mut rng);
+    let mut builder = ProblemBuilder::switchbox(width, height);
+    for i in 0..20 {
+        let pins = if rng.gen_range(0..100) < 45 { 3 } else { 2 };
+        let mut nb = builder.net(format!("d{i}"));
+        for _ in 0..pins {
+            let (side, offset) = slots.pop().expect("enough boundary slots");
+            nb.pin_side(side, offset);
+        }
+    }
+    builder.build().expect("frozen benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deutsch_class_frozen_shape() {
+        let spec = deutsch_class();
+        assert_eq!(spec.width(), 174);
+        assert_eq!(spec.net_ids().len(), 72);
+        assert!(spec.density() >= 15, "density {} too low for the class", spec.density());
+        // Frozen: regenerating yields the identical instance.
+        assert_eq!(spec, deutsch_class());
+    }
+
+    #[test]
+    fn burstein_class_frozen_shape() {
+        let p = burstein_class();
+        assert_eq!(p.width(), BURSTEIN_WIDTH);
+        assert_eq!(p.height(), BURSTEIN_HEIGHT);
+        assert_eq!(p.nets().len(), BURSTEIN_NETS);
+        assert_eq!(p.nets(), burstein_class().nets());
+    }
+
+    #[test]
+    fn width_variants_share_pin_rows_and_columns() {
+        let nominal = burstein_class();
+        let reduced = burstein_class_width(BURSTEIN_WIDTH - 1);
+        assert_eq!(reduced.width(), BURSTEIN_WIDTH - 1);
+        for (a, b) in nominal.nets().iter().zip(reduced.nets()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.pins.len(), b.pins.len());
+            for (pa, pb) in a.pins.iter().zip(&b.pins) {
+                // Right-side pins shift with the width; all others match.
+                if pa.at.x == BURSTEIN_WIDTH as i32 - 1 {
+                    assert_eq!(pb.at.x, BURSTEIN_WIDTH as i32 - 2);
+                    assert_eq!(pa.at.y, pb.at.y);
+                } else {
+                    assert_eq!(pa, pb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_narrow_width_rejected() {
+        let _ = burstein_class_width(10);
+    }
+
+    #[test]
+    fn terminal_dense_frozen_shape() {
+        let p = terminal_dense_class();
+        assert_eq!((p.width(), p.height()), (20, 12));
+        assert_eq!(p.nets().len(), 20);
+        assert!(p.pin_count() >= 46, "multi-pin pressure: {} pins", p.pin_count());
+        assert_eq!(p.nets(), terminal_dense_class().nets());
+    }
+}

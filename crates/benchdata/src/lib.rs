@@ -1,0 +1,40 @@
+//! Benchmark corpus and deterministic workload generators.
+//!
+//! The original evaluation instances of 1980s detailed-routing papers —
+//! Deutsch's difficult channel and Burstein's difficult switchbox — were
+//! distributed in technical reports that are not available offline, so
+//! this crate ships **class-equivalent reconstructions**: deterministic
+//! instances with the same dimensions and difficulty structure (pin
+//! density, constraint chains, multi-pin fractions), frozen by golden
+//! tests so every experiment runs on identical data. See `DESIGN.md` for
+//! the substitution rationale.
+//!
+//! Contents:
+//!
+//! * [`gen`] — seeded random generators for channels, switchboxes and
+//!   obstructed regions (the experiment sweeps);
+//! * [`deutsch_class`] / [`burstein_class`] — the frozen hard instances;
+//! * [`suite`] — the named channel suite used by experiment T1;
+//! * [`mod@format`] — a small text format for problems and channels, used by
+//!   the examples and for external instance exchange.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_benchdata::{burstein_class, deutsch_class};
+//!
+//! let channel = deutsch_class();
+//! assert!(channel.density() >= 15, "difficult channel is dense");
+//! let switchbox = burstein_class();
+//! assert_eq!(switchbox.width(), 23);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod gen;
+pub mod suite;
+
+mod hard;
+
+pub use hard::{burstein_class, burstein_class_width, deutsch_class, terminal_dense_class, BURSTEIN_HEIGHT, BURSTEIN_WIDTH};

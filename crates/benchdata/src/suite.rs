@@ -1,0 +1,72 @@
+//! Named benchmark suites used by the experiment harness.
+
+use route_channel::ChannelSpec;
+use route_model::Problem;
+
+use crate::gen::{ChannelGen, SwitchboxGen};
+use crate::{burstein_class, deutsch_class, terminal_dense_class};
+
+/// The channel suite of experiment T1: the Deutsch-class difficult
+/// channel plus eight generated channels spanning widths 20–120 and
+/// two-pin/multi-pin mixes. All instances are deterministic.
+pub fn channel_suite() -> Vec<(&'static str, ChannelSpec)> {
+    vec![
+        ("ch-20a", ChannelGen { width: 20, nets: 8, extra_pin_pct: 0, span_window: 8, seed: 101 }.build()),
+        ("ch-20b", ChannelGen { width: 20, nets: 9, extra_pin_pct: 40, span_window: 8, seed: 102 }.build()),
+        ("ch-40a", ChannelGen { width: 40, nets: 16, extra_pin_pct: 0, span_window: 13, seed: 103 }.build()),
+        ("ch-40b", ChannelGen { width: 40, nets: 18, extra_pin_pct: 50, span_window: 13, seed: 104 }.build()),
+        ("ch-60a", ChannelGen { width: 60, nets: 25, extra_pin_pct: 30, span_window: 20, seed: 105 }.build()),
+        ("ch-80a", ChannelGen { width: 80, nets: 34, extra_pin_pct: 40, span_window: 26, seed: 106 }.build()),
+        ("ch-120a", ChannelGen { width: 120, nets: 50, extra_pin_pct: 50, span_window: 40, seed: 107 }.build()),
+        ("ch-120b", ChannelGen { width: 120, nets: 55, extra_pin_pct: 70, span_window: 40, seed: 108 }.build()),
+        ("deutsch-class", deutsch_class()),
+    ]
+}
+
+/// The switchbox suite of experiment T2: the Burstein-class difficult
+/// switchbox plus generated boxes of increasing pressure.
+pub fn switchbox_suite() -> Vec<(&'static str, Problem)> {
+    vec![
+        ("sb-8", SwitchboxGen { width: 8, height: 8, nets: 6, seed: 201 }.build()),
+        ("sb-12", SwitchboxGen { width: 12, height: 12, nets: 12, seed: 202 }.build()),
+        ("sb-16", SwitchboxGen { width: 16, height: 16, nets: 20, seed: 203 }.build()),
+        ("sb-20", SwitchboxGen { width: 20, height: 16, nets: 26, seed: 204 }.build()),
+        ("terminal-dense", terminal_dense_class()),
+        ("burstein-class", burstein_class()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_suite_is_stable() {
+        let suite = channel_suite();
+        assert_eq!(suite.len(), 9);
+        let again = channel_suite();
+        for ((name_a, spec_a), (name_b, spec_b)) in suite.iter().zip(&again) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(spec_a, spec_b);
+        }
+    }
+
+    #[test]
+    fn channel_suite_spans_densities() {
+        let suite = channel_suite();
+        let densities: Vec<u32> = suite.iter().map(|(_, s)| s.density()).collect();
+        assert!(densities.iter().any(|&d| d <= 6), "suite has easy channels");
+        assert!(densities.iter().any(|&d| d >= 12), "suite has hard channels");
+    }
+
+    #[test]
+    fn switchbox_suite_is_stable() {
+        let a = switchbox_suite();
+        let b = switchbox_suite();
+        assert_eq!(a.len(), b.len());
+        for ((na, pa), (nb, pb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(pa.nets(), pb.nets());
+        }
+    }
+}

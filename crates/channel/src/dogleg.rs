@@ -1,0 +1,213 @@
+//! Deutsch's dogleg channel router (DAC 1976).
+//!
+//! Multi-pin nets are split at their internal pin columns into two-pin
+//! **sub-nets**, each assigned its own track by the left-edge engine.
+//! Splitting shortens track segments (lowering track counts toward
+//! density) and breaks many vertical-constraint cycles that defeat the
+//! plain left-edge algorithm. Cycles among two-pin nets remain fatal —
+//! the limitation rip-up/reroute and maze-based routers remove.
+
+use std::collections::BTreeMap;
+
+use crate::lea::place_left_edge;
+use crate::{ChannelLayout, ChannelSpec, HSeg, RouteError, VEnd, VSeg, Vcg};
+
+/// One sub-net produced by splitting a net at its internal pin columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subnet {
+    /// Key used in the sub-net constraint graph (dense, 1-based).
+    pub key: u32,
+    /// Owning net number from the spec.
+    pub net: u32,
+    /// Leftmost column of the sub-net's track segment.
+    pub x0: usize,
+    /// Rightmost column of the sub-net's track segment.
+    pub x1: usize,
+}
+
+/// A dogleg solution: sub-net decomposition, track assignment and layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoglegSolution {
+    /// Number of tracks used.
+    pub tracks: usize,
+    /// The sub-nets, in key order.
+    pub subnets: Vec<Subnet>,
+    /// Track per sub-net key.
+    pub track_of: BTreeMap<u32, usize>,
+    /// The realizable geometry.
+    pub layout: ChannelLayout,
+}
+
+/// Splits every net of `spec` at its internal pin columns.
+pub fn split_subnets(spec: &ChannelSpec) -> Vec<Subnet> {
+    let mut subnets = Vec::new();
+    let mut key = 1u32;
+    for net in spec.net_ids() {
+        let cols = spec.pin_columns(net);
+        if cols.len() == 1 {
+            subnets.push(Subnet { key, net, x0: cols[0], x1: cols[0] });
+            key += 1;
+            continue;
+        }
+        for w in cols.windows(2) {
+            subnets.push(Subnet { key, net, x0: w[0], x1: w[1] });
+            key += 1;
+        }
+    }
+    subnets
+}
+
+/// Builds the sub-net vertical constraint graph: in every column, each
+/// sub-net of the top pin's net ending there must lie above each sub-net
+/// of the bottom pin's net ending there.
+fn subnet_vcg(spec: &ChannelSpec, subnets: &[Subnet]) -> Vcg {
+    let mut vcg = Vcg::new();
+    for s in subnets {
+        vcg.add_node(s.key);
+    }
+    let ends_at = |net: u32, col: usize| -> Vec<u32> {
+        subnets
+            .iter()
+            .filter(|s| s.net == net && (s.x0 == col || s.x1 == col))
+            .map(|s| s.key)
+            .collect()
+    };
+    for c in 0..spec.width() {
+        let (t, b) = (spec.top(c), spec.bottom(c));
+        if t != 0 && b != 0 && t != b {
+            for st in ends_at(t, c) {
+                for sb in ends_at(b, c) {
+                    vcg.add_edge(st, sb);
+                }
+            }
+        }
+    }
+    vcg
+}
+
+/// Routes `spec` with the dogleg algorithm.
+///
+/// # Errors
+///
+/// Returns [`RouteError::VerticalCycle`] when even the sub-net constraint
+/// graph is cyclic, or [`RouteError::BudgetExhausted`] if placement
+/// stalls.
+pub fn route(spec: &ChannelSpec) -> Result<DoglegSolution, RouteError> {
+    let subnets = split_subnets(spec);
+    let vcg = subnet_vcg(spec, &subnets);
+    if let Some(cycle) = vcg.find_cycle() {
+        // Report the owning nets, more useful than sub-net keys.
+        let nets = cycle
+            .iter()
+            .map(|k| subnets[(*k - 1) as usize].net)
+            .collect();
+        return Err(RouteError::VerticalCycle { cycle: nets });
+    }
+    let items: Vec<(u32, usize, usize)> =
+        subnets.iter().map(|s| (s.key, s.x0, s.x1)).collect();
+    let track_of = place_left_edge(&items, &vcg, spec.width() * 2 + 2)?;
+    let tracks = track_of.values().max().map_or(0, |&t| t + 1);
+
+    let mut layout = ChannelLayout { tracks, ..ChannelLayout::default() };
+    for s in &subnets {
+        layout.hsegs.push(HSeg { net: s.net, track: track_of[&s.key], x0: s.x0, x1: s.x1 });
+    }
+    // Vertical wiring per (net, column): span every involved elevation —
+    // pin rows plus the tracks of sub-nets ending at the column — with
+    // consecutive segments so each track endpoint receives a via.
+    for net in spec.net_ids() {
+        for c in spec.pin_columns(net) {
+            // Elevation encoding: Top = -1, Track(t) = t, Bottom = tracks.
+            let mut elevations: Vec<i64> = Vec::new();
+            if spec.top(c) == net {
+                elevations.push(-1);
+            }
+            if spec.bottom(c) == net {
+                elevations.push(tracks as i64);
+            }
+            for s in subnets.iter().filter(|s| s.net == net && (s.x0 == c || s.x1 == c)) {
+                elevations.push(track_of[&s.key] as i64);
+            }
+            elevations.sort_unstable();
+            elevations.dedup();
+            let decode = |e: i64| -> VEnd {
+                if e == -1 {
+                    VEnd::Top
+                } else if e == tracks as i64 {
+                    VEnd::Bottom
+                } else {
+                    VEnd::Track(e as usize)
+                }
+            };
+            for w in elevations.windows(2) {
+                layout.vsegs.push(VSeg { net, col: c, a: decode(w[0]), b: decode(w[1]) });
+            }
+        }
+    }
+    Ok(DoglegSolution { tracks, subnets, track_of, layout })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_verify::verify;
+
+    #[test]
+    fn splits_multi_pin_nets() {
+        let spec = ChannelSpec::new(vec![1, 1, 1, 0], vec![0, 1, 0, 1]).unwrap();
+        let subs = split_subnets(&spec);
+        // Net 1 pins in columns 0,1,2,3 -> three sub-nets.
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0], Subnet { key: 1, net: 1, x0: 0, x1: 1 });
+        assert_eq!(subs[2], Subnet { key: 3, net: 1, x0: 2, x1: 3 });
+    }
+
+    #[test]
+    fn breaks_cycle_lea_cannot() {
+        // 1 above 2 in column 1, 2 above 1 in column 3; net 1 has an
+        // internal pin at column 2, so the dogleg split breaks the cycle.
+        let spec = ChannelSpec::new(
+            vec![0, 1, 1, 2, 0],
+            vec![0, 2, 0, 1, 0],
+        )
+        .unwrap();
+        assert!(crate::lea::route(&spec).is_err(), "LEA must fail on the cycle");
+        let sol = route(&spec).expect("dogleg breaks the cycle");
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn two_pin_cycle_still_fatal() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
+        assert!(matches!(route(&spec), Err(RouteError::VerticalCycle { .. })));
+    }
+
+    #[test]
+    fn dogleg_verifies_on_multi_pin_example() {
+        // Constraints always point downward (net 1 over 2 over 3):
+        // the sub-net graph stays acyclic.
+        let spec = ChannelSpec::new(
+            vec![1, 1, 2, 2, 0, 3],
+            vec![2, 0, 3, 3, 1, 0],
+        )
+        .unwrap();
+        let sol = route(&spec).expect("routable");
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+        assert!(sol.tracks as u32 >= spec.density());
+    }
+
+    #[test]
+    fn dogleg_never_beats_density() {
+        let spec = ChannelSpec::new(
+            vec![1, 0, 2, 0, 3, 0],
+            vec![0, 1, 0, 2, 0, 3],
+        )
+        .unwrap();
+        let sol = route(&spec).unwrap();
+        assert!(sol.tracks as u32 >= spec.density());
+    }
+}

@@ -1,0 +1,269 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ChannelSpec;
+
+/// The vertical constraint graph (VCG) of a channel.
+///
+/// An edge `a -> b` means net `a` has a top pin and net `b` a bottom pin
+/// in the same column, so `a`'s track must lie strictly above `b`'s.
+/// Routers of the left-edge family must respect every edge; a cycle makes
+/// the channel unroutable without doglegs.
+///
+/// Nodes are net numbers for whole-net routing, or sub-net keys for
+/// dogleg routing — the graph is agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use route_channel::{ChannelSpec, Vcg};
+///
+/// // Columns force 1 above 2 and 2 above 1: a cycle.
+/// let spec = ChannelSpec::new(vec![1, 2], vec![2, 1])?;
+/// let vcg = Vcg::from_spec(&spec);
+/// assert!(vcg.find_cycle().is_some());
+/// # Ok::<(), route_channel::SpecError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vcg {
+    /// Adjacency: node -> nodes that must lie strictly below it.
+    below: BTreeMap<u32, BTreeSet<u32>>,
+    nodes: BTreeSet<u32>,
+}
+
+impl Vcg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Vcg::default()
+    }
+
+    /// Builds the whole-net VCG of a channel.
+    pub fn from_spec(spec: &ChannelSpec) -> Self {
+        let mut vcg = Vcg::new();
+        for net in spec.net_ids() {
+            vcg.add_node(net);
+        }
+        for c in 0..spec.width() {
+            let (t, b) = (spec.top(c), spec.bottom(c));
+            if t != 0 && b != 0 && t != b {
+                vcg.add_edge(t, b);
+            }
+        }
+        vcg
+    }
+
+    /// Registers a node without edges.
+    pub fn add_node(&mut self, node: u32) {
+        self.nodes.insert(node);
+    }
+
+    /// Adds the constraint "`above` must be strictly above `below`".
+    pub fn add_edge(&mut self, above: u32, below: u32) {
+        self.nodes.insert(above);
+        self.nodes.insert(below);
+        self.below.entry(above).or_default().insert(below);
+    }
+
+    /// All registered nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Nodes that must lie strictly below `node`.
+    pub fn below(&self, node: u32) -> impl Iterator<Item = u32> + '_ {
+        self.below.get(&node).into_iter().flatten().copied()
+    }
+
+    /// Nodes that must lie strictly above `node`.
+    pub fn above(&self, node: u32) -> Vec<u32> {
+        self.below
+            .iter()
+            .filter(|(_, set)| set.contains(&node))
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Finds one directed cycle, if any, and returns its nodes in order.
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<u32, Mark> = self.nodes.iter().map(|&n| (n, Mark::White)).collect();
+        let mut stack: Vec<u32> = Vec::new();
+
+        fn dfs(
+            node: u32,
+            graph: &Vcg,
+            marks: &mut BTreeMap<u32, Mark>,
+            stack: &mut Vec<u32>,
+        ) -> Option<Vec<u32>> {
+            marks.insert(node, Mark::Grey);
+            stack.push(node);
+            for next in graph.below(node) {
+                match marks.get(&next).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        let start = stack.iter().position(|&n| n == next).unwrap_or(0);
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(cycle) = dfs(next, graph, marks, stack) {
+                            return Some(cycle);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            marks.insert(node, Mark::Black);
+            None
+        }
+
+        for &node in &self.nodes {
+            if marks[&node] == Mark::White {
+                if let Some(cycle) = dfs(node, self, &mut marks, &mut stack) {
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// Length (in edges) of the longest directed path — a lower bound on
+    /// tracks for cycle-free channels beyond the density bound.
+    ///
+    /// Returns `None` if the graph is cyclic.
+    pub fn longest_path(&self) -> Option<usize> {
+        if self.find_cycle().is_some() {
+            return None;
+        }
+        let mut memo: BTreeMap<u32, usize> = BTreeMap::new();
+        fn depth(node: u32, graph: &Vcg, memo: &mut BTreeMap<u32, usize>) -> usize {
+            if let Some(&d) = memo.get(&node) {
+                return d;
+            }
+            let d = graph
+                .below(node)
+                .map(|n| 1 + depth(n, graph, memo))
+                .max()
+                .unwrap_or(0);
+            memo.insert(node, d);
+            d
+        }
+        self.nodes
+            .iter()
+            .map(|&n| depth(n, self, &mut memo))
+            .max()
+            .or(Some(0))
+    }
+}
+
+/// The zone table of a channel: maximal sets of mutually overlapping net
+/// spans, one per zone of columns. The largest zone size equals the
+/// channel density.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneTable {
+    zones: Vec<(usize, usize, Vec<u32>)>,
+}
+
+impl ZoneTable {
+    /// Computes the zone table of `spec`.
+    pub fn from_spec(spec: &ChannelSpec) -> Self {
+        let nets = spec.net_ids();
+        let crossing = |c: usize| -> BTreeSet<u32> {
+            nets.iter()
+                .copied()
+                .filter(|&n| {
+                    let (l, r) = spec.span(n).expect("net from spec");
+                    l <= c && c <= r
+                })
+                .collect()
+        };
+        let mut zones: Vec<(usize, usize, BTreeSet<u32>)> = Vec::new();
+        for c in 0..spec.width() {
+            let set = crossing(c);
+            match zones.last_mut() {
+                // Extend the zone while the new set is a subset or superset
+                // chain; start a new zone when neither contains the other.
+                Some((_, end, cur)) if set.is_subset(cur) => *end = c,
+                Some((_, end, cur)) if cur.is_subset(&set) => {
+                    *end = c;
+                    *cur = set;
+                }
+                _ => zones.push((c, c, set)),
+            }
+        }
+        ZoneTable {
+            zones: zones
+                .into_iter()
+                .map(|(s, e, set)| (s, e, set.into_iter().collect()))
+                .collect(),
+        }
+    }
+
+    /// The zones as `(first column, last column, nets)` triples.
+    pub fn zones(&self) -> &[(usize, usize, Vec<u32>)] {
+        &self.zones
+    }
+
+    /// The largest zone cardinality (equals the channel density).
+    pub fn max_zone(&self) -> usize {
+        self.zones.iter().map(|(_, _, nets)| nets.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcg_edges_from_spec() {
+        let spec = ChannelSpec::new(vec![1, 2, 0, 3, 2], vec![2, 1, 3, 0, 3]).unwrap();
+        let vcg = Vcg::from_spec(&spec);
+        // Column 0: 1 above 2; column 1: 2 above 1; column 2: 3 below nothing (top 0).
+        assert!(vcg.below(1).any(|n| n == 2));
+        assert!(vcg.below(2).any(|n| n == 1));
+        assert_eq!(vcg.above(1), vec![2]);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
+        let vcg = Vcg::from_spec(&spec);
+        let cycle = vcg.find_cycle().expect("1 <-> 2 cycle");
+        assert_eq!(cycle.len(), 2);
+        assert!(vcg.longest_path().is_none());
+    }
+
+    #[test]
+    fn acyclic_longest_path() {
+        // 1 above 2 above 3: chain of length 2.
+        let spec = ChannelSpec::new(vec![1, 2, 1, 0], vec![2, 3, 0, 3]).unwrap();
+        let vcg = Vcg::from_spec(&spec);
+        assert!(vcg.find_cycle().is_none());
+        assert_eq!(vcg.longest_path(), Some(2));
+    }
+
+    #[test]
+    fn same_net_top_bottom_no_self_edge() {
+        let spec = ChannelSpec::new(vec![1, 1], vec![1, 0]).unwrap();
+        let vcg = Vcg::from_spec(&spec);
+        assert!(vcg.find_cycle().is_none());
+        assert_eq!(vcg.below(1).count(), 0);
+    }
+
+    #[test]
+    fn zone_table_max_equals_density() {
+        let spec = ChannelSpec::new(vec![1, 2, 0, 3, 2], vec![2, 1, 3, 0, 3]).unwrap();
+        let zones = ZoneTable::from_spec(&spec);
+        assert_eq!(zones.max_zone() as u32, spec.density());
+        assert!(!zones.zones().is_empty());
+    }
+
+    #[test]
+    fn empty_graph_longest_path_zero() {
+        let vcg = Vcg::new();
+        assert_eq!(vcg.longest_path(), Some(0));
+    }
+}

@@ -1,0 +1,524 @@
+//! A greedy channel router in the style of Rivest–Fiduccia (DAC 1982).
+//!
+//! The router sweeps the channel column by column, maintaining the set of
+//! tracks and which net each track currently carries. In every column it
+//! (1) brings the column's pins onto tracks with minimal vertical wiring,
+//! (2) collapses nets that occupy several tracks whenever free vertical
+//! space allows, and (3) widens the channel by inserting a fresh track
+//! when a pin cannot otherwise enter. Nets still split when the sweep
+//! reaches the right edge are finished on extension columns beyond the
+//! channel — the router's signature behaviour ("transcending the end").
+//!
+//! Unlike the left-edge family this router never fails on vertical
+//! constraint cycles; it trades extra tracks and extra columns instead.
+
+use std::collections::BTreeMap;
+
+use crate::{ChannelLayout, ChannelSpec, HSeg, RouteError, VEnd, VSeg};
+
+/// Stable identity of a track across insertions.
+type TrackId = usize;
+
+/// Endpoint of a vertical run in sweep state (track ids, not rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum End {
+    Top,
+    Bottom,
+    Track(TrackId),
+}
+
+/// Tuning knobs of the greedy sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyConfig {
+    /// Hard cap on the number of tracks before giving up.
+    pub max_tracks: usize,
+    /// Hard cap on extension columns beyond the channel's right edge.
+    pub max_extension: usize,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig { max_tracks: 256, max_extension: 64 }
+    }
+}
+
+/// A greedy solution: final track count, extension columns and layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedySolution {
+    /// Number of tracks used.
+    pub tracks: usize,
+    /// Columns used beyond the channel's right edge.
+    pub extra_columns: usize,
+    /// The realizable geometry.
+    pub layout: ChannelLayout,
+}
+
+struct Sweep<'a> {
+    spec: &'a ChannelSpec,
+    cfg: GreedyConfig,
+    /// Track ids, top to bottom.
+    order: Vec<TrackId>,
+    next_id: TrackId,
+    /// Net carried by each track (id-keyed), if any.
+    carrier: BTreeMap<TrackId, u32>,
+    /// Column where each live track's horizontal run started.
+    run_start: BTreeMap<TrackId, usize>,
+    /// Rightmost pin column per net.
+    last_col: BTreeMap<u32, usize>,
+    /// Vertical runs of the current column: (net, hi, lo) closed
+    /// intervals in order-space, used for conflict checks.
+    column_runs: Vec<(u32, End, End)>,
+    /// Output geometry (track-id space; converted at the end).
+    hsegs: Vec<(u32, TrackId, usize, usize)>,
+    vsegs: Vec<(u32, usize, End, End)>,
+}
+
+impl<'a> Sweep<'a> {
+    fn new(spec: &'a ChannelSpec, cfg: GreedyConfig) -> Self {
+        let initial = spec.density().max(1) as usize;
+        let order: Vec<TrackId> = (0..initial).collect();
+        let last_col = spec
+            .net_ids()
+            .into_iter()
+            .map(|n| (n, spec.span(n).expect("net from spec").1))
+            .collect();
+        Sweep {
+            spec,
+            cfg,
+            order,
+            next_id: initial,
+            carrier: BTreeMap::new(),
+            run_start: BTreeMap::new(),
+            last_col,
+            column_runs: Vec::new(),
+            hsegs: Vec::new(),
+            vsegs: Vec::new(),
+        }
+    }
+
+    /// Order-space position: Top < tracks < Bottom.
+    fn pos(&self, e: End) -> i64 {
+        match e {
+            End::Top => -1,
+            End::Bottom => self.order.len() as i64,
+            End::Track(id) => self
+                .order
+                .iter()
+                .position(|&t| t == id)
+                .expect("live track id") as i64,
+        }
+    }
+
+    fn tracks_of(&self, net: u32) -> Vec<TrackId> {
+        let mut ids: Vec<TrackId> = self
+            .carrier
+            .iter()
+            .filter(|(_, &n)| n == net)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_by_key(|&id| self.pos(End::Track(id)));
+        ids
+    }
+
+    /// Whether the closed interval `[hi, lo]` is free of other nets' runs
+    /// in the current column.
+    fn run_clear(&self, net: u32, hi: End, lo: End) -> bool {
+        let (a0, a1) = (self.pos(hi), self.pos(lo));
+        debug_assert!(a0 <= a1);
+        self.column_runs.iter().all(|&(n, h, l)| {
+            if n == net {
+                return true;
+            }
+            let (b0, b1) = (self.pos(h), self.pos(l));
+            a1 < b0 || b1 < a0
+        })
+    }
+
+    /// Records a vertical run at column `col`, splitting it at every
+    /// intermediate track of `net` so the realization inserts vias there.
+    fn emit_run(&mut self, net: u32, col: usize, hi: End, lo: End) {
+        self.column_runs.push((net, hi, lo));
+        let (p0, p1) = (self.pos(hi), self.pos(lo));
+        let mut cuts: Vec<(i64, End)> = vec![(p0, hi), (p1, lo)];
+        for id in self.tracks_of(net) {
+            let p = self.pos(End::Track(id));
+            if p > p0 && p < p1 {
+                cuts.push((p, End::Track(id)));
+            }
+        }
+        cuts.sort_by_key(|&(p, _)| p);
+        cuts.dedup_by_key(|&mut (p, _)| p);
+        for w in cuts.windows(2) {
+            self.vsegs.push((net, col, w[0].1, w[1].1));
+        }
+    }
+
+    /// Claims `track` for `net` starting a horizontal run at `col`.
+    fn claim(&mut self, track: TrackId, net: u32, col: usize) {
+        self.carrier.insert(track, net);
+        self.run_start.insert(track, col);
+    }
+
+    /// Frees `track` at `col`, recording its horizontal segment.
+    fn free(&mut self, track: TrackId, col: usize) {
+        if let Some(net) = self.carrier.remove(&track) {
+            let start = self.run_start.remove(&track).expect("live run");
+            self.hsegs.push((net, track, start, col));
+        }
+    }
+
+    /// Inserts a fresh empty track at order position `at` (0 = very top).
+    fn insert_track(&mut self, at: usize) -> Result<TrackId, RouteError> {
+        if self.order.len() >= self.cfg.max_tracks {
+            return Err(RouteError::BudgetExhausted { tracks: self.order.len() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.order.insert(at.min(self.order.len()), id);
+        Ok(id)
+    }
+
+    /// Finds an empty track between order positions `(lo_excl, hi_excl)`,
+    /// preferring the one closest to `prefer`.
+    fn empty_track_between(&self, lo_excl: i64, hi_excl: i64, prefer: i64) -> Option<TrackId> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|&(i, id)| {
+                let p = i as i64;
+                p > lo_excl && p < hi_excl && !self.carrier.contains_key(id)
+            })
+            .min_by_key(|&(i, _)| (i as i64 - prefer).abs())
+            .map(|(_, &id)| id)
+    }
+
+    /// Connects the top pin of `net` at `col`: to its topmost track, or to
+    /// an empty track, or to a freshly inserted one. `floor` is the
+    /// order-space position the run must stay strictly above.
+    fn connect_top(&mut self, net: u32, col: usize, floor: i64) -> Result<(), RouteError> {
+        let target = self
+            .tracks_of(net)
+            .into_iter()
+            .map(|id| (self.pos(End::Track(id)), id))
+            .find(|&(p, _)| p < floor)
+            .map(|(_, id)| id);
+        let target = match target {
+            Some(id) => id,
+            None => {
+                match self.empty_track_between(-1, floor, 0) {
+                    Some(id) => {
+                        self.claim(id, net, col);
+                        id
+                    }
+                    None => {
+                        let id = self.insert_track(0)?;
+                        self.claim(id, net, col);
+                        id
+                    }
+                }
+            }
+        };
+        if !self.run_clear(net, End::Top, End::Track(target)) {
+            // Fall back to a brand-new track at the very top; the net
+            // becomes split and will collapse later.
+            let id = self.insert_track(0)?;
+            self.claim(id, net, col);
+            self.emit_run(net, col, End::Top, End::Track(id));
+            return Ok(());
+        }
+        self.emit_run(net, col, End::Top, End::Track(target));
+        Ok(())
+    }
+
+    /// Mirror image of [`connect_top`] for bottom pins. `ceil` is the
+    /// position the run must stay strictly below.
+    fn connect_bottom(&mut self, net: u32, col: usize, ceil: i64) -> Result<(), RouteError> {
+        let target = self
+            .tracks_of(net)
+            .into_iter()
+            .rev()
+            .map(|id| (self.pos(End::Track(id)), id))
+            .find(|&(p, _)| p > ceil)
+            .map(|(_, id)| id);
+        let target = match target {
+            Some(id) => id,
+            None => {
+                let bottom = self.order.len() as i64;
+                match self.empty_track_between(ceil, bottom, bottom - 1) {
+                    Some(id) => {
+                        self.claim(id, net, col);
+                        id
+                    }
+                    None => {
+                        let at = self.order.len();
+                        let id = self.insert_track(at)?;
+                        self.claim(id, net, col);
+                        id
+                    }
+                }
+            }
+        };
+        if !self.run_clear(net, End::Track(target), End::Bottom) {
+            let at = self.order.len();
+            let id = self.insert_track(at)?;
+            self.claim(id, net, col);
+            self.emit_run(net, col, End::Track(id), End::Bottom);
+            return Ok(());
+        }
+        self.emit_run(net, col, End::Track(target), End::Bottom);
+        Ok(())
+    }
+
+    /// Both pins of the column belong to `net`: run the full column,
+    /// connecting (and collapsing) every track of the net on the way.
+    fn connect_through(&mut self, net: u32, col: usize) -> Result<(), RouteError> {
+        if !self.run_clear(net, End::Top, End::Bottom) {
+            // Cannot happen: through-runs are processed first in a column.
+            return Err(RouteError::BudgetExhausted { tracks: self.order.len() });
+        }
+        let mut mine = self.tracks_of(net);
+        if mine.is_empty() {
+            let id = match self.empty_track_between(-1, self.order.len() as i64, 0) {
+                Some(id) => {
+                    self.claim(id, net, col);
+                    id
+                }
+                None => {
+                    let id = self.insert_track(0)?;
+                    self.claim(id, net, col);
+                    id
+                }
+            };
+            mine = vec![id];
+        }
+        self.emit_run(net, col, End::Top, End::Bottom);
+        // The full run connects every track of the net: keep the first,
+        // free the rest here.
+        for id in mine.into_iter().skip(1) {
+            self.free(id, col);
+        }
+        Ok(())
+    }
+
+    /// One collapse attempt per net: join two adjacent-owned tracks if
+    /// the vertical space between them is clear, freeing the lower one.
+    fn collapse(&mut self, col: usize) {
+        let nets: Vec<u32> = {
+            let mut seen: Vec<u32> = self.carrier.values().copied().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen
+        };
+        for net in nets {
+            let mine = self.tracks_of(net);
+            if mine.len() < 2 {
+                continue;
+            }
+            for w in mine.windows(2) {
+                let (hi, lo) = (End::Track(w[0]), End::Track(w[1]));
+                if self.run_clear(net, hi, lo) {
+                    self.emit_run(net, col, hi, lo);
+                    self.free(w[1], col);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Frees tracks of nets whose pins are all behind the sweep and which
+    /// occupy a single track.
+    fn retire(&mut self, col: usize) {
+        let done: Vec<TrackId> = self
+            .carrier
+            .iter()
+            .filter(|(_, &net)| self.last_col[&net] <= col)
+            .map(|(&id, _)| id)
+            .filter(|&id| {
+                let net = self.carrier[&id];
+                self.tracks_of(net).len() == 1
+            })
+            .collect();
+        for id in done {
+            self.free(id, col);
+        }
+    }
+
+    fn run(mut self) -> Result<GreedySolution, RouteError> {
+        let width = self.spec.width();
+        let mut col = 0usize;
+        loop {
+            self.column_runs.clear();
+            let (t, b) = if col < width {
+                (self.spec.top(col), self.spec.bottom(col))
+            } else {
+                (0, 0)
+            };
+            if t != 0 && t == b {
+                self.connect_through(t, col)?;
+            } else {
+                // Bring in the bottom pin first so the top connection
+                // knows the floor it must respect, then the top pin with
+                // the bottom run as its floor.
+                if b != 0 {
+                    let ceil = -1; // stays below nothing initially
+                    self.connect_bottom(b, col, ceil)?;
+                }
+                if t != 0 {
+                    let floor = self
+                        .column_runs
+                        .iter()
+                        .filter(|&&(n, _, _)| n != t)
+                        .map(|&(_, h, _)| self.pos(h))
+                        .min()
+                        .unwrap_or(self.order.len() as i64);
+                    self.connect_top(t, col, floor)?;
+                }
+            }
+            self.collapse(col);
+            self.retire(col);
+
+            let split_remains = {
+                let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+                for &net in self.carrier.values() {
+                    *counts.entry(net).or_insert(0) += 1;
+                }
+                counts.values().any(|&c| c > 1)
+            };
+            col += 1;
+            if col >= width {
+                if !split_remains {
+                    break;
+                }
+                if col >= width + self.cfg.max_extension {
+                    return Err(RouteError::BudgetExhausted { tracks: self.order.len() });
+                }
+            }
+        }
+        // Any still-live single tracks: nets fully wired, retire at the
+        // final column.
+        let live: Vec<TrackId> = self.carrier.keys().copied().collect();
+        let final_col = col - 1;
+        for id in live {
+            self.free(id, final_col);
+        }
+
+        // Convert track ids to final indices.
+        let index_of: BTreeMap<TrackId, usize> =
+            self.order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let tracks = self.order.len();
+        let convert = |e: End| -> VEnd {
+            match e {
+                End::Top => VEnd::Top,
+                End::Bottom => VEnd::Bottom,
+                End::Track(id) => VEnd::Track(index_of[&id]),
+            }
+        };
+        let layout = ChannelLayout {
+            tracks,
+            hsegs: self
+                .hsegs
+                .iter()
+                .map(|&(net, id, x0, x1)| HSeg { net, track: index_of[&id], x0, x1 })
+                .collect(),
+            vsegs: self
+                .vsegs
+                .iter()
+                .map(|&(net, col, a, b)| VSeg { net, col, a: convert(a), b: convert(b) })
+                .collect(),
+            extra_columns: final_col.saturating_sub(width - 1),
+        };
+        Ok(GreedySolution { tracks, extra_columns: layout.extra_columns, layout })
+    }
+}
+
+/// Routes `spec` with the greedy column sweep under default limits.
+///
+/// # Errors
+///
+/// Returns [`RouteError::BudgetExhausted`] if the track or extension
+/// budget is exceeded (pathological inputs only).
+pub fn route(spec: &ChannelSpec) -> Result<GreedySolution, RouteError> {
+    route_with(spec, GreedyConfig::default())
+}
+
+/// Routes `spec` with explicit budgets.
+///
+/// # Errors
+///
+/// Returns [`RouteError::BudgetExhausted`] when a budget is exceeded.
+pub fn route_with(spec: &ChannelSpec, cfg: GreedyConfig) -> Result<GreedySolution, RouteError> {
+    Sweep::new(spec, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_verify::verify;
+
+    fn check(spec: &ChannelSpec) -> GreedySolution {
+        let sol = route(spec).expect("greedy completes");
+        let (problem, db) = sol.layout.realize(spec).expect("realizable");
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "verification failed:\n{report}");
+        sol
+    }
+
+    #[test]
+    fn routes_simple_channel() {
+        let spec = ChannelSpec::new(vec![1, 0, 2, 0], vec![0, 1, 0, 2]).unwrap();
+        let sol = check(&spec);
+        assert!(sol.tracks as u32 >= spec.density());
+    }
+
+    #[test]
+    fn routes_cyclic_channel_lea_cannot() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
+        assert!(crate::lea::route(&spec).is_err());
+        let sol = check(&spec);
+        // The cycle costs extra space: extension columns or extra tracks.
+        assert!(sol.tracks >= 2);
+    }
+
+    #[test]
+    fn through_pins_connect_everything() {
+        // Net 1 has top and bottom pins in the same column twice.
+        let spec = ChannelSpec::new(vec![1, 2, 1], vec![1, 2, 1]).unwrap();
+        check(&spec);
+    }
+
+    #[test]
+    fn multi_pin_nets_collapse() {
+        let spec = ChannelSpec::new(
+            vec![1, 0, 1, 2, 0, 2],
+            vec![0, 1, 0, 0, 2, 0],
+        )
+        .unwrap();
+        check(&spec);
+    }
+
+    #[test]
+    fn dense_channel_stays_near_density() {
+        let spec = ChannelSpec::new(
+            vec![1, 2, 3, 4, 5, 0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 0, 1, 2, 3, 4, 5],
+        )
+        .unwrap();
+        let sol = check(&spec);
+        assert!(
+            sol.tracks as u32 <= spec.density() + 2,
+            "tracks {} vs density {}",
+            sol.tracks,
+            spec.density()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
+        let cfg = GreedyConfig { max_tracks: 1, max_extension: 0 };
+        assert!(matches!(
+            route_with(&spec, cfg),
+            Err(RouteError::BudgetExhausted { .. })
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+use std::error::Error;
+use std::fmt;
+
+use route_geom::{Layer, Point};
+use route_model::{PinSide, Problem, ProblemBuilder, ProblemError, RouteDb, Step, Trace, TraceError};
+
+use crate::ChannelSpec;
+
+/// A horizontal track segment of a channel solution.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HSeg {
+    /// Net number (1-based, as in the spec).
+    pub net: u32,
+    /// Track index, `0` = topmost track.
+    pub track: usize,
+    /// First column covered.
+    pub x0: usize,
+    /// Last column covered (inclusive; may equal `x0`).
+    pub x1: usize,
+}
+
+/// Endpoint of a vertical segment in track space.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VEnd {
+    /// The top pin row.
+    Top,
+    /// The bottom pin row.
+    Bottom,
+    /// A track row (index `0` = topmost track).
+    Track(usize),
+}
+
+/// A vertical column segment of a channel solution.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VSeg {
+    /// Net number (1-based, as in the spec).
+    pub net: u32,
+    /// Column of the segment.
+    pub col: usize,
+    /// One endpoint.
+    pub a: VEnd,
+    /// The other endpoint.
+    pub b: VEnd,
+}
+
+/// Error produced when a [`ChannelLayout`] cannot be realized on the grid.
+#[derive(Debug)]
+pub enum RealizeError {
+    /// The layout references a track or column outside its own bounds.
+    OutOfRange(String),
+    /// The problem construction failed (duplicate pins etc.).
+    Problem(ProblemError),
+    /// Committing a segment conflicted with earlier wiring — the layout
+    /// contains a short.
+    Conflict(TraceError),
+}
+
+impl fmt::Display for RealizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealizeError::OutOfRange(what) => write!(f, "layout out of range: {what}"),
+            RealizeError::Problem(e) => write!(f, "problem construction failed: {e}"),
+            RealizeError::Conflict(e) => write!(f, "layout contains a conflict: {e}"),
+        }
+    }
+}
+
+impl Error for RealizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RealizeError::OutOfRange(_) => None,
+            RealizeError::Problem(e) => Some(e),
+            RealizeError::Conflict(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProblemError> for RealizeError {
+    fn from(e: ProblemError) -> Self {
+        RealizeError::Problem(e)
+    }
+}
+
+impl From<TraceError> for RealizeError {
+    fn from(e: TraceError) -> Self {
+        RealizeError::Conflict(e)
+    }
+}
+
+/// An abstract channel solution: horizontal track segments on M1 and
+/// vertical column segments on M2, in track coordinates.
+///
+/// Produced by the channel routers; turned into a checked grid routing by
+/// [`ChannelLayout::realize`]. `extra_columns` records by how many columns
+/// a router (the greedy router) overshot the channel on the right.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelLayout {
+    /// Number of tracks used.
+    pub tracks: usize,
+    /// Horizontal segments.
+    pub hsegs: Vec<HSeg>,
+    /// Vertical segments.
+    pub vsegs: Vec<VSeg>,
+    /// Columns used beyond the channel's right edge.
+    pub extra_columns: usize,
+}
+
+impl ChannelLayout {
+    /// Converts the channel spec plus this layout into a grid [`Problem`]
+    /// and a fully committed [`RouteDb`], ready for verification.
+    ///
+    /// The grid is `(width + extra_columns) x (tracks + 2)`: row `0` is
+    /// the bottom pin row, the top row the top pin row, and the rows in
+    /// between the tracks (track `0` on top). Pins sit on the vertical
+    /// layer M2. Vias are inserted at every vertical-segment endpoint that
+    /// lands on a track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RealizeError`] if the layout references columns or
+    /// tracks out of range, or if its segments overlap illegally (which
+    /// would mean the router produced a short).
+    pub fn realize(&self, spec: &ChannelSpec) -> Result<(Problem, RouteDb), RealizeError> {
+        let width = spec.width() + self.extra_columns;
+        let height = self.tracks + 2;
+        let track_row = |t: usize| -> i32 { (self.tracks - t) as i32 };
+        let row_of = |end: VEnd| -> i32 {
+            match end {
+                VEnd::Top => height as i32 - 1,
+                VEnd::Bottom => 0,
+                VEnd::Track(t) => track_row(t),
+            }
+        };
+
+        for h in &self.hsegs {
+            if h.track >= self.tracks || h.x1 >= width || h.x0 > h.x1 {
+                return Err(RealizeError::OutOfRange(format!("{h:?}")));
+            }
+        }
+        for v in &self.vsegs {
+            let bad_track = |e: VEnd| matches!(e, VEnd::Track(t) if t >= self.tracks);
+            if v.col >= width || bad_track(v.a) || bad_track(v.b) {
+                return Err(RealizeError::OutOfRange(format!("{v:?}")));
+            }
+        }
+
+        // Build the problem: pins from the spec.
+        let mut builder = ProblemBuilder::switchbox(width as u32, height as u32);
+        let ids = spec.net_ids();
+        for &net in &ids {
+            let mut nb = builder.net(format!("{net}"));
+            for c in 0..spec.width() {
+                if spec.top(c) == net {
+                    nb.pin_side(PinSide::Top, c as u32);
+                }
+                if spec.bottom(c) == net {
+                    nb.pin_side(PinSide::Bottom, c as u32);
+                }
+            }
+        }
+        let problem = builder.build()?;
+        let net_id = |net: u32| {
+            problem
+                .net_by_name(&net.to_string())
+                .expect("layout nets come from the spec")
+                .id
+        };
+
+        let mut db = RouteDb::new(&problem);
+        for h in &self.hsegs {
+            let y = track_row(h.track);
+            let steps: Vec<Step> = (h.x0..=h.x1)
+                .map(|x| Step::new(Point::new(x as i32, y), Layer::M1))
+                .collect();
+            db.commit(net_id(h.net), Trace::from_steps(steps).expect("row is contiguous"))?;
+        }
+        for v in &self.vsegs {
+            let (mut y0, mut y1) = (row_of(v.a), row_of(v.b));
+            if y0 > y1 {
+                std::mem::swap(&mut y0, &mut y1);
+            }
+            let steps: Vec<Step> = (y0..=y1)
+                .map(|y| Step::new(Point::new(v.col as i32, y), Layer::M2))
+                .collect();
+            db.commit(net_id(v.net), Trace::from_steps(steps).expect("column is contiguous"))?;
+            // Vias at track endpoints.
+            for end in [v.a, v.b] {
+                if let VEnd::Track(t) = end {
+                    let p = Point::new(v.col as i32, track_row(t));
+                    let via = Trace::from_steps(vec![
+                        Step::new(p, Layer::M2),
+                        Step::new(p, Layer::M1),
+                    ])
+                    .expect("via is contiguous");
+                    db.commit(net_id(v.net), via)?;
+                }
+            }
+        }
+        Ok((problem, db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_verify::verify;
+
+    #[test]
+    fn realize_trivial_channel() {
+        // One net: top pin col 0, bottom pin col 2.
+        let spec = ChannelSpec::new(vec![1, 0, 0], vec![0, 0, 1]).unwrap();
+        let layout = ChannelLayout {
+            tracks: 1,
+            hsegs: vec![HSeg { net: 1, track: 0, x0: 0, x1: 2 }],
+            vsegs: vec![
+                VSeg { net: 1, col: 0, a: VEnd::Top, b: VEnd::Track(0) },
+                VSeg { net: 1, col: 2, a: VEnd::Bottom, b: VEnd::Track(0) },
+            ],
+            extra_columns: 0,
+        };
+        let (problem, db) = layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn realize_two_tracks() {
+        // Column 1 has net 2 on top and net 1 on the bottom, so net 2's
+        // track must lie above net 1's.
+        let spec = ChannelSpec::new(vec![1, 2, 0], vec![0, 1, 2]).unwrap();
+        let layout = ChannelLayout {
+            tracks: 2,
+            hsegs: vec![
+                HSeg { net: 1, track: 1, x0: 0, x1: 1 },
+                HSeg { net: 2, track: 0, x0: 1, x1: 2 },
+            ],
+            vsegs: vec![
+                VSeg { net: 1, col: 0, a: VEnd::Top, b: VEnd::Track(1) },
+                VSeg { net: 1, col: 1, a: VEnd::Bottom, b: VEnd::Track(1) },
+                VSeg { net: 2, col: 1, a: VEnd::Top, b: VEnd::Track(0) },
+                VSeg { net: 2, col: 2, a: VEnd::Bottom, b: VEnd::Track(0) },
+            ],
+            extra_columns: 0,
+        };
+        let (problem, db) = layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let spec = ChannelSpec::new(vec![1, 0], vec![0, 1]).unwrap();
+        let layout = ChannelLayout {
+            tracks: 1,
+            hsegs: vec![HSeg { net: 1, track: 3, x0: 0, x1: 1 }],
+            vsegs: vec![],
+            extra_columns: 0,
+        };
+        assert!(matches!(layout.realize(&spec), Err(RealizeError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn shorted_layout_rejected() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![1, 2]).unwrap();
+        // Both nets claim track 0 over overlapping columns.
+        let layout = ChannelLayout {
+            tracks: 1,
+            hsegs: vec![
+                HSeg { net: 1, track: 0, x0: 0, x1: 1 },
+                HSeg { net: 2, track: 0, x0: 1, x1: 1 },
+            ],
+            vsegs: vec![],
+            extra_columns: 0,
+        };
+        assert!(matches!(layout.realize(&spec), Err(RealizeError::Conflict(_))));
+    }
+
+    #[test]
+    fn vertical_overlap_is_a_conflict() {
+        // Nets 1 and 2 both run the full column 0 on M2.
+        let spec = ChannelSpec::new(vec![1, 1, 2], vec![2, 1, 2]).unwrap();
+        let layout = ChannelLayout {
+            tracks: 2,
+            hsegs: vec![],
+            vsegs: vec![
+                VSeg { net: 1, col: 0, a: VEnd::Top, b: VEnd::Bottom },
+                VSeg { net: 2, col: 0, a: VEnd::Top, b: VEnd::Bottom },
+            ],
+            extra_columns: 0,
+        };
+        assert!(matches!(layout.realize(&spec), Err(RealizeError::Conflict(_))));
+    }
+}

@@ -1,0 +1,176 @@
+//! The Left-Edge Algorithm (Hashimoto–Stevens 1971).
+//!
+//! Each net occupies exactly one horizontal track segment spanning its
+//! pin columns; tracks are filled top-to-bottom by repeatedly taking the
+//! unplaced net with the leftmost edge that fits and whose vertical
+//! constraints are satisfied. No doglegs: a cycle in the vertical
+//! constraint graph makes the channel unroutable for this router — the
+//! classic weakness the later routers fix.
+
+use std::collections::BTreeMap;
+
+use crate::{ChannelLayout, ChannelSpec, HSeg, RouteError, VEnd, VSeg, Vcg};
+
+/// A left-edge solution: track assignment plus realizable layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaSolution {
+    /// Number of tracks used.
+    pub tracks: usize,
+    /// Track index (0 = top) per net number.
+    pub track_of: BTreeMap<u32, usize>,
+    /// The realizable geometry.
+    pub layout: ChannelLayout,
+}
+
+/// Routes `spec` with the left-edge algorithm.
+///
+/// # Errors
+///
+/// Returns [`RouteError::VerticalCycle`] when the vertical constraint
+/// graph is cyclic (no dogleg-free solution exists), or
+/// [`RouteError::BudgetExhausted`] if placement stalls (defensive; cannot
+/// happen for acyclic graphs).
+pub fn route(spec: &ChannelSpec) -> Result<LeaSolution, RouteError> {
+    let vcg = Vcg::from_spec(spec);
+    if let Some(cycle) = vcg.find_cycle() {
+        return Err(RouteError::VerticalCycle { cycle });
+    }
+    let items: Vec<(u32, usize, usize)> = spec
+        .net_ids()
+        .into_iter()
+        .map(|n| {
+            let (l, r) = spec.span(n).expect("net from spec");
+            (n, l, r)
+        })
+        .collect();
+    let track_of = place_left_edge(&items, &vcg, spec.width() * 2 + 2)?;
+    let tracks = track_of.values().max().map_or(0, |&t| t + 1);
+
+    let mut layout = ChannelLayout { tracks, ..ChannelLayout::default() };
+    for &(net, x0, x1) in &items {
+        let track = track_of[&net];
+        layout.hsegs.push(HSeg { net, track, x0, x1 });
+        for c in spec.pin_columns(net) {
+            if spec.top(c) == net {
+                layout.vsegs.push(VSeg { net, col: c, a: VEnd::Top, b: VEnd::Track(track) });
+            }
+            if spec.bottom(c) == net {
+                layout.vsegs.push(VSeg { net, col: c, a: VEnd::Bottom, b: VEnd::Track(track) });
+            }
+        }
+    }
+    Ok(LeaSolution { tracks, track_of, layout })
+}
+
+/// Shared left-edge placement engine: assigns each `(key, x0, x1)` item a
+/// track (0 = top) such that items on one track do not overlap (touching
+/// endpoints also conflict) and every VCG edge points strictly downward.
+///
+/// Used by both the plain LEA and the dogleg router (on sub-nets).
+pub(crate) fn place_left_edge(
+    items: &[(u32, usize, usize)],
+    vcg: &Vcg,
+    max_tracks: usize,
+) -> Result<BTreeMap<u32, usize>, RouteError> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (items[i].1, items[i].2, items[i].0));
+
+    let mut placed: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut remaining: Vec<usize> = order;
+    let mut track = 0usize;
+    while !remaining.is_empty() {
+        if track >= max_tracks {
+            return Err(RouteError::BudgetExhausted { tracks: track });
+        }
+        let mut last_end: Option<usize> = None;
+        let mut next_round: Vec<usize> = Vec::new();
+        for &i in &remaining {
+            let (key, x0, x1) = items[i];
+            let fits = last_end.is_none_or(|e| x0 > e);
+            let ancestors_ok = vcg
+                .above(key)
+                .iter()
+                .all(|a| placed.get(a).is_some_and(|&t| t < track));
+            if fits && ancestors_ok {
+                placed.insert(key, track);
+                last_end = Some(x1);
+            } else {
+                next_round.push(i);
+            }
+        }
+        remaining = next_round;
+        track += 1;
+    }
+    Ok(placed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_verify::verify;
+
+    #[test]
+    fn routes_simple_channel_at_density() {
+        let spec = ChannelSpec::new(vec![1, 0, 2, 0], vec![0, 1, 0, 2]).unwrap();
+        let sol = route(&spec).unwrap();
+        assert_eq!(sol.tracks as u32, spec.density());
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn vertical_constraints_order_tracks() {
+        // Column 0 forces 1 above 2.
+        let spec = ChannelSpec::new(vec![1, 1, 0], vec![2, 0, 2]).unwrap();
+        let sol = route(&spec).unwrap();
+        assert!(sol.track_of[&1] < sol.track_of[&2]);
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        assert!(verify(&problem, &db).is_clean());
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
+        assert!(matches!(route(&spec), Err(RouteError::VerticalCycle { .. })));
+    }
+
+    #[test]
+    fn non_overlapping_nets_share_track() {
+        let spec = ChannelSpec::new(vec![1, 0, 0, 2], vec![0, 1, 2, 0]).unwrap();
+        let sol = route(&spec).unwrap();
+        // Net 1 spans [0,1], net 2 spans [2,3]: same track works.
+        assert_eq!(sol.tracks, 1);
+        assert_eq!(sol.track_of[&1], sol.track_of[&2]);
+    }
+
+    #[test]
+    fn chain_of_constraints_exceeds_density() {
+        // VCG chain 1 -> 2 -> 3 but density is small: LEA pays tracks for
+        // the chain, the classic left-edge weakness.
+        let spec = ChannelSpec::new(
+            vec![1, 2, 3, 0, 0, 0],
+            vec![2, 3, 0, 1, 2, 3],
+        )
+        .unwrap();
+        let sol = route(&spec).unwrap();
+        assert!(sol.tracks >= 3, "chain forces three tracks, got {}", sol.tracks);
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn realized_solution_verifies_on_larger_example() {
+        let spec = ChannelSpec::new(
+            vec![1, 0, 2, 3, 0, 4, 0, 5, 0, 2],
+            vec![0, 1, 0, 2, 3, 0, 4, 0, 5, 0],
+        )
+        .unwrap();
+        let sol = route(&spec).unwrap();
+        let (problem, db) = sol.layout.realize(&spec).unwrap();
+        let report = verify(&problem, &db);
+        assert!(report.is_clean(), "{report}");
+        assert!(sol.tracks as u32 >= spec.density());
+    }
+}

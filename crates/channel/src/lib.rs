@@ -1,0 +1,88 @@
+//! Classic channel routers: the published baselines a rip-up/reroute
+//! detailed router is evaluated against.
+//!
+//! A **channel** is a rectangular routing area with pins on its top and
+//! bottom edges only, described by a [`ChannelSpec`] (two pin vectors).
+//! The routers in this crate solve channels in the classic two-layer
+//! reserved model — horizontal track segments on M1, vertical column
+//! segments on M2 — and are judged by the number of **tracks** they need
+//! versus the channel's lower-bound **density**:
+//!
+//! * [`lea`] — the Left-Edge Algorithm (Hashimoto–Stevens 1971): one
+//!   track segment per net, no doglegs, fails on vertical-constraint
+//!   cycles.
+//! * [`dogleg`] — Deutsch's dogleg router (DAC 1976): splits multi-pin
+//!   nets at internal pin columns, breaking cycles and lowering track
+//!   counts.
+//! * [`greedy`] — the Rivest–Fiduccia greedy router (DAC 1982): a
+//!   column-by-column sweep that may exceed the channel on the right to
+//!   finish split nets.
+//! * [`yacr`] — a YACR-II-style track-assignment router: left-edge track
+//!   assignment followed by maze patch-up of vertical conflicts.
+//!
+//! Every router can *realize* its abstract solution onto the shared
+//! occupancy grid (see [`ChannelLayout::realize`]) so results are
+//! independently checked by `route_verify` and comparable with the
+//! general-region routers.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_channel::{ChannelSpec, lea};
+//!
+//! let spec = ChannelSpec::new(
+//!     vec![1, 0, 2, 2],
+//!     vec![0, 1, 2, 0],
+//! )?;
+//! assert_eq!(spec.density(), 1);
+//! let solution = lea::route(&spec).expect("no vertical cycle");
+//! assert!(solution.tracks >= spec.density() as usize);
+//! # Ok::<(), route_channel::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod graphs;
+mod layout;
+mod spec;
+
+pub mod dogleg;
+pub mod greedy;
+pub mod lea;
+pub mod swbox;
+pub mod yacr;
+
+pub use graphs::{Vcg, ZoneTable};
+pub use layout::{ChannelLayout, HSeg, RealizeError, VEnd, VSeg};
+pub use spec::{ChannelSpec, SpecError};
+
+/// Error returned by channel routers that cannot complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The vertical constraint graph contains a cycle the router cannot
+    /// break (left-edge family only).
+    VerticalCycle {
+        /// Net ids (1-based, as in the spec) on the detected cycle.
+        cycle: Vec<u32>,
+    },
+    /// The router exhausted its track or column budget.
+    BudgetExhausted {
+        /// Tracks in use when the router gave up.
+        tracks: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::VerticalCycle { cycle } => {
+                write!(f, "vertical constraint cycle through nets {cycle:?}")
+            }
+            RouteError::BudgetExhausted { tracks } => {
+                write!(f, "router exhausted its budget at {tracks} tracks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}

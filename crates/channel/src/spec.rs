@@ -1,0 +1,322 @@
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use route_model::{PinSide, Problem, ProblemBuilder};
+
+/// Error produced when constructing an invalid [`ChannelSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Top and bottom pin vectors differ in length.
+    LengthMismatch {
+        /// Length of the top vector.
+        top: usize,
+        /// Length of the bottom vector.
+        bottom: usize,
+    },
+    /// The channel has zero columns.
+    Empty,
+    /// A net number appears only once (a net needs at least two pins).
+    SinglePinNet {
+        /// The offending net number.
+        net: u32,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::LengthMismatch { top, bottom } => {
+                write!(f, "top has {top} columns but bottom has {bottom}")
+            }
+            SpecError::Empty => f.write_str("channel has no columns"),
+            SpecError::SinglePinNet { net } => {
+                write!(f, "net {net} has a single pin")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// A channel-routing instance in the classic textbook encoding: two
+/// equal-length vectors of net numbers for the top and bottom edge pins,
+/// with `0` meaning *no pin in this column*.
+///
+/// # Examples
+///
+/// ```
+/// use route_channel::ChannelSpec;
+///
+/// let spec = ChannelSpec::new(vec![1, 0, 2], vec![0, 1, 2])?;
+/// assert_eq!(spec.width(), 3);
+/// assert_eq!(spec.net_ids(), vec![1, 2]);
+/// # Ok::<(), route_channel::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(into = "SpecWire", try_from = "SpecWire")
+)]
+pub struct ChannelSpec {
+    top: Vec<u32>,
+    bottom: Vec<u32>,
+}
+
+/// Serialization shape of [`ChannelSpec`]; deserialization runs the full
+/// validation of [`ChannelSpec::new`].
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SpecWire {
+    top: Vec<u32>,
+    bottom: Vec<u32>,
+}
+
+#[cfg(feature = "serde")]
+impl From<ChannelSpec> for SpecWire {
+    fn from(s: ChannelSpec) -> Self {
+        SpecWire { top: s.top, bottom: s.bottom }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl TryFrom<SpecWire> for ChannelSpec {
+    type Error = SpecError;
+
+    fn try_from(w: SpecWire) -> Result<Self, Self::Error> {
+        ChannelSpec::new(w.top, w.bottom)
+    }
+}
+
+impl ChannelSpec {
+    /// Validates and wraps the two pin vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the vectors differ in length, the channel
+    /// is empty, or any net number occurs exactly once.
+    pub fn new(top: Vec<u32>, bottom: Vec<u32>) -> Result<Self, SpecError> {
+        if top.len() != bottom.len() {
+            return Err(SpecError::LengthMismatch { top: top.len(), bottom: bottom.len() });
+        }
+        if top.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let spec = ChannelSpec { top, bottom };
+        for net in spec.net_ids() {
+            if spec.pin_columns(net).len() == 1
+                && spec.top.iter().filter(|&&n| n == net).count()
+                    + spec.bottom.iter().filter(|&&n| n == net).count()
+                    == 1
+            {
+                return Err(SpecError::SinglePinNet { net });
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Net number of the top pin in column `col` (`0` if none).
+    pub fn top(&self, col: usize) -> u32 {
+        self.top[col]
+    }
+
+    /// Net number of the bottom pin in column `col` (`0` if none).
+    pub fn bottom(&self, col: usize) -> u32 {
+        self.bottom[col]
+    }
+
+    /// The raw top pin vector.
+    pub fn top_pins(&self) -> &[u32] {
+        &self.top
+    }
+
+    /// The raw bottom pin vector.
+    pub fn bottom_pins(&self) -> &[u32] {
+        &self.bottom
+    }
+
+    /// Sorted list of distinct net numbers appearing in the channel.
+    pub fn net_ids(&self) -> Vec<u32> {
+        let set: BTreeSet<u32> = self
+            .top
+            .iter()
+            .chain(self.bottom.iter())
+            .copied()
+            .filter(|&n| n != 0)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Columns in which `net` has at least one pin, ascending.
+    pub fn pin_columns(&self, net: u32) -> Vec<usize> {
+        (0..self.width())
+            .filter(|&c| self.top[c] == net || self.bottom[c] == net)
+            .collect()
+    }
+
+    /// Horizontal span `[leftmost pin column, rightmost pin column]` of a
+    /// net, or `None` for nets not in the channel.
+    pub fn span(&self, net: u32) -> Option<(usize, usize)> {
+        let cols = self.pin_columns(net);
+        Some((*cols.first()?, *cols.last()?))
+    }
+
+    /// Local density of column `col`: number of nets whose span crosses
+    /// (or pins into) the column.
+    pub fn column_density(&self, col: usize) -> u32 {
+        self.net_ids()
+            .into_iter()
+            .filter(|&n| {
+                let (l, r) = self.span(n).expect("net id came from this spec");
+                l <= col && col <= r
+            })
+            .count() as u32
+    }
+
+    /// Channel density: the maximum column density, the classic lower
+    /// bound on the number of tracks any solution needs.
+    pub fn density(&self) -> u32 {
+        (0..self.width())
+            .map(|c| self.column_density(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of pins (non-zero entries).
+    pub fn pin_count(&self) -> usize {
+        self.top.iter().chain(self.bottom.iter()).filter(|&&n| n != 0).count()
+    }
+
+    /// Converts the channel into a general grid [`Problem`] with `tracks`
+    /// interior rows: row 0 and the top row hold the pins (on the
+    /// vertical layer M2), the rows between are free routing space.
+    ///
+    /// The pin rows are blocked on the horizontal layer M1 so that a
+    /// general-region router cannot smuggle extra tracks through them —
+    /// its track counts stay comparable with the channel routers'.
+    ///
+    /// This is how the general-region routers (the maze baseline and the
+    /// rip-up/reroute router) attack channels: pick a track count, route
+    /// the box, and search for the smallest count that completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracks` is zero.
+    pub fn to_problem(&self, tracks: usize) -> Problem {
+        self.to_problem_with_layers(tracks, 2)
+    }
+
+    /// Like [`ChannelSpec::to_problem`], but with an explicit layer count.
+    /// Three-layer (HVH) channels have a second horizontal layer M3, which
+    /// roughly halves the tracks a good router needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracks` is zero or `layers` is not 2 or 3.
+    pub fn to_problem_with_layers(&self, tracks: usize, layers: u8) -> Problem {
+        assert!(tracks > 0, "a channel needs at least one track");
+        let height = tracks as u32 + 2;
+        let mut builder = ProblemBuilder::switchbox(self.width() as u32, height);
+        builder.layers(layers);
+        // Pin rows carry only vertical entries: block every horizontal
+        // layer there so track counts stay honest.
+        let horizontal = [route_geom::Layer::M1, route_geom::Layer::M3];
+        for x in 0..self.width() as i32 {
+            for l in horizontal.into_iter().take(if layers >= 3 { 2 } else { 1 }) {
+                builder.obstacle_on(route_geom::Point::new(x, 0), l);
+                builder.obstacle_on(route_geom::Point::new(x, height as i32 - 1), l);
+            }
+        }
+        for net in self.net_ids() {
+            let mut nb = builder.net(format!("{net}"));
+            for c in 0..self.width() {
+                if self.top(c) == net {
+                    nb.pin_side(PinSide::Top, c as u32);
+                }
+                if self.bottom(c) == net {
+                    nb.pin_side(PinSide::Bottom, c as u32);
+                }
+            }
+        }
+        builder.build().expect("channel pins are distinct by construction")
+    }
+}
+
+impl fmt::Display for ChannelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {} cols, {} nets, density {}",
+            self.width(),
+            self.net_ids().len(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primer() -> ChannelSpec {
+        // A classic small example.
+        ChannelSpec::new(vec![1, 2, 0, 3, 2], vec![2, 1, 3, 0, 3]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let s = primer();
+        assert_eq!(s.width(), 5);
+        assert_eq!(s.top(1), 2);
+        assert_eq!(s.bottom(0), 2);
+        assert_eq!(s.net_ids(), vec![1, 2, 3]);
+        assert_eq!(s.pin_count(), 8);
+    }
+
+    #[test]
+    fn spans_and_density() {
+        let s = primer();
+        assert_eq!(s.span(1), Some((0, 1)));
+        assert_eq!(s.span(2), Some((0, 4)));
+        assert_eq!(s.span(3), Some((2, 4)));
+        assert_eq!(s.span(9), None);
+        // Column 2: nets 2 and 3 cross -> 2. Columns 3,4: 2 and 3.
+        assert_eq!(s.column_density(0), 2);
+        assert_eq!(s.density(), 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            ChannelSpec::new(vec![1, 1], vec![1]),
+            Err(SpecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(ChannelSpec::new(vec![], vec![]), Err(SpecError::Empty));
+    }
+
+    #[test]
+    fn rejects_single_pin_net() {
+        assert!(matches!(
+            ChannelSpec::new(vec![1, 2, 0], vec![1, 0, 0]),
+            Err(SpecError::SinglePinNet { net: 2 })
+        ));
+    }
+
+    #[test]
+    fn net_spanning_same_column_twice_is_fine() {
+        // Net 1 has top and bottom pin in the same column: two pins.
+        let s = ChannelSpec::new(vec![1, 2], vec![1, 2]).unwrap();
+        assert_eq!(s.pin_columns(1), vec![0]);
+        assert_eq!(s.density(), 1);
+    }
+}

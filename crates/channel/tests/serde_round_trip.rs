@@ -1,0 +1,34 @@
+//! JSON round-trip tests of the channel types (`serde` feature).
+
+#![cfg(feature = "serde")]
+
+use route_channel::{ChannelLayout, ChannelSpec, HSeg, VEnd, VSeg};
+
+#[test]
+fn channel_spec_round_trips_and_validates() {
+    let spec = ChannelSpec::new(vec![1, 0, 2, 2], vec![0, 1, 2, 0]).expect("valid");
+    let json = serde_json::to_string(&spec).expect("serializes");
+    let back: ChannelSpec = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, spec);
+
+    // Invalid wire data is rejected with the spec's own validation.
+    let mismatched = r#"{"top":[1,1],"bottom":[1]}"#;
+    let result: Result<ChannelSpec, _> = serde_json::from_str(mismatched);
+    assert!(result.is_err(), "length mismatch must not deserialize");
+    let single_pin = r#"{"top":[1,2,0],"bottom":[1,0,0]}"#;
+    let result: Result<ChannelSpec, _> = serde_json::from_str(single_pin);
+    assert!(result.is_err(), "single-pin net must not deserialize");
+}
+
+#[test]
+fn layout_round_trips() {
+    let layout = ChannelLayout {
+        tracks: 2,
+        hsegs: vec![HSeg { net: 1, track: 0, x0: 0, x1: 3 }],
+        vsegs: vec![VSeg { net: 1, col: 0, a: VEnd::Top, b: VEnd::Track(0) }],
+        extra_columns: 1,
+    };
+    let json = serde_json::to_string(&layout).expect("serializes");
+    let back: ChannelLayout = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, layout);
+}

@@ -1,0 +1,419 @@
+//! Argument parsing for `vroute`, hand-rolled and dependency-free.
+
+use std::error::Error;
+use std::fmt;
+
+/// Router choices for switchbox instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchRouterKind {
+    /// The rip-up/reroute detailed router (default).
+    #[default]
+    Ripup,
+    /// The sequential Lee-style maze baseline.
+    Lee,
+    /// Hierarchical: tile-planned global routing, rip-up per tile.
+    Tiled,
+}
+
+/// Router choices for channel instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelRouterKind {
+    /// Rip-up/reroute with minimum-track search (default).
+    #[default]
+    Ripup,
+    /// Left-edge algorithm.
+    Lea,
+    /// Dogleg router.
+    Dogleg,
+    /// Greedy column sweep.
+    Greedy,
+    /// YACR-style track assignment with maze patch-up.
+    Yacr,
+}
+
+/// Instance kinds the generator can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenKind {
+    /// Random switchbox.
+    Switchbox {
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+        /// Net count.
+        nets: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Random channel.
+    Channel {
+        /// Column count.
+        width: usize,
+        /// Net count.
+        nets: u32,
+        /// Multi-pin pressure, percent.
+        extra_pin_pct: u32,
+        /// Span window (0 = unbounded).
+        window: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Route a switchbox file.
+    Route {
+        /// Instance path.
+        file: String,
+        /// Algorithm.
+        router: SwitchRouterKind,
+        /// Print ASCII art of the result.
+        ascii: bool,
+        /// Write an SVG of the result to this path.
+        svg: Option<String>,
+        /// Write the routed traces (routes format) to this path.
+        save: Option<String>,
+        /// Run the cleanup pass after routing.
+        optimize: bool,
+    },
+    /// Route a channel file.
+    Channel {
+        /// Instance path.
+        file: String,
+        /// Algorithm.
+        router: ChannelRouterKind,
+        /// Fixed track count (rip-up only; default searches from density).
+        tracks: Option<usize>,
+        /// Routing layers (2 or 3; rip-up only; default 2).
+        layers: u8,
+    },
+    /// Verify a saved routing against its instance.
+    Check {
+        /// Instance path (sb format).
+        instance: String,
+        /// Routing path (routes format).
+        routes: String,
+        /// Write an SVG of the loaded routing to this path.
+        svg: Option<String>,
+    },
+    /// Generate an instance to stdout.
+    Gen(GenKind),
+    /// Print usage.
+    Help,
+}
+
+/// Error produced for an invalid command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+struct Cursor {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<&str> {
+        let a = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(a)
+    }
+
+    fn value_of(&mut self, flag: &str) -> Result<String, ParseArgsError> {
+        self.next()
+            .map(str::to_owned)
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    }
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] with a human-readable message for unknown
+/// commands, unknown flags, missing values or unparsable numbers.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseArgsError> {
+    let mut cur = Cursor { args: args.into_iter().collect(), pos: 0 };
+    let Some(cmd) = cur.next().map(str::to_owned) else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "route" => parse_route(&mut cur),
+        "check" => parse_check(&mut cur),
+        "channel" => parse_channel(&mut cur),
+        "gen" => parse_gen(&mut cur),
+        other => Err(err(format!("unknown command `{other}`"))),
+    }
+}
+
+fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut file = None;
+    let mut router = SwitchRouterKind::default();
+    let mut ascii = false;
+    let mut svg = None;
+    let mut save = None;
+    let mut optimize = false;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--router" => {
+                router = match cur.value_of("--router")?.as_str() {
+                    "ripup" => SwitchRouterKind::Ripup,
+                    "lee" => SwitchRouterKind::Lee,
+                    "tiled" => SwitchRouterKind::Tiled,
+                    other => return Err(err(format!("unknown switchbox router `{other}`"))),
+                };
+            }
+            "--ascii" => ascii = true,
+            "--svg" => svg = Some(cur.value_of("--svg")?),
+            "--save" => save = Some(cur.value_of("--save")?),
+            "--optimize" => optimize = true,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `route`")))
+            }
+            path => {
+                if file.replace(path.to_owned()).is_some() {
+                    return Err(err("`route` takes exactly one FILE"));
+                }
+            }
+        }
+    }
+    let file = file.ok_or_else(|| err("`route` needs a FILE"))?;
+    Ok(Command::Route { file, router, ascii, svg, save, optimize })
+}
+
+fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut svg = None;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--svg" => svg = Some(cur.value_of("--svg")?),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `check`")))
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    let [instance, routes] = <[String; 2]>::try_from(paths)
+        .map_err(|_| err("`check` takes exactly INSTANCE ROUTES"))?;
+    Ok(Command::Check { instance, routes, svg })
+}
+
+fn parse_channel(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut file = None;
+    let mut router = ChannelRouterKind::default();
+    let mut tracks = None;
+    let mut layers = 2u8;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--router" => {
+                router = match cur.value_of("--router")?.as_str() {
+                    "ripup" => ChannelRouterKind::Ripup,
+                    "lea" => ChannelRouterKind::Lea,
+                    "dogleg" => ChannelRouterKind::Dogleg,
+                    "greedy" => ChannelRouterKind::Greedy,
+                    "yacr" => ChannelRouterKind::Yacr,
+                    other => return Err(err(format!("unknown channel router `{other}`"))),
+                };
+            }
+            "--tracks" => {
+                tracks = Some(
+                    cur.value_of("--tracks")?
+                        .parse()
+                        .map_err(|_| err("--tracks needs a number"))?,
+                );
+            }
+            "--layers" => {
+                layers = cur
+                    .value_of("--layers")?
+                    .parse()
+                    .map_err(|_| err("--layers needs a number"))?;
+                if !(2..=3).contains(&layers) {
+                    return Err(err("--layers must be 2 or 3"));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `channel`")))
+            }
+            path => {
+                if file.replace(path.to_owned()).is_some() {
+                    return Err(err("`channel` takes exactly one FILE"));
+                }
+            }
+        }
+    }
+    let file = file.ok_or_else(|| err("`channel` needs a FILE"))?;
+    Ok(Command::Channel { file, router, tracks, layers })
+}
+
+fn parse_gen(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let kind = cur.next().map(str::to_owned).ok_or_else(|| err("`gen` needs a kind"))?;
+    let mut width = None;
+    let mut height = None;
+    let mut nets = None;
+    let mut seed = 0u64;
+    let mut extra_pin_pct = 30u32;
+    let mut window = 0usize;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        let num = |flag: &str, cur: &mut Cursor| -> Result<u64, ParseArgsError> {
+            cur.value_of(flag)?
+                .parse()
+                .map_err(|_| err(format!("{flag} needs a number")))
+        };
+        let narrow = |flag: &str, v: u64| -> Result<u32, ParseArgsError> {
+            u32::try_from(v).map_err(|_| err(format!("{flag} value {v} is too large")))
+        };
+        match arg.as_str() {
+            "--width" => width = Some(num("--width", cur)?),
+            "--height" => height = Some(num("--height", cur)?),
+            "--nets" => {
+                let v = num("--nets", cur)?;
+                nets = Some(narrow("--nets", v)?);
+            }
+            "--seed" => seed = num("--seed", cur)?,
+            "--extra-pin-pct" => {
+                let v = num("--extra-pin-pct", cur)?;
+                extra_pin_pct = narrow("--extra-pin-pct", v)?;
+            }
+            "--window" => window = num("--window", cur)? as usize,
+            flag => return Err(err(format!("unknown flag `{flag}` for `gen`"))),
+        }
+    }
+    let width = width.ok_or_else(|| err("gen needs --width"))?;
+    let nets = nets.ok_or_else(|| err("gen needs --nets"))?;
+    let narrow = |flag: &str, v: u64| -> Result<u32, ParseArgsError> {
+        u32::try_from(v).map_err(|_| err(format!("{flag} value {v} is too large")))
+    };
+    match kind.as_str() {
+        "switchbox" => {
+            let height = height.ok_or_else(|| err("gen switchbox needs --height"))?;
+            Ok(Command::Gen(GenKind::Switchbox {
+                width: narrow("--width", width)?,
+                height: narrow("--height", height)?,
+                nets,
+                seed,
+            }))
+        }
+        "channel" => Ok(Command::Gen(GenKind::Channel {
+            width: width as usize,
+            nets,
+            extra_pin_pct,
+            window,
+            seed,
+        })),
+        other => Err(err(format!("unknown gen kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command, ParseArgsError> {
+        parse_args(line.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn route_defaults() {
+        assert_eq!(
+            parse("route box.sb").unwrap(),
+            Command::Route {
+                file: "box.sb".into(),
+                router: SwitchRouterKind::Ripup,
+                ascii: false,
+                svg: None,
+                save: None,
+                optimize: false,
+            }
+        );
+    }
+
+    #[test]
+    fn route_all_flags() {
+        assert_eq!(
+            parse("route box.sb --router lee --ascii --svg out.svg --optimize").unwrap(),
+            Command::Route {
+                file: "box.sb".into(),
+                router: SwitchRouterKind::Lee,
+                ascii: true,
+                svg: Some("out.svg".into()),
+                save: None,
+                optimize: true,
+            }
+        );
+    }
+
+    #[test]
+    fn channel_routers() {
+        for (name, kind) in [
+            ("ripup", ChannelRouterKind::Ripup),
+            ("lea", ChannelRouterKind::Lea),
+            ("dogleg", ChannelRouterKind::Dogleg),
+            ("greedy", ChannelRouterKind::Greedy),
+            ("yacr", ChannelRouterKind::Yacr),
+        ] {
+            let cmd = parse(&format!("channel c.ch --router {name}")).unwrap();
+            assert_eq!(
+                cmd,
+                Command::Channel { file: "c.ch".into(), router: kind, tracks: None, layers: 2 }
+            );
+        }
+        assert_eq!(
+            parse("channel c.ch --tracks 12").unwrap(),
+            Command::Channel {
+                file: "c.ch".into(),
+                router: ChannelRouterKind::Ripup,
+                tracks: Some(12),
+                layers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn gen_commands() {
+        assert_eq!(
+            parse("gen switchbox --width 10 --height 8 --nets 6 --seed 3").unwrap(),
+            Command::Gen(GenKind::Switchbox { width: 10, height: 8, nets: 6, seed: 3 })
+        );
+        assert_eq!(
+            parse("gen channel --width 30 --nets 12 --window 10").unwrap(),
+            Command::Gen(GenKind::Channel {
+                width: 30,
+                nets: 12,
+                extra_pin_pct: 30,
+                window: 10,
+                seed: 0
+            })
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse("").unwrap(), Command::Help);
+        assert_eq!(parse("--help").unwrap(), Command::Help);
+        assert_eq!(parse("help").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("frobnicate").unwrap_err().to_string().contains("unknown command"));
+        assert!(parse("route").unwrap_err().to_string().contains("FILE"));
+        assert!(parse("route a b").unwrap_err().to_string().contains("exactly one"));
+        assert!(parse("route f --router bogus").unwrap_err().to_string().contains("bogus"));
+        assert!(parse("channel f --tracks x").unwrap_err().to_string().contains("number"));
+        assert!(parse("gen switchbox --width 5 --nets 3").unwrap_err().to_string().contains("--height"));
+    }
+}

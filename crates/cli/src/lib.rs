@@ -1,0 +1,50 @@
+//! Implementation of the `vroute` command-line detailed router.
+//!
+//! The binary front-end in `main.rs` is a thin shell over this library
+//! so argument parsing and command execution are unit-testable.
+//!
+//! ```text
+//! vroute route  FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+//! vroute check  FILE ROUTES [--svg OUT]
+//! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
+//! vroute gen switchbox --width W --height H --nets N [--seed S]
+//! vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+//! ```
+//!
+//! Instance files use the text formats of
+//! [`route_benchdata::format`]; see that module for the grammar.
+
+#![warn(missing_docs)]
+
+mod args;
+mod run;
+
+pub use args::{parse_args, ChannelRouterKind, Command, GenKind, ParseArgsError, SwitchRouterKind};
+pub use run::{execute, ExecutionError};
+
+/// Usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+vroute — two-layer detailed router
+
+USAGE:
+  vroute route FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+  vroute check FILE ROUTES [--svg OUT]
+  vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
+  vroute gen switchbox --width W --height H --nets N [--seed S]
+  vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+
+COMMANDS:
+  route     Route a switchbox instance file (sb format)
+  check     Verify a saved routing (routes format) against its instance
+  channel   Route a channel instance file (channel format)
+  gen       Generate a random instance and print it to stdout
+
+OPTIONS:
+  --router KIND   Routing algorithm (default: ripup)
+  --ascii         Print the routed layout as ASCII art
+  --svg OUT       Write the routed layout as SVG to OUT
+  --save OUT      Write the routed traces to OUT (reload with `check`)
+  --optimize      Run the wirelength cleanup pass after routing
+  --tracks N      Channel track count (default: search from density)
+  --layers N      Channel routing layers, 2 or 3 (rip-up only)
+";

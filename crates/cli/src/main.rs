@@ -1,0 +1,31 @@
+//! `vroute` — command-line front-end for the detailed routing library.
+
+use std::process::ExitCode;
+
+use route_cli::{execute, parse_args, USAGE};
+
+fn main() -> ExitCode {
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = String::new();
+    match execute(&cmd, &mut out) {
+        Ok(complete) => {
+            print!("{out}");
+            if complete {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

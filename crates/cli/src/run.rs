@@ -1,0 +1,430 @@
+//! Command execution for `vroute`.
+
+use std::error::Error;
+use std::fmt;
+
+use mighty::{MightyRouter, RouterConfig};
+use route_benchdata::format::{self, ParseError};
+use route_benchdata::gen::{ChannelGen, SwitchboxGen};
+use route_channel::{dogleg, greedy, lea, yacr, RouteError};
+use route_maze::{sequential, CostModel};
+use route_model::{render_layers, render_svg, RouteDb};
+use route_opt::{cleanup, OptimizeConfig};
+use route_verify::verify;
+
+use crate::{ChannelRouterKind, Command, GenKind, SwitchRouterKind, USAGE};
+
+/// Error produced when executing a command.
+#[derive(Debug)]
+pub enum ExecutionError {
+    /// Reading or writing a file failed.
+    Io(String, std::io::Error),
+    /// Parsing the instance failed.
+    Parse(ParseError),
+    /// A channel router could not route the instance.
+    Unroutable(String),
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::Io(path, e) => write!(f, "{path}: {e}"),
+            ExecutionError::Parse(e) => write!(f, "parse error: {e}"),
+            ExecutionError::Unroutable(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ExecutionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecutionError::Io(_, e) => Some(e),
+            ExecutionError::Parse(e) => Some(e),
+            ExecutionError::Unroutable(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for ExecutionError {
+    fn from(e: ParseError) -> Self {
+        ExecutionError::Parse(e)
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// Returns `true` when the routing (if any) completed all nets, so the
+/// binary can choose its exit code.
+///
+/// # Errors
+///
+/// Returns [`ExecutionError`] for I/O failures, malformed instance
+/// files, or channel routers that cannot route the instance at all.
+pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, ExecutionError> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{USAGE}").expect("writing usage");
+            Ok(true)
+        }
+        Command::Gen(kind) => {
+            // Pre-validate dimensions and capacity so user errors produce
+            // a message, not a library panic.
+            let bad_dims = match *kind {
+                GenKind::Switchbox { width, height, .. } => {
+                    width == 0 || height == 0 || width > 4096 || height > 4096
+                }
+                GenKind::Channel { width, .. } => width == 0 || width > 65536,
+            };
+            if bad_dims {
+                return Err(ExecutionError::Unroutable(
+                    "instance dimensions out of supported range (switchbox sides 1..=4096, \
+                     channel width 1..=65536)"
+                        .to_string(),
+                ));
+            }
+            let text = match *kind {
+                GenKind::Switchbox { width, height, nets, seed } => {
+                    let slots = 2 * height as u64 + 2 * width.saturating_sub(2) as u64;
+                    if u64::from(nets) * 2 > slots {
+                        return Err(ExecutionError::Unroutable(format!(
+                            "a {width}x{height} boundary holds at most {} pins; \
+                             {nets} nets need {}",
+                            slots,
+                            nets * 2
+                        )));
+                    }
+                    format::write_problem(&SwitchboxGen { width, height, nets, seed }.build())
+                }
+                GenKind::Channel { width, nets, extra_pin_pct, window, seed } => {
+                    // Worst case every net takes 3 pins.
+                    if u64::from(nets) * 3 > 2 * width as u64 {
+                        return Err(ExecutionError::Unroutable(format!(
+                            "a {width}-column channel holds at most {} pins; \
+                             {nets} nets may need up to {}",
+                            2 * width,
+                            nets * 3
+                        )));
+                    }
+                    format::write_channel(
+                        &ChannelGen { width, nets, extra_pin_pct, span_window: window, seed }
+                            .build(),
+                    )
+                }
+            };
+            write!(out, "{text}").expect("writing instance");
+            Ok(true)
+        }
+        Command::Route { file, router, ascii, svg, save, optimize } => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| ExecutionError::Io(file.clone(), e))?;
+            let problem = format::parse_problem(&text)?;
+            let mut db: RouteDb;
+            let complete = match router {
+                SwitchRouterKind::Ripup => {
+                    let outcome =
+                        MightyRouter::new(RouterConfig::default()).route(&problem);
+                    let complete = outcome.is_complete();
+                    writeln!(out, "router: rip-up/reroute ({})", outcome.stats())
+                        .expect("writing");
+                    db = outcome.into_db();
+                    complete
+                }
+                SwitchRouterKind::Lee => {
+                    let outcome = sequential::route_all(&problem, CostModel::default());
+                    let complete = outcome.is_complete();
+                    writeln!(out, "router: sequential lee").expect("writing");
+                    db = outcome.db;
+                    complete
+                }
+                SwitchRouterKind::Tiled => {
+                    let outcome = route_global::route_hierarchical(
+                        &problem,
+                        &route_global::GlobalConfig::default(),
+                    );
+                    let complete = outcome.is_complete();
+                    writeln!(out, "router: hierarchical ({:?})", outcome.stats())
+                        .expect("writing");
+                    db = outcome.into_db();
+                    complete
+                }
+            };
+            if *optimize {
+                let stats = cleanup(&problem, &mut db, &OptimizeConfig::default());
+                writeln!(
+                    out,
+                    "cleanup: {} nets improved, saved {} cost units",
+                    stats.improved,
+                    stats.saved(3)
+                )
+                .expect("writing");
+            }
+            let report = verify(&problem, &db);
+            let stats = db.stats();
+            writeln!(
+                out,
+                "nets: {} total, complete: {complete}, wire: {}, vias: {}",
+                problem.nets().len(),
+                stats.wirelength,
+                stats.vias
+            )
+            .expect("writing");
+            writeln!(out, "verify: {report}").expect("writing");
+            if *ascii {
+                writeln!(out, "\n{}", render_layers(&db)).expect("writing");
+            }
+            if let Some(path) = svg {
+                std::fs::write(path, render_svg(&db))
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "svg written to {path}").expect("writing");
+            }
+            if let Some(path) = save {
+                std::fs::write(path, format::write_routes(&problem, &db))
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "routes written to {path}").expect("writing");
+            }
+            Ok(complete)
+        }
+        Command::Check { instance, routes, svg } => {
+            let text = std::fs::read_to_string(instance)
+                .map_err(|e| ExecutionError::Io(instance.clone(), e))?;
+            let problem = format::parse_problem(&text)?;
+            let routes_text = std::fs::read_to_string(routes)
+                .map_err(|e| ExecutionError::Io(routes.clone(), e))?;
+            let db = format::parse_routes(&problem, &routes_text)?;
+            let report = verify(&problem, &db);
+            let stats = db.stats();
+            writeln!(
+                out,
+                "nets: {}, wire: {}, vias: {}",
+                problem.nets().len(),
+                stats.wirelength,
+                stats.vias
+            )
+            .expect("writing");
+            writeln!(out, "verify: {report}").expect("writing");
+            if let Some(path) = svg {
+                std::fs::write(path, render_svg(&db))
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "svg written to {path}").expect("writing");
+            }
+            Ok(report.is_clean())
+        }
+        Command::Channel { file, router, tracks, layers } => {
+            if let Some(t) = tracks {
+                if *t == 0 || *t > 4096 {
+                    return Err(ExecutionError::Unroutable(format!(
+                        "--tracks must be between 1 and 4096, got {t}"
+                    )));
+                }
+            }
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| ExecutionError::Io(file.clone(), e))?;
+            let spec = format::parse_channel(&text)?;
+            writeln!(out, "{spec}").expect("writing");
+            let fail = |e: RouteError| ExecutionError::Unroutable(e.to_string());
+            if *layers == 3 && *router != ChannelRouterKind::Ripup {
+                return Err(ExecutionError::Unroutable(
+                    "only the rip-up router supports three-layer channels".to_string(),
+                ));
+            }
+            match router {
+                ChannelRouterKind::Lea => {
+                    let sol = lea::route(&spec).map_err(fail)?;
+                    writeln!(out, "left-edge: {} tracks", sol.tracks).expect("writing");
+                }
+                ChannelRouterKind::Dogleg => {
+                    let sol = dogleg::route(&spec).map_err(fail)?;
+                    writeln!(out, "dogleg: {} tracks", sol.tracks).expect("writing");
+                }
+                ChannelRouterKind::Greedy => {
+                    let sol = greedy::route(&spec).map_err(fail)?;
+                    writeln!(
+                        out,
+                        "greedy: {} tracks, {} extension columns",
+                        sol.tracks, sol.extra_columns
+                    )
+                    .expect("writing");
+                }
+                ChannelRouterKind::Yacr => {
+                    let sol = yacr::route(&spec, 8).map_err(fail)?;
+                    writeln!(out, "yacr-style: {} tracks", sol.tracks).expect("writing");
+                }
+                ChannelRouterKind::Ripup => {
+                    let density = spec.density().max(1) as usize;
+                    let candidates: Vec<usize> = match tracks {
+                        Some(t) => vec![*t],
+                        None => (density..density + 9).collect(),
+                    };
+                    let router = MightyRouter::new(RouterConfig::default());
+                    let mut done = false;
+                    for t in candidates {
+                        let problem = spec.to_problem_with_layers(t, *layers);
+                        let outcome = router.route(&problem);
+                        if outcome.is_complete() {
+                            writeln!(out, "rip-up: {t} tracks").expect("writing");
+                            done = true;
+                            break;
+                        }
+                    }
+                    if !done {
+                        return Err(ExecutionError::Unroutable(
+                            "rip-up could not route the channel within its track budget"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_args;
+
+    fn run(line: &str) -> (String, Result<bool, ExecutionError>) {
+        let cmd = parse_args(line.split_whitespace().map(str::to_owned)).expect("parses");
+        let mut out = String::new();
+        let result = execute(&cmd, &mut out);
+        (out, result)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (out, ok) = run("help");
+        assert!(ok.unwrap());
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn gen_then_route_round_trip() {
+        let dir = std::env::temp_dir().join("vroute-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let (instance, ok) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        assert!(ok.unwrap());
+        std::fs::write(&sb, instance).unwrap();
+
+        let (out, ok) = run(&format!("route {} --ascii", sb.display()));
+        assert!(ok.unwrap(), "generated box routes:\n{out}");
+        assert!(out.contains("verify: clean"), "{out}");
+        assert!(out.contains("M1"), "ascii printed: {out}");
+    }
+
+    #[test]
+    fn route_with_svg_and_optimize() {
+        let dir = std::env::temp_dir().join("vroute-test-svg");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let svg = dir.join("box.svg");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&sb, instance).unwrap();
+
+        let (out, ok) =
+            run(&format!("route {} --svg {} --optimize", sb.display(), svg.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("cleanup:"), "{out}");
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+    }
+
+    #[test]
+    fn three_layer_channel_via_cli() {
+        let dir = std::env::temp_dir().join("vroute-test-3l");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ch = dir.join("c.ch");
+        let (instance, _) = run("gen channel --width 20 --nets 8 --window 8 --seed 1");
+        std::fs::write(&ch, instance).unwrap();
+        let (out, ok) = run(&format!("channel {} --layers 3", ch.display()));
+        assert!(ok.unwrap(), "{out}");
+        // Baselines reject the third layer with a clear message.
+        let (_, result) = run(&format!("channel {} --layers 3 --router greedy", ch.display()));
+        assert!(matches!(result, Err(ExecutionError::Unroutable(_))));
+    }
+
+    #[test]
+    fn channel_pipeline() {
+        let dir = std::env::temp_dir().join("vroute-test-ch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ch = dir.join("c.ch");
+        let (instance, _) = run("gen channel --width 20 --nets 8 --window 8 --seed 1");
+        std::fs::write(&ch, instance).unwrap();
+
+        for router in ["greedy", "yacr", "ripup"] {
+            let (out, ok) = run(&format!("channel {} --router {router}", ch.display()));
+            assert!(ok.unwrap(), "{router} failed:\n{out}");
+            assert!(out.contains("tracks"), "{out}");
+        }
+    }
+
+    #[test]
+    fn tiled_router_routes_a_larger_box() {
+        let dir = std::env::temp_dir().join("vroute-test-tiled");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("big.sb");
+        let (instance, _) = run("gen switchbox --width 40 --height 40 --nets 16 --seed 2");
+        std::fs::write(&sb, instance).unwrap();
+        let (out, ok) = run(&format!("route {} --router tiled", sb.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("hierarchical"), "{out}");
+        assert!(out.contains("verify: clean"), "{out}");
+    }
+
+    #[test]
+    fn save_then_check_round_trip() {
+        let dir = std::env::temp_dir().join("vroute-test-check");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let routes = dir.join("box.routes");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&sb, instance).unwrap();
+
+        let (out, ok) = run(&format!("route {} --save {}", sb.display(), routes.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("routes written"), "{out}");
+
+        let (out, ok) = run(&format!("check {} {}", sb.display(), routes.display()));
+        assert!(ok.unwrap(), "saved routing verifies clean:\n{out}");
+        assert!(out.contains("verify: clean"), "{out}");
+
+        // Tampering with the routing is caught: drop a line.
+        let text = std::fs::read_to_string(&routes).unwrap();
+        let truncated: Vec<&str> = text.lines().filter(|l| !l.starts_with("trace")).collect();
+        std::fs::write(&routes, truncated.join("\n")).unwrap();
+        let (out, ok) = run(&format!("check {} {}", sb.display(), routes.display()));
+        assert!(!ok.unwrap(), "incomplete routing must not verify clean:\n{out}");
+    }
+
+    #[test]
+    fn region_instance_routes() {
+        let dir = std::env::temp_dir().join("vroute-test-region");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("l.sb");
+        std::fs::write(
+            &f,
+            "region 0 0 12 4\nregion 0 0 4 12\nnet a 1 11 M2  11 1 M1\n",
+        )
+        .unwrap();
+        let (out, ok) = run(&format!("route {}", f.display()));
+        assert!(ok.unwrap(), "L-region routes:\n{out}");
+        assert!(out.contains("verify: clean"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let (_, result) = run("route /nonexistent/really.sb");
+        assert!(matches!(result, Err(ExecutionError::Io(_, _))));
+    }
+
+    #[test]
+    fn bad_instance_reports_parse_error() {
+        let dir = std::env::temp_dir().join("vroute-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("bad.sb");
+        std::fs::write(&f, "nonsense here").unwrap();
+        let (_, result) = run(&format!("route {}", f.display()));
+        assert!(matches!(result, Err(ExecutionError::Parse(_))));
+    }
+}

@@ -1,0 +1,159 @@
+use route_maze::CostModel;
+
+/// Order in which nets are first attempted.
+///
+/// Rip-up/reroute makes the router far less order-sensitive than the
+/// sequential baseline, but the initial order still affects how much
+/// modification work is needed; the ablation benches sweep this choice.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetOrder {
+    /// Smallest pin bounding box first (default; classic heuristic).
+    #[default]
+    ShortFirst,
+    /// Largest pin bounding box first.
+    LongFirst,
+    /// Most pins first.
+    PinCountDesc,
+    /// Most-contested first: nets whose pin bounding boxes overlap the
+    /// most other nets' boxes are routed before the easy ones.
+    CongestionFirst,
+    /// The order nets were declared in the problem.
+    Declared,
+}
+
+/// How the interference penalty of a net grows with its rip count.
+///
+/// The growth schedule is the heart of the finite-termination argument:
+/// as long as penalties are unbounded and monotone, every net eventually
+/// becomes more expensive to rip than to detour around. Geometric growth
+/// (the default) reaches that point exponentially faster than linear
+/// growth; the ablation benches compare the two.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PenaltyGrowth {
+    /// `base << min(rips, cap)` — doubles per rip (default).
+    #[default]
+    Geometric,
+    /// `base * (1 + min(rips, 2^cap))` — grows by `base` per rip.
+    Linear,
+}
+
+/// Tuning parameters of the [`MightyRouter`](crate::MightyRouter).
+///
+/// # Examples
+///
+/// ```
+/// use mighty::{RouterConfig, NetOrder};
+///
+/// // An ablation configuration: strong modification only.
+/// let cfg = RouterConfig {
+///     weak: false,
+///     order: NetOrder::LongFirst,
+///     ..RouterConfig::default()
+/// };
+/// assert!(cfg.strong);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Path-search cost weights.
+    pub cost: CostModel,
+    /// Enable weak modification (push blocking wiring aside in place).
+    pub weak: bool,
+    /// Enable strong modification (rip blocking wiring, re-enqueue it).
+    pub strong: bool,
+    /// Crossing penalty for a never-ripped net's slot.
+    pub base_penalty: u64,
+    /// Escalation schedule of the crossing penalty with rip count.
+    pub penalty_growth: PenaltyGrowth,
+    /// Cap on the escalation exponent (geometric) or on `log2` of the
+    /// multiplier (linear). Growth is what guarantees termination.
+    pub max_penalty_doublings: u32,
+    /// Attempts allowed per net before it is declared failed.
+    pub max_attempts: u32,
+    /// Global cap on queue events; `0` selects `64 x nets` automatically.
+    pub max_events: usize,
+    /// Initial net order.
+    pub order: NetOrder,
+}
+
+impl RouterConfig {
+    /// Crossing penalty per slot of a net that has been ripped `rips`
+    /// times, under the configured [`PenaltyGrowth`] schedule.
+    pub fn penalty(&self, rips: u32) -> u64 {
+        match self.penalty_growth {
+            PenaltyGrowth::Geometric => {
+                self.base_penalty << rips.min(self.max_penalty_doublings)
+            }
+            PenaltyGrowth::Linear => {
+                let cap = 1u64 << self.max_penalty_doublings.min(32);
+                self.base_penalty * (1 + u64::from(rips).min(cap))
+            }
+        }
+    }
+
+    /// A configuration with all modification disabled: behaves like the
+    /// sequential baseline (used as the control in ablations).
+    pub fn no_modification() -> Self {
+        RouterConfig { weak: false, strong: false, ..RouterConfig::default() }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            cost: CostModel::default(),
+            weak: true,
+            strong: true,
+            base_penalty: 8,
+            penalty_growth: PenaltyGrowth::Geometric,
+            max_penalty_doublings: 12,
+            max_attempts: 12,
+            max_events: 0,
+            order: NetOrder::ShortFirst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_escalates_and_saturates() {
+        let cfg = RouterConfig { base_penalty: 4, max_penalty_doublings: 3, ..Default::default() };
+        assert_eq!(cfg.penalty(0), 4);
+        assert_eq!(cfg.penalty(1), 8);
+        assert_eq!(cfg.penalty(3), 32);
+        assert_eq!(cfg.penalty(100), 32);
+    }
+
+    #[test]
+    fn linear_penalty_grows_by_base() {
+        let cfg = RouterConfig {
+            base_penalty: 4,
+            penalty_growth: PenaltyGrowth::Linear,
+            max_penalty_doublings: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.penalty(0), 4);
+        assert_eq!(cfg.penalty(1), 8);
+        assert_eq!(cfg.penalty(3), 16);
+        // Saturates at base * (1 + 2^cap).
+        assert_eq!(cfg.penalty(1000), 4 * 9);
+    }
+
+    #[test]
+    fn geometric_eventually_dwarfs_linear() {
+        let geo = RouterConfig::default();
+        let lin = RouterConfig { penalty_growth: PenaltyGrowth::Linear, ..Default::default() };
+        assert!(geo.penalty(10) > lin.penalty(10));
+    }
+
+    #[test]
+    fn no_modification_control() {
+        let cfg = RouterConfig::no_modification();
+        assert!(!cfg.weak && !cfg.strong);
+    }
+}

@@ -1,0 +1,101 @@
+//! Connectivity analysis over a net's committed occupancy.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use route_geom::{Layer, Point};
+use route_model::{NetId, RouteDb, Step};
+
+/// The connected components of `net`'s occupancy that contain at least
+/// one pin, as slot lists. A fully routed net has exactly one.
+///
+/// Two slots are connected when they are Manhattan-adjacent on one layer,
+/// or stacked at a point where the net owns a via.
+pub(crate) fn pin_components(db: &RouteDb, net: NetId) -> Vec<Vec<Step>> {
+    let slots: HashSet<(Point, Layer)> =
+        db.net_slots(net).into_iter().map(|s| (s.at, s.layer)).collect();
+    let has_via = |p: Point, lower: Layer| {
+        db.grid().in_bounds(p) && db.grid().via_between(p, lower) == Some(net)
+    };
+
+    let mut component_of: HashMap<(Point, Layer), usize> = HashMap::new();
+    let mut components: Vec<Vec<Step>> = Vec::new();
+    for pin in db.pins(net) {
+        let start = (pin.at, pin.layer);
+        if component_of.contains_key(&start) {
+            continue;
+        }
+        let idx = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        component_of.insert(start, idx);
+        while let Some((p, layer)) = queue.pop_front() {
+            members.push(Step::new(p, layer));
+            for n in p.neighbors() {
+                let key = (n, layer);
+                if slots.contains(&key) && !component_of.contains_key(&key) {
+                    component_of.insert(key, idx);
+                    queue.push_back(key);
+                }
+            }
+            for adj in layer.adjacent() {
+                let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
+                if has_via(p, lower) {
+                    let key = (p, adj);
+                    if slots.contains(&key) && !component_of.contains_key(&key) {
+                        component_of.insert(key, idx);
+                        queue.push_back(key);
+                    }
+                }
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+/// Whether every pin of `net` belongs to one connected component.
+pub(crate) fn is_connected(db: &RouteDb, net: NetId) -> bool {
+    db.is_net_connected(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_model::{PinSide, ProblemBuilder, Trace};
+
+    #[test]
+    fn components_merge_as_wiring_lands() {
+        let mut b = ProblemBuilder::switchbox(5, 3);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        let p = b.build().unwrap();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        assert_eq!(pin_components(&db, net).len(), 2);
+        assert!(!is_connected(&db, net));
+        let t = Trace::from_steps(
+            (0..5).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect(),
+        )
+        .unwrap();
+        db.commit(net, t).unwrap();
+        assert_eq!(pin_components(&db, net).len(), 1);
+        assert!(is_connected(&db, net));
+    }
+
+    #[test]
+    fn via_required_to_bridge_layers() {
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.net("a").pin_at(Point::new(0, 0), Layer::M1).pin_at(Point::new(0, 0), Layer::M2);
+        let p = b.build().unwrap();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        // Stacked pins, no via: two components.
+        assert_eq!(pin_components(&db, net).len(), 2);
+        let via = Trace::from_steps(vec![
+            Step::new(Point::new(0, 0), Layer::M1),
+            Step::new(Point::new(0, 0), Layer::M2),
+        ])
+        .unwrap();
+        db.commit(net, via).unwrap();
+        assert_eq!(pin_components(&db, net).len(), 1);
+    }
+}

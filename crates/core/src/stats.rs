@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Counters describing how much work — and how much modification — a
+/// routing run needed. The ablation experiments report these directly.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Connections routed through free space on the first try.
+    pub hard_routes: u64,
+    /// Connections that needed an interference (soft) path.
+    pub soft_routes: u64,
+    /// Weak modifications: blocking wiring pushed aside and immediately
+    /// re-routed in place.
+    pub weak_pushes: u64,
+    /// Weak modifications rolled back because a victim could not be
+    /// repaired in place (weak-only configurations).
+    pub weak_rollbacks: u64,
+    /// Strong modifications: victim traces ripped and re-enqueued.
+    pub rips: u64,
+    /// Re-route tasks processed for previously ripped nets.
+    pub reroutes: u64,
+    /// Total search nodes settled across all searches.
+    pub expanded: u64,
+    /// Total queue events processed.
+    pub events: u64,
+}
+
+impl RouterStats {
+    /// Total modification events (weak pushes plus rips).
+    pub fn modifications(&self) -> u64 {
+        self.weak_pushes + self.rips
+    }
+}
+
+impl fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hard {}, soft {}, weak {} (rollback {}), rips {}, reroutes {}, expanded {}, events {}",
+            self.hard_routes,
+            self.soft_routes,
+            self.weak_pushes,
+            self.weak_rollbacks,
+            self.rips,
+            self.reroutes,
+            self.expanded,
+            self.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modifications_sum() {
+        let s = RouterStats { weak_pushes: 3, rips: 2, ..Default::default() };
+        assert_eq!(s.modifications(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!RouterStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the rip-up/reroute router: on arbitrary
+//! problems the router terminates and produces legal (possibly
+//! incomplete) routings, and modification never leaves damage behind.
+
+use proptest::prelude::*;
+
+use mighty::{MightyRouter, NetOrder, RouterConfig};
+use route_geom::Point;
+use route_model::{PinSide, Problem, ProblemBuilder};
+use route_verify::verify;
+
+/// Arbitrary switchbox with boundary pins; may be congested or even
+/// unroutable — that is the point.
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (
+        5u32..14,
+        5u32..12,
+        prop::collection::vec((0usize..4, 0u32..12, 0usize..4, 0u32..12), 1..10),
+    )
+        .prop_filter_map("valid problem", |(w, h, pin_pairs)| {
+            let sides = [PinSide::Left, PinSide::Right, PinSide::Top, PinSide::Bottom];
+            let clamp = |side: PinSide, o: u32| match side {
+                PinSide::Left | PinSide::Right => o % h,
+                PinSide::Top | PinSide::Bottom => o % w,
+            };
+            let mut b = ProblemBuilder::switchbox(w, h);
+            for (i, (s1, o1, s2, o2)) in pin_pairs.iter().enumerate() {
+                let (s1, s2) = (sides[*s1], sides[*s2]);
+                b.net(format!("n{i}"))
+                    .pin_side(s1, clamp(s1, *o1))
+                    .pin_side(s2, clamp(s2, *o2));
+            }
+            b.build().ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The router terminates on arbitrary input and its output verifies
+    /// as legal: complete nets clean, failed nets merely disconnected —
+    /// never shorts, never obstacle overlaps, never grid corruption.
+    #[test]
+    fn router_output_is_always_legal(problem in arb_problem()) {
+        let out = MightyRouter::new(RouterConfig::default()).route(&problem);
+        let report = verify(&problem, out.db());
+        prop_assert!(
+            report.is_clean() || report.is_legal_but_incomplete(),
+            "illegal routing: {report}"
+        );
+        // Failure reporting is consistent with the verifier.
+        prop_assert_eq!(out.failed().len(), report.disconnected_nets());
+        prop_assert_eq!(out.is_complete(), report.is_clean());
+    }
+
+    /// Every ablation configuration is equally legal.
+    #[test]
+    fn ablations_are_always_legal(problem in arb_problem(), which in 0usize..4) {
+        let cfg = match which {
+            0 => RouterConfig::no_modification(),
+            1 => RouterConfig { strong: false, ..RouterConfig::default() },
+            2 => RouterConfig { weak: false, ..RouterConfig::default() },
+            _ => RouterConfig::default(),
+        };
+        let out = MightyRouter::new(cfg).route(&problem);
+        let report = verify(&problem, out.db());
+        prop_assert!(
+            report.is_clean() || report.is_legal_but_incomplete(),
+            "illegal routing: {report}"
+        );
+    }
+
+    /// The full router never completes fewer nets than the
+    /// no-modification control on the same instance (the best-state
+    /// guarantee).
+    #[test]
+    fn modification_never_hurts(problem in arb_problem()) {
+        let base = MightyRouter::new(RouterConfig::no_modification()).route(&problem);
+        let full = MightyRouter::new(RouterConfig::default()).route(&problem);
+        prop_assert!(
+            full.failed().len() <= base.failed().len(),
+            "modification lost nets: {} vs {}",
+            full.failed().len(),
+            base.failed().len()
+        );
+    }
+
+    /// Determinism: the same problem and configuration produce the same
+    /// outcome.
+    #[test]
+    fn routing_is_deterministic(problem in arb_problem()) {
+        let cfg = RouterConfig { order: NetOrder::Declared, ..RouterConfig::default() };
+        let a = MightyRouter::new(cfg).route(&problem);
+        let b = MightyRouter::new(cfg).route(&problem);
+        prop_assert_eq!(a.failed(), b.failed());
+        prop_assert_eq!(a.db().stats(), b.db().stats());
+    }
+}
+
+#[test]
+fn interior_pins_route_too() {
+    // Regression-style deterministic case: interior macro pins.
+    let mut b = ProblemBuilder::switchbox(10, 10);
+    b.net("io").pin_at(Point::new(4, 4), route_geom::Layer::M1).pin_side(PinSide::Top, 8);
+    b.net("x").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+    let p = b.build().expect("valid");
+    let out = MightyRouter::new(RouterConfig::default()).route(&p);
+    assert!(out.is_complete());
+    assert!(verify(&p, out.db()).is_clean());
+}

@@ -1,0 +1,89 @@
+//! The rip-up/reroute router on irregular rectilinear regions — the
+//! "boundaries can be described by any rectilinear chains" capability.
+
+use mighty::{MightyRouter, RouterConfig};
+use route_geom::{Layer, Point, Rect, Region};
+use route_model::{ProblemBuilder, RouteDb, Step, Trace};
+use route_verify::verify;
+
+/// An L-shaped region: a 12-wide, 4-tall base with a 4-wide, 12-tall
+/// vertical arm on the left.
+fn l_region() -> Region {
+    Region::from_rects([
+        Rect::with_size(Point::new(0, 0), 12, 4),
+        Rect::with_size(Point::new(0, 0), 4, 12),
+    ])
+}
+
+#[test]
+fn routes_around_the_corner_of_an_l() {
+    let mut b = ProblemBuilder::region(l_region());
+    // From the top of the arm to the end of the base: the route must
+    // turn the corner; the straight line is outside the region.
+    b.net("corner").pin_at(Point::new(1, 11), Layer::M2).pin_at(Point::new(11, 1), Layer::M1);
+    b.net("arm").pin_at(Point::new(0, 10), Layer::M1).pin_at(Point::new(3, 10), Layer::M1);
+    b.net("base").pin_at(Point::new(5, 0), Layer::M2).pin_at(Point::new(5, 3), Layer::M2);
+    let problem = b.build().expect("valid region problem");
+
+    let out = MightyRouter::new(RouterConfig::default()).route(&problem);
+    assert!(out.is_complete(), "failed: {:?}", out.failed());
+    let report = verify(&problem, out.db());
+    assert!(report.is_clean(), "{report}");
+
+    // The corner net's wiring stays inside the region.
+    let net = problem.net_by_name("corner").expect("declared").id;
+    for (_, trace) in out.db().traces(net) {
+        for step in trace.steps() {
+            assert!(problem.in_region(step.at), "step {step} escaped the region");
+        }
+    }
+}
+
+#[test]
+fn region_exterior_is_never_used() {
+    let mut b = ProblemBuilder::region(l_region());
+    for i in 0..4 {
+        b.net(format!("n{i}"))
+            .pin_at(Point::new(i, 11), Layer::M2)
+            .pin_at(Point::new(11, i), Layer::M1);
+    }
+    let problem = b.build().expect("valid");
+    let out = MightyRouter::new(RouterConfig::default()).route(&problem);
+    let report = verify(&problem, out.db());
+    assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+    // Every occupied slot is inside the region.
+    for net in problem.nets() {
+        for slot in out.db().net_slots(net.id) {
+            assert!(problem.in_region(slot.at), "{slot} outside region");
+        }
+    }
+}
+
+#[test]
+fn congested_corner_requires_modification() {
+    // A narrow U-shaped region where the single corridor around the
+    // bend is contested: pre-route a net through it sub-optimally, then
+    // let the incremental router fit a second net.
+    let region = Region::from_rects([
+        Rect::with_size(Point::new(0, 0), 12, 3),
+        Rect::with_size(Point::new(0, 0), 3, 12),
+        Rect::with_size(Point::new(9, 0), 3, 12),
+    ]);
+    let mut b = ProblemBuilder::region(region);
+    b.net("u1").pin_at(Point::new(0, 11), Layer::M1).pin_at(Point::new(11, 11), Layer::M1);
+    b.net("u2").pin_at(Point::new(1, 11), Layer::M2).pin_at(Point::new(10, 11), Layer::M2);
+    let problem = b.build().expect("valid");
+
+    // Pre-route u1 hogging both layers of the corridor's middle row.
+    let u1 = problem.net_by_name("u1").expect("declared").id;
+    let mut db = RouteDb::new(&problem);
+    let hog: Vec<Step> = (3..9).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect();
+    db.commit(u1, Trace::from_steps(hog).expect("contiguous")).expect("free row");
+    let hog2: Vec<Step> = (3..9).map(|x| Step::new(Point::new(x, 1), Layer::M2)).collect();
+    db.commit(u1, Trace::from_steps(hog2).expect("contiguous")).expect("free row");
+
+    let out = MightyRouter::new(RouterConfig::default()).route_incremental(&problem, db);
+    assert!(out.is_complete(), "failed: {:?} ({})", out.failed(), out.stats());
+    let report = verify(&problem, out.db());
+    assert!(report.is_clean(), "{report}");
+}

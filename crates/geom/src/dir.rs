@@ -1,0 +1,121 @@
+use std::fmt;
+
+use crate::Axis;
+
+/// One of the four Manhattan directions on the routing grid.
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Axis, Dir};
+///
+/// assert_eq!(Dir::North.opposite(), Dir::South);
+/// assert_eq!(Dir::East.axis(), Axis::Horizontal);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// Towards larger `y`.
+    North,
+    /// Towards smaller `y`.
+    South,
+    /// Towards larger `x`.
+    East,
+    /// Towards smaller `x`.
+    West,
+}
+
+impl Dir {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    /// The `(dx, dy)` unit step for this direction.
+    #[inline]
+    pub const fn delta(self) -> (i32, i32) {
+        match self {
+            Dir::North => (0, 1),
+            Dir::South => (0, -1),
+            Dir::East => (1, 0),
+            Dir::West => (-1, 0),
+        }
+    }
+
+    /// The direction pointing the opposite way.
+    #[inline]
+    pub const fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// The axis this direction travels along.
+    #[inline]
+    pub const fn axis(self) -> Axis {
+        match self {
+            Dir::North | Dir::South => Axis::Vertical,
+            Dir::East | Dir::West => Axis::Horizontal,
+        }
+    }
+
+    /// The two directions perpendicular to this one.
+    #[inline]
+    pub const fn perpendicular(self) -> [Dir; 2] {
+        match self.axis() {
+            Axis::Vertical => [Dir::East, Dir::West],
+            Axis::Horizontal => [Dir::North, Dir::South],
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::North => "N",
+            Dir::South => "S",
+            Dir::East => "E",
+            Dir::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn delta_of_opposite_negates() {
+        for d in Dir::ALL {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!((dx, dy), (-ox, -oy));
+        }
+    }
+
+    #[test]
+    fn perpendicular_directions_cross_axes() {
+        for d in Dir::ALL {
+            for p in d.perpendicular() {
+                assert_ne!(p.axis(), d.axis());
+            }
+        }
+    }
+
+    #[test]
+    fn axis_assignment() {
+        assert_eq!(Dir::North.axis(), Axis::Vertical);
+        assert_eq!(Dir::South.axis(), Axis::Vertical);
+        assert_eq!(Dir::East.axis(), Axis::Horizontal);
+        assert_eq!(Dir::West.axis(), Axis::Horizontal);
+    }
+}

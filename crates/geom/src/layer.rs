@@ -1,0 +1,233 @@
+use std::fmt;
+
+/// Number of routing layers the grid model supports (problems choose how
+/// many of them are enabled; classic problems use the first two).
+pub const NUM_LAYERS: usize = 3;
+
+/// Wiring axis of a segment or a layer's preferred direction.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Axis {
+    /// East–west wiring (constant `y`).
+    Horizontal,
+    /// North–south wiring (constant `x`).
+    Vertical,
+}
+
+impl Axis {
+    /// The other axis.
+    #[inline]
+    pub const fn other(self) -> Axis {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Horizontal => "H",
+            Axis::Vertical => "V",
+        })
+    }
+}
+
+/// A metal layer of the grid model, stacked M1 (bottom) to M3 (top) in
+/// the classic HVH arrangement.
+///
+/// [`Layer::M1`] and [`Layer::M3`] prefer horizontal wiring, [`Layer::M2`]
+/// vertical, as in reserved-layer routing. Routers may still place
+/// wrong-way segments on any layer; the preference only affects cost
+/// models. Vias connect **adjacent** layers only (M1–M2 and M2–M3).
+///
+/// Problems choose how many layers are enabled: the classic two-layer
+/// model blocks M3 entirely (see
+/// `ProblemBuilder::layers` in `route-model`).
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Axis, Layer};
+///
+/// assert_eq!(Layer::M1.preferred_axis(), Axis::Horizontal);
+/// assert_eq!(Layer::M2.above(), Some(Layer::M3));
+/// assert_eq!(Layer::M3.above(), None);
+/// assert!(Layer::M1.is_adjacent(Layer::M2));
+/// assert!(!Layer::M1.is_adjacent(Layer::M3));
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// First metal layer; horizontal preference.
+    M1,
+    /// Second metal layer; vertical preference.
+    M2,
+    /// Third metal layer; horizontal preference (three-layer problems
+    /// only).
+    M3,
+}
+
+impl Layer {
+    /// All layers, bottom to top.
+    pub const ALL: [Layer; NUM_LAYERS] = [Layer::M1, Layer::M2, Layer::M3];
+
+    /// Dense index of this layer (`M1` = 0, `M2` = 1, `M3` = 2).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::M1 => 0,
+            Layer::M2 => 1,
+            Layer::M3 => 2,
+        }
+    }
+
+    /// Layer with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LAYERS`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Layer {
+        match index {
+            0 => Layer::M1,
+            1 => Layer::M2,
+            2 => Layer::M3,
+            _ => panic!("layer index out of range"),
+        }
+    }
+
+    /// The layer directly above, if any.
+    #[inline]
+    pub const fn above(self) -> Option<Layer> {
+        match self {
+            Layer::M1 => Some(Layer::M2),
+            Layer::M2 => Some(Layer::M3),
+            Layer::M3 => None,
+        }
+    }
+
+    /// The layer directly below, if any.
+    #[inline]
+    pub const fn below(self) -> Option<Layer> {
+        match self {
+            Layer::M1 => None,
+            Layer::M2 => Some(Layer::M1),
+            Layer::M3 => Some(Layer::M2),
+        }
+    }
+
+    /// The layers a via can reach from this one (directly adjacent).
+    #[inline]
+    pub fn adjacent(self) -> impl Iterator<Item = Layer> {
+        [self.below(), self.above()].into_iter().flatten()
+    }
+
+    /// Whether a single via can connect this layer to `other`.
+    #[inline]
+    pub const fn is_adjacent(self, other: Layer) -> bool {
+        self.index().abs_diff(other.index()) == 1
+    }
+
+    /// The lower layer of the via pair joining this layer and `other`,
+    /// or `None` if they are not adjacent.
+    #[inline]
+    pub const fn via_pair_with(self, other: Layer) -> Option<Layer> {
+        if self.is_adjacent(other) {
+            Some(if self.index() < other.index() { self } else { other })
+        } else {
+            None
+        }
+    }
+
+    /// Preferred wiring axis in the reserved-layer (HVH) model.
+    #[inline]
+    pub const fn preferred_axis(self) -> Axis {
+        match self {
+            Layer::M1 | Layer::M3 => Axis::Horizontal,
+            Layer::M2 => Axis::Vertical,
+        }
+    }
+
+    /// The lowest layer whose preferred axis is `axis`.
+    #[inline]
+    pub const fn preferring(axis: Axis) -> Layer {
+        match axis {
+            Axis::Horizontal => Layer::M1,
+            Axis::Vertical => Layer::M2,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layer::M1 => "M1",
+            Layer::M2 => "M2",
+            Layer::M3 => "M3",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for l in Layer::ALL {
+            assert_eq!(Layer::from_index(l.index()), l);
+        }
+    }
+
+    #[test]
+    fn stack_order() {
+        assert_eq!(Layer::M1.above(), Some(Layer::M2));
+        assert_eq!(Layer::M2.above(), Some(Layer::M3));
+        assert_eq!(Layer::M3.above(), None);
+        assert_eq!(Layer::M1.below(), None);
+        assert_eq!(Layer::M2.below(), Some(Layer::M1));
+        assert_eq!(Layer::M3.below(), Some(Layer::M2));
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(Layer::M1.is_adjacent(Layer::M2));
+        assert!(Layer::M2.is_adjacent(Layer::M3));
+        assert!(!Layer::M1.is_adjacent(Layer::M3));
+        assert!(!Layer::M2.is_adjacent(Layer::M2));
+        assert_eq!(Layer::M2.adjacent().collect::<Vec<_>>(), vec![Layer::M1, Layer::M3]);
+        assert_eq!(Layer::M1.adjacent().collect::<Vec<_>>(), vec![Layer::M2]);
+    }
+
+    #[test]
+    fn via_pairs() {
+        assert_eq!(Layer::M2.via_pair_with(Layer::M1), Some(Layer::M1));
+        assert_eq!(Layer::M2.via_pair_with(Layer::M3), Some(Layer::M2));
+        assert_eq!(Layer::M1.via_pair_with(Layer::M3), None);
+        assert_eq!(Layer::M1.via_pair_with(Layer::M1), None);
+    }
+
+    #[test]
+    fn preferred_axes() {
+        assert_eq!(Layer::M1.preferred_axis(), Axis::Horizontal);
+        assert_eq!(Layer::M2.preferred_axis(), Axis::Vertical);
+        assert_eq!(Layer::M3.preferred_axis(), Axis::Horizontal);
+        for a in [Axis::Horizontal, Axis::Vertical] {
+            assert_eq!(Layer::preferring(a).preferred_axis(), a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Layer::from_index(3);
+    }
+
+    #[test]
+    fn axis_other() {
+        assert_eq!(Axis::Horizontal.other(), Axis::Vertical);
+        assert_eq!(Axis::Vertical.other(), Axis::Horizontal);
+    }
+}

@@ -1,0 +1,43 @@
+//! Grid geometry primitives for detailed routing.
+//!
+//! This crate is the foundation of the `vlsi-route` workspace. It defines
+//! the small, copyable value types every router manipulates:
+//!
+//! * [`Point`] — an integer grid coordinate,
+//! * [`Dir`] — the four Manhattan directions,
+//! * [`Axis`] and [`Layer`] — wiring axes and the two metal layers of the
+//!   classic two-layer routing model,
+//! * [`Rect`] — an inclusive axis-aligned rectangle of grid cells,
+//! * [`Segment`] — an axis-aligned run of grid cells,
+//! * [`Region`] — a rectilinear region expressed as a union of rectangles,
+//!   used to describe irregular routing-area boundaries.
+//!
+//! Everything here is deliberately dependency-free and `Copy`-friendly so
+//! the routers can treat geometry as plain data.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_geom::{Point, Rect, Dir};
+//!
+//! let r = Rect::new(Point::new(0, 0), Point::new(3, 2));
+//! assert_eq!(r.area(), 12);
+//! assert!(r.contains(Point::new(3, 2)));
+//! assert_eq!(Point::new(1, 1).step(Dir::East), Point::new(2, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dir;
+mod layer;
+mod point;
+mod rect;
+mod region;
+mod segment;
+
+pub use dir::Dir;
+pub use layer::{Axis, Layer, NUM_LAYERS};
+pub use point::Point;
+pub use rect::Rect;
+pub use region::Region;
+pub use segment::Segment;

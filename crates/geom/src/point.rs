@@ -1,0 +1,143 @@
+use std::fmt;
+
+use crate::Dir;
+
+/// An integer coordinate on the routing grid.
+///
+/// The grid origin `(0, 0)` is the lower-left corner; `x` grows to the
+/// east (right) and `y` grows to the north (up). Coordinates are signed so
+/// that off-grid neighbours of boundary cells can be represented before
+/// bounds checking.
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Point, Dir};
+///
+/// let p = Point::new(4, 7);
+/// assert_eq!(p.step(Dir::North), Point::new(4, 8));
+/// assert_eq!(p.manhattan(Point::new(1, 5)), 5);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Column index (grows east).
+    pub x: i32,
+    /// Row index (grows north).
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// The point one grid cell away in direction `dir`.
+    #[inline]
+    pub const fn step(self, dir: Dir) -> Self {
+        let (dx, dy) = dir.delta();
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub const fn manhattan(self, other: Point) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The four Manhattan neighbours, in [`Dir::ALL`] order.
+    #[inline]
+    pub fn neighbors(self) -> [Point; 4] {
+        [
+            self.step(Dir::North),
+            self.step(Dir::South),
+            self.step(Dir::East),
+            self.step(Dir::West),
+        ]
+    }
+
+    /// Direction from `self` towards an axis-aligned neighbour `other`.
+    ///
+    /// Returns `None` if the points are equal or not on a shared axis.
+    /// For non-adjacent collinear points the direction of travel is still
+    /// returned, which is what segment iteration needs.
+    pub fn dir_towards(self, other: Point) -> Option<Dir> {
+        if self == other {
+            return None;
+        }
+        if self.x == other.x {
+            Some(if other.y > self.y { Dir::North } else { Dir::South })
+        } else if self.y == other.y {
+            Some(if other.x > self.x { Dir::East } else { Dir::West })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    fn from((x, y): (i32, i32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_in_all_directions() {
+        let p = Point::new(0, 0);
+        assert_eq!(p.step(Dir::North), Point::new(0, 1));
+        assert_eq!(p.step(Dir::South), Point::new(0, -1));
+        assert_eq!(p.step(Dir::East), Point::new(1, 0));
+        assert_eq!(p.step(Dir::West), Point::new(-1, 0));
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(3, -2);
+        let b = Point::new(-1, 5);
+        assert_eq!(a.manhattan(b), 11);
+        assert_eq!(b.manhattan(a), 11);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn neighbors_are_distance_one() {
+        let p = Point::new(9, 9);
+        for n in p.neighbors() {
+            assert_eq!(p.manhattan(n), 1);
+        }
+    }
+
+    #[test]
+    fn dir_towards_axis_aligned() {
+        let p = Point::new(2, 2);
+        assert_eq!(p.dir_towards(Point::new(2, 5)), Some(Dir::North));
+        assert_eq!(p.dir_towards(Point::new(2, 0)), Some(Dir::South));
+        assert_eq!(p.dir_towards(Point::new(7, 2)), Some(Dir::East));
+        assert_eq!(p.dir_towards(Point::new(-1, 2)), Some(Dir::West));
+        assert_eq!(p.dir_towards(p), None);
+        assert_eq!(p.dir_towards(Point::new(3, 3)), None);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (4, 5).into();
+        assert_eq!(p, Point::new(4, 5));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+}

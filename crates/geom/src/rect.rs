@@ -1,0 +1,305 @@
+use std::fmt;
+
+use crate::Point;
+
+/// An inclusive, axis-aligned rectangle of grid cells.
+///
+/// Both corners are part of the rectangle, so a `Rect` is never empty: the
+/// smallest rectangle is a single cell. Corners are normalised on
+/// construction, so `min() <= max()` componentwise always holds.
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(5, 3), Point::new(1, 7));
+/// assert_eq!(r.min(), Point::new(1, 3));
+/// assert_eq!(r.max(), Point::new(5, 7));
+/// assert_eq!(r.width(), 5);
+/// assert_eq!(r.height(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(into = "RectWire", from = "RectWire")
+)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+/// Serialization shape of [`Rect`]; deserialization renormalises the
+/// corners through [`Rect::new`], so the `min <= max` invariant holds
+/// for any input.
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RectWire {
+    min: Point,
+    max: Point,
+}
+
+#[cfg(feature = "serde")]
+impl From<Rect> for RectWire {
+    fn from(r: Rect) -> Self {
+        RectWire { min: r.min, max: r.max }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl From<RectWire> for Rect {
+    fn from(w: RectWire) -> Self {
+        Rect::new(w.min, w.max)
+    }
+}
+
+impl Rect {
+    /// Creates the rectangle spanning the two corner cells (inclusive).
+    ///
+    /// Corners may be given in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and cell dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn with_size(origin: Point, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "rect dimensions must be non-zero");
+        Rect::new(
+            origin,
+            Point::new(origin.x + width as i32 - 1, origin.y + height as i32 - 1),
+        )
+    }
+
+    /// Single-cell rectangle.
+    pub fn cell(p: Point) -> Self {
+        Rect::new(p, p)
+    }
+
+    /// Lower-left (minimum) corner.
+    #[inline]
+    pub const fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right (maximum) corner.
+    #[inline]
+    pub const fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Number of columns covered.
+    #[inline]
+    pub const fn width(&self) -> u32 {
+        (self.max.x - self.min.x) as u32 + 1
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub const fn height(&self) -> u32 {
+        (self.max.y - self.min.y) as u32 + 1
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub const fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// Whether `p` lies inside the rectangle (borders included).
+    #[inline]
+    pub const fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two rectangles share at least one cell.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The shared cells of two rectangles, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// The smallest rectangle containing both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The rectangle grown by `margin` cells on every side.
+    pub fn inflate(&self, margin: u32) -> Rect {
+        let m = margin as i32;
+        Rect {
+            min: Point::new(self.min.x - m, self.min.y - m),
+            max: Point::new(self.max.x + m, self.max.y + m),
+        }
+    }
+
+    /// Iterates over every cell, row-major from the lower-left corner.
+    pub fn cells(&self) -> Cells {
+        Cells {
+            rect: *self,
+            next: Some(self.min),
+        }
+    }
+
+    /// Whether `p` lies on the rectangle's one-cell-wide border ring.
+    pub fn on_border(&self, p: Point) -> bool {
+        self.contains(p)
+            && (p.x == self.min.x || p.x == self.max.x || p.y == self.min.y || p.y == self.max.y)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.min, self.max)
+    }
+}
+
+/// Iterator over the cells of a [`Rect`], produced by [`Rect::cells`].
+#[derive(Debug, Clone)]
+pub struct Cells {
+    rect: Rect,
+    next: Option<Point>,
+}
+
+impl Iterator for Cells {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let cur = self.next?;
+        self.next = if cur.x < self.rect.max.x {
+            Some(Point::new(cur.x + 1, cur.y))
+        } else if cur.y < self.rect.max.y {
+            Some(Point::new(self.rect.min.x, cur.y + 1))
+        } else {
+            None
+        };
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.next {
+            None => 0,
+            Some(p) => {
+                let w = self.rect.width() as u64;
+                let full_rows = (self.rect.max.y - p.y) as u64;
+                let in_row = (self.rect.max.x - p.x) as u64 + 1;
+                (full_rows * w + in_row) as usize
+            }
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Cells {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalise() {
+        let r = Rect::new(Point::new(4, 1), Point::new(-2, 8));
+        assert_eq!(r.min(), Point::new(-2, 1));
+        assert_eq!(r.max(), Point::new(4, 8));
+    }
+
+    #[test]
+    fn with_size_matches_dims() {
+        let r = Rect::with_size(Point::new(2, 3), 4, 5);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.max(), Point::new(5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn with_size_rejects_zero() {
+        let _ = Rect::with_size(Point::new(0, 0), 0, 3);
+    }
+
+    #[test]
+    fn contains_borders() {
+        let r = Rect::new(Point::new(0, 0), Point::new(2, 2));
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(2, 2)));
+        assert!(!r.contains(Point::new(3, 2)));
+        assert!(!r.contains(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(Point::new(0, 0), Point::new(4, 4));
+        let b = Rect::new(Point::new(3, 3), Point::new(6, 6));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(Point::new(3, 3), Point::new(4, 4)));
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(Point::new(0, 0), Point::new(6, 6)));
+        let far = Rect::cell(Point::new(100, 100));
+        assert!(a.intersection(&far).is_none());
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn cells_cover_exactly_area() {
+        let r = Rect::new(Point::new(1, 1), Point::new(3, 2));
+        let cells: Vec<Point> = r.cells().collect();
+        assert_eq!(cells.len() as u64, r.area());
+        assert_eq!(cells[0], Point::new(1, 1));
+        assert_eq!(*cells.last().unwrap(), Point::new(3, 2));
+        for c in &cells {
+            assert!(r.contains(*c));
+        }
+    }
+
+    #[test]
+    fn cells_size_hint_is_exact() {
+        let r = Rect::with_size(Point::new(0, 0), 5, 3);
+        let mut it = r.cells();
+        let mut remaining = 15;
+        while let (hint, Some(p)) = (it.size_hint().0, it.next()) {
+            assert_eq!(hint, remaining);
+            remaining -= 1;
+            let _ = p;
+        }
+        assert_eq!(remaining, 0);
+    }
+
+    #[test]
+    fn on_border_ring() {
+        let r = Rect::new(Point::new(0, 0), Point::new(3, 3));
+        assert!(r.on_border(Point::new(0, 2)));
+        assert!(r.on_border(Point::new(3, 0)));
+        assert!(!r.on_border(Point::new(1, 1)));
+        assert!(!r.on_border(Point::new(4, 4)));
+    }
+
+    #[test]
+    fn inflate_grows_all_sides() {
+        let r = Rect::cell(Point::new(5, 5)).inflate(2);
+        assert_eq!(r.min(), Point::new(3, 3));
+        assert_eq!(r.max(), Point::new(7, 7));
+    }
+}

@@ -1,0 +1,197 @@
+use std::fmt;
+
+use crate::{Point, Rect};
+
+/// A rectilinear region expressed as a union of rectangles.
+///
+/// Routing areas in the general detailed-routing problem are not
+/// rectangular: macro-cell channels have staircase boundaries, and
+/// switchboxes may carve out notches around cell corners. A `Region`
+/// describes such an area as the union of any number of [`Rect`]s
+/// (overlaps allowed) and answers membership queries.
+///
+/// # Examples
+///
+/// An L-shaped routing area:
+///
+/// ```
+/// use route_geom::{Point, Rect, Region};
+///
+/// let region = Region::from_rects([
+///     Rect::with_size(Point::new(0, 0), 10, 4),
+///     Rect::with_size(Point::new(0, 0), 4, 10),
+/// ]);
+/// assert!(region.contains(Point::new(9, 3)));
+/// assert!(region.contains(Point::new(3, 9)));
+/// assert!(!region.contains(Point::new(9, 9)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(into = "RegionWire", try_from = "RegionWire")
+)]
+pub struct Region {
+    rects: Vec<Rect>,
+    bounds: Rect,
+}
+
+/// Serialization shape of [`Region`]: just the member rectangles; the
+/// bounding box is recomputed on deserialization and an empty list is
+/// rejected.
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RegionWire {
+    rects: Vec<Rect>,
+}
+
+#[cfg(feature = "serde")]
+impl From<Region> for RegionWire {
+    fn from(r: Region) -> Self {
+        RegionWire { rects: r.rects }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl TryFrom<RegionWire> for Region {
+    type Error = String;
+
+    fn try_from(w: RegionWire) -> Result<Self, Self::Error> {
+        if w.rects.is_empty() {
+            return Err("region must contain at least one rect".to_string());
+        }
+        Ok(Region::from_rects(w.rects))
+    }
+}
+
+impl Region {
+    /// Creates a region from a non-empty collection of rectangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields no rectangles — an empty routing
+    /// region is never meaningful.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        let rects: Vec<Rect> = rects.into_iter().collect();
+        assert!(!rects.is_empty(), "region must contain at least one rect");
+        let bounds = rects[1..]
+            .iter()
+            .fold(rects[0], |acc, r| acc.union(r));
+        Region { rects, bounds }
+    }
+
+    /// A simple rectangular region.
+    pub fn rect(r: Rect) -> Self {
+        Region { rects: vec![r], bounds: r }
+    }
+
+    /// Bounding box of the whole region.
+    #[inline]
+    pub const fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The member rectangles (possibly overlapping).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Whether `p` lies inside the region.
+    pub fn contains(&self, p: Point) -> bool {
+        self.bounds.contains(p) && self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// Number of distinct cells in the region.
+    ///
+    /// Counted exactly (overlaps deduplicated) by scanning the bounding
+    /// box, so this is `O(bounds.area())`.
+    pub fn area(&self) -> u64 {
+        self.bounds.cells().filter(|&p| self.contains(p)).count() as u64
+    }
+
+    /// Whether every cell of the bounding box belongs to the region.
+    pub fn is_rectangular(&self) -> bool {
+        self.area() == self.bounds.area()
+    }
+
+    /// Cells of the region that touch at least one cell outside it
+    /// (or the bounding box edge) — the region's boundary ring.
+    pub fn boundary_cells(&self) -> Vec<Point> {
+        self.bounds
+            .cells()
+            .filter(|&p| {
+                self.contains(p)
+                    && p.neighbors().iter().any(|n| !self.contains(*n))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region of {} rects, bounds {}", self.rects.len(), self.bounds)
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(r: Rect) -> Self {
+        Region::rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Region {
+        Region::from_rects([
+            Rect::with_size(Point::new(0, 0), 6, 2),
+            Rect::with_size(Point::new(0, 0), 2, 6),
+        ])
+    }
+
+    #[test]
+    fn membership() {
+        let r = l_shape();
+        assert!(r.contains(Point::new(5, 1)));
+        assert!(r.contains(Point::new(1, 5)));
+        assert!(!r.contains(Point::new(5, 5)));
+        assert!(!r.contains(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn area_deduplicates_overlap() {
+        // The two rects overlap in a 2x2 square at the origin.
+        let r = l_shape();
+        assert_eq!(r.area(), 6 * 2 + 2 * 6 - 4);
+    }
+
+    #[test]
+    fn rectangular_detection() {
+        assert!(Region::rect(Rect::with_size(Point::new(0, 0), 3, 3)).is_rectangular());
+        assert!(!l_shape().is_rectangular());
+    }
+
+    #[test]
+    fn boundary_of_plain_rect_is_ring() {
+        let r = Region::rect(Rect::with_size(Point::new(0, 0), 4, 4));
+        let boundary = r.boundary_cells();
+        assert_eq!(boundary.len(), 12); // 4x4 ring = 16 - 4 interior
+        for p in boundary {
+            assert!(r.bounds().on_border(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rect")]
+    fn empty_region_rejected() {
+        let _ = Region::from_rects(std::iter::empty());
+    }
+
+    #[test]
+    fn from_rect_conversion() {
+        let rect = Rect::with_size(Point::new(1, 1), 2, 2);
+        let region: Region = rect.into();
+        assert_eq!(region.bounds(), rect);
+    }
+}

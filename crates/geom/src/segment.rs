@@ -1,0 +1,241 @@
+use std::fmt;
+
+use crate::{Axis, Point};
+
+/// An axis-aligned run of grid cells, endpoints inclusive.
+///
+/// A `Segment` is the unit in which routers reason about wires: a maximal
+/// straight piece of a net's path on one layer. A single-cell segment is
+/// allowed (it has no defined axis of travel and reports the axis it was
+/// constructed with).
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Axis, Point, Segment};
+///
+/// let s = Segment::new(Point::new(2, 5), Point::new(6, 5)).unwrap();
+/// assert_eq!(s.axis(), Axis::Horizontal);
+/// assert_eq!(s.len(), 5);
+/// assert!(s.contains(Point::new(4, 5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(into = "SegmentWire", try_from = "SegmentWire")
+)]
+pub struct Segment {
+    a: Point,
+    b: Point,
+    axis: Axis,
+}
+
+/// Serialization shape of [`Segment`]; deserialization revalidates
+/// axis-alignment through [`Segment::new`].
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SegmentWire {
+    a: Point,
+    b: Point,
+}
+
+#[cfg(feature = "serde")]
+impl From<Segment> for SegmentWire {
+    fn from(s: Segment) -> Self {
+        SegmentWire { a: s.a, b: s.b }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl TryFrom<SegmentWire> for Segment {
+    type Error = String;
+
+    fn try_from(w: SegmentWire) -> Result<Self, Self::Error> {
+        Segment::new(w.a, w.b)
+            .ok_or_else(|| format!("segment endpoints {} and {} are not axis-aligned", w.a, w.b))
+    }
+}
+
+impl Segment {
+    /// Creates a segment between two collinear points (endpoints are
+    /// normalised so `a() <= b()`).
+    ///
+    /// Returns `None` if the points are not axis-aligned. Equal points
+    /// produce a single-cell segment with horizontal axis.
+    pub fn new(a: Point, b: Point) -> Option<Self> {
+        if a == b {
+            return Some(Segment { a, b, axis: Axis::Horizontal });
+        }
+        if a.y == b.y {
+            let (lo, hi) = if a.x <= b.x { (a, b) } else { (b, a) };
+            Some(Segment { a: lo, b: hi, axis: Axis::Horizontal })
+        } else if a.x == b.x {
+            let (lo, hi) = if a.y <= b.y { (a, b) } else { (b, a) };
+            Some(Segment { a: lo, b: hi, axis: Axis::Vertical })
+        } else {
+            None
+        }
+    }
+
+    /// A horizontal segment on row `y` spanning columns `x0..=x1`.
+    pub fn horizontal(y: i32, x0: i32, x1: i32) -> Self {
+        Segment::new(Point::new(x0, y), Point::new(x1, y)).expect("same row is axis-aligned")
+    }
+
+    /// A vertical segment on column `x` spanning rows `y0..=y1`.
+    pub fn vertical(x: i32, y0: i32, y1: i32) -> Self {
+        Segment::new(Point::new(x, y0), Point::new(x, y1)).expect("same column is axis-aligned")
+    }
+
+    /// Lower/left endpoint.
+    #[inline]
+    pub const fn a(&self) -> Point {
+        self.a
+    }
+
+    /// Upper/right endpoint.
+    #[inline]
+    pub const fn b(&self) -> Point {
+        self.b
+    }
+
+    /// Axis of travel (horizontal for single-cell segments).
+    #[inline]
+    pub const fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// Number of cells covered, including both endpoints.
+    #[inline]
+    pub const fn len(&self) -> u32 {
+        self.a.manhattan(self.b) + 1
+    }
+
+    /// Whether the segment covers exactly one cell.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        false // a segment always covers at least one cell
+    }
+
+    /// Whether `p` lies on the segment.
+    pub fn contains(&self, p: Point) -> bool {
+        match self.axis {
+            Axis::Horizontal => p.y == self.a.y && p.x >= self.a.x && p.x <= self.b.x,
+            Axis::Vertical => p.x == self.a.x && p.y >= self.a.y && p.y <= self.b.y,
+        }
+    }
+
+    /// Iterates over every covered cell from `a()` to `b()`.
+    pub fn cells(&self) -> SegmentCells {
+        SegmentCells { seg: *self, next: Some(self.a) }
+    }
+
+    /// Whether two segments share at least one cell.
+    pub fn overlaps(&self, other: &Segment) -> bool {
+        self.cells().any(|c| other.contains(c))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.a, self.b)
+    }
+}
+
+/// Iterator over the cells of a [`Segment`], produced by [`Segment::cells`].
+#[derive(Debug, Clone)]
+pub struct SegmentCells {
+    seg: Segment,
+    next: Option<Point>,
+}
+
+impl Iterator for SegmentCells {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let cur = self.next?;
+        self.next = if cur == self.seg.b {
+            None
+        } else {
+            match self.seg.axis {
+                Axis::Horizontal => Some(Point::new(cur.x + 1, cur.y)),
+                Axis::Vertical => Some(Point::new(cur.x, cur.y + 1)),
+            }
+        };
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self.next {
+            None => 0,
+            Some(p) => p.manhattan(self.seg.b) as usize + 1,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SegmentCells {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_diagonal() {
+        assert!(Segment::new(Point::new(0, 0), Point::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn normalises_endpoints() {
+        let s = Segment::new(Point::new(5, 2), Point::new(1, 2)).unwrap();
+        assert_eq!(s.a(), Point::new(1, 2));
+        assert_eq!(s.b(), Point::new(5, 2));
+        let v = Segment::new(Point::new(3, 9), Point::new(3, 4)).unwrap();
+        assert_eq!(v.a(), Point::new(3, 4));
+        assert_eq!(v.b(), Point::new(3, 9));
+    }
+
+    #[test]
+    fn single_cell_segment() {
+        let s = Segment::new(Point::new(2, 2), Point::new(2, 2)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.cells().count(), 1);
+        assert!(s.contains(Point::new(2, 2)));
+    }
+
+    #[test]
+    fn cells_enumerate_in_order() {
+        let s = Segment::vertical(7, 1, 4);
+        let cells: Vec<Point> = s.cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                Point::new(7, 1),
+                Point::new(7, 2),
+                Point::new(7, 3),
+                Point::new(7, 4)
+            ]
+        );
+        assert_eq!(s.len() as usize, cells.len());
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let h = Segment::horizontal(3, 0, 5);
+        let v = Segment::vertical(2, 0, 6);
+        assert!(h.contains(Point::new(2, 3)));
+        assert!(!h.contains(Point::new(2, 4)));
+        assert!(h.overlaps(&v));
+        let v2 = Segment::vertical(9, 0, 6);
+        assert!(!h.overlaps(&v2));
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let s = Segment::horizontal(0, 0, 9);
+        let it = s.cells();
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        assert_eq!(it.len(), 10);
+    }
+}

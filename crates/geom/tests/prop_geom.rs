@@ -1,0 +1,97 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+
+use route_geom::{Dir, Point, Rect, Region, Segment};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50i32..50, -50i32..50).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn manhattan_zero_iff_equal(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(a.manhattan(b) == 0, a == b);
+    }
+
+    #[test]
+    fn step_and_back_is_identity(p in arb_point(), dir_idx in 0usize..4) {
+        let dir = Dir::ALL[dir_idx];
+        prop_assert_eq!(p.step(dir).step(dir.opposite()), p);
+    }
+
+    #[test]
+    fn rect_contains_its_corners_and_cells(r in arb_rect()) {
+        prop_assert!(r.contains(r.min()));
+        prop_assert!(r.contains(r.max()));
+        // Cell count equals area and all cells are inside.
+        let cells: Vec<Point> = r.cells().collect();
+        prop_assert_eq!(cells.len() as u64, r.area());
+        for c in cells {
+            prop_assert!(r.contains(c));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(a.min()) && u.contains(a.max()));
+        prop_assert!(u.contains(b.min()) && u.contains(b.max()));
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_intersection_is_symmetric_and_contained(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(&ab, &ba);
+        if let Some(i) = ab {
+            for c in i.cells() {
+                prop_assert!(a.contains(c) && b.contains(c));
+            }
+        } else {
+            // Disjoint: no cell of a lies in b.
+            prop_assert!(a.cells().all(|c| !b.contains(c)));
+        }
+    }
+
+    #[test]
+    fn segment_cells_are_collinear_and_adjacent(a in arb_point(), len in 0u32..40, horiz in any::<bool>()) {
+        let b = if horiz {
+            Point::new(a.x + len as i32, a.y)
+        } else {
+            Point::new(a.x, a.y + len as i32)
+        };
+        let seg = Segment::new(a, b).expect("axis-aligned by construction");
+        let cells: Vec<Point> = seg.cells().collect();
+        prop_assert_eq!(cells.len() as u32, seg.len());
+        for w in cells.windows(2) {
+            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        for c in &cells {
+            prop_assert!(seg.contains(*c));
+        }
+    }
+
+    #[test]
+    fn region_area_bounded_by_bbox(rects in prop::collection::vec(arb_rect(), 1..6)) {
+        let region = Region::from_rects(rects.clone());
+        let area = region.area();
+        prop_assert!(area <= region.bounds().area());
+        prop_assert!(area >= rects.iter().map(|r| r.area()).max().unwrap_or(0));
+        // Membership agrees with the member rectangles.
+        for p in region.bounds().cells() {
+            let member = rects.iter().any(|r| r.contains(p));
+            prop_assert_eq!(member, region.contains(p));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! JSON round-trip tests of the geometry types (`serde` feature).
+
+#![cfg(feature = "serde")]
+
+use route_geom::{Axis, Dir, Layer, Point, Rect, Region, Segment};
+
+fn round_trip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value, "round trip changed the value: {json}");
+}
+
+#[test]
+fn plain_types_round_trip() {
+    round_trip(&Point::new(-3, 7));
+    for d in Dir::ALL {
+        round_trip(&d);
+    }
+    for l in Layer::ALL {
+        round_trip(&l);
+    }
+    round_trip(&Axis::Horizontal);
+}
+
+#[test]
+fn rect_round_trips_and_renormalises() {
+    round_trip(&Rect::new(Point::new(1, 2), Point::new(5, 9)));
+    // Swapped corners in the wire form are renormalised, not rejected.
+    let swapped = r#"{"min":{"x":5,"y":9},"max":{"x":1,"y":2}}"#;
+    let r: Rect = serde_json::from_str(swapped).expect("renormalises");
+    assert_eq!(r.min(), Point::new(1, 2));
+    assert_eq!(r.max(), Point::new(5, 9));
+}
+
+#[test]
+fn segment_round_trips_and_validates() {
+    round_trip(&Segment::horizontal(3, 0, 5));
+    round_trip(&Segment::vertical(2, -1, 4));
+    // Diagonal endpoints are rejected at deserialization time.
+    let diagonal = r#"{"a":{"x":0,"y":0},"b":{"x":1,"y":1}}"#;
+    let result: Result<Segment, _> = serde_json::from_str(diagonal);
+    assert!(result.is_err(), "diagonal segment must not deserialize");
+}
+
+#[test]
+fn region_round_trips_and_validates() {
+    let region = Region::from_rects([
+        Rect::with_size(Point::new(0, 0), 6, 2),
+        Rect::with_size(Point::new(0, 0), 2, 6),
+    ]);
+    round_trip(&region);
+    let empty = r#"{"rects":[]}"#;
+    let result: Result<Region, _> = serde_json::from_str(empty);
+    assert!(result.is_err(), "empty region must not deserialize");
+}

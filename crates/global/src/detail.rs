@@ -1,0 +1,370 @@
+//! Crossing assignment, per-tile detailed routing and trace paste-back.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use mighty::MightyRouter;
+use route_geom::{Layer, Point};
+use route_model::{
+    NetId, Occupant, Pin, Problem, ProblemBuilder, RouteDb, Step, Trace,
+};
+
+use crate::plan::plan;
+use crate::tiles::{TileEdge, TileGrid, TileId};
+use crate::GlobalConfig;
+
+/// Work counters of a hierarchical run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalStats {
+    /// Tile grid dimensions (columns, rows).
+    pub tiles: (u32, u32),
+    /// Tile-edge crossings planned.
+    pub crossings: usize,
+    /// Edges the planner over-subscribed.
+    pub overflowed_edges: usize,
+    /// Nets dropped from the tiled phase (unassignable crossings).
+    pub dropped: usize,
+    /// Nets that failed inside some tile.
+    pub tile_failures: usize,
+    /// Nets the flat fallback pass completed.
+    pub fallback_completed: usize,
+}
+
+/// The result of [`route_hierarchical`].
+#[derive(Debug, Clone)]
+pub struct GlobalOutcome {
+    db: RouteDb,
+    failed: Vec<NetId>,
+    stats: GlobalStats,
+}
+
+impl GlobalOutcome {
+    /// Whether every net was fully connected.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// The global routing database.
+    pub fn db(&self) -> &RouteDb {
+        &self.db
+    }
+
+    /// Consumes the outcome, returning the database.
+    pub fn into_db(self) -> RouteDb {
+        self.db
+    }
+
+    /// Nets that remain incomplete.
+    pub fn failed(&self) -> &[NetId] {
+        &self.failed
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &GlobalStats {
+        &self.stats
+    }
+}
+
+/// Routes `problem` hierarchically: plan over tiles, assign crossings,
+/// detail-route each tile, paste, and (optionally) repair the leftovers
+/// flat. See the [crate docs](crate) for the pipeline.
+///
+/// # Panics
+///
+/// Panics if an internal invariant breaks (a pasted tile trace
+/// conflicting with another tile's wiring would be a bug, not an input
+/// error).
+pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcome {
+    let tiles = TileGrid::new(problem, cfg.tile);
+    let base = problem.base_grid();
+    let global_plan = plan(problem, &tiles);
+
+    // All real pin slots, to keep crossings off them.
+    let pin_slots: HashSet<(Point, Layer)> = problem
+        .nets()
+        .iter()
+        .flat_map(|n| n.pins.iter().map(|p| (p.at, p.layer)))
+        .collect();
+
+    // Nets crossing each edge.
+    let mut edge_nets: BTreeMap<TileEdge, Vec<NetId>> = BTreeMap::new();
+    for (idx, edges) in global_plan.net_edges.iter().enumerate() {
+        for &e in edges {
+            edge_nets.entry(e).or_default().push(NetId(idx as u32));
+        }
+    }
+
+    // Assign concrete boundary cells per crossing; nets whose crossings
+    // cannot all be assigned are dropped to the fallback.
+    let mut dropped: BTreeSet<NetId> = BTreeSet::new();
+    let mut crossing_pins: HashMap<(TileId, NetId), Vec<Pin>> = HashMap::new();
+    for (&edge, nets) in &edge_nets {
+        let (layer, pairs) = tiles.edge_cells(edge, &base);
+        let usable: Vec<(Point, Point)> = pairs
+            .into_iter()
+            .filter(|&(pa, pb)| {
+                !pin_slots.contains(&(pa, layer)) && !pin_slots.contains(&(pb, layer))
+            })
+            .collect();
+        // Order nets along the edge by the centroid of their pins on the
+        // edge's axis, so crossings do not needlessly swap inside tiles.
+        let mut ordered = nets.clone();
+        let centroid = |id: NetId| -> i64 {
+            let net = problem.net(id);
+            let sum: i64 = net
+                .pins
+                .iter()
+                .map(|p| if edge.is_horizontal() { p.at.y as i64 } else { p.at.x as i64 })
+                .sum();
+            sum / net.pins.len() as i64
+        };
+        ordered.sort_by_key(|&id| (centroid(id), id.0));
+        if ordered.len() > usable.len() {
+            // Over-subscribed edge: the overflowing nets go flat.
+            for &id in &ordered[usable.len()..] {
+                dropped.insert(id);
+            }
+            ordered.truncate(usable.len());
+        }
+        // Spread the kept nets evenly across the usable offsets.
+        let n = ordered.len();
+        for (i, &id) in ordered.iter().enumerate() {
+            let slot = if n <= 1 {
+                usable.len() / 2
+            } else {
+                i * (usable.len() - 1) / (n - 1)
+            };
+            let (pa, pb) = usable[slot];
+            crossing_pins.entry((edge.a, id)).or_default().push(Pin::new(pa, layer));
+            crossing_pins.entry((edge.b, id)).or_default().push(Pin::new(pb, layer));
+        }
+    }
+    // Purge every crossing of dropped nets.
+    crossing_pins.retain(|(_, id), _| !dropped.contains(id));
+
+    // Per-tile nets: real pins plus crossings.
+    let mut tile_nets: BTreeMap<TileId, BTreeMap<NetId, Vec<Pin>>> = BTreeMap::new();
+    for net in problem.nets() {
+        for pin in &net.pins {
+            tile_nets
+                .entry(tiles.tile_of(pin.at))
+                .or_default()
+                .entry(net.id)
+                .or_default()
+                .push(*pin);
+        }
+    }
+    for ((tile, id), pins) in &crossing_pins {
+        tile_nets
+            .entry(*tile)
+            .or_default()
+            .entry(*id)
+            .or_default()
+            .extend(pins.iter().copied());
+    }
+
+    // Build every tile sub-problem, route them (in parallel — tiles are
+    // disjoint, so their routings are independent), then paste the
+    // traces back in deterministic tile order.
+    struct TileJob {
+        origin: Point,
+        sub: Problem,
+        names: Vec<(NetId, String)>,
+    }
+    let mut jobs: Vec<TileJob> = Vec::with_capacity(tile_nets.len());
+    for (tile, nets) in &tile_nets {
+        let rect = tiles.rect(*tile);
+        let origin = rect.min();
+        let mut builder = ProblemBuilder::switchbox(rect.width(), rect.height());
+        builder.layers(problem.layers());
+        // Copy the blocked cells of the enabled layers.
+        for p in rect.cells() {
+            for layer in Layer::ALL.into_iter().take(problem.layers() as usize) {
+                if base.occupant(p, layer) == Occupant::Blocked {
+                    builder
+                        .obstacle_on(Point::new(p.x - origin.x, p.y - origin.y), layer);
+                }
+            }
+        }
+        let mut names: Vec<(NetId, String)> = Vec::new();
+        for (&id, pins) in nets {
+            if dropped.contains(&id) && !pins.iter().any(|p| pin_slots.contains(&(p.at, p.layer)))
+            {
+                continue; // dropped net with only crossings here
+            }
+            let name = problem.net(id).name.clone();
+            let mut nb = builder.net(&name);
+            for pin in pins {
+                // Dropped nets keep only their real pins (as blockers).
+                if dropped.contains(&id) && !pin_slots.contains(&(pin.at, pin.layer)) {
+                    continue;
+                }
+                nb.pin_at(Point::new(pin.at.x - origin.x, pin.at.y - origin.y), pin.layer);
+            }
+            names.push((id, name));
+        }
+        let sub = builder.build().expect("tile sub-problems are valid by construction");
+        jobs.push(TileJob { origin, sub, names });
+    }
+
+    let router = MightyRouter::new(cfg.router);
+    let outcomes: Vec<mighty::RouteOutcome> = if cfg.parallel && jobs.len() > 1 {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let chunk = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|chunk| {
+                    let router = &router;
+                    scope.spawn(move || {
+                        chunk.iter().map(|job| router.route(&job.sub)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tile routing threads do not panic"))
+                .collect()
+        })
+    } else {
+        jobs.iter().map(|job| router.route(&job.sub)).collect()
+    };
+
+    let mut db = RouteDb::new(problem);
+    let mut tile_failures: BTreeSet<NetId> = BTreeSet::new();
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        let origin = job.origin;
+        for (global_id, name) in &job.names {
+            let local = job.sub.net_by_name(name).expect("declared above");
+            if outcome.failed().contains(&local.id) {
+                tile_failures.insert(*global_id);
+            }
+            for (_, trace) in outcome.db().traces(local.id) {
+                let steps: Vec<Step> = trace
+                    .steps()
+                    .iter()
+                    .map(|s| {
+                        Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer)
+                    })
+                    .collect();
+                let trace = Trace::from_steps(steps).expect("translation preserves contiguity");
+                db.commit(*global_id, trace)
+                    .expect("tiles are disjoint, so pasted traces cannot conflict");
+            }
+        }
+    }
+
+    let incomplete_before_fallback: Vec<NetId> = (0..problem.nets().len() as u32)
+        .map(NetId)
+        .filter(|&id| !db.is_net_connected(id))
+        .collect();
+
+    let mut stats = GlobalStats {
+        tiles: (tiles.cols(), tiles.rows()),
+        crossings: global_plan.crossings,
+        overflowed_edges: global_plan.overflowed_edges,
+        dropped: dropped.len(),
+        tile_failures: tile_failures.len(),
+        fallback_completed: 0,
+    };
+
+    let (db, failed) = if cfg.fallback && !incomplete_before_fallback.is_empty() {
+        let outcome = router.route_incremental(problem, db);
+        let failed = outcome.failed().to_vec();
+        stats.fallback_completed = incomplete_before_fallback
+            .iter()
+            .filter(|id| !failed.contains(id))
+            .count();
+        (outcome.into_db(), failed)
+    } else {
+        (db, incomplete_before_fallback)
+    };
+
+    GlobalOutcome { db, failed, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_benchdata::gen::{ObstructedGen, SwitchboxGen};
+    use route_model::PinSide;
+    use route_verify::verify;
+
+    fn hierarchical(problem: &Problem, tile: u32, fallback: bool) -> GlobalOutcome {
+        let cfg = GlobalConfig { tile, fallback, ..GlobalConfig::default() };
+        let out = route_hierarchical(problem, &cfg);
+        let report = verify(problem, out.db());
+        assert!(
+            report.is_clean() || report.is_legal_but_incomplete(),
+            "hierarchical routing must stay legal: {report}"
+        );
+        out
+    }
+
+    #[test]
+    fn straight_nets_route_across_tiles() {
+        let mut b = ProblemBuilder::switchbox(32, 8);
+        b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 5);
+        b.net("b").pin_side(PinSide::Left, 5).pin_side(PinSide::Right, 2);
+        let p = b.build().unwrap();
+        let out = hierarchical(&p, 8, false);
+        assert!(out.is_complete(), "failed: {:?} ({:?})", out.failed(), out.stats());
+        assert!(out.stats().crossings >= 6, "both nets cross three edges");
+    }
+
+    #[test]
+    fn random_floorplan_routes_without_fallback_mostly() {
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let out = hierarchical(&p, 16, false);
+        // Most nets complete through the tiled phase alone.
+        assert!(
+            out.failed().len() <= 3,
+            "too many tiled-phase failures: {:?} ({:?})",
+            out.failed(),
+            out.stats()
+        );
+    }
+
+    #[test]
+    fn fallback_completes_what_tiles_cannot() {
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let without = hierarchical(&p, 16, false);
+        let with = hierarchical(&p, 16, true);
+        assert!(with.failed().len() <= without.failed().len());
+        if without.failed().len() > with.failed().len() {
+            assert!(with.stats().fallback_completed > 0);
+        }
+    }
+
+    #[test]
+    fn obstructed_floorplan_stays_legal() {
+        let p = ObstructedGen { width: 36, height: 36, nets: 10, obstacle_pct: 12, seed: 4 }
+            .build();
+        let out = hierarchical(&p, 12, true);
+        let report = verify(&p, out.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+    }
+
+    #[test]
+    fn multi_pin_net_connects_through_tile_tree() {
+        let mut b = ProblemBuilder::switchbox(24, 24);
+        b.net("t")
+            .pin_side(PinSide::Left, 12)
+            .pin_side(PinSide::Right, 12)
+            .pin_side(PinSide::Top, 12)
+            .pin_side(PinSide::Bottom, 12);
+        let p = b.build().unwrap();
+        let out = hierarchical(&p, 8, false);
+        assert!(out.is_complete(), "failed: {:?} ({:?})", out.failed(), out.stats());
+    }
+
+    #[test]
+    fn intra_tile_problem_degenerates_to_flat() {
+        let mut b = ProblemBuilder::switchbox(8, 8);
+        b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 5);
+        let p = b.build().unwrap();
+        let out = hierarchical(&p, 16, false);
+        assert!(out.is_complete());
+        assert_eq!(out.stats().tiles, (1, 1));
+        assert_eq!(out.stats().crossings, 0);
+    }
+}

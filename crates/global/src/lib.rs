@@ -1,0 +1,82 @@
+//! Hierarchical route planner: global routing over a capacitated tile
+//! graph, detailed routing per tile.
+//!
+//! Flat detailed routing explores the whole grid per connection; on
+//! chip-scale floorplans that is wasteful and, historically, impossible
+//! — the macro-cell flows of the era planned nets over a coarse tile
+//! (global-cell) grid first and handed each tile's crossing points to a
+//! detailed router. This crate reproduces that pipeline on top of the
+//! workspace's substrates:
+//!
+//! 1. **Tiling** ([`TileGrid`]): the floorplan is cut into tiles; each
+//!    pair of adjacent tiles gets an edge whose *capacity* is the number
+//!    of unblocked boundary cells between them.
+//! 2. **Planning** ([`plan`]): each net is routed over the tile graph
+//!    with congestion-aware Dijkstra (cost grows as an edge fills;
+//!    full edges are impassable), producing a tree of tiles per net.
+//! 3. **Crossing assignment**: every tile-edge crossing is pinned to a
+//!    concrete boundary cell (horizontal crossings on M1, vertical on
+//!    M2), nets spread across the edge in order of their destinations.
+//! 4. **Detailed routing** ([`route_hierarchical`]): each tile becomes a
+//!    sub-problem — real pins inside plus crossing pins on the boundary
+//!    — solved by the rip-up/reroute router; the resulting traces are
+//!    translated back and committed into one global database.
+//! 5. **Fallback**: nets that failed inside some tile are re-attempted
+//!    flat on the full grid with the incremental router.
+//!
+//! The final database verifies through `route-verify` like any flat
+//! result: cross-tile connectivity needs no stitching because crossing
+//! cells of adjacent tiles are grid-adjacent on the same layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_benchdata::gen::SwitchboxGen;
+//! use route_global::{route_hierarchical, GlobalConfig};
+//! use route_verify::verify;
+//!
+//! let problem = SwitchboxGen { width: 32, height: 32, nets: 12, seed: 5 }.build();
+//! let outcome = route_hierarchical(&problem, &GlobalConfig::default());
+//! let report = verify(&problem, outcome.db());
+//! assert!(report.is_clean() || report.is_legal_but_incomplete());
+//! ```
+
+#![warn(missing_docs)]
+
+mod detail;
+mod plan;
+mod tiles;
+
+pub use detail::{route_hierarchical, GlobalOutcome, GlobalStats};
+pub use plan::{plan, GlobalPlan};
+pub use tiles::{TileGrid, TileId};
+
+use mighty::RouterConfig;
+
+/// Configuration of the hierarchical pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalConfig {
+    /// Tile side length in grid cells (the last row/column of tiles may
+    /// be smaller).
+    pub tile: u32,
+    /// Detailed-router configuration used inside every tile (and for the
+    /// flat fallback).
+    pub router: RouterConfig,
+    /// Re-attempt nets that failed inside a tile flat on the full grid.
+    pub fallback: bool,
+    /// Route tiles on multiple threads. Tiles are disjoint, so parallel
+    /// routing is deterministic — results are pasted in tile order
+    /// regardless of completion order.
+    pub parallel: bool,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        GlobalConfig {
+            tile: 16,
+            router: RouterConfig::default(),
+            fallback: true,
+            parallel: true,
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Congestion-aware global routing over the tile graph.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+
+use route_geom::Rect;
+use route_model::{NetId, Problem};
+
+use crate::tiles::{TileEdge, TileGrid, TileId};
+
+/// The result of the planning phase: per net, the tree of tile edges the
+/// net will cross.
+#[derive(Debug, Clone)]
+pub struct GlobalPlan {
+    pub(crate) net_edges: Vec<BTreeSet<TileEdge>>,
+    /// Edges whose planned usage exceeds their boundary capacity.
+    pub overflowed_edges: usize,
+    /// Total tile-edge crossings planned.
+    pub crossings: usize,
+}
+
+/// Plans every net of `problem` over `tiles`.
+///
+/// Nets are processed smallest pin bounding box first; each connection
+/// runs a Dijkstra over the tile graph whose edge cost grows with the
+/// edge's current usage relative to its capacity. Saturated edges stay
+/// passable at a steep penalty so every net receives a plan; overflow is
+/// reported and resolved later (the over-subscribed crossings simply
+/// fail assignment and fall back to flat routing).
+pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
+    let base = problem.base_grid();
+    // Edge capacities.
+    let mut capacity: BTreeMap<TileEdge, usize> = BTreeMap::new();
+    for t in tiles.tiles() {
+        for n in tiles.neighbors(t) {
+            let edge = TileEdge::new(t, n);
+            capacity
+                .entry(edge)
+                .or_insert_with(|| tiles.edge_cells(edge, &base).1.len());
+        }
+    }
+    let mut usage: BTreeMap<TileEdge, usize> = BTreeMap::new();
+
+    // Net order: small bounding boxes first.
+    let mut order: Vec<NetId> = problem.nets().iter().map(|n| n.id).collect();
+    order.sort_by_key(|&id| {
+        let net = problem.net(id);
+        let first = net.pins[0].at;
+        let bbox = net
+            .pins
+            .iter()
+            .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+        (bbox.width() + bbox.height(), id.0)
+    });
+
+    let mut net_edges: Vec<BTreeSet<TileEdge>> = vec![BTreeSet::new(); problem.nets().len()];
+    for id in order {
+        let net = problem.net(id);
+        let mut pin_tiles: Vec<TileId> = net.pins.iter().map(|p| tiles.tile_of(p.at)).collect();
+        pin_tiles.sort_unstable();
+        pin_tiles.dedup();
+        if pin_tiles.len() <= 1 {
+            continue;
+        }
+        let mut component: HashSet<TileId> = HashSet::from([pin_tiles[0]]);
+        for &target in &pin_tiles[1..] {
+            if component.contains(&target) {
+                continue;
+            }
+            if let Some(path) = dijkstra(tiles, &component, target, &capacity, &usage) {
+                for window in path.windows(2) {
+                    let edge = TileEdge::new(window[0], window[1]);
+                    *usage.entry(edge).or_insert(0) += 1;
+                    net_edges[id.index()].insert(edge);
+                }
+                component.extend(path);
+            }
+            // No path only happens when the tile graph is disconnected
+            // (capacity-zero cuts); the net is left partially planned and
+            // the fallback pass picks it up.
+        }
+    }
+
+    let overflowed_edges = usage
+        .iter()
+        .filter(|(e, &u)| u > capacity.get(e).copied().unwrap_or(0))
+        .count();
+    let crossings = net_edges.iter().map(BTreeSet::len).sum();
+    GlobalPlan { net_edges, overflowed_edges, crossings }
+}
+
+/// Dijkstra from any tile of `sources` to `target`; returns the tile
+/// path (source first). Saturated edges cost heavily but remain usable;
+/// zero-capacity edges are impassable.
+fn dijkstra(
+    tiles: &TileGrid,
+    sources: &HashSet<TileId>,
+    target: TileId,
+    capacity: &BTreeMap<TileEdge, usize>,
+    usage: &BTreeMap<TileEdge, usize>,
+) -> Option<Vec<TileId>> {
+    let edge_cost = |edge: TileEdge| -> Option<u64> {
+        let cap = capacity.get(&edge).copied().unwrap_or(0);
+        if cap == 0 {
+            return None;
+        }
+        let used = usage.get(&edge).copied().unwrap_or(0);
+        // 1 per hop, plus growing congestion pressure, plus a cliff when
+        // the edge would overflow.
+        let congestion = (4 * used / cap) as u64;
+        let overflow = if used >= cap { 1000 } else { 0 };
+        Some(1 + congestion + overflow)
+    };
+
+    let mut dist: HashMap<TileId, u64> = HashMap::new();
+    let mut prev: HashMap<TileId, TileId> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, (u32, u32))>> = BinaryHeap::new();
+    for &s in sources {
+        dist.insert(s, 0);
+        heap.push(Reverse((0, (s.col, s.row))));
+    }
+    while let Some(Reverse((d, (col, row)))) = heap.pop() {
+        let t = TileId { col, row };
+        if d > dist.get(&t).copied().unwrap_or(u64::MAX) {
+            continue;
+        }
+        if t == target {
+            // Reconstruct.
+            let mut path = vec![t];
+            let mut cur = t;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for n in tiles.neighbors(t) {
+            let Some(cost) = edge_cost(TileEdge::new(t, n)) else { continue };
+            let nd = d + cost;
+            if nd < dist.get(&n).copied().unwrap_or(u64::MAX) {
+                dist.insert(n, nd);
+                prev.insert(n, t);
+                heap.push(Reverse((nd, (n.col, n.row))));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_geom::Point;
+    use route_model::{PinSide, ProblemBuilder};
+
+    #[test]
+    fn straight_net_plans_a_straight_tile_path() {
+        let mut b = ProblemBuilder::switchbox(32, 8);
+        b.net("a").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 8);
+        let plan = plan(&p, &tiles);
+        // 4 tiles across, 3 edges to cross.
+        assert_eq!(plan.net_edges[0].len(), 3);
+        assert_eq!(plan.crossings, 3);
+        assert_eq!(plan.overflowed_edges, 0);
+        for e in &plan.net_edges[0] {
+            assert!(e.is_horizontal());
+            assert_eq!(e.a.row, 0);
+        }
+    }
+
+    #[test]
+    fn intra_tile_net_needs_no_crossings() {
+        let mut b = ProblemBuilder::switchbox(32, 32);
+        b.net("local").pin_at(Point::new(1, 1), route_geom::Layer::M1).pin_at(
+            Point::new(5, 5),
+            route_geom::Layer::M1,
+        );
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 16);
+        let plan = plan(&p, &tiles);
+        assert!(plan.net_edges[0].is_empty());
+    }
+
+    #[test]
+    fn congestion_spreads_nets_over_parallel_rows() {
+        // Many nets crossing left to right through a 2-tall tile grid:
+        // congestion cost should push some onto the upper row of tiles.
+        let mut b = ProblemBuilder::switchbox(16, 16);
+        for i in 0..7 {
+            b.net(format!("n{i}")).pin_side(PinSide::Left, i).pin_side(PinSide::Right, i);
+        }
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 8);
+        let g = plan(&p, &tiles);
+        assert_eq!(g.overflowed_edges, 0, "capacity 8 vs 7 nets: no overflow needed");
+        // Every net is planned, and as the direct edge fills up, the
+        // congestion cost pushes later nets onto the 3-hop detour
+        // through the upper tile row.
+        assert!(g.net_edges.iter().all(|e| !e.is_empty()));
+        assert!(
+            g.net_edges.iter().any(|e| e.len() == 1),
+            "early nets take the direct edge"
+        );
+        assert!(
+            g.net_edges.iter().any(|e| e.len() > 1),
+            "late nets detour around the congested edge"
+        );
+    }
+
+    #[test]
+    fn multi_pin_nets_plan_trees() {
+        let mut b = ProblemBuilder::switchbox(32, 32);
+        b.net("t")
+            .pin_side(PinSide::Left, 16)
+            .pin_side(PinSide::Right, 16)
+            .pin_side(PinSide::Top, 16)
+            .pin_side(PinSide::Bottom, 16);
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 16);
+        let g = plan(&p, &tiles);
+        // Four pin tiles (the four quadrants); a tree needs >= 3 edges.
+        assert!(g.net_edges[0].len() >= 3, "{:?}", g.net_edges[0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! The tile (global-cell) grid and its capacitated edges.
+
+use route_geom::{Layer, Point, Rect};
+use route_model::{Grid, Occupant, Problem};
+
+/// Identifier of a tile: its column and row in the tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId {
+    /// Tile column (0 = leftmost).
+    pub col: u32,
+    /// Tile row (0 = bottom).
+    pub row: u32,
+}
+
+/// A directed-free edge between two adjacent tiles, normalised so `a` is
+/// the lower/left tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct TileEdge {
+    pub a: TileId,
+    pub b: TileId,
+}
+
+impl TileEdge {
+    pub(crate) fn new(a: TileId, b: TileId) -> Self {
+        if (a.col, a.row) <= (b.col, b.row) {
+            TileEdge { a, b }
+        } else {
+            TileEdge { a: b, b: a }
+        }
+    }
+
+    /// Whether the edge joins horizontally adjacent tiles.
+    pub(crate) fn is_horizontal(&self) -> bool {
+        self.a.row == self.b.row
+    }
+}
+
+/// The tile grid over a problem's floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use route_benchdata::gen::SwitchboxGen;
+/// use route_global::TileGrid;
+///
+/// let problem = SwitchboxGen { width: 40, height: 24, nets: 6, seed: 1 }.build();
+/// let tiles = TileGrid::new(&problem, 16);
+/// assert_eq!((tiles.cols(), tiles.rows()), (3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    tile: u32,
+    cols: u32,
+    rows: u32,
+    width: u32,
+    height: u32,
+}
+
+impl TileGrid {
+    /// Tiles `problem`'s grid with `tile`-sized squares (ragged at the
+    /// top/right edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is zero.
+    pub fn new(problem: &Problem, tile: u32) -> Self {
+        assert!(tile > 0, "tile size must be non-zero");
+        TileGrid {
+            tile,
+            cols: problem.width().div_ceil(tile),
+            rows: problem.height().div_ceil(tile),
+            width: problem.width(),
+            height: problem.height(),
+        }
+    }
+
+    /// Number of tile columns.
+    pub const fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of tile rows.
+    pub const fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The tile containing grid point `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-grid points.
+    pub fn tile_of(&self, p: Point) -> TileId {
+        debug_assert!(p.x >= 0 && p.y >= 0, "point {p} outside the grid");
+        TileId { col: p.x as u32 / self.tile, row: p.y as u32 / self.tile }
+    }
+
+    /// The cell rectangle covered by `t`.
+    pub fn rect(&self, t: TileId) -> Rect {
+        let x0 = (t.col * self.tile) as i32;
+        let y0 = (t.row * self.tile) as i32;
+        let w = self.tile.min(self.width - t.col * self.tile);
+        let h = self.tile.min(self.height - t.row * self.tile);
+        Rect::with_size(Point::new(x0, y0), w, h)
+    }
+
+    /// All tiles, row-major.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> + '_ {
+        (0..self.rows).flat_map(move |row| (0..self.cols).map(move |col| TileId { col, row }))
+    }
+
+    /// The neighbours of `t` in the tile grid.
+    pub(crate) fn neighbors(&self, t: TileId) -> Vec<TileId> {
+        let mut out = Vec::with_capacity(4);
+        if t.col > 0 {
+            out.push(TileId { col: t.col - 1, row: t.row });
+        }
+        if t.col + 1 < self.cols {
+            out.push(TileId { col: t.col + 1, row: t.row });
+        }
+        if t.row > 0 {
+            out.push(TileId { col: t.col, row: t.row - 1 });
+        }
+        if t.row + 1 < self.rows {
+            out.push(TileId { col: t.col, row: t.row + 1 });
+        }
+        out
+    }
+
+    /// The boundary cell pairs of an edge: for each usable offset, the
+    /// cell on side `a` and the grid-adjacent cell on side `b`, plus the
+    /// crossing layer (M1 for horizontal edges, M2 for vertical).
+    ///
+    /// An offset is usable when both cells are unblocked on the crossing
+    /// layer in `base`.
+    pub(crate) fn edge_cells(&self, edge: TileEdge, base: &Grid) -> (Layer, Vec<(Point, Point)>) {
+        let ra = self.rect(edge.a);
+        let rb = self.rect(edge.b);
+        let mut pairs = Vec::new();
+        let layer = if edge.is_horizontal() { Layer::M1 } else { Layer::M2 };
+        if edge.is_horizontal() {
+            let xa = ra.max().x;
+            let xb = rb.min().x;
+            for y in ra.min().y..=ra.max().y {
+                let (pa, pb) = (Point::new(xa, y), Point::new(xb, y));
+                if base.occupant(pa, layer) != Occupant::Blocked
+                    && base.occupant(pb, layer) != Occupant::Blocked
+                {
+                    pairs.push((pa, pb));
+                }
+            }
+        } else {
+            let ya = ra.max().y;
+            let yb = rb.min().y;
+            for x in ra.min().x..=ra.max().x {
+                let (pa, pb) = (Point::new(x, ya), Point::new(x, yb));
+                if base.occupant(pa, layer) != Occupant::Blocked
+                    && base.occupant(pb, layer) != Occupant::Blocked
+                {
+                    pairs.push((pa, pb));
+                }
+            }
+        }
+        (layer, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_model::{PinSide, ProblemBuilder};
+
+    fn toy(width: u32, height: u32) -> Problem {
+        let mut b = ProblemBuilder::switchbox(width, height);
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Right, 0);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn tiling_covers_the_grid_exactly() {
+        let p = toy(20, 13);
+        let tiles = TileGrid::new(&p, 8);
+        assert_eq!((tiles.cols(), tiles.rows()), (3, 2));
+        let mut covered = 0u64;
+        for t in tiles.tiles() {
+            covered += tiles.rect(t).area();
+        }
+        assert_eq!(covered, 20 * 13);
+        // Every point maps to the tile whose rect contains it.
+        for p in p.base_grid().bounds().cells() {
+            let t = tiles.tile_of(p);
+            assert!(tiles.rect(t).contains(p), "{p} not in tile {t:?}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let p = toy(24, 24);
+        let tiles = TileGrid::new(&p, 8);
+        let center = TileId { col: 1, row: 1 };
+        assert_eq!(tiles.neighbors(center).len(), 4);
+        let corner = TileId { col: 0, row: 0 };
+        assert_eq!(tiles.neighbors(corner).len(), 2);
+    }
+
+    #[test]
+    fn edge_cells_skip_blocked_columns() {
+        let mut b = ProblemBuilder::switchbox(16, 8);
+        // Block part of the boundary between the two tiles (x = 7, 8).
+        for y in 0..4 {
+            b.obstacle(Point::new(7, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Right, 0);
+        let p = b.build().expect("valid");
+        let tiles = TileGrid::new(&p, 8);
+        let edge = TileEdge::new(TileId { col: 0, row: 0 }, TileId { col: 1, row: 0 });
+        let (layer, pairs) = tiles.edge_cells(edge, &p.base_grid());
+        assert_eq!(layer, Layer::M1);
+        assert_eq!(pairs.len(), 4, "rows 0-3 are blocked on the a-side");
+        for (pa, pb) in pairs {
+            assert_eq!(pa.x, 7);
+            assert_eq!(pb.x, 8);
+            assert!(pa.y >= 4);
+        }
+    }
+
+    #[test]
+    fn vertical_edges_cross_on_m2() {
+        let p = toy(8, 16);
+        let tiles = TileGrid::new(&p, 8);
+        let edge = TileEdge::new(TileId { col: 0, row: 0 }, TileId { col: 0, row: 1 });
+        let (layer, pairs) = tiles.edge_cells(edge, &p.base_grid());
+        assert_eq!(layer, Layer::M2);
+        assert_eq!(pairs.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tile_rejected() {
+        let p = toy(8, 8);
+        let _ = TileGrid::new(&p, 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Weighted A* path search over the multi-layer occupancy grid.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use route_geom::{Dir, Layer, Point, NUM_LAYERS};
+use route_model::{Grid, NetId, Occupant, Step, Trace};
+
+use crate::CostModel;
+
+/// A path-search request: connect any of `sources` to any of `targets`
+/// with wiring of `net` over `grid`.
+///
+/// Sources are typically the net's already-connected component (pins plus
+/// committed wiring); targets the next pin to attach. Slots the net may
+/// not occupy are silently dropped from both sets.
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    /// The occupancy grid to search.
+    pub grid: &'a Grid,
+    /// The net being routed.
+    pub net: NetId,
+    /// Starting slots (cost zero).
+    pub sources: Vec<Step>,
+    /// Goal slots; the search stops at the first one settled.
+    pub targets: Vec<Step>,
+    /// Cost weights.
+    pub cost: CostModel,
+}
+
+/// Search effort counters, used by the scaling experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Nodes settled (popped with final cost).
+    pub expanded: usize,
+    /// Edge relaxations attempted.
+    pub relaxed: usize,
+}
+
+/// A successful hard search: a committable [`Trace`] and its cost.
+#[derive(Debug, Clone)]
+pub struct FoundPath {
+    /// The path, from a source to a target.
+    pub trace: Trace,
+    /// Total path cost under the query's [`CostModel`].
+    pub cost: u64,
+    /// Effort counters.
+    pub stats: SearchStats,
+}
+
+/// A successful interference (soft) search: the path plus every foreign
+/// slot it crosses.
+#[derive(Debug, Clone)]
+pub struct SoftPath {
+    /// The path, from a source to a target.
+    pub trace: Trace,
+    /// Total path cost including interference penalties.
+    pub cost: u64,
+    /// Foreign slots on the path, with their owning net at search time.
+    /// Empty means the path is committable as-is.
+    pub crossings: Vec<(NetId, Step)>,
+    /// Effort counters.
+    pub stats: SearchStats,
+}
+
+/// Finds a minimum-cost path using only cells that are free or already
+/// owned by the queried net.
+///
+/// Returns `None` when no such path exists (or the source/target sets are
+/// empty after dropping unusable slots).
+pub fn find_path(query: &Query<'_>) -> Option<FoundPath> {
+    let found = run(query, None)?;
+    Some(FoundPath { trace: found.trace, cost: found.cost, stats: found.stats })
+}
+
+/// Finds a minimum-cost path that may additionally cross slots occupied
+/// by other nets, paying `soft(point, layer, owner)` extra per crossed
+/// slot. A return of `None` from the closure marks that slot impassable
+/// (e.g. a foreign pin, which can never be moved out of the way).
+///
+/// The returned [`SoftPath::crossings`] lists every foreign slot on the
+/// chosen path — the candidates for weak or strong modification.
+pub fn find_path_soft(
+    query: &Query<'_>,
+    soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
+) -> Option<SoftPath> {
+    run(query, Some(soft))
+}
+
+const NO_PREV: u32 = u32::MAX;
+
+#[inline]
+fn node_index(grid: &Grid, p: Point, layer: Layer) -> usize {
+    (p.y as usize * grid.width() as usize + p.x as usize) * NUM_LAYERS + layer.index()
+}
+
+#[inline]
+fn node_point(grid: &Grid, idx: usize) -> (Point, Layer) {
+    let layer = Layer::from_index(idx % NUM_LAYERS);
+    let cell = idx / NUM_LAYERS;
+    let w = grid.width() as usize;
+    (Point::new((cell % w) as i32, (cell / w) as i32), layer)
+}
+
+/// Cost of entering `(p, layer)` for `net`, or `None` if impassable.
+fn enter_cost(
+    grid: &Grid,
+    net: NetId,
+    p: Point,
+    layer: Layer,
+    soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
+) -> Option<u64> {
+    if !grid.in_bounds(p) {
+        return None;
+    }
+    match grid.occupant(p, layer) {
+        Occupant::Free => Some(0),
+        Occupant::Net(owner) if owner == net => Some(0),
+        Occupant::Net(owner) => soft.and_then(|f| f(p, layer, owner)),
+        Occupant::Blocked => None,
+    }
+}
+
+fn run(
+    query: &Query<'_>,
+    soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
+) -> Option<SoftPath> {
+    let grid = query.grid;
+    let n_nodes = grid.width() as usize * grid.height() as usize * NUM_LAYERS;
+    let mut dist: Vec<u64> = vec![u64::MAX; n_nodes];
+    let mut prev: Vec<u32> = vec![NO_PREV; n_nodes];
+    let mut target_mask: Vec<bool> = vec![false; n_nodes];
+    let mut stats = SearchStats::default();
+
+    let usable = |s: &Step| grid.admits(s.at, s.layer, query.net);
+    let targets: Vec<Step> = query.targets.iter().filter(|s| usable(s)).copied().collect();
+    if targets.is_empty() {
+        return None;
+    }
+    for t in &targets {
+        target_mask[node_index(grid, t.at, t.layer)] = true;
+    }
+    let heuristic = |p: Point| -> u64 {
+        targets
+            .iter()
+            .map(|t| p.manhattan(t.at) as u64 * query.cost.step as u64)
+            .min()
+            .unwrap_or(0)
+    };
+
+    // Min-heap keyed by f = g + h; tiebreak on g to prefer settled depth.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut any_source = false;
+    for s in query.sources.iter().filter(|s| usable(s)) {
+        let idx = node_index(grid, s.at, s.layer);
+        if dist[idx] == u64::MAX {
+            dist[idx] = 0;
+            heap.push(Reverse((heuristic(s.at), 0, idx as u32)));
+        }
+        any_source = true;
+    }
+    if !any_source {
+        return None;
+    }
+
+    let mut reached: Option<usize> = None;
+    while let Some(Reverse((_f, g, idx))) = heap.pop() {
+        let idx = idx as usize;
+        if g > dist[idx] {
+            continue; // stale entry
+        }
+        stats.expanded += 1;
+        if target_mask[idx] {
+            reached = Some(idx);
+            break;
+        }
+        let (p, layer) = node_point(grid, idx);
+
+        // Wire steps in the four directions.
+        for dir in Dir::ALL {
+            let np = p.step(dir);
+            stats.relaxed += 1;
+            let Some(extra) = enter_cost(grid, query.net, np, layer, soft) else {
+                continue;
+            };
+            let step_cost = query.cost.step_cost(layer, dir.axis()) as u64;
+            let ng = g + step_cost + extra;
+            let nidx = node_index(grid, np, layer);
+            if ng < dist[nidx] {
+                dist[nidx] = ng;
+                prev[nidx] = idx as u32;
+                heap.push(Reverse((ng + heuristic(np), ng, nidx as u32)));
+            }
+        }
+
+        // Layer changes (vias) to the adjacent layers at the same point.
+        for other in layer.adjacent() {
+            stats.relaxed += 1;
+            if let Some(extra) = enter_cost(grid, query.net, p, other, soft) {
+                let ng = g + query.cost.via as u64 + extra;
+                let nidx = node_index(grid, p, other);
+                if ng < dist[nidx] {
+                    dist[nidx] = ng;
+                    prev[nidx] = idx as u32;
+                    heap.push(Reverse((ng + heuristic(p), ng, nidx as u32)));
+                }
+            }
+        }
+    }
+
+    let end = reached?;
+    let cost = dist[end];
+
+    // Reconstruct the path source -> target.
+    let mut steps_rev: Vec<Step> = Vec::new();
+    let mut cur = end;
+    loop {
+        let (p, layer) = node_point(grid, cur);
+        steps_rev.push(Step::new(p, layer));
+        if prev[cur] == NO_PREV {
+            break;
+        }
+        cur = prev[cur] as usize;
+    }
+    steps_rev.reverse();
+    let crossings: Vec<(NetId, Step)> = steps_rev
+        .iter()
+        .filter_map(|s| match grid.occupant(s.at, s.layer) {
+            Occupant::Net(owner) if owner != query.net => Some((owner, *s)),
+            _ => None,
+        })
+        .collect();
+    let trace = Trace::from_steps(steps_rev).expect("search paths are contiguous");
+    Some(SoftPath { trace, cost, crossings, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_model::{PinSide, ProblemBuilder, RouteDb};
+
+    fn grid_with(problem: &route_model::Problem) -> RouteDb {
+        RouteDb::new(problem)
+    }
+
+    fn simple_problem() -> route_model::Problem {
+        let mut b = ProblemBuilder::switchbox(8, 8);
+        b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        b.net("b").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        b.build().unwrap()
+    }
+
+    fn query<'a>(
+        grid: &'a Grid,
+        net: NetId,
+        from: Step,
+        to: Step,
+    ) -> Query<'a> {
+        Query { grid, net, sources: vec![from], targets: vec![to], cost: CostModel::default() }
+    }
+
+    #[test]
+    fn straight_shot_has_minimal_cost() {
+        let p = simple_problem();
+        let db = grid_with(&p);
+        let net = p.nets()[0].id;
+        let q = query(
+            db.grid(),
+            net,
+            Step::new(Point::new(0, 3), Layer::M1),
+            Step::new(Point::new(7, 3), Layer::M1),
+        );
+        let found = find_path(&q).expect("path exists");
+        assert_eq!(found.cost, 7); // 7 unit steps on the preferred axis
+        assert_eq!(found.trace.steps().len(), 8);
+        assert_eq!(found.trace.via_points().count(), 0);
+    }
+
+    #[test]
+    fn blocked_straight_line_detours() {
+        let mut b = ProblemBuilder::switchbox(8, 8);
+        // Wall across row 3 except nothing: full column of obstacles at x=4
+        for y in 0..8 {
+            b.obstacle(Point::new(4, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let db = grid_with(&p);
+        let q = query(
+            db.grid(),
+            p.nets()[0].id,
+            Step::new(Point::new(0, 3), Layer::M1),
+            Step::new(Point::new(7, 3), Layer::M1),
+        );
+        assert!(find_path(&q).is_none(), "full wall is impassable");
+    }
+
+    #[test]
+    fn partial_wall_forces_detour() {
+        let mut b = ProblemBuilder::switchbox(8, 8);
+        for y in 0..7 {
+            b.obstacle(Point::new(4, y)); // gap at y=7
+        }
+        b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let db = grid_with(&p);
+        let q = query(
+            db.grid(),
+            p.nets()[0].id,
+            Step::new(Point::new(0, 3), Layer::M1),
+            Step::new(Point::new(7, 3), Layer::M1),
+        );
+        let found = find_path(&q).expect("detour through the gap");
+        assert!(found.cost > 7);
+        assert!(found.trace.steps().iter().any(|s| s.at.y == 7), "passes the gap");
+    }
+
+    #[test]
+    fn via_used_when_cheaper() {
+        // Force a vertical run: M2 is the vertical layer, so the path
+        // from an M1 pin going north should via up to M2.
+        let mut b = ProblemBuilder::switchbox(3, 10);
+        b.net("a").pin_at(Point::new(1, 0), Layer::M1).pin_at(Point::new(1, 9), Layer::M1);
+        let p = b.build().unwrap();
+        let db = grid_with(&p);
+        let q = query(
+            db.grid(),
+            p.nets()[0].id,
+            Step::new(Point::new(1, 0), Layer::M1),
+            Step::new(Point::new(1, 9), Layer::M1),
+        );
+        let found = find_path(&q).expect("path exists");
+        // 9 wrong-way M1 steps would cost 18; two vias (6) + 9 M2 steps = 15.
+        assert_eq!(found.trace.via_points().count(), 2);
+        assert_eq!(found.cost, 15);
+    }
+
+    #[test]
+    fn hard_search_respects_foreign_wiring() {
+        let p = simple_problem();
+        let mut db = grid_with(&p);
+        let (a, bnet) = (p.nets()[0].id, p.nets()[1].id);
+        // Route net a straight across row 3 on M1 AND row 3 on M2 to form
+        // a full wall for net b... instead: wall both layers at column 4.
+        let steps1: Vec<Step> = (0..8).map(|x| Step::new(Point::new(x, 3), Layer::M1)).collect();
+        let steps2: Vec<Step> = (0..8).map(|x| Step::new(Point::new(x, 3), Layer::M2)).collect();
+        db.commit(a, Trace::from_steps(steps1).unwrap()).unwrap();
+        db.commit(a, Trace::from_steps(steps2).unwrap()).unwrap();
+        let q = query(
+            db.grid(),
+            bnet,
+            Step::new(Point::new(4, 0), Layer::M2),
+            Step::new(Point::new(4, 7), Layer::M2),
+        );
+        assert!(find_path(&q).is_none(), "both layers of row 3 are walls");
+    }
+
+    #[test]
+    fn soft_search_crosses_with_penalty_and_reports_crossings() {
+        let p = simple_problem();
+        let mut db = grid_with(&p);
+        let (a, bnet) = (p.nets()[0].id, p.nets()[1].id);
+        let wall1: Vec<Step> = (0..8).map(|x| Step::new(Point::new(x, 3), Layer::M1)).collect();
+        let wall2: Vec<Step> = (0..8).map(|x| Step::new(Point::new(x, 3), Layer::M2)).collect();
+        db.commit(a, Trace::from_steps(wall1).unwrap()).unwrap();
+        db.commit(a, Trace::from_steps(wall2).unwrap()).unwrap();
+        let q = query(
+            db.grid(),
+            bnet,
+            Step::new(Point::new(4, 0), Layer::M2),
+            Step::new(Point::new(4, 7), Layer::M2),
+        );
+        let soft = find_path_soft(&q, &|_, _, _| Some(10)).expect("soft path exists");
+        assert!(!soft.crossings.is_empty());
+        assert!(soft.crossings.iter().all(|(owner, _)| *owner == a));
+        assert!(soft.cost >= 10, "penalty paid");
+    }
+
+    #[test]
+    fn soft_search_honours_impassable_slots() {
+        let p = simple_problem();
+        let mut db = grid_with(&p);
+        let (a, bnet) = (p.nets()[0].id, p.nets()[1].id);
+        // Wall both enabled layers (M3 is blocked in two-layer problems).
+        for layer in [Layer::M1, Layer::M2] {
+            let wall: Vec<Step> = (0..8).map(|x| Step::new(Point::new(x, 3), layer)).collect();
+            db.commit(a, Trace::from_steps(wall).unwrap()).unwrap();
+        }
+        let q = query(
+            db.grid(),
+            bnet,
+            Step::new(Point::new(4, 0), Layer::M2),
+            Step::new(Point::new(4, 7), Layer::M2),
+        );
+        assert!(find_path_soft(&q, &|_, _, _| None).is_none());
+    }
+
+    #[test]
+    fn multi_source_multi_target() {
+        let p = simple_problem();
+        let db = grid_with(&p);
+        let net = p.nets()[0].id;
+        let q = Query {
+            grid: db.grid(),
+            net,
+            sources: vec![
+                Step::new(Point::new(0, 0), Layer::M1),
+                Step::new(Point::new(0, 7), Layer::M1),
+            ],
+            targets: vec![
+                Step::new(Point::new(7, 7), Layer::M1),
+                Step::new(Point::new(2, 7), Layer::M1),
+            ],
+            cost: CostModel::default(),
+        };
+        let found = find_path(&q).unwrap();
+        // Best pairing: (0,7) -> (2,7), cost 2.
+        assert_eq!(found.cost, 2);
+    }
+
+    #[test]
+    fn source_equal_target_gives_trivial_path() {
+        let p = simple_problem();
+        let db = grid_with(&p);
+        let net = p.nets()[0].id;
+        let s = Step::new(Point::new(0, 3), Layer::M1);
+        let q = query(db.grid(), net, s, s);
+        let found = find_path(&q).unwrap();
+        assert_eq!(found.cost, 0);
+        assert_eq!(found.trace.steps(), &[s]);
+    }
+
+    #[test]
+    fn unusable_targets_yield_none() {
+        let p = simple_problem();
+        let db = grid_with(&p);
+        let net = p.nets()[0].id;
+        // Target is another net's pin slot: not admissible.
+        let q = query(
+            db.grid(),
+            net,
+            Step::new(Point::new(0, 3), Layer::M1),
+            Step::new(Point::new(4, 0), Layer::M2),
+        );
+        assert!(find_path(&q).is_none());
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let p = simple_problem();
+        let db = grid_with(&p);
+        let net = p.nets()[0].id;
+        let q = query(
+            db.grid(),
+            net,
+            Step::new(Point::new(0, 3), Layer::M1),
+            Step::new(Point::new(7, 3), Layer::M1),
+        );
+        let found = find_path(&q).unwrap();
+        assert!(found.stats.expanded >= 8);
+        assert!(found.stats.relaxed >= found.stats.expanded);
+    }
+}

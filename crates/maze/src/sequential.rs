@@ -1,0 +1,237 @@
+//! Sequential maze router: the classic no-modification baseline.
+//!
+//! Nets are routed one at a time with the hard search of
+//! [`search::find_path`](crate::search::find_path); wiring committed for
+//! earlier nets is never revisited. On congested problems this ordering
+//! greed is exactly what fails — later nets find themselves walled in —
+//! which is the behaviour rip-up/reroute routing was invented to fix.
+
+use route_geom::Rect;
+use route_model::{NetId, Problem, RouteDb, Step, TraceId};
+
+use crate::search::{find_path, Query, SearchStats};
+use crate::CostModel;
+
+/// Result of a sequential routing run.
+#[derive(Debug, Clone)]
+pub struct SequentialOutcome {
+    /// The database with all successfully committed wiring.
+    pub db: RouteDb,
+    /// Nets with at least one unroutable connection, in failure order.
+    pub failed: Vec<NetId>,
+    /// Accumulated search effort.
+    pub stats: SearchStats,
+}
+
+impl SequentialOutcome {
+    /// Whether every net was fully routed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Routes every net of `problem` in ascending bounding-box size order
+/// (small nets first — the conventional sequential heuristic).
+pub fn route_all(problem: &Problem, cost: CostModel) -> SequentialOutcome {
+    let mut order: Vec<NetId> = problem.nets().iter().map(|n| n.id).collect();
+    order.sort_by_key(|&id| {
+        let net = problem.net(id);
+        let first = net.pins[0].at;
+        let bbox = net
+            .pins
+            .iter()
+            .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+        (bbox.width() + bbox.height(), id.0)
+    });
+    route_in_order(problem, cost, &order)
+}
+
+/// Routes nets in the caller-specified order.
+pub fn route_in_order(problem: &Problem, cost: CostModel, order: &[NetId]) -> SequentialOutcome {
+    let mut db = RouteDb::new(problem);
+    let mut failed = Vec::new();
+    let mut stats = SearchStats::default();
+    for &net in order {
+        match connect_net(&mut db, net, cost) {
+            Ok(s) => {
+                stats.expanded += s.expanded;
+                stats.relaxed += s.relaxed;
+            }
+            Err(s) => {
+                stats.expanded += s.expanded;
+                stats.relaxed += s.relaxed;
+                failed.push(net);
+            }
+        }
+    }
+    SequentialOutcome { db, failed, stats }
+}
+
+/// Incrementally connects all pins of `net` inside `db` using hard search.
+///
+/// Pins are attached one at a time to the growing connected component
+/// (the first pin seeds it). Wiring committed by earlier calls — for this
+/// or other nets — is respected.
+///
+/// # Errors
+///
+/// Returns the accumulated search stats as the error payload when some
+/// pin cannot be attached; wiring committed for earlier pins of the net
+/// is left in place.
+pub fn connect_net(
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+) -> Result<SearchStats, SearchStats> {
+    match connect_net_seeded(db, net, cost, Vec::new()) {
+        Ok((_, stats)) => Ok(stats),
+        Err((_, stats)) => Err(stats),
+    }
+}
+
+/// Like [`connect_net`], but the connected component starts from `seed`
+/// slots (e.g. a pre-committed trunk) in addition to the first pin, and
+/// the committed trace ids are returned so callers can roll back.
+///
+/// This is the shared pin-attachment engine: the sequential baseline,
+/// the YACR-style patch-up and the optimization passes all build on it.
+///
+/// # Errors
+///
+/// Returns the trace ids committed so far (for rollback) plus the
+/// accumulated stats when some pin cannot be attached.
+#[allow(clippy::type_complexity)]
+pub fn connect_net_seeded(
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+    seed: Vec<Step>,
+) -> Result<(Vec<TraceId>, SearchStats), (Vec<TraceId>, SearchStats)> {
+    let mut stats = SearchStats::default();
+    let mut committed: Vec<TraceId> = Vec::new();
+    let pins: Vec<Step> = db.pins(net).iter().map(|p| Step::new(p.at, p.layer)).collect();
+    let mut connected = seed;
+    let attach: Vec<Step> = if connected.is_empty() {
+        let Some((&first, rest)) = pins.split_first() else {
+            return Ok((committed, stats));
+        };
+        connected.push(first);
+        rest.to_vec()
+    } else {
+        pins
+    };
+    for pin in attach {
+        if connected.contains(&pin) {
+            continue;
+        }
+        let query = Query {
+            grid: db.grid(),
+            net,
+            sources: connected.clone(),
+            targets: vec![pin],
+            cost,
+        };
+        match find_path(&query) {
+            Some(found) => {
+                stats.expanded += found.stats.expanded;
+                stats.relaxed += found.stats.relaxed;
+                let steps = found.trace.steps().to_vec();
+                let id: TraceId = db
+                    .commit(net, found.trace)
+                    .expect("hard search paths are committable");
+                committed.push(id);
+                connected.extend(steps);
+            }
+            None => return Err((committed, stats)),
+        }
+    }
+    Ok((committed, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_geom::Point;
+    use route_model::{PinSide, ProblemBuilder};
+    use route_verify::verify;
+
+    #[test]
+    fn routes_crossing_nets_on_two_layers() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        b.net("v").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        let p = b.build().unwrap();
+        let out = route_all(&p, CostModel::default());
+        assert!(out.is_complete());
+        assert!(verify(&p, &out.db).is_clean());
+    }
+
+    #[test]
+    fn routes_multi_pin_net() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("t")
+            .pin_side(PinSide::Left, 4)
+            .pin_side(PinSide::Right, 4)
+            .pin_side(PinSide::Top, 4)
+            .pin_side(PinSide::Bottom, 4);
+        let p = b.build().unwrap();
+        let out = route_all(&p, CostModel::default());
+        assert!(out.is_complete());
+        assert!(verify(&p, &out.db).is_clean());
+    }
+
+    #[test]
+    fn greedy_order_can_fail_where_capacity_exists() {
+        // A 3x3 box: net "long" hugs the border, then blocks "short".
+        // With small-first ordering both route; force the bad order to
+        // demonstrate the baseline's weakness.
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.net("corner").pin_at(Point::new(0, 1), route_geom::Layer::M1).pin_at(
+            Point::new(1, 0),
+            route_geom::Layer::M1,
+        );
+        b.net("cross")
+            .pin_at(Point::new(0, 0), route_geom::Layer::M1)
+            .pin_at(Point::new(2, 2), route_geom::Layer::M1);
+        let p = b.build().unwrap();
+        let out = route_all(&p, CostModel::default());
+        // Not asserting failure (the maze may still find a way through
+        // M2); assert legality either way.
+        let report = verify(&p, &out.db);
+        assert!(report.is_clean() || report.is_legal_but_incomplete());
+    }
+
+    #[test]
+    fn failure_reported_when_walled_in() {
+        let mut b = ProblemBuilder::switchbox(5, 5);
+        // Obstacles isolate the right pin of net a completely.
+        for y in 0..5 {
+            b.obstacle(Point::new(3, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
+        let p = b.build().unwrap();
+        let out = route_all(&p, CostModel::default());
+        assert_eq!(out.failed, vec![p.nets()[0].id]);
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        let p = b.build().unwrap();
+        let out = route_all(&p, CostModel::default());
+        assert!(out.stats.expanded > 0);
+    }
+
+    #[test]
+    fn respects_explicit_order() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        b.net("v").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        let p = b.build().unwrap();
+        let order: Vec<NetId> = p.nets().iter().rev().map(|n| n.id).collect();
+        let out = route_in_order(&p, CostModel::default(), &order);
+        assert!(out.is_complete());
+    }
+}

@@ -1,0 +1,89 @@
+//! With the uniform cost model, the weighted A* must produce exactly the
+//! Lee wavefront distances: same minimal path length as a plain BFS over
+//! the `(point, layer)` graph.
+
+use std::collections::{HashMap, VecDeque};
+
+use proptest::prelude::*;
+
+use route_geom::{Layer, Point};
+use route_maze::search::{find_path, Query};
+use route_maze::CostModel;
+use route_model::{NetId, ProblemBuilder, RouteDb, Step};
+
+const SIDE: i32 = 9;
+
+/// Reference implementation: breadth-first search with unit edge costs
+/// over free cells, vias included.
+fn bfs_distance(db: &RouteDb, net: NetId, from: Step, to: Step) -> Option<u64> {
+    let grid = db.grid();
+    let mut dist: HashMap<(Point, Layer), u64> = HashMap::new();
+    let mut queue = VecDeque::new();
+    if !grid.admits(from.at, from.layer, net) {
+        return None;
+    }
+    dist.insert((from.at, from.layer), 0);
+    queue.push_back((from.at, from.layer));
+    while let Some((p, layer)) = queue.pop_front() {
+        let d = dist[&(p, layer)];
+        if (p, layer) == (to.at, to.layer) {
+            return Some(d);
+        }
+        let push = |np: Point, nl: Layer, dist: &mut HashMap<(Point, Layer), u64>,
+                        queue: &mut VecDeque<(Point, Layer)>| {
+            if grid.admits(np, nl, net) && !dist.contains_key(&(np, nl)) {
+                dist.insert((np, nl), d + 1);
+                queue.push_back((np, nl));
+            }
+        };
+        for n in p.neighbors() {
+            push(n, layer, &mut dist, &mut queue);
+        }
+        for adj in layer.adjacent() {
+            push(p, adj, &mut dist, &mut queue);
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_astar_matches_bfs(
+        obstacles in prop::collection::vec((0..SIDE, 0..SIDE), 0..20),
+        (fx, fy, fl) in (0..SIDE, 0..SIDE, any::<bool>()),
+        (tx, ty, tl) in (0..SIDE, 0..SIDE, any::<bool>()),
+    ) {
+        let mut b = ProblemBuilder::switchbox(SIDE as u32, SIDE as u32);
+        for &(x, y) in &obstacles {
+            // Keep the endpoints clear.
+            if (x, y) != (fx, fy) && (x, y) != (tx, ty) {
+                b.obstacle(Point::new(x, y));
+            }
+        }
+        b.net("n").pin_at(Point::new(fx, fy), Layer::M1).pin_at(Point::new(tx, ty), Layer::M1);
+        let problem = b.build().expect("endpoints kept clear");
+        let db = RouteDb::new(&problem);
+        let net = problem.nets()[0].id;
+
+        let layer = |m2: bool| if m2 { Layer::M2 } else { Layer::M1 };
+        let from = Step::new(Point::new(fx, fy), layer(fl));
+        let to = Step::new(Point::new(tx, ty), layer(tl));
+        // Pins are on M1; M2 endpoints may be blocked only by obstacles.
+        let query = Query {
+            grid: db.grid(),
+            net,
+            sources: vec![from],
+            targets: vec![to],
+            cost: CostModel::uniform(),
+        };
+        let astar = find_path(&query).map(|f| f.cost);
+        let bfs = if db.grid().admits(to.at, to.layer, net) {
+            bfs_distance(&db, net, from, to)
+        } else {
+            None
+        };
+        prop_assert_eq!(astar, bfs, "A* and BFS disagree from {} to {}", from, to);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the maze search: path legality, cost
+//! consistency, and agreement with the problem's obstacles.
+
+use proptest::prelude::*;
+
+use route_geom::{Layer, Point};
+use route_maze::search::{find_path, find_path_soft, Query};
+use route_maze::CostModel;
+use route_model::{Occupant, ProblemBuilder, RouteDb, Step};
+
+const SIDE: i32 = 10;
+
+fn arb_cell() -> impl Strategy<Value = Point> {
+    (0..SIDE, 0..SIDE).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn setup(obstacles: &[Point]) -> RouteDb {
+    let mut b = ProblemBuilder::switchbox(SIDE as u32, SIDE as u32);
+    for &p in obstacles {
+        // Keep corners free so sources/targets usually survive.
+        b.obstacle(p);
+    }
+    b.net("n").pin_at(Point::new(0, 0), Layer::M1).pin_at(
+        Point::new(SIDE - 1, SIDE - 1),
+        Layer::M1,
+    );
+    // Obstacles may cover the pins; retry without those obstacles.
+    match b.build() {
+        Ok(p) => RouteDb::new(&p),
+        Err(_) => {
+            let mut b = ProblemBuilder::switchbox(SIDE as u32, SIDE as u32);
+            for &p in obstacles {
+                if p != Point::new(0, 0) && p != Point::new(SIDE - 1, SIDE - 1) {
+                    b.obstacle(p);
+                }
+            }
+            b.net("n").pin_at(Point::new(0, 0), Layer::M1).pin_at(
+                Point::new(SIDE - 1, SIDE - 1),
+                Layer::M1,
+            );
+            RouteDb::new(&b.build().expect("pins now clear"))
+        }
+    }
+}
+
+proptest! {
+    /// Any found path is contiguous, avoids blocked cells, and starts and
+    /// ends at the requested slots.
+    #[test]
+    fn found_paths_are_legal(
+        obstacles in prop::collection::vec(arb_cell(), 0..25),
+        from in arb_cell(),
+        to in arb_cell(),
+    ) {
+        let db = setup(&obstacles);
+        let net = route_model::NetId(0);
+        let (src, dst) = (Step::new(from, Layer::M1), Step::new(to, Layer::M2));
+        let query = Query {
+            grid: db.grid(),
+            net,
+            sources: vec![src],
+            targets: vec![dst],
+            cost: CostModel::default(),
+        };
+        if let Some(found) = find_path(&query) {
+            let steps = found.trace.steps();
+            prop_assert_eq!(steps[0], src);
+            prop_assert_eq!(*steps.last().expect("nonempty"), dst);
+            for s in steps {
+                prop_assert!(db.grid().occupant(s.at, s.layer) != Occupant::Blocked);
+            }
+            // Trace validity (contiguity) is enforced by construction;
+            // committing it must succeed.
+            let mut db2 = db.clone();
+            prop_assert!(db2.commit(net, found.trace).is_ok());
+        }
+    }
+
+    /// The optimal cost never exceeds the cost of any specific legal
+    /// alternative: adding obstacles can only increase the path cost.
+    #[test]
+    fn obstacles_never_decrease_cost(
+        obstacles in prop::collection::vec(arb_cell(), 0..20),
+        from in arb_cell(),
+        to in arb_cell(),
+    ) {
+        let empty = setup(&[]);
+        let walled = setup(&obstacles);
+        let net = route_model::NetId(0);
+        let q_empty = Query {
+            grid: empty.grid(),
+            net,
+            sources: vec![Step::new(from, Layer::M1)],
+            targets: vec![Step::new(to, Layer::M1)],
+            cost: CostModel::default(),
+        };
+        let q_walled = Query {
+            grid: walled.grid(),
+            net,
+            sources: vec![Step::new(from, Layer::M1)],
+            targets: vec![Step::new(to, Layer::M1)],
+            cost: CostModel::default(),
+        };
+        let base = find_path(&q_empty);
+        let hard = find_path(&q_walled);
+        if let (Some(b), Some(h)) = (base, hard) {
+            prop_assert!(h.cost >= b.cost,
+                "obstacles reduced cost: {} < {}", h.cost, b.cost);
+        }
+    }
+
+    /// The soft search with an always-permissive closure finds a path
+    /// whenever the hard search does, at no greater cost.
+    #[test]
+    fn soft_subsumes_hard(
+        obstacles in prop::collection::vec(arb_cell(), 0..20),
+        from in arb_cell(),
+        to in arb_cell(),
+    ) {
+        let db = setup(&obstacles);
+        let net = route_model::NetId(0);
+        let query = Query {
+            grid: db.grid(),
+            net,
+            sources: vec![Step::new(from, Layer::M1)],
+            targets: vec![Step::new(to, Layer::M2)],
+            cost: CostModel::default(),
+        };
+        let hard = find_path(&query);
+        let soft = find_path_soft(&query, &|_, _, _| Some(0));
+        if let Some(h) = hard {
+            let s = soft.expect("soft must find a path when hard does");
+            prop_assert!(s.cost <= h.cost);
+        }
+    }
+}

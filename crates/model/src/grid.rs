@@ -1,0 +1,298 @@
+use std::fmt;
+
+use route_geom::{Layer, Point, Rect, NUM_LAYERS};
+
+use crate::NetId;
+
+/// What occupies one grid cell on one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Occupant {
+    /// Nothing; wiring may be placed here.
+    #[default]
+    Free,
+    /// Permanently unusable: an obstacle, or outside the routing region.
+    Blocked,
+    /// Wiring (or a pin) of the given net.
+    Net(NetId),
+}
+
+impl Occupant {
+    /// The net occupying this slot, if any.
+    #[inline]
+    pub const fn net(self) -> Option<NetId> {
+        match self {
+            Occupant::Net(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether the slot is free.
+    #[inline]
+    pub const fn is_free(self) -> bool {
+        matches!(self, Occupant::Free)
+    }
+}
+
+impl fmt::Display for Occupant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Occupant::Free => f.write_str("free"),
+            Occupant::Blocked => f.write_str("blocked"),
+            Occupant::Net(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One grid cell: per-layer occupancy plus optional vias between
+/// adjacent layer pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cell {
+    /// Occupancy per layer, indexed by [`Layer::index`].
+    pub occ: [Occupant; NUM_LAYERS],
+    /// Net owning a via per adjacent layer pair, indexed by the lower
+    /// layer (`[0]` = M1–M2, `[1]` = M2–M3).
+    pub vias: [Option<NetId>; NUM_LAYERS - 1],
+}
+
+/// The two-layer occupancy grid of a routing area.
+///
+/// Cells outside the rectilinear routing region and cells covered by
+/// obstacles are marked [`Occupant::Blocked`] at construction time, so
+/// routers only ever need the occupancy query.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{Grid, Occupant};
+/// use route_geom::{Layer, Point};
+///
+/// let g = Grid::new(4, 3);
+/// assert!(g.in_bounds(Point::new(3, 2)));
+/// assert_eq!(g.occupant(Point::new(0, 0), Layer::M1), Occupant::Free);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    width: u32,
+    height: u32,
+    cells: Vec<Cell>,
+}
+
+impl Grid {
+    /// Creates an all-free grid of `width x height` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+        Grid {
+            width,
+            height,
+            cells: vec![Cell::default(); (width * height) as usize],
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The rectangle covering the whole grid.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(
+            Point::new(0, 0),
+            Point::new(self.width as i32 - 1, self.height as i32 - 1),
+        )
+    }
+
+    /// Whether `p` lies on the grid.
+    #[inline]
+    pub const fn in_bounds(&self, p: Point) -> bool {
+        p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height
+    }
+
+    #[inline]
+    fn idx(&self, p: Point) -> usize {
+        debug_assert!(self.in_bounds(p), "point {p} out of bounds");
+        p.y as usize * self.width as usize + p.x as usize
+    }
+
+    /// The full cell at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `p` is out of bounds.
+    #[inline]
+    pub fn cell(&self, p: Point) -> Cell {
+        self.cells[self.idx(p)]
+    }
+
+    /// Occupancy of `p` on `layer`.
+    #[inline]
+    pub fn occupant(&self, p: Point, layer: Layer) -> Occupant {
+        self.cells[self.idx(p)].occ[layer.index()]
+    }
+
+    /// Net owning the via between `lower` and the layer above it at `p`.
+    ///
+    /// Returns `None` for `lower == M3` (there is no layer above).
+    #[inline]
+    pub fn via_between(&self, p: Point, lower: Layer) -> Option<NetId> {
+        if lower.index() >= NUM_LAYERS - 1 {
+            return None;
+        }
+        self.cells[self.idx(p)].vias[lower.index()]
+    }
+
+    /// Whether any via (of any pair) exists at `p`.
+    #[inline]
+    pub fn has_via(&self, p: Point) -> bool {
+        self.cells[self.idx(p)].vias.iter().any(Option::is_some)
+    }
+
+    /// Sets the occupancy of `p` on `layer`.
+    #[inline]
+    pub fn set_occupant(&mut self, p: Point, layer: Layer, occ: Occupant) {
+        let i = self.idx(p);
+        self.cells[i].occ[layer.index()] = occ;
+    }
+
+    /// Sets or clears the via between `lower` and the layer above it at
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` is the topmost layer (no pair above it).
+    #[inline]
+    pub fn set_via_between(&mut self, p: Point, lower: Layer, net: Option<NetId>) {
+        assert!(lower.index() < NUM_LAYERS - 1, "no layer above {lower}");
+        let i = self.idx(p);
+        self.cells[i].vias[lower.index()] = net;
+    }
+
+    /// Whether `p` is free on `layer` (in bounds, unoccupied, no foreign
+    /// via).
+    pub fn is_free(&self, p: Point, layer: Layer) -> bool {
+        self.in_bounds(p) && self.occupant(p, layer).is_free()
+    }
+
+    /// Whether net `net` may occupy `p` on `layer`: the slot is free or
+    /// already owned by the same net.
+    pub fn admits(&self, p: Point, layer: Layer, net: NetId) -> bool {
+        if !self.in_bounds(p) {
+            return false;
+        }
+        match self.occupant(p, layer) {
+            Occupant::Free => true,
+            Occupant::Net(n) => n == net,
+            Occupant::Blocked => false,
+        }
+    }
+
+    /// Iterates over all in-bounds points, row-major.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.bounds().cells()
+    }
+
+    /// Count of free slots over both layers (capacity measure).
+    pub fn free_slots(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| c.occ.iter())
+            .filter(|o| o.is_free())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_free() {
+        let g = Grid::new(5, 4);
+        assert_eq!(g.free_slots(), 5 * 4 * NUM_LAYERS);
+        for p in g.points() {
+            for l in Layer::ALL {
+                assert!(g.is_free(p, l));
+            }
+            assert!(!g.has_via(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let _ = Grid::new(0, 5);
+    }
+
+    #[test]
+    fn set_and_get_occupant() {
+        let mut g = Grid::new(3, 3);
+        let p = Point::new(1, 2);
+        g.set_occupant(p, Layer::M2, Occupant::Net(NetId(7)));
+        assert_eq!(g.occupant(p, Layer::M2), Occupant::Net(NetId(7)));
+        assert_eq!(g.occupant(p, Layer::M1), Occupant::Free);
+        assert!(!g.is_free(p, Layer::M2));
+        assert!(g.is_free(p, Layer::M1));
+    }
+
+    #[test]
+    fn admits_same_net_only() {
+        let mut g = Grid::new(3, 3);
+        let p = Point::new(0, 0);
+        g.set_occupant(p, Layer::M1, Occupant::Net(NetId(1)));
+        assert!(g.admits(p, Layer::M1, NetId(1)));
+        assert!(!g.admits(p, Layer::M1, NetId(2)));
+        g.set_occupant(p, Layer::M1, Occupant::Blocked);
+        assert!(!g.admits(p, Layer::M1, NetId(1)));
+        assert!(!g.admits(Point::new(-1, 0), Layer::M1, NetId(1)));
+    }
+
+    #[test]
+    fn via_round_trip() {
+        let mut g = Grid::new(2, 2);
+        let p = Point::new(1, 1);
+        g.set_via_between(p, Layer::M1, Some(NetId(3)));
+        assert_eq!(g.via_between(p, Layer::M1), Some(NetId(3)));
+        assert_eq!(g.via_between(p, Layer::M2), None);
+        assert!(g.has_via(p));
+        g.set_via_between(p, Layer::M2, Some(NetId(4)));
+        assert_eq!(g.via_between(p, Layer::M2), Some(NetId(4)));
+        g.set_via_between(p, Layer::M1, None);
+        assert_eq!(g.via_between(p, Layer::M1), None);
+        assert!(g.has_via(p), "the M2-M3 via remains");
+        // The topmost layer has no pair above it.
+        assert_eq!(g.via_between(p, Layer::M3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no layer above")]
+    fn set_via_above_top_rejected() {
+        let mut g = Grid::new(2, 2);
+        g.set_via_between(Point::new(0, 0), Layer::M3, Some(NetId(1)));
+    }
+
+    #[test]
+    fn bounds_cover_grid() {
+        let g = Grid::new(7, 2);
+        let b = g.bounds();
+        assert_eq!(b.width(), 7);
+        assert_eq!(b.height(), 2);
+        assert_eq!(g.points().count() as u64, b.area());
+    }
+
+    #[test]
+    fn occupant_display() {
+        assert_eq!(Occupant::Free.to_string(), "free");
+        assert_eq!(Occupant::Blocked.to_string(), "blocked");
+        assert_eq!(Occupant::Net(NetId(2)).to_string(), "n2");
+    }
+}

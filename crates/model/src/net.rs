@@ -1,0 +1,172 @@
+use std::fmt;
+
+use route_geom::{Layer, Point};
+
+/// Dense identifier of a net within one [`Problem`](crate::Problem).
+///
+/// Net ids index directly into per-net vectors, so they are assigned
+/// contiguously from zero by [`ProblemBuilder`](crate::ProblemBuilder).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Dense index of this net.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A terminal of a net: a grid cell on a specific layer that the net's
+/// wiring must reach.
+///
+/// Pins may sit on the routing-region boundary (the common case for
+/// channels and switchboxes) or anywhere inside it (pins of pre-placed
+/// macro blocks).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// Grid cell of the terminal.
+    pub at: Point,
+    /// Layer on which the terminal is available.
+    pub layer: Layer,
+}
+
+impl Pin {
+    /// Creates a pin at `at` on `layer`.
+    pub const fn new(at: Point, layer: Layer) -> Self {
+        Pin { at, layer }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.at, self.layer)
+    }
+}
+
+/// Side of a rectangular routing region, used to place boundary pins.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::PinSide;
+/// use route_geom::Layer;
+///
+/// // Pins entering from the left arrive on the horizontal layer.
+/// assert_eq!(PinSide::Left.natural_layer(), Layer::M1);
+/// assert_eq!(PinSide::Top.natural_layer(), Layer::M2);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinSide {
+    /// `x = 0` column; offset counts rows from the bottom.
+    Left,
+    /// `x = width - 1` column; offset counts rows from the bottom.
+    Right,
+    /// `y = height - 1` row; offset counts columns from the left.
+    Top,
+    /// `y = 0` row; offset counts columns from the left.
+    Bottom,
+}
+
+impl PinSide {
+    /// The layer a wire naturally enters on from this side in the
+    /// reserved-layer model (horizontal from left/right, vertical from
+    /// top/bottom).
+    pub const fn natural_layer(self) -> Layer {
+        match self {
+            PinSide::Left | PinSide::Right => Layer::M1,
+            PinSide::Top | PinSide::Bottom => Layer::M2,
+        }
+    }
+
+    /// The boundary cell at `offset` along this side of a
+    /// `width x height` region.
+    pub const fn cell(self, width: u32, height: u32, offset: u32) -> Point {
+        match self {
+            PinSide::Left => Point::new(0, offset as i32),
+            PinSide::Right => Point::new(width as i32 - 1, offset as i32),
+            PinSide::Bottom => Point::new(offset as i32, 0),
+            PinSide::Top => Point::new(offset as i32, height as i32 - 1),
+        }
+    }
+}
+
+/// A named collection of pins that must be electrically connected.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Identifier, dense within the owning problem.
+    pub id: NetId,
+    /// Human-readable name (unique within the problem).
+    pub name: String,
+    /// Terminals; at least one, duplicates removed.
+    pub pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Number of point-to-tree connections needed to join all pins.
+    ///
+    /// A net with `p` pins needs `p - 1` connections (its routing tree has
+    /// `p - 1` logical edges).
+    pub fn connection_count(&self) -> usize {
+        self.pins.len().saturating_sub(1)
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} pins)", self.name, self.pins.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_side_cells() {
+        assert_eq!(PinSide::Left.cell(8, 6, 2), Point::new(0, 2));
+        assert_eq!(PinSide::Right.cell(8, 6, 2), Point::new(7, 2));
+        assert_eq!(PinSide::Bottom.cell(8, 6, 3), Point::new(3, 0));
+        assert_eq!(PinSide::Top.cell(8, 6, 3), Point::new(3, 5));
+    }
+
+    #[test]
+    fn natural_layers() {
+        assert_eq!(PinSide::Left.natural_layer(), Layer::M1);
+        assert_eq!(PinSide::Right.natural_layer(), Layer::M1);
+        assert_eq!(PinSide::Top.natural_layer(), Layer::M2);
+        assert_eq!(PinSide::Bottom.natural_layer(), Layer::M2);
+    }
+
+    #[test]
+    fn connection_count() {
+        let net = Net {
+            id: NetId(0),
+            name: "x".into(),
+            pins: vec![
+                Pin::new(Point::new(0, 0), Layer::M1),
+                Pin::new(Point::new(1, 0), Layer::M1),
+                Pin::new(Point::new(2, 0), Layer::M1),
+            ],
+        };
+        assert_eq!(net.connection_count(), 2);
+        let single = Net { id: NetId(1), name: "y".into(), pins: vec![Pin::new(Point::new(0, 0), Layer::M1)] };
+        assert_eq!(single.connection_count(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(Pin::new(Point::new(1, 2), Layer::M2).to_string(), "(1, 2)@M2");
+    }
+}

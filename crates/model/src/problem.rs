@@ -1,0 +1,609 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use route_geom::{Layer, Point, Rect, Region};
+
+use crate::{Grid, Net, NetId, Occupant, Pin, PinSide};
+
+/// Error produced when a [`ProblemBuilder`] describes an invalid problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemError {
+    /// The routing region's bounding box must start at the origin.
+    RegionNotAtOrigin,
+    /// A net was declared with no pins.
+    EmptyNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// Two nets share a net name.
+    DuplicateNetName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A pin lies outside the grid.
+    PinOutOfBounds {
+        /// Owning net name.
+        net: String,
+        /// The offending pin.
+        pin: Pin,
+    },
+    /// A pin lies outside the rectilinear routing region.
+    PinOutsideRegion {
+        /// Owning net name.
+        net: String,
+        /// The offending pin.
+        pin: Pin,
+    },
+    /// A pin coincides with an obstacle on its layer.
+    PinOnObstacle {
+        /// Owning net name.
+        net: String,
+        /// The offending pin.
+        pin: Pin,
+    },
+    /// Two different nets claim the same cell and layer as a pin.
+    PinConflict {
+        /// First net name.
+        first: String,
+        /// Second net name.
+        second: String,
+        /// The contested pin location.
+        pin: Pin,
+    },
+    /// An obstacle lies outside the grid.
+    ObstacleOutOfBounds {
+        /// The offending cell.
+        at: Point,
+    },
+    /// A pin sits on a layer the problem does not enable.
+    PinOnDisabledLayer {
+        /// Owning net name.
+        net: String,
+        /// The offending pin.
+        pin: Pin,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::RegionNotAtOrigin => {
+                f.write_str("routing region bounding box must have its minimum corner at (0, 0)")
+            }
+            ProblemError::EmptyNet { net } => write!(f, "net `{net}` has no pins"),
+            ProblemError::DuplicateNetName { name } => write!(f, "duplicate net name `{name}`"),
+            ProblemError::PinOutOfBounds { net, pin } => {
+                write!(f, "pin {pin} of net `{net}` is outside the grid")
+            }
+            ProblemError::PinOutsideRegion { net, pin } => {
+                write!(f, "pin {pin} of net `{net}` is outside the routing region")
+            }
+            ProblemError::PinOnObstacle { net, pin } => {
+                write!(f, "pin {pin} of net `{net}` coincides with an obstacle")
+            }
+            ProblemError::PinConflict { first, second, pin } => {
+                write!(f, "nets `{first}` and `{second}` both claim pin location {pin}")
+            }
+            ProblemError::ObstacleOutOfBounds { at } => {
+                write!(f, "obstacle at {at} is outside the grid")
+            }
+            ProblemError::PinOnDisabledLayer { net, pin } => {
+                write!(f, "pin {pin} of net `{net}` is on a disabled layer")
+            }
+        }
+    }
+}
+
+impl Error for ProblemError {}
+
+/// An immutable, validated detailed-routing problem.
+///
+/// Construct one through [`ProblemBuilder`]; direct construction is not
+/// exposed so that every `Problem` in existence has passed validation.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{ProblemBuilder, PinSide};
+///
+/// let mut b = ProblemBuilder::switchbox(10, 8);
+/// b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 6);
+/// b.net("b").pin_side(PinSide::Top, 4).pin_side(PinSide::Bottom, 4);
+/// let p = b.build()?;
+/// assert_eq!(p.nets().len(), 2);
+/// # Ok::<(), route_model::ProblemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    width: u32,
+    height: u32,
+    layers: u8,
+    region: Option<Region>,
+    obstacles: Vec<(Point, Option<Layer>)>,
+    nets: Vec<Net>,
+}
+
+impl Problem {
+    /// Number of grid columns.
+    #[inline]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of grid rows.
+    #[inline]
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of enabled routing layers (2 or 3). Layers above the count
+    /// are blocked everywhere.
+    #[inline]
+    pub const fn layers(&self) -> u8 {
+        self.layers
+    }
+
+    /// The rectilinear routing region, if the area is not the full grid.
+    pub fn region(&self) -> Option<&Region> {
+        self.region.as_ref()
+    }
+
+    /// Obstacle cells; `None` layer means the obstacle blocks both layers.
+    pub fn obstacles(&self) -> &[(Point, Option<Layer>)] {
+        &self.obstacles
+    }
+
+    /// All nets, indexed by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this problem.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<&Net> {
+        self.nets.iter().find(|n| n.name == name)
+    }
+
+    /// Whether `p` is inside the usable routing area (region membership;
+    /// obstacles are separate).
+    pub fn in_region(&self, p: Point) -> bool {
+        let in_grid =
+            p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height;
+        in_grid && self.region.as_ref().map_or(true, |r| r.contains(p))
+    }
+
+    /// Builds the base occupancy grid: region exterior and obstacles
+    /// blocked, everything else free. Pins are **not** marked here — see
+    /// [`RouteDb::new`](crate::RouteDb::new).
+    pub fn base_grid(&self) -> Grid {
+        let mut grid = Grid::new(self.width, self.height);
+        // Layers beyond the enabled count are blocked everywhere.
+        for layer in Layer::ALL.into_iter().skip(self.layers as usize) {
+            for p in grid.bounds().cells() {
+                grid.set_occupant(p, layer, Occupant::Blocked);
+            }
+        }
+        if let Some(region) = &self.region {
+            for p in grid.bounds().cells() {
+                if !region.contains(p) {
+                    for layer in Layer::ALL {
+                        grid.set_occupant(p, layer, Occupant::Blocked);
+                    }
+                }
+            }
+        }
+        for &(p, layer) in &self.obstacles {
+            match layer {
+                Some(l) => grid.set_occupant(p, l, Occupant::Blocked),
+                None => {
+                    for l in Layer::ALL {
+                        grid.set_occupant(p, l, Occupant::Blocked);
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Total number of pins across all nets.
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(|n| n.pins.len()).sum()
+    }
+
+    /// Sum of `pins - 1` over all nets: the number of point-to-tree
+    /// connections any complete routing must realise.
+    pub fn connection_count(&self) -> usize {
+        self.nets.iter().map(Net::connection_count).sum()
+    }
+
+    /// A crude congestion measure: total Manhattan half-perimeter of the
+    /// nets' pin bounding boxes divided by the free routing capacity.
+    pub fn utilization_estimate(&self) -> f64 {
+        let demand: u64 = self
+            .nets
+            .iter()
+            .filter(|n| n.pins.len() >= 2)
+            .map(|n| {
+                let first = n.pins[0].at;
+                let bbox = n
+                    .pins
+                    .iter()
+                    .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+                (bbox.width() + bbox.height()) as u64
+            })
+            .sum();
+        let capacity = self.base_grid().free_slots() as f64;
+        demand as f64 / capacity.max(1.0)
+    }
+}
+
+/// Builder for [`Problem`] values.
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    width: u32,
+    height: u32,
+    layers: u8,
+    region: Option<Region>,
+    obstacles: Vec<(Point, Option<Layer>)>,
+    nets: Vec<(String, Vec<Pin>)>,
+}
+
+impl ProblemBuilder {
+    /// Starts a rectangular `width x height` switchbox problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn switchbox(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "problem dimensions must be non-zero");
+        ProblemBuilder {
+            width,
+            height,
+            layers: 2,
+            region: None,
+            obstacles: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Starts a problem over an irregular rectilinear region.
+    ///
+    /// The grid is sized to the region's bounding box; cells outside the
+    /// region are blocked.
+    pub fn region(region: Region) -> Self {
+        let b = region.bounds();
+        ProblemBuilder {
+            width: b.width(),
+            height: b.height(),
+            layers: 2,
+            region: Some(region),
+            obstacles: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Sets the number of enabled routing layers (2 or 3; default 2).
+    /// In the three-layer (HVH) model, M3 is a second horizontal layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `layers` is 2 or 3.
+    pub fn layers(&mut self, layers: u8) -> &mut Self {
+        assert!(
+            (2..=route_geom::NUM_LAYERS as u8).contains(&layers),
+            "layer count must be 2 or 3"
+        );
+        self.layers = layers;
+        self
+    }
+
+    /// Grid width of the problem under construction.
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height of the problem under construction.
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Blocks a single cell on both layers.
+    pub fn obstacle(&mut self, at: Point) -> &mut Self {
+        self.obstacles.push((at, None));
+        self
+    }
+
+    /// Blocks a single cell on one layer only.
+    pub fn obstacle_on(&mut self, at: Point, layer: Layer) -> &mut Self {
+        self.obstacles.push((at, Some(layer)));
+        self
+    }
+
+    /// Blocks every cell of a rectangle on both layers.
+    pub fn obstacle_rect(&mut self, rect: Rect) -> &mut Self {
+        for p in rect.cells() {
+            self.obstacles.push((p, None));
+        }
+        self
+    }
+
+    /// Declares a new net and returns a handle for adding its pins.
+    pub fn net(&mut self, name: impl Into<String>) -> NetBuilder<'_> {
+        self.nets.push((name.into(), Vec::new()));
+        let idx = self.nets.len() - 1;
+        NetBuilder { builder: self, idx }
+    }
+
+    /// Validates and freezes the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProblemError`] if the region does not start at the
+    /// origin, any net is empty or duplicated, any pin or obstacle is out
+    /// of bounds, a pin is unreachable (outside the region or under an
+    /// obstacle), or two nets claim the same pin slot.
+    pub fn build(self) -> Result<Problem, ProblemError> {
+        if let Some(region) = &self.region {
+            if region.bounds().min() != Point::new(0, 0) {
+                return Err(ProblemError::RegionNotAtOrigin);
+            }
+        }
+        let in_grid = |p: Point| {
+            p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height
+        };
+        for &(p, _) in &self.obstacles {
+            if !in_grid(p) {
+                return Err(ProblemError::ObstacleOutOfBounds { at: p });
+            }
+        }
+        let blocked = |pin: &Pin| {
+            self.obstacles
+                .iter()
+                .any(|&(p, l)| p == pin.at && l.map_or(true, |l| l == pin.layer))
+        };
+
+        let mut names: HashMap<&str, ()> = HashMap::new();
+        let mut claimed: HashMap<(Point, Layer), usize> = HashMap::new();
+        let mut nets = Vec::with_capacity(self.nets.len());
+        for (idx, (name, pins)) in self.nets.iter().enumerate() {
+            if names.insert(name, ()).is_some() {
+                return Err(ProblemError::DuplicateNetName { name: name.clone() });
+            }
+            let mut unique: Vec<Pin> = Vec::with_capacity(pins.len());
+            for &pin in pins {
+                if !in_grid(pin.at) {
+                    return Err(ProblemError::PinOutOfBounds { net: name.clone(), pin });
+                }
+                if pin.layer.index() >= self.layers as usize {
+                    return Err(ProblemError::PinOnDisabledLayer { net: name.clone(), pin });
+                }
+                if let Some(region) = &self.region {
+                    if !region.contains(pin.at) {
+                        return Err(ProblemError::PinOutsideRegion { net: name.clone(), pin });
+                    }
+                }
+                if blocked(&pin) {
+                    return Err(ProblemError::PinOnObstacle { net: name.clone(), pin });
+                }
+                if let Some(&other) = claimed.get(&(pin.at, pin.layer)) {
+                    if other != idx {
+                        return Err(ProblemError::PinConflict {
+                            first: self.nets[other].0.clone(),
+                            second: name.clone(),
+                            pin,
+                        });
+                    }
+                    continue; // duplicate pin of the same net: drop it
+                }
+                claimed.insert((pin.at, pin.layer), idx);
+                unique.push(pin);
+            }
+            if unique.is_empty() {
+                return Err(ProblemError::EmptyNet { net: name.clone() });
+            }
+            nets.push(Net {
+                id: NetId(idx as u32),
+                name: name.clone(),
+                pins: unique,
+            });
+        }
+
+        Ok(Problem {
+            width: self.width,
+            height: self.height,
+            layers: self.layers,
+            region: self.region,
+            obstacles: self.obstacles,
+            nets,
+        })
+    }
+}
+
+/// Handle returned by [`ProblemBuilder::net`] for adding pins to one net.
+#[derive(Debug)]
+pub struct NetBuilder<'a> {
+    builder: &'a mut ProblemBuilder,
+    idx: usize,
+}
+
+impl NetBuilder<'_> {
+    /// Adds a boundary pin at `offset` along `side`, on that side's
+    /// natural entry layer.
+    pub fn pin_side(&mut self, side: PinSide, offset: u32) -> &mut Self {
+        self.pin_side_on(side, offset, side.natural_layer())
+    }
+
+    /// Adds a boundary pin at `offset` along `side` on an explicit layer.
+    pub fn pin_side_on(&mut self, side: PinSide, offset: u32, layer: Layer) -> &mut Self {
+        let at = side.cell(self.builder.width, self.builder.height, offset);
+        self.pin_at(at, layer)
+    }
+
+    /// Adds a pin anywhere on the grid (e.g. an interior macro terminal).
+    pub fn pin_at(&mut self, at: Point, layer: Layer) -> &mut Self {
+        self.builder.nets[self.idx].1.push(Pin::new(at, layer));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_geom::Rect;
+
+    fn two_net_builder() -> ProblemBuilder {
+        let mut b = ProblemBuilder::switchbox(10, 8);
+        b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 6);
+        b.net("b").pin_side(PinSide::Top, 4).pin_side(PinSide::Bottom, 4);
+        b
+    }
+
+    #[test]
+    fn build_valid_problem() {
+        let p = two_net_builder().build().unwrap();
+        assert_eq!(p.nets().len(), 2);
+        assert_eq!(p.pin_count(), 4);
+        assert_eq!(p.connection_count(), 2);
+        assert_eq!(p.net_by_name("a").unwrap().id, NetId(0));
+        assert!(p.net_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn pins_land_on_expected_cells() {
+        let p = two_net_builder().build().unwrap();
+        let a = p.net(NetId(0));
+        assert_eq!(a.pins[0].at, Point::new(0, 2));
+        assert_eq!(a.pins[1].at, Point::new(9, 6));
+        let b = p.net(NetId(1));
+        assert_eq!(b.pins[0].at, Point::new(4, 7));
+        assert_eq!(b.pins[1].at, Point::new(4, 0));
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("void");
+        assert_eq!(b.build(), Err(ProblemError::EmptyNet { net: "void".into() }));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("x").pin_at(Point::new(0, 0), Layer::M1);
+        b.net("x").pin_at(Point::new(1, 1), Layer::M1);
+        assert!(matches!(b.build(), Err(ProblemError::DuplicateNetName { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_pin_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("x").pin_at(Point::new(4, 0), Layer::M1);
+        assert!(matches!(b.build(), Err(ProblemError::PinOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn pin_conflict_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("x").pin_at(Point::new(1, 1), Layer::M1);
+        b.net("y").pin_at(Point::new(1, 1), Layer::M1);
+        assert!(matches!(b.build(), Err(ProblemError::PinConflict { .. })));
+    }
+
+    #[test]
+    fn same_cell_different_layer_is_fine() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("x").pin_at(Point::new(1, 1), Layer::M1).pin_at(Point::new(0, 0), Layer::M1);
+        b.net("y").pin_at(Point::new(1, 1), Layer::M2).pin_at(Point::new(2, 2), Layer::M1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn duplicate_pin_of_same_net_deduped() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("x")
+            .pin_at(Point::new(1, 1), Layer::M1)
+            .pin_at(Point::new(1, 1), Layer::M1)
+            .pin_at(Point::new(2, 2), Layer::M1);
+        let p = b.build().unwrap();
+        assert_eq!(p.net(NetId(0)).pins.len(), 2);
+    }
+
+    #[test]
+    fn pin_on_obstacle_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.obstacle(Point::new(1, 1));
+        b.net("x").pin_at(Point::new(1, 1), Layer::M1);
+        assert!(matches!(b.build(), Err(ProblemError::PinOnObstacle { .. })));
+    }
+
+    #[test]
+    fn pin_on_other_layer_of_single_layer_obstacle_ok() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.obstacle_on(Point::new(1, 1), Layer::M2);
+        b.net("x").pin_at(Point::new(1, 1), Layer::M1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn obstacle_out_of_bounds_rejected() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.obstacle(Point::new(9, 9));
+        b.net("x").pin_at(Point::new(0, 0), Layer::M1);
+        assert!(matches!(b.build(), Err(ProblemError::ObstacleOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn base_grid_blocks_obstacles_and_region() {
+        let region = Region::from_rects([
+            Rect::with_size(Point::new(0, 0), 6, 2),
+            Rect::with_size(Point::new(0, 0), 2, 6),
+        ]);
+        let mut b = ProblemBuilder::region(region);
+        b.obstacle(Point::new(3, 0));
+        b.net("x").pin_at(Point::new(0, 0), Layer::M1);
+        let p = b.build().unwrap();
+        let g = p.base_grid();
+        assert_eq!(g.occupant(Point::new(5, 5), Layer::M1), Occupant::Blocked); // outside L
+        assert_eq!(g.occupant(Point::new(3, 0), Layer::M1), Occupant::Blocked); // obstacle
+        assert_eq!(g.occupant(Point::new(0, 5), Layer::M1), Occupant::Free);
+        assert!(p.in_region(Point::new(0, 5)));
+        assert!(!p.in_region(Point::new(5, 5)));
+    }
+
+    #[test]
+    fn region_must_start_at_origin() {
+        let region = Region::rect(Rect::with_size(Point::new(2, 2), 4, 4));
+        let b = ProblemBuilder::region(region);
+        assert_eq!(b.build(), Err(ProblemError::RegionNotAtOrigin));
+    }
+
+    #[test]
+    fn utilization_estimate_scales_with_demand() {
+        let sparse = two_net_builder().build().unwrap();
+        let mut b = ProblemBuilder::switchbox(10, 8);
+        for i in 0..6 {
+            b.net(format!("n{i}")).pin_side(PinSide::Left, i).pin_side(PinSide::Right, i);
+        }
+        let dense = b.build().unwrap();
+        assert!(dense.utilization_estimate() > sparse.utilization_estimate());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ProblemError::EmptyNet { net: "a".into() };
+        assert_eq!(e.to_string(), "net `a` has no pins");
+        let e = ProblemError::RegionNotAtOrigin;
+        assert!(e.to_string().contains("(0, 0)"));
+    }
+}

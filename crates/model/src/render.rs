@@ -1,0 +1,102 @@
+use std::fmt::Write as _;
+
+use route_geom::{Layer, Point};
+
+use crate::{Occupant, RouteDb};
+
+/// Renders the routing database as side-by-side ASCII panels, one per
+/// layer, with row 0 at the bottom.
+///
+/// Cell legend: `.` free, `#` blocked, `a`–`z`/`A`–`Z` net wiring (by net
+/// index, wrapping), `*` a via of that net at that cell.
+///
+/// Intended for examples, debugging and golden tests — not a stable
+/// serialization format.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{render_layers, ProblemBuilder, PinSide, RouteDb};
+///
+/// let mut b = ProblemBuilder::switchbox(3, 2);
+/// b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Right, 0);
+/// let problem = b.build()?;
+/// let art = render_layers(&RouteDb::new(&problem));
+/// assert!(art.contains("M1"));
+/// # Ok::<(), route_model::ProblemError>(())
+/// ```
+pub fn render_layers(db: &RouteDb) -> String {
+    let grid = db.grid();
+    let (w, h) = (grid.width() as i32, grid.height() as i32);
+    let glyph = |occ: Occupant, via: bool| -> char {
+        match occ {
+            Occupant::Free => '.',
+            Occupant::Blocked => '#',
+            Occupant::Net(n) => {
+                if via {
+                    '*'
+                } else {
+                    let letters = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+                    letters[n.index() % letters.len()] as char
+                }
+            }
+        }
+    };
+    // Only layers with at least one usable cell get a panel; a fully
+    // blocked layer (M3 in two-layer problems) would be all '#'.
+    let layers: Vec<Layer> = Layer::ALL
+        .into_iter()
+        .filter(|&l| grid.points().any(|p| grid.occupant(p, l) != Occupant::Blocked))
+        .collect();
+    let layers = if layers.is_empty() { vec![Layer::M1] } else { layers };
+
+    let mut out = String::new();
+    let pad = |s: &str| format!("{s:<width$}", width = w as usize);
+    let header: Vec<String> = layers.iter().map(|l| pad(&l.to_string())).collect();
+    let _ = writeln!(out, "{}", header.join("    ").trim_end());
+    for y in (0..h).rev() {
+        for (i, &layer) in layers.iter().enumerate() {
+            for x in 0..w {
+                let p = Point::new(x, y);
+                let via = grid.has_via(p);
+                out.push(glyph(grid.occupant(p, layer), via));
+            }
+            if i + 1 < layers.len() {
+                out.push_str("    ");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PinSide, ProblemBuilder, Step, Trace};
+    use route_geom::Layer;
+
+    #[test]
+    fn render_shows_nets_blocked_and_vias() {
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.obstacle(Point::new(2, 2));
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Top, 0);
+        let p = b.build().unwrap();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let t = Trace::from_steps(vec![
+            Step::new(Point::new(0, 0), Layer::M1),
+            Step::new(Point::new(0, 0), Layer::M2),
+            Step::new(Point::new(0, 1), Layer::M2),
+            Step::new(Point::new(0, 2), Layer::M2),
+        ])
+        .unwrap();
+        db.commit(net, t).unwrap();
+        let art = render_layers(&db);
+        assert!(art.contains('#'), "obstacle rendered:\n{art}");
+        assert!(art.contains('*'), "via rendered:\n{art}");
+        assert!(art.contains('a'), "net rendered:\n{art}");
+        // 3 rows + header
+        assert_eq!(art.lines().count(), 4);
+    }
+}

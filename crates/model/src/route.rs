@@ -1,0 +1,598 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use route_geom::{Layer, Point};
+
+use crate::{Grid, NetId, Occupant, Pin, Problem};
+
+/// One cell of a routed path: a grid point on a layer.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Grid cell.
+    pub at: Point,
+    /// Layer occupied at that cell.
+    pub layer: Layer,
+}
+
+impl Step {
+    /// Creates a step.
+    pub const fn new(at: Point, layer: Layer) -> Self {
+        Step { at, layer }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.at, self.layer)
+    }
+}
+
+/// Error produced when constructing or committing a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A trace must contain at least one step.
+    Empty,
+    /// Two consecutive steps are neither grid-adjacent on one layer nor a
+    /// layer change at the same point.
+    NotContiguous {
+        /// First of the offending pair.
+        from: Step,
+        /// Second of the offending pair.
+        to: Step,
+    },
+    /// A step lands on a cell the net may not occupy.
+    Occupied {
+        /// The offending step.
+        step: Step,
+        /// What currently occupies that slot.
+        by: Occupant,
+    },
+    /// A step is outside the grid.
+    OutOfBounds {
+        /// The offending step.
+        step: Step,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => f.write_str("trace has no steps"),
+            TraceError::NotContiguous { from, to } => {
+                write!(f, "steps {from} and {to} are not contiguous")
+            }
+            TraceError::Occupied { step, by } => {
+                write!(f, "step {step} lands on a slot occupied by {by}")
+            }
+            TraceError::OutOfBounds { step } => write!(f, "step {step} is outside the grid"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A contiguous routed path: a sequence of steps where consecutive steps
+/// are either Manhattan-adjacent on the same layer (a wire segment) or
+/// share a point on different layers (a via).
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{Step, Trace};
+/// use route_geom::{Layer, Point};
+///
+/// let t = Trace::from_steps(vec![
+///     Step::new(Point::new(0, 0), Layer::M1),
+///     Step::new(Point::new(1, 0), Layer::M1),
+///     Step::new(Point::new(1, 0), Layer::M2), // via
+///     Step::new(Point::new(1, 1), Layer::M2),
+/// ])?;
+/// assert_eq!(t.via_points().count(), 1);
+/// assert_eq!(t.wire_cells(), 4);
+/// # Ok::<(), route_model::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// Validates contiguity and wraps the steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for an empty step list and
+    /// [`TraceError::NotContiguous`] if any consecutive pair is neither a
+    /// unit wire step nor a via transition.
+    pub fn from_steps(steps: Vec<Step>) -> Result<Self, TraceError> {
+        if steps.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for w in steps.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let wire = a.layer == b.layer && a.at.manhattan(b.at) == 1;
+            // Vias join adjacent layers only; an M1->M3 jump is illegal.
+            let via = a.at == b.at && a.layer.is_adjacent(b.layer);
+            if !wire && !via {
+                return Err(TraceError::NotContiguous { from: a, to: b });
+            }
+        }
+        Ok(Trace { steps })
+    }
+
+    /// The steps in path order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// First step of the path.
+    pub fn start(&self) -> Step {
+        self.steps[0]
+    }
+
+    /// Last step of the path.
+    pub fn end(&self) -> Step {
+        *self.steps.last().expect("trace is never empty")
+    }
+
+    /// Vias of the path in order, as `(point, lower layer of the pair)`.
+    pub fn via_points(&self) -> impl Iterator<Item = (Point, Layer)> + '_ {
+        self.steps.windows(2).filter_map(|w| {
+            let lower = w[0].layer.via_pair_with(w[1].layer)?;
+            Some((w[0].at, lower))
+        })
+    }
+
+    /// Number of distinct `(point, layer)` slots the path occupies.
+    ///
+    /// A via transition revisits the same point on another layer, so this
+    /// equals the step count (steps never repeat a slot in a shortest
+    /// path, and committed traces are deduplicated by the database).
+    pub fn wire_cells(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace {} -> {} ({} steps)", self.start(), self.end(), self.steps.len())
+    }
+}
+
+/// Handle identifying one committed trace inside a [`RouteDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// Net the trace belongs to.
+    pub net: NetId,
+    pub(crate) slot: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NetState {
+    pins: Vec<Pin>,
+    /// Committed traces; `None` slots are ripped-up traces.
+    traces: Vec<Option<Trace>>,
+    /// Refcount per occupied (point, layer) slot. Pin slots start at 1.
+    occ: HashMap<(Point, Layer), u32>,
+    /// Refcount per via, keyed by point and the pair's lower layer.
+    vias: HashMap<(Point, Layer), u32>,
+}
+
+/// A live routing database: the occupancy [`Grid`] plus every committed
+/// [`Trace`], with support for incremental commit and rip-up.
+///
+/// The database maintains the invariant that the grid occupancy is exactly
+/// the union of all pins and live traces: committing marks cells, ripping
+/// up unmarks cells that no other live trace (or pin) of the same net
+/// still covers. Pins are marked at construction and can never be ripped.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{ProblemBuilder, PinSide, RouteDb, Step, Trace};
+/// use route_geom::{Layer, Point};
+///
+/// let mut b = ProblemBuilder::switchbox(4, 3);
+/// b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+/// let problem = b.build()?;
+/// let mut db = RouteDb::new(&problem);
+///
+/// let path = Trace::from_steps((0..4).map(|x| {
+///     Step::new(Point::new(x, 1), Layer::M1)
+/// }).collect())?;
+/// let id = db.commit(problem.nets()[0].id, path)?;
+/// // 4 occupied slots, of which 2 are the pins themselves.
+/// assert_eq!(db.stats().wirelength, 2);
+/// db.rip_up(id);
+/// assert_eq!(db.stats().wirelength, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteDb {
+    grid: Grid,
+    nets: Vec<NetState>,
+}
+
+impl RouteDb {
+    /// Creates a database for `problem` with all pins marked and no wiring.
+    pub fn new(problem: &Problem) -> Self {
+        let mut grid = problem.base_grid();
+        let mut nets = Vec::with_capacity(problem.nets().len());
+        for net in problem.nets() {
+            let mut state = NetState {
+                pins: net.pins.clone(),
+                ..NetState::default()
+            };
+            for pin in &net.pins {
+                grid.set_occupant(pin.at, pin.layer, Occupant::Net(net.id));
+                *state.occ.entry((pin.at, pin.layer)).or_insert(0) += 1;
+            }
+            nets.push(state);
+        }
+        RouteDb { grid, nets }
+    }
+
+    /// The current occupancy grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of nets tracked.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The pins of `net` as recorded at construction.
+    pub fn pins(&self, net: NetId) -> &[Pin] {
+        &self.nets[net.index()].pins
+    }
+
+    /// Live traces of `net`, with their ids.
+    pub fn traces(&self, net: NetId) -> impl Iterator<Item = (TraceId, &Trace)> {
+        self.nets[net.index()]
+            .traces
+            .iter()
+            .enumerate()
+            .filter_map(move |(slot, t)| t.as_ref().map(|t| (TraceId { net, slot }, t)))
+    }
+
+    /// The trace with the given id, if still live.
+    pub fn trace(&self, id: TraceId) -> Option<&Trace> {
+        self.nets[id.net.index()].traces.get(id.slot)?.as_ref()
+    }
+
+    /// Every `(point, layer)` slot currently occupied by `net` (pins and
+    /// wiring), in unspecified order.
+    pub fn net_slots(&self, net: NetId) -> Vec<Step> {
+        self.nets[net.index()]
+            .occ
+            .keys()
+            .map(|&(at, layer)| Step::new(at, layer))
+            .collect()
+    }
+
+    /// Number of `(point, layer)` slots currently occupied by `net`,
+    /// pins included.
+    pub fn slot_count(&self, net: NetId) -> usize {
+        self.nets[net.index()].occ.len()
+    }
+
+    /// Whether every pin of `net` belongs to one electrically connected
+    /// component of its occupancy (same-layer adjacency plus vias).
+    ///
+    /// This is the routers' completion test; the independent checker in
+    /// `route-verify` deliberately re-implements connectivity rather
+    /// than trusting this method.
+    pub fn is_net_connected(&self, net: NetId) -> bool {
+        let state = &self.nets[net.index()];
+        let Some(first) = state.pins.first() else { return true };
+        let mut seen: HashMap<(Point, Layer), ()> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([(first.at, first.layer)]);
+        seen.insert((first.at, first.layer), ());
+        while let Some((p, layer)) = queue.pop_front() {
+            for n in p.neighbors() {
+                let key = (n, layer);
+                if state.occ.contains_key(&key) && seen.insert(key, ()).is_none() {
+                    queue.push_back(key);
+                }
+            }
+            for adj in layer.adjacent() {
+                let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
+                if state.vias.contains_key(&(p, lower)) {
+                    let key = (p, adj);
+                    if state.occ.contains_key(&key) && seen.insert(key, ()).is_none() {
+                        queue.push_back(key);
+                    }
+                }
+            }
+        }
+        state.pins.iter().all(|pin| seen.contains_key(&(pin.at, pin.layer)))
+    }
+
+    /// Number of vias currently owned by `net`.
+    pub fn via_count(&self, net: NetId) -> usize {
+        self.nets[net.index()].vias.len()
+    }
+
+    /// Validates that `trace` can be committed for `net` against the
+    /// current grid, without modifying anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfBounds`] or [`TraceError::Occupied`] on
+    /// the first offending step.
+    pub fn check(&self, net: NetId, trace: &Trace) -> Result<(), TraceError> {
+        for &step in trace.steps() {
+            if !self.grid.in_bounds(step.at) {
+                return Err(TraceError::OutOfBounds { step });
+            }
+            match self.grid.occupant(step.at, step.layer) {
+                Occupant::Free => {}
+                Occupant::Net(n) if n == net => {}
+                by => return Err(TraceError::Occupied { step, by }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits a trace for `net`, marking its cells and vias on the grid.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the database untouched) if any step is out of
+    /// bounds or lands on a slot held by an obstacle or another net.
+    pub fn commit(&mut self, net: NetId, trace: Trace) -> Result<TraceId, TraceError> {
+        self.check(net, &trace)?;
+        let state = &mut self.nets[net.index()];
+        for &step in trace.steps() {
+            let count = state.occ.entry((step.at, step.layer)).or_insert(0);
+            if *count == 0 {
+                self.grid.set_occupant(step.at, step.layer, Occupant::Net(net));
+            }
+            *count += 1;
+        }
+        for (p, lower) in trace.via_points() {
+            let count = state.vias.entry((p, lower)).or_insert(0);
+            if *count == 0 {
+                self.grid.set_via_between(p, lower, Some(net));
+            }
+            *count += 1;
+        }
+        state.traces.push(Some(trace));
+        Ok(TraceId { net, slot: state.traces.len() - 1 })
+    }
+
+    /// Removes a committed trace, unmarking cells no longer covered by any
+    /// live trace or pin of the same net.
+    ///
+    /// Returns the removed trace, or `None` if `id` was already ripped.
+    pub fn rip_up(&mut self, id: TraceId) -> Option<Trace> {
+        let state = &mut self.nets[id.net.index()];
+        let trace = state.traces.get_mut(id.slot)?.take()?;
+        for &step in trace.steps() {
+            let key = (step.at, step.layer);
+            let count = state.occ.get_mut(&key).expect("committed slot has refcount");
+            *count -= 1;
+            if *count == 0 {
+                state.occ.remove(&key);
+                self.grid.set_occupant(step.at, step.layer, Occupant::Free);
+            }
+        }
+        for (p, lower) in trace.via_points() {
+            let count = state.vias.get_mut(&(p, lower)).expect("committed via has refcount");
+            *count -= 1;
+            if *count == 0 {
+                state.vias.remove(&(p, lower));
+                self.grid.set_via_between(p, lower, None);
+            }
+        }
+        Some(trace)
+    }
+
+    /// Removes every live trace of `net`, returning them in commit order.
+    pub fn rip_up_net(&mut self, net: NetId) -> Vec<Trace> {
+        let ids: Vec<TraceId> = self.traces(net).map(|(id, _)| id).collect();
+        ids.into_iter().filter_map(|id| self.rip_up(id)).collect()
+    }
+
+    /// The traces of `net` that cover a given slot.
+    pub fn traces_covering(&self, net: NetId, at: Point, layer: Layer) -> Vec<TraceId> {
+        self.traces(net)
+            .filter(|(_, t)| t.steps().iter().any(|s| s.at == at && s.layer == layer))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Aggregate wiring statistics over all nets.
+    pub fn stats(&self) -> crate::RouteStats {
+        let mut wirelength = 0u64;
+        let mut vias = 0u64;
+        let mut traces = 0u64;
+        for state in &self.nets {
+            let pin_slots: u64 = state.pins.len() as u64;
+            let occ_slots = state.occ.len() as u64;
+            // Pins that remain wire-free are not wirelength; occupied
+            // slots beyond the pins are. Pins covered by wiring count once.
+            wirelength += occ_slots.saturating_sub(pin_slots);
+            vias += state.vias.len() as u64;
+            traces += state.traces.iter().flatten().count() as u64;
+        }
+        crate::RouteStats { wirelength, vias, traces }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PinSide, ProblemBuilder};
+
+    fn one_net_problem() -> Problem {
+        let mut b = ProblemBuilder::switchbox(5, 4);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.build().unwrap()
+    }
+
+    fn straight_m1(y: i32, x0: i32, x1: i32) -> Trace {
+        Trace::from_steps((x0..=x1).map(|x| Step::new(Point::new(x, y), Layer::M1)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_rejects_gaps() {
+        let err = Trace::from_steps(vec![
+            Step::new(Point::new(0, 0), Layer::M1),
+            Step::new(Point::new(2, 0), Layer::M1),
+        ]);
+        assert!(matches!(err, Err(TraceError::NotContiguous { .. })));
+        assert_eq!(Trace::from_steps(vec![]), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn trace_accepts_vias() {
+        let t = Trace::from_steps(vec![
+            Step::new(Point::new(0, 0), Layer::M1),
+            Step::new(Point::new(0, 0), Layer::M2),
+            Step::new(Point::new(0, 1), Layer::M2),
+        ])
+        .unwrap();
+        assert_eq!(t.via_points().collect::<Vec<_>>(), vec![(Point::new(0, 0), Layer::M1)]);
+    }
+
+    #[test]
+    fn commit_marks_grid() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        for x in 0..5 {
+            assert_eq!(db.grid().occupant(Point::new(x, 1), Layer::M1), Occupant::Net(net));
+        }
+    }
+
+    #[test]
+    fn commit_rejects_foreign_occupancy() {
+        let mut b = ProblemBuilder::switchbox(5, 4);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.net("b").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
+        let p = b.build().unwrap();
+        let (a, bnet) = (p.nets()[0].id, p.nets()[1].id);
+        let mut db = RouteDb::new(&p);
+        db.commit(a, straight_m1(1, 0, 4)).unwrap();
+        // Net b tries to cross row 1 on M1: blocked at (2,1).
+        let err = db.commit(bnet, straight_m1(1, 2, 3));
+        assert!(matches!(err, Err(TraceError::Occupied { .. })));
+        // And the database was not modified by the failed commit.
+        assert_eq!(db.traces(bnet).count(), 0);
+    }
+
+    #[test]
+    fn rip_up_restores_grid() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let id = db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        let removed = db.rip_up(id).unwrap();
+        assert_eq!(removed.steps().len(), 5);
+        // Interior cells freed, pin cells still owned.
+        assert_eq!(db.grid().occupant(Point::new(2, 1), Layer::M1), Occupant::Free);
+        assert_eq!(db.grid().occupant(Point::new(0, 1), Layer::M1), Occupant::Net(net));
+        assert_eq!(db.grid().occupant(Point::new(4, 1), Layer::M1), Occupant::Net(net));
+        // Double rip-up is a no-op.
+        assert!(db.rip_up(id).is_none());
+    }
+
+    #[test]
+    fn overlapping_traces_refcount() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let t1 = db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        // A second trace sharing cell (2,1): a stub going north from the spine.
+        let stub = Trace::from_steps(vec![
+            Step::new(Point::new(2, 1), Layer::M1),
+            Step::new(Point::new(2, 1), Layer::M2),
+            Step::new(Point::new(2, 2), Layer::M2),
+        ])
+        .unwrap();
+        let _t2 = db.commit(net, stub).unwrap();
+        db.rip_up(t1);
+        // (2,1) on M1 still held by the stub.
+        assert_eq!(db.grid().occupant(Point::new(2, 1), Layer::M1), Occupant::Net(net));
+        // But (3,1) was only in t1.
+        assert_eq!(db.grid().occupant(Point::new(3, 1), Layer::M1), Occupant::Free);
+    }
+
+    #[test]
+    fn vias_marked_and_cleared() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let t = Trace::from_steps(vec![
+            Step::new(Point::new(0, 1), Layer::M1),
+            Step::new(Point::new(0, 1), Layer::M2),
+            Step::new(Point::new(0, 2), Layer::M2),
+        ])
+        .unwrap();
+        let id = db.commit(net, t).unwrap();
+        assert_eq!(db.grid().via_between(Point::new(0, 1), Layer::M1), Some(net));
+        db.rip_up(id);
+        assert_eq!(db.grid().via_between(Point::new(0, 1), Layer::M1), None);
+    }
+
+    #[test]
+    fn stats_track_wiring() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        assert_eq!(db.stats().wirelength, 0);
+        db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        let s = db.stats();
+        // 5 occupied slots, 2 of them pins.
+        assert_eq!(s.wirelength, 3);
+        assert_eq!(s.vias, 0);
+        assert_eq!(s.traces, 1);
+    }
+
+    #[test]
+    fn rip_up_net_clears_everything() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        db.commit(net, straight_m1(2, 0, 0)).unwrap();
+        let ripped = db.rip_up_net(net);
+        assert_eq!(ripped.len(), 2);
+        assert_eq!(db.stats().wirelength, 0);
+        assert_eq!(db.traces(net).count(), 0);
+    }
+
+    #[test]
+    fn traces_covering_finds_owner() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let id = db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        assert_eq!(db.traces_covering(net, Point::new(3, 1), Layer::M1), vec![id]);
+        assert!(db.traces_covering(net, Point::new(3, 2), Layer::M1).is_empty());
+    }
+
+    #[test]
+    fn net_slots_include_pins() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let db = RouteDb::new(&p);
+        let slots = db.net_slots(net);
+        assert_eq!(slots.len(), 2);
+    }
+
+    #[test]
+    fn check_out_of_bounds() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let db = RouteDb::new(&p);
+        let t = Trace::from_steps(vec![Step::new(Point::new(-1, 0), Layer::M1)]).unwrap();
+        assert!(matches!(db.check(net, &t), Err(TraceError::OutOfBounds { .. })));
+    }
+}

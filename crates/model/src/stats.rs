@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Aggregate wiring statistics of a [`RouteDb`](crate::RouteDb).
+///
+/// Produced by [`RouteDb::stats`](crate::RouteDb::stats).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// Occupied `(cell, layer)` slots beyond the pins — total wire cells.
+    pub wirelength: u64,
+    /// Number of vias (M1–M2 connections).
+    pub vias: u64,
+    /// Number of live committed traces.
+    pub traces: u64,
+}
+
+impl RouteStats {
+    /// Common scalar quality figure: wirelength plus a via penalty.
+    ///
+    /// Vias are conventionally weighted heavier than wire cells; `weight`
+    /// is the cost of one via in wire-cell units.
+    pub fn weighted_cost(&self, via_weight: u64) -> u64 {
+        self.wirelength + via_weight * self.vias
+    }
+}
+
+impl fmt::Display for RouteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wirelength {}, vias {}, traces {}",
+            self.wirelength, self.vias, self.traces
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_cost() {
+        let s = RouteStats { wirelength: 10, vias: 3, traces: 2 };
+        assert_eq!(s.weighted_cost(2), 16);
+        assert_eq!(s.weighted_cost(0), 10);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = RouteStats { wirelength: 1, vias: 2, traces: 3 };
+        let text = s.to_string();
+        assert!(text.contains('1') && text.contains('2') && text.contains('3'));
+    }
+}

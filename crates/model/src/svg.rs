@@ -1,0 +1,185 @@
+use std::fmt::Write as _;
+
+use route_geom::{Layer, Point};
+
+use crate::{Occupant, RouteDb};
+
+/// Pixel size of one grid cell in the SVG output.
+const CELL: i32 = 16;
+
+/// Categorical wire colors, cycled by net index.
+const PALETTE: [&str; 10] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+    "#9c6b4e", "#9498a0",
+];
+
+/// Renders the routing database as a standalone SVG document: M1 wiring
+/// as horizontal-leaning strokes, M2 wiring as vertical-leaning strokes
+/// on the same canvas at reduced opacity, vias as rings, obstacles as
+/// hatched cells, and pins as filled squares.
+///
+/// Intended for visual inspection of results (the CLI's `--svg` flag
+/// writes this) — not a stable interchange format.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{render_svg, ProblemBuilder, PinSide, RouteDb};
+///
+/// let mut b = ProblemBuilder::switchbox(4, 3);
+/// b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+/// let problem = b.build()?;
+/// let svg = render_svg(&RouteDb::new(&problem));
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// # Ok::<(), route_model::ProblemError>(())
+/// ```
+pub fn render_svg(db: &RouteDb) -> String {
+    let grid = db.grid();
+    let (w, h) = (grid.width() as i32, grid.height() as i32);
+    let (px_w, px_h) = (w * CELL, h * CELL);
+    // Grid y grows north; SVG y grows down. Flip rows.
+    let cx = |p: Point| p.x * CELL + CELL / 2;
+    let cy = |p: Point| (h - 1 - p.y) * CELL + CELL / 2;
+    let color = |net: crate::NetId| PALETTE[net.index() % PALETTE.len()];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{px_w}\" height=\"{px_h}\" \
+         viewBox=\"0 0 {px_w} {px_h}\">"
+    );
+    let _ = writeln!(out, "<rect width=\"{px_w}\" height=\"{px_h}\" fill=\"#ffffff\"/>");
+
+    // Faint grid lines.
+    for x in 0..=w {
+        let _ = writeln!(
+            out,
+            "<line x1=\"{0}\" y1=\"0\" x2=\"{0}\" y2=\"{px_h}\" stroke=\"#eeeeee\"/>",
+            x * CELL
+        );
+    }
+    for y in 0..=h {
+        let _ = writeln!(
+            out,
+            "<line x1=\"0\" y1=\"{0}\" x2=\"{px_w}\" y2=\"{0}\" stroke=\"#eeeeee\"/>",
+            y * CELL
+        );
+    }
+
+    // Obstacles (blocked on either layer).
+    for p in grid.points() {
+        let blocked = Layer::ALL
+            .iter()
+            .any(|&l| grid.occupant(p, l) == Occupant::Blocked);
+        if blocked {
+            let _ = writeln!(
+                out,
+                "<rect x=\"{}\" y=\"{}\" width=\"{CELL}\" height=\"{CELL}\" fill=\"#d8d8d8\"/>",
+                p.x * CELL,
+                (h - 1 - p.y) * CELL
+            );
+        }
+    }
+
+    // Wiring: draw each trace as a polyline per layer run.
+    for net_idx in 0..db.net_count() {
+        let net = crate::NetId(net_idx as u32);
+        let stroke = color(net);
+        for (_, trace) in db.traces(net) {
+            // Split the trace into same-layer runs.
+            let mut run: Vec<Point> = Vec::new();
+            let mut run_layer = trace.steps()[0].layer;
+            let flush = |run: &mut Vec<Point>, layer: Layer, out: &mut String| {
+                if run.len() >= 2 {
+                    let pts: Vec<String> =
+                        run.iter().map(|p| format!("{},{}", cx(*p), cy(*p))).collect();
+                    let (width, opacity) = match layer {
+                        Layer::M1 => (CELL / 3, "1.0"),
+                        Layer::M2 => (CELL / 4, "0.75"),
+                        Layer::M3 => (CELL / 5, "0.6"),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" \
+                         stroke-width=\"{width}\" stroke-opacity=\"{opacity}\" \
+                         stroke-linecap=\"round\" stroke-linejoin=\"round\"/>",
+                        pts.join(" ")
+                    );
+                }
+                run.clear();
+            };
+            for step in trace.steps() {
+                if step.layer != run_layer {
+                    flush(&mut run, run_layer, &mut out);
+                    run_layer = step.layer;
+                    run.push(step.at);
+                } else {
+                    run.push(step.at);
+                }
+            }
+            flush(&mut run, run_layer, &mut out);
+            // Vias as rings.
+            for (p, _lower) in trace.via_points() {
+                let _ = writeln!(
+                    out,
+                    "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"#ffffff\" \
+                     stroke=\"{stroke}\" stroke-width=\"2\"/>",
+                    cx(p),
+                    cy(p),
+                    CELL / 4
+                );
+            }
+        }
+        // Pins as filled squares.
+        for pin in db.pins(net) {
+            let s = CELL / 2;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{}\" y=\"{}\" width=\"{s}\" height=\"{s}\" fill=\"{stroke}\"/>",
+                cx(pin.at) - s / 2,
+                cy(pin.at) - s / 2
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PinSide, ProblemBuilder, Step, Trace};
+
+    #[test]
+    fn svg_contains_expected_elements() {
+        let mut b = ProblemBuilder::switchbox(5, 4);
+        b.obstacle(Point::new(2, 2));
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        let p = b.build().unwrap();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        let mut steps: Vec<Step> =
+            (0..3).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect();
+        steps.push(Step::new(Point::new(2, 1), Layer::M2));
+        steps.push(Step::new(Point::new(2, 0), Layer::M2));
+        db.commit(net, Trace::from_steps(steps).unwrap()).unwrap();
+
+        let svg = render_svg(&db);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<polyline"), "wire runs rendered");
+        assert!(svg.contains("<circle"), "via rendered");
+        assert!(svg.contains("fill=\"#d8d8d8\""), "obstacle rendered");
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn svg_dimensions_scale_with_grid() {
+        let mut b = ProblemBuilder::switchbox(7, 3);
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Right, 0);
+        let p = b.build().unwrap();
+        let svg = render_svg(&RouteDb::new(&p));
+        assert!(svg.contains(&format!("width=\"{}\"", 7 * CELL)));
+        assert!(svg.contains(&format!("height=\"{}\"", 3 * CELL)));
+    }
+}

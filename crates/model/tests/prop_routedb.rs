@@ -1,0 +1,145 @@
+//! Property-based tests of the routing database's core invariant: the
+//! grid occupancy is exactly the union of pins and live traces, no
+//! matter how commits and rip-ups interleave.
+
+use proptest::prelude::*;
+
+use route_geom::{Layer, Point};
+use route_model::{Occupant, PinSide, Problem, ProblemBuilder, RouteDb, Step, Trace};
+
+const W: u32 = 8;
+const H: u32 = 6;
+
+fn two_net_problem() -> Problem {
+    let mut b = ProblemBuilder::switchbox(W, H);
+    b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+    b.net("b").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+    b.build().expect("fixed problem is valid")
+}
+
+/// A random contiguous walk starting at `(x0, y0)` on a random layer.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        0..W as i32,
+        0..H as i32,
+        any::<bool>(),
+        prop::collection::vec(0u8..6, 1..12),
+    )
+        .prop_map(|(x0, y0, m2, moves)| {
+            let mut layer = if m2 { Layer::M2 } else { Layer::M1 };
+            let mut at = Point::new(x0, y0);
+            let mut steps = vec![Step::new(at, layer)];
+            for m in moves {
+                let next = match m {
+                    0 => Point::new((at.x + 1).min(W as i32 - 1), at.y),
+                    1 => Point::new((at.x - 1).max(0), at.y),
+                    2 => Point::new(at.x, (at.y + 1).min(H as i32 - 1)),
+                    3 => Point::new(at.x, (at.y - 1).max(0)),
+                    _ => {
+                        // Layer change (via) to an adjacent layer.
+                        layer = match layer {
+                            Layer::M1 => Layer::M2,
+                            Layer::M2 => Layer::M1,
+                            Layer::M3 => Layer::M2,
+                        };
+                        at
+                    }
+                };
+                let step = Step::new(next, layer);
+                if step != *steps.last().expect("nonempty") {
+                    steps.push(step);
+                }
+                at = next;
+            }
+            Trace::from_steps(steps).expect("walk is contiguous")
+        })
+}
+
+proptest! {
+    /// Committing any sequence of traces for one net and then ripping
+    /// them all restores the exact original grid.
+    #[test]
+    fn commit_rip_all_restores_grid(traces in prop::collection::vec(arb_trace(), 1..8)) {
+        let problem = two_net_problem();
+        let net = problem.nets()[0].id;
+        let mut db = RouteDb::new(&problem);
+        let pristine = db.grid().clone();
+        let mut ids = Vec::new();
+        for t in traces {
+            // Traces may collide with net b's pins; skip those.
+            if let Ok(id) = db.commit(net, t) {
+                ids.push(id);
+            }
+        }
+        // Rip in a scrambled (reversed) order.
+        for id in ids.into_iter().rev() {
+            prop_assert!(db.rip_up(id).is_some());
+        }
+        prop_assert_eq!(db.grid(), &pristine);
+        prop_assert_eq!(db.stats().wirelength, 0);
+        prop_assert_eq!(db.stats().vias, 0);
+    }
+
+    /// After any interleaving of commits and rip-ups, every slot owned by
+    /// the net on the grid is covered by a pin or a live trace, and vice
+    /// versa.
+    #[test]
+    fn occupancy_matches_live_traces(
+        traces in prop::collection::vec(arb_trace(), 1..8),
+        rip_mask in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let problem = two_net_problem();
+        let net = problem.nets()[0].id;
+        let mut db = RouteDb::new(&problem);
+        let mut ids = Vec::new();
+        for t in traces {
+            if let Ok(id) = db.commit(net, t) {
+                ids.push(id);
+            }
+        }
+        for (id, rip) in ids.iter().zip(&rip_mask) {
+            if *rip {
+                db.rip_up(*id);
+            }
+        }
+        // Expected occupancy: pins plus live traces.
+        let mut expected: std::collections::HashSet<(Point, Layer)> = db
+            .pins(net)
+            .iter()
+            .map(|p| (p.at, p.layer))
+            .collect();
+        for (_, t) in db.traces(net) {
+            for s in t.steps() {
+                expected.insert((s.at, s.layer));
+            }
+        }
+        for p in db.grid().points() {
+            for layer in Layer::ALL {
+                let owned = db.grid().occupant(p, layer) == Occupant::Net(net);
+                prop_assert_eq!(owned, expected.contains(&(p, layer)),
+                    "mismatch at {:?} {:?}", p, layer);
+            }
+        }
+        // net_slots agrees with the grid.
+        let slots = db.net_slots(net);
+        prop_assert_eq!(slots.len(), expected.len());
+    }
+
+    /// Commit never mutates the database when it fails.
+    #[test]
+    fn failed_commit_is_a_noop(t in arb_trace()) {
+        let problem = two_net_problem();
+        let (a, b) = (problem.nets()[0].id, problem.nets()[1].id);
+        let mut db = RouteDb::new(&problem);
+        // Fill net b's row so many traces collide with it.
+        let wall = Trace::from_steps(
+            (0..W as i32).map(|x| Step::new(Point::new(x, 4), Layer::M1)).collect(),
+        ).expect("contiguous");
+        db.commit(b, wall).expect("empty row commits");
+        let before = db.clone();
+        if db.commit(a, t).is_err() {
+            prop_assert_eq!(db.grid(), before.grid());
+            prop_assert_eq!(db.stats(), before.stats());
+        }
+    }
+}

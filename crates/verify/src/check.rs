@@ -1,0 +1,283 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use route_geom::{Layer, Point};
+use route_model::{NetId, Occupant, Problem, RouteDb, Step};
+
+use crate::{Report, Violation};
+
+/// Verifies a routing database against its problem, recomputing all
+/// occupancy from pins and traces.
+///
+/// Returns a [`Report`] with every violation found; see the
+/// [crate docs](crate) for the list of checks performed.
+pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
+    let mut violations = Vec::new();
+    let base = problem.base_grid();
+
+    // Recompute occupancy from scratch: slot -> owning nets.
+    let mut occupancy: HashMap<(Point, Layer), Vec<NetId>> = HashMap::new();
+    // Vias required by traces (layer changes), per net, keyed by point
+    // and the pair's lower layer.
+    let mut required_vias: HashMap<NetId, HashSet<(Point, Layer)>> = HashMap::new();
+
+    for net in problem.nets() {
+        let mut slots: HashSet<(Point, Layer)> = HashSet::new();
+        for pin in &net.pins {
+            slots.insert((pin.at, pin.layer));
+        }
+        for (_, trace) in db.traces(net.id) {
+            for step in trace.steps() {
+                slots.insert((step.at, step.layer));
+            }
+            required_vias
+                .entry(net.id)
+                .or_default()
+                .extend(trace.via_points());
+        }
+        for slot in slots {
+            occupancy.entry(slot).or_default().push(net.id);
+        }
+    }
+
+    // Shorts and obstacle overlaps.
+    for (&(at, layer), owners) in &occupancy {
+        if owners.len() > 1 {
+            violations.push(Violation::Short {
+                a: owners[0],
+                b: owners[1],
+                at,
+                layer,
+            });
+        }
+        if !base.in_bounds(at) || base.occupant(at, layer) == Occupant::Blocked {
+            for &net in owners {
+                violations.push(Violation::ObstacleOverlap { net, at, layer });
+            }
+        }
+    }
+
+    // Via legality: every required via must connect the two slots of its
+    // layer pair for its net, and the grid must record it for that net.
+    for (&net, vias) in &required_vias {
+        for &(at, lower) in vias {
+            let upper = lower.above().expect("via pairs have an upper layer");
+            let both_layers = [lower, upper]
+                .iter()
+                .all(|&l| occupancy.get(&(at, l)).is_some_and(|o| o.contains(&net)));
+            let grid_agrees =
+                db.grid().in_bounds(at) && db.grid().via_between(at, lower) == Some(net);
+            if !both_layers || !grid_agrees {
+                violations.push(Violation::BadVia { net, at });
+            }
+        }
+    }
+
+    // ...and the converse: every via marker on the grid must be backed
+    // by a layer change in some live trace of its net.
+    for p in base.bounds().cells() {
+        for lower in [Layer::M1, Layer::M2] {
+            if let Some(net) = db.grid().via_between(p, lower) {
+                let backed =
+                    required_vias.get(&net).is_some_and(|vias| vias.contains(&(p, lower)));
+                if !backed {
+                    violations.push(Violation::BadVia { net, at: p });
+                }
+            }
+        }
+    }
+
+    // Connectivity per net.
+    for net in problem.nets() {
+        let components = pin_components(db, net.id, &required_vias);
+        if components > 1 {
+            violations.push(Violation::Disconnected { net: net.id, components });
+        }
+    }
+
+    // Grid consistency: the live grid must equal recomputed occupancy
+    // wherever the base grid is not blocked.
+    for p in base.bounds().cells() {
+        for layer in Layer::ALL {
+            if base.occupant(p, layer) == Occupant::Blocked {
+                continue;
+            }
+            let expected = occupancy
+                .get(&(p, layer))
+                .and_then(|o| o.first().copied());
+            let actual = db.grid().occupant(p, layer).net();
+            let actual_free = db.grid().occupant(p, layer).is_free();
+            let matches = match expected {
+                Some(net) => actual == Some(net),
+                None => actual_free,
+            };
+            if !matches {
+                violations.push(Violation::GridMismatch { at: p, layer });
+            }
+        }
+    }
+
+    Report::new(violations)
+}
+
+/// Counts the connected components of `net`'s occupancy that contain at
+/// least one pin. Complete nets have exactly one.
+fn pin_components(
+    db: &RouteDb,
+    net: NetId,
+    required_vias: &HashMap<NetId, HashSet<(Point, Layer)>>,
+) -> usize {
+    let slots: HashSet<(Point, Layer)> = db
+        .net_slots(net)
+        .into_iter()
+        .map(|s: Step| (s.at, s.layer))
+        .collect();
+    let vias = required_vias.get(&net);
+    let has_via = |p: Point, lower: Layer| {
+        vias.is_some_and(|v| v.contains(&(p, lower)))
+            || db.grid().via_between(p, lower) == Some(net)
+    };
+
+    let mut seen: HashSet<(Point, Layer)> = HashSet::new();
+    let mut components = 0usize;
+    for pin in db.pins(net) {
+        let start = (pin.at, pin.layer);
+        if seen.contains(&start) {
+            continue;
+        }
+        components += 1;
+        let mut queue = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some((p, layer)) = queue.pop_front() {
+            // Same-layer neighbours.
+            for n in p.neighbors() {
+                let key = (n, layer);
+                if slots.contains(&key) && seen.insert(key) {
+                    queue.push_back(key);
+                }
+            }
+            // Layer changes through vias to adjacent layers.
+            for adj in layer.adjacent() {
+                let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
+                if has_via(p, lower) {
+                    let key = (p, adj);
+                    if slots.contains(&key) && seen.insert(key) {
+                        queue.push_back(key);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_model::{PinSide, ProblemBuilder, Trace};
+
+    fn problem_two_pins() -> Problem {
+        let mut b = ProblemBuilder::switchbox(5, 4);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.build().unwrap()
+    }
+
+    fn m1_row(y: i32, x0: i32, x1: i32) -> Trace {
+        Trace::from_steps(
+            (x0..=x1)
+                .map(|x| Step::new(Point::new(x, y), Layer::M1))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unrouted_net_is_disconnected() {
+        let p = problem_two_pins();
+        let db = RouteDb::new(&p);
+        let r = verify(&p, &db);
+        assert_eq!(r.disconnected_nets(), 1);
+        assert!(r.is_legal_but_incomplete());
+    }
+
+    #[test]
+    fn straight_route_is_clean() {
+        let p = problem_two_pins();
+        let mut db = RouteDb::new(&p);
+        db.commit(p.nets()[0].id, m1_row(1, 0, 4)).unwrap();
+        let r = verify(&p, &db);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn route_with_via_is_clean() {
+        let mut b = ProblemBuilder::switchbox(4, 4);
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Top, 3);
+        let p = b.build().unwrap();
+        let mut db = RouteDb::new(&p);
+        let mut steps: Vec<Step> =
+            (0..4).map(|x| Step::new(Point::new(x, 0), Layer::M1)).collect();
+        steps.push(Step::new(Point::new(3, 0), Layer::M2));
+        steps.extend((1..4).map(|y| Step::new(Point::new(3, y), Layer::M2)));
+        db.commit(p.nets()[0].id, Trace::from_steps(steps).unwrap()).unwrap();
+        let r = verify(&p, &db);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn wire_touching_pin_without_via_is_not_connected() {
+        // Pin on M1 at (0,1); wire passes on M2 above it without a via:
+        // net must still be reported disconnected.
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.net("a").pin_at(Point::new(0, 1), Layer::M1).pin_at(Point::new(2, 1), Layer::M2);
+        let p = b.build().unwrap();
+        let mut db = RouteDb::new(&p);
+        let t = Trace::from_steps(vec![
+            Step::new(Point::new(2, 1), Layer::M2),
+            Step::new(Point::new(1, 1), Layer::M2),
+            Step::new(Point::new(0, 1), Layer::M2),
+        ])
+        .unwrap();
+        db.commit(p.nets()[0].id, t).unwrap();
+        let r = verify(&p, &db);
+        assert_eq!(r.disconnected_nets(), 1);
+    }
+
+    #[test]
+    fn disconnected_stub_detected() {
+        let p = problem_two_pins();
+        let mut db = RouteDb::new(&p);
+        // Wire from the left pin only partway across.
+        db.commit(p.nets()[0].id, m1_row(1, 0, 2)).unwrap();
+        let r = verify(&p, &db);
+        assert_eq!(r.disconnected_nets(), 1);
+    }
+
+    #[test]
+    fn multi_pin_net_connectivity() {
+        let mut b = ProblemBuilder::switchbox(5, 5);
+        b.net("t")
+            .pin_side(PinSide::Left, 2)
+            .pin_side(PinSide::Right, 2)
+            .pin_side(PinSide::Top, 2);
+        let p = b.build().unwrap();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        db.commit(net, m1_row(2, 0, 4)).unwrap();
+        // Pins on left/right now connected; top pin still floating.
+        assert_eq!(verify(&p, &db).disconnected_nets(), 1);
+        // Add the vertical branch with a via at (2,2).
+        let mut steps = vec![Step::new(Point::new(2, 2), Layer::M1), Step::new(Point::new(2, 2), Layer::M2)];
+        steps.extend((3..5).map(|y| Step::new(Point::new(2, y), Layer::M2)));
+        db.commit(net, Trace::from_steps(steps).unwrap()).unwrap();
+        assert!(verify(&p, &db).is_clean());
+    }
+
+    #[test]
+    fn single_pin_net_is_trivially_complete() {
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.net("solo").pin_at(Point::new(1, 1), Layer::M1);
+        let p = b.build().unwrap();
+        let db = RouteDb::new(&p);
+        assert!(verify(&p, &db).is_clean());
+    }
+}

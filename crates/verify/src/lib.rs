@@ -1,0 +1,46 @@
+//! Design-rule and connectivity verification for routed grids.
+//!
+//! This crate is the independent oracle of the workspace: it never trusts
+//! the invariants the routers or the [`RouteDb`](route_model::RouteDb)
+//! claim to maintain. Instead it recomputes occupancy from the committed
+//! traces and pins, and checks:
+//!
+//! * **shorts** — two nets claiming the same `(cell, layer)` slot,
+//! * **obstacle overlaps** — wiring over blocked cells or outside the
+//!   routing region,
+//! * **via legality** — every layer change is backed by a via and every
+//!   via connects two slots of the same net,
+//! * **connectivity** — all pins of each net belong to one electrically
+//!   connected component,
+//! * **grid consistency** — the database's live grid matches the
+//!   occupancy recomputed from scratch.
+//!
+//! Every experiment in the benchmark harness validates its routing result
+//! through [`verify`] before reporting numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_model::{ProblemBuilder, PinSide, RouteDb};
+//! use route_verify::verify;
+//!
+//! let mut b = ProblemBuilder::switchbox(4, 4);
+//! b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+//! let problem = b.build()?;
+//! let db = RouteDb::new(&problem);
+//!
+//! // No wiring yet: the single net is incomplete.
+//! let report = verify(&problem, &db);
+//! assert!(!report.is_clean());
+//! # Ok::<(), route_model::ProblemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod metrics;
+mod report;
+
+pub use check::verify;
+pub use metrics::{columns_used, rows_used};
+pub use report::{Report, Violation};

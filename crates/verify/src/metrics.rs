@@ -1,0 +1,80 @@
+use std::collections::HashSet;
+
+use route_geom::Layer;
+use route_model::RouteDb;
+
+/// Number of distinct grid rows carrying net wiring on `layer`.
+///
+/// For channel-style problems routed in the reserved-layer model, the row
+/// usage of the horizontal layer [`Layer::M1`] is the classic **track
+/// count** quality metric.
+pub fn rows_used(db: &RouteDb, layer: Layer) -> usize {
+    let mut rows: HashSet<i32> = HashSet::new();
+    for net in 0..db.net_count() {
+        let net = route_model::NetId(net as u32);
+        for (_, trace) in db.traces(net) {
+            for step in trace.steps() {
+                if step.layer == layer {
+                    rows.insert(step.at.y);
+                }
+            }
+        }
+    }
+    rows.len()
+}
+
+/// Number of distinct grid columns carrying net wiring on `layer`.
+///
+/// The column usage of the vertical layer [`Layer::M2`] is the switchbox
+/// analogue of the track count (the abstract's "one less column" claim is
+/// measured in columns).
+pub fn columns_used(db: &RouteDb, layer: Layer) -> usize {
+    let mut cols: HashSet<i32> = HashSet::new();
+    for net in 0..db.net_count() {
+        let net = route_model::NetId(net as u32);
+        for (_, trace) in db.traces(net) {
+            for step in trace.steps() {
+                if step.layer == layer {
+                    cols.insert(step.at.x);
+                }
+            }
+        }
+    }
+    cols.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_geom::Point;
+    use route_model::{PinSide, ProblemBuilder, Step, Trace};
+
+    #[test]
+    fn counts_rows_and_columns() {
+        let mut b = ProblemBuilder::switchbox(5, 5);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.net("b").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let mut db = RouteDb::new(&p);
+        for (i, y) in [1i32, 3].iter().enumerate() {
+            let t = Trace::from_steps(
+                (0..5).map(|x| Step::new(Point::new(x, *y), Layer::M1)).collect(),
+            )
+            .unwrap();
+            db.commit(p.nets()[i].id, t).unwrap();
+        }
+        assert_eq!(rows_used(&db, Layer::M1), 2);
+        assert_eq!(rows_used(&db, Layer::M2), 0);
+        assert_eq!(columns_used(&db, Layer::M1), 5);
+    }
+
+    #[test]
+    fn empty_db_uses_nothing() {
+        let mut b = ProblemBuilder::switchbox(3, 3);
+        b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Right, 0);
+        let p = b.build().unwrap();
+        let db = RouteDb::new(&p);
+        assert_eq!(rows_used(&db, Layer::M1), 0);
+        assert_eq!(columns_used(&db, Layer::M2), 0);
+    }
+}

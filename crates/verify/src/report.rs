@@ -1,0 +1,177 @@
+use std::fmt;
+
+use route_geom::{Layer, Point};
+use route_model::NetId;
+
+/// A single rule or connectivity violation found by [`verify`](crate::verify).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two nets occupy the same `(cell, layer)` slot.
+    Short {
+        /// One of the nets involved.
+        a: NetId,
+        /// The other net involved.
+        b: NetId,
+        /// The shared cell.
+        at: Point,
+        /// The shared layer.
+        layer: Layer,
+    },
+    /// Wiring placed on a blocked cell (obstacle or outside the region).
+    ObstacleOverlap {
+        /// The offending net.
+        net: NetId,
+        /// The blocked cell.
+        at: Point,
+        /// The blocked layer.
+        layer: Layer,
+    },
+    /// A trace changes layer at a point without a via recorded there, or
+    /// a via exists without both layers owned by its net.
+    BadVia {
+        /// The net whose via is inconsistent.
+        net: NetId,
+        /// The via location.
+        at: Point,
+    },
+    /// A net's pins do not all belong to one connected component.
+    Disconnected {
+        /// The fragmented net.
+        net: NetId,
+        /// Number of connected components its occupancy splits into
+        /// (counting only components containing at least one pin).
+        components: usize,
+    },
+    /// The live grid disagrees with occupancy recomputed from traces.
+    GridMismatch {
+        /// The inconsistent cell.
+        at: Point,
+        /// The inconsistent layer.
+        layer: Layer,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Short { a, b, at, layer } => {
+                write!(f, "short between {a} and {b} at {at} on {layer}")
+            }
+            Violation::ObstacleOverlap { net, at, layer } => {
+                write!(f, "net {net} overlaps an obstacle at {at} on {layer}")
+            }
+            Violation::BadVia { net, at } => {
+                write!(f, "inconsistent via of net {net} at {at}")
+            }
+            Violation::Disconnected { net, components } => {
+                write!(f, "net {net} is split into {components} components")
+            }
+            Violation::GridMismatch { at, layer } => {
+                write!(f, "grid/trace occupancy mismatch at {at} on {layer}")
+            }
+        }
+    }
+}
+
+/// The result of a verification pass: all violations found.
+///
+/// # Examples
+///
+/// ```
+/// use route_verify::Report;
+///
+/// let report = Report::new(vec![]);
+/// assert!(report.is_clean());
+/// assert_eq!(report.to_string(), "clean");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Wraps a list of violations.
+    pub fn new(violations: Vec<Violation>) -> Self {
+        Report { violations }
+    }
+
+    /// Whether no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations found, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of violations of connectivity kind ([`Violation::Disconnected`]).
+    pub fn disconnected_nets(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Disconnected { .. }))
+            .count()
+    }
+
+    /// Whether the report contains only connectivity violations — i.e.
+    /// the wiring placed so far is legal, just incomplete. Useful when
+    /// scoring routers that are allowed to fail some nets.
+    pub fn is_legal_but_incomplete(&self) -> bool {
+        !self.is_clean()
+            && self
+                .violations
+                .iter()
+                .all(|v| matches!(v, Violation::Disconnected { .. }))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(!r.is_legal_but_incomplete());
+        assert_eq!(r.disconnected_nets(), 0);
+    }
+
+    #[test]
+    fn incomplete_only() {
+        let r = Report::new(vec![Violation::Disconnected { net: NetId(0), components: 2 }]);
+        assert!(!r.is_clean());
+        assert!(r.is_legal_but_incomplete());
+        assert_eq!(r.disconnected_nets(), 1);
+    }
+
+    #[test]
+    fn mixed_violations_are_not_merely_incomplete() {
+        let r = Report::new(vec![
+            Violation::Disconnected { net: NetId(0), components: 2 },
+            Violation::Short { a: NetId(0), b: NetId(1), at: Point::new(1, 1), layer: Layer::M1 },
+        ]);
+        assert!(!r.is_legal_but_incomplete());
+    }
+
+    #[test]
+    fn display_lists_violations() {
+        let r = Report::new(vec![Violation::BadVia { net: NetId(2), at: Point::new(3, 4) }]);
+        let text = r.to_string();
+        assert!(text.contains("1 violation"));
+        assert!(text.contains("n2"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Compare all five channel routers on one channel — the scenario the
+//! paper's evaluation is built around.
+//!
+//! Reads a channel from a file in the text format of
+//! [`vlsi_route::benchdata::format`] when a path is given, otherwise uses
+//! a built-in example with a vertical constraint cycle that separates
+//! the router generations:
+//!
+//! ```text
+//! cargo run --example channel_compare [channel.txt]
+//! ```
+
+use std::process::ExitCode;
+
+use vlsi_route::benchdata::format::parse_channel;
+use vlsi_route::channel::{dogleg, greedy, lea, yacr, ChannelSpec};
+use vlsi_route::mighty::{MightyRouter, RouterConfig};
+use vlsi_route::verify::verify;
+
+fn main() -> ExitCode {
+    let spec = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_channel(&text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => ChannelSpec::new(
+            vec![1, 2, 3, 0, 4, 2, 0, 5, 4, 0],
+            vec![2, 1, 0, 3, 2, 5, 4, 0, 5, 4],
+        )
+        .expect("built-in example is valid"),
+    };
+
+    println!("{spec}");
+    println!("density lower bound: {} tracks\n", spec.density());
+
+    match lea::route(&spec) {
+        Ok(sol) => println!("left-edge:   {} tracks", sol.tracks),
+        Err(e) => println!("left-edge:   cannot route ({e})"),
+    }
+    match dogleg::route(&spec) {
+        Ok(sol) => println!("dogleg:      {} tracks", sol.tracks),
+        Err(e) => println!("dogleg:      cannot route ({e})"),
+    }
+    match greedy::route(&spec) {
+        Ok(sol) => println!(
+            "greedy:      {} tracks, {} extension columns",
+            sol.tracks, sol.extra_columns
+        ),
+        Err(e) => println!("greedy:      cannot route ({e})"),
+    }
+    match yacr::route(&spec, 8) {
+        Ok(sol) => println!("yacr-style:  {} tracks", sol.tracks),
+        Err(e) => println!("yacr-style:  cannot route ({e})"),
+    }
+
+    // The rip-up/reroute router treats the channel as a general region
+    // and searches for the smallest track count.
+    let router = MightyRouter::new(RouterConfig::default());
+    let density = spec.density().max(1);
+    let mut routed = None;
+    for extra in 0..=8 {
+        let tracks = (density + extra) as usize;
+        let problem = spec.to_problem(tracks);
+        let outcome = router.route(&problem);
+        if outcome.is_complete() {
+            let report = verify(&problem, outcome.db());
+            assert!(report.is_clean(), "{report}");
+            routed = Some(tracks);
+            break;
+        }
+    }
+    match routed {
+        Some(tracks) => println!("rip-up:      {tracks} tracks"),
+        None => println!("rip-up:      cannot route within density+8"),
+    }
+    ExitCode::SUCCESS
+}

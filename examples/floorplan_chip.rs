@@ -1,0 +1,50 @@
+//! Chip-scale hierarchical routing: a 96x96 floorplan with macro blocks,
+//! planned over 16-cell tiles and detail-routed per tile.
+//!
+//! ```text
+//! cargo run --release --example floorplan_chip [out.svg]
+//! ```
+
+use std::time::Instant;
+
+use vlsi_route::geom::{Point, Rect};
+use vlsi_route::global::{route_hierarchical, GlobalConfig};
+use vlsi_route::model::{render_svg, PinSide, ProblemBuilder};
+use vlsi_route::verify::verify;
+
+fn main() {
+    let mut builder = ProblemBuilder::switchbox(96, 96);
+    // Four macro blocks.
+    for (x, y, w, h) in [(12, 12, 24, 20), (58, 10, 26, 24), (14, 60, 20, 22), (56, 56, 28, 26)] {
+        builder.obstacle_rect(Rect::with_size(Point::new(x, y), w, h));
+    }
+    // A bus crossing the die plus scattered point-to-point nets.
+    for i in 0..8 {
+        builder
+            .net(format!("bus{i}"))
+            .pin_side(PinSide::Left, 40 + i)
+            .pin_side(PinSide::Right, 40 + i);
+    }
+    for i in 0..10 {
+        builder
+            .net(format!("io{i}"))
+            .pin_side(PinSide::Bottom, 8 + 8 * i)
+            .pin_side(PinSide::Top, 88 - 8 * i);
+    }
+    let problem = builder.build().expect("valid floorplan");
+
+    let start = Instant::now();
+    let outcome = route_hierarchical(&problem, &GlobalConfig::default());
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!("complete: {} in {ms:.1} ms", outcome.is_complete());
+    println!("stats:    {:?}", outcome.stats());
+    let report = verify(&problem, outcome.db());
+    println!("verify:   {report}");
+    assert!(report.is_clean(), "floorplan must route cleanly");
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, render_svg(outcome.db())).expect("svg written");
+        println!("svg written to {path}");
+    }
+}

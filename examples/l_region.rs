@@ -1,0 +1,39 @@
+//! Routing an irregular (L-shaped) region — "the boundaries can be
+//! described by any rectilinear chains" — and writing the result as SVG.
+//!
+//! ```text
+//! cargo run --example l_region [out.svg]
+//! ```
+
+use vlsi_route::geom::{Layer, Point, Rect, Region};
+use vlsi_route::mighty::{MightyRouter, RouterConfig};
+use vlsi_route::model::{render_layers, render_svg, ProblemBuilder};
+use vlsi_route::verify::verify;
+
+fn main() {
+    // An L-shaped macro-cell channel: wide base, tall arm.
+    let region = Region::from_rects([
+        Rect::with_size(Point::new(0, 0), 16, 5),
+        Rect::with_size(Point::new(0, 0), 5, 16),
+    ]);
+    let mut builder = ProblemBuilder::region(region);
+    builder.obstacle_rect(Rect::with_size(Point::new(7, 1), 2, 2));
+    builder.net("turn0").pin_at(Point::new(1, 15), Layer::M2).pin_at(Point::new(15, 1), Layer::M1);
+    builder.net("turn1").pin_at(Point::new(3, 15), Layer::M2).pin_at(Point::new(15, 3), Layer::M1);
+    builder.net("arm").pin_at(Point::new(0, 8), Layer::M1).pin_at(Point::new(4, 12), Layer::M1);
+    builder.net("base").pin_at(Point::new(6, 0), Layer::M2).pin_at(Point::new(12, 4), Layer::M2);
+    let problem = builder.build().expect("valid region problem");
+
+    let outcome = MightyRouter::new(RouterConfig::default()).route(&problem);
+    println!("complete: {} ({})", outcome.is_complete(), outcome.stats());
+
+    let report = verify(&problem, outcome.db());
+    assert!(report.is_clean(), "routing must be legal: {report}");
+    println!("verify:   {report}\n");
+    println!("{}", render_layers(outcome.db()));
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, render_svg(outcome.db())).expect("svg written");
+        println!("svg written to {path}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Quickstart: build a small switchbox, route it with the rip-up/reroute
+//! router, verify the result, and print the layout.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use vlsi_route::mighty::{MightyRouter, RouterConfig};
+use vlsi_route::model::{render_layers, PinSide, ProblemBuilder};
+use vlsi_route::verify::verify;
+
+fn main() {
+    // A 10x8 switchbox with four nets crossing each other.
+    let mut builder = ProblemBuilder::switchbox(10, 8);
+    builder.net("alpha").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 5);
+    builder.net("beta").pin_side(PinSide::Left, 5).pin_side(PinSide::Right, 2);
+    builder.net("gamma").pin_side(PinSide::Bottom, 3).pin_side(PinSide::Top, 6);
+    builder.net("delta").pin_side(PinSide::Bottom, 6).pin_side(PinSide::Top, 3);
+    let problem = builder.build().expect("valid problem");
+
+    let router = MightyRouter::new(RouterConfig::default());
+    let outcome = router.route(&problem);
+
+    println!("complete: {}", outcome.is_complete());
+    println!("stats:    {}", outcome.stats());
+    println!("wiring:   {}", outcome.db().stats());
+
+    let report = verify(&problem, outcome.db());
+    println!("verify:   {report}");
+    assert!(report.is_clean(), "quickstart must produce a legal routing");
+
+    println!("\n{}", render_layers(outcome.db()));
+}

@@ -1,0 +1,39 @@
+//! Three-layer (HVH) routing: the same channel routed with two and
+//! three layers, showing the track savings the extra horizontal layer
+//! buys.
+//!
+//! ```text
+//! cargo run --release --example three_layer
+//! ```
+
+use vlsi_route::channel::ChannelSpec;
+use vlsi_route::mighty::{MightyRouter, RouterConfig};
+use vlsi_route::model::render_layers;
+use vlsi_route::verify::verify;
+
+fn main() {
+    let spec = ChannelSpec::new(
+        vec![1, 2, 3, 4, 5, 0, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 0, 1, 2, 3, 4, 5],
+    )
+    .expect("valid channel");
+    println!("{spec}\n");
+
+    let router = MightyRouter::new(RouterConfig::default());
+    for layers in [2u8, 3] {
+        let mut routed = None;
+        for tracks in 1..=spec.density() as usize + 4 {
+            let problem = spec.to_problem_with_layers(tracks, layers);
+            let outcome = router.route(&problem);
+            if outcome.is_complete() {
+                let report = verify(&problem, outcome.db());
+                assert!(report.is_clean(), "{report}");
+                routed = Some((tracks, outcome));
+                break;
+            }
+        }
+        let (tracks, outcome) = routed.expect("channel routes within the budget");
+        println!("=== {layers} layers: {tracks} tracks ===");
+        println!("{}", render_layers(outcome.db()));
+    }
+}

@@ -1,0 +1,41 @@
+//! # vlsi-route
+//!
+//! A two-layer detailed-routing library built around an incremental
+//! **rip-up-and-reroute** router (the [`mighty`] crate) together with the
+//! classic channel-routing baselines it is evaluated against, an
+//! occupancy-grid routing model, a maze-routing substrate, a rule
+//! checker, and a benchmark corpus.
+//!
+//! This crate is a facade: it re-exports every workspace crate under one
+//! roof so applications can depend on a single package.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vlsi_route::model::{Problem, ProblemBuilder, PinSide};
+//! use vlsi_route::mighty::{MightyRouter, RouterConfig};
+//! use vlsi_route::verify;
+//!
+//! // A tiny 8x8 switchbox with two nets.
+//! let mut b = ProblemBuilder::switchbox(8, 8);
+//! b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 5);
+//! b.net("b").pin_side(PinSide::Bottom, 2).pin_side(PinSide::Top, 6);
+//! let problem: Problem = b.build().expect("valid problem");
+//!
+//! let outcome = MightyRouter::new(RouterConfig::default()).route(&problem);
+//! assert!(outcome.is_complete());
+//! let report = verify::verify(&problem, outcome.db());
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use route_geom as geom;
+pub use route_model as model;
+pub use route_verify as verify;
+pub use route_maze as maze;
+pub use route_channel as channel;
+pub use mighty;
+pub use route_benchdata as benchdata;
+pub use route_opt as opt;
+pub use route_global as global;
