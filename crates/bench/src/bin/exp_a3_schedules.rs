@@ -18,10 +18,7 @@ fn main() {
         "A3a: penalty escalation schedule — completion % and rips on random \
          {SIDE}x{SIDE} switchboxes, {SEEDS} seeds per point\n"
     );
-    let schedules = [
-        ("geometric", PenaltyGrowth::Geometric),
-        ("linear", PenaltyGrowth::Linear),
-    ];
+    let schedules = [("geometric", PenaltyGrowth::Geometric), ("linear", PenaltyGrowth::Linear)];
     let mut rows = Vec::new();
     for nets in NET_COUNTS {
         eprintln!("penalty sweep, nets = {nets} ...");

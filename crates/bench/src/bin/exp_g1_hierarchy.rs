@@ -58,7 +58,6 @@ fn main() {
             (crossings / SEEDS as usize).to_string(),
         ]);
     }
-    let header =
-        ["grid", "nets", "flat ms", "hier ms", "flat %", "hier %", "crossings"];
+    let header = ["grid", "nets", "flat ms", "hier ms", "flat %", "hier %", "crossings"];
     println!("{}", table::render(&header, &rows));
 }

@@ -29,9 +29,8 @@ fn main() {
             row.mighty.cell(),
         ]);
     }
-    let header = [
-        "channel", "cols", "nets", "density", "LEA", "dogleg", "greedy", "YACR-style", "rip-up",
-    ];
+    let header =
+        ["channel", "cols", "nets", "density", "LEA", "dogleg", "greedy", "YACR-style", "rip-up"];
     println!("{}", table::render(&header, &rows));
     println!("greedy cells show `tracks(+Nc)` when N extension columns were needed.");
 }

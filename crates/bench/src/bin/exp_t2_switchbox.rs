@@ -49,8 +49,7 @@ fn main() {
     eprintln!("routing burstein-class-reduced ...");
     rows.push(row("burstein-class-1col", &reduced));
 
-    let header =
-        ["switchbox", "size", "nets", "greedy-SB", "seq", "rip-up", "wire", "vias"];
+    let header = ["switchbox", "size", "nets", "greedy-SB", "seq", "rip-up", "wire", "vias"];
     println!("{}", table::render(&header, &rows));
     println!(
         "`burstein-class-1col` is the Burstein-class pin set in a box one column\n\

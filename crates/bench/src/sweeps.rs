@@ -7,8 +7,11 @@ use mighty::{MightyRouter, RouterConfig, RouterStats};
 use route_benchdata::gen::{ObstructedGen, SwitchboxGen};
 use route_verify::verify;
 
+/// A named router-configuration factory for an ablation run.
+pub type Ablation = (&'static str, fn() -> RouterConfig);
+
 /// The four ablation configurations of the modification machinery.
-pub const ABLATIONS: [(&str, fn() -> RouterConfig); 4] = [
+pub const ABLATIONS: [Ablation; 4] = [
     ("none", || RouterConfig::no_modification()),
     ("weak-only", || RouterConfig { strong: false, ..RouterConfig::default() }),
     ("strong-only", || RouterConfig { weak: false, ..RouterConfig::default() }),
@@ -34,12 +37,7 @@ pub struct CompletionPoint {
 /// # Panics
 ///
 /// Panics if any routing is illegal.
-pub fn completion_point(
-    side: u32,
-    nets: u32,
-    seeds: u64,
-    cfg: RouterConfig,
-) -> CompletionPoint {
+pub fn completion_point(side: u32, nets: u32, seeds: u64, cfg: RouterConfig) -> CompletionPoint {
     let mut routed = 0usize;
     let mut total = 0usize;
     let mut full = 0usize;
@@ -105,13 +103,7 @@ pub fn scaling_point(side: u32, nets: u32, seed: u64) -> ScalingPoint {
         report.is_clean() || report.is_legal_but_incomplete(),
         "illegal routing in scaling sweep: {report}"
     );
-    ScalingPoint {
-        side,
-        nets,
-        millis,
-        expanded: out.stats().expanded,
-        complete: out.is_complete(),
-    }
+    ScalingPoint { side, nets, millis, expanded: out.stats().expanded, complete: out.is_complete() }
 }
 
 /// One measured point of the T3 obstacle sweep.
@@ -131,18 +123,12 @@ pub struct ObstaclePoint {
 /// # Panics
 ///
 /// Panics if any routing is illegal.
-pub fn obstacle_point(
-    side: u32,
-    nets: u32,
-    obstacle_pct: u32,
-    seeds: u64,
-) -> ObstaclePoint {
+pub fn obstacle_point(side: u32, nets: u32, obstacle_pct: u32, seeds: u64) -> ObstaclePoint {
     let mut seq_routed = 0usize;
     let mut mig_routed = 0usize;
     let mut total = 0usize;
     for seed in 0..seeds {
-        let problem =
-            ObstructedGen { width: side, height: side, nets, obstacle_pct, seed }.build();
+        let problem = ObstructedGen { width: side, height: side, nets, obstacle_pct, seed }.build();
         let seq = crate::switchboxes::score_sequential(&problem);
         let mig = crate::switchboxes::score_mighty(&problem, RouterConfig::default());
         seq_routed += seq.completed;
@@ -201,19 +187,17 @@ pub fn eco_point(side: u32, preplaced: u32, added: u32, seeds: u64) -> EcoPoint 
             .take(preplaced as usize)
             .map(|n| db.traces(n.id).count() as u64)
             .sum();
-        let added_ids: Vec<_> = problem
-            .nets()
-            .iter()
-            .skip(preplaced as usize)
-            .map(|n| n.id)
-            .collect();
+        let added_ids: Vec<_> =
+            problem.nets().iter().skip(preplaced as usize).map(|n| n.id).collect();
         attempted += added_ids.len();
 
         for (cfg, done) in [
             (RouterConfig::no_modification(), &mut frozen_done),
             (RouterConfig::default(), &mut ripup_done),
         ] {
-            let out = MightyRouter::new(cfg).route_incremental(&problem, db.clone());
+            let out = MightyRouter::new(cfg)
+                .try_route_incremental(&problem, db.clone())
+                .expect("database built for this problem");
             let report = verify(&problem, out.db());
             assert!(
                 report.is_clean() || report.is_legal_but_incomplete(),

@@ -188,7 +188,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
             }
             "net" => {
                 let b = materialize(&mut builder, &region_rects, line_no, "net")?;
-                if tokens.len() < 5 || (tokens.len() - 2) % 3 != 0 {
+                if tokens.len() < 5 || !(tokens.len() - 2).is_multiple_of(3) {
                     return Err(syntax(line_no, "expected `net NAME (X Y LAYER)+`"));
                 }
                 let mut nb = b.net(tokens[1]);
@@ -294,10 +294,7 @@ pub fn write_routes(problem: &Problem, db: &route_model::RouteDb) -> String {
 /// Returns [`ParseError`] on malformed lines, unknown net names,
 /// non-contiguous traces, or traces that conflict with obstacles, pins
 /// or each other.
-pub fn parse_routes(
-    problem: &Problem,
-    text: &str,
-) -> Result<route_model::RouteDb, ParseError> {
+pub fn parse_routes(problem: &Problem, text: &str) -> Result<route_model::RouteDb, ParseError> {
     use route_model::{RouteDb, Step, Trace};
     let mut db = RouteDb::new(problem);
     let mut current: Option<route_model::NetId> = None;
@@ -324,9 +321,9 @@ pub fn parse_routes(
                 current = Some(net.id);
             }
             "trace" => {
-                let net = current
-                    .ok_or_else(|| syntax(line_no, "`trace` before any `net` line"))?;
-                if tokens.len() < 4 || (tokens.len() - 1) % 3 != 0 {
+                let net =
+                    current.ok_or_else(|| syntax(line_no, "`trace` before any `net` line"))?;
+                if tokens.len() < 4 || !(tokens.len() - 1).is_multiple_of(3) {
                     return Err(syntax(line_no, "expected `trace (X Y LAYER)+`"));
                 }
                 let mut steps = Vec::with_capacity((tokens.len() - 1) / 3);
@@ -393,9 +390,7 @@ pub fn parse_channel(text: &str) -> Result<ChannelSpec, ParseError> {
 /// [`parse_channel`]).
 pub fn write_channel(spec: &ChannelSpec) -> String {
     use std::fmt::Write as _;
-    let join = |pins: &[u32]| {
-        pins.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
-    };
+    let join = |pins: &[u32]| pins.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ");
     let mut out = String::from("channel\n");
     let _ = writeln!(out, "top {}", join(spec.top_pins()));
     let _ = writeln!(out, "bottom {}", join(spec.bottom_pins()));
@@ -469,10 +464,7 @@ net b 0 8 M1  3 10 M1
     #[test]
     fn region_header_errors() {
         // `region` after `sb` is rejected.
-        assert!(matches!(
-            parse_problem("sb 4 4\nregion 0 0 2 2"),
-            Err(ParseError::Syntax { .. })
-        ));
+        assert!(matches!(parse_problem("sb 4 4\nregion 0 0 2 2"), Err(ParseError::Syntax { .. })));
         // Zero-size region rects are rejected.
         assert!(matches!(
             parse_problem("region 0 0 0 4\nnet a 0 0 M1 1 0 M1"),

@@ -4,16 +4,13 @@
 //! seed), so experiments are reproducible run to run and machine to
 //! machine.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use route_channel::ChannelSpec;
 use route_geom::{Point, Rect};
 use route_model::{PinSide, Problem, ProblemBuilder};
 
+use crate::rng::SplitMix64;
+
 /// Configuration of the random switchbox generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchboxGen {
     /// Grid width.
@@ -34,22 +31,19 @@ impl SwitchboxGen {
     ///
     /// Panics if the boundary cannot host `2 * nets` pins.
     pub fn build(&self) -> Problem {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut slots = boundary_slots(self.width, self.height);
         assert!(
             slots.len() >= (self.nets as usize) * 2,
             "boundary too small for {} nets",
             self.nets
         );
-        slots.shuffle(&mut rng);
+        rng.shuffle(&mut slots);
         let mut builder = ProblemBuilder::switchbox(self.width, self.height);
         for i in 0..self.nets {
             let (s1, o1) = slots.pop().expect("enough slots");
             let (s2, o2) = slots.pop().expect("enough slots");
-            builder
-                .net(format!("n{i}"))
-                .pin_side(s1, o1)
-                .pin_side(s2, o2);
+            builder.net(format!("n{i}")).pin_side(s1, o1).pin_side(s2, o2);
         }
         builder.build().expect("generated pins are distinct and in bounds")
     }
@@ -71,7 +65,6 @@ fn boundary_slots(width: u32, height: u32) -> Vec<(PinSide, u32)> {
 }
 
 /// Configuration of the random channel generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelGen {
     /// Number of columns.
@@ -101,22 +94,22 @@ impl ChannelGen {
     /// (`2 * width` slots total, and per-window capacity when
     /// `span_window > 0`).
     pub fn build(&self) -> ChannelSpec {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut top = vec![0u32; self.width];
         let mut bottom = vec![0u32; self.width];
-        let window = if self.span_window == 0 { self.width } else { self.span_window.min(self.width) };
+        let window =
+            if self.span_window == 0 { self.width } else { self.span_window.min(self.width) };
         let mut free_top = vec![true; self.width];
         let mut free_bottom = vec![true; self.width];
 
         for net0 in 0..self.nets {
             let net = net0 + 1;
-            let budget =
-                2 + u32::from(rng.gen_range(0..100) < self.extra_pin_pct);
+            let budget = 2 + u32::from(rng.chance(self.extra_pin_pct));
             // Find a window with enough free slots, retrying other
             // starting columns before giving up.
             let mut placed = false;
             for _ in 0..4 * self.width {
-                let start = rng.gen_range(0..=self.width - window);
+                let start = rng.below((self.width - window) as u64 + 1) as usize;
                 let mut open: Vec<(bool, usize)> = (start..start + window)
                     .flat_map(|c| {
                         let mut v = Vec::new();
@@ -132,7 +125,7 @@ impl ChannelGen {
                 if (open.len() as u32) < budget {
                     continue;
                 }
-                open.shuffle(&mut rng);
+                rng.shuffle(&mut open);
                 for _ in 0..budget {
                     let (is_top, c) = open.pop().expect("capacity checked");
                     if is_top {
@@ -153,7 +146,6 @@ impl ChannelGen {
 }
 
 /// Configuration of the obstructed-region generator (experiment T3).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObstructedGen {
     /// Grid width.
@@ -176,7 +168,7 @@ impl ObstructedGen {
     ///
     /// Panics if the boundary cannot host `2 * nets` pins.
     pub fn build(&self) -> Problem {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x0b57);
+        let mut rng = SplitMix64::new(self.seed ^ 0x0b57);
         let mut builder = ProblemBuilder::switchbox(self.width, self.height);
         // Obstacles: random 1x1..3x2 blocks in the interior.
         let interior_cells = (self.width.saturating_sub(2) * self.height.saturating_sub(2)) as u64;
@@ -188,10 +180,10 @@ impl ObstructedGen {
             if self.width <= 4 || self.height <= 4 {
                 break;
             }
-            let w = rng.gen_range(1..=3u32);
-            let h = rng.gen_range(1..=2u32);
-            let x = rng.gen_range(1..self.width.saturating_sub(w).max(2));
-            let y = rng.gen_range(1..self.height.saturating_sub(h).max(2));
+            let w = rng.range(1, 4) as u32;
+            let h = rng.range(1, 3) as u32;
+            let x = rng.range(1, u64::from(self.width.saturating_sub(w).max(2))) as u32;
+            let y = rng.range(1, u64::from(self.height.saturating_sub(h).max(2))) as u32;
             let rect = Rect::with_size(Point::new(x as i32, y as i32), w, h);
             if rect.max().x as u32 >= self.width - 1 || rect.max().y as u32 >= self.height - 1 {
                 continue;
@@ -202,14 +194,11 @@ impl ObstructedGen {
         // Pins on the boundary, like the plain switchbox generator.
         let mut slots = boundary_slots(self.width, self.height);
         assert!(slots.len() >= (self.nets as usize) * 2, "boundary too small");
-        slots.shuffle(&mut rng);
+        rng.shuffle(&mut slots);
         for i in 0..self.nets {
             let (s1, o1) = slots.pop().expect("enough slots");
             let (s2, o2) = slots.pop().expect("enough slots");
-            builder
-                .net(format!("n{i}"))
-                .pin_side(s1, o1)
-                .pin_side(s2, o2);
+            builder.net(format!("n{i}")).pin_side(s1, o1).pin_side(s2, o2);
         }
         builder.build().expect("pins on boundary never collide with interior obstacles")
     }
@@ -220,17 +209,14 @@ impl ObstructedGen {
 /// endpoints as pins. Useful for completion-rate experiments where a
 /// 100% ceiling must exist.
 pub fn routable_switchbox(width: u32, height: u32, nets: u32, seed: u64) -> Problem {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37);
+    let mut rng = SplitMix64::new(seed ^ 0x9e37);
     let nets = nets.min(height.saturating_sub(2)).max(1);
     // Horizontal bands on distinct rows: trivially routable on M1.
     let mut rows: Vec<u32> = (1..height - 1).collect();
-    rows.shuffle(&mut rng);
+    rng.shuffle(&mut rows);
     let mut builder = ProblemBuilder::switchbox(width, height);
     for (i, &y) in rows.iter().take(nets as usize).enumerate() {
-        builder
-            .net(format!("band{i}"))
-            .pin_side(PinSide::Left, y)
-            .pin_side(PinSide::Right, y);
+        builder.net(format!("band{i}")).pin_side(PinSide::Left, y).pin_side(PinSide::Right, y);
     }
     builder.build().expect("bands are disjoint")
 }

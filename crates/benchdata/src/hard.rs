@@ -2,14 +2,11 @@
 //! classic difficult benchmarks (see the crate docs for why the historic
 //! pin lists themselves are not shipped).
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use route_channel::ChannelSpec;
 use route_model::{PinSide, Problem, ProblemBuilder};
 
 use crate::gen::ChannelGen;
+use crate::rng::SplitMix64;
 
 /// Columns of the Burstein-class switchbox (as in the original: 23).
 pub const BURSTEIN_WIDTH: u32 = 23;
@@ -20,10 +17,10 @@ const BURSTEIN_NETS: usize = 24;
 /// Frozen seed; changing it changes the benchmark. Selected so that the
 /// instance separates the routers the way the original did (see the T2
 /// experiment).
-const BURSTEIN_SEED: u64 = 23;
+const BURSTEIN_SEED: u64 = 26;
 
 /// Frozen seed of the Deutsch-class difficult channel.
-const DEUTSCH_SEED: u64 = 1976;
+const DEUTSCH_SEED: u64 = 1984;
 
 /// A Deutsch-class difficult channel: 174 columns, 72 nets, high density
 /// with long constraint chains — the same difficulty class as Deutsch's
@@ -49,11 +46,8 @@ pub fn burstein_class() -> Problem {
 /// Panics if `width` is too small to hold the top/bottom pin columns
 /// (less than `BURSTEIN_WIDTH - 1`).
 pub fn burstein_class_width(width: u32) -> Problem {
-    assert!(
-        width >= BURSTEIN_WIDTH - 1,
-        "width {width} cannot hold the benchmark's pin columns"
-    );
-    let mut rng = SmallRng::seed_from_u64(BURSTEIN_SEED);
+    assert!(width >= BURSTEIN_WIDTH - 1, "width {width} cannot hold the benchmark's pin columns");
+    let mut rng = SplitMix64::new(BURSTEIN_SEED);
     // Slots are generated for the NOMINAL width so that every width
     // variant shares the same pin set.
     let mut slots: Vec<(PinSide, u32)> = Vec::new();
@@ -67,11 +61,11 @@ pub fn burstein_class_width(width: u32) -> Problem {
         slots.push((PinSide::Top, x));
         slots.push((PinSide::Bottom, x));
     }
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
 
     let mut builder = ProblemBuilder::switchbox(width, BURSTEIN_HEIGHT);
     for i in 0..BURSTEIN_NETS {
-        let pins = if rng.gen_range(0..100) < 30 { 3 } else { 2 };
+        let pins = if rng.chance(30) { 3 } else { 2 };
         let mut nb = builder.net(format!("n{i}"));
         for _ in 0..pins {
             let (side, offset) = slots.pop().expect("enough boundary slots");
@@ -88,7 +82,7 @@ const DENSE_SEED: u64 = 85;
 /// have three pins, filling ~90% of the boundary — the multi-pin-heavy
 /// difficulty class (pin pressure rather than area pressure).
 pub fn terminal_dense_class() -> Problem {
-    let mut rng = SmallRng::seed_from_u64(DENSE_SEED);
+    let mut rng = SplitMix64::new(DENSE_SEED);
     let (width, height) = (20u32, 12u32);
     let mut slots: Vec<(PinSide, u32)> = Vec::new();
     for y in 0..height {
@@ -99,10 +93,10 @@ pub fn terminal_dense_class() -> Problem {
         slots.push((PinSide::Top, x));
         slots.push((PinSide::Bottom, x));
     }
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
     let mut builder = ProblemBuilder::switchbox(width, height);
     for i in 0..20 {
-        let pins = if rng.gen_range(0..100) < 45 { 3 } else { 2 };
+        let pins = if rng.chance(45) { 3 } else { 2 };
         let mut nb = builder.net(format!("d{i}"));
         for _ in 0..pins {
             let (side, offset) = slots.pop().expect("enough boundary slots");

@@ -12,7 +12,8 @@
 //! Contents:
 //!
 //! * [`gen`] — seeded random generators for channels, switchboxes and
-//!   obstructed regions (the experiment sweeps);
+//!   obstructed regions (the experiment sweeps), driven by the
+//!   dependency-free [`rng`] generator;
 //! * [`deutsch_class`] / [`burstein_class`] — the frozen hard instances;
 //! * [`suite`] — the named channel suite used by experiment T1;
 //! * [`mod@format`] — a small text format for problems and channels, used by
@@ -33,8 +34,12 @@
 
 pub mod format;
 pub mod gen;
+pub mod rng;
 pub mod suite;
 
 mod hard;
 
-pub use hard::{burstein_class, burstein_class_width, deutsch_class, terminal_dense_class, BURSTEIN_HEIGHT, BURSTEIN_WIDTH};
+pub use hard::{
+    burstein_class, burstein_class_width, deutsch_class, terminal_dense_class, BURSTEIN_HEIGHT,
+    BURSTEIN_WIDTH,
+};

@@ -1,0 +1,144 @@
+//! A tiny deterministic pseudo-random generator (SplitMix64).
+//!
+//! The workload generators must be reproducible across machines and
+//! toolchain versions **and** buildable with zero registry access, so
+//! this crate carries its own generator instead of depending on `rand`.
+//! SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush, needs eight
+//! lines of code, and — unlike library generators — its output for a
+//! given seed can never change under us, which is exactly what frozen
+//! benchmarks require.
+
+/// A seeded SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use route_benchdata::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds produce equal
+    /// streams, forever.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`0` when `bound` is zero), using
+    /// the multiply-shift reduction.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value in `lo..hi` (half-open). Returns `lo` when the
+    /// range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `pct` percent (clamped to `0..=100`).
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.below(100) < u64::from(pct.min(100))
+    }
+
+    /// Fisher–Yates shuffle of `slice`, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_handles_degenerate_inputs() {
+        let mut r = SplitMix64::new(5);
+        assert_eq!(r.range(7, 7), 7);
+        assert_eq!(r.range(9, 3), 9);
+        for _ in 0..100 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SplitMix64::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle virtually never fixes everything");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(13);
+        for _ in 0..50 {
+            assert!(!r.chance(0));
+            assert!(r.chance(100));
+        }
+    }
+}

@@ -11,14 +11,44 @@ use crate::{burstein_class, deutsch_class, terminal_dense_class};
 /// two-pin/multi-pin mixes. All instances are deterministic.
 pub fn channel_suite() -> Vec<(&'static str, ChannelSpec)> {
     vec![
-        ("ch-20a", ChannelGen { width: 20, nets: 8, extra_pin_pct: 0, span_window: 8, seed: 101 }.build()),
-        ("ch-20b", ChannelGen { width: 20, nets: 9, extra_pin_pct: 40, span_window: 8, seed: 102 }.build()),
-        ("ch-40a", ChannelGen { width: 40, nets: 16, extra_pin_pct: 0, span_window: 13, seed: 103 }.build()),
-        ("ch-40b", ChannelGen { width: 40, nets: 18, extra_pin_pct: 50, span_window: 13, seed: 104 }.build()),
-        ("ch-60a", ChannelGen { width: 60, nets: 25, extra_pin_pct: 30, span_window: 20, seed: 105 }.build()),
-        ("ch-80a", ChannelGen { width: 80, nets: 34, extra_pin_pct: 40, span_window: 26, seed: 106 }.build()),
-        ("ch-120a", ChannelGen { width: 120, nets: 50, extra_pin_pct: 50, span_window: 40, seed: 107 }.build()),
-        ("ch-120b", ChannelGen { width: 120, nets: 55, extra_pin_pct: 70, span_window: 40, seed: 108 }.build()),
+        (
+            "ch-20a",
+            ChannelGen { width: 20, nets: 8, extra_pin_pct: 0, span_window: 8, seed: 101 }.build(),
+        ),
+        (
+            "ch-20b",
+            ChannelGen { width: 20, nets: 9, extra_pin_pct: 40, span_window: 8, seed: 102 }.build(),
+        ),
+        (
+            "ch-40a",
+            ChannelGen { width: 40, nets: 16, extra_pin_pct: 0, span_window: 13, seed: 103 }
+                .build(),
+        ),
+        (
+            "ch-40b",
+            ChannelGen { width: 40, nets: 18, extra_pin_pct: 50, span_window: 13, seed: 104 }
+                .build(),
+        ),
+        (
+            "ch-60a",
+            ChannelGen { width: 60, nets: 25, extra_pin_pct: 30, span_window: 20, seed: 105 }
+                .build(),
+        ),
+        (
+            "ch-80a",
+            ChannelGen { width: 80, nets: 34, extra_pin_pct: 40, span_window: 26, seed: 106 }
+                .build(),
+        ),
+        (
+            "ch-120a",
+            ChannelGen { width: 120, nets: 50, extra_pin_pct: 50, span_window: 40, seed: 107 }
+                .build(),
+        ),
+        (
+            "ch-120b",
+            ChannelGen { width: 120, nets: 55, extra_pin_pct: 70, span_window: 40, seed: 108 }
+                .build(),
+        ),
         ("deutsch-class", deutsch_class()),
     ]
 }

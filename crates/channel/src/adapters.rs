@@ -1,0 +1,278 @@
+//! [`DetailedRouter`] adapters for the channel and switchbox baselines.
+//!
+//! The channel routers natively speak [`ChannelSpec`]; these adapters
+//! recover the spec from a channel-shaped grid [`Problem`]
+//! ([`ChannelSpec::from_problem`]), run the underlying algorithm, and
+//! *transplant* the realized wiring back onto the caller's grid so the
+//! returned database belongs to the caller's problem — the contract
+//! every [`DetailedRouter`] shares.
+//!
+//! A channel router is free to use fewer tracks than the problem offers;
+//! the transplant stretches vertical runs that reach the top pin row
+//! across the unused rows. A router that needs *more* tracks than the
+//! problem has (or, for the greedy router, more columns) fails with
+//! [`RouteError::BudgetExhausted`] / [`RouteError::Unroutable`] instead.
+
+use route_geom::Point;
+use route_model::{
+    DetailedRouter, NetId, Problem, RouteDb, RouteError, RouteResult, Routing, Step, Trace,
+};
+
+use crate::{dogleg, greedy, lea, swbox, yacr, ChannelLayout, ChannelSpec, SpecError};
+
+/// Recovers the channel encoding, folding spec errors into the shared
+/// error type.
+fn spec_of(problem: &Problem) -> Result<ChannelSpec, RouteError> {
+    ChannelSpec::from_problem(problem).map_err(|e| match e {
+        SpecError::NotAChannel { reason } => RouteError::Unsupported { reason },
+        other => RouteError::Unsupported { reason: other.to_string() },
+    })
+}
+
+/// Re-commits wiring realized on a `tracks + 2`-row channel grid onto the
+/// caller's (equal-width, possibly taller) problem. The realized top pin
+/// row maps to the caller's top row; vertical runs crossing the seam are
+/// stretched with intermediate steps.
+///
+/// Correctness of the stretch: in the realized grid the only slot in
+/// column `x` on the crossing seam is `(x, rh-1)` on M2, owned by at most
+/// one net — so the stretched cells `(x, rh-1..h-1)` on M2 cannot be
+/// claimed by two different nets.
+fn transplant(problem: &Problem, realized: &Problem, routed: &RouteDb) -> RouteResult {
+    if realized.width() != problem.width() {
+        return Err(RouteError::Unroutable {
+            reason: format!(
+                "solution needs {} columns but the problem has {}",
+                realized.width(),
+                problem.width()
+            ),
+        });
+    }
+    if realized.height() > problem.height() {
+        return Err(RouteError::BudgetExhausted { tracks: realized.height() as usize - 2 });
+    }
+    let rh = realized.height() as i32;
+    let h = problem.height() as i32;
+    let map_y = |y: i32| if y == rh - 1 { h - 1 } else { y };
+
+    let mut db = RouteDb::new(problem);
+    for net in realized.nets() {
+        // Realized nets are named after their spec numbers, which
+        // `ChannelSpec::from_problem` assigned as problem index + 1.
+        let number: usize = net.name.parse().expect("realized channel nets are numbered");
+        let target = NetId(number as u32 - 1);
+        for (_, trace) in routed.traces(net.id) {
+            let mut steps: Vec<Step> = Vec::with_capacity(trace.steps().len());
+            for s in trace.steps() {
+                let mapped = Step::new(Point::new(s.at.x, map_y(s.at.y)), s.layer);
+                if let Some(prev) = steps.last().copied() {
+                    let gap = (mapped.at.y - prev.at.y).abs();
+                    if prev.at.x == mapped.at.x && prev.layer == mapped.layer && gap > 1 {
+                        let dir = if mapped.at.y > prev.at.y { 1 } else { -1 };
+                        let mut y = prev.at.y + dir;
+                        while y != mapped.at.y {
+                            steps.push(Step::new(Point::new(prev.at.x, y), prev.layer));
+                            y += dir;
+                        }
+                    }
+                }
+                steps.push(mapped);
+            }
+            let stretched = Trace::from_steps(steps).map_err(|e| RouteError::Unroutable {
+                reason: format!("stretched trace is not contiguous: {e}"),
+            })?;
+            db.commit(target, stretched).map_err(|e| RouteError::Unroutable {
+                reason: format!("transplant conflict: {e}"),
+            })?;
+        }
+    }
+    Ok(Routing { db, failed: Vec::new() })
+}
+
+/// Realizes an abstract layout and transplants it onto `problem`.
+fn realize_onto(problem: &Problem, spec: &ChannelSpec, layout: &ChannelLayout) -> RouteResult {
+    if layout.extra_columns > 0 {
+        return Err(RouteError::Unroutable {
+            reason: format!("solution overflows the channel by {} columns", layout.extra_columns),
+        });
+    }
+    let (realized, routed) = layout.realize(spec).map_err(|e| RouteError::Unroutable {
+        reason: format!("layout realization failed: {e}"),
+    })?;
+    transplant(problem, &realized, &routed)
+}
+
+/// The Left-Edge Algorithm behind the shared trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeaRouter;
+
+impl DetailedRouter for LeaRouter {
+    fn name(&self) -> &str {
+        "lea"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let spec = spec_of(problem)?;
+        let sol = lea::route(&spec)?;
+        realize_onto(problem, &spec, &sol.layout)
+    }
+}
+
+/// Deutsch's dogleg router behind the shared trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DoglegRouter;
+
+impl DetailedRouter for DoglegRouter {
+    fn name(&self) -> &str {
+        "dogleg"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let spec = spec_of(problem)?;
+        let sol = dogleg::route(&spec)?;
+        realize_onto(problem, &spec, &sol.layout)
+    }
+}
+
+/// The Rivest–Fiduccia greedy channel router behind the shared trait.
+///
+/// The greedy sweep may overshoot the channel on the right; since the
+/// caller's problem has a fixed width, an overshooting solution is
+/// reported as [`RouteError::Unroutable`] rather than silently widened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyRouter;
+
+impl DetailedRouter for GreedyRouter {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let spec = spec_of(problem)?;
+        let sol = greedy::route(&spec)?;
+        realize_onto(problem, &spec, &sol.layout)
+    }
+}
+
+/// The YACR-II-style router behind the shared trait.
+#[derive(Debug, Clone, Copy)]
+pub struct YacrRouter {
+    /// Extra tracks beyond density the router may grow into.
+    pub max_extra: u32,
+}
+
+impl Default for YacrRouter {
+    fn default() -> Self {
+        YacrRouter { max_extra: 8 }
+    }
+}
+
+impl DetailedRouter for YacrRouter {
+    fn name(&self) -> &str {
+        "yacr"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let spec = spec_of(problem)?;
+        let sol = yacr::route(&spec, self.max_extra)?;
+        transplant(problem, &sol.problem, &sol.db)
+    }
+}
+
+/// The greedy switchbox sweep behind the shared trait. Unlike the channel
+/// adapters it routes the caller's problem directly — no spec detour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwboxRouter;
+
+impl DetailedRouter for SwboxRouter {
+    fn name(&self) -> &str {
+        "swbox"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let sol = swbox::route(problem)?;
+        Ok(Routing { db: sol.db, failed: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_model::PinSide;
+    use route_verify::verify;
+
+    fn primer_spec() -> ChannelSpec {
+        // Acyclic vertical constraints (edges 1->2, 2->4, 3->4) so even
+        // the dogleg-free left-edge router completes.
+        ChannelSpec::new(vec![1, 1, 2, 0, 3, 3, 0, 4], vec![0, 2, 4, 2, 0, 4, 3, 0]).unwrap()
+    }
+
+    #[test]
+    fn spec_round_trips_through_problem() {
+        let spec = primer_spec();
+        let problem = spec.to_problem(6);
+        let back = ChannelSpec::from_problem(&problem).unwrap();
+        // `to_problem` names nets after their numbers and orders them
+        // ascending, so the round trip is the identity here.
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn non_channels_are_rejected_as_unsupported() {
+        let mut b = route_model::ProblemBuilder::switchbox(8, 6);
+        b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 3);
+        let side_pins = b.build().unwrap();
+        for router in channel_routers() {
+            match router.route(&side_pins) {
+                Err(RouteError::Unsupported { .. }) => {}
+                other => panic!("{}: expected Unsupported, got {other:?}", router.name()),
+            }
+        }
+    }
+
+    fn channel_routers() -> Vec<Box<dyn DetailedRouter>> {
+        vec![
+            Box::new(LeaRouter),
+            Box::new(DoglegRouter),
+            Box::new(GreedyRouter),
+            Box::new(YacrRouter::default()),
+        ]
+    }
+
+    #[test]
+    fn adapters_route_a_channel_problem_legally() {
+        let spec = primer_spec();
+        // Offer plenty of tracks so every baseline fits.
+        let problem = spec.to_problem(10);
+        for router in channel_routers() {
+            let routing =
+                router.route(&problem).unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
+            assert!(routing.is_complete(), "{}", router.name());
+            let report = verify(&problem, &routing.db);
+            assert!(report.is_clean(), "{}: {report}", router.name());
+        }
+    }
+
+    #[test]
+    fn too_few_tracks_is_budget_exhausted() {
+        let spec = primer_spec();
+        // Density is >= 2; one track cannot hold the left-edge solution.
+        let problem = spec.to_problem(1);
+        match LeaRouter.route(&problem) {
+            Err(RouteError::BudgetExhausted { tracks }) => assert!(tracks > 1),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swbox_adapter_matches_direct_call() {
+        let mut b = route_model::ProblemBuilder::switchbox(8, 6);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.net("b").pin_side(PinSide::Top, 3).pin_side(PinSide::Bottom, 3);
+        let problem = b.build().unwrap();
+        let via_trait = SwboxRouter.route(&problem).unwrap();
+        let direct = swbox::route(&problem).unwrap();
+        assert_eq!(via_trait.db.checksum(), direct.db.checksum());
+        assert!(via_trait.is_complete());
+    }
+}

@@ -97,14 +97,10 @@ pub fn route(spec: &ChannelSpec) -> Result<DoglegSolution, RouteError> {
     let vcg = subnet_vcg(spec, &subnets);
     if let Some(cycle) = vcg.find_cycle() {
         // Report the owning nets, more useful than sub-net keys.
-        let nets = cycle
-            .iter()
-            .map(|k| subnets[(*k - 1) as usize].net)
-            .collect();
+        let nets = cycle.iter().map(|k| subnets[(*k - 1) as usize].net).collect();
         return Err(RouteError::VerticalCycle { cycle: nets });
     }
-    let items: Vec<(u32, usize, usize)> =
-        subnets.iter().map(|s| (s.key, s.x0, s.x1)).collect();
+    let items: Vec<(u32, usize, usize)> = subnets.iter().map(|s| (s.key, s.x0, s.x1)).collect();
     let track_of = place_left_edge(&items, &vcg, spec.width() * 2 + 2)?;
     let tracks = track_of.values().max().map_or(0, |&t| t + 1);
 
@@ -166,11 +162,7 @@ mod tests {
     fn breaks_cycle_lea_cannot() {
         // 1 above 2 in column 1, 2 above 1 in column 3; net 1 has an
         // internal pin at column 2, so the dogleg split breaks the cycle.
-        let spec = ChannelSpec::new(
-            vec![0, 1, 1, 2, 0],
-            vec![0, 2, 0, 1, 0],
-        )
-        .unwrap();
+        let spec = ChannelSpec::new(vec![0, 1, 1, 2, 0], vec![0, 2, 0, 1, 0]).unwrap();
         assert!(crate::lea::route(&spec).is_err(), "LEA must fail on the cycle");
         let sol = route(&spec).expect("dogleg breaks the cycle");
         let (problem, db) = sol.layout.realize(&spec).unwrap();
@@ -188,11 +180,7 @@ mod tests {
     fn dogleg_verifies_on_multi_pin_example() {
         // Constraints always point downward (net 1 over 2 over 3):
         // the sub-net graph stays acyclic.
-        let spec = ChannelSpec::new(
-            vec![1, 1, 2, 2, 0, 3],
-            vec![2, 0, 3, 3, 1, 0],
-        )
-        .unwrap();
+        let spec = ChannelSpec::new(vec![1, 1, 2, 2, 0, 3], vec![2, 0, 3, 3, 1, 0]).unwrap();
         let sol = route(&spec).expect("routable");
         let (problem, db) = sol.layout.realize(&spec).unwrap();
         let report = verify(&problem, &db);
@@ -202,11 +190,7 @@ mod tests {
 
     #[test]
     fn dogleg_never_beats_density() {
-        let spec = ChannelSpec::new(
-            vec![1, 0, 2, 0, 3, 0],
-            vec![0, 1, 0, 2, 0, 3],
-        )
-        .unwrap();
+        let spec = ChannelSpec::new(vec![1, 0, 2, 0, 3, 0], vec![0, 1, 0, 2, 0, 3]).unwrap();
         let sol = route(&spec).unwrap();
         assert!(sol.tracks as u32 >= spec.density());
     }

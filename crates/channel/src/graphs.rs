@@ -75,11 +75,7 @@ impl Vcg {
 
     /// Nodes that must lie strictly above `node`.
     pub fn above(&self, node: u32) -> Vec<u32> {
-        self.below
-            .iter()
-            .filter(|(_, set)| set.contains(&node))
-            .map(|(&n, _)| n)
-            .collect()
+        self.below.iter().filter(|(_, set)| set.contains(&node)).map(|(&n, _)| n).collect()
     }
 
     /// Finds one directed cycle, if any, and returns its nodes in order.
@@ -143,19 +139,11 @@ impl Vcg {
             if let Some(&d) = memo.get(&node) {
                 return d;
             }
-            let d = graph
-                .below(node)
-                .map(|n| 1 + depth(n, graph, memo))
-                .max()
-                .unwrap_or(0);
+            let d = graph.below(node).map(|n| 1 + depth(n, graph, memo)).max().unwrap_or(0);
             memo.insert(node, d);
             d
         }
-        self.nodes
-            .iter()
-            .map(|&n| depth(n, self, &mut memo))
-            .max()
-            .or(Some(0))
+        self.nodes.iter().map(|&n| depth(n, self, &mut memo)).max().or(Some(0))
     }
 }
 
@@ -195,10 +183,7 @@ impl ZoneTable {
             }
         }
         ZoneTable {
-            zones: zones
-                .into_iter()
-                .map(|(s, e, set)| (s, e, set.into_iter().collect()))
-                .collect(),
+            zones: zones.into_iter().map(|(s, e, set)| (s, e, set.into_iter().collect())).collect(),
         }
     }
 

@@ -101,21 +101,15 @@ impl<'a> Sweep<'a> {
         match e {
             End::Top => -1,
             End::Bottom => self.order.len() as i64,
-            End::Track(id) => self
-                .order
-                .iter()
-                .position(|&t| t == id)
-                .expect("live track id") as i64,
+            End::Track(id) => {
+                self.order.iter().position(|&t| t == id).expect("live track id") as i64
+            }
         }
     }
 
     fn tracks_of(&self, net: u32) -> Vec<TrackId> {
-        let mut ids: Vec<TrackId> = self
-            .carrier
-            .iter()
-            .filter(|(_, &n)| n == net)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut ids: Vec<TrackId> =
+            self.carrier.iter().filter(|(_, &n)| n == net).map(|(&id, _)| id).collect();
         ids.sort_by_key(|&id| self.pos(End::Track(id)));
         ids
     }
@@ -204,19 +198,17 @@ impl<'a> Sweep<'a> {
             .map(|(_, id)| id);
         let target = match target {
             Some(id) => id,
-            None => {
-                match self.empty_track_between(-1, floor, 0) {
-                    Some(id) => {
-                        self.claim(id, net, col);
-                        id
-                    }
-                    None => {
-                        let id = self.insert_track(0)?;
-                        self.claim(id, net, col);
-                        id
-                    }
+            None => match self.empty_track_between(-1, floor, 0) {
+                Some(id) => {
+                    self.claim(id, net, col);
+                    id
                 }
-            }
+                None => {
+                    let id = self.insert_track(0)?;
+                    self.claim(id, net, col);
+                    id
+                }
+            },
         };
         if !self.run_clear(net, End::Top, End::Track(target)) {
             // Fall back to a brand-new track at the very top; the net
@@ -348,11 +340,8 @@ impl<'a> Sweep<'a> {
         let mut col = 0usize;
         loop {
             self.column_runs.clear();
-            let (t, b) = if col < width {
-                (self.spec.top(col), self.spec.bottom(col))
-            } else {
-                (0, 0)
-            };
+            let (t, b) =
+                if col < width { (self.spec.top(col), self.spec.bottom(col)) } else { (0, 0) };
             if t != 0 && t == b {
                 self.connect_through(t, col)?;
             } else {
@@ -488,11 +477,7 @@ mod tests {
 
     #[test]
     fn multi_pin_nets_collapse() {
-        let spec = ChannelSpec::new(
-            vec![1, 0, 1, 2, 0, 2],
-            vec![0, 1, 0, 0, 2, 0],
-        )
-        .unwrap();
+        let spec = ChannelSpec::new(vec![1, 0, 1, 2, 0, 2], vec![0, 1, 0, 0, 2, 0]).unwrap();
         check(&spec);
     }
 
@@ -516,9 +501,6 @@ mod tests {
     fn budget_exhaustion_reported() {
         let spec = ChannelSpec::new(vec![1, 2], vec![2, 1]).unwrap();
         let cfg = GreedyConfig { max_tracks: 1, max_extension: 0 };
-        assert!(matches!(
-            route_with(&spec, cfg),
-            Err(RouteError::BudgetExhausted { .. })
-        ));
+        assert!(matches!(route_with(&spec, cfg), Err(RouteError::BudgetExhausted { .. })));
     }
 }

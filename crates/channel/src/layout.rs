@@ -2,12 +2,13 @@ use std::error::Error;
 use std::fmt;
 
 use route_geom::{Layer, Point};
-use route_model::{PinSide, Problem, ProblemBuilder, ProblemError, RouteDb, Step, Trace, TraceError};
+use route_model::{
+    PinSide, Problem, ProblemBuilder, ProblemError, RouteDb, Step, Trace, TraceError,
+};
 
 use crate::ChannelSpec;
 
 /// A horizontal track segment of a channel solution.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HSeg {
     /// Net number (1-based, as in the spec).
@@ -21,7 +22,6 @@ pub struct HSeg {
 }
 
 /// Endpoint of a vertical segment in track space.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VEnd {
     /// The top pin row.
@@ -33,7 +33,6 @@ pub enum VEnd {
 }
 
 /// A vertical column segment of a channel solution.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VSeg {
     /// Net number (1-based, as in the spec).
@@ -96,7 +95,6 @@ impl From<TraceError> for RealizeError {
 /// Produced by the channel routers; turned into a checked grid routing by
 /// [`ChannelLayout::realize`]. `extra_columns` records by how many columns
 /// a router (the greedy router) overshot the channel on the right.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ChannelLayout {
     /// Number of tracks used.
@@ -164,18 +162,14 @@ impl ChannelLayout {
         }
         let problem = builder.build()?;
         let net_id = |net: u32| {
-            problem
-                .net_by_name(&net.to_string())
-                .expect("layout nets come from the spec")
-                .id
+            problem.net_by_name(&net.to_string()).expect("layout nets come from the spec").id
         };
 
         let mut db = RouteDb::new(&problem);
         for h in &self.hsegs {
             let y = track_row(h.track);
-            let steps: Vec<Step> = (h.x0..=h.x1)
-                .map(|x| Step::new(Point::new(x as i32, y), Layer::M1))
-                .collect();
+            let steps: Vec<Step> =
+                (h.x0..=h.x1).map(|x| Step::new(Point::new(x as i32, y), Layer::M1)).collect();
             db.commit(net_id(h.net), Trace::from_steps(steps).expect("row is contiguous"))?;
         }
         for v in &self.vsegs {
@@ -183,19 +177,16 @@ impl ChannelLayout {
             if y0 > y1 {
                 std::mem::swap(&mut y0, &mut y1);
             }
-            let steps: Vec<Step> = (y0..=y1)
-                .map(|y| Step::new(Point::new(v.col as i32, y), Layer::M2))
-                .collect();
+            let steps: Vec<Step> =
+                (y0..=y1).map(|y| Step::new(Point::new(v.col as i32, y), Layer::M2)).collect();
             db.commit(net_id(v.net), Trace::from_steps(steps).expect("column is contiguous"))?;
             // Vias at track endpoints.
             for end in [v.a, v.b] {
                 if let VEnd::Track(t) = end {
                     let p = Point::new(v.col as i32, track_row(t));
-                    let via = Trace::from_steps(vec![
-                        Step::new(p, Layer::M2),
-                        Step::new(p, Layer::M1),
-                    ])
-                    .expect("via is contiguous");
+                    let via =
+                        Trace::from_steps(vec![Step::new(p, Layer::M2), Step::new(p, Layer::M1)])
+                            .expect("via is contiguous");
                     db.commit(net_id(v.net), via)?;
                 }
             }

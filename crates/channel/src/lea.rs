@@ -87,10 +87,8 @@ pub(crate) fn place_left_edge(
         for &i in &remaining {
             let (key, x0, x1) = items[i];
             let fits = last_end.is_none_or(|e| x0 > e);
-            let ancestors_ok = vcg
-                .above(key)
-                .iter()
-                .all(|a| placed.get(a).is_some_and(|&t| t < track));
+            let ancestors_ok =
+                vcg.above(key).iter().all(|a| placed.get(a).is_some_and(|&t| t < track));
             if fits && ancestors_ok {
                 placed.insert(key, track);
                 last_end = Some(x1);
@@ -148,11 +146,7 @@ mod tests {
     fn chain_of_constraints_exceeds_density() {
         // VCG chain 1 -> 2 -> 3 but density is small: LEA pays tracks for
         // the chain, the classic left-edge weakness.
-        let spec = ChannelSpec::new(
-            vec![1, 2, 3, 0, 0, 0],
-            vec![2, 3, 0, 1, 2, 3],
-        )
-        .unwrap();
+        let spec = ChannelSpec::new(vec![1, 2, 3, 0, 0, 0], vec![2, 3, 0, 1, 2, 3]).unwrap();
         let sol = route(&spec).unwrap();
         assert!(sol.tracks >= 3, "chain forces three tracks, got {}", sol.tracks);
         let (problem, db) = sol.layout.realize(&spec).unwrap();

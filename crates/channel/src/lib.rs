@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+mod adapters;
 mod graphs;
 mod layout;
 mod spec;
@@ -52,37 +53,12 @@ pub mod lea;
 pub mod swbox;
 pub mod yacr;
 
+pub use adapters::{DoglegRouter, GreedyRouter, LeaRouter, SwboxRouter, YacrRouter};
 pub use graphs::{Vcg, ZoneTable};
 pub use layout::{ChannelLayout, HSeg, RealizeError, VEnd, VSeg};
 pub use spec::{ChannelSpec, SpecError};
 
-/// Error returned by channel routers that cannot complete.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RouteError {
-    /// The vertical constraint graph contains a cycle the router cannot
-    /// break (left-edge family only).
-    VerticalCycle {
-        /// Net ids (1-based, as in the spec) on the detected cycle.
-        cycle: Vec<u32>,
-    },
-    /// The router exhausted its track or column budget.
-    BudgetExhausted {
-        /// Tracks in use when the router gave up.
-        tracks: usize,
-    },
-}
-
-impl std::fmt::Display for RouteError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RouteError::VerticalCycle { cycle } => {
-                write!(f, "vertical constraint cycle through nets {cycle:?}")
-            }
-            RouteError::BudgetExhausted { tracks } => {
-                write!(f, "router exhausted its budget at {tracks} tracks")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RouteError {}
+/// Error returned by channel routers that cannot complete. Shared with
+/// every other router in the workspace; the channel routers use the
+/// `VerticalCycle` and `BudgetExhausted` variants.
+pub use route_model::RouteError;

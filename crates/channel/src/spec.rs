@@ -21,6 +21,12 @@ pub enum SpecError {
         /// The offending net number.
         net: u32,
     },
+    /// A general grid problem could not be interpreted as a channel
+    /// (see [`ChannelSpec::from_problem`]).
+    NotAChannel {
+        /// Explanation of the offending feature.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -32,6 +38,9 @@ impl fmt::Display for SpecError {
             SpecError::Empty => f.write_str("channel has no columns"),
             SpecError::SinglePinNet { net } => {
                 write!(f, "net {net} has a single pin")
+            }
+            SpecError::NotAChannel { reason } => {
+                write!(f, "problem is not a channel: {reason}")
             }
         }
     }
@@ -54,39 +63,9 @@ impl Error for SpecError {}
 /// # Ok::<(), route_channel::SpecError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(
-    feature = "serde",
-    derive(serde::Serialize, serde::Deserialize),
-    serde(into = "SpecWire", try_from = "SpecWire")
-)]
 pub struct ChannelSpec {
     top: Vec<u32>,
     bottom: Vec<u32>,
-}
-
-/// Serialization shape of [`ChannelSpec`]; deserialization runs the full
-/// validation of [`ChannelSpec::new`].
-#[cfg(feature = "serde")]
-#[derive(serde::Serialize, serde::Deserialize)]
-struct SpecWire {
-    top: Vec<u32>,
-    bottom: Vec<u32>,
-}
-
-#[cfg(feature = "serde")]
-impl From<ChannelSpec> for SpecWire {
-    fn from(s: ChannelSpec) -> Self {
-        SpecWire { top: s.top, bottom: s.bottom }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl TryFrom<SpecWire> for ChannelSpec {
-    type Error = SpecError;
-
-    fn try_from(w: SpecWire) -> Result<Self, Self::Error> {
-        ChannelSpec::new(w.top, w.bottom)
-    }
 }
 
 impl ChannelSpec {
@@ -143,21 +122,14 @@ impl ChannelSpec {
 
     /// Sorted list of distinct net numbers appearing in the channel.
     pub fn net_ids(&self) -> Vec<u32> {
-        let set: BTreeSet<u32> = self
-            .top
-            .iter()
-            .chain(self.bottom.iter())
-            .copied()
-            .filter(|&n| n != 0)
-            .collect();
+        let set: BTreeSet<u32> =
+            self.top.iter().chain(self.bottom.iter()).copied().filter(|&n| n != 0).collect();
         set.into_iter().collect()
     }
 
     /// Columns in which `net` has at least one pin, ascending.
     pub fn pin_columns(&self, net: u32) -> Vec<usize> {
-        (0..self.width())
-            .filter(|&c| self.top[c] == net || self.bottom[c] == net)
-            .collect()
+        (0..self.width()).filter(|&c| self.top[c] == net || self.bottom[c] == net).collect()
     }
 
     /// Horizontal span `[leftmost pin column, rightmost pin column]` of a
@@ -182,15 +154,68 @@ impl ChannelSpec {
     /// Channel density: the maximum column density, the classic lower
     /// bound on the number of tracks any solution needs.
     pub fn density(&self) -> u32 {
-        (0..self.width())
-            .map(|c| self.column_density(c))
-            .max()
-            .unwrap_or(0)
+        (0..self.width()).map(|c| self.column_density(c)).max().unwrap_or(0)
     }
 
     /// Total number of pins (non-zero entries).
     pub fn pin_count(&self) -> usize {
         self.top.iter().chain(self.bottom.iter()).filter(|&&n| n != 0).count()
+    }
+
+    /// Recovers the channel encoding from a general grid [`Problem`],
+    /// the inverse of [`ChannelSpec::to_problem`] up to net renumbering:
+    /// the net at problem index `i` becomes channel net number `i + 1`.
+    ///
+    /// This is what lets the channel routers sit behind the shared
+    /// `DetailedRouter` trait: any problem whose pins all sit on the top
+    /// and bottom rows (on the vertical layer M2) is channel-shaped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NotAChannel`] for problems with an irregular
+    /// region, interior or side pins, pins off the vertical layer, or
+    /// obstacles beyond the horizontal-layer blocks `to_problem` places
+    /// on the two pin rows. Other [`SpecError`] variants surface if the
+    /// recovered channel itself is degenerate (e.g. a single-pin net).
+    pub fn from_problem(problem: &Problem) -> Result<Self, SpecError> {
+        let fail = |reason: &str| SpecError::NotAChannel { reason: reason.to_string() };
+        if problem.region().is_some() {
+            return Err(fail("irregular routing region"));
+        }
+        if problem.height() < 3 {
+            return Err(fail("no interior track rows"));
+        }
+        let height = problem.height() as i32;
+        for &(p, layer) in problem.obstacles() {
+            let pin_row = p.y == 0 || p.y == height - 1;
+            let horizontal =
+                matches!(layer, Some(route_geom::Layer::M1) | Some(route_geom::Layer::M3));
+            if !(pin_row && horizontal) {
+                return Err(fail("obstacles outside the blocked pin rows"));
+            }
+        }
+        let width = problem.width() as usize;
+        let mut top = vec![0u32; width];
+        let mut bottom = vec![0u32; width];
+        for (idx, net) in problem.nets().iter().enumerate() {
+            let number = idx as u32 + 1;
+            for pin in &net.pins {
+                if pin.layer != route_geom::Layer::M2 {
+                    return Err(fail("pin off the vertical layer M2"));
+                }
+                let slot = if pin.at.y == height - 1 {
+                    &mut top[pin.at.x as usize]
+                } else if pin.at.y == 0 {
+                    &mut bottom[pin.at.x as usize]
+                } else {
+                    return Err(fail("pin not on the top or bottom row"));
+                };
+                // The builder already rejects two nets on one slot.
+                debug_assert_eq!(*slot, 0);
+                *slot = number;
+            }
+        }
+        ChannelSpec::new(top, bottom)
     }
 
     /// Converts the channel into a general grid [`Problem`] with `tracks`

@@ -69,6 +69,15 @@ impl fmt::Display for SwboxError {
 
 impl Error for SwboxError {}
 
+impl From<SwboxError> for crate::RouteError {
+    fn from(e: SwboxError) -> Self {
+        match e {
+            SwboxError::NotASwitchbox { reason } => crate::RouteError::Unsupported { reason },
+            other => crate::RouteError::Unroutable { reason: other.to_string() },
+        }
+    }
+}
+
 /// Result of a successful greedy switchbox run.
 #[derive(Debug, Clone)]
 pub struct SwboxSolution {
@@ -107,9 +116,7 @@ struct Sweep {
 
 impl Sweep {
     fn rows_of(&self, net: NetId) -> Vec<i32> {
-        (0..self.height)
-            .filter(|&r| self.carrier[r as usize] == Some(net))
-            .collect()
+        (0..self.height).filter(|&r| self.carrier[r as usize] == Some(net)).collect()
     }
 
     fn run_clear(&self, net: NetId, r0: i32, r1: i32) -> bool {
@@ -123,11 +130,8 @@ impl Sweep {
     fn emit_run(&mut self, net: NetId, col: usize, r0: i32, r1: i32, extra: &[i32]) {
         let (r0, r1) = (r0.min(r1), r0.max(r1));
         self.col_runs.push((net, r0, r1));
-        let mut junctions: Vec<i32> = self
-            .rows_of(net)
-            .into_iter()
-            .filter(|&r| r >= r0 && r <= r1)
-            .collect();
+        let mut junctions: Vec<i32> =
+            self.rows_of(net).into_iter().filter(|&r| r >= r0 && r <= r1).collect();
         junctions.extend(extra.iter().copied().filter(|&r| r >= r0 && r <= r1));
         junctions.sort_unstable();
         junctions.dedup();
@@ -147,14 +151,18 @@ impl Sweep {
 
     /// Brings the pin of `net` at the top (`from_top`) or bottom edge of
     /// `col` onto a row.
-    fn connect_edge_pin(&mut self, net: NetId, col: usize, from_top: bool) -> Result<(), SwboxError> {
+    fn connect_edge_pin(
+        &mut self,
+        net: NetId,
+        col: usize,
+        from_top: bool,
+    ) -> Result<(), SwboxError> {
         let edge = if from_top { self.height - 1 } else { 0 };
         // Candidate rows nearest the pin's edge first: own rows, then
         // empty rows.
         let mut candidates: Vec<i32> = self.rows_of(net);
-        let mut empties: Vec<i32> = (0..self.height)
-            .filter(|&r| self.carrier[r as usize].is_none())
-            .collect();
+        let mut empties: Vec<i32> =
+            (0..self.height).filter(|&r| self.carrier[r as usize].is_none()).collect();
         if from_top {
             candidates.sort_by_key(|&r| self.height - 1 - r);
             empties.sort_by_key(|&r| self.height - 1 - r);
@@ -325,11 +333,8 @@ pub fn route(problem: &Problem) -> Result<SwboxSolution, SwboxError> {
     };
 
     // Seed rows from the left pins.
-    let seeds: Vec<(NetId, u32)> = sweep
-        .pins
-        .iter()
-        .flat_map(|(&net, p)| p.left.iter().map(move |&r| (net, r)))
-        .collect();
+    let seeds: Vec<(NetId, u32)> =
+        sweep.pins.iter().flat_map(|(&net, p)| p.left.iter().map(move |&r| (net, r))).collect();
     for (net, row) in seeds {
         sweep.claim(row as i32, net, 0);
     }
@@ -345,10 +350,7 @@ pub fn route(problem: &Problem) -> Result<SwboxSolution, SwboxError> {
     };
     let bottom_net = |problem: &Problem, c: i32| -> Option<NetId> {
         problem.nets().iter().find_map(|n| {
-            n.pins
-                .iter()
-                .any(|p| p.at == Point::new(c, 0) && p.layer == Layer::M2)
-                .then_some(n.id)
+            n.pins.iter().any(|p| p.at == Point::new(c, 0) && p.layer == Layer::M2).then_some(n.id)
         })
     };
     for c in 0..w as usize {
@@ -360,9 +362,7 @@ pub fn route(problem: &Problem) -> Result<SwboxSolution, SwboxError> {
                 // Through pin pair: full-column run.
                 if sweep.rows_of(tn).is_empty() {
                     // Claim any empty row for the junction.
-                    let Some(row) =
-                        (0..h).find(|&r| sweep.carrier[r as usize].is_none())
-                    else {
+                    let Some(row) = (0..h).find(|&r| sweep.carrier[r as usize].is_none()) else {
                         return Err(SwboxError::PinBlocked { column: c as u32, net: tn });
                     };
                     sweep.claim(row, tn, c);
@@ -420,10 +420,7 @@ pub fn route(problem: &Problem) -> Result<SwboxSolution, SwboxError> {
                 }
             }
             // Vertical hop at the last column from the nearest own row.
-            let from = *rows
-                .iter()
-                .min_by_key(|&&r| (r - exit).abs())
-                .expect("rows nonempty");
+            let from = *rows.iter().min_by_key(|&&r| (r - exit).abs()).expect("rows nonempty");
             if !sweep.run_clear(net, from.min(exit), from.max(exit)) {
                 return Err(SwboxError::ExitMissed { net, row: exit as u32 });
             }
@@ -449,23 +446,17 @@ pub fn route(problem: &Problem) -> Result<SwboxSolution, SwboxError> {
             .map_err(|e| SwboxError::NotASwitchbox { reason: format!("internal conflict: {e}") })
     };
     for &(net, row, c0, c1) in &sweep.hsegs {
-        let steps: Vec<Step> = (c0..=c1)
-            .map(|x| Step::new(Point::new(x as i32, row), Layer::M1))
-            .collect();
+        let steps: Vec<Step> =
+            (c0..=c1).map(|x| Step::new(Point::new(x as i32, row), Layer::M1)).collect();
         commit(&mut db, net, steps)?;
     }
     for (net, col, r0, r1, junctions) in &sweep.vsegs {
-        let steps: Vec<Step> = (*r0..=*r1)
-            .map(|y| Step::new(Point::new(*col as i32, y), Layer::M2))
-            .collect();
+        let steps: Vec<Step> =
+            (*r0..=*r1).map(|y| Step::new(Point::new(*col as i32, y), Layer::M2)).collect();
         commit(&mut db, *net, steps)?;
         for &j in junctions {
             let p = Point::new(*col as i32, j);
-            commit(
-                &mut db,
-                *net,
-                vec![Step::new(p, Layer::M2), Step::new(p, Layer::M1)],
-            )?;
+            commit(&mut db, *net, vec![Step::new(p, Layer::M2), Step::new(p, Layer::M1)])?;
         }
     }
     Ok(SwboxSolution { db, steers: sweep.steers })
@@ -524,10 +515,7 @@ mod tests {
     #[test]
     fn multi_pin_net_with_top_entry() {
         let mut b = ProblemBuilder::switchbox(10, 6);
-        b.net("m")
-            .pin_side(PinSide::Left, 2)
-            .pin_side(PinSide::Top, 5)
-            .pin_side(PinSide::Right, 3);
+        b.net("m").pin_side(PinSide::Left, 2).pin_side(PinSide::Top, 5).pin_side(PinSide::Right, 3);
         let p = b.build().unwrap();
         check(&p);
     }
@@ -554,9 +542,7 @@ mod tests {
         // More crossing nets than the box can steer: failure, not panic.
         let mut b = ProblemBuilder::switchbox(4, 6);
         for i in 0..5 {
-            b.net(format!("n{i}"))
-                .pin_side(PinSide::Left, i)
-                .pin_side(PinSide::Right, 5 - i);
+            b.net(format!("n{i}")).pin_side(PinSide::Left, i).pin_side(PinSide::Right, 5 - i);
         }
         let p = b.build().unwrap();
         // Either it completes (verified) or reports a structured error.

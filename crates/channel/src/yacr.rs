@@ -20,10 +20,10 @@
 
 use std::collections::BTreeMap;
 
+use route_geom::{Layer, Point};
 use route_maze::sequential::connect_net_seeded;
 use route_maze::CostModel;
 use route_model::{Problem, RouteDb, Step, Trace};
-use route_geom::{Layer, Point};
 
 use crate::{ChannelSpec, RouteError};
 
@@ -70,9 +70,8 @@ fn attempt(spec: &ChannelSpec, tracks: usize) -> Option<YacrSolution> {
     for &net in &ids {
         let (x0, x1) = spec.span(net).expect("net from spec");
         let y = track_row(track_of[&net]);
-        let steps: Vec<Step> = (x0..=x1)
-            .map(|x| Step::new(Point::new(x as i32, y), Layer::M1))
-            .collect();
+        let steps: Vec<Step> =
+            (x0..=x1).map(|x| Step::new(Point::new(x as i32, y), Layer::M1)).collect();
         let nid = problem.net_by_name(&net.to_string()).expect("net exists").id;
         db.commit(nid, Trace::from_steps(steps).expect("row contiguous")).ok()?;
     }
@@ -88,9 +87,8 @@ fn attempt(spec: &ChannelSpec, tracks: usize) -> Option<YacrSolution> {
         let nid = problem.net_by_name(&net.to_string()).expect("net exists").id;
         let spine_y = track_row(track_of[&net]);
         let (x0, x1) = spec.span(net).expect("net from spec");
-        let seed: Vec<Step> = (x0..=x1)
-            .map(|x| Step::new(Point::new(x as i32, spine_y), Layer::M1))
-            .collect();
+        let seed: Vec<Step> =
+            (x0..=x1).map(|x| Step::new(Point::new(x as i32, spine_y), Layer::M1)).collect();
         if connect_net_seeded(&mut db, nid, strict, seed.clone()).is_err() {
             // Second chance with the relaxed cost model: the remaining
             // pins may need a wrong-way wander the strict discipline
@@ -153,9 +151,8 @@ fn assign_tracks(spec: &ChannelSpec, tracks: usize) -> Option<BTreeMap<u32, usiz
         } else {
             (bottom_pins as f64 / (top_pins + bottom_pins) as f64) * (tracks as f64 - 1.0)
         };
-        let candidate = (0..tracks)
-            .filter(|&t| last_end[t].is_none_or(|e| x0 > e))
-            .min_by(|&a, &b| {
+        let candidate =
+            (0..tracks).filter(|&t| last_end[t].is_none_or(|e| x0 > e)).min_by(|&a, &b| {
                 let va = violations(a);
                 let vb = violations(b);
                 let da = (a as f64 - prefer).abs();
@@ -198,11 +195,8 @@ mod tests {
 
     #[test]
     fn routes_multi_pin_channel() {
-        let spec = ChannelSpec::new(
-            vec![1, 2, 1, 0, 2, 3, 0, 3],
-            vec![0, 1, 2, 1, 3, 0, 2, 0],
-        )
-        .unwrap();
+        let spec =
+            ChannelSpec::new(vec![1, 2, 1, 0, 2, 3, 0, 3], vec![0, 1, 2, 1, 3, 0, 2, 0]).unwrap();
         let sol = check(&spec, 4);
         assert!(sol.tracks as u32 >= spec.density());
     }

@@ -1,140 +1,172 @@
-//! Property-based tests of the channel routers: on arbitrary generated
+//! Property-style tests of the channel routers: on arbitrary generated
 //! channels, every produced solution realizes to a verified-legal grid
-//! routing, and track counts respect the density lower bound.
-
-use proptest::prelude::*;
+//! routing, and track counts respect the density lower bound. Inputs
+//! come from a deterministic in-file generator so the crate builds with
+//! zero registry access.
 
 use route_channel::{dogleg, greedy, lea, swbox, yacr, ChannelSpec};
 use route_verify::verify;
 
-/// Arbitrary valid channel: random pin vectors, cleaned up so every net
-/// has at least two pins.
-fn arb_channel() -> impl Strategy<Value = ChannelSpec> {
-    (2usize..24, 1u32..8, any::<u64>()).prop_map(|(width, nets, seed)| {
-        // A tiny deterministic LCG keeps this independent of `rand`.
-        let mut state = seed | 1;
-        let mut next = move |m: u32| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as u32) % m
-        };
-        let mut top = vec![0u32; width];
-        let mut bottom = vec![0u32; width];
-        for c in 0..width {
-            top[c] = next(nets + 1);
-            bottom[c] = next(nets + 1);
-        }
-        // Ensure every referenced net has >= 2 pins by duplicating pins
-        // for singletons (or dropping them when the channel is full).
-        loop {
-            let mut counts = vec![0u32; nets as usize + 1];
-            for &n in top.iter().chain(bottom.iter()) {
-                counts[n as usize] += 1;
-            }
-            let Some(lonely) = (1..=nets).find(|&n| counts[n as usize] == 1) else {
-                break;
-            };
-            // Place a second pin in a free slot, or erase the only pin.
-            let mut fixed = false;
-            for c in 0..width {
-                if top[c] == 0 {
-                    top[c] = lonely;
-                    fixed = true;
-                    break;
-                }
-                if bottom[c] == 0 {
-                    bottom[c] = lonely;
-                    fixed = true;
-                    break;
-                }
-            }
-            if !fixed {
-                for slot in top.iter_mut().chain(bottom.iter_mut()) {
-                    if *slot == lonely {
-                        *slot = 0;
-                    }
-                }
-            }
-        }
-        ChannelSpec::new(top, bottom)
-    })
-    .prop_filter_map("spec must have nets", |r| r.ok())
-    .prop_filter("non-empty net list", |s| !s.net_ids().is_empty())
+/// Tiny deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Arbitrary valid channel: random pin vectors, cleaned up so every net
+/// has at least two pins. Returns `None` when the cleanup erased every
+/// net.
+fn random_channel(rng: &mut Rng) -> Option<ChannelSpec> {
+    let width = 2 + rng.below(22) as usize;
+    let nets = 1 + rng.below(7) as u32;
+    let mut top = vec![0u32; width];
+    let mut bottom = vec![0u32; width];
+    for c in 0..width {
+        top[c] = rng.below(u64::from(nets) + 1) as u32;
+        bottom[c] = rng.below(u64::from(nets) + 1) as u32;
+    }
+    // Ensure every referenced net has >= 2 pins by duplicating pins
+    // for singletons (or dropping them when the channel is full).
+    loop {
+        let mut counts = vec![0u32; nets as usize + 1];
+        for &n in top.iter().chain(bottom.iter()) {
+            counts[n as usize] += 1;
+        }
+        let Some(lonely) = (1..=nets).find(|&n| counts[n as usize] == 1) else {
+            break;
+        };
+        // Place a second pin in a free slot, or erase the only pin.
+        let mut fixed = false;
+        for c in 0..width {
+            if top[c] == 0 {
+                top[c] = lonely;
+                fixed = true;
+                break;
+            }
+            if bottom[c] == 0 {
+                bottom[c] = lonely;
+                fixed = true;
+                break;
+            }
+        }
+        if !fixed {
+            for slot in top.iter_mut().chain(bottom.iter_mut()) {
+                if *slot == lonely {
+                    *slot = 0;
+                }
+            }
+        }
+    }
+    let spec = ChannelSpec::new(top, bottom).ok()?;
+    if spec.net_ids().is_empty() {
+        return None;
+    }
+    Some(spec)
+}
 
-    #[test]
-    fn lea_solutions_verify(spec in arb_channel()) {
+fn channels(seed: u64, cases: usize) -> Vec<ChannelSpec> {
+    let mut rng = Rng(seed);
+    let mut out = Vec::new();
+    while out.len() < cases {
+        if let Some(spec) = random_channel(&mut rng) {
+            out.push(spec);
+        }
+    }
+    out
+}
+
+#[test]
+fn lea_solutions_verify() {
+    for spec in channels(0xC401, 64) {
         if let Ok(sol) = lea::route(&spec) {
-            prop_assert!(sol.tracks as u32 >= spec.density());
+            assert!(sol.tracks as u32 >= spec.density());
             let (problem, db) = sol.layout.realize(&spec).expect("realizes");
             let report = verify(&problem, &db);
-            prop_assert!(report.is_clean(), "LEA illegal on {spec}: {report}");
+            assert!(report.is_clean(), "LEA illegal on {spec}: {report}");
         }
     }
+}
 
-    #[test]
-    fn dogleg_solutions_verify(spec in arb_channel()) {
+#[test]
+fn dogleg_solutions_verify() {
+    for spec in channels(0xC402, 64) {
         if let Ok(sol) = dogleg::route(&spec) {
-            prop_assert!(sol.tracks as u32 >= spec.density());
+            assert!(sol.tracks as u32 >= spec.density());
             let (problem, db) = sol.layout.realize(&spec).expect("realizes");
             let report = verify(&problem, &db);
-            prop_assert!(report.is_clean(), "dogleg illegal on {spec}: {report}");
+            assert!(report.is_clean(), "dogleg illegal on {spec}: {report}");
         }
     }
+}
 
-    #[test]
-    fn greedy_solutions_verify(spec in arb_channel()) {
+#[test]
+fn greedy_solutions_verify() {
+    for spec in channels(0xC403, 64) {
         if let Ok(sol) = greedy::route(&spec) {
-            prop_assert!(sol.tracks as u32 >= spec.density().min(sol.tracks as u32));
+            assert!(sol.tracks as u32 >= spec.density().min(sol.tracks as u32));
             let (problem, db) = sol.layout.realize(&spec).expect("realizes");
             let report = verify(&problem, &db);
-            prop_assert!(report.is_clean(), "greedy illegal on {spec}: {report}");
+            assert!(report.is_clean(), "greedy illegal on {spec}: {report}");
         }
     }
+}
 
-    #[test]
-    fn yacr_solutions_verify(spec in arb_channel()) {
+#[test]
+fn yacr_solutions_verify() {
+    for spec in channels(0xC404, 48) {
         if let Ok(sol) = yacr::route(&spec, 6) {
-            prop_assert!(sol.tracks as u32 >= spec.density());
+            assert!(sol.tracks as u32 >= spec.density());
             let report = verify(&sol.problem, &sol.db);
-            prop_assert!(report.is_clean(), "yacr illegal on {spec}: {report}");
+            assert!(report.is_clean(), "yacr illegal on {spec}: {report}");
         }
     }
+}
 
-    /// The greedy switchbox sweep, when it claims success on a random
-    /// switchbox, always produces a verified-legal routing.
-    #[test]
-    fn swbox_solutions_verify(
-        w in 4u32..14,
-        h in 4u32..12,
-        pin_rows in prop::collection::vec((0u32..12, 0u32..12), 1..6),
-    ) {
+/// The greedy switchbox sweep, when it claims success on a random
+/// switchbox, always produces a verified-legal routing.
+#[test]
+fn swbox_solutions_verify() {
+    let mut rng = Rng(0xC405);
+    for _ in 0..64 {
+        let w = 4 + rng.below(10) as u32;
+        let h = 4 + rng.below(8) as u32;
+        let pairs = 1 + rng.below(5) as usize;
         let mut b = route_model::ProblemBuilder::switchbox(w, h);
-        for (i, (l, r)) in pin_rows.iter().enumerate() {
+        for i in 0..pairs {
+            let l = rng.below(12) as u32 % h;
+            let r = rng.below(12) as u32 % h;
             b.net(format!("n{i}"))
-                .pin_side(route_model::PinSide::Left, l % h)
-                .pin_side(route_model::PinSide::Right, r % h);
+                .pin_side(route_model::PinSide::Left, l)
+                .pin_side(route_model::PinSide::Right, r);
         }
-        let Ok(problem) = b.build() else { return Ok(()) };
+        let Ok(problem) = b.build() else { continue };
         if let Ok(sol) = swbox::route(&problem) {
             let report = verify(&problem, &sol.db);
-            prop_assert!(report.is_clean(), "greedy-SB illegal: {report}");
+            assert!(report.is_clean(), "greedy-SB illegal: {report}");
         }
     }
+}
 
-    /// Dogleg routes every channel LEA routes: splitting nets at pin
-    /// columns never introduces a cycle that was not already implied.
-    /// (Track counts are *not* compared — aggressive splitting can
-    /// lengthen constraint chains on adversarial channels.)
-    #[test]
-    fn dogleg_succeeds_whenever_lea_does(spec in arb_channel()) {
+/// Dogleg routes every channel LEA routes: splitting nets at pin
+/// columns never introduces a cycle that was not already implied.
+/// (Track counts are *not* compared — aggressive splitting can
+/// lengthen constraint chains on adversarial channels.)
+#[test]
+fn dogleg_succeeds_whenever_lea_does() {
+    for spec in channels(0xC406, 64) {
         if lea::route(&spec).is_ok() {
-            prop_assert!(
-                dogleg::route(&spec).is_ok(),
-                "dogleg failed where LEA succeeded on {spec}"
-            );
+            assert!(dogleg::route(&spec).is_ok(), "dogleg failed where LEA succeeded on {spec}");
         }
     }
 }

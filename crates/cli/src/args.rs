@@ -31,6 +31,27 @@ pub enum ChannelRouterKind {
     Yacr,
 }
 
+/// Router choices for batch runs — the full unified
+/// [`DetailedRouter`](route_model::DetailedRouter) roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchRouterKind {
+    /// The rip-up/reroute detailed router (default).
+    #[default]
+    Ripup,
+    /// The sequential Lee-style maze baseline.
+    Lee,
+    /// Left-edge algorithm (channel-shaped instances only).
+    Lea,
+    /// Dogleg router (channel-shaped instances only).
+    Dogleg,
+    /// Greedy column sweep (channel-shaped instances only).
+    Greedy,
+    /// YACR-style track assignment (channel-shaped instances only).
+    Yacr,
+    /// Greedy switchbox sweep.
+    Swbox,
+}
+
 /// Instance kinds the generator can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GenKind {
@@ -77,6 +98,21 @@ pub enum Command {
         save: Option<String>,
         /// Run the cleanup pass after routing.
         optimize: bool,
+    },
+    /// Route many switchbox files concurrently through the batch engine.
+    Batch {
+        /// Instance paths (in addition to any `--list` contents).
+        files: Vec<String>,
+        /// File with one instance path per line (`#` comments allowed).
+        list: Option<String>,
+        /// Algorithm.
+        router: BatchRouterKind,
+        /// Worker threads (0 = one per hardware thread).
+        jobs: usize,
+        /// Write a machine-readable JSON report to this path.
+        json: Option<String>,
+        /// Per-instance wall-clock budget in milliseconds.
+        deadline_ms: Option<u64>,
     },
     /// Route a channel file.
     Channel {
@@ -133,9 +169,7 @@ impl Cursor {
     }
 
     fn value_of(&mut self, flag: &str) -> Result<String, ParseArgsError> {
-        self.next()
-            .map(str::to_owned)
-            .ok_or_else(|| err(format!("{flag} needs a value")))
+        self.next().map(str::to_owned).ok_or_else(|| err(format!("{flag} needs a value")))
     }
 }
 
@@ -153,6 +187,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     match cmd.as_str() {
         "--help" | "-h" | "help" => Ok(Command::Help),
         "route" => parse_route(&mut cur),
+        "batch" => parse_batch(&mut cur),
         "check" => parse_check(&mut cur),
         "channel" => parse_channel(&mut cur),
         "gen" => parse_gen(&mut cur),
@@ -195,6 +230,54 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     Ok(Command::Route { file, router, ascii, svg, save, optimize })
 }
 
+fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut files = Vec::new();
+    let mut list = None;
+    let mut router = BatchRouterKind::default();
+    let mut jobs = 0usize;
+    let mut json = None;
+    let mut deadline_ms = None;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--router" => {
+                router = match cur.value_of("--router")?.as_str() {
+                    "ripup" => BatchRouterKind::Ripup,
+                    "lee" => BatchRouterKind::Lee,
+                    "lea" => BatchRouterKind::Lea,
+                    "dogleg" => BatchRouterKind::Dogleg,
+                    "greedy" => BatchRouterKind::Greedy,
+                    "yacr" => BatchRouterKind::Yacr,
+                    "swbox" => BatchRouterKind::Swbox,
+                    other => return Err(err(format!("unknown batch router `{other}`"))),
+                };
+            }
+            "--jobs" => {
+                jobs = cur.value_of("--jobs")?.parse().map_err(|_| err("--jobs needs a number"))?;
+                if jobs > 4096 {
+                    return Err(err("--jobs must be at most 4096"));
+                }
+            }
+            "--list" => list = Some(cur.value_of("--list")?),
+            "--json" => json = Some(cur.value_of("--json")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    cur.value_of("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| err("--deadline-ms needs a number"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `batch`")))
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    if files.is_empty() && list.is_none() {
+        return Err(err("`batch` needs instance FILEs or --list"));
+    }
+    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms })
+}
+
 fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut paths: Vec<String> = Vec::new();
     let mut svg = None;
@@ -207,8 +290,8 @@ fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
             path => paths.push(path.to_owned()),
         }
     }
-    let [instance, routes] = <[String; 2]>::try_from(paths)
-        .map_err(|_| err("`check` takes exactly INSTANCE ROUTES"))?;
+    let [instance, routes] =
+        <[String; 2]>::try_from(paths).map_err(|_| err("`check` takes exactly INSTANCE ROUTES"))?;
     Ok(Command::Check { instance, routes, svg })
 }
 
@@ -269,9 +352,7 @@ fn parse_gen(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut window = 0usize;
     while let Some(arg) = cur.next().map(str::to_owned) {
         let num = |flag: &str, cur: &mut Cursor| -> Result<u64, ParseArgsError> {
-            cur.value_of(flag)?
-                .parse()
-                .map_err(|_| err(format!("{flag} needs a number")))
+            cur.value_of(flag)?.parse().map_err(|_| err(format!("{flag} needs a number")))
         };
         let narrow = |flag: &str, v: u64| -> Result<u32, ParseArgsError> {
             u32::try_from(v).map_err(|_| err(format!("{flag} value {v} is too large")))
@@ -357,6 +438,35 @@ mod tests {
     }
 
     #[test]
+    fn batch_flags() {
+        assert_eq!(
+            parse("batch a.sb b.sb --jobs 8 --json out.json").unwrap(),
+            Command::Batch {
+                files: vec!["a.sb".into(), "b.sb".into()],
+                list: None,
+                router: BatchRouterKind::Ripup,
+                jobs: 8,
+                json: Some("out.json".into()),
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            parse("batch --list all.txt --router lee --deadline-ms 500").unwrap(),
+            Command::Batch {
+                files: vec![],
+                list: Some("all.txt".into()),
+                router: BatchRouterKind::Lee,
+                jobs: 0,
+                json: None,
+                deadline_ms: Some(500),
+            }
+        );
+        assert!(parse("batch").unwrap_err().to_string().contains("--list"));
+        assert!(parse("batch a.sb --router bogus").unwrap_err().to_string().contains("bogus"));
+        assert!(parse("batch a.sb --jobs x").unwrap_err().to_string().contains("number"));
+    }
+
+    #[test]
     fn channel_routers() {
         for (name, kind) in [
             ("ripup", ChannelRouterKind::Ripup),
@@ -414,6 +524,9 @@ mod tests {
         assert!(parse("route a b").unwrap_err().to_string().contains("exactly one"));
         assert!(parse("route f --router bogus").unwrap_err().to_string().contains("bogus"));
         assert!(parse("channel f --tracks x").unwrap_err().to_string().contains("number"));
-        assert!(parse("gen switchbox --width 5 --nets 3").unwrap_err().to_string().contains("--height"));
+        assert!(parse("gen switchbox --width 5 --nets 3")
+            .unwrap_err()
+            .to_string()
+            .contains("--height"));
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! vroute route  FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+//! vroute batch  FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
 //! vroute check  FILE ROUTES [--svg OUT]
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -19,7 +20,10 @@
 mod args;
 mod run;
 
-pub use args::{parse_args, ChannelRouterKind, Command, GenKind, ParseArgsError, SwitchRouterKind};
+pub use args::{
+    parse_args, BatchRouterKind, ChannelRouterKind, Command, GenKind, ParseArgsError,
+    SwitchRouterKind,
+};
 pub use run::{execute, ExecutionError};
 
 /// Usage text printed on `--help` or argument errors.
@@ -28,6 +32,7 @@ vroute — two-layer detailed router
 
 USAGE:
   vroute route FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+  vroute batch FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
   vroute check FILE ROUTES [--svg OUT]
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -35,12 +40,18 @@ USAGE:
 
 COMMANDS:
   route     Route a switchbox instance file (sb format)
+  batch     Route many instance files concurrently through the batch engine
   check     Verify a saved routing (routes format) against its instance
   channel   Route a channel instance file (channel format)
   gen       Generate a random instance and print it to stdout
 
 OPTIONS:
-  --router KIND   Routing algorithm (default: ripup)
+  --router KIND   Routing algorithm (default: ripup; batch also takes
+                  lee|lea|dogleg|greedy|yacr|swbox)
+  --jobs N        Batch worker threads (default 0 = one per hardware thread)
+  --list LIST     File with one instance path per line (# comments allowed)
+  --json OUT      Write a machine-readable batch report to OUT
+  --deadline-ms MS  Disqualify instances that take longer than MS
   --ascii         Print the routed layout as ASCII art
   --svg OUT       Write the routed layout as SVG to OUT
   --save OUT      Write the routed traces to OUT (reload with `check`)

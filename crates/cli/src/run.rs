@@ -3,16 +3,18 @@
 use std::error::Error;
 use std::fmt;
 
+use mighty::engine::{EngineConfig, RouteEngine};
 use mighty::{MightyRouter, RouterConfig};
+use route_bench::json::Json;
 use route_benchdata::format::{self, ParseError};
 use route_benchdata::gen::{ChannelGen, SwitchboxGen};
 use route_channel::{dogleg, greedy, lea, yacr, RouteError};
-use route_maze::{sequential, CostModel};
-use route_model::{render_layers, render_svg, RouteDb};
+use route_maze::{sequential, CostModel, LeeRouter};
+use route_model::{render_layers, render_svg, DetailedRouter, RouteDb};
 use route_opt::{cleanup, OptimizeConfig};
 use route_verify::verify;
 
-use crate::{ChannelRouterKind, Command, GenKind, SwitchRouterKind, USAGE};
+use crate::{BatchRouterKind, ChannelRouterKind, Command, GenKind, SwitchRouterKind, USAGE};
 
 /// Error produced when executing a command.
 #[derive(Debug)]
@@ -115,17 +117,15 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             Ok(true)
         }
         Command::Route { file, router, ascii, svg, save, optimize } => {
-            let text = std::fs::read_to_string(file)
-                .map_err(|e| ExecutionError::Io(file.clone(), e))?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
             let problem = format::parse_problem(&text)?;
             let mut db: RouteDb;
             let complete = match router {
                 SwitchRouterKind::Ripup => {
-                    let outcome =
-                        MightyRouter::new(RouterConfig::default()).route(&problem);
+                    let outcome = MightyRouter::new(RouterConfig::default()).route(&problem);
                     let complete = outcome.is_complete();
-                    writeln!(out, "router: rip-up/reroute ({})", outcome.stats())
-                        .expect("writing");
+                    writeln!(out, "router: rip-up/reroute ({})", outcome.stats()).expect("writing");
                     db = outcome.into_db();
                     complete
                 }
@@ -142,8 +142,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                         &route_global::GlobalConfig::default(),
                     );
                     let complete = outcome.is_complete();
-                    writeln!(out, "router: hierarchical ({:?})", outcome.stats())
-                        .expect("writing");
+                    writeln!(out, "router: hierarchical ({:?})", outcome.stats()).expect("writing");
                     db = outcome.into_db();
                     complete
                 }
@@ -184,6 +183,128 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             }
             Ok(complete)
         }
+        Command::Batch { files, list, router, jobs, json, deadline_ms } => {
+            let mut paths: Vec<String> = files.clone();
+            if let Some(listfile) = list {
+                let text = std::fs::read_to_string(listfile)
+                    .map_err(|e| ExecutionError::Io(listfile.clone(), e))?;
+                for line in text.lines() {
+                    let line = line.trim();
+                    if !line.is_empty() && !line.starts_with('#') {
+                        paths.push(line.to_owned());
+                    }
+                }
+            }
+            let mut problems = Vec::with_capacity(paths.len());
+            for path in &paths {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                problems.push(format::parse_problem(&text)?);
+            }
+            let algorithm = batch_router(*router);
+            let engine = RouteEngine::new(EngineConfig {
+                jobs: *jobs,
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+            });
+            let batch = engine.route_batch(algorithm.as_ref(), &problems);
+            writeln!(
+                out,
+                "router: {}, jobs: {}, instances: {}",
+                algorithm.name(),
+                batch.stats.jobs,
+                batch.stats.instances
+            )
+            .expect("writing");
+            // An order-sensitive FNV-1a fold of per-instance outcomes:
+            // identical digests mean bit-identical batch results.
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            let mut all_good = true;
+            let mut records = Vec::with_capacity(paths.len());
+            for (i, (path, result)) in paths.iter().zip(&batch.results).enumerate() {
+                let ms = batch.timings[i].as_millis() as u64;
+                match result {
+                    Ok(routing) => {
+                        let report = verify(&problems[i], &routing.db);
+                        let legal = report.is_clean() || report.is_legal_but_incomplete();
+                        let status = if !legal {
+                            "illegal"
+                        } else if routing.is_complete() {
+                            "complete"
+                        } else {
+                            "incomplete"
+                        };
+                        all_good &= report.is_clean();
+                        let s = routing.db.stats();
+                        let sum = routing.db.checksum();
+                        digest = fnv_fold(digest, sum);
+                        writeln!(
+                            out,
+                            "  {path}: {status}, wire {}, vias {}, {ms} ms, checksum {sum:016x}",
+                            s.wirelength, s.vias
+                        )
+                        .expect("writing");
+                        records.push(Json::obj([
+                            ("file", Json::str(path.as_str())),
+                            ("status", Json::str(status)),
+                            ("wire", Json::from(s.wirelength)),
+                            ("vias", Json::from(s.vias)),
+                            ("ms", Json::from(ms)),
+                            ("checksum", Json::str(format!("{sum:016x}"))),
+                        ]));
+                    }
+                    Err(e) => {
+                        all_good = false;
+                        digest = fnv_str(digest, &e.to_string());
+                        writeln!(out, "  {path}: error: {e}").expect("writing");
+                        records.push(Json::obj([
+                            ("file", Json::str(path.as_str())),
+                            ("status", Json::str("error")),
+                            ("error", Json::str(e.to_string())),
+                            ("ms", Json::from(ms)),
+                        ]));
+                    }
+                }
+            }
+            let s = batch.stats;
+            let throughput = s.instances as f64 / (s.batch_ms.max(1) as f64 / 1000.0);
+            writeln!(
+                out,
+                "batch: {} complete, {} incomplete, {} errored, {} panicked, {} timed out; \
+                 wall {} ms, {throughput:.1} inst/sec",
+                s.complete, s.incomplete, s.errored, s.panicked, s.timed_out, s.batch_ms
+            )
+            .expect("writing");
+            writeln!(out, "digest: {digest:016x}").expect("writing");
+            if let Some(path) = json {
+                let doc = Json::obj([
+                    ("command", Json::str("batch")),
+                    ("router", Json::str(algorithm.name())),
+                    ("jobs", Json::from(s.jobs)),
+                    ("digest", Json::str(format!("{digest:016x}"))),
+                    ("instances", Json::arr(records)),
+                    (
+                        "stats",
+                        Json::obj([
+                            ("complete", Json::from(s.complete)),
+                            ("incomplete", Json::from(s.incomplete)),
+                            ("errored", Json::from(s.errored)),
+                            ("panicked", Json::from(s.panicked)),
+                            ("timed_out", Json::from(s.timed_out)),
+                            ("failed_nets", Json::from(s.failed_nets)),
+                            ("wirelength", Json::from(s.wirelength)),
+                            ("vias", Json::from(s.vias)),
+                            ("batch_ms", Json::from(s.batch_ms)),
+                            ("busy_ms", Json::from(s.busy_ms)),
+                            ("throughput_per_sec", Json::from(throughput)),
+                        ]),
+                    ),
+                ]);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "json written to {path}").expect("writing");
+            }
+            Ok(all_good && s.complete == s.instances)
+        }
         Command::Check { instance, routes, svg } => {
             let text = std::fs::read_to_string(instance)
                 .map_err(|e| ExecutionError::Io(instance.clone(), e))?;
@@ -217,8 +338,8 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                     )));
                 }
             }
-            let text = std::fs::read_to_string(file)
-                .map_err(|e| ExecutionError::Io(file.clone(), e))?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
             let spec = format::parse_channel(&text)?;
             writeln!(out, "{spec}").expect("writing");
             let fail = |e: RouteError| ExecutionError::Unroutable(e.to_string());
@@ -279,6 +400,37 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
     }
 }
 
+/// The unified trait object for a batch router choice.
+fn batch_router(kind: BatchRouterKind) -> Box<dyn DetailedRouter + Sync> {
+    match kind {
+        BatchRouterKind::Ripup => Box::new(MightyRouter::new(RouterConfig::default())),
+        BatchRouterKind::Lee => Box::new(LeeRouter::default()),
+        BatchRouterKind::Lea => Box::new(route_channel::LeaRouter),
+        BatchRouterKind::Dogleg => Box::new(route_channel::DoglegRouter),
+        BatchRouterKind::Greedy => Box::new(route_channel::GreedyRouter),
+        BatchRouterKind::Yacr => Box::new(route_channel::YacrRouter::default()),
+        BatchRouterKind::Swbox => Box::new(route_channel::SwboxRouter),
+    }
+}
+
+/// Folds one value into an FNV-1a digest.
+fn fnv_fold(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds a string into an FNV-1a digest.
+fn fnv_str(mut h: u64, s: &str) -> u64 {
+    for byte in s.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,8 +474,7 @@ mod tests {
         let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
         std::fs::write(&sb, instance).unwrap();
 
-        let (out, ok) =
-            run(&format!("route {} --svg {} --optimize", sb.display(), svg.display()));
+        let (out, ok) = run(&format!("route {} --svg {} --optimize", sb.display(), svg.display()));
         assert!(ok.unwrap(), "{out}");
         assert!(out.contains("cleanup:"), "{out}");
         let svg_text = std::fs::read_to_string(&svg).unwrap();
@@ -397,16 +548,88 @@ mod tests {
         assert!(!ok.unwrap(), "incomplete routing must not verify clean:\n{out}");
     }
 
+    /// The digest line of a batch run, with timing noise excluded.
+    fn digest_of(output: &str) -> String {
+        output
+            .lines()
+            .find(|l| l.starts_with("digest:"))
+            .unwrap_or_else(|| panic!("no digest in:\n{output}"))
+            .to_owned()
+    }
+
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts() {
+        let dir = std::env::temp_dir().join("vroute-test-batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut list = String::new();
+        for seed in 0..64 {
+            let (instance, _) =
+                run(&format!("gen switchbox --width 10 --height 8 --nets 5 --seed {seed}"));
+            let path = dir.join(format!("b{seed}.sb"));
+            std::fs::write(&path, instance).unwrap();
+            list.push_str(&format!("{}\n", path.display()));
+        }
+        let listfile = dir.join("all.txt");
+        std::fs::write(&listfile, format!("# 64 instances\n{list}")).unwrap();
+
+        let (serial, ok) = run(&format!("batch --list {} --jobs 1", listfile.display()));
+        assert!(ok.unwrap(), "serial batch completes:\n{serial}");
+        let (parallel, ok) = run(&format!("batch --list {} --jobs 8", listfile.display()));
+        assert!(ok.unwrap(), "parallel batch completes:\n{parallel}");
+        assert_eq!(digest_of(&serial), digest_of(&parallel));
+        assert!(parallel.contains("jobs: 8"), "{parallel}");
+    }
+
+    #[test]
+    fn batch_json_report() {
+        let dir = std::env::temp_dir().join("vroute-test-batch-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        let sb = dir.join("box.sb");
+        std::fs::write(&sb, instance).unwrap();
+        let report = dir.join("report.json");
+        let (out, ok) = run(&format!(
+            "batch {} {} --router lee --json {}",
+            sb.display(),
+            sb.display(),
+            report.display()
+        ));
+        assert!(ok.unwrap(), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"router\": \"lee\""), "{text}");
+        assert!(text.contains("\"complete\": 2"), "{text}");
+        assert!(text.contains("\"digest\""), "{text}");
+    }
+
+    #[test]
+    fn batch_of_channel_problems_through_channel_adapters() {
+        // Channel-shaped grid instances route through the unified trait
+        // with a channel baseline.
+        let dir = std::env::temp_dir().join("vroute-test-batch-ch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (instance, _) = run("gen channel --width 20 --nets 8 --window 8 --seed 1");
+        let spec = route_benchdata::format::parse_channel(&instance).unwrap();
+        let problem = spec.to_problem(spec.density() as usize + 4);
+        let sb = dir.join("chan.sb");
+        std::fs::write(&sb, format::write_problem(&problem)).unwrap();
+        let (out, ok) = run(&format!("batch {} --router yacr", sb.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("complete"), "{out}");
+        // A switchbox instance is cleanly rejected by the same adapter.
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        let plain = dir.join("box.sb");
+        std::fs::write(&plain, instance).unwrap();
+        let (out, ok) = run(&format!("batch {} --router lea", plain.display()));
+        assert!(!ok.unwrap(), "{out}");
+        assert!(out.contains("error: unsupported"), "{out}");
+    }
+
     #[test]
     fn region_instance_routes() {
         let dir = std::env::temp_dir().join("vroute-test-region");
         std::fs::create_dir_all(&dir).unwrap();
         let f = dir.join("l.sb");
-        std::fs::write(
-            &f,
-            "region 0 0 12 4\nregion 0 0 4 12\nnet a 1 11 M2  11 1 M1\n",
-        )
-        .unwrap();
+        std::fs::write(&f, "region 0 0 12 4\nregion 0 0 4 12\nnet a 1 11 M2  11 1 M1\n").unwrap();
         let (out, ok) = run(&format!("route {}", f.display()));
         assert!(ok.unwrap(), "L-region routes:\n{out}");
         assert!(out.contains("verify: clean"), "{out}");

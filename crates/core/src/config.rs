@@ -5,7 +5,6 @@ use route_maze::CostModel;
 /// Rip-up/reroute makes the router far less order-sensitive than the
 /// sequential baseline, but the initial order still affects how much
 /// modification work is needed; the ablation benches sweep this choice.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NetOrder {
     /// Smallest pin bounding box first (default; classic heuristic).
@@ -29,7 +28,6 @@ pub enum NetOrder {
 /// becomes more expensive to rip than to detour around. Geometric growth
 /// (the default) reaches that point exponentially faster than linear
 /// growth; the ablation benches compare the two.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PenaltyGrowth {
     /// `base << min(rips, cap)` — doubles per rip (default).
@@ -54,7 +52,6 @@ pub enum PenaltyGrowth {
 /// };
 /// assert!(cfg.strong);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterConfig {
     /// Path-search cost weights.
@@ -83,9 +80,7 @@ impl RouterConfig {
     /// times, under the configured [`PenaltyGrowth`] schedule.
     pub fn penalty(&self, rips: u32) -> u64 {
         match self.penalty_growth {
-            PenaltyGrowth::Geometric => {
-                self.base_penalty << rips.min(self.max_penalty_doublings)
-            }
+            PenaltyGrowth::Geometric => self.base_penalty << rips.min(self.max_penalty_doublings),
             PenaltyGrowth::Linear => {
                 let cap = 1u64 << self.max_penalty_doublings.min(32);
                 self.base_penalty * (1 + u64::from(rips).min(cap))

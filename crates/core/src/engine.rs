@@ -1,0 +1,240 @@
+//! Parallel batch routing engine.
+//!
+//! [`RouteEngine`] routes many [`Problem`]s through any
+//! [`DetailedRouter`] concurrently on a scoped [`std::thread`] pool —
+//! no external dependencies. The contract:
+//!
+//! * **Deterministic ordering** — `results[i]` always belongs to
+//!   `problems[i]`, no matter how many workers ran or in which order
+//!   instances finished.
+//! * **Panic isolation** — a router panic on one instance is caught and
+//!   reported as [`RouteError::Panicked`] in that instance's slot; the
+//!   rest of the batch routes normally.
+//! * **Per-instance budgets** — an optional wall-clock deadline
+//!   disqualifies instances that finish too late
+//!   ([`RouteError::DeadlineExceeded`]). Attempt/event budgets are the
+//!   router's own business (see
+//!   [`RouterConfig`](crate::RouterConfig) for the rip-up router); the
+//!   engine measures and reports per-instance time either way.
+//! * **Aggregate accounting** — [`EngineStats`] totals completions,
+//!   failures, wirelength, vias and wall-clock/busy time for the batch.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_model::{PinSide, ProblemBuilder};
+//! use mighty::engine::{EngineConfig, RouteEngine};
+//! use mighty::{MightyRouter, RouterConfig};
+//!
+//! let problems: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let mut b = ProblemBuilder::switchbox(8, 8);
+//!         b.net("a").pin_side(PinSide::Left, 1 + i).pin_side(PinSide::Right, 6 - i);
+//!         b.build().unwrap()
+//!     })
+//!     .collect();
+//!
+//! let router = MightyRouter::new(RouterConfig::default());
+//! let engine = RouteEngine::new(EngineConfig { jobs: 2, ..EngineConfig::default() });
+//! let batch = engine.route_batch(&router, &problems);
+//! assert_eq!(batch.results.len(), 4);
+//! assert_eq!(batch.stats.complete, 4);
+//! ```
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use route_model::{DetailedRouter, Problem, RouteError, RouteResult};
+
+/// Knobs for [`RouteEngine`].
+///
+/// The default is `0` jobs (one worker per available hardware thread)
+/// and no deadline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available hardware thread.
+    pub jobs: usize,
+    /// Wall-clock budget per instance. A result delivered after the
+    /// deadline is replaced by [`RouteError::DeadlineExceeded`]; errors
+    /// keep their original diagnosis. `None` disables the check.
+    pub deadline: Option<Duration>,
+}
+
+/// Aggregate accounting for one [`RouteEngine::route_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instances in the batch.
+    pub instances: usize,
+    /// Instances routed with every net connected.
+    pub complete: usize,
+    /// Instances routed legally but with at least one failed net.
+    pub incomplete: usize,
+    /// Instances that returned a [`RouteError`] other than a panic or
+    /// a blown deadline.
+    pub errored: usize,
+    /// Instances whose router panicked.
+    pub panicked: usize,
+    /// Instances disqualified by the per-instance deadline.
+    pub timed_out: usize,
+    /// Total unconnected nets across all routed instances.
+    pub failed_nets: usize,
+    /// Total wirelength across all routed instances.
+    pub wirelength: u64,
+    /// Total vias across all routed instances.
+    pub vias: u64,
+    /// Wall-clock time for the whole batch, in milliseconds.
+    pub batch_ms: u64,
+    /// Sum of per-instance routing times, in milliseconds. The ratio
+    /// `busy_ms / batch_ms` approximates achieved parallelism.
+    pub busy_ms: u64,
+    /// The slowest single instance, in milliseconds.
+    pub max_instance_ms: u64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+}
+
+/// What [`RouteEngine::route_batch`] returns.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-instance results, in input order: `results[i]` routes
+    /// `problems[i]`.
+    pub results: Vec<RouteResult>,
+    /// Per-instance routing time, in input order.
+    pub timings: Vec<Duration>,
+    /// Aggregate accounting.
+    pub stats: EngineStats,
+}
+
+/// Routes batches of problems concurrently through any
+/// [`DetailedRouter`]. See the [module docs](self) for the contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteEngine {
+    config: EngineConfig,
+}
+
+impl RouteEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        RouteEngine { config }
+    }
+
+    /// Shorthand for an engine with `jobs` workers and no deadline.
+    pub fn with_jobs(jobs: usize) -> Self {
+        RouteEngine::new(EngineConfig { jobs, ..EngineConfig::default() })
+    }
+
+    /// The worker count the engine will use: the configured `jobs`, or
+    /// one per available hardware thread when configured as `0`.
+    pub fn jobs(&self) -> usize {
+        if self.config.jobs == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.jobs
+        }
+    }
+
+    /// Routes every problem in the batch, fanning instances out over the
+    /// worker pool. Workers claim instances from a shared counter, so a
+    /// slow instance never stalls the others; results are delivered in
+    /// input order regardless.
+    pub fn route_batch<R: DetailedRouter + Sync + ?Sized>(
+        &self,
+        router: &R,
+        problems: &[Problem],
+    ) -> BatchOutcome {
+        let started = Instant::now();
+        let n = problems.len();
+        let jobs = self.jobs().min(n).max(1);
+        let deadline = self.config.deadline;
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Duration, RouteResult)>();
+        thread::scope(|s| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| router.route(&problems[i])))
+                        .unwrap_or_else(|payload| {
+                            Err(RouteError::Panicked { message: panic_text(payload.as_ref()) })
+                        });
+                    let took = t0.elapsed();
+                    let result = match (deadline, result) {
+                        (Some(budget), Ok(_)) if took > budget => {
+                            Err(RouteError::DeadlineExceeded {
+                                elapsed_ms: took.as_millis() as u64,
+                                budget_ms: budget.as_millis() as u64,
+                            })
+                        }
+                        (_, r) => r,
+                    };
+                    if tx.send((i, took, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        let mut slots: Vec<Option<RouteResult>> = (0..n).map(|_| None).collect();
+        let mut timings = vec![Duration::ZERO; n];
+        for (i, took, result) in rx {
+            slots[i] = Some(result);
+            timings[i] = took;
+        }
+        let results: Vec<RouteResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every claimed instance reports exactly once"))
+            .collect();
+
+        let mut stats = EngineStats {
+            instances: n,
+            jobs,
+            batch_ms: started.elapsed().as_millis() as u64,
+            ..EngineStats::default()
+        };
+        for (result, took) in results.iter().zip(&timings) {
+            let ms = took.as_millis() as u64;
+            stats.busy_ms += ms;
+            stats.max_instance_ms = stats.max_instance_ms.max(ms);
+            match result {
+                Ok(routing) => {
+                    if routing.is_complete() {
+                        stats.complete += 1;
+                    } else {
+                        stats.incomplete += 1;
+                    }
+                    stats.failed_nets += routing.failed.len();
+                    let db = routing.db.stats();
+                    stats.wirelength += db.wirelength;
+                    stats.vias += db.vias;
+                }
+                Err(RouteError::Panicked { .. }) => stats.panicked += 1,
+                Err(RouteError::DeadlineExceeded { .. }) => stats.timed_out += 1,
+                Err(_) => stats.errored += 1,
+            }
+        }
+
+        BatchOutcome { results, timings, stats }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -47,10 +47,12 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod engine;
 mod net_graph;
 mod router;
 mod stats;
 
 pub use config::{NetOrder, PenaltyGrowth, RouterConfig};
+pub use engine::{BatchOutcome, EngineConfig, EngineStats, RouteEngine};
 pub use router::{MightyRouter, RouteOutcome};
 pub use stats::RouterStats;

@@ -72,10 +72,8 @@ mod tests {
         let mut db = RouteDb::new(&p);
         assert_eq!(pin_components(&db, net).len(), 2);
         assert!(!is_connected(&db, net));
-        let t = Trace::from_steps(
-            (0..5).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect(),
-        )
-        .unwrap();
+        let t = Trace::from_steps((0..5).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect())
+            .unwrap();
         db.commit(net, t).unwrap();
         assert_eq!(pin_components(&db, net).len(), 1);
         assert!(is_connected(&db, net));

@@ -1,8 +1,8 @@
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 use route_geom::{Layer, Point, Rect};
-use route_maze::search::{find_path, find_path_soft, Query};
-use route_model::{NetId, Problem, RouteDb, Step, Trace, TraceId};
+use route_maze::search::{find_path_soft_with, find_path_with, Query, SearchArena};
+use route_model::{NetId, Problem, RouteDb, RouteError, Step, Trace, TraceId};
 
 use crate::net_graph::{is_connected, pin_components};
 use crate::{NetOrder, RouterConfig, RouterStats};
@@ -11,7 +11,7 @@ use crate::{NetOrder, RouterConfig, RouterStats};
 ///
 /// See the [crate documentation](crate) for the algorithm; construct with
 /// a [`RouterConfig`] and call [`MightyRouter::route`] (fresh problems)
-/// or [`MightyRouter::route_incremental`] (partially routed areas).
+/// or [`MightyRouter::try_route_incremental`] (partially routed areas).
 #[derive(Debug, Clone, Default)]
 pub struct MightyRouter {
     cfg: RouterConfig,
@@ -71,7 +71,8 @@ impl MightyRouter {
 
     /// Routes every net of `problem` from scratch.
     pub fn route(&self, problem: &Problem) -> RouteOutcome {
-        self.route_incremental(problem, RouteDb::new(problem))
+        self.try_route_incremental(problem, RouteDb::new(problem))
+            .expect("a fresh database always matches its problem")
     }
 
     /// Routes the incomplete nets of an existing database — the
@@ -82,12 +83,36 @@ impl MightyRouter {
     /// # Panics
     ///
     /// Panics if `db` was not created for `problem` (net counts differ).
+    #[deprecated(note = "use `try_route_incremental`, which reports a foreign database \
+                as `RouteError::DbMismatch` instead of panicking")]
     pub fn route_incremental(&self, problem: &Problem, db: RouteDb) -> RouteOutcome {
-        assert_eq!(
-            db.net_count(),
-            problem.nets().len(),
-            "database does not belong to this problem"
-        );
+        match self.try_route_incremental(problem, db) {
+            Ok(out) => out,
+            Err(e) => panic!("database does not belong to this problem: {e}"),
+        }
+    }
+
+    /// Routes the incomplete nets of an existing database — the
+    /// "partially routed area" mode. Pre-committed wiring of other nets
+    /// is respected but *may be modified* (pushed or ripped) like any
+    /// other wiring; ripped nets are re-routed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DbMismatch`] when `db` was not created for
+    /// `problem` (net counts differ). Routing failures are *not* errors:
+    /// unconnected nets are reported in [`RouteOutcome::failed`].
+    pub fn try_route_incremental(
+        &self,
+        problem: &Problem,
+        db: RouteDb,
+    ) -> Result<RouteOutcome, RouteError> {
+        if db.net_count() != problem.nets().len() {
+            return Err(RouteError::DbMismatch {
+                expected: problem.nets().len(),
+                found: db.net_count(),
+            });
+        }
         let mut run = Run::new(&self.cfg, problem, db);
         run.execute();
         // The outcome is the best configuration the run ever reached:
@@ -102,7 +127,18 @@ impl MightyRouter {
             .map(NetId)
             .filter(|&id| pin_components(&db, id).len() > 1)
             .collect();
-        RouteOutcome { db, failed, stats: run.stats }
+        Ok(RouteOutcome { db, failed, stats: run.stats })
+    }
+}
+
+impl route_model::DetailedRouter for MightyRouter {
+    fn name(&self) -> &str {
+        "mighty"
+    }
+
+    fn route(&self, problem: &Problem) -> route_model::RouteResult {
+        let out = MightyRouter::route(self, problem);
+        Ok(route_model::Routing { db: out.db, failed: out.failed })
     }
 }
 
@@ -122,6 +158,8 @@ struct Run<'a> {
     exhausted: bool,
     /// Best state reached so far: `(connected nets, database snapshot)`.
     best: Option<(usize, RouteDb)>,
+    /// Scratch buffers shared by every search of the run.
+    arena: SearchArena,
     stats: RouterStats,
 }
 
@@ -139,9 +177,7 @@ impl<'a> Run<'a> {
         let bbox = |id: NetId| -> Rect {
             let net = problem.net(id);
             let first = net.pins[0].at;
-            net.pins
-                .iter()
-                .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)))
+            net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)))
         };
         let bbox_size = |id: NetId| -> u32 {
             let b = bbox(id);
@@ -152,9 +188,9 @@ impl<'a> Run<'a> {
             NetOrder::LongFirst => {
                 order.sort_by_key(|&id| (std::cmp::Reverse(bbox_size(id)), id.0))
             }
-            NetOrder::PinCountDesc => order.sort_by_key(|&id| {
-                (std::cmp::Reverse(problem.net(id).pins.len()), id.0)
-            }),
+            NetOrder::PinCountDesc => {
+                order.sort_by_key(|&id| (std::cmp::Reverse(problem.net(id).pins.len()), id.0))
+            }
             NetOrder::CongestionFirst => {
                 // Contested nets (whose boxes intersect many others) go
                 // first while space is still plentiful.
@@ -195,6 +231,7 @@ impl<'a> Run<'a> {
             max_events,
             exhausted: false,
             best: None,
+            arena: SearchArena::new(),
             stats: RouterStats::default(),
         }
     }
@@ -283,15 +320,9 @@ impl<'a> Run<'a> {
             comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
             let sources = comps[0].clone();
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
-            let query = Query {
-                grid: self.db.grid(),
-                net,
-                sources,
-                targets,
-                cost: self.cfg.cost,
-            };
+            let query = Query { grid: self.db.grid(), net, sources, targets, cost: self.cfg.cost };
 
-            if let Some(found) = find_path(&query) {
+            if let Some(found) = find_path_with(&mut self.arena, &query) {
                 self.stats.expanded += found.stats.expanded as u64;
                 self.stats.hard_routes += 1;
                 self.db.commit(net, found.trace).expect("hard paths commit");
@@ -314,7 +345,7 @@ impl<'a> Run<'a> {
                     Some(cfg.penalty(rips[owner.index()]))
                 }
             };
-            let Some(soft) = find_path_soft(&query, &soft_cost) else {
+            let Some(soft) = find_path_soft_with(&mut self.arena, &query, &soft_cost) else {
                 return ConnectResult::Stuck;
             };
             self.stats.expanded += soft.stats.expanded as u64;
@@ -385,9 +416,7 @@ impl<'a> Run<'a> {
             }
             self.db.rip_up(our_id);
             for (owner, trace) in lifted {
-                self.db
-                    .commit(owner, trace)
-                    .expect("rollback restores the previous state");
+                self.db.commit(owner, trace).expect("rollback restores the previous state");
             }
             return ConnectResult::Stuck;
         }
@@ -406,19 +435,12 @@ impl<'a> Run<'a> {
             comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
             let sources = comps[0].clone();
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
-            let query = Query {
-                grid: self.db.grid(),
-                net: victim,
-                sources,
-                targets,
-                cost: self.cfg.cost,
-            };
-            match find_path(&query) {
+            let query =
+                Query { grid: self.db.grid(), net: victim, sources, targets, cost: self.cfg.cost };
+            match find_path_with(&mut self.arena, &query) {
                 Some(found) => {
                     self.stats.expanded += found.stats.expanded as u64;
-                    committed.push(
-                        self.db.commit(victim, found.trace).expect("hard paths commit"),
-                    );
+                    committed.push(self.db.commit(victim, found.trace).expect("hard paths commit"));
                 }
                 None => return Err(committed),
             }
@@ -492,7 +514,7 @@ mod tests {
     fn no_modification_cannot_free_enclosed_pin() {
         let (problem, db) = enclosed_pin_problem();
         let router = MightyRouter::new(RouterConfig::no_modification());
-        let out = router.route_incremental(&problem, db);
+        let out = router.try_route_incremental(&problem, db).unwrap();
         let b = problem.nets()[1].id;
         assert!(out.failed().contains(&b), "b must be stuck without modification");
     }
@@ -500,7 +522,7 @@ mod tests {
     #[test]
     fn rip_up_frees_enclosed_pin() {
         let (problem, db) = enclosed_pin_problem();
-        let out = default_router().route_incremental(&problem, db);
+        let out = default_router().try_route_incremental(&problem, db).unwrap();
         assert!(out.is_complete(), "failed: {:?} ({})", out.failed(), out.stats());
         assert!(verify(&problem, out.db()).is_clean());
         assert!(out.stats().modifications() > 0, "must have modified: {}", out.stats());
@@ -510,7 +532,7 @@ mod tests {
     fn strong_only_also_frees_enclosed_pin() {
         let (problem, db) = enclosed_pin_problem();
         let cfg = RouterConfig { weak: false, ..RouterConfig::default() };
-        let out = MightyRouter::new(cfg).route_incremental(&problem, db);
+        let out = MightyRouter::new(cfg).try_route_incremental(&problem, db).unwrap();
         assert!(out.is_complete(), "failed: {:?}", out.failed());
         assert!(verify(&problem, out.db()).is_clean());
         assert!(out.stats().rips > 0);
@@ -520,14 +542,11 @@ mod tests {
     fn weak_only_frees_enclosed_pin_or_rolls_back_legally() {
         let (problem, db) = enclosed_pin_problem();
         let cfg = RouterConfig { strong: false, ..RouterConfig::default() };
-        let out = MightyRouter::new(cfg).route_incremental(&problem, db);
+        let out = MightyRouter::new(cfg).try_route_incremental(&problem, db).unwrap();
         // Weak modification suffices here (the debris is not pin-connected,
         // so "repair" is trivial), but either way the result must be legal.
         let report = verify(&problem, out.db());
-        assert!(
-            report.is_clean() || report.is_legal_but_incomplete(),
-            "illegal result: {report}"
-        );
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "illegal result: {report}");
     }
 
     #[test]
@@ -589,8 +608,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not belong")]
-    fn mismatched_db_rejected() {
+    fn mismatched_db_is_an_error() {
         let mut b1 = ProblemBuilder::switchbox(4, 4);
         b1.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
         let p1 = b1.build().unwrap();
@@ -599,7 +617,39 @@ mod tests {
         b2.net("b").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
         let p2 = b2.build().unwrap();
         let db2 = RouteDb::new(&p2);
+        match default_router().try_route_incremental(&p1, db2) {
+            Err(RouteError::DbMismatch { expected: 1, found: 2 }) => {}
+            other => panic!("expected DbMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn deprecated_entry_point_still_panics_on_mismatch() {
+        let mut b1 = ProblemBuilder::switchbox(4, 4);
+        b1.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        let p1 = b1.build().unwrap();
+        let mut b2 = ProblemBuilder::switchbox(4, 4);
+        b2.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b2.net("b").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
+        let p2 = b2.build().unwrap();
+        let db2 = RouteDb::new(&p2);
+        #[allow(deprecated)]
         let _ = default_router().route_incremental(&p1, db2);
+    }
+
+    #[test]
+    fn trait_route_matches_inherent_route() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        b.net("v").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        let p = b.build().unwrap();
+        let router = default_router();
+        assert_eq!(route_model::DetailedRouter::name(&router), "mighty");
+        let inherent = router.route(&p);
+        let routing = route_model::DetailedRouter::route(&router, &p).unwrap();
+        assert_eq!(routing.failed, inherent.failed().to_vec());
+        assert_eq!(routing.db.checksum(), inherent.db().checksum());
     }
 
     #[test]

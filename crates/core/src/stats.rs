@@ -2,7 +2,6 @@ use std::fmt;
 
 /// Counters describing how much work — and how much modification — a
 /// routing run needed. The ablation experiments report these directly.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RouterStats {
     /// Connections routed through free space on the first try.

@@ -1,0 +1,147 @@
+//! Batch engine contract tests: deterministic ordering across thread
+//! counts, panic isolation, deadline disqualification and stats.
+
+use std::time::Duration;
+
+use mighty::engine::{EngineConfig, RouteEngine};
+use mighty::{MightyRouter, RouterConfig};
+use route_benchdata::gen::routable_switchbox;
+use route_model::{DetailedRouter, Problem, RouteDb, RouteError, RouteResult, Routing};
+
+fn batch(count: u64) -> Vec<Problem> {
+    (0..count).map(|i| routable_switchbox(12, 12, 5, 0x5eed ^ i)).collect()
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let problems = batch(24);
+    let router = MightyRouter::new(RouterConfig::default());
+    let serial = RouteEngine::with_jobs(1).route_batch(&router, &problems);
+    let parallel = RouteEngine::with_jobs(4).route_batch(&router, &problems);
+    assert_eq!(serial.results.len(), problems.len());
+    for (i, (a, b)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.db.checksum(), b.db.checksum(), "instance {i} diverged");
+        assert_eq!(a.failed, b.failed, "instance {i} diverged");
+    }
+    assert_eq!(serial.stats.complete, parallel.stats.complete);
+    assert_eq!(serial.stats.wirelength, parallel.stats.wirelength);
+    assert_eq!(serial.stats.vias, parallel.stats.vias);
+}
+
+#[test]
+fn results_keep_input_order() {
+    // Problems of very different sizes, so completion order under
+    // parallelism differs from input order.
+    let problems: Vec<Problem> = (0..12)
+        .map(|i| {
+            let side = if i % 2 == 0 { 24 } else { 6 };
+            routable_switchbox(side, side, 3, 7 + i)
+        })
+        .collect();
+    let router = MightyRouter::new(RouterConfig::default());
+    let out = RouteEngine::with_jobs(4).route_batch(&router, &problems);
+    let reference = MightyRouter::new(RouterConfig::default());
+    for (i, (problem, result)) in problems.iter().zip(&out.results).enumerate() {
+        let direct = reference.route(problem);
+        let routing = result.as_ref().unwrap();
+        assert_eq!(routing.db.checksum(), direct.db().checksum(), "slot {i} misplaced");
+    }
+}
+
+/// Panics on every problem whose first net is named the poison marker.
+struct Trapped;
+
+impl DetailedRouter for Trapped {
+    fn name(&self) -> &str {
+        "trapped"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        if problem.nets().iter().any(|n| n.name == "poison") {
+            panic!("tripped on a poisoned instance");
+        }
+        Ok(Routing { db: RouteDb::new(problem), failed: Vec::new() })
+    }
+}
+
+fn poisoned(name: &str) -> Problem {
+    let mut b = route_model::ProblemBuilder::switchbox(6, 6);
+    b.net(name).pin_side(route_model::PinSide::Left, 2).pin_side(route_model::PinSide::Right, 2);
+    b.build().unwrap()
+}
+
+#[test]
+fn a_panicking_instance_does_not_kill_the_batch() {
+    let problems = vec![poisoned("fine"), poisoned("poison"), poisoned("fine"), poisoned("poison")];
+    let out = RouteEngine::with_jobs(2).route_batch(&Trapped, &problems);
+    assert_eq!(out.results.len(), 4);
+    assert!(out.results[0].is_ok());
+    assert!(out.results[2].is_ok());
+    for i in [1usize, 3] {
+        match &out.results[i] {
+            Err(RouteError::Panicked { message }) => {
+                assert!(message.contains("poisoned"), "slot {i}: {message}");
+            }
+            other => panic!("slot {i}: expected Panicked, got {other:?}"),
+        }
+    }
+    assert_eq!(out.stats.panicked, 2);
+    assert_eq!(out.stats.complete, 2);
+}
+
+/// Sleeps long enough to blow any sub-sleep deadline.
+struct Sleepy;
+
+impl DetailedRouter for Sleepy {
+    fn name(&self) -> &str {
+        "sleepy"
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(Routing { db: RouteDb::new(problem), failed: Vec::new() })
+    }
+}
+
+#[test]
+fn deadline_disqualifies_slow_instances() {
+    let problems = vec![poisoned("fine")];
+    let engine =
+        RouteEngine::new(EngineConfig { jobs: 1, deadline: Some(Duration::from_millis(1)) });
+    let out = engine.route_batch(&Sleepy, &problems);
+    match &out.results[0] {
+        Err(RouteError::DeadlineExceeded { elapsed_ms, budget_ms }) => {
+            assert!(*elapsed_ms >= *budget_ms);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(out.stats.timed_out, 1);
+    // A generous deadline leaves the result alone.
+    let lenient =
+        RouteEngine::new(EngineConfig { jobs: 1, deadline: Some(Duration::from_secs(60)) });
+    assert!(lenient.route_batch(&Sleepy, &problems).results[0].is_ok());
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let router = MightyRouter::new(RouterConfig::default());
+    let out = RouteEngine::with_jobs(8).route_batch(&router, &[]);
+    assert!(out.results.is_empty());
+    assert!(out.timings.is_empty());
+    assert_eq!(out.stats.instances, 0);
+}
+
+#[test]
+fn stats_add_up() {
+    let problems = batch(8);
+    let router = MightyRouter::new(RouterConfig::default());
+    let out = RouteEngine::with_jobs(3).route_batch(&router, &problems);
+    let s = out.stats;
+    assert_eq!(s.instances, 8);
+    assert_eq!(s.jobs, 3);
+    assert_eq!(s.complete + s.incomplete + s.errored + s.panicked + s.timed_out, s.instances);
+    assert!(s.wirelength > 0);
+    assert!(s.busy_ms >= s.max_instance_ms);
+    assert_eq!(out.timings.len(), 8);
+}

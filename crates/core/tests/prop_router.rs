@@ -1,99 +1,107 @@
-//! Property-based tests of the rip-up/reroute router: on arbitrary
+//! Property-style tests of the rip-up/reroute router: on arbitrary
 //! problems the router terminates and produces legal (possibly
 //! incomplete) routings, and modification never leaves damage behind.
-
-use proptest::prelude::*;
+//! Instances come from the deterministic `route_benchdata` generator so
+//! the crate builds with zero registry access.
 
 use mighty::{MightyRouter, NetOrder, RouterConfig};
+use route_benchdata::rng::SplitMix64;
 use route_geom::Point;
 use route_model::{PinSide, Problem, ProblemBuilder};
 use route_verify::verify;
 
 /// Arbitrary switchbox with boundary pins; may be congested or even
 /// unroutable — that is the point.
-fn arb_problem() -> impl Strategy<Value = Problem> {
-    (
-        5u32..14,
-        5u32..12,
-        prop::collection::vec((0usize..4, 0u32..12, 0usize..4, 0u32..12), 1..10),
-    )
-        .prop_filter_map("valid problem", |(w, h, pin_pairs)| {
-            let sides = [PinSide::Left, PinSide::Right, PinSide::Top, PinSide::Bottom];
-            let clamp = |side: PinSide, o: u32| match side {
-                PinSide::Left | PinSide::Right => o % h,
-                PinSide::Top | PinSide::Bottom => o % w,
-            };
-            let mut b = ProblemBuilder::switchbox(w, h);
-            for (i, (s1, o1, s2, o2)) in pin_pairs.iter().enumerate() {
-                let (s1, s2) = (sides[*s1], sides[*s2]);
-                b.net(format!("n{i}"))
-                    .pin_side(s1, clamp(s1, *o1))
-                    .pin_side(s2, clamp(s2, *o2));
-            }
-            b.build().ok()
-        })
+fn random_problem(rng: &mut SplitMix64) -> Option<Problem> {
+    let w = rng.range(5, 14) as u32;
+    let h = rng.range(5, 12) as u32;
+    let pairs = rng.range(1, 10) as usize;
+    let sides = [PinSide::Left, PinSide::Right, PinSide::Top, PinSide::Bottom];
+    let clamp = |side: PinSide, o: u32| match side {
+        PinSide::Left | PinSide::Right => o % h,
+        PinSide::Top | PinSide::Bottom => o % w,
+    };
+    let mut b = ProblemBuilder::switchbox(w, h);
+    for i in 0..pairs {
+        let s1 = sides[rng.below(4) as usize];
+        let s2 = sides[rng.below(4) as usize];
+        let o1 = rng.below(12) as u32;
+        let o2 = rng.below(12) as u32;
+        b.net(format!("n{i}")).pin_side(s1, clamp(s1, o1)).pin_side(s2, clamp(s2, o2));
+    }
+    b.build().ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn problems(seed: u64, cases: usize) -> Vec<Problem> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::new();
+    while out.len() < cases {
+        if let Some(p) = random_problem(&mut rng) {
+            out.push(p);
+        }
+    }
+    out
+}
 
-    /// The router terminates on arbitrary input and its output verifies
-    /// as legal: complete nets clean, failed nets merely disconnected —
-    /// never shorts, never obstacle overlaps, never grid corruption.
-    #[test]
-    fn router_output_is_always_legal(problem in arb_problem()) {
+/// The router terminates on arbitrary input and its output verifies
+/// as legal: complete nets clean, failed nets merely disconnected —
+/// never shorts, never obstacle overlaps, never grid corruption.
+#[test]
+fn router_output_is_always_legal() {
+    for problem in problems(0x2001, 48) {
         let out = MightyRouter::new(RouterConfig::default()).route(&problem);
         let report = verify(&problem, out.db());
-        prop_assert!(
-            report.is_clean() || report.is_legal_but_incomplete(),
-            "illegal routing: {report}"
-        );
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "illegal routing: {report}");
         // Failure reporting is consistent with the verifier.
-        prop_assert_eq!(out.failed().len(), report.disconnected_nets());
-        prop_assert_eq!(out.is_complete(), report.is_clean());
+        assert_eq!(out.failed().len(), report.disconnected_nets());
+        assert_eq!(out.is_complete(), report.is_clean());
     }
+}
 
-    /// Every ablation configuration is equally legal.
-    #[test]
-    fn ablations_are_always_legal(problem in arb_problem(), which in 0usize..4) {
-        let cfg = match which {
-            0 => RouterConfig::no_modification(),
-            1 => RouterConfig { strong: false, ..RouterConfig::default() },
-            2 => RouterConfig { weak: false, ..RouterConfig::default() },
-            _ => RouterConfig::default(),
-        };
+/// Every ablation configuration is equally legal.
+#[test]
+fn ablations_are_always_legal() {
+    let configs = [
+        RouterConfig::no_modification(),
+        RouterConfig { strong: false, ..RouterConfig::default() },
+        RouterConfig { weak: false, ..RouterConfig::default() },
+        RouterConfig::default(),
+    ];
+    for (i, problem) in problems(0x2002, 48).into_iter().enumerate() {
+        let cfg = configs[i % configs.len()];
         let out = MightyRouter::new(cfg).route(&problem);
         let report = verify(&problem, out.db());
-        prop_assert!(
-            report.is_clean() || report.is_legal_but_incomplete(),
-            "illegal routing: {report}"
-        );
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "illegal routing: {report}");
     }
+}
 
-    /// The full router never completes fewer nets than the
-    /// no-modification control on the same instance (the best-state
-    /// guarantee).
-    #[test]
-    fn modification_never_hurts(problem in arb_problem()) {
+/// The full router never completes fewer nets than the
+/// no-modification control on the same instance (the best-state
+/// guarantee).
+#[test]
+fn modification_never_hurts() {
+    for problem in problems(0x2003, 32) {
         let base = MightyRouter::new(RouterConfig::no_modification()).route(&problem);
         let full = MightyRouter::new(RouterConfig::default()).route(&problem);
-        prop_assert!(
+        assert!(
             full.failed().len() <= base.failed().len(),
             "modification lost nets: {} vs {}",
             full.failed().len(),
             base.failed().len()
         );
     }
+}
 
-    /// Determinism: the same problem and configuration produce the same
-    /// outcome.
-    #[test]
-    fn routing_is_deterministic(problem in arb_problem()) {
+/// Determinism: the same problem and configuration produce the same
+/// outcome.
+#[test]
+fn routing_is_deterministic() {
+    for problem in problems(0x2004, 32) {
         let cfg = RouterConfig { order: NetOrder::Declared, ..RouterConfig::default() };
         let a = MightyRouter::new(cfg).route(&problem);
         let b = MightyRouter::new(cfg).route(&problem);
-        prop_assert_eq!(a.failed(), b.failed());
-        prop_assert_eq!(a.db().stats(), b.db().stats());
+        assert_eq!(a.failed(), b.failed());
+        assert_eq!(a.db().stats(), b.db().stats());
     }
 }
 

@@ -82,7 +82,9 @@ fn congested_corner_requires_modification() {
     let hog2: Vec<Step> = (3..9).map(|x| Step::new(Point::new(x, 1), Layer::M2)).collect();
     db.commit(u1, Trace::from_steps(hog2).expect("contiguous")).expect("free row");
 
-    let out = MightyRouter::new(RouterConfig::default()).route_incremental(&problem, db);
+    let out = MightyRouter::new(RouterConfig::default())
+        .try_route_incremental(&problem, db)
+        .expect("database built for this problem");
     assert!(out.is_complete(), "failed: {:?} ({})", out.failed(), out.stats());
     let report = verify(&problem, out.db());
     assert!(report.is_clean(), "{report}");

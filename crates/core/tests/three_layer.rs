@@ -22,10 +22,7 @@ fn m3_is_blocked_in_two_layer_problems() {
 fn m3_pin_rejected_in_two_layer_problem() {
     let mut b = ProblemBuilder::switchbox(4, 4);
     b.net("a").pin_at(Point::new(1, 1), Layer::M3).pin_side(PinSide::Left, 0);
-    assert!(matches!(
-        b.build(),
-        Err(route_model::ProblemError::PinOnDisabledLayer { .. })
-    ));
+    assert!(matches!(b.build(), Err(route_model::ProblemError::PinOnDisabledLayer { .. })));
 }
 
 #[test]
@@ -90,23 +87,16 @@ fn dense_three_layer_switchbox_routes_and_verifies() {
     let report = verify(&p, out.db());
     assert!(report.is_clean(), "{report}");
     // The router actually used the third layer on this congested box.
-    let used_m3 = p.nets().iter().any(|n| {
-        out.db()
-            .net_slots(n.id)
-            .iter()
-            .any(|s| s.layer == Layer::M3)
-    });
+    let used_m3 =
+        p.nets().iter().any(|n| out.db().net_slots(n.id).iter().any(|s| s.layer == Layer::M3));
     assert!(used_m3, "M3 should carry wiring under this pressure");
 }
 
 #[test]
 fn three_layer_channel_beats_two_layer_tracks() {
     use route_channel::ChannelSpec;
-    let spec = ChannelSpec::new(
-        vec![1, 2, 3, 4, 0, 0, 0, 0],
-        vec![0, 0, 0, 0, 1, 2, 3, 4],
-    )
-    .unwrap();
+    let spec =
+        ChannelSpec::new(vec![1, 2, 3, 4, 0, 0, 0, 0], vec![0, 0, 0, 0, 1, 2, 3, 4]).unwrap();
     let router = MightyRouter::new(RouterConfig::default());
     let min_tracks = |layers: u8| -> Option<usize> {
         (1..=10).find(|&t| {

@@ -12,7 +12,6 @@ use crate::Axis;
 /// assert_eq!(Dir::North.opposite(), Dir::South);
 /// assert_eq!(Dir::East.axis(), Axis::Horizontal);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dir {
     /// Towards larger `y`.

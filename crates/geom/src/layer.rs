@@ -5,7 +5,6 @@ use std::fmt;
 pub const NUM_LAYERS: usize = 3;
 
 /// Wiring axis of a segment or a layer's preferred direction.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Axis {
     /// East–west wiring (constant `y`).
@@ -57,7 +56,6 @@ impl fmt::Display for Axis {
 /// assert!(Layer::M1.is_adjacent(Layer::M2));
 /// assert!(!Layer::M1.is_adjacent(Layer::M3));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Layer {
     /// First metal layer; horizontal preference.

@@ -18,7 +18,6 @@ use crate::Dir;
 /// assert_eq!(p.step(Dir::North), Point::new(4, 8));
 /// assert_eq!(p.manhattan(Point::new(1, 5)), 5);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Point {
     /// Column index (grows east).
@@ -50,12 +49,7 @@ impl Point {
     /// The four Manhattan neighbours, in [`Dir::ALL`] order.
     #[inline]
     pub fn neighbors(self) -> [Point; 4] {
-        [
-            self.step(Dir::North),
-            self.step(Dir::South),
-            self.step(Dir::East),
-            self.step(Dir::West),
-        ]
+        [self.step(Dir::North), self.step(Dir::South), self.step(Dir::East), self.step(Dir::West)]
     }
 
     /// Direction from `self` towards an axis-aligned neighbour `other`.

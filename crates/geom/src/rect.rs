@@ -20,38 +20,9 @@ use crate::Point;
 /// assert_eq!(r.height(), 5);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(
-    feature = "serde",
-    derive(serde::Serialize, serde::Deserialize),
-    serde(into = "RectWire", from = "RectWire")
-)]
 pub struct Rect {
     min: Point,
     max: Point,
-}
-
-/// Serialization shape of [`Rect`]; deserialization renormalises the
-/// corners through [`Rect::new`], so the `min <= max` invariant holds
-/// for any input.
-#[cfg(feature = "serde")]
-#[derive(serde::Serialize, serde::Deserialize)]
-struct RectWire {
-    min: Point,
-    max: Point,
-}
-
-#[cfg(feature = "serde")]
-impl From<Rect> for RectWire {
-    fn from(r: Rect) -> Self {
-        RectWire { min: r.min, max: r.max }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl From<RectWire> for Rect {
-    fn from(w: RectWire) -> Self {
-        Rect::new(w.min, w.max)
-    }
 }
 
 impl Rect {
@@ -72,10 +43,7 @@ impl Rect {
     /// Panics if `width` or `height` is zero.
     pub fn with_size(origin: Point, width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "rect dimensions must be non-zero");
-        Rect::new(
-            origin,
-            Point::new(origin.x + width as i32 - 1, origin.y + height as i32 - 1),
-        )
+        Rect::new(origin, Point::new(origin.x + width as i32 - 1, origin.y + height as i32 - 1))
     }
 
     /// Single-cell rectangle.
@@ -157,10 +125,7 @@ impl Rect {
 
     /// Iterates over every cell, row-major from the lower-left corner.
     pub fn cells(&self) -> Cells {
-        Cells {
-            rect: *self,
-            next: Some(self.min),
-        }
+        Cells { rect: *self, next: Some(self.min) }
     }
 
     /// Whether `p` lies on the rectangle's one-cell-wide border ring.

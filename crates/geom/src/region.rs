@@ -26,42 +26,9 @@ use crate::{Point, Rect};
 /// assert!(!region.contains(Point::new(9, 9)));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(
-    feature = "serde",
-    derive(serde::Serialize, serde::Deserialize),
-    serde(into = "RegionWire", try_from = "RegionWire")
-)]
 pub struct Region {
     rects: Vec<Rect>,
     bounds: Rect,
-}
-
-/// Serialization shape of [`Region`]: just the member rectangles; the
-/// bounding box is recomputed on deserialization and an empty list is
-/// rejected.
-#[cfg(feature = "serde")]
-#[derive(serde::Serialize, serde::Deserialize)]
-struct RegionWire {
-    rects: Vec<Rect>,
-}
-
-#[cfg(feature = "serde")]
-impl From<Region> for RegionWire {
-    fn from(r: Region) -> Self {
-        RegionWire { rects: r.rects }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl TryFrom<RegionWire> for Region {
-    type Error = String;
-
-    fn try_from(w: RegionWire) -> Result<Self, Self::Error> {
-        if w.rects.is_empty() {
-            return Err("region must contain at least one rect".to_string());
-        }
-        Ok(Region::from_rects(w.rects))
-    }
 }
 
 impl Region {
@@ -74,9 +41,7 @@ impl Region {
     pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
         let rects: Vec<Rect> = rects.into_iter().collect();
         assert!(!rects.is_empty(), "region must contain at least one rect");
-        let bounds = rects[1..]
-            .iter()
-            .fold(rects[0], |acc, r| acc.union(r));
+        let bounds = rects[1..].iter().fold(rects[0], |acc, r| acc.union(r));
         Region { rects, bounds }
     }
 
@@ -119,10 +84,7 @@ impl Region {
     pub fn boundary_cells(&self) -> Vec<Point> {
         self.bounds
             .cells()
-            .filter(|&p| {
-                self.contains(p)
-                    && p.neighbors().iter().any(|n| !self.contains(*n))
-            })
+            .filter(|&p| self.contains(p) && p.neighbors().iter().any(|n| !self.contains(*n)))
             .collect()
     }
 }

@@ -20,41 +20,10 @@ use crate::{Axis, Point};
 /// assert!(s.contains(Point::new(4, 5)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(
-    feature = "serde",
-    derive(serde::Serialize, serde::Deserialize),
-    serde(into = "SegmentWire", try_from = "SegmentWire")
-)]
 pub struct Segment {
     a: Point,
     b: Point,
     axis: Axis,
-}
-
-/// Serialization shape of [`Segment`]; deserialization revalidates
-/// axis-alignment through [`Segment::new`].
-#[cfg(feature = "serde")]
-#[derive(serde::Serialize, serde::Deserialize)]
-struct SegmentWire {
-    a: Point,
-    b: Point,
-}
-
-#[cfg(feature = "serde")]
-impl From<Segment> for SegmentWire {
-    fn from(s: Segment) -> Self {
-        SegmentWire { a: s.a, b: s.b }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl TryFrom<SegmentWire> for Segment {
-    type Error = String;
-
-    fn try_from(w: SegmentWire) -> Result<Self, Self::Error> {
-        Segment::new(w.a, w.b)
-            .ok_or_else(|| format!("segment endpoints {} and {} are not axis-aligned", w.a, w.b))
-    }
 }
 
 impl Segment {
@@ -210,12 +179,7 @@ mod tests {
         let cells: Vec<Point> = s.cells().collect();
         assert_eq!(
             cells,
-            vec![
-                Point::new(7, 1),
-                Point::new(7, 2),
-                Point::new(7, 3),
-                Point::new(7, 4)
-            ]
+            vec![Point::new(7, 1), Point::new(7, 2), Point::new(7, 3), Point::new(7, 4)]
         );
         assert_eq!(s.len() as usize, cells.len());
     }

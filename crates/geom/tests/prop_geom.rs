@@ -1,97 +1,153 @@
-//! Property-based tests for the geometry primitives.
-
-use proptest::prelude::*;
+//! Property-style tests for the geometry primitives, driven by a
+//! deterministic in-file generator so the crate builds with zero
+//! registry access.
 
 use route_geom::{Dir, Point, Rect, Region, Segment};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-50i32..50, -50i32..50).prop_map(|(x, y)| Point::new(x, y))
+/// Tiny deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi - lo) as u64) as i32
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn point(&mut self) -> Point {
+        Point::new(self.range_i32(-50, 50), self.range_i32(-50, 50))
+    }
+
+    fn rect(&mut self) -> Rect {
+        Rect::new(self.point(), self.point())
+    }
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+const CASES: usize = 200;
+
+#[test]
+fn manhattan_triangle_inequality() {
+    let mut rng = Rng(0xA110);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.point(), rng.point(), rng.point());
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
 }
 
-proptest! {
-    #[test]
-    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+#[test]
+fn manhattan_zero_iff_equal() {
+    let mut rng = Rng(0xA111);
+    for _ in 0..CASES {
+        let (a, b) = (rng.point(), rng.point());
+        assert_eq!(a.manhattan(b) == 0, a == b);
+        assert_eq!(a.manhattan(a), 0);
     }
+}
 
-    #[test]
-    fn manhattan_zero_iff_equal(a in arb_point(), b in arb_point()) {
-        prop_assert_eq!(a.manhattan(b) == 0, a == b);
+#[test]
+fn step_and_back_is_identity() {
+    let mut rng = Rng(0xA112);
+    for _ in 0..CASES {
+        let p = rng.point();
+        let dir = Dir::ALL[rng.below(4) as usize];
+        assert_eq!(p.step(dir).step(dir.opposite()), p);
     }
+}
 
-    #[test]
-    fn step_and_back_is_identity(p in arb_point(), dir_idx in 0usize..4) {
-        let dir = Dir::ALL[dir_idx];
-        prop_assert_eq!(p.step(dir).step(dir.opposite()), p);
-    }
-
-    #[test]
-    fn rect_contains_its_corners_and_cells(r in arb_rect()) {
-        prop_assert!(r.contains(r.min()));
-        prop_assert!(r.contains(r.max()));
+#[test]
+fn rect_contains_its_corners_and_cells() {
+    let mut rng = Rng(0xA113);
+    for _ in 0..CASES {
+        let r = rng.rect();
+        assert!(r.contains(r.min()));
+        assert!(r.contains(r.max()));
         // Cell count equals area and all cells are inside.
         let cells: Vec<Point> = r.cells().collect();
-        prop_assert_eq!(cells.len() as u64, r.area());
+        assert_eq!(cells.len() as u64, r.area());
         for c in cells {
-            prop_assert!(r.contains(c));
+            assert!(r.contains(c));
         }
     }
+}
 
-    #[test]
-    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_union_contains_both() {
+    let mut rng = Rng(0xA114);
+    for _ in 0..CASES {
+        let (a, b) = (rng.rect(), rng.rect());
         let u = a.union(&b);
-        prop_assert!(u.contains(a.min()) && u.contains(a.max()));
-        prop_assert!(u.contains(b.min()) && u.contains(b.max()));
-        prop_assert!(u.area() >= a.area().max(b.area()));
+        assert!(u.contains(a.min()) && u.contains(a.max()));
+        assert!(u.contains(b.min()) && u.contains(b.max()));
+        assert!(u.area() >= a.area().max(b.area()));
     }
+}
 
-    #[test]
-    fn rect_intersection_is_symmetric_and_contained(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersection_is_symmetric_and_contained() {
+    let mut rng = Rng(0xA115);
+    for _ in 0..CASES {
+        let (a, b) = (rng.rect(), rng.rect());
         let ab = a.intersection(&b);
         let ba = b.intersection(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba);
         if let Some(i) = ab {
             for c in i.cells() {
-                prop_assert!(a.contains(c) && b.contains(c));
+                assert!(a.contains(c) && b.contains(c));
             }
         } else {
             // Disjoint: no cell of a lies in b.
-            prop_assert!(a.cells().all(|c| !b.contains(c)));
+            assert!(a.cells().all(|c| !b.contains(c)));
         }
     }
+}
 
-    #[test]
-    fn segment_cells_are_collinear_and_adjacent(a in arb_point(), len in 0u32..40, horiz in any::<bool>()) {
-        let b = if horiz {
-            Point::new(a.x + len as i32, a.y)
-        } else {
-            Point::new(a.x, a.y + len as i32)
-        };
+#[test]
+fn segment_cells_are_collinear_and_adjacent() {
+    let mut rng = Rng(0xA116);
+    for _ in 0..CASES {
+        let a = rng.point();
+        let len = rng.below(40) as i32;
+        let b = if rng.coin() { Point::new(a.x + len, a.y) } else { Point::new(a.x, a.y + len) };
         let seg = Segment::new(a, b).expect("axis-aligned by construction");
         let cells: Vec<Point> = seg.cells().collect();
-        prop_assert_eq!(cells.len() as u32, seg.len());
+        assert_eq!(cells.len() as u32, seg.len());
         for w in cells.windows(2) {
-            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+            assert_eq!(w[0].manhattan(w[1]), 1);
         }
         for c in &cells {
-            prop_assert!(seg.contains(*c));
+            assert!(seg.contains(*c));
         }
     }
+}
 
-    #[test]
-    fn region_area_bounded_by_bbox(rects in prop::collection::vec(arb_rect(), 1..6)) {
+#[test]
+fn region_area_bounded_by_bbox() {
+    let mut rng = Rng(0xA117);
+    for _ in 0..60 {
+        let n = 1 + rng.below(5) as usize;
+        let rects: Vec<Rect> = (0..n).map(|_| rng.rect()).collect();
         let region = Region::from_rects(rects.clone());
         let area = region.area();
-        prop_assert!(area <= region.bounds().area());
-        prop_assert!(area >= rects.iter().map(|r| r.area()).max().unwrap_or(0));
+        assert!(area <= region.bounds().area());
+        assert!(area >= rects.iter().map(|r| r.area()).max().unwrap_or(0));
         // Membership agrees with the member rectangles.
         for p in region.bounds().cells() {
             let member = rects.iter().any(|r| r.contains(p));
-            prop_assert_eq!(member, region.contains(p));
+            assert_eq!(member, region.contains(p));
         }
     }
 }

@@ -4,9 +4,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mighty::MightyRouter;
 use route_geom::{Layer, Point};
-use route_model::{
-    NetId, Occupant, Pin, Problem, ProblemBuilder, RouteDb, Step, Trace,
-};
+use route_model::{NetId, Occupant, Pin, Problem, ProblemBuilder, RouteDb, Step, Trace};
 
 use crate::plan::plan;
 use crate::tiles::{TileEdge, TileGrid, TileId};
@@ -79,11 +77,8 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
     let global_plan = plan(problem, &tiles);
 
     // All real pin slots, to keep crossings off them.
-    let pin_slots: HashSet<(Point, Layer)> = problem
-        .nets()
-        .iter()
-        .flat_map(|n| n.pins.iter().map(|p| (p.at, p.layer)))
-        .collect();
+    let pin_slots: HashSet<(Point, Layer)> =
+        problem.nets().iter().flat_map(|n| n.pins.iter().map(|p| (p.at, p.layer))).collect();
 
     // Nets crossing each edge.
     let mut edge_nets: BTreeMap<TileEdge, Vec<NetId>> = BTreeMap::new();
@@ -128,11 +123,7 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         // Spread the kept nets evenly across the usable offsets.
         let n = ordered.len();
         for (i, &id) in ordered.iter().enumerate() {
-            let slot = if n <= 1 {
-                usable.len() / 2
-            } else {
-                i * (usable.len() - 1) / (n - 1)
-            };
+            let slot = if n <= 1 { usable.len() / 2 } else { i * (usable.len() - 1) / (n - 1) };
             let (pa, pb) = usable[slot];
             crossing_pins.entry((edge.a, id)).or_default().push(Pin::new(pa, layer));
             crossing_pins.entry((edge.b, id)).or_default().push(Pin::new(pb, layer));
@@ -154,12 +145,7 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         }
     }
     for ((tile, id), pins) in &crossing_pins {
-        tile_nets
-            .entry(*tile)
-            .or_default()
-            .entry(*id)
-            .or_default()
-            .extend(pins.iter().copied());
+        tile_nets.entry(*tile).or_default().entry(*id).or_default().extend(pins.iter().copied());
     }
 
     // Build every tile sub-problem, route them (in parallel — tiles are
@@ -180,15 +166,13 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         for p in rect.cells() {
             for layer in Layer::ALL.into_iter().take(problem.layers() as usize) {
                 if base.occupant(p, layer) == Occupant::Blocked {
-                    builder
-                        .obstacle_on(Point::new(p.x - origin.x, p.y - origin.y), layer);
+                    builder.obstacle_on(Point::new(p.x - origin.x, p.y - origin.y), layer);
                 }
             }
         }
         let mut names: Vec<(NetId, String)> = Vec::new();
         for (&id, pins) in nets {
-            if dropped.contains(&id) && !pins.iter().any(|p| pin_slots.contains(&(p.at, p.layer)))
-            {
+            if dropped.contains(&id) && !pins.iter().any(|p| pin_slots.contains(&(p.at, p.layer))) {
                 continue; // dropped net with only crossings here
             }
             let name = problem.net(id).name.clone();
@@ -242,9 +226,7 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
                 let steps: Vec<Step> = trace
                     .steps()
                     .iter()
-                    .map(|s| {
-                        Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer)
-                    })
+                    .map(|s| Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer))
                     .collect();
                 let trace = Trace::from_steps(steps).expect("translation preserves contiguity");
                 db.commit(*global_id, trace)
@@ -268,12 +250,12 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
     };
 
     let (db, failed) = if cfg.fallback && !incomplete_before_fallback.is_empty() {
-        let outcome = router.route_incremental(problem, db);
+        let outcome = router
+            .try_route_incremental(problem, db)
+            .expect("the hierarchical database is built for this problem");
         let failed = outcome.failed().to_vec();
-        stats.fallback_completed = incomplete_before_fallback
-            .iter()
-            .filter(|id| !failed.contains(id))
-            .count();
+        stats.fallback_completed =
+            incomplete_before_fallback.iter().filter(|id| !failed.contains(id)).count();
         (outcome.into_db(), failed)
     } else {
         (db, incomplete_before_fallback)
@@ -337,8 +319,8 @@ mod tests {
 
     #[test]
     fn obstructed_floorplan_stays_legal() {
-        let p = ObstructedGen { width: 36, height: 36, nets: 10, obstacle_pct: 12, seed: 4 }
-            .build();
+        let p =
+            ObstructedGen { width: 36, height: 36, nets: 10, obstacle_pct: 12, seed: 4 }.build();
         let out = hierarchical(&p, 12, true);
         let report = verify(&p, out.db());
         assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");

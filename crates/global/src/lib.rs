@@ -72,11 +72,6 @@ pub struct GlobalConfig {
 
 impl Default for GlobalConfig {
     fn default() -> Self {
-        GlobalConfig {
-            tile: 16,
-            router: RouterConfig::default(),
-            fallback: true,
-            parallel: true,
-        }
+        GlobalConfig { tile: 16, router: RouterConfig::default(), fallback: true, parallel: true }
     }
 }

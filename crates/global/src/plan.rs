@@ -34,9 +34,7 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
     for t in tiles.tiles() {
         for n in tiles.neighbors(t) {
             let edge = TileEdge::new(t, n);
-            capacity
-                .entry(edge)
-                .or_insert_with(|| tiles.edge_cells(edge, &base).1.len());
+            capacity.entry(edge).or_insert_with(|| tiles.edge_cells(edge, &base).1.len());
         }
     }
     let mut usage: BTreeMap<TileEdge, usize> = BTreeMap::new();
@@ -46,10 +44,7 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
     order.sort_by_key(|&id| {
         let net = problem.net(id);
         let first = net.pins[0].at;
-        let bbox = net
-            .pins
-            .iter()
-            .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+        let bbox = net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
         (bbox.width() + bbox.height(), id.0)
     });
 
@@ -81,10 +76,8 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
         }
     }
 
-    let overflowed_edges = usage
-        .iter()
-        .filter(|(e, &u)| u > capacity.get(e).copied().unwrap_or(0))
-        .count();
+    let overflowed_edges =
+        usage.iter().filter(|(e, &u)| u > capacity.get(e).copied().unwrap_or(0)).count();
     let crossings = net_edges.iter().map(BTreeSet::len).sum();
     GlobalPlan { net_edges, overflowed_edges, crossings }
 }
@@ -174,10 +167,9 @@ mod tests {
     #[test]
     fn intra_tile_net_needs_no_crossings() {
         let mut b = ProblemBuilder::switchbox(32, 32);
-        b.net("local").pin_at(Point::new(1, 1), route_geom::Layer::M1).pin_at(
-            Point::new(5, 5),
-            route_geom::Layer::M1,
-        );
+        b.net("local")
+            .pin_at(Point::new(1, 1), route_geom::Layer::M1)
+            .pin_at(Point::new(5, 5), route_geom::Layer::M1);
         let p = b.build().unwrap();
         let tiles = TileGrid::new(&p, 16);
         let plan = plan(&p, &tiles);
@@ -200,10 +192,7 @@ mod tests {
         // congestion cost pushes later nets onto the 3-hop detour
         // through the upper tile row.
         assert!(g.net_edges.iter().all(|e| !e.is_empty()));
-        assert!(
-            g.net_edges.iter().any(|e| e.len() == 1),
-            "early nets take the direct edge"
-        );
+        assert!(g.net_edges.iter().any(|e| e.len() == 1), "early nets take the direct edge");
         assert!(
             g.net_edges.iter().any(|e| e.len() > 1),
             "late nets detour around the congested edge"

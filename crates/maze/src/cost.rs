@@ -22,7 +22,6 @@ use route_geom::{Axis, Layer};
 ///     cost.step + cost.wrong_way
 /// );
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Cost of one wire step in a layer's preferred direction.

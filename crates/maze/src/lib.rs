@@ -43,5 +43,5 @@ pub mod search;
 pub mod sequential;
 
 pub use cost::CostModel;
-pub use search::{FoundPath, SearchStats, SoftPath};
-pub use sequential::SequentialOutcome;
+pub use search::{FoundPath, SearchArena, SearchStats, SoftPath};
+pub use sequential::{LeeRouter, SequentialOutcome};

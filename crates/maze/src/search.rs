@@ -63,13 +63,92 @@ pub struct SoftPath {
     pub stats: SearchStats,
 }
 
+/// Reusable scratch memory for repeated searches.
+///
+/// A single A* call over a `W x H` grid allocates three node-indexed
+/// arrays plus a heap; a router makes thousands of such calls over the
+/// same grid. The arena keeps the buffers alive between calls and clears
+/// them *sparsely* — only the nodes actually touched by the previous
+/// search are reset — so the per-call cost is proportional to the search
+/// frontier, not the grid.
+///
+/// Results are bit-identical to the allocation-per-call entry points
+/// ([`find_path`] / [`find_path_soft`]): the arena changes where the
+/// buffers live, never what the search computes. One arena may serve
+/// grids of different sizes; it grows to the largest seen.
+///
+/// # Examples
+///
+/// ```
+/// use route_maze::{search, CostModel, SearchArena};
+/// use route_model::{ProblemBuilder, PinSide, RouteDb, Step};
+/// use route_geom::{Layer, Point};
+///
+/// let mut b = ProblemBuilder::switchbox(8, 8);
+/// b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+/// let problem = b.build()?;
+/// let db = RouteDb::new(&problem);
+/// let mut arena = SearchArena::new();
+/// let q = search::Query {
+///     grid: db.grid(),
+///     net: problem.nets()[0].id,
+///     sources: vec![Step::new(Point::new(0, 3), Layer::M1)],
+///     targets: vec![Step::new(Point::new(7, 3), Layer::M1)],
+///     cost: CostModel::default(),
+/// };
+/// let fresh = search::find_path(&q).unwrap();
+/// let reused = search::find_path_with(&mut arena, &q).unwrap();
+/// assert_eq!(fresh.cost, reused.cost);
+/// # Ok::<(), route_model::ProblemError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    dist: Vec<u64>,
+    prev: Vec<u32>,
+    target_mask: Vec<bool>,
+    /// Node indices written since the last reset (dist/prev/target_mask).
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl SearchArena {
+    /// Creates an empty arena; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        SearchArena::default()
+    }
+
+    /// Clears the previous search's marks and guarantees capacity for
+    /// `n_nodes` nodes.
+    fn reset(&mut self, n_nodes: usize) {
+        for &idx in &self.touched {
+            let idx = idx as usize;
+            self.dist[idx] = u64::MAX;
+            self.prev[idx] = NO_PREV;
+            self.target_mask[idx] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        if self.dist.len() < n_nodes {
+            self.dist.resize(n_nodes, u64::MAX);
+            self.prev.resize(n_nodes, NO_PREV);
+            self.target_mask.resize(n_nodes, false);
+        }
+    }
+}
+
 /// Finds a minimum-cost path using only cells that are free or already
 /// owned by the queried net.
 ///
 /// Returns `None` when no such path exists (or the source/target sets are
 /// empty after dropping unusable slots).
 pub fn find_path(query: &Query<'_>) -> Option<FoundPath> {
-    let found = run(query, None)?;
+    find_path_with(&mut SearchArena::new(), query)
+}
+
+/// Like [`find_path`], but reuses the scratch buffers in `arena` instead
+/// of allocating per call — the hot-path entry point for routers.
+pub fn find_path_with(arena: &mut SearchArena, query: &Query<'_>) -> Option<FoundPath> {
+    let found = run(arena, query, None)?;
     Some(FoundPath { trace: found.trace, cost: found.cost, stats: found.stats })
 }
 
@@ -84,7 +163,16 @@ pub fn find_path_soft(
     query: &Query<'_>,
     soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
 ) -> Option<SoftPath> {
-    run(query, Some(soft))
+    find_path_soft_with(&mut SearchArena::new(), query, soft)
+}
+
+/// Like [`find_path_soft`], but reuses the scratch buffers in `arena`.
+pub fn find_path_soft_with(
+    arena: &mut SearchArena,
+    query: &Query<'_>,
+    soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
+) -> Option<SoftPath> {
+    run(arena, query, Some(soft))
 }
 
 const NO_PREV: u32 = u32::MAX;
@@ -122,14 +210,14 @@ fn enter_cost(
 }
 
 fn run(
+    arena: &mut SearchArena,
     query: &Query<'_>,
     soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
 ) -> Option<SoftPath> {
     let grid = query.grid;
     let n_nodes = grid.width() as usize * grid.height() as usize * NUM_LAYERS;
-    let mut dist: Vec<u64> = vec![u64::MAX; n_nodes];
-    let mut prev: Vec<u32> = vec![NO_PREV; n_nodes];
-    let mut target_mask: Vec<bool> = vec![false; n_nodes];
+    arena.reset(n_nodes);
+    let SearchArena { dist, prev, target_mask, touched, heap } = arena;
     let mut stats = SearchStats::default();
 
     let usable = |s: &Step| grid.admits(s.at, s.layer, query.net);
@@ -138,23 +226,21 @@ fn run(
         return None;
     }
     for t in &targets {
-        target_mask[node_index(grid, t.at, t.layer)] = true;
+        let idx = node_index(grid, t.at, t.layer);
+        target_mask[idx] = true;
+        touched.push(idx as u32);
     }
     let heuristic = |p: Point| -> u64 {
-        targets
-            .iter()
-            .map(|t| p.manhattan(t.at) as u64 * query.cost.step as u64)
-            .min()
-            .unwrap_or(0)
+        targets.iter().map(|t| p.manhattan(t.at) as u64 * query.cost.step as u64).min().unwrap_or(0)
     };
 
     // Min-heap keyed by f = g + h; tiebreak on g to prefer settled depth.
-    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
     let mut any_source = false;
     for s in query.sources.iter().filter(|s| usable(s)) {
         let idx = node_index(grid, s.at, s.layer);
         if dist[idx] == u64::MAX {
             dist[idx] = 0;
+            touched.push(idx as u32);
             heap.push(Reverse((heuristic(s.at), 0, idx as u32)));
         }
         any_source = true;
@@ -187,6 +273,9 @@ fn run(
             let ng = g + step_cost + extra;
             let nidx = node_index(grid, np, layer);
             if ng < dist[nidx] {
+                if dist[nidx] == u64::MAX {
+                    touched.push(nidx as u32);
+                }
                 dist[nidx] = ng;
                 prev[nidx] = idx as u32;
                 heap.push(Reverse((ng + heuristic(np), ng, nidx as u32)));
@@ -200,6 +289,9 @@ fn run(
                 let ng = g + query.cost.via as u64 + extra;
                 let nidx = node_index(grid, p, other);
                 if ng < dist[nidx] {
+                    if dist[nidx] == u64::MAX {
+                        touched.push(nidx as u32);
+                    }
                     dist[nidx] = ng;
                     prev[nidx] = idx as u32;
                     heap.push(Reverse((ng + heuristic(p), ng, nidx as u32)));
@@ -250,12 +342,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn query<'a>(
-        grid: &'a Grid,
-        net: NetId,
-        from: Step,
-        to: Step,
-    ) -> Query<'a> {
+    fn query<'a>(grid: &'a Grid, net: NetId, from: Step, to: Step) -> Query<'a> {
         Query { grid, net, sources: vec![from], targets: vec![to], cost: CostModel::default() }
     }
 
@@ -443,6 +530,69 @@ mod tests {
             Step::new(Point::new(4, 0), Layer::M2),
         );
         assert!(find_path(&q).is_none());
+    }
+
+    #[test]
+    fn arena_reuse_is_equivalent_to_fresh_buffers() {
+        // One arena across many searches, across two differently-sized
+        // grids, with failures interleaved: every result must be
+        // bit-identical to the allocate-per-call path.
+        let big = simple_problem();
+        let mut small_b = ProblemBuilder::switchbox(5, 4);
+        small_b.net("s").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 2);
+        let small = small_b.build().unwrap();
+        let big_db = grid_with(&big);
+        let small_db = grid_with(&small);
+        let mut arena = SearchArena::new();
+
+        let cases: Vec<(&RouteDb, NetId, Step, Step)> = vec![
+            (
+                &big_db,
+                big.nets()[0].id,
+                Step::new(Point::new(0, 3), Layer::M1),
+                Step::new(Point::new(7, 3), Layer::M1),
+            ),
+            (
+                &big_db,
+                big.nets()[1].id,
+                Step::new(Point::new(4, 0), Layer::M2),
+                Step::new(Point::new(4, 7), Layer::M2),
+            ),
+            // Unusable target: the fresh path returns None; the arena
+            // path must too, and must stay clean for the next case.
+            (
+                &big_db,
+                big.nets()[0].id,
+                Step::new(Point::new(0, 3), Layer::M1),
+                Step::new(Point::new(4, 0), Layer::M2),
+            ),
+            (
+                &small_db,
+                small.nets()[0].id,
+                Step::new(Point::new(0, 1), Layer::M1),
+                Step::new(Point::new(4, 2), Layer::M1),
+            ),
+            (
+                &big_db,
+                big.nets()[0].id,
+                Step::new(Point::new(7, 3), Layer::M1),
+                Step::new(Point::new(0, 3), Layer::M1),
+            ),
+        ];
+        for (db, net, from, to) in cases {
+            let q = query(db.grid(), net, from, to);
+            let fresh = find_path(&q);
+            let reused = find_path_with(&mut arena, &q);
+            match (fresh, reused) {
+                (None, None) => {}
+                (Some(f), Some(r)) => {
+                    assert_eq!(f.cost, r.cost);
+                    assert_eq!(f.trace.steps(), r.trace.steps());
+                    assert_eq!(f.stats, r.stats);
+                }
+                (f, r) => panic!("fresh {:?} vs reused {:?}", f.is_some(), r.is_some()),
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use route_geom::Rect;
 use route_model::{NetId, Problem, RouteDb, Step, TraceId};
 
-use crate::search::{find_path, Query, SearchStats};
+use crate::search::{find_path_with, Query, SearchArena, SearchStats};
 use crate::CostModel;
 
 /// Result of a sequential routing run.
@@ -37,10 +37,7 @@ pub fn route_all(problem: &Problem, cost: CostModel) -> SequentialOutcome {
     order.sort_by_key(|&id| {
         let net = problem.net(id);
         let first = net.pins[0].at;
-        let bbox = net
-            .pins
-            .iter()
-            .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+        let bbox = net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
         (bbox.width() + bbox.height(), id.0)
     });
     route_in_order(problem, cost, &order)
@@ -51,8 +48,10 @@ pub fn route_in_order(problem: &Problem, cost: CostModel, order: &[NetId]) -> Se
     let mut db = RouteDb::new(problem);
     let mut failed = Vec::new();
     let mut stats = SearchStats::default();
+    // One arena for the whole run: every net's searches reuse it.
+    let mut arena = SearchArena::new();
     for &net in order {
-        match connect_net(&mut db, net, cost) {
+        match connect_net_in(&mut arena, &mut db, net, cost) {
             Ok(s) => {
                 stats.expanded += s.expanded;
                 stats.relaxed += s.relaxed;
@@ -83,7 +82,17 @@ pub fn connect_net(
     net: NetId,
     cost: CostModel,
 ) -> Result<SearchStats, SearchStats> {
-    match connect_net_seeded(db, net, cost, Vec::new()) {
+    connect_net_in(&mut SearchArena::new(), db, net, cost)
+}
+
+/// Like [`connect_net`], but reusing the caller's [`SearchArena`].
+pub fn connect_net_in(
+    arena: &mut SearchArena,
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+) -> Result<SearchStats, SearchStats> {
+    match connect_net_seeded_in(arena, db, net, cost, Vec::new()) {
         Ok((_, stats)) => Ok(stats),
         Err((_, stats)) => Err(stats),
     }
@@ -107,6 +116,23 @@ pub fn connect_net_seeded(
     cost: CostModel,
     seed: Vec<Step>,
 ) -> Result<(Vec<TraceId>, SearchStats), (Vec<TraceId>, SearchStats)> {
+    connect_net_seeded_in(&mut SearchArena::new(), db, net, cost, seed)
+}
+
+/// Like [`connect_net_seeded`], but reusing the caller's [`SearchArena`].
+///
+/// # Errors
+///
+/// Returns the trace ids committed so far (for rollback) plus the
+/// accumulated stats when some pin cannot be attached.
+#[allow(clippy::type_complexity)]
+pub fn connect_net_seeded_in(
+    arena: &mut SearchArena,
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+    seed: Vec<Step>,
+) -> Result<(Vec<TraceId>, SearchStats), (Vec<TraceId>, SearchStats)> {
     let mut stats = SearchStats::default();
     let mut committed: Vec<TraceId> = Vec::new();
     let pins: Vec<Step> = db.pins(net).iter().map(|p| Step::new(p.at, p.layer)).collect();
@@ -124,21 +150,15 @@ pub fn connect_net_seeded(
         if connected.contains(&pin) {
             continue;
         }
-        let query = Query {
-            grid: db.grid(),
-            net,
-            sources: connected.clone(),
-            targets: vec![pin],
-            cost,
-        };
-        match find_path(&query) {
+        let query =
+            Query { grid: db.grid(), net, sources: connected.clone(), targets: vec![pin], cost };
+        match find_path_with(arena, &query) {
             Some(found) => {
                 stats.expanded += found.stats.expanded;
                 stats.relaxed += found.stats.relaxed;
                 let steps = found.trace.steps().to_vec();
-                let id: TraceId = db
-                    .commit(net, found.trace)
-                    .expect("hard search paths are committable");
+                let id: TraceId =
+                    db.commit(net, found.trace).expect("hard search paths are committable");
                 committed.push(id);
                 connected.extend(steps);
             }
@@ -148,11 +168,33 @@ pub fn connect_net_seeded(
     Ok((committed, stats))
 }
 
+/// The sequential maze baseline behind the shared
+/// [`DetailedRouter`](route_model::DetailedRouter) trait.
+///
+/// Never errors: nets that cannot be connected are reported in
+/// [`Routing::failed`](route_model::Routing) and the rest are delivered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeeRouter {
+    /// Cost model used for every connection.
+    pub cost: CostModel,
+}
+
+impl route_model::DetailedRouter for LeeRouter {
+    fn name(&self) -> &str {
+        "lee"
+    }
+
+    fn route(&self, problem: &Problem) -> route_model::RouteResult {
+        let out = route_all(problem, self.cost);
+        Ok(route_model::Routing { db: out.db, failed: out.failed })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use route_geom::Point;
-    use route_model::{PinSide, ProblemBuilder};
+    use route_model::{DetailedRouter, PinSide, ProblemBuilder};
     use route_verify::verify;
 
     #[test]
@@ -186,10 +228,9 @@ mod tests {
         // With small-first ordering both route; force the bad order to
         // demonstrate the baseline's weakness.
         let mut b = ProblemBuilder::switchbox(3, 3);
-        b.net("corner").pin_at(Point::new(0, 1), route_geom::Layer::M1).pin_at(
-            Point::new(1, 0),
-            route_geom::Layer::M1,
-        );
+        b.net("corner")
+            .pin_at(Point::new(0, 1), route_geom::Layer::M1)
+            .pin_at(Point::new(1, 0), route_geom::Layer::M1);
         b.net("cross")
             .pin_at(Point::new(0, 0), route_geom::Layer::M1)
             .pin_at(Point::new(2, 2), route_geom::Layer::M1);
@@ -222,6 +263,20 @@ mod tests {
         let p = b.build().unwrap();
         let out = route_all(&p, CostModel::default());
         assert!(out.stats.expanded > 0);
+    }
+
+    #[test]
+    fn lee_router_trait_matches_route_all() {
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        b.net("v").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        let p = b.build().unwrap();
+        let router = LeeRouter::default();
+        assert_eq!(router.name(), "lee");
+        let routing = router.route(&p).unwrap();
+        let direct = route_all(&p, CostModel::default());
+        assert_eq!(routing.failed, direct.failed);
+        assert_eq!(routing.db.checksum(), direct.db.checksum());
     }
 
     #[test]

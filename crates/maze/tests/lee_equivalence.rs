@@ -1,10 +1,9 @@
 //! With the uniform cost model, the weighted A* must produce exactly the
 //! Lee wavefront distances: same minimal path length as a plain BFS over
-//! the `(point, layer)` graph.
+//! the `(point, layer)` graph. Instances come from a deterministic
+//! in-file generator so the crate builds with zero registry access.
 
 use std::collections::{HashMap, VecDeque};
-
-use proptest::prelude::*;
 
 use route_geom::{Layer, Point};
 use route_maze::search::{find_path, Query};
@@ -12,6 +11,31 @@ use route_maze::CostModel;
 use route_model::{NetId, ProblemBuilder, RouteDb, Step};
 
 const SIDE: i32 = 9;
+
+/// Tiny deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn coord(&mut self) -> i32 {
+        self.below(SIDE as u64) as i32
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// Reference implementation: breadth-first search with unit edge costs
 /// over free cells, vias included.
@@ -29,8 +53,10 @@ fn bfs_distance(db: &RouteDb, net: NetId, from: Step, to: Step) -> Option<u64> {
         if (p, layer) == (to.at, to.layer) {
             return Some(d);
         }
-        let push = |np: Point, nl: Layer, dist: &mut HashMap<(Point, Layer), u64>,
-                        queue: &mut VecDeque<(Point, Layer)>| {
+        let push = |np: Point,
+                    nl: Layer,
+                    dist: &mut HashMap<(Point, Layer), u64>,
+                    queue: &mut VecDeque<(Point, Layer)>| {
             if grid.admits(np, nl, net) && !dist.contains_key(&(np, nl)) {
                 dist.insert((np, nl), d + 1);
                 queue.push_back((np, nl));
@@ -46,24 +72,23 @@ fn bfs_distance(db: &RouteDb, net: NetId, from: Step, to: Step) -> Option<u64> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn uniform_astar_matches_bfs(
-        obstacles in prop::collection::vec((0..SIDE, 0..SIDE), 0..20),
-        (fx, fy, fl) in (0..SIDE, 0..SIDE, any::<bool>()),
-        (tx, ty, tl) in (0..SIDE, 0..SIDE, any::<bool>()),
-    ) {
+#[test]
+fn uniform_astar_matches_bfs() {
+    let mut rng = Rng(0x1EE0);
+    for _ in 0..96 {
+        let (fx, fy, fl) = (rng.coord(), rng.coord(), rng.coin());
+        let (tx, ty, tl) = (rng.coord(), rng.coord(), rng.coin());
+        let n_obstacles = rng.below(20);
         let mut b = ProblemBuilder::switchbox(SIDE as u32, SIDE as u32);
-        for &(x, y) in &obstacles {
+        for _ in 0..n_obstacles {
+            let (x, y) = (rng.coord(), rng.coord());
             // Keep the endpoints clear.
             if (x, y) != (fx, fy) && (x, y) != (tx, ty) {
                 b.obstacle(Point::new(x, y));
             }
         }
         b.net("n").pin_at(Point::new(fx, fy), Layer::M1).pin_at(Point::new(tx, ty), Layer::M1);
-        let problem = b.build().expect("endpoints kept clear");
+        let Ok(problem) = b.build() else { continue };
         let db = RouteDb::new(&problem);
         let net = problem.nets()[0].id;
 
@@ -84,6 +109,6 @@ proptest! {
         } else {
             None
         };
-        prop_assert_eq!(astar, bfs, "A* and BFS disagree from {} to {}", from, to);
+        assert_eq!(astar, bfs, "A* and BFS disagree from {from} to {to}");
     }
 }

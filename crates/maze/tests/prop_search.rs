@@ -1,7 +1,7 @@
-//! Property-based tests of the maze search: path legality, cost
-//! consistency, and agreement with the problem's obstacles.
-
-use proptest::prelude::*;
+//! Property-style tests of the maze search: path legality, cost
+//! consistency, and agreement with the problem's obstacles. Inputs come
+//! from a deterministic in-file generator so the crate builds with zero
+//! registry access.
 
 use route_geom::{Layer, Point};
 use route_maze::search::{find_path, find_path_soft, Query};
@@ -10,8 +10,30 @@ use route_model::{Occupant, ProblemBuilder, RouteDb, Step};
 
 const SIDE: i32 = 10;
 
-fn arb_cell() -> impl Strategy<Value = Point> {
-    (0..SIDE, 0..SIDE).prop_map(|(x, y)| Point::new(x, y))
+/// Tiny deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn cell(&mut self) -> Point {
+        Point::new(self.below(SIDE as u64) as i32, self.below(SIDE as u64) as i32)
+    }
+
+    fn cells(&mut self, max: u64) -> Vec<Point> {
+        let n = self.below(max);
+        (0..n).map(|_| self.cell()).collect()
+    }
 }
 
 fn setup(obstacles: &[Point]) -> RouteDb {
@@ -20,10 +42,9 @@ fn setup(obstacles: &[Point]) -> RouteDb {
         // Keep corners free so sources/targets usually survive.
         b.obstacle(p);
     }
-    b.net("n").pin_at(Point::new(0, 0), Layer::M1).pin_at(
-        Point::new(SIDE - 1, SIDE - 1),
-        Layer::M1,
-    );
+    b.net("n")
+        .pin_at(Point::new(0, 0), Layer::M1)
+        .pin_at(Point::new(SIDE - 1, SIDE - 1), Layer::M1);
     // Obstacles may cover the pins; retry without those obstacles.
     match b.build() {
         Ok(p) => RouteDb::new(&p),
@@ -34,24 +55,22 @@ fn setup(obstacles: &[Point]) -> RouteDb {
                     b.obstacle(p);
                 }
             }
-            b.net("n").pin_at(Point::new(0, 0), Layer::M1).pin_at(
-                Point::new(SIDE - 1, SIDE - 1),
-                Layer::M1,
-            );
+            b.net("n")
+                .pin_at(Point::new(0, 0), Layer::M1)
+                .pin_at(Point::new(SIDE - 1, SIDE - 1), Layer::M1);
             RouteDb::new(&b.build().expect("pins now clear"))
         }
     }
 }
 
-proptest! {
-    /// Any found path is contiguous, avoids blocked cells, and starts and
-    /// ends at the requested slots.
-    #[test]
-    fn found_paths_are_legal(
-        obstacles in prop::collection::vec(arb_cell(), 0..25),
-        from in arb_cell(),
-        to in arb_cell(),
-    ) {
+/// Any found path is contiguous, avoids blocked cells, and starts and
+/// ends at the requested slots.
+#[test]
+fn found_paths_are_legal() {
+    let mut rng = Rng(0x5E01);
+    for _ in 0..120 {
+        let obstacles = rng.cells(25);
+        let (from, to) = (rng.cell(), rng.cell());
         let db = setup(&obstacles);
         let net = route_model::NetId(0);
         let (src, dst) = (Step::new(from, Layer::M1), Step::new(to, Layer::M2));
@@ -64,26 +83,27 @@ proptest! {
         };
         if let Some(found) = find_path(&query) {
             let steps = found.trace.steps();
-            prop_assert_eq!(steps[0], src);
-            prop_assert_eq!(*steps.last().expect("nonempty"), dst);
+            assert_eq!(steps[0], src);
+            assert_eq!(*steps.last().expect("nonempty"), dst);
             for s in steps {
-                prop_assert!(db.grid().occupant(s.at, s.layer) != Occupant::Blocked);
+                assert!(db.grid().occupant(s.at, s.layer) != Occupant::Blocked);
             }
             // Trace validity (contiguity) is enforced by construction;
             // committing it must succeed.
             let mut db2 = db.clone();
-            prop_assert!(db2.commit(net, found.trace).is_ok());
+            assert!(db2.commit(net, found.trace).is_ok());
         }
     }
+}
 
-    /// The optimal cost never exceeds the cost of any specific legal
-    /// alternative: adding obstacles can only increase the path cost.
-    #[test]
-    fn obstacles_never_decrease_cost(
-        obstacles in prop::collection::vec(arb_cell(), 0..20),
-        from in arb_cell(),
-        to in arb_cell(),
-    ) {
+/// The optimal cost never exceeds the cost of any specific legal
+/// alternative: adding obstacles can only increase the path cost.
+#[test]
+fn obstacles_never_decrease_cost() {
+    let mut rng = Rng(0x5E02);
+    for _ in 0..120 {
+        let obstacles = rng.cells(20);
+        let (from, to) = (rng.cell(), rng.cell());
         let empty = setup(&[]);
         let walled = setup(&obstacles);
         let net = route_model::NetId(0);
@@ -104,19 +124,19 @@ proptest! {
         let base = find_path(&q_empty);
         let hard = find_path(&q_walled);
         if let (Some(b), Some(h)) = (base, hard) {
-            prop_assert!(h.cost >= b.cost,
-                "obstacles reduced cost: {} < {}", h.cost, b.cost);
+            assert!(h.cost >= b.cost, "obstacles reduced cost: {} < {}", h.cost, b.cost);
         }
     }
+}
 
-    /// The soft search with an always-permissive closure finds a path
-    /// whenever the hard search does, at no greater cost.
-    #[test]
-    fn soft_subsumes_hard(
-        obstacles in prop::collection::vec(arb_cell(), 0..20),
-        from in arb_cell(),
-        to in arb_cell(),
-    ) {
+/// The soft search with an always-permissive closure finds a path
+/// whenever the hard search does, at no greater cost.
+#[test]
+fn soft_subsumes_hard() {
+    let mut rng = Rng(0x5E03);
+    for _ in 0..120 {
+        let obstacles = rng.cells(20);
+        let (from, to) = (rng.cell(), rng.cell());
         let db = setup(&obstacles);
         let net = route_model::NetId(0);
         let query = Query {
@@ -130,7 +150,7 @@ proptest! {
         let soft = find_path_soft(&query, &|_, _, _| Some(0));
         if let Some(h) = hard {
             let s = soft.expect("soft must find a path when hard does");
-            prop_assert!(s.cost <= h.cost);
+            assert!(s.cost <= h.cost);
         }
     }
 }

@@ -1,0 +1,208 @@
+//! The unified detailed-routing API: every router in the workspace —
+//! the rip-up/reroute router, the sequential maze baseline and the
+//! channel/switchbox baselines — can be driven through the
+//! [`DetailedRouter`] trait, taking a [`Problem`] and returning a
+//! [`RouteResult`].
+//!
+//! The trait is the batch engine's currency: anything implementing it
+//! can be fanned out over a problem list without the caller knowing
+//! which algorithm is behind it.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{NetId, Problem, RouteDb};
+
+/// Error shared by every router behind [`DetailedRouter`].
+///
+/// The variants split *structural* rejections (the router does not
+/// handle this problem shape) from *routing* failures (the problem is in
+/// scope but could not be completed within the router's budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The router does not handle this problem shape at all (e.g. a
+    /// channel router given interior pins or obstacles).
+    Unsupported {
+        /// Explanation of the offending feature.
+        reason: String,
+    },
+    /// The problem is in scope but the router could not produce a legal
+    /// routing for it.
+    Unroutable {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The vertical constraint graph contains a cycle the router cannot
+    /// break (left-edge channel-router family).
+    VerticalCycle {
+        /// Net numbers (1-based, as in the channel spec) on the cycle.
+        cycle: Vec<u32>,
+    },
+    /// The router exhausted its track or column budget.
+    BudgetExhausted {
+        /// Tracks in use when the router gave up.
+        tracks: usize,
+    },
+    /// A pre-routed database was paired with the wrong problem.
+    DbMismatch {
+        /// Nets in the problem.
+        expected: usize,
+        /// Nets in the database.
+        found: usize,
+    },
+    /// The router panicked; the batch engine converts panics into this
+    /// variant so one bad instance cannot take down a batch.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The instance blew its wall-clock budget. The batch engine cannot
+    /// interrupt a running router, but it disqualifies results delivered
+    /// after the deadline so comparisons stay budget-fair.
+    DeadlineExceeded {
+        /// Time the instance actually took, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unsupported { reason } => write!(f, "unsupported problem: {reason}"),
+            RouteError::Unroutable { reason } => write!(f, "unroutable: {reason}"),
+            RouteError::VerticalCycle { cycle } => {
+                write!(f, "vertical constraint cycle through nets {cycle:?}")
+            }
+            RouteError::BudgetExhausted { tracks } => {
+                write!(f, "router exhausted its budget at {tracks} tracks")
+            }
+            RouteError::DbMismatch { expected, found } => {
+                write!(f, "database has {found} nets but the problem has {expected}")
+            }
+            RouteError::Panicked { message } => write!(f, "router panicked: {message}"),
+            RouteError::DeadlineExceeded { elapsed_ms, budget_ms } => {
+                write!(f, "deadline exceeded: {elapsed_ms} ms against a {budget_ms} ms budget")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// A successful (possibly incomplete) routing: the committed database
+/// plus the nets that could not be connected.
+///
+/// Routers that are *complete-or-error* (the channel baselines) always
+/// return an empty `failed` list; routers that degrade gracefully (the
+/// rip-up router, the sequential baseline) report the nets they gave up
+/// on and deliver the rest.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// The database with all committed wiring.
+    pub db: RouteDb,
+    /// Nets with at least one unconnected pin, ascending.
+    pub failed: Vec<NetId>,
+}
+
+impl Routing {
+    /// Whether every net was fully connected.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// What a [`DetailedRouter`] returns.
+pub type RouteResult = Result<Routing, RouteError>;
+
+/// A detailed router: anything that can take a grid [`Problem`] and
+/// produce a committed routing (or a structured error).
+///
+/// Implementations must be deterministic — the same problem must produce
+/// the same [`RouteDb::checksum`] on every call — because the batch
+/// engine routes instances concurrently and promises bit-identical
+/// results regardless of thread count.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{DetailedRouter, Problem, RouteResult, Routing, RouteDb};
+///
+/// /// A "router" that commits nothing and fails every net.
+/// struct GiveUp;
+///
+/// impl DetailedRouter for GiveUp {
+///     fn name(&self) -> &str {
+///         "give-up"
+///     }
+///     fn route(&self, problem: &Problem) -> RouteResult {
+///         Ok(Routing {
+///             db: RouteDb::new(problem),
+///             failed: problem.nets().iter().map(|n| n.id).collect(),
+///         })
+///     }
+/// }
+/// ```
+pub trait DetailedRouter {
+    /// A short stable name identifying the algorithm (used in reports
+    /// and benchmark tables).
+    fn name(&self) -> &str;
+
+    /// Routes `problem` from scratch.
+    fn route(&self, problem: &Problem) -> RouteResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PinSide, ProblemBuilder};
+
+    struct Null;
+
+    impl DetailedRouter for Null {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn route(&self, problem: &Problem) -> RouteResult {
+            Ok(Routing {
+                db: RouteDb::new(problem),
+                failed: problem.nets().iter().map(|n| n.id).collect(),
+            })
+        }
+    }
+
+    fn tiny() -> Problem {
+        let mut b = ProblemBuilder::switchbox(4, 3);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let routers: Vec<Box<dyn DetailedRouter>> = vec![Box::new(Null)];
+        let p = tiny();
+        for r in &routers {
+            assert_eq!(r.name(), "null");
+            let routing = r.route(&p).unwrap();
+            assert!(!routing.is_complete());
+            assert_eq!(routing.failed.len(), 1);
+        }
+    }
+
+    #[test]
+    fn errors_render() {
+        let cases: Vec<(RouteError, &str)> = vec![
+            (RouteError::Unsupported { reason: "x".into() }, "unsupported"),
+            (RouteError::Unroutable { reason: "y".into() }, "unroutable"),
+            (RouteError::VerticalCycle { cycle: vec![1, 2] }, "cycle"),
+            (RouteError::BudgetExhausted { tracks: 3 }, "budget"),
+            (RouteError::DbMismatch { expected: 2, found: 1 }, "database"),
+            (RouteError::Panicked { message: "boom".into() }, "panicked"),
+            (RouteError::DeadlineExceeded { elapsed_ms: 9, budget_ms: 5 }, "deadline"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -85,11 +85,7 @@ impl Grid {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
-        Grid {
-            width,
-            height,
-            cells: vec![Cell::default(); (width * height) as usize],
-        }
+        Grid { width, height, cells: vec![Cell::default(); (width * height) as usize] }
     }
 
     /// Number of columns.
@@ -106,10 +102,7 @@ impl Grid {
 
     /// The rectangle covering the whole grid.
     pub fn bounds(&self) -> Rect {
-        Rect::new(
-            Point::new(0, 0),
-            Point::new(self.width as i32 - 1, self.height as i32 - 1),
-        )
+        Rect::new(Point::new(0, 0), Point::new(self.width as i32 - 1, self.height as i32 - 1))
     }
 
     /// Whether `p` lies on the grid.
@@ -203,11 +196,7 @@ impl Grid {
 
     /// Count of free slots over both layers (capacity measure).
     pub fn free_slots(&self) -> usize {
-        self.cells
-            .iter()
-            .flat_map(|c| c.occ.iter())
-            .filter(|o| o.is_free())
-            .count()
+        self.cells.iter().flat_map(|c| c.occ.iter()).filter(|o| o.is_free()).count()
     }
 }
 

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod api;
 mod grid;
 mod net;
 mod problem;
@@ -36,10 +37,11 @@ mod route;
 mod stats;
 mod svg;
 
+pub use api::{DetailedRouter, RouteError, RouteResult, Routing};
 pub use grid::{Cell, Grid, Occupant};
 pub use net::{Net, NetId, Pin, PinSide};
 pub use problem::{NetBuilder, Problem, ProblemBuilder, ProblemError};
 pub use render::render_layers;
-pub use svg::render_svg;
 pub use route::{RouteDb, Step, Trace, TraceError, TraceId};
 pub use stats::RouteStats;
+pub use svg::render_svg;

@@ -6,7 +6,6 @@ use route_geom::{Layer, Point};
 ///
 /// Net ids index directly into per-net vectors, so they are assigned
 /// contiguously from zero by [`ProblemBuilder`](crate::ProblemBuilder).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
 
@@ -30,7 +29,6 @@ impl fmt::Display for NetId {
 /// Pins may sit on the routing-region boundary (the common case for
 /// channels and switchboxes) or anywhere inside it (pins of pre-placed
 /// macro blocks).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pin {
     /// Grid cell of the terminal.
@@ -64,7 +62,6 @@ impl fmt::Display for Pin {
 /// assert_eq!(PinSide::Left.natural_layer(), Layer::M1);
 /// assert_eq!(PinSide::Top.natural_layer(), Layer::M2);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinSide {
     /// `x = 0` column; offset counts rows from the bottom.
@@ -101,7 +98,6 @@ impl PinSide {
 }
 
 /// A named collection of pins that must be electrically connected.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Net {
     /// Identifier, dense within the owning problem.
@@ -160,7 +156,11 @@ mod tests {
             ],
         };
         assert_eq!(net.connection_count(), 2);
-        let single = Net { id: NetId(1), name: "y".into(), pins: vec![Pin::new(Point::new(0, 0), Layer::M1)] };
+        let single = Net {
+            id: NetId(1),
+            name: "y".into(),
+            pins: vec![Pin::new(Point::new(0, 0), Layer::M1)],
+        };
         assert_eq!(single.connection_count(), 0);
     }
 

@@ -178,7 +178,7 @@ impl Problem {
     pub fn in_region(&self, p: Point) -> bool {
         let in_grid =
             p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height;
-        in_grid && self.region.as_ref().map_or(true, |r| r.contains(p))
+        in_grid && self.region.as_ref().is_none_or(|r| r.contains(p))
     }
 
     /// Builds the base occupancy grid: region exterior and obstacles
@@ -234,10 +234,8 @@ impl Problem {
             .filter(|n| n.pins.len() >= 2)
             .map(|n| {
                 let first = n.pins[0].at;
-                let bbox = n
-                    .pins
-                    .iter()
-                    .fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+                let bbox =
+                    n.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
                 (bbox.width() + bbox.height()) as u64
             })
             .sum();
@@ -300,10 +298,7 @@ impl ProblemBuilder {
     ///
     /// Panics unless `layers` is 2 or 3.
     pub fn layers(&mut self, layers: u8) -> &mut Self {
-        assert!(
-            (2..=route_geom::NUM_LAYERS as u8).contains(&layers),
-            "layer count must be 2 or 3"
-        );
+        assert!((2..=route_geom::NUM_LAYERS as u8).contains(&layers), "layer count must be 2 or 3");
         self.layers = layers;
         self
     }
@@ -368,9 +363,7 @@ impl ProblemBuilder {
             }
         }
         let blocked = |pin: &Pin| {
-            self.obstacles
-                .iter()
-                .any(|&(p, l)| p == pin.at && l.map_or(true, |l| l == pin.layer))
+            self.obstacles.iter().any(|&(p, l)| p == pin.at && l.is_none_or(|l| l == pin.layer))
         };
 
         let mut names: HashMap<&str, ()> = HashMap::new();
@@ -412,11 +405,7 @@ impl ProblemBuilder {
             if unique.is_empty() {
                 return Err(ProblemError::EmptyNet { net: name.clone() });
             }
-            nets.push(Net {
-                id: NetId(idx as u32),
-                name: name.clone(),
-                pins: unique,
-            });
+            nets.push(Net { id: NetId(idx as u32), name: name.clone(), pins: unique });
         }
 
         Ok(Problem {

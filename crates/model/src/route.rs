@@ -7,7 +7,6 @@ use route_geom::{Layer, Point};
 use crate::{Grid, NetId, Occupant, Pin, Problem};
 
 /// One cell of a routed path: a grid point on a layer.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Step {
     /// Grid cell.
@@ -221,10 +220,7 @@ impl RouteDb {
         let mut grid = problem.base_grid();
         let mut nets = Vec::with_capacity(problem.nets().len());
         for net in problem.nets() {
-            let mut state = NetState {
-                pins: net.pins.clone(),
-                ..NetState::default()
-            };
+            let mut state = NetState { pins: net.pins.clone(), ..NetState::default() };
             for pin in &net.pins {
                 grid.set_occupant(pin.at, pin.layer, Occupant::Net(net.id));
                 *state.occ.entry((pin.at, pin.layer)).or_insert(0) += 1;
@@ -266,11 +262,7 @@ impl RouteDb {
     /// Every `(point, layer)` slot currently occupied by `net` (pins and
     /// wiring), in unspecified order.
     pub fn net_slots(&self, net: NetId) -> Vec<Step> {
-        self.nets[net.index()]
-            .occ
-            .keys()
-            .map(|&(at, layer)| Step::new(at, layer))
-            .collect()
+        self.nets[net.index()].occ.keys().map(|&(at, layer)| Step::new(at, layer)).collect()
     }
 
     /// Number of `(point, layer)` slots currently occupied by `net`,
@@ -420,6 +412,46 @@ impl RouteDb {
             traces += state.traces.iter().flatten().count() as u64;
         }
         crate::RouteStats { wirelength, vias, traces }
+    }
+
+    /// An order-independent fingerprint of the physical routing state:
+    /// grid dimensions, per-slot occupancy and via ownership, hashed
+    /// with FNV-1a in row-major order.
+    ///
+    /// Two databases with the same checksum hold the same metal — how
+    /// the wiring is split into traces does not enter the hash. This is
+    /// what the batch engine compares to prove that routing with 1
+    /// thread and with N threads produced bit-identical results.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(u64::from(self.grid.width()));
+        eat(u64::from(self.grid.height()));
+        for p in self.grid.points() {
+            for layer in Layer::ALL {
+                let code = match self.grid.occupant(p, layer) {
+                    Occupant::Free => 0,
+                    Occupant::Blocked => 1,
+                    Occupant::Net(n) => 2 + n.index() as u64,
+                };
+                eat(code);
+            }
+            for lower in [Layer::M1, Layer::M2] {
+                let code = match self.grid.via_between(p, lower) {
+                    None => 0,
+                    Some(n) => 1 + n.index() as u64,
+                };
+                eat(code);
+            }
+        }
+        h
     }
 }
 

@@ -3,7 +3,6 @@ use std::fmt;
 /// Aggregate wiring statistics of a [`RouteDb`](crate::RouteDb).
 ///
 /// Produced by [`RouteDb::stats`](crate::RouteDb::stats).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RouteStats {
     /// Occupied `(cell, layer)` slots beyond the pins — total wire cells.
@@ -26,11 +25,7 @@ impl RouteStats {
 
 impl fmt::Display for RouteStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "wirelength {}, vias {}, traces {}",
-            self.wirelength, self.vias, self.traces
-        )
+        write!(f, "wirelength {}, vias {}, traces {}", self.wirelength, self.vias, self.traces)
     }
 }
 

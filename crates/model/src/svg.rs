@@ -69,9 +69,7 @@ pub fn render_svg(db: &RouteDb) -> String {
 
     // Obstacles (blocked on either layer).
     for p in grid.points() {
-        let blocked = Layer::ALL
-            .iter()
-            .any(|&l| grid.occupant(p, l) == Occupant::Blocked);
+        let blocked = Layer::ALL.iter().any(|&l| grid.occupant(p, l) == Occupant::Blocked);
         if blocked {
             let _ = writeln!(
                 out,
@@ -159,8 +157,7 @@ mod tests {
         let p = b.build().unwrap();
         let net = p.nets()[0].id;
         let mut db = RouteDb::new(&p);
-        let mut steps: Vec<Step> =
-            (0..3).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect();
+        let mut steps: Vec<Step> = (0..3).map(|x| Step::new(Point::new(x, 1), Layer::M1)).collect();
         steps.push(Step::new(Point::new(2, 1), Layer::M2));
         steps.push(Step::new(Point::new(2, 0), Layer::M2));
         db.commit(net, Trace::from_steps(steps).unwrap()).unwrap();

@@ -1,14 +1,35 @@
-//! Property-based tests of the routing database's core invariant: the
+//! Property-style tests of the routing database's core invariant: the
 //! grid occupancy is exactly the union of pins and live traces, no
-//! matter how commits and rip-ups interleave.
-
-use proptest::prelude::*;
+//! matter how commits and rip-ups interleave. Inputs come from a
+//! deterministic in-file generator so the crate builds with zero
+//! registry access.
 
 use route_geom::{Layer, Point};
 use route_model::{Occupant, PinSide, Problem, ProblemBuilder, RouteDb, Step, Trace};
 
 const W: u32 = 8;
 const H: u32 = 6;
+
+/// Tiny deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 fn two_net_problem() -> Problem {
     let mut b = ProblemBuilder::switchbox(W, H);
@@ -17,97 +38,92 @@ fn two_net_problem() -> Problem {
     b.build().expect("fixed problem is valid")
 }
 
-/// A random contiguous walk starting at `(x0, y0)` on a random layer.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    (
-        0..W as i32,
-        0..H as i32,
-        any::<bool>(),
-        prop::collection::vec(0u8..6, 1..12),
-    )
-        .prop_map(|(x0, y0, m2, moves)| {
-            let mut layer = if m2 { Layer::M2 } else { Layer::M1 };
-            let mut at = Point::new(x0, y0);
-            let mut steps = vec![Step::new(at, layer)];
-            for m in moves {
-                let next = match m {
-                    0 => Point::new((at.x + 1).min(W as i32 - 1), at.y),
-                    1 => Point::new((at.x - 1).max(0), at.y),
-                    2 => Point::new(at.x, (at.y + 1).min(H as i32 - 1)),
-                    3 => Point::new(at.x, (at.y - 1).max(0)),
-                    _ => {
-                        // Layer change (via) to an adjacent layer.
-                        layer = match layer {
-                            Layer::M1 => Layer::M2,
-                            Layer::M2 => Layer::M1,
-                            Layer::M3 => Layer::M2,
-                        };
-                        at
-                    }
+/// A random contiguous walk starting at a random cell on a random layer.
+fn random_trace(rng: &mut Rng) -> Trace {
+    let mut layer = if rng.coin() { Layer::M2 } else { Layer::M1 };
+    let mut at = Point::new(rng.below(u64::from(W)) as i32, rng.below(u64::from(H)) as i32);
+    let mut steps = vec![Step::new(at, layer)];
+    let moves = 1 + rng.below(11);
+    for _ in 0..moves {
+        let next = match rng.below(6) {
+            0 => Point::new((at.x + 1).min(W as i32 - 1), at.y),
+            1 => Point::new((at.x - 1).max(0), at.y),
+            2 => Point::new(at.x, (at.y + 1).min(H as i32 - 1)),
+            3 => Point::new(at.x, (at.y - 1).max(0)),
+            _ => {
+                // Layer change (via) to an adjacent layer.
+                layer = match layer {
+                    Layer::M1 => Layer::M2,
+                    Layer::M2 => Layer::M1,
+                    Layer::M3 => Layer::M2,
                 };
-                let step = Step::new(next, layer);
-                if step != *steps.last().expect("nonempty") {
-                    steps.push(step);
-                }
-                at = next;
+                at
             }
-            Trace::from_steps(steps).expect("walk is contiguous")
-        })
+        };
+        let step = Step::new(next, layer);
+        if step != *steps.last().expect("nonempty") {
+            steps.push(step);
+        }
+        at = next;
+    }
+    Trace::from_steps(steps).expect("walk is contiguous")
 }
 
-proptest! {
-    /// Committing any sequence of traces for one net and then ripping
-    /// them all restores the exact original grid.
-    #[test]
-    fn commit_rip_all_restores_grid(traces in prop::collection::vec(arb_trace(), 1..8)) {
+/// Committing any sequence of traces for one net and then ripping
+/// them all restores the exact original grid.
+#[test]
+fn commit_rip_all_restores_grid() {
+    let mut rng = Rng(0xDB01);
+    for _ in 0..100 {
         let problem = two_net_problem();
         let net = problem.nets()[0].id;
         let mut db = RouteDb::new(&problem);
         let pristine = db.grid().clone();
         let mut ids = Vec::new();
-        for t in traces {
+        let count = 1 + rng.below(7);
+        for _ in 0..count {
             // Traces may collide with net b's pins; skip those.
+            let t = random_trace(&mut rng);
             if let Ok(id) = db.commit(net, t) {
                 ids.push(id);
             }
         }
         // Rip in a scrambled (reversed) order.
         for id in ids.into_iter().rev() {
-            prop_assert!(db.rip_up(id).is_some());
+            assert!(db.rip_up(id).is_some());
         }
-        prop_assert_eq!(db.grid(), &pristine);
-        prop_assert_eq!(db.stats().wirelength, 0);
-        prop_assert_eq!(db.stats().vias, 0);
+        assert_eq!(db.grid(), &pristine);
+        assert_eq!(db.stats().wirelength, 0);
+        assert_eq!(db.stats().vias, 0);
     }
+}
 
-    /// After any interleaving of commits and rip-ups, every slot owned by
-    /// the net on the grid is covered by a pin or a live trace, and vice
-    /// versa.
-    #[test]
-    fn occupancy_matches_live_traces(
-        traces in prop::collection::vec(arb_trace(), 1..8),
-        rip_mask in prop::collection::vec(any::<bool>(), 8),
-    ) {
+/// After any interleaving of commits and rip-ups, every slot owned by
+/// the net on the grid is covered by a pin or a live trace, and vice
+/// versa.
+#[test]
+fn occupancy_matches_live_traces() {
+    let mut rng = Rng(0xDB02);
+    for _ in 0..100 {
         let problem = two_net_problem();
         let net = problem.nets()[0].id;
         let mut db = RouteDb::new(&problem);
         let mut ids = Vec::new();
-        for t in traces {
+        let count = 1 + rng.below(7);
+        for _ in 0..count {
+            let t = random_trace(&mut rng);
             if let Ok(id) = db.commit(net, t) {
                 ids.push(id);
             }
         }
-        for (id, rip) in ids.iter().zip(&rip_mask) {
-            if *rip {
-                db.rip_up(*id);
+        for id in ids {
+            if rng.coin() {
+                db.rip_up(id);
             }
         }
         // Expected occupancy: pins plus live traces.
-        let mut expected: std::collections::HashSet<(Point, Layer)> = db
-            .pins(net)
-            .iter()
-            .map(|p| (p.at, p.layer))
-            .collect();
+        let mut expected: std::collections::HashSet<(Point, Layer)> =
+            db.pins(net).iter().map(|p| (p.at, p.layer)).collect();
         for (_, t) in db.traces(net) {
             for s in t.steps() {
                 expected.insert((s.at, s.layer));
@@ -116,30 +132,34 @@ proptest! {
         for p in db.grid().points() {
             for layer in Layer::ALL {
                 let owned = db.grid().occupant(p, layer) == Occupant::Net(net);
-                prop_assert_eq!(owned, expected.contains(&(p, layer)),
-                    "mismatch at {:?} {:?}", p, layer);
+                assert_eq!(owned, expected.contains(&(p, layer)), "mismatch at {p:?} {layer:?}");
             }
         }
         // net_slots agrees with the grid.
         let slots = db.net_slots(net);
-        prop_assert_eq!(slots.len(), expected.len());
+        assert_eq!(slots.len(), expected.len());
     }
+}
 
-    /// Commit never mutates the database when it fails.
-    #[test]
-    fn failed_commit_is_a_noop(t in arb_trace()) {
+/// Commit never mutates the database when it fails.
+#[test]
+fn failed_commit_is_a_noop() {
+    let mut rng = Rng(0xDB03);
+    for _ in 0..150 {
         let problem = two_net_problem();
         let (a, b) = (problem.nets()[0].id, problem.nets()[1].id);
         let mut db = RouteDb::new(&problem);
         // Fill net b's row so many traces collide with it.
         let wall = Trace::from_steps(
             (0..W as i32).map(|x| Step::new(Point::new(x, 4), Layer::M1)).collect(),
-        ).expect("contiguous");
+        )
+        .expect("contiguous");
         db.commit(b, wall).expect("empty row commits");
         let before = db.clone();
+        let t = random_trace(&mut rng);
         if db.commit(a, t).is_err() {
-            prop_assert_eq!(db.grid(), before.grid());
-            prop_assert_eq!(db.stats(), before.stats());
+            assert_eq!(db.grid(), before.grid());
+            assert_eq!(db.stats(), before.stats());
         }
     }
 }

@@ -42,9 +42,9 @@
 
 use route_maze::sequential::connect_net_seeded;
 use route_maze::CostModel;
-use route_model::{NetId, Problem, RouteDb, RouteStats, Trace};
 #[cfg(test)]
 use route_model::Step;
+use route_model::{NetId, Problem, RouteDb, RouteStats, Trace};
 
 /// Configuration of the re-routing passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,9 +91,7 @@ pub struct PassStats {
 impl PassStats {
     /// Weighted objective saved by the run.
     pub fn saved(&self, via_weight: u64) -> u64 {
-        self.before
-            .weighted_cost(via_weight)
-            .saturating_sub(self.after.weighted_cost(via_weight))
+        self.before.weighted_cost(via_weight).saturating_sub(self.after.weighted_cost(via_weight))
     }
 }
 
@@ -288,8 +286,7 @@ mod tests {
         use mighty::{MightyRouter, RouterConfig};
         use route_benchdata::gen::SwitchboxGen;
         for seed in 0..6 {
-            let problem =
-                SwitchboxGen { width: 12, height: 12, nets: 12, seed }.build();
+            let problem = SwitchboxGen { width: 12, height: 12, nets: 12, seed }.build();
             let out = MightyRouter::new(RouterConfig::default()).route(&problem);
             let mut db = out.into_db();
             let before = db.stats().weighted_cost(3);
@@ -297,10 +294,7 @@ mod tests {
             let after = db.stats().weighted_cost(3);
             assert!(after <= before, "seed {seed}: {before} -> {after}");
             let report = verify(&problem, &db);
-            assert!(
-                report.is_clean() || report.is_legal_but_incomplete(),
-                "seed {seed}: {report}"
-            );
+            assert!(report.is_clean() || report.is_legal_but_incomplete(), "seed {seed}: {report}");
         }
     }
 }

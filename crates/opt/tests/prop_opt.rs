@@ -1,25 +1,30 @@
-//! Property-based tests of the optimization passes: on arbitrary routed
+//! Property-style tests of the optimization passes: on arbitrary routed
 //! instances the passes never worsen the objective, never break
-//! legality, and reach a fixpoint.
-
-use proptest::prelude::*;
+//! legality, and reach a fixpoint. Instances come from the deterministic
+//! `route_benchdata` generator so the crate builds with zero registry
+//! access.
 
 use mighty::{MightyRouter, RouterConfig};
 use route_benchdata::gen::SwitchboxGen;
+use route_benchdata::rng::SplitMix64;
 use route_opt::{cleanup, minimize_vias, OptimizeConfig};
 use route_verify::verify;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn instances(seed: u64, cases: usize) -> Vec<SwitchboxGen> {
+    let mut rng = SplitMix64::new(seed);
+    (0..cases)
+        .map(|_| {
+            let side = rng.range(8, 20) as u32;
+            let nets = (rng.range(2, 12) as u32).min(side);
+            SwitchboxGen { width: side, height: side, nets, seed: rng.below(1000) }
+        })
+        .collect()
+}
 
-    #[test]
-    fn cleanup_never_worsens_and_stays_legal(
-        side in 8u32..20,
-        nets in 2u32..12,
-        seed in 0u64..1000,
-    ) {
-        let nets = nets.min(side);
-        let problem = SwitchboxGen { width: side, height: side, nets, seed }.build();
+#[test]
+fn cleanup_never_worsens_and_stays_legal() {
+    for cfg in instances(0x0901, 24) {
+        let problem = cfg.build();
         let out = MightyRouter::new(RouterConfig::default()).route(&problem);
         let complete_before = out.is_complete();
         let mut db = out.into_db();
@@ -27,35 +32,32 @@ proptest! {
 
         let stats = cleanup(&problem, &mut db, &OptimizeConfig::default());
         let report = verify(&problem, &db);
-        prop_assert!(
+        assert!(
             report.is_clean() || report.is_legal_but_incomplete(),
             "cleanup broke legality: {report}"
         );
         if complete_before {
             // Complete stays complete, and the cost never rises.
-            prop_assert!(report.is_clean(), "cleanup disconnected a net: {report}");
-            prop_assert!(db.stats().weighted_cost(3) <= before);
+            assert!(report.is_clean(), "cleanup disconnected a net: {report}");
+            assert!(db.stats().weighted_cost(3) <= before);
         }
-        prop_assert_eq!(stats.after, db.stats());
+        assert_eq!(stats.after, db.stats());
 
         // A second run finds nothing more (fixpoint).
         let settled = db.stats();
         let again = cleanup(&problem, &mut db, &OptimizeConfig::default());
-        prop_assert_eq!(again.improved, 0);
-        prop_assert_eq!(db.stats(), settled);
+        assert_eq!(again.improved, 0);
+        assert_eq!(db.stats(), settled);
     }
+}
 
-    /// The via-focused pass guarantees its *weighted objective* never
-    /// rises (a +1-via, -17-wire trade is a legitimate improvement at
-    /// via weight 16, so the raw via count alone is not an invariant).
-    #[test]
-    fn via_minimisation_never_worsens_its_objective(
-        side in 8u32..20,
-        nets in 2u32..12,
-        seed in 0u64..1000,
-    ) {
-        let nets = nets.min(side);
-        let problem = SwitchboxGen { width: side, height: side, nets, seed }.build();
+/// The via-focused pass guarantees its *weighted objective* never
+/// rises (a +1-via, -17-wire trade is a legitimate improvement at
+/// via weight 16, so the raw via count alone is not an invariant).
+#[test]
+fn via_minimisation_never_worsens_its_objective() {
+    for cfg in instances(0x0902, 24) {
+        let problem = cfg.build();
         let out = MightyRouter::new(RouterConfig::default()).route(&problem);
         let complete_before = out.is_complete();
         let mut db = out.into_db();
@@ -63,12 +65,12 @@ proptest! {
 
         minimize_vias(&problem, &mut db);
         let report = verify(&problem, &db);
-        prop_assert!(
+        assert!(
             report.is_clean() || report.is_legal_but_incomplete(),
             "via pass broke legality: {report}"
         );
         if complete_before {
-            prop_assert!(db.stats().weighted_cost(16) <= before);
+            assert!(db.stats().weighted_cost(16) <= before);
         }
     }
 }

@@ -29,10 +29,7 @@ pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
             for step in trace.steps() {
                 slots.insert((step.at, step.layer));
             }
-            required_vias
-                .entry(net.id)
-                .or_default()
-                .extend(trace.via_points());
+            required_vias.entry(net.id).or_default().extend(trace.via_points());
         }
         for slot in slots {
             occupancy.entry(slot).or_default().push(net.id);
@@ -42,12 +39,7 @@ pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
     // Shorts and obstacle overlaps.
     for (&(at, layer), owners) in &occupancy {
         if owners.len() > 1 {
-            violations.push(Violation::Short {
-                a: owners[0],
-                b: owners[1],
-                at,
-                layer,
-            });
+            violations.push(Violation::Short { a: owners[0], b: owners[1], at, layer });
         }
         if !base.in_bounds(at) || base.occupant(at, layer) == Occupant::Blocked {
             for &net in owners {
@@ -77,8 +69,7 @@ pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
     for p in base.bounds().cells() {
         for lower in [Layer::M1, Layer::M2] {
             if let Some(net) = db.grid().via_between(p, lower) {
-                let backed =
-                    required_vias.get(&net).is_some_and(|vias| vias.contains(&(p, lower)));
+                let backed = required_vias.get(&net).is_some_and(|vias| vias.contains(&(p, lower)));
                 if !backed {
                     violations.push(Violation::BadVia { net, at: p });
                 }
@@ -101,9 +92,7 @@ pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
             if base.occupant(p, layer) == Occupant::Blocked {
                 continue;
             }
-            let expected = occupancy
-                .get(&(p, layer))
-                .and_then(|o| o.first().copied());
+            let expected = occupancy.get(&(p, layer)).and_then(|o| o.first().copied());
             let actual = db.grid().occupant(p, layer).net();
             let actual_free = db.grid().occupant(p, layer).is_free();
             let matches = match expected {
@@ -126,11 +115,8 @@ fn pin_components(
     net: NetId,
     required_vias: &HashMap<NetId, HashSet<(Point, Layer)>>,
 ) -> usize {
-    let slots: HashSet<(Point, Layer)> = db
-        .net_slots(net)
-        .into_iter()
-        .map(|s: Step| (s.at, s.layer))
-        .collect();
+    let slots: HashSet<(Point, Layer)> =
+        db.net_slots(net).into_iter().map(|s: Step| (s.at, s.layer)).collect();
     let vias = required_vias.get(&net);
     let has_via = |p: Point, lower: Layer| {
         vias.is_some_and(|v| v.contains(&(p, lower)))
@@ -182,12 +168,8 @@ mod tests {
     }
 
     fn m1_row(y: i32, x0: i32, x1: i32) -> Trace {
-        Trace::from_steps(
-            (x0..=x1)
-                .map(|x| Step::new(Point::new(x, y), Layer::M1))
-                .collect(),
-        )
-        .unwrap()
+        Trace::from_steps((x0..=x1).map(|x| Step::new(Point::new(x, y), Layer::M1)).collect())
+            .unwrap()
     }
 
     #[test]
@@ -214,8 +196,7 @@ mod tests {
         b.net("a").pin_side(PinSide::Left, 0).pin_side(PinSide::Top, 3);
         let p = b.build().unwrap();
         let mut db = RouteDb::new(&p);
-        let mut steps: Vec<Step> =
-            (0..4).map(|x| Step::new(Point::new(x, 0), Layer::M1)).collect();
+        let mut steps: Vec<Step> = (0..4).map(|x| Step::new(Point::new(x, 0), Layer::M1)).collect();
         steps.push(Step::new(Point::new(3, 0), Layer::M2));
         steps.extend((1..4).map(|y| Step::new(Point::new(3, y), Layer::M2)));
         db.commit(p.nets()[0].id, Trace::from_steps(steps).unwrap()).unwrap();
@@ -255,10 +236,7 @@ mod tests {
     #[test]
     fn multi_pin_net_connectivity() {
         let mut b = ProblemBuilder::switchbox(5, 5);
-        b.net("t")
-            .pin_side(PinSide::Left, 2)
-            .pin_side(PinSide::Right, 2)
-            .pin_side(PinSide::Top, 2);
+        b.net("t").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2).pin_side(PinSide::Top, 2);
         let p = b.build().unwrap();
         let net = p.nets()[0].id;
         let mut db = RouteDb::new(&p);
@@ -266,7 +244,8 @@ mod tests {
         // Pins on left/right now connected; top pin still floating.
         assert_eq!(verify(&p, &db).disconnected_nets(), 1);
         // Add the vertical branch with a via at (2,2).
-        let mut steps = vec![Step::new(Point::new(2, 2), Layer::M1), Step::new(Point::new(2, 2), Layer::M2)];
+        let mut steps =
+            vec![Step::new(Point::new(2, 2), Layer::M1), Step::new(Point::new(2, 2), Layer::M2)];
         steps.extend((3..5).map(|y| Step::new(Point::new(2, y), Layer::M2)));
         db.commit(net, Trace::from_steps(steps).unwrap()).unwrap();
         assert!(verify(&p, &db).is_clean());

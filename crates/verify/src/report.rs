@@ -107,10 +107,7 @@ impl Report {
 
     /// Number of violations of connectivity kind ([`Violation::Disconnected`]).
     pub fn disconnected_nets(&self) -> usize {
-        self.violations
-            .iter()
-            .filter(|v| matches!(v, Violation::Disconnected { .. }))
-            .count()
+        self.violations.iter().filter(|v| matches!(v, Violation::Disconnected { .. })).count()
     }
 
     /// Whether the report contains only connectivity violations — i.e.
@@ -118,10 +115,7 @@ impl Report {
     /// scoring routers that are allowed to fail some nets.
     pub fn is_legal_but_incomplete(&self) -> bool {
         !self.is_clean()
-            && self
-                .violations
-                .iter()
-                .all(|v| matches!(v, Violation::Disconnected { .. }))
+            && self.violations.iter().all(|v| matches!(v, Violation::Disconnected { .. }))
     }
 }
 

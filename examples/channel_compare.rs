@@ -35,11 +35,10 @@ fn main() -> ExitCode {
                 }
             }
         }
-        None => ChannelSpec::new(
-            vec![1, 2, 3, 0, 4, 2, 0, 5, 4, 0],
-            vec![2, 1, 0, 3, 2, 5, 4, 0, 5, 4],
-        )
-        .expect("built-in example is valid"),
+        None => {
+            ChannelSpec::new(vec![1, 2, 3, 0, 4, 2, 0, 5, 4, 0], vec![2, 1, 0, 3, 2, 5, 4, 0, 5, 4])
+                .expect("built-in example is valid")
+        }
     };
 
     println!("{spec}");
@@ -54,10 +53,9 @@ fn main() -> ExitCode {
         Err(e) => println!("dogleg:      cannot route ({e})"),
     }
     match greedy::route(&spec) {
-        Ok(sol) => println!(
-            "greedy:      {} tracks, {} extension columns",
-            sol.tracks, sol.extra_columns
-        ),
+        Ok(sol) => {
+            println!("greedy:      {} tracks, {} extension columns", sol.tracks, sol.extra_columns)
+        }
         Err(e) => println!("greedy:      cannot route ({e})"),
     }
     match yacr::route(&spec, 8) {

@@ -44,7 +44,8 @@ fn main() {
     // Phase 2: the change order arrives. Route the remaining nets
     // incrementally; existing wiring may be moved.
     let router = MightyRouter::new(RouterConfig::default());
-    let outcome = router.route_incremental(&problem, db);
+    let outcome =
+        router.try_route_incremental(&problem, db).expect("database built for this problem");
     println!("repair complete: {}", outcome.is_complete());
     println!("work: {}", outcome.stats());
 

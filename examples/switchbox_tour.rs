@@ -31,10 +31,7 @@ fn main() {
 
         let outcome = MightyRouter::new(RouterConfig::default()).route(&problem);
         let report = verify(&problem, outcome.db());
-        assert!(
-            report.is_clean() || report.is_legal_but_incomplete(),
-            "illegal routing: {report}"
-        );
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "illegal routing: {report}");
         println!(
             "rip-up/reroute:   {}/{} nets   ({})",
             problem.nets().len() - outcome.failed().len(),

@@ -12,11 +12,9 @@ use vlsi_route::model::render_layers;
 use vlsi_route::verify::verify;
 
 fn main() {
-    let spec = ChannelSpec::new(
-        vec![1, 2, 3, 4, 5, 0, 0, 0, 0, 0],
-        vec![0, 0, 0, 0, 0, 1, 2, 3, 4, 5],
-    )
-    .expect("valid channel");
+    let spec =
+        ChannelSpec::new(vec![1, 2, 3, 4, 5, 0, 0, 0, 0, 0], vec![0, 0, 0, 0, 0, 1, 2, 3, 4, 5])
+            .expect("valid channel");
     println!("{spec}\n");
 
     let router = MightyRouter::new(RouterConfig::default());

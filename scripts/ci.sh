@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format and lint the whole workspace.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --quick    # skip the release build
+#
+# The workspace has no external dependencies, so every step runs with
+# the network off (--offline keeps cargo from even trying).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --workspace --offline
+run cargo test --workspace --offline --quiet
+if command -v rustfmt >/dev/null 2>&1; then
+  run cargo fmt --all -- --check
+else
+  echo "==> rustfmt not installed; skipping format check"
+fi
+if cargo clippy --version >/dev/null 2>&1; then
+  run cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+  echo "==> clippy not installed; skipping lint"
+fi
+if [[ "$QUICK" == 0 ]]; then
+  run cargo build --workspace --release --offline
+fi
+
+echo "ci: all checks passed"

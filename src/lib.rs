@@ -30,12 +30,12 @@
 
 #![warn(missing_docs)]
 
-pub use route_geom as geom;
-pub use route_model as model;
-pub use route_verify as verify;
-pub use route_maze as maze;
-pub use route_channel as channel;
 pub use mighty;
 pub use route_benchdata as benchdata;
-pub use route_opt as opt;
+pub use route_channel as channel;
+pub use route_geom as geom;
 pub use route_global as global;
+pub use route_maze as maze;
+pub use route_model as model;
+pub use route_opt as opt;
+pub use route_verify as verify;

@@ -49,8 +49,8 @@ fn channel_router_hierarchy_on_one_instance() {
     // One mid-size channel through all routers; verified track counts
     // must respect density and the expected quality ordering must hold
     // loosely (rip-up no worse than the classical routers).
-    let spec = ChannelGen { width: 40, nets: 16, extra_pin_pct: 30, span_window: 14, seed: 31 }
-        .build();
+    let spec =
+        ChannelGen { width: 40, nets: 16, extra_pin_pct: 30, span_window: 14, seed: 31 }.build();
     let density = spec.density() as usize;
 
     let mut results: Vec<(&str, usize)> = Vec::new();
@@ -127,7 +127,9 @@ fn incremental_repair_respects_existing_wiring() {
     for net in problem.nets().iter().take(5) {
         let _ = sequential::connect_net(&mut db, net.id, CostModel::default());
     }
-    let out = MightyRouter::new(RouterConfig::default()).route_incremental(&problem, db);
+    let out = MightyRouter::new(RouterConfig::default())
+        .try_route_incremental(&problem, db)
+        .expect("database built for this problem");
     let report = verify(&problem, out.db());
     assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
     assert!(out.is_complete(), "incremental completion failed: {:?}", out.failed());
