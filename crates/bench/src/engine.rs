@@ -2,7 +2,7 @@
 //!
 //! The driver replicates the channel suite into a fixed-size batch of
 //! grid problems, routes it through
-//! [`RouteEngine`](mighty::engine::RouteEngine) at increasing thread
+//! [`mighty::engine::RouteEngine`] at increasing thread
 //! counts, and reports instances/second per count. Checksums of every
 //! result are compared against the single-thread run, so the scaling
 //! table doubles as a determinism check.

@@ -63,6 +63,44 @@ impl Json {
         out
     }
 
+    /// Serializes the value on a single line with no insignificant
+    /// whitespace — the form line-delimited JSON (one record per line)
+    /// requires.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out).expect("writing to a String cannot fail");
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) -> fmt::Result {
+        use fmt::Write;
+        match self {
+            Json::Arr(items) => {
+                write!(out, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ",")?;
+                    }
+                    item.write_compact(out)?;
+                }
+                write!(out, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(out, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ",")?;
+                    }
+                    write_escaped(out, key)?;
+                    write!(out, ":")?;
+                    value.write_compact(out)?;
+                }
+                write!(out, "}}")
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) -> fmt::Result {
         use fmt::Write;
         let pad = "  ".repeat(indent + 1);
@@ -194,5 +232,20 @@ mod tests {
     #[test]
     fn huge_u64_degrades_to_float() {
         assert!(matches!(Json::from(u64::MAX), Json::Float(_)));
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line() {
+        let doc = Json::obj([
+            ("kind", Json::str("search_done")),
+            ("probe", Json::obj([("expanded", Json::from(12u64))])),
+            ("tags", Json::arr([Json::from(1u64), Json::from(2u64)])),
+        ]);
+        assert_eq!(
+            doc.render_compact(),
+            "{\"kind\":\"search_done\",\"probe\":{\"expanded\":12},\"tags\":[1,2]}"
+        );
+        assert_eq!(Json::arr([]).render_compact(), "[]");
+        assert_eq!(Json::obj::<String>([]).render_compact(), "{}");
     }
 }

@@ -1,0 +1,195 @@
+//! Machine-readable routing traces: [`RouteObserver`] events rendered
+//! as line-delimited JSON (one event object per line).
+//!
+//! [`TraceRecorder`] wraps an [`EventLog`] so it can be handed to any
+//! [`DetailedRouter::route_observed`](route_model::DetailedRouter::route_observed)
+//! call, then rendered with [`TraceRecorder::render`]. The free function
+//! [`trace_lines`] renders events the batch engine already collected
+//! (see `mighty::ObserveMode::Trace`).
+//!
+//! The line schema is stable: every record carries `"ev"` (the
+//! [`kind_name`](RouteEvent::kind_name)) and `"instance"`, plus the
+//! event's own payload fields with fixed names. Consumers stream one
+//! line at a time; no JSON array wraps the file.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_bench::trace::TraceRecorder;
+//! use route_model::{DetailedRouter, PinSide, ProblemBuilder};
+//! use mighty::{MightyRouter, RouterConfig};
+//!
+//! let mut b = ProblemBuilder::switchbox(8, 8);
+//! b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 5);
+//! let problem = b.build().unwrap();
+//!
+//! let mut trace = TraceRecorder::new("swbox-0");
+//! let router = MightyRouter::new(RouterConfig::default());
+//! let outcome = router.route_observed(&problem, &mut trace);
+//! assert!(outcome.is_complete());
+//! let text = trace.render();
+//! assert!(text.lines().all(|l| l.starts_with("{\"ev\":")));
+//! ```
+
+use route_model::{EventLog, NetId, RouteEvent, RouteObserver, SearchKind, SearchProbe};
+
+use crate::json::Json;
+
+/// An observer that records events and renders them as line-delimited
+/// JSON tagged with an instance label.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    instance: String,
+    log: EventLog,
+}
+
+impl TraceRecorder {
+    /// A recorder whose lines are tagged `"instance": <label>`.
+    pub fn new(instance: impl Into<String>) -> Self {
+        TraceRecorder { instance: instance.into(), log: EventLog::new() }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[RouteEvent] {
+        self.log.events()
+    }
+
+    /// The underlying log (for replay into other observers).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Renders every recorded event as one JSON line, with a trailing
+    /// newline after each record.
+    pub fn render(&self) -> String {
+        trace_lines(&self.instance, self.log.events())
+    }
+}
+
+impl RouteObserver for TraceRecorder {
+    fn on_net_scheduled(&mut self, net: NetId) {
+        self.log.on_net_scheduled(net);
+    }
+
+    fn on_search_done(&mut self, net: NetId, kind: SearchKind, probe: SearchProbe) {
+        self.log.on_search_done(net, kind, probe);
+    }
+
+    fn on_weak_modification(&mut self, net: NetId, victim: NetId) {
+        self.log.on_weak_modification(net, victim);
+    }
+
+    fn on_strong_ripup(&mut self, net: NetId, victim: NetId, rip_count: u32) {
+        self.log.on_strong_ripup(net, victim, rip_count);
+    }
+
+    fn on_penalty_escalation(&mut self, victim: NetId, penalty: u64) {
+        self.log.on_penalty_escalation(victim, penalty);
+    }
+
+    fn on_net_committed(&mut self, net: NetId) {
+        self.log.on_net_committed(net);
+    }
+
+    fn on_net_failed(&mut self, net: NetId) {
+        self.log.on_net_failed(net);
+    }
+}
+
+/// Renders `events` as line-delimited JSON, one record per line, each
+/// tagged with `instance`.
+pub fn trace_lines(instance: &str, events: &[RouteEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(instance, ev).render_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// The JSON object for one event.
+fn event_json(instance: &str, ev: &RouteEvent) -> Json {
+    let mut pairs: Vec<(String, Json)> =
+        vec![("ev".into(), Json::str(ev.kind_name())), ("instance".into(), Json::str(instance))];
+    match *ev {
+        RouteEvent::NetScheduled { net }
+        | RouteEvent::NetCommitted { net }
+        | RouteEvent::NetFailed { net } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+        }
+        RouteEvent::SearchDone { net, kind, probe } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push((
+                "kind".into(),
+                Json::str(match kind {
+                    SearchKind::Hard => "hard",
+                    SearchKind::Soft => "soft",
+                }),
+            ));
+            pairs.push(("expanded".into(), Json::from(probe.expanded)));
+            pairs.push(("relaxed".into(), Json::from(probe.relaxed)));
+            pairs.push(("heap_peak".into(), Json::from(probe.heap_peak)));
+            pairs.push(("found".into(), Json::from(probe.found)));
+        }
+        RouteEvent::WeakModification { net, victim } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+        }
+        RouteEvent::StrongRipup { net, victim, rip_count } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+            pairs.push(("rip_count".into(), Json::from(u64::from(rip_count))));
+        }
+        RouteEvent::PenaltyEscalation { victim, penalty } => {
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+            pairs.push(("penalty".into(), Json::from(penalty)));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_kind_renders_one_line() {
+        let events = [
+            RouteEvent::NetScheduled { net: NetId(0) },
+            RouteEvent::SearchDone {
+                net: NetId(0),
+                kind: SearchKind::Soft,
+                probe: SearchProbe { expanded: 7, relaxed: 20, heap_peak: 5, found: true },
+            },
+            RouteEvent::WeakModification { net: NetId(0), victim: NetId(1) },
+            RouteEvent::StrongRipup { net: NetId(0), victim: NetId(1), rip_count: 2 },
+            RouteEvent::PenaltyEscalation { victim: NetId(1), penalty: 32 },
+            RouteEvent::NetCommitted { net: NetId(0) },
+            RouteEvent::NetFailed { net: NetId(1) },
+        ];
+        let text = trace_lines("box-3", &events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, ev) in lines.iter().zip(&events) {
+            assert!(line.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind_name())), "{line}");
+            assert!(line.contains("\"instance\":\"box-3\""), "{line}");
+            assert!(!line.contains('\n'));
+        }
+        assert!(lines[1].contains("\"kind\":\"soft\""));
+        assert!(lines[1].contains("\"expanded\":7"));
+        assert!(lines[1].contains("\"found\":true"));
+        assert!(lines[3].contains("\"rip_count\":2"));
+        assert!(lines[4].contains("\"penalty\":32"));
+    }
+
+    #[test]
+    fn recorder_observes_and_renders() {
+        let mut rec = TraceRecorder::new("t");
+        rec.on_net_scheduled(NetId(4));
+        rec.on_net_committed(NetId(4));
+        assert_eq!(rec.events().len(), 2);
+        let text = rec.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"net\":4"));
+    }
+}

@@ -265,6 +265,44 @@ mod tests {
     }
 
     #[test]
+    fn adapters_emit_summary_events_through_the_trait() {
+        use route_model::EventLog;
+        let spec = primer_spec();
+        let problem = spec.to_problem(10);
+        for router in channel_routers() {
+            let mut log = EventLog::new();
+            let observed = router
+                .route_observed(&problem, &mut log)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
+            let plain = router.route(&problem).unwrap();
+            assert_eq!(
+                observed.db.checksum(),
+                plain.db.checksum(),
+                "{}: observation changed the result",
+                router.name()
+            );
+            let nets = problem.nets().len();
+            assert_eq!(log.count_kind("net_scheduled"), nets, "{}", router.name());
+            assert_eq!(log.count_kind("net_committed"), nets, "{}", router.name());
+            assert_eq!(log.count_kind("net_failed"), 0, "{}", router.name());
+        }
+    }
+
+    #[test]
+    fn swbox_adapter_emits_summary_events() {
+        use route_model::EventLog;
+        let mut b = route_model::ProblemBuilder::switchbox(8, 6);
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.net("b").pin_side(PinSide::Top, 3).pin_side(PinSide::Bottom, 3);
+        let problem = b.build().unwrap();
+        let mut log = EventLog::new();
+        let observed = SwboxRouter.route_observed(&problem, &mut log).unwrap();
+        assert_eq!(observed.db.checksum(), SwboxRouter.route(&problem).unwrap().db.checksum());
+        assert_eq!(log.count_kind("net_scheduled"), 2);
+        assert_eq!(log.count_kind("net_committed"), 2);
+    }
+
+    #[test]
     fn swbox_adapter_matches_direct_call() {
         let mut b = route_model::ProblemBuilder::switchbox(8, 6);
         b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);

@@ -98,6 +98,12 @@ pub enum Command {
         save: Option<String>,
         /// Run the cleanup pass after routing.
         optimize: bool,
+        /// Write the observer event stream (line-delimited JSON) here.
+        trace: Option<String>,
+        /// Print the observer metrics table after routing.
+        metrics: bool,
+        /// Write a machine-readable JSON report (including metrics) here.
+        json: Option<String>,
     },
     /// Route many switchbox files concurrently through the batch engine.
     Batch {
@@ -113,6 +119,10 @@ pub enum Command {
         json: Option<String>,
         /// Per-instance wall-clock budget in milliseconds.
         deadline_ms: Option<u64>,
+        /// Write every instance's event stream (line-delimited JSON) here.
+        trace: Option<String>,
+        /// Print the aggregated observer metrics table after the batch.
+        metrics: bool,
     },
     /// Route a channel file.
     Channel {
@@ -202,6 +212,9 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut svg = None;
     let mut save = None;
     let mut optimize = false;
+    let mut trace = None;
+    let mut metrics = false;
+    let mut json = None;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => {
@@ -216,6 +229,9 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
             "--svg" => svg = Some(cur.value_of("--svg")?),
             "--save" => save = Some(cur.value_of("--save")?),
             "--optimize" => optimize = true,
+            "--trace" => trace = Some(cur.value_of("--trace")?),
+            "--metrics" => metrics = true,
+            "--json" => json = Some(cur.value_of("--json")?),
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `route`")))
             }
@@ -227,7 +243,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         }
     }
     let file = file.ok_or_else(|| err("`route` needs a FILE"))?;
-    Ok(Command::Route { file, router, ascii, svg, save, optimize })
+    Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json })
 }
 
 fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -237,6 +253,8 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut jobs = 0usize;
     let mut json = None;
     let mut deadline_ms = None;
+    let mut trace = None;
+    let mut metrics = false;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => {
@@ -259,6 +277,8 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
             }
             "--list" => list = Some(cur.value_of("--list")?),
             "--json" => json = Some(cur.value_of("--json")?),
+            "--trace" => trace = Some(cur.value_of("--trace")?),
+            "--metrics" => metrics = true,
             "--deadline-ms" => {
                 deadline_ms = Some(
                     cur.value_of("--deadline-ms")?
@@ -275,7 +295,7 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if files.is_empty() && list.is_none() {
         return Err(err("`batch` needs instance FILEs or --list"));
     }
-    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms })
+    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics })
 }
 
 fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -418,6 +438,9 @@ mod tests {
                 svg: None,
                 save: None,
                 optimize: false,
+                trace: None,
+                metrics: false,
+                json: None,
             }
         );
     }
@@ -425,7 +448,11 @@ mod tests {
     #[test]
     fn route_all_flags() {
         assert_eq!(
-            parse("route box.sb --router lee --ascii --svg out.svg --optimize").unwrap(),
+            parse(
+                "route box.sb --router lee --ascii --svg out.svg --optimize \
+                 --trace ev.ldj --metrics --json rep.json"
+            )
+            .unwrap(),
             Command::Route {
                 file: "box.sb".into(),
                 router: SwitchRouterKind::Lee,
@@ -433,6 +460,9 @@ mod tests {
                 svg: Some("out.svg".into()),
                 save: None,
                 optimize: true,
+                trace: Some("ev.ldj".into()),
+                metrics: true,
+                json: Some("rep.json".into()),
             }
         );
     }
@@ -440,7 +470,7 @@ mod tests {
     #[test]
     fn batch_flags() {
         assert_eq!(
-            parse("batch a.sb b.sb --jobs 8 --json out.json").unwrap(),
+            parse("batch a.sb b.sb --jobs 8 --json out.json --metrics").unwrap(),
             Command::Batch {
                 files: vec!["a.sb".into(), "b.sb".into()],
                 list: None,
@@ -448,10 +478,12 @@ mod tests {
                 jobs: 8,
                 json: Some("out.json".into()),
                 deadline_ms: None,
+                trace: None,
+                metrics: true,
             }
         );
         assert_eq!(
-            parse("batch --list all.txt --router lee --deadline-ms 500").unwrap(),
+            parse("batch --list all.txt --router lee --deadline-ms 500 --trace ev.ldj").unwrap(),
             Command::Batch {
                 files: vec![],
                 list: Some("all.txt".into()),
@@ -459,6 +491,8 @@ mod tests {
                 jobs: 0,
                 json: None,
                 deadline_ms: Some(500),
+                trace: Some("ev.ldj".into()),
+                metrics: false,
             }
         );
         assert!(parse("batch").unwrap_err().to_string().contains("--list"));

@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! vroute route  FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+//!               [--metrics] [--trace OUT] [--json OUT]
 //! vroute batch  FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
+//!               [--metrics] [--trace OUT]
 //! vroute check  FILE ROUTES [--svg OUT]
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -32,7 +34,9 @@ vroute — two-layer detailed router
 
 USAGE:
   vroute route FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
+               [--metrics] [--trace OUT] [--json OUT]
   vroute batch FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
+               [--metrics] [--trace OUT]
   vroute check FILE ROUTES [--svg OUT]
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -50,8 +54,10 @@ OPTIONS:
                   lee|lea|dogleg|greedy|yacr|swbox)
   --jobs N        Batch worker threads (default 0 = one per hardware thread)
   --list LIST     File with one instance path per line (# comments allowed)
-  --json OUT      Write a machine-readable batch report to OUT
+  --json OUT      Write a machine-readable report (including metrics) to OUT
   --deadline-ms MS  Disqualify instances that take longer than MS
+  --metrics       Print the observer metrics table (nets, searches, rip-ups)
+  --trace OUT     Write the observer event stream as line-delimited JSON to OUT
   --ascii         Print the routed layout as ASCII art
   --svg OUT       Write the routed layout as SVG to OUT
   --save OUT      Write the routed traces to OUT (reload with `check`)

@@ -3,14 +3,17 @@
 use std::error::Error;
 use std::fmt;
 
-use mighty::engine::{EngineConfig, RouteEngine};
+use mighty::engine::{EngineConfig, ObserveMode, RouteEngine};
 use mighty::{MightyRouter, RouterConfig};
 use route_bench::json::Json;
+use route_bench::trace::trace_lines;
 use route_benchdata::format::{self, ParseError};
 use route_benchdata::gen::{ChannelGen, SwitchboxGen};
 use route_channel::{dogleg, greedy, lea, yacr, RouteError};
 use route_maze::{sequential, CostModel, LeeRouter};
-use route_model::{render_layers, render_svg, DetailedRouter, RouteDb};
+use route_model::{
+    render_layers, render_svg, DetailedRouter, EventLog, MetricsRecorder, RouteDb, RouteObserver,
+};
 use route_opt::{cleanup, OptimizeConfig};
 use route_verify::verify;
 
@@ -116,21 +119,35 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             write!(out, "{text}").expect("writing instance");
             Ok(true)
         }
-        Command::Route { file, router, ascii, svg, save, optimize } => {
+        Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json } => {
             let text =
                 std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
             let problem = format::parse_problem(&text)?;
+            // Observation is strictly additive: routed databases are
+            // bit-identical with and without a log attached, so the
+            // unobserved fast path stays untouched unless asked for.
+            let observing = *metrics || trace.is_some() || json.is_some();
+            let mut log = EventLog::new();
             let mut db: RouteDb;
             let complete = match router {
                 SwitchRouterKind::Ripup => {
-                    let outcome = MightyRouter::new(RouterConfig::default()).route(&problem);
+                    let router = MightyRouter::new(RouterConfig::default());
+                    let outcome = if observing {
+                        router.route_observed(&problem, &mut log)
+                    } else {
+                        router.route(&problem)
+                    };
                     let complete = outcome.is_complete();
                     writeln!(out, "router: rip-up/reroute ({})", outcome.stats()).expect("writing");
                     db = outcome.into_db();
                     complete
                 }
                 SwitchRouterKind::Lee => {
-                    let outcome = sequential::route_all(&problem, CostModel::default());
+                    let outcome = if observing {
+                        sequential::route_all_observed(&problem, CostModel::default(), &mut log)
+                    } else {
+                        sequential::route_all(&problem, CostModel::default())
+                    };
                     let complete = outcome.is_complete();
                     writeln!(out, "router: sequential lee").expect("writing");
                     db = outcome.db;
@@ -141,6 +158,21 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                         &problem,
                         &route_global::GlobalConfig::default(),
                     );
+                    if observing {
+                        // The hierarchical pipeline is not observed
+                        // internally; synthesize the per-net summary
+                        // events so traces stay schema-uniform.
+                        for net in problem.nets() {
+                            log.on_net_scheduled(net.id);
+                        }
+                        for net in problem.nets() {
+                            if outcome.failed().contains(&net.id) {
+                                log.on_net_failed(net.id);
+                            } else {
+                                log.on_net_committed(net.id);
+                            }
+                        }
+                    }
                     let complete = outcome.is_complete();
                     writeln!(out, "router: hierarchical ({:?})", outcome.stats()).expect("writing");
                     db = outcome.into_db();
@@ -181,9 +213,38 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
                 writeln!(out, "routes written to {path}").expect("writing");
             }
+            let mut rec = MetricsRecorder::new();
+            log.replay(&mut rec);
+            if *metrics {
+                writeln!(out, "metrics:").expect("writing");
+                write!(out, "{}", rec.table()).expect("writing");
+            }
+            if let Some(path) = trace {
+                std::fs::write(path, trace_lines(file, log.events()))
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "trace written to {path} ({} events)", log.events().len())
+                    .expect("writing");
+            }
+            if let Some(path) = json {
+                let stats = db.stats();
+                let doc = Json::obj([
+                    ("command", Json::str("route")),
+                    ("file", Json::str(file.as_str())),
+                    ("router", Json::str(switch_router_name(*router))),
+                    ("complete", Json::from(complete)),
+                    ("clean", Json::from(report.is_clean())),
+                    ("wire", Json::from(stats.wirelength)),
+                    ("vias", Json::from(stats.vias)),
+                    ("checksum", Json::str(format!("{:016x}", db.checksum()))),
+                    ("metrics", metrics_json(&rec)),
+                ]);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "json written to {path}").expect("writing");
+            }
             Ok(complete)
         }
-        Command::Batch { files, list, router, jobs, json, deadline_ms } => {
+        Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics } => {
             let mut paths: Vec<String> = files.clone();
             if let Some(listfile) = list {
                 let text = std::fs::read_to_string(listfile)
@@ -202,9 +263,17 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 problems.push(format::parse_problem(&text)?);
             }
             let algorithm = batch_router(*router);
+            let observe = if trace.is_some() {
+                ObserveMode::Trace
+            } else if *metrics {
+                ObserveMode::Metrics
+            } else {
+                ObserveMode::Off
+            };
             let engine = RouteEngine::new(EngineConfig {
                 jobs: *jobs,
                 deadline: deadline_ms.map(std::time::Duration::from_millis),
+                observe,
             });
             let batch = engine.route_batch(algorithm.as_ref(), &problems);
             writeln!(
@@ -275,8 +344,24 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             )
             .expect("writing");
             writeln!(out, "digest: {digest:016x}").expect("writing");
+            if let Some(obs) = &batch.observation {
+                if *metrics {
+                    writeln!(out, "metrics:").expect("writing");
+                    write!(out, "{}", obs.metrics.table()).expect("writing");
+                    writeln!(out, "  {:<22} {}", "latency/ms", obs.latency).expect("writing");
+                }
+                if let Some(path) = trace {
+                    let mut text = String::new();
+                    for (instance, events) in paths.iter().zip(&obs.events) {
+                        text.push_str(&trace_lines(instance, events));
+                    }
+                    std::fs::write(path, text).map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                    let total: usize = obs.events.iter().map(Vec::len).sum();
+                    writeln!(out, "trace written to {path} ({total} events)").expect("writing");
+                }
+            }
             if let Some(path) = json {
-                let doc = Json::obj([
+                let mut pairs = vec![
                     ("command", Json::str("batch")),
                     ("router", Json::str(algorithm.name())),
                     ("jobs", Json::from(s.jobs)),
@@ -298,7 +383,11 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                             ("throughput_per_sec", Json::from(throughput)),
                         ]),
                     ),
-                ]);
+                ];
+                if let Some(obs) = &batch.observation {
+                    pairs.push(("metrics", metrics_json(&obs.metrics)));
+                }
+                let doc = Json::obj(pairs);
                 std::fs::write(path, doc.render())
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
                 writeln!(out, "json written to {path}").expect("writing");
@@ -398,6 +487,37 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             Ok(true)
         }
     }
+}
+
+/// The name used for a switchbox router choice in reports.
+fn switch_router_name(kind: SwitchRouterKind) -> &'static str {
+    match kind {
+        SwitchRouterKind::Ripup => "ripup",
+        SwitchRouterKind::Lee => "lee",
+        SwitchRouterKind::Tiled => "tiled",
+    }
+}
+
+/// The JSON object for a metrics recorder, mirroring
+/// [`MetricsRecorder::table`] with machine-friendly keys.
+fn metrics_json(m: &MetricsRecorder) -> Json {
+    let r = m.router();
+    let e = m.expansion();
+    Json::obj([
+        ("nets_scheduled", Json::from(m.nets_scheduled())),
+        ("nets_committed", Json::from(m.nets_committed())),
+        ("nets_failed", Json::from(m.nets_failed())),
+        ("hard_searches_won", Json::from(r.hard_routes)),
+        ("soft_searches_won", Json::from(r.soft_routes)),
+        ("weak_modifications", Json::from(r.weak_pushes)),
+        ("strong_ripups", Json::from(r.rips)),
+        ("penalty_escalations", Json::from(m.escalations())),
+        ("max_penalty", Json::from(m.max_penalty())),
+        ("expanded", Json::from(r.expanded)),
+        ("searches", Json::from(e.count())),
+        ("expanded_per_search_mean", Json::from(e.mean())),
+        ("expanded_max", Json::from(e.max())),
+    ])
 }
 
 /// The unified trait object for a batch router choice.
@@ -622,6 +742,131 @@ mod tests {
         let (out, ok) = run(&format!("batch {} --router lea", plain.display()));
         assert!(!ok.unwrap(), "{out}");
         assert!(out.contains("error: unsupported"), "{out}");
+    }
+
+    #[test]
+    fn route_metrics_trace_and_json() {
+        let dir = std::env::temp_dir().join("vroute-test-observe");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let trace = dir.join("box.ldj");
+        let report = dir.join("box.json");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&sb, instance).unwrap();
+
+        let (out, ok) = run(&format!(
+            "route {} --metrics --trace {} --json {}",
+            sb.display(),
+            trace.display(),
+            report.display()
+        ));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("nets committed"), "{out}");
+        assert!(out.contains("trace written"), "{out}");
+
+        let lines = std::fs::read_to_string(&trace).unwrap();
+        assert!(lines.lines().count() >= 5 * 2, "scheduled + terminal per net:\n{lines}");
+        assert!(lines.lines().all(|l| l.starts_with("{\"ev\":")), "{lines}");
+        assert!(lines.contains("\"ev\":\"net_committed\""), "{lines}");
+
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"nets_committed\": 5"), "{text}");
+        assert!(text.contains("\"expanded\""), "{text}");
+        assert!(text.contains("\"checksum\""), "{text}");
+    }
+
+    #[test]
+    fn observed_route_matches_unobserved_checksum() {
+        let dir = std::env::temp_dir().join("vroute-test-observe-eq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let routes = dir.join("plain.routes");
+        let routes_obs = dir.join("observed.routes");
+        let (instance, _) = run("gen switchbox --width 12 --height 10 --nets 7 --seed 9");
+        std::fs::write(&sb, instance).unwrap();
+
+        let (_, ok) = run(&format!("route {} --save {}", sb.display(), routes.display()));
+        assert!(ok.unwrap());
+        let (_, ok) =
+            run(&format!("route {} --metrics --save {}", sb.display(), routes_obs.display()));
+        assert!(ok.unwrap());
+        assert_eq!(
+            std::fs::read_to_string(&routes).unwrap(),
+            std::fs::read_to_string(&routes_obs).unwrap(),
+            "observation must not change the routing"
+        );
+    }
+
+    #[test]
+    fn tiled_route_synthesizes_summary_trace() {
+        let dir = std::env::temp_dir().join("vroute-test-observe-tiled");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("big.sb");
+        let trace = dir.join("big.ldj");
+        let (instance, _) = run("gen switchbox --width 40 --height 40 --nets 16 --seed 2");
+        std::fs::write(&sb, instance).unwrap();
+        let (out, ok) =
+            run(&format!("route {} --router tiled --trace {}", sb.display(), trace.display()));
+        assert!(ok.unwrap(), "{out}");
+        let lines = std::fs::read_to_string(&trace).unwrap();
+        assert_eq!(
+            lines.matches("\"ev\":\"net_scheduled\"").count(),
+            16,
+            "one scheduled event per net:\n{lines}"
+        );
+        assert_eq!(lines.matches("\"ev\":\"net_committed\"").count(), 16, "{lines}");
+    }
+
+    #[test]
+    fn batch_metrics_and_trace() {
+        let dir = std::env::temp_dir().join("vroute-test-batch-observe");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = String::new();
+        for seed in 0..4 {
+            let (instance, _) =
+                run(&format!("gen switchbox --width 10 --height 8 --nets 5 --seed {seed}"));
+            let path = dir.join(format!("m{seed}.sb"));
+            std::fs::write(&path, instance).unwrap();
+            files.push_str(&format!("{} ", path.display()));
+        }
+        let trace = dir.join("batch.ldj");
+        let report = dir.join("batch.json");
+        let (out, ok) = run(&format!(
+            "batch {files} --metrics --trace {} --json {}",
+            trace.display(),
+            report.display()
+        ));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("nets scheduled"), "{out}");
+        assert!(out.contains("latency/ms"), "{out}");
+
+        // Every instance's events land in the trace, tagged by path.
+        let lines = std::fs::read_to_string(&trace).unwrap();
+        for seed in 0..4 {
+            assert!(lines.contains(&format!("m{seed}.sb")), "{lines}");
+        }
+        // The JSON report carries observer-sourced counters.
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"metrics\""), "{text}");
+        assert!(text.contains("\"nets_committed\": 20"), "{text}");
+        assert!(text.contains("\"weak_modifications\""), "{text}");
+        assert!(text.contains("\"strong_ripups\""), "{text}");
+    }
+
+    #[test]
+    fn batch_observation_keeps_the_digest() {
+        let dir = std::env::temp_dir().join("vroute-test-batch-observe-eq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (instance, _) = run("gen switchbox --width 12 --height 10 --nets 6 --seed 7");
+        let sb = dir.join("box.sb");
+        std::fs::write(&sb, instance).unwrap();
+        let (plain, ok) = run(&format!("batch {}", sb.display()));
+        assert!(ok.unwrap(), "{plain}");
+        let (observed, ok) = run(&format!("batch {} --metrics", sb.display()));
+        assert!(ok.unwrap(), "{observed}");
+        assert_eq!(digest_of(&plain), digest_of(&observed));
     }
 
     #[test]

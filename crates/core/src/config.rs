@@ -1,3 +1,6 @@
+use std::error::Error;
+use std::fmt;
+
 use route_maze::CostModel;
 
 /// Order in which nets are first attempted.
@@ -39,18 +42,26 @@ pub enum PenaltyGrowth {
 
 /// Tuning parameters of the [`MightyRouter`](crate::MightyRouter).
 ///
+/// Prefer [`RouterConfig::builder`] over filling fields directly: the
+/// builder rejects configurations that would silently misbehave (a zero
+/// attempt budget, a zero base penalty, an inverted penalty schedule),
+/// while struct-literal construction accepts anything. Direct field
+/// mutation remains available for ablation sweeps but is considered a
+/// legacy interface and may lose fields to the builder in a future
+/// revision.
+///
 /// # Examples
 ///
 /// ```
 /// use mighty::{RouterConfig, NetOrder};
 ///
 /// // An ablation configuration: strong modification only.
-/// let cfg = RouterConfig {
-///     weak: false,
-///     order: NetOrder::LongFirst,
-///     ..RouterConfig::default()
-/// };
+/// let cfg = RouterConfig::builder()
+///     .weak(false)
+///     .order(NetOrder::LongFirst)
+///     .build()?;
 /// assert!(cfg.strong);
+/// # Ok::<(), mighty::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterConfig {
@@ -93,6 +104,13 @@ impl RouterConfig {
     pub fn no_modification() -> Self {
         RouterConfig { weak: false, strong: false, ..RouterConfig::default() }
     }
+
+    /// Starts a validating [`RouterConfigBuilder`] seeded with the
+    /// defaults. See the type-level docs for why this is preferred over
+    /// struct-literal construction.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder::default()
+    }
 }
 
 impl Default for RouterConfig {
@@ -108,6 +126,185 @@ impl Default for RouterConfig {
             max_events: 0,
             order: NetOrder::ShortFirst,
         }
+    }
+}
+
+/// A [`RouterConfig`] that failed validation in
+/// [`RouterConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_attempts` was zero: every net would fail before its first
+    /// search.
+    ZeroAttemptBudget,
+    /// `base_penalty` was zero: interference would be free, rip counts
+    /// would never raise crossing costs, and termination would rest on
+    /// the event budget alone.
+    ZeroBasePenalty,
+    /// `max_penalty_doublings` exceeded 63: the geometric schedule's
+    /// shift would overflow `u64`.
+    DoublingsOverflow {
+        /// The requested exponent cap.
+        doublings: u32,
+    },
+    /// A penalty schedule whose ceiling is below its initial value —
+    /// penalties must be monotone in the rip count.
+    InvertedPenaltySchedule {
+        /// Penalty of a never-ripped net.
+        initial: u64,
+        /// The requested ceiling, which was smaller.
+        ceiling: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroAttemptBudget => {
+                write!(f, "max_attempts must be at least 1")
+            }
+            ConfigError::ZeroBasePenalty => {
+                write!(f, "base_penalty must be at least 1")
+            }
+            ConfigError::DoublingsOverflow { doublings } => {
+                write!(f, "max_penalty_doublings {doublings} would overflow u64 (cap is 63)")
+            }
+            ConfigError::InvertedPenaltySchedule { initial, ceiling } => {
+                write!(
+                    f,
+                    "inverted penalty schedule: ceiling {ceiling} is below initial penalty {initial}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Validating builder for [`RouterConfig`] — the supported construction
+/// path. Obtained from [`RouterConfig::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use mighty::{ConfigError, RouterConfig};
+///
+/// let cfg = RouterConfig::builder().base_penalty(4).max_attempts(20).build()?;
+/// assert_eq!(cfg.base_penalty, 4);
+///
+/// // Invalid combinations are rejected instead of misbehaving at
+/// // routing time:
+/// assert_eq!(
+///     RouterConfig::builder().max_attempts(0).build(),
+///     Err(ConfigError::ZeroAttemptBudget),
+/// );
+/// # Ok::<(), ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfigBuilder {
+    cfg: RouterConfig,
+    penalty_ceiling: Option<u64>,
+}
+
+impl RouterConfigBuilder {
+    /// Sets the path-search cost weights.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Enables or disables weak modification.
+    pub fn weak(mut self, weak: bool) -> Self {
+        self.cfg.weak = weak;
+        self
+    }
+
+    /// Enables or disables strong modification.
+    pub fn strong(mut self, strong: bool) -> Self {
+        self.cfg.strong = strong;
+        self
+    }
+
+    /// Sets the crossing penalty for a never-ripped net's slot.
+    pub fn base_penalty(mut self, penalty: u64) -> Self {
+        self.cfg.base_penalty = penalty;
+        self
+    }
+
+    /// Sets the escalation schedule of the crossing penalty.
+    pub fn penalty_growth(mut self, growth: PenaltyGrowth) -> Self {
+        self.cfg.penalty_growth = growth;
+        self
+    }
+
+    /// Sets the cap on the escalation exponent directly.
+    pub fn max_penalty_doublings(mut self, doublings: u32) -> Self {
+        self.cfg.max_penalty_doublings = doublings;
+        self.penalty_ceiling = None;
+        self
+    }
+
+    /// Describes the penalty schedule by its endpoints: `initial` is the
+    /// crossing penalty of a never-ripped net, `ceiling` the value the
+    /// schedule is allowed to saturate at. The exponent cap is derived
+    /// from the ratio. A `ceiling` below `initial` is an inverted
+    /// schedule and rejected by [`build`](RouterConfigBuilder::build).
+    pub fn penalty_bounds(mut self, initial: u64, ceiling: u64) -> Self {
+        self.cfg.base_penalty = initial;
+        self.penalty_ceiling = Some(ceiling);
+        self
+    }
+
+    /// Sets the attempts allowed per net before it is declared failed.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.cfg.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the global queue-event cap (`0` = `64 x nets`).
+    pub fn max_events(mut self, events: usize) -> Self {
+        self.cfg.max_events = events;
+        self
+    }
+
+    /// Sets the initial net order.
+    pub fn order(mut self, order: NetOrder) -> Self {
+        self.cfg.order = order;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for a zero attempt budget, a zero base
+    /// penalty, an exponent cap that would overflow `u64`, or an
+    /// inverted [`penalty_bounds`](RouterConfigBuilder::penalty_bounds)
+    /// schedule.
+    pub fn build(self) -> Result<RouterConfig, ConfigError> {
+        let mut cfg = self.cfg;
+        if cfg.max_attempts == 0 {
+            return Err(ConfigError::ZeroAttemptBudget);
+        }
+        if cfg.base_penalty == 0 {
+            return Err(ConfigError::ZeroBasePenalty);
+        }
+        if let Some(ceiling) = self.penalty_ceiling {
+            if ceiling < cfg.base_penalty {
+                return Err(ConfigError::InvertedPenaltySchedule {
+                    initial: cfg.base_penalty,
+                    ceiling,
+                });
+            }
+            // Smallest exponent cap whose saturated geometric penalty
+            // stays within the ceiling (at least one doubling short of
+            // overflow).
+            let ratio = ceiling / cfg.base_penalty;
+            cfg.max_penalty_doublings = 63 - ratio.leading_zeros();
+        }
+        if cfg.max_penalty_doublings > 63 {
+            return Err(ConfigError::DoublingsOverflow { doublings: cfg.max_penalty_doublings });
+        }
+        Ok(cfg)
     }
 }
 
@@ -150,5 +347,65 @@ mod tests {
     fn no_modification_control() {
         let cfg = RouterConfig::no_modification();
         assert!(!cfg.weak && !cfg.strong);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(RouterConfig::builder().build().unwrap(), RouterConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_budgets() {
+        assert_eq!(
+            RouterConfig::builder().max_attempts(0).build(),
+            Err(ConfigError::ZeroAttemptBudget)
+        );
+        assert_eq!(
+            RouterConfig::builder().base_penalty(0).build(),
+            Err(ConfigError::ZeroBasePenalty)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_shift_overflow() {
+        assert_eq!(
+            RouterConfig::builder().max_penalty_doublings(64).build(),
+            Err(ConfigError::DoublingsOverflow { doublings: 64 })
+        );
+        assert!(RouterConfig::builder().max_penalty_doublings(63).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_inverted_penalty_schedule() {
+        assert_eq!(
+            RouterConfig::builder().penalty_bounds(16, 4).build(),
+            Err(ConfigError::InvertedPenaltySchedule { initial: 16, ceiling: 4 })
+        );
+    }
+
+    #[test]
+    fn penalty_bounds_derives_exponent_cap() {
+        let cfg = RouterConfig::builder().penalty_bounds(4, 1024).build().unwrap();
+        assert_eq!(cfg.base_penalty, 4);
+        // 1024 / 4 = 256 = 2^8 doublings.
+        assert_eq!(cfg.max_penalty_doublings, 8);
+        assert_eq!(cfg.penalty(100), 1024);
+
+        // Equal endpoints: a flat (but legal) schedule.
+        let flat = RouterConfig::builder().penalty_bounds(8, 8).build().unwrap();
+        assert_eq!(flat.max_penalty_doublings, 0);
+        assert_eq!(flat.penalty(50), 8);
+    }
+
+    #[test]
+    fn config_errors_render() {
+        for e in [
+            ConfigError::ZeroAttemptBudget,
+            ConfigError::ZeroBasePenalty,
+            ConfigError::DoublingsOverflow { doublings: 64 },
+            ConfigError::InvertedPenaltySchedule { initial: 9, ceiling: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

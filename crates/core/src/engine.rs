@@ -48,12 +48,33 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use route_model::{DetailedRouter, Problem, RouteError, RouteResult};
+use route_model::{
+    DetailedRouter, EventLog, Histogram, MetricsRecorder, Problem, RouteError, RouteEvent,
+    RouteResult, RouterStats,
+};
+
+/// How much the engine observes of each instance's routing run.
+///
+/// Observation is strictly additive: the routed databases are
+/// bit-identical across modes (the [`route_model::RouteObserver`]
+/// contract); only the reporting changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ObserveMode {
+    /// No observers attached — the zero-cost default.
+    #[default]
+    Off,
+    /// One [`MetricsRecorder`] per instance, merged into
+    /// [`BatchOutcome::observation`] and [`EngineStats::router`].
+    Metrics,
+    /// One [`EventLog`] per instance: full event sequences are kept
+    /// (in input order) *and* folded into the same aggregate metrics.
+    Trace,
+}
 
 /// Knobs for [`RouteEngine`].
 ///
-/// The default is `0` jobs (one worker per available hardware thread)
-/// and no deadline.
+/// The default is `0` jobs (one worker per available hardware thread),
+/// no deadline, and observation off.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads. `0` means one per available hardware thread.
@@ -62,6 +83,8 @@ pub struct EngineConfig {
     /// deadline is replaced by [`RouteError::DeadlineExceeded`]; errors
     /// keep their original diagnosis. `None` disables the check.
     pub deadline: Option<Duration>,
+    /// Per-instance observation attached by the workers.
+    pub observe: ObserveMode,
 }
 
 /// Aggregate accounting for one [`RouteEngine::route_batch`] call.
@@ -95,6 +118,27 @@ pub struct EngineStats {
     pub max_instance_ms: u64,
     /// Worker threads actually used.
     pub jobs: usize,
+    /// Router work counters summed over all observed instances.
+    /// Stays at zero when [`EngineConfig::observe`] is
+    /// [`ObserveMode::Off`] — observation is what sources it.
+    pub router: RouterStats,
+}
+
+/// Per-batch observation data, present when [`EngineConfig::observe`]
+/// is not [`ObserveMode::Off`].
+///
+/// Instances that panicked contribute nothing (their observer died with
+/// the worker closure); timed-out instances still contribute — the work
+/// was done, even if the result was disqualified.
+#[derive(Debug, Clone)]
+pub struct BatchObservation {
+    /// Every instance's recorder merged into one.
+    pub metrics: MetricsRecorder,
+    /// Per-instance routing latency, in milliseconds.
+    pub latency: Histogram,
+    /// Per-instance event sequences, in input order ([`ObserveMode::Trace`]
+    /// only — empty otherwise; a panicked instance leaves an empty slot).
+    pub events: Vec<Vec<RouteEvent>>,
 }
 
 /// What [`RouteEngine::route_batch`] returns.
@@ -107,6 +151,9 @@ pub struct BatchOutcome {
     pub timings: Vec<Duration>,
     /// Aggregate accounting.
     pub stats: EngineStats,
+    /// Merged per-instance observation; `None` when
+    /// [`EngineConfig::observe`] is [`ObserveMode::Off`].
+    pub observation: Option<BatchObservation>,
 }
 
 /// Routes batches of problems concurrently through any
@@ -150,9 +197,10 @@ impl RouteEngine {
         let n = problems.len();
         let jobs = self.jobs().min(n).max(1);
         let deadline = self.config.deadline;
+        let observe = self.config.observe;
 
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Duration, RouteResult)>();
+        let (tx, rx) = mpsc::channel::<(usize, Duration, RouteResult, Observed)>();
         thread::scope(|s| {
             for _ in 0..jobs {
                 let tx = tx.clone();
@@ -163,10 +211,25 @@ impl RouteEngine {
                         break;
                     }
                     let t0 = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| router.route(&problems[i])))
-                        .unwrap_or_else(|payload| {
-                            Err(RouteError::Panicked { message: panic_text(payload.as_ref()) })
-                        });
+                    let (result, observed) = catch_unwind(AssertUnwindSafe(|| match observe {
+                        ObserveMode::Off => (router.route(&problems[i]), Observed::None),
+                        ObserveMode::Metrics => {
+                            let mut rec = Box::new(MetricsRecorder::new());
+                            let r = router.route_observed(&problems[i], rec.as_mut());
+                            (r, Observed::Metrics(rec))
+                        }
+                        ObserveMode::Trace => {
+                            let mut log = EventLog::new();
+                            let r = router.route_observed(&problems[i], &mut log);
+                            (r, Observed::Events(log.into_events()))
+                        }
+                    }))
+                    .unwrap_or_else(|payload| {
+                        (
+                            Err(RouteError::Panicked { message: panic_text(payload.as_ref()) }),
+                            Observed::None,
+                        )
+                    });
                     let took = t0.elapsed();
                     let result = match (deadline, result) {
                         (Some(budget), Ok(_)) if took > budget => {
@@ -177,7 +240,7 @@ impl RouteEngine {
                         }
                         (_, r) => r,
                     };
-                    if tx.send((i, took, result)).is_err() {
+                    if tx.send((i, took, result, observed)).is_err() {
                         break;
                     }
                 });
@@ -186,9 +249,11 @@ impl RouteEngine {
         });
 
         let mut slots: Vec<Option<RouteResult>> = (0..n).map(|_| None).collect();
+        let mut observed_slots: Vec<Observed> = (0..n).map(|_| Observed::None).collect();
         let mut timings = vec![Duration::ZERO; n];
-        for (i, took, result) in rx {
+        for (i, took, result, observed) in rx {
             slots[i] = Some(result);
+            observed_slots[i] = observed;
             timings[i] = took;
         }
         let results: Vec<RouteResult> = slots
@@ -224,8 +289,48 @@ impl RouteEngine {
             }
         }
 
-        BatchOutcome { results, timings, stats }
+        // Merge per-instance observation in input order — deterministic
+        // regardless of worker count or completion order.
+        let observation = if observe == ObserveMode::Off {
+            None
+        } else {
+            let mut metrics = MetricsRecorder::new();
+            let mut latency = Histogram::new();
+            let mut events: Vec<Vec<RouteEvent>> = Vec::new();
+            for (observed, took) in observed_slots.into_iter().zip(&timings) {
+                latency.record(took.as_millis() as u64);
+                match observed {
+                    Observed::None => {
+                        if observe == ObserveMode::Trace {
+                            events.push(Vec::new());
+                        }
+                    }
+                    Observed::Metrics(rec) => metrics.merge(&rec),
+                    Observed::Events(instance_events) => {
+                        let mut rec = MetricsRecorder::new();
+                        for e in &instance_events {
+                            e.replay(&mut rec);
+                        }
+                        metrics.merge(&rec);
+                        events.push(instance_events);
+                    }
+                }
+            }
+            stats.router = *metrics.router();
+            Some(BatchObservation { metrics, latency, events })
+        };
+
+        BatchOutcome { results, timings, stats, observation }
     }
+}
+
+/// Per-instance observation payload shipped back from a worker. The
+/// recorder is boxed: it holds inline histograms, and the enum would
+/// otherwise be recorder-sized in every slot.
+enum Observed {
+    None,
+    Metrics(Box<MetricsRecorder>),
+    Events(Vec<RouteEvent>),
 }
 
 /// Extracts a human-readable message from a panic payload.

@@ -50,9 +50,12 @@ mod config;
 pub mod engine;
 mod net_graph;
 mod router;
-mod stats;
 
-pub use config::{NetOrder, PenaltyGrowth, RouterConfig};
-pub use engine::{BatchOutcome, EngineConfig, EngineStats, RouteEngine};
+pub use config::{ConfigError, NetOrder, PenaltyGrowth, RouterConfig, RouterConfigBuilder};
+pub use engine::{
+    BatchObservation, BatchOutcome, EngineConfig, EngineStats, ObserveMode, RouteEngine,
+};
+/// Work-accounting counters, re-exported from [`route_model`] — the
+/// router fills them and the engine/bench tables consume them.
+pub use route_model::RouterStats;
 pub use router::{MightyRouter, RouteOutcome};
-pub use stats::RouterStats;

@@ -1,8 +1,10 @@
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 use route_geom::{Layer, Point, Rect};
-use route_maze::search::{find_path_soft_with, find_path_with, Query, SearchArena};
-use route_model::{NetId, Problem, RouteDb, RouteError, Step, Trace, TraceId};
+use route_maze::search::{find_path_observed, find_path_soft_observed, Query, SearchArena};
+use route_model::{
+    NetId, NopObserver, Problem, RouteDb, RouteError, RouteObserver, Step, Trace, TraceId,
+};
 
 use crate::net_graph::{is_connected, pin_components};
 use crate::{NetOrder, RouterConfig, RouterStats};
@@ -71,7 +73,21 @@ impl MightyRouter {
 
     /// Routes every net of `problem` from scratch.
     pub fn route(&self, problem: &Problem) -> RouteOutcome {
-        self.try_route_incremental(problem, RouteDb::new(problem))
+        self.route_observed(problem, &mut NopObserver)
+    }
+
+    /// Like [`route`](MightyRouter::route), but streams the full
+    /// [`RouteObserver`] event vocabulary — scheduling, every hard and
+    /// soft search (with effort counters), weak modifications, strong
+    /// rip-ups with their penalty escalations, and terminal per-net
+    /// outcomes. Observation never changes the result: the returned
+    /// database is bit-identical to the unobserved run's.
+    pub fn route_observed(
+        &self,
+        problem: &Problem,
+        observer: &mut dyn RouteObserver,
+    ) -> RouteOutcome {
+        self.try_route_incremental_observed(problem, RouteDb::new(problem), observer)
             .expect("a fresh database always matches its problem")
     }
 
@@ -107,13 +123,30 @@ impl MightyRouter {
         problem: &Problem,
         db: RouteDb,
     ) -> Result<RouteOutcome, RouteError> {
+        self.try_route_incremental_observed(problem, db, &mut NopObserver)
+    }
+
+    /// Like [`try_route_incremental`](MightyRouter::try_route_incremental),
+    /// but streams [`RouteObserver`] events (see
+    /// [`route_observed`](MightyRouter::route_observed)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DbMismatch`] when `db` was not created for
+    /// `problem` (net counts differ).
+    pub fn try_route_incremental_observed(
+        &self,
+        problem: &Problem,
+        db: RouteDb,
+        observer: &mut dyn RouteObserver,
+    ) -> Result<RouteOutcome, RouteError> {
         if db.net_count() != problem.nets().len() {
             return Err(RouteError::DbMismatch {
                 expected: problem.nets().len(),
                 found: db.net_count(),
             });
         }
-        let mut run = Run::new(&self.cfg, problem, db);
+        let mut run = Run::new(&self.cfg, problem, db, observer);
         run.execute();
         // The outcome is the best configuration the run ever reached:
         // modification is speculative, so a late cascade of rips must not
@@ -140,6 +173,15 @@ impl route_model::DetailedRouter for MightyRouter {
         let out = MightyRouter::route(self, problem);
         Ok(route_model::Routing { db: out.db, failed: out.failed })
     }
+
+    fn route_observed(
+        &self,
+        problem: &Problem,
+        observer: &mut dyn RouteObserver,
+    ) -> route_model::RouteResult {
+        let out = MightyRouter::route_observed(self, problem, observer);
+        Ok(route_model::Routing { db: out.db, failed: out.failed })
+    }
 }
 
 struct Run<'a> {
@@ -161,10 +203,17 @@ struct Run<'a> {
     /// Scratch buffers shared by every search of the run.
     arena: SearchArena,
     stats: RouterStats,
+    /// Event sink; a [`NopObserver`] on unobserved runs.
+    obs: &'a mut dyn RouteObserver,
 }
 
 impl<'a> Run<'a> {
-    fn new(cfg: &'a RouterConfig, problem: &'a Problem, db: RouteDb) -> Self {
+    fn new(
+        cfg: &'a RouterConfig,
+        problem: &'a Problem,
+        db: RouteDb,
+        obs: &'a mut dyn RouteObserver,
+    ) -> Self {
         let n = problem.nets().len();
         let pin_slots = problem
             .nets()
@@ -233,6 +282,7 @@ impl<'a> Run<'a> {
             best: None,
             arena: SearchArena::new(),
             stats: RouterStats::default(),
+            obs,
         }
     }
 
@@ -278,6 +328,7 @@ impl<'a> Run<'a> {
     fn fail(&mut self, net: NetId) {
         self.failed[net.index()] = true;
         self.db.rip_up_net(net);
+        self.obs.on_net_failed(net);
     }
 
     fn execute(&mut self) {
@@ -292,11 +343,15 @@ impl<'a> Run<'a> {
             if self.failed[net.index()] {
                 continue;
             }
+            self.obs.on_net_scheduled(net);
             if self.rips[net.index()] > 0 {
                 self.stats.reroutes += 1;
             }
             match self.connect_fully(net) {
-                ConnectResult::Connected => self.remember_best(),
+                ConnectResult::Connected => {
+                    self.obs.on_net_committed(net);
+                    self.remember_best();
+                }
                 ConnectResult::Stuck => {
                     self.attempts[net.index()] += 1;
                     if self.exhausted || self.attempts[net.index()] >= self.cfg.max_attempts {
@@ -322,7 +377,7 @@ impl<'a> Run<'a> {
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
             let query = Query { grid: self.db.grid(), net, sources, targets, cost: self.cfg.cost };
 
-            if let Some(found) = find_path_with(&mut self.arena, &query) {
+            if let Some(found) = find_path_observed(&mut self.arena, &query, &mut *self.obs) {
                 self.stats.expanded += found.stats.expanded as u64;
                 self.stats.hard_routes += 1;
                 self.db.commit(net, found.trace).expect("hard paths commit");
@@ -345,7 +400,9 @@ impl<'a> Run<'a> {
                     Some(cfg.penalty(rips[owner.index()]))
                 }
             };
-            let Some(soft) = find_path_soft_with(&mut self.arena, &query, &soft_cost) else {
+            let Some(soft) =
+                find_path_soft_observed(&mut self.arena, &query, &soft_cost, &mut *self.obs)
+            else {
                 return ConnectResult::Stuck;
             };
             self.stats.expanded += soft.stats.expanded as u64;
@@ -384,6 +441,7 @@ impl<'a> Run<'a> {
                         Ok(mut ids) => {
                             repairs.append(&mut ids);
                             self.stats.weak_pushes += 1;
+                            self.obs.on_weak_modification(net, victim);
                         }
                         Err(mut ids) => {
                             repairs.append(&mut ids);
@@ -403,6 +461,9 @@ impl<'a> Run<'a> {
                 for victim in unrepaired {
                     self.rips[victim.index()] += 1;
                     self.stats.rips += 1;
+                    self.obs.on_strong_ripup(net, victim, self.rips[victim.index()]);
+                    self.obs
+                        .on_penalty_escalation(victim, self.cfg.penalty(self.rips[victim.index()]));
                     self.enqueue_front(victim);
                 }
                 continue;
@@ -437,7 +498,7 @@ impl<'a> Run<'a> {
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
             let query =
                 Query { grid: self.db.grid(), net: victim, sources, targets, cost: self.cfg.cost };
-            match find_path_with(&mut self.arena, &query) {
+            match find_path_observed(&mut self.arena, &query, &mut *self.obs) {
                 Some(found) => {
                     self.stats.expanded += found.stats.expanded as u64;
                     committed.push(self.db.commit(victim, found.trace).expect("hard paths commit"));

@@ -107,8 +107,11 @@ impl DetailedRouter for Sleepy {
 #[test]
 fn deadline_disqualifies_slow_instances() {
     let problems = vec![poisoned("fine")];
-    let engine =
-        RouteEngine::new(EngineConfig { jobs: 1, deadline: Some(Duration::from_millis(1)) });
+    let engine = RouteEngine::new(EngineConfig {
+        jobs: 1,
+        deadline: Some(Duration::from_millis(1)),
+        ..EngineConfig::default()
+    });
     let out = engine.route_batch(&Sleepy, &problems);
     match &out.results[0] {
         Err(RouteError::DeadlineExceeded { elapsed_ms, budget_ms }) => {
@@ -118,8 +121,11 @@ fn deadline_disqualifies_slow_instances() {
     }
     assert_eq!(out.stats.timed_out, 1);
     // A generous deadline leaves the result alone.
-    let lenient =
-        RouteEngine::new(EngineConfig { jobs: 1, deadline: Some(Duration::from_secs(60)) });
+    let lenient = RouteEngine::new(EngineConfig {
+        jobs: 1,
+        deadline: Some(Duration::from_secs(60)),
+        ..EngineConfig::default()
+    });
     assert!(lenient.route_batch(&Sleepy, &problems).results[0].is_ok());
 }
 

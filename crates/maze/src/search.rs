@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use route_geom::{Dir, Layer, Point, NUM_LAYERS};
-use route_model::{Grid, NetId, Occupant, Step, Trace};
+use route_model::{Grid, NetId, Occupant, RouteObserver, SearchKind, SearchProbe, Step, Trace};
 
 use crate::CostModel;
 
@@ -35,6 +35,20 @@ pub struct SearchStats {
     pub expanded: usize,
     /// Edge relaxations attempted.
     pub relaxed: usize,
+    /// Largest open-list (heap) size reached during the search.
+    pub heap_peak: usize,
+}
+
+impl SearchStats {
+    /// The observer-facing snapshot of these counters.
+    pub fn probe(&self, found: bool) -> SearchProbe {
+        SearchProbe {
+            expanded: self.expanded as u64,
+            relaxed: self.relaxed as u64,
+            heap_peak: self.heap_peak as u64,
+            found,
+        }
+    }
 }
 
 /// A successful hard search: a committable [`Trace`] and its cost.
@@ -148,7 +162,25 @@ pub fn find_path(query: &Query<'_>) -> Option<FoundPath> {
 /// Like [`find_path`], but reuses the scratch buffers in `arena` instead
 /// of allocating per call — the hot-path entry point for routers.
 pub fn find_path_with(arena: &mut SearchArena, query: &Query<'_>) -> Option<FoundPath> {
-    let found = run(arena, query, None)?;
+    let (found, _) = run(arena, query, None);
+    let found = found?;
+    Some(FoundPath { trace: found.trace, cost: found.cost, stats: found.stats })
+}
+
+/// Like [`find_path_with`], but reports the search to `obs` via
+/// [`RouteObserver::on_search_done`] — including the effort spent on
+/// *failed* searches, which the un-observed entry points discard.
+///
+/// The observer only watches: results are bit-identical to
+/// [`find_path_with`].
+pub fn find_path_observed(
+    arena: &mut SearchArena,
+    query: &Query<'_>,
+    obs: &mut dyn RouteObserver,
+) -> Option<FoundPath> {
+    let (found, stats) = run(arena, query, None);
+    obs.on_search_done(query.net, SearchKind::Hard, stats.probe(found.is_some()));
+    let found = found?;
     Some(FoundPath { trace: found.trace, cost: found.cost, stats: found.stats })
 }
 
@@ -172,7 +204,21 @@ pub fn find_path_soft_with(
     query: &Query<'_>,
     soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
 ) -> Option<SoftPath> {
-    run(arena, query, Some(soft))
+    run(arena, query, Some(soft)).0
+}
+
+/// Like [`find_path_soft_with`], but reports the search (found or not)
+/// to `obs` via [`RouteObserver::on_search_done`]. Results are
+/// bit-identical to [`find_path_soft_with`].
+pub fn find_path_soft_observed(
+    arena: &mut SearchArena,
+    query: &Query<'_>,
+    soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
+    obs: &mut dyn RouteObserver,
+) -> Option<SoftPath> {
+    let (found, stats) = run(arena, query, Some(soft));
+    obs.on_search_done(query.net, SearchKind::Soft, stats.probe(found.is_some()));
+    found
 }
 
 const NO_PREV: u32 = u32::MAX;
@@ -209,11 +255,13 @@ fn enter_cost(
     }
 }
 
+/// The search core: always returns the effort counters, even when no
+/// path exists, so observed entry points can report failed searches.
 fn run(
     arena: &mut SearchArena,
     query: &Query<'_>,
     soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
-) -> Option<SoftPath> {
+) -> (Option<SoftPath>, SearchStats) {
     let grid = query.grid;
     let n_nodes = grid.width() as usize * grid.height() as usize * NUM_LAYERS;
     arena.reset(n_nodes);
@@ -223,7 +271,7 @@ fn run(
     let usable = |s: &Step| grid.admits(s.at, s.layer, query.net);
     let targets: Vec<Step> = query.targets.iter().filter(|s| usable(s)).copied().collect();
     if targets.is_empty() {
-        return None;
+        return (None, stats);
     }
     for t in &targets {
         let idx = node_index(grid, t.at, t.layer);
@@ -246,8 +294,9 @@ fn run(
         any_source = true;
     }
     if !any_source {
-        return None;
+        return (None, stats);
     }
+    stats.heap_peak = heap.len();
 
     let mut reached: Option<usize> = None;
     while let Some(Reverse((_f, g, idx))) = heap.pop() {
@@ -279,6 +328,7 @@ fn run(
                 dist[nidx] = ng;
                 prev[nidx] = idx as u32;
                 heap.push(Reverse((ng + heuristic(np), ng, nidx as u32)));
+                stats.heap_peak = stats.heap_peak.max(heap.len());
             }
         }
 
@@ -295,12 +345,15 @@ fn run(
                     dist[nidx] = ng;
                     prev[nidx] = idx as u32;
                     heap.push(Reverse((ng + heuristic(p), ng, nidx as u32)));
+                    stats.heap_peak = stats.heap_peak.max(heap.len());
                 }
             }
         }
     }
 
-    let end = reached?;
+    let Some(end) = reached else {
+        return (None, stats);
+    };
     let cost = dist[end];
 
     // Reconstruct the path source -> target.
@@ -323,7 +376,7 @@ fn run(
         })
         .collect();
     let trace = Trace::from_steps(steps_rev).expect("search paths are contiguous");
-    Some(SoftPath { trace, cost, crossings, stats })
+    (Some(SoftPath { trace, cost, crossings, stats }), stats)
 }
 
 #[cfg(test)]

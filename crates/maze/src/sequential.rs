@@ -7,9 +7,9 @@
 //! which is the behaviour rip-up/reroute routing was invented to fix.
 
 use route_geom::Rect;
-use route_model::{NetId, Problem, RouteDb, Step, TraceId};
+use route_model::{NetId, NopObserver, Problem, RouteDb, RouteObserver, Step, TraceId};
 
-use crate::search::{find_path_with, Query, SearchArena, SearchStats};
+use crate::search::{find_path_observed, Query, SearchArena, SearchStats};
 use crate::CostModel;
 
 /// Result of a sequential routing run.
@@ -33,6 +33,18 @@ impl SequentialOutcome {
 /// Routes every net of `problem` in ascending bounding-box size order
 /// (small nets first — the conventional sequential heuristic).
 pub fn route_all(problem: &Problem, cost: CostModel) -> SequentialOutcome {
+    route_all_observed(problem, cost, &mut NopObserver)
+}
+
+/// Like [`route_all`], but streams [`RouteObserver`] events — one
+/// `on_net_scheduled` per net in routing order, `on_search_done` per
+/// pin-attachment search, and a terminal `on_net_committed` /
+/// `on_net_failed`. Observation never changes the result.
+pub fn route_all_observed(
+    problem: &Problem,
+    cost: CostModel,
+    obs: &mut dyn RouteObserver,
+) -> SequentialOutcome {
     let mut order: Vec<NetId> = problem.nets().iter().map(|n| n.id).collect();
     order.sort_by_key(|&id| {
         let net = problem.net(id);
@@ -40,26 +52,39 @@ pub fn route_all(problem: &Problem, cost: CostModel) -> SequentialOutcome {
         let bbox = net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
         (bbox.width() + bbox.height(), id.0)
     });
-    route_in_order(problem, cost, &order)
+    route_in_order_observed(problem, cost, &order, obs)
 }
 
 /// Routes nets in the caller-specified order.
 pub fn route_in_order(problem: &Problem, cost: CostModel, order: &[NetId]) -> SequentialOutcome {
+    route_in_order_observed(problem, cost, order, &mut NopObserver)
+}
+
+/// Like [`route_in_order`], but streams [`RouteObserver`] events.
+pub fn route_in_order_observed(
+    problem: &Problem,
+    cost: CostModel,
+    order: &[NetId],
+    obs: &mut dyn RouteObserver,
+) -> SequentialOutcome {
     let mut db = RouteDb::new(problem);
     let mut failed = Vec::new();
     let mut stats = SearchStats::default();
     // One arena for the whole run: every net's searches reuse it.
     let mut arena = SearchArena::new();
     for &net in order {
-        match connect_net_in(&mut arena, &mut db, net, cost) {
+        obs.on_net_scheduled(net);
+        match connect_net_observed_in(&mut arena, &mut db, net, cost, obs) {
             Ok(s) => {
                 stats.expanded += s.expanded;
                 stats.relaxed += s.relaxed;
+                obs.on_net_committed(net);
             }
             Err(s) => {
                 stats.expanded += s.expanded;
                 stats.relaxed += s.relaxed;
                 failed.push(net);
+                obs.on_net_failed(net);
             }
         }
     }
@@ -92,7 +117,19 @@ pub fn connect_net_in(
     net: NetId,
     cost: CostModel,
 ) -> Result<SearchStats, SearchStats> {
-    match connect_net_seeded_in(arena, db, net, cost, Vec::new()) {
+    connect_net_observed_in(arena, db, net, cost, &mut NopObserver)
+}
+
+/// Like [`connect_net_in`], but reports each pin-attachment search to
+/// `obs` via [`RouteObserver::on_search_done`].
+pub fn connect_net_observed_in(
+    arena: &mut SearchArena,
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+    obs: &mut dyn RouteObserver,
+) -> Result<SearchStats, SearchStats> {
+    match connect_net_seeded_obs(arena, db, net, cost, Vec::new(), obs) {
         Ok((_, stats)) => Ok(stats),
         Err((_, stats)) => Err(stats),
     }
@@ -133,6 +170,18 @@ pub fn connect_net_seeded_in(
     cost: CostModel,
     seed: Vec<Step>,
 ) -> Result<(Vec<TraceId>, SearchStats), (Vec<TraceId>, SearchStats)> {
+    connect_net_seeded_obs(arena, db, net, cost, seed, &mut NopObserver)
+}
+
+#[allow(clippy::type_complexity)]
+fn connect_net_seeded_obs(
+    arena: &mut SearchArena,
+    db: &mut RouteDb,
+    net: NetId,
+    cost: CostModel,
+    seed: Vec<Step>,
+    obs: &mut dyn RouteObserver,
+) -> Result<(Vec<TraceId>, SearchStats), (Vec<TraceId>, SearchStats)> {
     let mut stats = SearchStats::default();
     let mut committed: Vec<TraceId> = Vec::new();
     let pins: Vec<Step> = db.pins(net).iter().map(|p| Step::new(p.at, p.layer)).collect();
@@ -152,7 +201,7 @@ pub fn connect_net_seeded_in(
         }
         let query =
             Query { grid: db.grid(), net, sources: connected.clone(), targets: vec![pin], cost };
-        match find_path_with(arena, &query) {
+        match find_path_observed(arena, &query, obs) {
             Some(found) => {
                 stats.expanded += found.stats.expanded;
                 stats.relaxed += found.stats.relaxed;
@@ -186,6 +235,15 @@ impl route_model::DetailedRouter for LeeRouter {
 
     fn route(&self, problem: &Problem) -> route_model::RouteResult {
         let out = route_all(problem, self.cost);
+        Ok(route_model::Routing { db: out.db, failed: out.failed })
+    }
+
+    fn route_observed(
+        &self,
+        problem: &Problem,
+        observer: &mut dyn RouteObserver,
+    ) -> route_model::RouteResult {
+        let out = route_all_observed(problem, self.cost, observer);
         Ok(route_model::Routing { db: out.db, failed: out.failed })
     }
 }
@@ -277,6 +335,61 @@ mod tests {
         let direct = route_all(&p, CostModel::default());
         assert_eq!(routing.failed, direct.failed);
         assert_eq!(routing.db.checksum(), direct.db.checksum());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_logs_vocabulary() {
+        use route_model::{EventLog, MetricsRecorder};
+        let mut b = ProblemBuilder::switchbox(9, 9);
+        b.net("h").pin_side(PinSide::Left, 4).pin_side(PinSide::Right, 4);
+        b.net("v").pin_side(PinSide::Bottom, 4).pin_side(PinSide::Top, 4);
+        let p = b.build().unwrap();
+
+        let plain = route_all(&p, CostModel::default());
+        let mut log = EventLog::new();
+        let observed = route_all_observed(&p, CostModel::default(), &mut log);
+        assert_eq!(plain.db.checksum(), observed.db.checksum());
+        assert_eq!(plain.stats, observed.stats);
+
+        // 2 nets scheduled + committed, one search each pin attachment.
+        assert_eq!(log.count_kind("net_scheduled"), 2);
+        assert_eq!(log.count_kind("net_committed"), 2);
+        assert_eq!(log.count_kind("net_failed"), 0);
+        assert_eq!(log.count_kind("search_done"), 2);
+
+        // The same events replay into a MetricsRecorder consistently.
+        let mut metrics = MetricsRecorder::new();
+        log.replay(&mut metrics);
+        assert_eq!(metrics.nets_scheduled(), 2);
+        assert_eq!(metrics.nets_committed(), 2);
+        assert_eq!(metrics.router().expanded, plain.stats.expanded as u64);
+    }
+
+    #[test]
+    fn observed_run_reports_failed_search_effort() {
+        use route_model::EventLog;
+        let mut b = ProblemBuilder::switchbox(5, 5);
+        for y in 0..5 {
+            b.obstacle(Point::new(3, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
+        let p = b.build().unwrap();
+        let mut log = EventLog::new();
+        let out = route_all_observed(&p, CostModel::default(), &mut log);
+        assert!(!out.is_complete());
+        assert_eq!(log.count_kind("net_failed"), 1);
+        // The failed search still reports the nodes it expanded.
+        let probe = log
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                route_model::RouteEvent::SearchDone { probe, .. } => Some(*probe),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!probe.found);
+        assert!(probe.expanded > 0);
+        assert!(probe.heap_peak > 0);
     }
 
     #[test]

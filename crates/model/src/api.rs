@@ -11,6 +11,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::observe::RouteObserver;
 use crate::{NetId, Problem, RouteDb};
 
 /// Error shared by every router behind [`DetailedRouter`].
@@ -151,6 +152,37 @@ pub trait DetailedRouter {
 
     /// Routes `problem` from scratch.
     fn route(&self, problem: &Problem) -> RouteResult;
+
+    /// Routes `problem` from scratch, reporting progress to `observer`.
+    ///
+    /// Every implementation emits the same event vocabulary (see
+    /// [`RouteObserver`]); the provided default routes normally and then
+    /// emits the summary subset — one
+    /// [`on_net_scheduled`](RouteObserver::on_net_scheduled) followed by
+    /// [`on_net_committed`](RouteObserver::on_net_committed) or
+    /// [`on_net_failed`](RouteObserver::on_net_failed) per net — so
+    /// complete-or-error baselines (the channel and switchbox adapters)
+    /// are observable without bespoke instrumentation. Routers with
+    /// richer internals (the rip-up router, the sequential baseline)
+    /// override this to stream search and modification events live.
+    ///
+    /// Observation must never change the result: `route_observed` with
+    /// any observer returns a database with the same
+    /// [`RouteDb::checksum`] as [`route`](DetailedRouter::route).
+    fn route_observed(&self, problem: &Problem, observer: &mut dyn RouteObserver) -> RouteResult {
+        let result = self.route(problem);
+        if let Ok(routing) = &result {
+            for net in problem.nets() {
+                observer.on_net_scheduled(net.id);
+                if routing.failed.contains(&net.id) {
+                    observer.on_net_failed(net.id);
+                } else {
+                    observer.on_net_committed(net.id);
+                }
+            }
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +208,20 @@ mod tests {
         let mut b = ProblemBuilder::switchbox(4, 3);
         b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn default_route_observed_emits_summary_vocabulary() {
+        use crate::{EventLog, RouteEvent};
+        let p = tiny();
+        let mut log = EventLog::new();
+        let routing = Null.route_observed(&p, &mut log).unwrap();
+        assert!(!routing.is_complete());
+        let id = p.nets()[0].id;
+        assert_eq!(
+            log.events(),
+            &[RouteEvent::NetScheduled { net: id }, RouteEvent::NetFailed { net: id }]
+        );
     }
 
     #[test]

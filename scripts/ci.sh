@@ -30,6 +30,8 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
   echo "==> clippy not installed; skipping lint"
 fi
+echo "==> cargo doc --workspace --no-deps (denying rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 if [[ "$QUICK" == 0 ]]; then
   run cargo build --workspace --release --offline
 fi

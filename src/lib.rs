@@ -27,6 +27,30 @@
 //! let report = verify::verify(&problem, outcome.db());
 //! assert!(report.is_clean(), "{report}");
 //! ```
+//!
+//! ## Observing a routing run
+//!
+//! Every router implements [`DetailedRouter`], and every
+//! implementation emits the same [`RouteObserver`] event vocabulary.
+//! Attach a [`MetricsRecorder`] (aggregate counters and histograms) or
+//! an [`EventLog`] (the full machine-readable event sequence) without
+//! changing the routed result:
+//!
+//! ```
+//! use vlsi_route::MetricsRecorder;
+//! use vlsi_route::model::{PinSide, ProblemBuilder};
+//! use vlsi_route::mighty::{MightyRouter, RouterConfig};
+//!
+//! let mut b = ProblemBuilder::switchbox(8, 8);
+//! b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 5);
+//! let problem = b.build().expect("valid problem");
+//!
+//! let mut metrics = MetricsRecorder::new();
+//! let router = MightyRouter::new(RouterConfig::default());
+//! let outcome = router.route_observed(&problem, &mut metrics);
+//! assert!(outcome.is_complete());
+//! assert_eq!(metrics.nets_committed(), 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -39,3 +63,9 @@ pub use route_maze as maze;
 pub use route_model as model;
 pub use route_opt as opt;
 pub use route_verify as verify;
+
+pub use mighty::{ConfigError, EngineConfig, ObserveMode, RouteEngine, RouterConfig};
+pub use route_model::{
+    DetailedRouter, EventLog, MetricsRecorder, NopObserver, RouteError, RouteEvent, RouteObserver,
+    RouteResult, RouterStats, Routing,
+};
