@@ -146,6 +146,20 @@ pub enum Command {
     },
     /// Generate an instance to stdout.
     Gen(GenKind),
+    /// Differentially fuzz the router roster over seeded generator
+    /// sweeps, or replay saved case files.
+    Fuzz {
+        /// Seed range (half-open) to sweep; `None` replays `cases` only.
+        seeds: Option<(u64, u64)>,
+        /// Saved `fuzzcase` files to replay through the oracles.
+        cases: Vec<String>,
+        /// Worker threads (0 = one per hardware thread).
+        jobs: usize,
+        /// Minimize each finding to a smallest reproducing case.
+        shrink: bool,
+        /// Directory where finding case files are written.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -201,6 +215,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "check" => parse_check(&mut cur),
         "channel" => parse_channel(&mut cur),
         "gen" => parse_gen(&mut cur),
+        "fuzz" => parse_fuzz(&mut cur),
         other => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -419,6 +434,48 @@ fn parse_gen(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     }
 }
 
+fn parse_fuzz(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut seeds = None;
+    let mut cases = Vec::new();
+    let mut jobs = 0usize;
+    let mut shrink = false;
+    let mut out = None;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--seeds" => {
+                let spec = cur.value_of("--seeds")?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or_else(|| err("--seeds takes a range like 0..100"))?;
+                let lo: u64 =
+                    a.trim().parse().map_err(|_| err(format!("bad seed `{}`", a.trim())))?;
+                let hi: u64 =
+                    b.trim().parse().map_err(|_| err(format!("bad seed `{}`", b.trim())))?;
+                if hi <= lo {
+                    return Err(err(format!("--seeds range {lo}..{hi} is empty")));
+                }
+                seeds = Some((lo, hi));
+            }
+            "--jobs" => {
+                jobs = cur.value_of("--jobs")?.parse().map_err(|_| err("--jobs needs a number"))?;
+                if jobs > 4096 {
+                    return Err(err("--jobs must be at most 4096"));
+                }
+            }
+            "--shrink" => shrink = true,
+            "--out" => out = Some(cur.value_of("--out")?),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `fuzz`")))
+            }
+            path => cases.push(path.to_owned()),
+        }
+    }
+    if seeds.is_none() && cases.is_empty() {
+        return Err(err("`fuzz` needs --seeds A..B or case FILEs to replay"));
+    }
+    Ok(Command::Fuzz { seeds, cases, jobs, shrink, out })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +599,34 @@ mod tests {
                 seed: 0
             })
         );
+    }
+
+    #[test]
+    fn fuzz_flags() {
+        assert_eq!(
+            parse("fuzz --seeds 0..100 --shrink --out findings --jobs 2").unwrap(),
+            Command::Fuzz {
+                seeds: Some((0, 100)),
+                cases: vec![],
+                jobs: 2,
+                shrink: true,
+                out: Some("findings".into()),
+            }
+        );
+        assert_eq!(
+            parse("fuzz corpus/a.case corpus/b.case").unwrap(),
+            Command::Fuzz {
+                seeds: None,
+                cases: vec!["corpus/a.case".into(), "corpus/b.case".into()],
+                jobs: 0,
+                shrink: false,
+                out: None,
+            }
+        );
+        assert!(parse("fuzz").unwrap_err().to_string().contains("--seeds"));
+        assert!(parse("fuzz --seeds 7").unwrap_err().to_string().contains("range"));
+        assert!(parse("fuzz --seeds 9..9").unwrap_err().to_string().contains("empty"));
+        assert!(parse("fuzz --seeds x..3").unwrap_err().to_string().contains("bad seed"));
     }
 
     #[test]

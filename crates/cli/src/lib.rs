@@ -12,6 +12,7 @@
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
 //! vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+//! vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
 //! ```
 //!
 //! Instance files use the text formats of
@@ -41,6 +42,7 @@ USAGE:
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
   vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+  vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
 
 COMMANDS:
   route     Route a switchbox instance file (sb format)
@@ -48,6 +50,9 @@ COMMANDS:
   check     Verify a saved routing (routes format) against its instance
   channel   Route a channel instance file (channel format)
   gen       Generate a random instance and print it to stdout
+  fuzz      Differentially fuzz every router over seeded generator sweeps
+            (oracles: independent DRC/claim verification, rip-up vs Lee
+            baseline, observer consistency) and/or replay saved CASE files
 
 OPTIONS:
   --router KIND   Routing algorithm (default: ripup; batch also takes
@@ -64,4 +69,11 @@ OPTIONS:
   --optimize      Run the wirelength cleanup pass after routing
   --tracks N      Channel track count (default: search from density)
   --layers N      Channel routing layers, 2 or 3 (rip-up only)
+  --seeds A..B    Fuzz the half-open seed range A..B (one instance per seed)
+  --shrink        Minimize each fuzz finding to a smallest reproducing case
+  --out DIR       Write minimized fuzz finding case files into DIR
+
+ENVIRONMENT:
+  VROUTE_FUZZ_FAULT  Inject a deliberate router bug into `fuzz` runs for
+                     mutation testing: hide-failures | drop-trace
 ";

@@ -119,6 +119,9 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             write!(out, "{text}").expect("writing instance");
             Ok(true)
         }
+        Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
+            execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
+        }
         Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json } => {
             let text =
                 std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
@@ -520,6 +523,97 @@ fn metrics_json(m: &MetricsRecorder) -> Json {
     ])
 }
 
+/// Executes `vroute fuzz`: sweeps a seed range and/or replays saved
+/// case files through the differential oracles, optionally writing
+/// minimized finding case files to a directory. Fault injection for
+/// mutation testing is enabled through the `VROUTE_FUZZ_FAULT`
+/// environment variable (`hide-failures` or `drop-trace`).
+fn execute_fuzz(
+    seeds: &Option<(u64, u64)>,
+    cases: &[String],
+    jobs: usize,
+    shrink: bool,
+    out_dir: Option<&str>,
+    out: &mut dyn fmt::Write,
+) -> Result<bool, ExecutionError> {
+    use route_fuzz::{evaluate_case, run_fuzz, Fault, FuzzCase, FuzzConfig, RouterSet};
+
+    let fault = match std::env::var("VROUTE_FUZZ_FAULT") {
+        Ok(name) if !name.is_empty() => Some(Fault::from_name(&name).ok_or_else(|| {
+            ExecutionError::Unroutable(format!(
+                "VROUTE_FUZZ_FAULT: unknown fault `{name}` \
+                 (known: hide-failures, drop-trace)"
+            ))
+        })?),
+        _ => None,
+    };
+    if let Some(fault) = fault {
+        writeln!(out, "fault injection active: {}", fault.name()).expect("writing report");
+    }
+    let mut clean = true;
+
+    // Replay saved case files: every one must pass every oracle.
+    if !cases.is_empty() {
+        let routers = RouterSet::standard(fault);
+        for path in cases {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| ExecutionError::Io(path.clone(), e))?;
+            let case = FuzzCase::parse(&text)
+                .map_err(|e| ExecutionError::Unroutable(format!("{path}: {e}")))?;
+            let violations = evaluate_case(&case, &routers, jobs);
+            if violations.is_empty() {
+                writeln!(out, "{path}: {case}: ok").expect("writing report");
+            } else {
+                clean = false;
+                writeln!(out, "{path}: {case}: {} violation(s)", violations.len())
+                    .expect("writing report");
+                for v in &violations {
+                    writeln!(out, "  {v}").expect("writing report");
+                }
+            }
+        }
+    }
+
+    if let Some((start, end)) = *seeds {
+        let config = FuzzConfig { start, end, jobs, shrink, fault, ..FuzzConfig::default() };
+        let outcome = run_fuzz(&config, &mut |line| {
+            writeln!(out, "{line}").expect("writing report");
+        });
+        writeln!(
+            out,
+            "fuzzed {} instance(s) over seeds {start}..{end}: {} complete, {} finding(s)",
+            outcome.instances,
+            outcome.complete,
+            outcome.findings.len()
+        )
+        .expect("writing report");
+        if !outcome.findings.is_empty() {
+            if let Some(dir) = out_dir {
+                std::fs::create_dir_all(dir).map_err(|e| ExecutionError::Io(dir.to_string(), e))?;
+                for finding in &outcome.findings {
+                    let (case, violations) = match &finding.shrunk {
+                        Some(s) => (&s.case, &s.violations),
+                        None => (&finding.case, &finding.violations),
+                    };
+                    let mut text = format!("# vroute fuzz finding, seed {}\n", finding.seed);
+                    for v in violations {
+                        text.push_str(&format!("# {v}\n"));
+                    }
+                    text.push_str(&case.write());
+                    let path = format!("{dir}/seed-{}.case", finding.seed);
+                    std::fs::write(&path, text).map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                    writeln!(out, "wrote {path}").expect("writing report");
+                }
+            }
+        }
+        clean &= outcome.is_clean();
+    }
+
+    writeln!(out, "{}", if clean { "all oracles passed" } else { "ORACLE VIOLATIONS FOUND" })
+        .expect("writing report");
+    Ok(clean)
+}
+
 /// The unified trait object for a batch router choice.
 fn batch_router(kind: BatchRouterKind) -> Box<dyn DetailedRouter + Sync> {
     match kind {
@@ -894,5 +988,65 @@ mod tests {
         std::fs::write(&f, "nonsense here").unwrap();
         let (_, result) = run(&format!("route {}", f.display()));
         assert!(matches!(result, Err(ExecutionError::Parse(_))));
+    }
+
+    /// Serializes the fuzz tests: `VROUTE_FUZZ_FAULT` is process-global
+    /// state, so the clean-window test must not observe the fault-
+    /// injection test's environment.
+    static FUZZ_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn fuzz_clean_window_passes() {
+        let _guard = FUZZ_ENV.lock().unwrap();
+        std::env::remove_var("VROUTE_FUZZ_FAULT");
+        let (out, ok) = run("fuzz --seeds 0..6 --jobs 1");
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("fuzzed 6 instance(s)"), "{out}");
+        assert!(out.contains("all oracles passed"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_finds_injected_fault_shrinks_and_replays() {
+        let _guard = FUZZ_ENV.lock().unwrap();
+        let dir = std::env::temp_dir().join("vroute-test-fuzz");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        std::env::set_var("VROUTE_FUZZ_FAULT", "drop-trace");
+        let (out, ok) =
+            run(&format!("fuzz --seeds 0..6 --jobs 1 --shrink --out {}", dir.display()));
+        assert!(!ok.unwrap(), "the injected fault must be caught:\n{out}");
+        assert!(out.contains("fault injection active: drop-trace"), "{out}");
+        assert!(out.contains("ORACLE VIOLATIONS FOUND"), "{out}");
+
+        // At least one minimized case file landed, small enough to read.
+        let mut cases: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect();
+        cases.sort();
+        assert!(!cases.is_empty(), "finding case files written:\n{out}");
+        let text = std::fs::read_to_string(&cases[0]).unwrap();
+        let case = route_fuzz::FuzzCase::parse(&text).expect("written case parses");
+        assert!(case.net_count() <= 4, "minimal reproducer has {} nets", case.net_count());
+
+        // Replaying the case with the fault still active reproduces...
+        let (out, ok) = run(&format!("fuzz {}", cases[0].display()));
+        assert!(!ok.unwrap(), "{out}");
+        // ...and with the fault removed, the honest routers pass.
+        std::env::remove_var("VROUTE_FUZZ_FAULT");
+        let (out, ok) = run(&format!("fuzz {}", cases[0].display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("all oracles passed"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_fault_names() {
+        let _guard = FUZZ_ENV.lock().unwrap();
+        std::env::set_var("VROUTE_FUZZ_FAULT", "melt-the-grid");
+        let (_, result) = run("fuzz --seeds 0..1");
+        std::env::remove_var("VROUTE_FUZZ_FAULT");
+        let msg = result.unwrap_err().to_string();
+        assert!(msg.contains("melt-the-grid"), "{msg}");
     }
 }

@@ -1,0 +1,188 @@
+//! Golden schema tests for the machine-readable reports.
+//!
+//! `vroute route --json` and `vroute batch --json` are consumed by
+//! scripts and dashboards, so their field names and shape are a
+//! contract: adding a field is fine (extend the golden set here,
+//! deliberately), but renaming or dropping one must fail a test.
+
+use std::collections::BTreeSet;
+
+use route_cli::{execute, parse_args};
+
+/// Runs a command line through the CLI library, returning its report.
+fn run(line: &str) -> String {
+    let cmd = parse_args(line.split_whitespace().map(str::to_owned)).expect("parses");
+    let mut out = String::new();
+    execute(&cmd, &mut out).expect("executes");
+    out
+}
+
+/// Extracts every key path from a JSON document, dotted by nesting
+/// (`stats.complete`) with `[]` marking arrays (`instances[].file`).
+/// A 40-line scanner keeps the test dependency-free; it assumes the
+/// well-formed output of the CLI's own writer.
+fn key_paths(json: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut pending: Option<String> = None;
+    let chars: Vec<char> = json.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        s.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_whitespace() {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == ':' {
+                    let prefix: Vec<&str> =
+                        stack.iter().map(String::as_str).filter(|s| !s.is_empty()).collect();
+                    let path = if prefix.is_empty() {
+                        s.clone()
+                    } else {
+                        format!("{}.{}", prefix.join("."), s)
+                    };
+                    out.insert(path);
+                    pending = Some(s);
+                } else {
+                    pending = None;
+                }
+            }
+            '{' => stack.push(pending.take().unwrap_or_default()),
+            '[' => stack.push(pending.take().map(|k| format!("{k}[]")).unwrap_or_default()),
+            '}' | ']' => {
+                stack.pop();
+                pending = None;
+            }
+            ',' => pending = None,
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn metrics_keys(prefix: &str) -> Vec<String> {
+    [
+        "nets_scheduled",
+        "nets_committed",
+        "nets_failed",
+        "hard_searches_won",
+        "soft_searches_won",
+        "weak_modifications",
+        "strong_ripups",
+        "penalty_escalations",
+        "max_penalty",
+        "expanded",
+        "searches",
+        "expanded_per_search_mean",
+        "expanded_max",
+    ]
+    .iter()
+    .map(|k| format!("{prefix}.{k}"))
+    .collect()
+}
+
+fn golden(mut base: Vec<&str>, extra: Vec<String>) -> BTreeSet<String> {
+    base.sort_unstable();
+    base.iter().map(|s| s.to_string()).chain(extra).collect()
+}
+
+/// A routable instance on disk, shared by the schema tests.
+fn instance(dir: &std::path::Path, name: &str) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join(name);
+    let text = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+    std::fs::write(&path, text).unwrap();
+    path.display().to_string()
+}
+
+#[test]
+fn route_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-route");
+    let sb = instance(&dir, "box.sb");
+    let report = dir.join("report.json");
+    run(&format!("route {sb} --json {}", report.display()));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    let expected = golden(
+        vec![
+            "command", "file", "router", "complete", "clean", "wire", "vias", "checksum", "metrics",
+        ],
+        metrics_keys("metrics"),
+    );
+    assert_eq!(key_paths(&json), expected, "route --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"route\""), "{json}");
+    assert!(json.contains("\"router\": \"ripup\""), "{json}");
+}
+
+#[test]
+fn batch_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-batch");
+    let a = instance(&dir, "a.sb");
+    let b = instance(&dir, "b.sb");
+    let report = dir.join("batch.json");
+    run(&format!("batch {a} {b} --jobs 1 --json {}", report.display()));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    let expected = golden(
+        vec![
+            "command",
+            "router",
+            "jobs",
+            "digest",
+            "instances",
+            "instances[].file",
+            "instances[].status",
+            "instances[].wire",
+            "instances[].vias",
+            "instances[].ms",
+            "instances[].checksum",
+            "stats",
+            "stats.complete",
+            "stats.incomplete",
+            "stats.errored",
+            "stats.panicked",
+            "stats.timed_out",
+            "stats.failed_nets",
+            "stats.wirelength",
+            "stats.vias",
+            "stats.batch_ms",
+            "stats.busy_ms",
+            "stats.throughput_per_sec",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "batch --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"batch\""), "{json}");
+}
+
+#[test]
+fn batch_json_with_metrics_adds_only_the_metrics_block() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-batch-metrics");
+    let a = instance(&dir, "a.sb");
+    let plain = dir.join("plain.json");
+    let metered = dir.join("metered.json");
+    run(&format!("batch {a} --jobs 1 --json {}", plain.display()));
+    run(&format!("batch {a} --jobs 1 --metrics --json {}", metered.display()));
+
+    let plain_keys = key_paths(&std::fs::read_to_string(&plain).unwrap());
+    let metered_keys = key_paths(&std::fs::read_to_string(&metered).unwrap());
+
+    let mut expected_extra: BTreeSet<String> = metrics_keys("metrics").into_iter().collect();
+    expected_extra.insert("metrics".to_string());
+    let actual_extra: BTreeSet<String> = metered_keys.difference(&plain_keys).cloned().collect();
+    assert_eq!(actual_extra, expected_extra, "--metrics must only add the metrics block");
+    assert!(plain_keys.is_subset(&metered_keys));
+}

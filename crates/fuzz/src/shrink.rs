@@ -1,0 +1,244 @@
+//! Finding minimization: delta-debugging over the net set, grid
+//! halving, and pin re-seeding.
+//!
+//! The shrinker never trusts a mutation — every candidate case is
+//! re-routed through the whole roster and must reproduce at least one
+//! of the *original* violation kinds to be accepted. Each accepted
+//! mutation strictly decreases `(net count, grid size)`
+//! lexicographically, so shrinking always terminates; a configurable
+//! oracle-evaluation budget bounds the worst case anyway.
+
+use crate::case::{CaseShape, FuzzCase};
+use crate::driver::{evaluate_case, RouterSet};
+use crate::oracle::{kinds_of, OracleKind, OracleViolation};
+use std::collections::BTreeSet;
+
+/// Result of shrinking one finding.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The smallest case found that still reproduces.
+    pub case: FuzzCase,
+    /// The violations the minimal case triggers.
+    pub violations: Vec<OracleViolation>,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Shrinks `case` to a minimal case still triggering at least one of
+/// the violation kinds in `original`, spending at most `budget` oracle
+/// evaluations.
+pub fn shrink(
+    case: &FuzzCase,
+    original: &[OracleViolation],
+    routers: &RouterSet,
+    jobs: usize,
+    budget: usize,
+) -> ShrinkReport {
+    let mut s = Shrinker { routers, jobs, budget, evaluations: 0, target: kinds_of(original) };
+    let mut current = case.clone();
+    let mut violations = original.to_vec();
+    loop {
+        let mut progressed = false;
+        progressed |= s.drop_nets(&mut current, &mut violations);
+        progressed |= s.halve_grid(&mut current, &mut violations);
+        if !progressed || s.spent() {
+            break;
+        }
+    }
+    ShrinkReport { case: current, violations, evaluations: s.evaluations }
+}
+
+struct Shrinker<'a> {
+    routers: &'a RouterSet,
+    jobs: usize,
+    budget: usize,
+    evaluations: usize,
+    target: BTreeSet<OracleKind>,
+}
+
+impl Shrinker<'_> {
+    fn spent(&self) -> bool {
+        self.evaluations >= self.budget
+    }
+
+    /// Evaluates a candidate; `Some(violations)` iff it reproduces one
+    /// of the original violation kinds within budget.
+    fn reproduces(&mut self, candidate: &FuzzCase) -> Option<Vec<OracleViolation>> {
+        if self.spent() {
+            return None;
+        }
+        self.evaluations += 1;
+        let violations = evaluate_case(candidate, self.routers, self.jobs);
+        if kinds_of(&violations).intersection(&self.target).next().is_some() {
+            Some(violations)
+        } else {
+            None
+        }
+    }
+
+    /// Delta-debugging over the kept-net list: tries dropping runs of
+    /// nets with halving run lengths, greedily accepting any drop that
+    /// still reproduces. Returns whether the case got smaller.
+    fn drop_nets(&mut self, current: &mut FuzzCase, violations: &mut Vec<OracleViolation>) -> bool {
+        let mut keep: Vec<u32> = match &current.keep {
+            Some(keep) => keep.clone(),
+            None => (0..current.shape.nets()).collect(),
+        };
+        let before = keep.len();
+        let mut run = before.div_ceil(2);
+        while run >= 1 && keep.len() > 1 && !self.spent() {
+            let mut i = 0;
+            while i < keep.len() && keep.len() > 1 && !self.spent() {
+                let end = (i + run).min(keep.len());
+                if end - i == keep.len() {
+                    // Never drop everything.
+                    i = end;
+                    continue;
+                }
+                let mut trial_keep = keep.clone();
+                trial_keep.drain(i..end);
+                let trial = FuzzCase { keep: Some(trial_keep.clone()), ..current.clone() };
+                if let Some(v) = self.reproduces(&trial) {
+                    keep = trial_keep;
+                    *current = trial;
+                    *violations = v;
+                    // Re-test the same position: it now holds new nets.
+                } else {
+                    i = end;
+                }
+            }
+            if run == 1 {
+                break;
+            }
+            run /= 2;
+        }
+        keep.len() < before
+    }
+
+    /// Tries halving the grid dimensions (re-seeding the pins when the
+    /// same seed no longer reproduces at the smaller size). Net count
+    /// and the kept subset are unchanged — `keep` indices stay valid
+    /// because the generator's net count is part of the shape.
+    fn halve_grid(
+        &mut self,
+        current: &mut FuzzCase,
+        violations: &mut Vec<OracleViolation>,
+    ) -> bool {
+        let mut progressed = false;
+        while let Some(smaller) = halved_shape(&current.shape) {
+            if self.spent() {
+                break;
+            }
+            // Same seed first, then a few derived pin re-seeds.
+            let seeds = [current.seed, current.seed ^ 0x5EED_0001, current.seed ^ 0x5EED_0002];
+            let mut accepted = false;
+            for seed in seeds {
+                let trial = FuzzCase { shape: smaller, seed, keep: current.keep.clone() };
+                if let Some(v) = self.reproduces(&trial) {
+                    *current = trial;
+                    *violations = v;
+                    progressed = true;
+                    accepted = true;
+                    break;
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+        progressed
+    }
+}
+
+/// One halving step of a shape's grid, respecting generator minimums
+/// and boundary pin capacity. `None` when the shape is already minimal.
+fn halved_shape(shape: &CaseShape) -> Option<CaseShape> {
+    /// Halve toward `min`, never below.
+    fn halve(v: u32, min: u32) -> u32 {
+        (v / 2).max(min)
+    }
+    match *shape {
+        CaseShape::Switchbox { width, height, nets } => {
+            let (w, h) = (halve(width, 6), halve(height, 6));
+            // The boundary must still seat two pins per generated net.
+            if (w, h) == (width, height) || 2 * h + 2 * (w - 2) < 2 * nets {
+                None
+            } else {
+                Some(CaseShape::Switchbox { width: w, height: h, nets })
+            }
+        }
+        CaseShape::Obstructed { width, height, nets, obstacle_pct } => {
+            let (w, h) = (halve(width, 8), halve(height, 8));
+            if (w, h) == (width, height) || 2 * h + 2 * (w - 2) < 2 * nets {
+                None
+            } else {
+                Some(CaseShape::Obstructed { width: w, height: h, nets, obstacle_pct })
+            }
+        }
+        CaseShape::Channel { width, nets, extra_pin_pct, window, tracks } => {
+            // Keep the generator's feasibility margin: nets ≤ width/2.
+            let w = (width / 2).max(8).max(2 * nets as usize);
+            if w == width {
+                None
+            } else {
+                Some(CaseShape::Channel { width: w, nets, extra_pin_pct, window, tracks })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::route_instance;
+    use crate::fault::Fault;
+    use crate::oracle::check_instance;
+
+    #[test]
+    fn shrinks_an_injected_fault_to_one_net() {
+        let case = FuzzCase::full(CaseShape::Switchbox { width: 14, height: 12, nets: 8 }, 17);
+        let routers = RouterSet::standard(Some(Fault::DropTrace));
+        let problem = case.build();
+        let violations = check_instance(&problem, &route_instance(&problem, &routers, 1));
+        assert!(!violations.is_empty(), "the fault must fire on the full case");
+
+        let report = shrink(&case, &violations, &routers, 1, 200);
+        assert!(
+            report.case.net_count() <= 2,
+            "got {} nets: {}",
+            report.case.net_count(),
+            report.case
+        );
+        assert!(!report.violations.is_empty());
+        assert!(report.evaluations <= 200);
+
+        // The minimal case replays through text and still reproduces.
+        let replayed = FuzzCase::parse(&report.case.write()).unwrap();
+        let v = evaluate_case(&replayed, &routers, 1);
+        assert!(kinds_of(&v).intersection(&kinds_of(&violations)).next().is_some());
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let case = FuzzCase::full(CaseShape::Switchbox { width: 12, height: 10, nets: 6 }, 5);
+        let routers = RouterSet::standard(Some(Fault::DropTrace));
+        let violations = evaluate_case(&case, &routers, 1);
+        assert!(!violations.is_empty());
+        let a = shrink(&case, &violations, &routers, 1, 150);
+        let b = shrink(&case, &violations, &routers, 1, 150);
+        assert_eq!(a.case, b.case);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn grid_halving_respects_capacity() {
+        // 10 nets need 20 boundary slots; a 6x6 box has exactly 20.
+        let shape = CaseShape::Switchbox { width: 8, height: 8, nets: 10 };
+        let halved = halved_shape(&shape);
+        if let Some(CaseShape::Switchbox { width, height, nets }) = halved {
+            assert!(2 * height + 2 * (width - 2) >= 2 * nets);
+        }
+        let minimal = CaseShape::Switchbox { width: 6, height: 6, nets: 2 };
+        assert_eq!(halved_shape(&minimal), None);
+    }
+}

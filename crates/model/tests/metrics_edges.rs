@@ -1,0 +1,193 @@
+//! Edge-case coverage for the metrics layer: histogram behaviour at the
+//! extreme sample values (`0`, `1`, `u64::MAX`) and algebraic laws of
+//! recorder merging — the batch engine folds per-instance recorders in
+//! whatever order workers finish, so merge order must never matter.
+
+use route_model::{
+    Histogram, MetricsRecorder, NetId, RouteObserver, SearchKind, SearchProbe, HISTOGRAM_BUCKETS,
+};
+
+#[test]
+fn histogram_at_zero() {
+    let mut h = Histogram::new();
+    h.record(0);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.quantile_bound(0.0), 0);
+    assert_eq!(h.quantile_bound(0.5), 0);
+    assert_eq!(h.quantile_bound(1.0), 0);
+    // The zero sample lands in the dedicated zero bucket.
+    assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(0, 1)]);
+    assert_eq!(h.to_string(), "n 1, mean 0.0, p50<= 0, p99<= 0, max 0");
+}
+
+#[test]
+fn histogram_at_one() {
+    let mut h = Histogram::new();
+    h.record(1);
+    assert_eq!((h.count(), h.sum(), h.max()), (1, 1, 1));
+    assert_eq!(h.mean(), 1.0);
+    // Bucket 1 covers exactly [1, 1]: the bound is tight here.
+    assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(1, 1)]);
+    assert_eq!(h.quantile_bound(1.0), 1);
+}
+
+#[test]
+fn histogram_at_u64_max() {
+    let mut h = Histogram::new();
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.quantile_bound(1.0), u64::MAX);
+    assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(u64::MAX, 1)]);
+
+    // A second extreme sample saturates the sum instead of wrapping.
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.sum(), u64::MAX, "sum saturates, never wraps");
+    assert_eq!(h.max(), u64::MAX);
+
+    // Merging two saturated histograms also saturates.
+    let mut other = Histogram::new();
+    other.record(u64::MAX);
+    h.merge(&other);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.sum(), u64::MAX);
+}
+
+#[test]
+fn histogram_extremes_share_one_histogram() {
+    let mut h = Histogram::new();
+    for v in [0, 1, u64::MAX] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max(), u64::MAX);
+    let buckets: Vec<(u64, u64)> = h.buckets().collect();
+    assert_eq!(buckets, vec![(0, 1), (1, 1), (u64::MAX, 1)]);
+    assert_eq!(buckets.len().min(HISTOGRAM_BUCKETS), buckets.len());
+    // p-quantiles walk the buckets in order: the 1/3 rank is the zero
+    // bucket, the top rank is the saturating bucket.
+    assert_eq!(h.quantile_bound(0.33), 0);
+    assert_eq!(h.quantile_bound(1.0), u64::MAX);
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let parts: Vec<Histogram> = [vec![0u64, 1, 7], vec![u64::MAX, 2], vec![1 << 40, 3, 3, 3]]
+        .iter()
+        .map(|samples| {
+            let mut h = Histogram::new();
+            for &s in samples.iter() {
+                h.record(s);
+            }
+            h
+        })
+        .collect();
+
+    let fold = |order: &[usize]| {
+        let mut acc = Histogram::new();
+        for &i in order {
+            acc.merge(&parts[i]);
+        }
+        acc
+    };
+    let reference = fold(&[0, 1, 2]);
+    for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+        assert_eq!(fold(&order), reference, "merge order {order:?} changed the histogram");
+    }
+
+    // Nested grouping: (a + b) + c == a + (b + c).
+    let mut left = parts[0];
+    left.merge(&parts[1]);
+    left.merge(&parts[2]);
+    let mut bc = parts[1];
+    bc.merge(&parts[2]);
+    let mut right = parts[0];
+    right.merge(&bc);
+    assert_eq!(left, right);
+}
+
+/// A synthetic per-instance event stream, exercising every observer
+/// callback with instance-specific values.
+fn instance_recorder(tag: u64) -> MetricsRecorder {
+    let mut rec = MetricsRecorder::new();
+    for n in 0..=tag {
+        rec.on_net_scheduled(NetId(n as u32));
+    }
+    rec.on_search_done(
+        NetId(0),
+        SearchKind::Hard,
+        SearchProbe { expanded: tag * 10, relaxed: tag * 20, heap_peak: 4, found: true },
+    );
+    rec.on_search_done(
+        NetId(0),
+        SearchKind::Soft,
+        SearchProbe { expanded: tag, relaxed: tag, heap_peak: 2, found: tag.is_multiple_of(2) },
+    );
+    rec.on_weak_modification(NetId(0), NetId(1));
+    rec.on_strong_ripup(NetId(0), NetId(1), tag as u32);
+    rec.on_penalty_escalation(NetId(1), 1 << tag);
+    rec.on_net_committed(NetId(0));
+    if tag % 2 == 1 {
+        rec.on_net_failed(NetId(1));
+    }
+    rec
+}
+
+#[test]
+fn recorder_merge_is_associative_across_instance_orders() {
+    // The engine merges per-instance recorders in input order today,
+    // but nothing in the contract pins that — any grouping and order a
+    // future scheduler picks must produce identical aggregates.
+    let instances: Vec<MetricsRecorder> = (1..=4).map(instance_recorder).collect();
+
+    let fold = |order: &[usize]| {
+        let mut acc = MetricsRecorder::new();
+        for &i in order {
+            acc.merge(&instances[i]);
+        }
+        acc
+    };
+    let reference = fold(&[0, 1, 2, 3]);
+    for order in
+        [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1], [0, 2, 1, 3], [3, 0, 1, 2], [1, 0, 3, 2]]
+    {
+        assert_eq!(fold(&order), reference, "merge order {order:?} changed the aggregate");
+    }
+
+    // Nested grouping: merging pre-merged halves equals a flat fold.
+    let mut front = MetricsRecorder::new();
+    front.merge(&instances[0]);
+    front.merge(&instances[1]);
+    let mut back = MetricsRecorder::new();
+    back.merge(&instances[2]);
+    back.merge(&instances[3]);
+    let mut grouped = MetricsRecorder::new();
+    grouped.merge(&front);
+    grouped.merge(&back);
+    assert_eq!(grouped, reference);
+
+    // The aggregate really is the sum of its parts.
+    assert_eq!(reference.nets_scheduled(), (1..=4u64).map(|t| t + 1).sum::<u64>());
+    assert_eq!(reference.nets_committed(), 4);
+    assert_eq!(reference.nets_failed(), 2);
+    assert_eq!(reference.max_penalty(), 1 << 4);
+    assert_eq!(reference.expansion().count(), 8);
+}
+
+#[test]
+fn merging_an_empty_recorder_is_identity() {
+    let rec = instance_recorder(3);
+    let mut merged = MetricsRecorder::new();
+    merged.merge(&rec);
+    merged.merge(&MetricsRecorder::new());
+    assert_eq!(merged, rec);
+    let mut from_empty = MetricsRecorder::new();
+    from_empty.merge(&MetricsRecorder::new());
+    from_empty.merge(&rec);
+    assert_eq!(from_empty, rec);
+}

@@ -36,4 +36,14 @@ if [[ "$QUICK" == 0 ]]; then
   run cargo build --workspace --release --offline
 fi
 
+# Bounded smoke fuzz: a fixed seed window through every router and
+# every oracle (see crates/fuzz). Deterministic, so a failure here is a
+# real regression with a replayable case; the window is sized to stay
+# within a few seconds even on one hardware thread.
+if [[ "$QUICK" == 0 ]]; then
+  run ./target/release/vroute fuzz --seeds 0..200 --shrink
+else
+  run cargo run --offline --quiet -p route-cli -- fuzz --seeds 0..40 --shrink
+fi
+
 echo "ci: all checks passed"

@@ -57,6 +57,7 @@
 pub use mighty;
 pub use route_benchdata as benchdata;
 pub use route_channel as channel;
+pub use route_fuzz as fuzz;
 pub use route_geom as geom;
 pub use route_global as global;
 pub use route_maze as maze;

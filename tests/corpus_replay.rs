@@ -1,0 +1,92 @@
+//! Corpus replay: every minimized fuzz case in `tests/corpus/` must
+//! route with a clean verify report and pass every fuzz oracle when
+//! replayed against the honest router roster.
+//!
+//! The corpus files are shrinker output — each one is the minimal
+//! reproducer of a deliberately injected router fault (see
+//! `route_fuzz::fault`). With the fault absent they pin the exact
+//! instances the oracles once tripped on, so any regression that
+//! reintroduces a stale-occupancy or hidden-failure bug fails here
+//! with a replayable, single-digit-net case file.
+
+use vlsi_route::fuzz::{evaluate_case, FuzzCase, RouterSet};
+use vlsi_route::mighty::{MightyRouter, RouterConfig};
+use vlsi_route::model::DetailedRouter;
+use vlsi_route::verify::verify;
+
+fn corpus() -> Vec<(String, FuzzCase)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut cases: Vec<(String, FuzzCase)> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable case file");
+            let case =
+                FuzzCase::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            (name, case)
+        })
+        .collect();
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(cases.len() >= 5, "the corpus holds a meaningful case set, found {}", cases.len());
+    cases
+}
+
+#[test]
+fn corpus_cases_are_minimized() {
+    for (name, case) in corpus() {
+        assert!(
+            case.net_count() <= 8,
+            "{name}: corpus cases are shrinker output, expected <= 8 nets, got {}",
+            case.net_count()
+        );
+        assert!(case.try_build().is_some(), "{name}: case builds");
+    }
+}
+
+#[test]
+fn corpus_replays_clean_through_every_oracle() {
+    let routers = RouterSet::standard(None);
+    for (name, case) in corpus() {
+        let violations = evaluate_case(&case, &routers, 1);
+        assert!(violations.is_empty(), "{name}: {case} -> {violations:?}");
+    }
+}
+
+#[test]
+fn corpus_replays_with_clean_verify_reports() {
+    // The direct form of the DRC oracle, without going through the
+    // fuzz driver: route each corpus instance with the rip-up router
+    // and hand the result to the independent checker.
+    let router = MightyRouter::new(RouterConfig::default());
+    for (name, case) in corpus() {
+        let problem = case.build();
+        let routing = DetailedRouter::route(&router, &problem)
+            .unwrap_or_else(|e| panic!("{name}: routes without error, got {e}"));
+        let report = verify(&problem, &routing.db);
+        if routing.is_complete() {
+            assert!(report.is_clean(), "{name}: claimed complete but: {report}");
+        } else {
+            // Legal-but-incomplete is honest as long as the claim
+            // matches the recomputed connectivity.
+            assert!(report.is_legal_but_incomplete(), "{name}: {report}");
+            assert_eq!(
+                report.disconnected_nets(),
+                routing.failed.len(),
+                "{name}: claimed failed set matches the verifier"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    let router = MightyRouter::new(RouterConfig::default());
+    for (name, case) in corpus() {
+        let a = DetailedRouter::route(&router, &case.build()).expect("routes");
+        let b = DetailedRouter::route(&router, &case.build()).expect("routes");
+        assert_eq!(a.db.checksum(), b.db.checksum(), "{name}: replay is bit-stable");
+        assert_eq!(a.failed, b.failed, "{name}");
+    }
+}
