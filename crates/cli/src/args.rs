@@ -104,6 +104,9 @@ pub enum Command {
         metrics: bool,
         /// Write a machine-readable JSON report (including metrics) here.
         json: Option<String>,
+        /// Gate routing on the static feasibility analysis and lint the
+        /// routed database afterwards.
+        analyze: bool,
     },
     /// Route many switchbox files concurrently through the batch engine.
     Batch {
@@ -123,6 +126,8 @@ pub enum Command {
         trace: Option<String>,
         /// Print the aggregated observer metrics table after the batch.
         metrics: bool,
+        /// Skip provably infeasible instances via the engine precheck.
+        analyze: bool,
     },
     /// Route a channel file.
     Channel {
@@ -134,6 +139,16 @@ pub enum Command {
         tracks: Option<usize>,
         /// Routing layers (2 or 3; rip-up only; default 2).
         layers: u8,
+    },
+    /// Statically analyze an instance (and optionally a saved routing)
+    /// without routing anything.
+    Analyze {
+        /// Instance path: sb format or a saved `fuzzcase v1` file.
+        instance: String,
+        /// Optional routing path (routes format) to lint as well.
+        routes: Option<String>,
+        /// Write the diagnostics as a machine-readable JSON report here.
+        json: Option<String>,
     },
     /// Verify a saved routing against its instance.
     Check {
@@ -212,6 +227,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "--help" | "-h" | "help" => Ok(Command::Help),
         "route" => parse_route(&mut cur),
         "batch" => parse_batch(&mut cur),
+        "analyze" => parse_analyze(&mut cur),
         "check" => parse_check(&mut cur),
         "channel" => parse_channel(&mut cur),
         "gen" => parse_gen(&mut cur),
@@ -230,6 +246,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut trace = None;
     let mut metrics = false;
     let mut json = None;
+    let mut analyze = false;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => {
@@ -247,6 +264,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
             "--trace" => trace = Some(cur.value_of("--trace")?),
             "--metrics" => metrics = true,
             "--json" => json = Some(cur.value_of("--json")?),
+            "--analyze" => analyze = true,
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `route`")))
             }
@@ -258,7 +276,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         }
     }
     let file = file.ok_or_else(|| err("`route` needs a FILE"))?;
-    Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json })
+    Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json, analyze })
 }
 
 fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -270,6 +288,7 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut deadline_ms = None;
     let mut trace = None;
     let mut metrics = false;
+    let mut analyze = false;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => {
@@ -294,6 +313,7 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
             "--json" => json = Some(cur.value_of("--json")?),
             "--trace" => trace = Some(cur.value_of("--trace")?),
             "--metrics" => metrics = true,
+            "--analyze" => analyze = true,
             "--deadline-ms" => {
                 deadline_ms = Some(
                     cur.value_of("--deadline-ms")?
@@ -310,7 +330,27 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if files.is_empty() && list.is_none() {
         return Err(err("`batch` needs instance FILEs or --list"));
     }
-    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics })
+    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics, analyze })
+}
+
+fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut json = None;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--json" => json = Some(cur.value_of("--json")?),
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `analyze`")))
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.len() > 2 {
+        return Err(err("`analyze` takes INSTANCE and at most one ROUTES file"));
+    }
+    let mut paths = paths.into_iter();
+    let instance = paths.next().ok_or_else(|| err("`analyze` needs an INSTANCE"))?;
+    Ok(Command::Analyze { instance, routes: paths.next(), json })
 }
 
 fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -498,6 +538,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 json: None,
+                analyze: false,
             }
         );
     }
@@ -507,7 +548,7 @@ mod tests {
         assert_eq!(
             parse(
                 "route box.sb --router lee --ascii --svg out.svg --optimize \
-                 --trace ev.ldj --metrics --json rep.json"
+                 --trace ev.ldj --metrics --json rep.json --analyze"
             )
             .unwrap(),
             Command::Route {
@@ -520,6 +561,7 @@ mod tests {
                 trace: Some("ev.ldj".into()),
                 metrics: true,
                 json: Some("rep.json".into()),
+                analyze: true,
             }
         );
     }
@@ -527,7 +569,7 @@ mod tests {
     #[test]
     fn batch_flags() {
         assert_eq!(
-            parse("batch a.sb b.sb --jobs 8 --json out.json --metrics").unwrap(),
+            parse("batch a.sb b.sb --jobs 8 --json out.json --metrics --analyze").unwrap(),
             Command::Batch {
                 files: vec!["a.sb".into(), "b.sb".into()],
                 list: None,
@@ -537,6 +579,7 @@ mod tests {
                 deadline_ms: None,
                 trace: None,
                 metrics: true,
+                analyze: true,
             }
         );
         assert_eq!(
@@ -550,6 +593,7 @@ mod tests {
                 deadline_ms: Some(500),
                 trace: Some("ev.ldj".into()),
                 metrics: false,
+                analyze: false,
             }
         );
         assert!(parse("batch").unwrap_err().to_string().contains("--list"));
@@ -627,6 +671,25 @@ mod tests {
         assert!(parse("fuzz --seeds 7").unwrap_err().to_string().contains("range"));
         assert!(parse("fuzz --seeds 9..9").unwrap_err().to_string().contains("empty"));
         assert!(parse("fuzz --seeds x..3").unwrap_err().to_string().contains("bad seed"));
+    }
+
+    #[test]
+    fn analyze_flags() {
+        assert_eq!(
+            parse("analyze box.sb").unwrap(),
+            Command::Analyze { instance: "box.sb".into(), routes: None, json: None }
+        );
+        assert_eq!(
+            parse("analyze box.sb box.routes --json rep.json").unwrap(),
+            Command::Analyze {
+                instance: "box.sb".into(),
+                routes: Some("box.routes".into()),
+                json: Some("rep.json".into()),
+            }
+        );
+        assert!(parse("analyze").unwrap_err().to_string().contains("INSTANCE"));
+        assert!(parse("analyze a b c").unwrap_err().to_string().contains("at most one"));
+        assert!(parse("analyze a --bogus").unwrap_err().to_string().contains("--bogus"));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! vroute route  FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
-//!               [--metrics] [--trace OUT] [--json OUT]
+//!               [--metrics] [--trace OUT] [--json OUT] [--analyze]
 //! vroute batch  FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
-//!               [--metrics] [--trace OUT]
+//!               [--metrics] [--trace OUT] [--analyze]
+//! vroute analyze INSTANCE [ROUTES] [--json OUT]
 //! vroute check  FILE ROUTES [--svg OUT]
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -35,9 +36,10 @@ vroute — two-layer detailed router
 
 USAGE:
   vroute route FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
-               [--metrics] [--trace OUT] [--json OUT]
+               [--metrics] [--trace OUT] [--json OUT] [--analyze]
   vroute batch FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
-               [--metrics] [--trace OUT]
+               [--metrics] [--trace OUT] [--analyze]
+  vroute analyze INSTANCE [ROUTES] [--json OUT]
   vroute check FILE ROUTES [--svg OUT]
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
@@ -47,6 +49,9 @@ USAGE:
 COMMANDS:
   route     Route a switchbox instance file (sb format)
   batch     Route many instance files concurrently through the batch engine
+  analyze   Statically analyze an instance (sb or fuzzcase format) without
+            routing: feasibility certificates (F rules) plus, with a saved
+            ROUTES file, the whole-database lint registry (L rules)
   check     Verify a saved routing (routes format) against its instance
   channel   Route a channel instance file (channel format)
   gen       Generate a random instance and print it to stdout
@@ -61,6 +66,8 @@ OPTIONS:
   --list LIST     File with one instance path per line (# comments allowed)
   --json OUT      Write a machine-readable report (including metrics) to OUT
   --deadline-ms MS  Disqualify instances that take longer than MS
+  --analyze       route: gate on the feasibility analysis and lint the routed
+                  database; batch: skip provably infeasible instances
   --metrics       Print the observer metrics table (nets, searches, rip-ups)
   --trace OUT     Write the observer event stream as line-delimited JSON to OUT
   --ascii         Print the routed layout as ASCII art

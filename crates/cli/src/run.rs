@@ -5,6 +5,9 @@ use std::fmt;
 
 use mighty::engine::{EngineConfig, ObserveMode, RouteEngine};
 use mighty::{MightyRouter, RouterConfig};
+use route_analyze::{
+    analyze_problem, lint_db, render_text, sort_diagnostics, Diagnostic, Severity,
+};
 use route_bench::json::Json;
 use route_bench::trace::trace_lines;
 use route_benchdata::format::{self, ParseError};
@@ -122,10 +125,37 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
         Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
             execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
         }
-        Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json } => {
+        Command::Analyze { instance, routes, json } => {
+            execute_analyze(instance, routes.as_deref(), json.as_deref(), out)
+        }
+        Command::Route {
+            file,
+            router,
+            ascii,
+            svg,
+            save,
+            optimize,
+            trace,
+            metrics,
+            json,
+            analyze,
+        } => {
             let text =
                 std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
             let problem = format::parse_problem(&text)?;
+            if *analyze {
+                // Gate on the static feasibility analysis: a certificate
+                // means no router can succeed, so don't bother trying.
+                let feasibility = analyze_problem(&problem);
+                if let Some(cert) = feasibility.certificates().first() {
+                    write!(out, "{}", render_text(feasibility.diagnostics())).expect("writing");
+                    return Err(ExecutionError::Unroutable(format!(
+                        "provably infeasible: {}",
+                        cert.summary()
+                    )));
+                }
+                writeln!(out, "analyze: feasible").expect("writing");
+            }
             // Observation is strictly additive: routed databases are
             // bit-identical with and without a log attached, so the
             // unobserved fast path stays untouched unless asked for.
@@ -203,6 +233,11 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             )
             .expect("writing");
             writeln!(out, "verify: {report}").expect("writing");
+            if *analyze {
+                let lint = lint_db(&problem, &db);
+                write!(out, "{}", render_text(lint.diagnostics())).expect("writing");
+                writeln!(out, "lint: {} finding(s)", lint.findings().len()).expect("writing");
+            }
             if *ascii {
                 writeln!(out, "\n{}", render_layers(&db)).expect("writing");
             }
@@ -247,7 +282,17 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             }
             Ok(complete)
         }
-        Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics } => {
+        Command::Batch {
+            files,
+            list,
+            router,
+            jobs,
+            json,
+            deadline_ms,
+            trace,
+            metrics,
+            analyze,
+        } => {
             let mut paths: Vec<String> = files.clone();
             if let Some(listfile) = list {
                 let text = std::fs::read_to_string(listfile)
@@ -277,6 +322,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 jobs: *jobs,
                 deadline: deadline_ms.map(std::time::Duration::from_millis),
                 observe,
+                precheck: *analyze,
             });
             let batch = engine.route_batch(algorithm.as_ref(), &problems);
             writeln!(
@@ -324,6 +370,18 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                             ("checksum", Json::str(format!("{sum:016x}"))),
                         ]));
                     }
+                    Err(route_model::RouteError::Infeasible { reason }) => {
+                        // A precheck skip is a proof, not a failure: the
+                        // instance was never routable in the first place.
+                        digest = fnv_str(digest, reason);
+                        writeln!(out, "  {path}: infeasible: {reason}").expect("writing");
+                        records.push(Json::obj([
+                            ("file", Json::str(path.as_str())),
+                            ("status", Json::str("infeasible")),
+                            ("reason", Json::str(reason.as_str())),
+                            ("ms", Json::from(ms)),
+                        ]));
+                    }
                     Err(e) => {
                         all_good = false;
                         digest = fnv_str(digest, &e.to_string());
@@ -341,9 +399,15 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             let throughput = s.instances as f64 / (s.batch_ms.max(1) as f64 / 1000.0);
             writeln!(
                 out,
-                "batch: {} complete, {} incomplete, {} errored, {} panicked, {} timed out; \
-                 wall {} ms, {throughput:.1} inst/sec",
-                s.complete, s.incomplete, s.errored, s.panicked, s.timed_out, s.batch_ms
+                "batch: {} complete, {} incomplete, {} infeasible, {} errored, {} panicked, \
+                 {} timed out; wall {} ms, {throughput:.1} inst/sec",
+                s.complete,
+                s.incomplete,
+                s.infeasible,
+                s.errored,
+                s.panicked,
+                s.timed_out,
+                s.batch_ms
             )
             .expect("writing");
             writeln!(out, "digest: {digest:016x}").expect("writing");
@@ -375,6 +439,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                         Json::obj([
                             ("complete", Json::from(s.complete)),
                             ("incomplete", Json::from(s.incomplete)),
+                            ("infeasible", Json::from(s.infeasible)),
                             ("errored", Json::from(s.errored)),
                             ("panicked", Json::from(s.panicked)),
                             ("timed_out", Json::from(s.timed_out)),
@@ -521,6 +586,108 @@ fn metrics_json(m: &MetricsRecorder) -> Json {
         ("expanded_per_search_mean", Json::from(e.mean())),
         ("expanded_max", Json::from(e.max())),
     ])
+}
+
+/// Loads an instance for analysis: sb format, or a saved `fuzzcase v1`
+/// file (as written by `vroute fuzz --out`), sniffed by header.
+fn load_instance(path: &str) -> Result<route_model::Problem, ExecutionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
+    let first = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .unwrap_or_default();
+    if first.starts_with("fuzzcase") {
+        let case = route_fuzz::FuzzCase::parse(&text)
+            .map_err(|e| ExecutionError::Unroutable(format!("{path}: {e}")))?;
+        case.try_build().ok_or_else(|| {
+            ExecutionError::Unroutable(format!("{path}: case generates an invalid instance"))
+        })
+    } else {
+        Ok(format::parse_problem(&text)?)
+    }
+}
+
+/// The JSON object for one diagnostic, mirroring
+/// [`route_analyze::render_json`]'s per-diagnostic schema.
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    Json::obj([
+        ("severity", Json::str(d.severity.to_string())),
+        ("code", Json::str(d.code)),
+        ("rule", Json::str(d.rule)),
+        ("message", Json::str(d.message.as_str())),
+        (
+            "span",
+            match &d.span {
+                Some(s) => Json::obj([
+                    (
+                        "from",
+                        Json::arr([
+                            Json::from(i64::from(s.from.x)),
+                            Json::from(i64::from(s.from.y)),
+                        ]),
+                    ),
+                    (
+                        "to",
+                        Json::arr([Json::from(i64::from(s.to.x)), Json::from(i64::from(s.to.y))]),
+                    ),
+                    ("layer", s.layer.map_or(Json::Null, |l| Json::str(l.to_string()))),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        ("net", d.net.map_or(Json::Null, |n| Json::from(u64::from(n.0)))),
+        ("hint", d.hint.as_deref().map_or(Json::Null, Json::str)),
+    ])
+}
+
+/// Executes `vroute analyze`: runs the pre-route feasibility analysis
+/// on the instance, and — when a saved routing is supplied — the
+/// whole-database lint registry on top. Exit is clean only when no
+/// error-severity diagnostic fired.
+fn execute_analyze(
+    instance: &str,
+    routes: Option<&str>,
+    json: Option<&str>,
+    out: &mut dyn fmt::Write,
+) -> Result<bool, ExecutionError> {
+    let problem = load_instance(instance)?;
+    let feasibility = analyze_problem(&problem);
+    let mut diags: Vec<Diagnostic> = feasibility.diagnostics().to_vec();
+    let mut linted = 0usize;
+    if let Some(rpath) = routes {
+        let text =
+            std::fs::read_to_string(rpath).map_err(|e| ExecutionError::Io(rpath.to_owned(), e))?;
+        let db = format::parse_routes(&problem, &text)?;
+        let lint = lint_db(&problem, &db);
+        linted = lint.findings().len();
+        diags.extend_from_slice(lint.diagnostics());
+        sort_diagnostics(&mut diags);
+    }
+    write!(out, "{}", render_text(&diags)).expect("writing");
+    let verdict = if feasibility.is_feasible() { "feasible" } else { "infeasible" };
+    writeln!(
+        out,
+        "analyze: {verdict}, {} certificate(s), {} lint finding(s)",
+        feasibility.certificates().len(),
+        linted
+    )
+    .expect("writing");
+    let clean = diags.iter().all(|d| d.severity != Severity::Error);
+    if let Some(path) = json {
+        let doc = Json::obj([
+            ("command", Json::str("analyze")),
+            ("file", Json::str(instance)),
+            ("feasible", Json::from(feasibility.is_feasible())),
+            ("clean", Json::from(clean)),
+            ("certificates", Json::from(feasibility.certificates().len())),
+            ("lint_findings", Json::from(linted)),
+            ("diagnostics", Json::arr(diags.iter().map(diagnostic_json))),
+        ]);
+        std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
+        writeln!(out, "json written to {path}").expect("writing");
+    }
+    Ok(clean)
 }
 
 /// Executes `vroute fuzz`: sweeps a seed range and/or replays saved
@@ -972,6 +1139,134 @@ mod tests {
         let (out, ok) = run(&format!("route {}", f.display()));
         assert!(ok.unwrap(), "L-region routes:\n{out}");
         assert!(out.contains("verify: clean"), "{out}");
+    }
+
+    /// An sb instance with a full-height, all-layer wall separating the
+    /// single net's pins: provably unroutable.
+    const WALLED_SB: &str = "sb 5 4\n\
+        obstacle 2 0\nobstacle 2 1\nobstacle 2 2\nobstacle 2 3\n\
+        net a 0 1 M1  4 2 M1\n";
+
+    #[test]
+    fn analyze_passes_a_feasible_instance_and_lints_its_routing() {
+        let dir = std::env::temp_dir().join("vroute-test-analyze");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("box.sb");
+        let routes = dir.join("box.routes");
+        let report = dir.join("analyze.json");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&sb, instance).unwrap();
+
+        let (out, ok) = run(&format!("analyze {}", sb.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("analyze: feasible, 0 certificate(s)"), "{out}");
+
+        let (_, ok) = run(&format!("route {} --save {}", sb.display(), routes.display()));
+        assert!(ok.unwrap());
+        let (out, ok) = run(&format!(
+            "analyze {} {} --json {}",
+            sb.display(),
+            routes.display(),
+            report.display()
+        ));
+        assert!(ok.unwrap(), "a clean routing lints clean:\n{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"feasible\": true"), "{text}");
+        assert!(text.contains("\"diagnostics\": []"), "{text}");
+    }
+
+    #[test]
+    fn analyze_certifies_an_infeasible_instance() {
+        let dir = std::env::temp_dir().join("vroute-test-analyze-inf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("walled.sb");
+        let report = dir.join("walled.json");
+        std::fs::write(&sb, WALLED_SB).unwrap();
+
+        let (out, ok) = run(&format!("analyze {} --json {}", sb.display(), report.display()));
+        assert!(!ok.unwrap(), "a certificate must fail the exit code:\n{out}");
+        assert!(out.contains("error[F"), "{out}");
+        assert!(out.contains("analyze: infeasible"), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"feasible\": false"), "{text}");
+        assert!(text.contains("\"severity\": \"error\""), "{text}");
+    }
+
+    #[test]
+    fn route_analyze_gate_refuses_infeasible_instances() {
+        let dir = std::env::temp_dir().join("vroute-test-route-gate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sb = dir.join("walled.sb");
+        std::fs::write(&sb, WALLED_SB).unwrap();
+
+        let cmd = format!("route {} --analyze", sb.display());
+        let parsed = parse_args(cmd.split_whitespace().map(str::to_owned)).unwrap();
+        let mut out = String::new();
+        let result = execute(&parsed, &mut out);
+        match result {
+            Err(ExecutionError::Unroutable(msg)) => {
+                assert!(msg.contains("provably infeasible"), "{msg}");
+            }
+            other => panic!("expected an infeasibility refusal, got {other:?}\n{out}"),
+        }
+        assert!(out.contains("error[F"), "diagnostics printed before refusing:\n{out}");
+
+        // A feasible instance passes the gate and lints after routing.
+        let good = dir.join("good.sb");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&good, instance).unwrap();
+        let (out, ok) = run(&format!("route {} --analyze", good.display()));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("analyze: feasible"), "{out}");
+        assert!(out.contains("lint:"), "{out}");
+    }
+
+    #[test]
+    fn batch_analyze_skips_infeasible_instances() {
+        let dir = std::env::temp_dir().join("vroute-test-batch-inf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let walled = dir.join("walled.sb");
+        std::fs::write(&walled, WALLED_SB).unwrap();
+        let good = dir.join("good.sb");
+        let (instance, _) = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
+        std::fs::write(&good, instance).unwrap();
+        let report = dir.join("batch.json");
+
+        let (out, ok) = run(&format!(
+            "batch {} {} --analyze --jobs 1 --json {}",
+            good.display(),
+            walled.display(),
+            report.display()
+        ));
+        assert!(!ok.unwrap(), "an infeasible instance is not a complete batch:\n{out}");
+        assert!(out.contains("infeasible:"), "{out}");
+        assert!(out.contains("1 complete, 0 incomplete, 1 infeasible"), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"status\": \"infeasible\""), "{text}");
+        assert!(text.contains("\"reason\""), "{text}");
+        assert!(text.contains("\"infeasible\": 1"), "{text}");
+
+        // Without --analyze the router burns its budget and reports the
+        // net as failed instead: incomplete, not infeasible.
+        let (out, ok) = run(&format!("batch {} --jobs 1", walled.display()));
+        assert!(!ok.unwrap(), "{out}");
+        assert!(out.contains("0 complete, 1 incomplete, 0 infeasible"), "{out}");
+    }
+
+    #[test]
+    fn analyze_accepts_fuzzcase_files() {
+        let dir = std::env::temp_dir().join("vroute-test-analyze-case");
+        std::fs::create_dir_all(&dir).unwrap();
+        let case = dir.join("seed.case");
+        std::fs::write(
+            &case,
+            "# a finding header comment\n\
+             fuzzcase v1\nfamily switchbox\nwidth 8\nheight 6\nnets 2\nseed 11\n",
+        )
+        .unwrap();
+        let (out, ok) = run(&format!("analyze {}", case.display()));
+        assert!(ok.unwrap(), "a generated case analyzes:\n{out}");
+        assert!(out.contains("analyze: feasible"), "{out}");
     }
 
     #[test]

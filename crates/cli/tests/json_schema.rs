@@ -101,10 +101,10 @@ fn golden(mut base: Vec<&str>, extra: Vec<String>) -> BTreeSet<String> {
 
 /// A routable instance on disk, shared by the schema tests.
 fn instance(dir: &std::path::Path, name: &str) -> String {
-    std::fs::create_dir_all(dir).unwrap();
+    std::fs::create_dir_all(dir).expect("creating the test directory");
     let path = dir.join(name);
     let text = run("gen switchbox --width 10 --height 8 --nets 5 --seed 4");
-    std::fs::write(&path, text).unwrap();
+    std::fs::write(&path, text).expect("writing the test instance");
     path.display().to_string()
 }
 
@@ -152,6 +152,7 @@ fn batch_json_schema_is_pinned() {
             "stats",
             "stats.complete",
             "stats.incomplete",
+            "stats.infeasible",
             "stats.errored",
             "stats.panicked",
             "stats.timed_out",
@@ -166,6 +167,103 @@ fn batch_json_schema_is_pinned() {
     );
     assert_eq!(key_paths(&json), expected, "batch --json schema changed:\n{json}");
     assert!(json.contains("\"command\": \"batch\""), "{json}");
+}
+
+#[test]
+fn analyze_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-analyze");
+    let sb = instance(&dir, "box.sb");
+    let routes = dir.join("box.routes");
+    run(&format!("route {sb} --save {}", routes.display()));
+    let report = dir.join("analyze.json");
+    run(&format!("analyze {sb} {} --json {}", routes.display(), report.display()));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    // A clean instance has an empty diagnostics array, so pin the
+    // per-diagnostic keys on an infeasible one afterwards.
+    let mut expected = golden(
+        vec![
+            "command",
+            "file",
+            "feasible",
+            "clean",
+            "certificates",
+            "lint_findings",
+            "diagnostics",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "analyze --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"analyze\""), "{json}");
+    assert!(json.contains("\"diagnostics\": []"), "{json}");
+
+    let walled = dir.join("walled.sb");
+    std::fs::write(
+        &walled,
+        "sb 5 4\nobstacle 2 0\nobstacle 2 1\nobstacle 2 2\nobstacle 2 3\n\
+         net a 0 1 M1  4 2 M1\n",
+    )
+    .unwrap();
+    let report = dir.join("walled.json");
+    let cmd = parse_args(
+        format!("analyze {} --json {}", walled.display(), report.display())
+            .split_whitespace()
+            .map(str::to_owned),
+    )
+    .expect("parses");
+    let mut out = String::new();
+    assert!(!execute(&cmd, &mut out).expect("executes"), "{out}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    expected.extend(
+        [
+            "diagnostics[].severity",
+            "diagnostics[].code",
+            "diagnostics[].rule",
+            "diagnostics[].message",
+            "diagnostics[].span",
+            "diagnostics[].span.from",
+            "diagnostics[].span.to",
+            "diagnostics[].span.layer",
+            "diagnostics[].net",
+            "diagnostics[].hint",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    assert_eq!(key_paths(&json), expected, "analyze diagnostic schema changed:\n{json}");
+}
+
+#[test]
+fn batch_infeasible_outcome_keys_are_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-batch-inf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let walled = dir.join("walled.sb");
+    std::fs::write(
+        &walled,
+        "sb 5 4\nobstacle 2 0\nobstacle 2 1\nobstacle 2 2\nobstacle 2 3\n\
+         net a 0 1 M1  4 2 M1\n",
+    )
+    .unwrap();
+    let report = dir.join("batch.json");
+    let cmd = parse_args(
+        format!("batch {} --analyze --jobs 1 --json {}", walled.display(), report.display())
+            .split_whitespace()
+            .map(str::to_owned),
+    )
+    .expect("parses");
+    let mut out = String::new();
+    assert!(!execute(&cmd, &mut out).expect("executes"), "{out}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    let keys = key_paths(&json);
+    // Infeasible records swap the routed-stats keys for a reason.
+    for key in ["instances[].file", "instances[].status", "instances[].reason", "instances[].ms"] {
+        assert!(keys.contains(key), "missing {key} in:\n{json}");
+    }
+    for key in ["instances[].wire", "instances[].vias", "instances[].checksum"] {
+        assert!(!keys.contains(key), "unexpected {key} in:\n{json}");
+    }
+    assert!(json.contains("\"status\": \"infeasible\""), "{json}");
+    assert!(json.contains("\"infeasible\": 1"), "{json}");
 }
 
 #[test]

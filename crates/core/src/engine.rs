@@ -85,6 +85,11 @@ pub struct EngineConfig {
     pub deadline: Option<Duration>,
     /// Per-instance observation attached by the workers.
     pub observe: ObserveMode,
+    /// Run the static feasibility analysis (`route-analyze`) before
+    /// routing each instance. Instances with an infeasibility
+    /// certificate are skipped with [`RouteError::Infeasible`] instead
+    /// of burning the router's budget on a provably lost cause.
+    pub precheck: bool,
 }
 
 /// Aggregate accounting for one [`RouteEngine::route_batch`] call.
@@ -96,9 +101,12 @@ pub struct EngineStats {
     pub complete: usize,
     /// Instances routed legally but with at least one failed net.
     pub incomplete: usize,
-    /// Instances that returned a [`RouteError`] other than a panic or
-    /// a blown deadline.
+    /// Instances that returned a [`RouteError`] other than a panic, a
+    /// blown deadline, or an infeasibility proof.
     pub errored: usize,
+    /// Instances skipped because [`EngineConfig::precheck`] proved them
+    /// unroutable before the router ran.
+    pub infeasible: usize,
     /// Instances whose router panicked.
     pub panicked: usize,
     /// Instances disqualified by the per-instance deadline.
@@ -198,6 +206,7 @@ impl RouteEngine {
         let jobs = self.jobs().min(n).max(1);
         let deadline = self.config.deadline;
         let observe = self.config.observe;
+        let precheck = self.config.precheck;
 
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Duration, RouteResult, Observed)>();
@@ -211,6 +220,16 @@ impl RouteEngine {
                         break;
                     }
                     let t0 = Instant::now();
+                    if precheck {
+                        let feasibility = route_analyze::analyze_problem(&problems[i]);
+                        if let Some(cert) = feasibility.certificates().first() {
+                            let err = Err(RouteError::Infeasible { reason: cert.summary() });
+                            if tx.send((i, t0.elapsed(), err, Observed::None)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
                     let (result, observed) = catch_unwind(AssertUnwindSafe(|| match observe {
                         ObserveMode::Off => (router.route(&problems[i]), Observed::None),
                         ObserveMode::Metrics => {
@@ -285,6 +304,7 @@ impl RouteEngine {
                 }
                 Err(RouteError::Panicked { .. }) => stats.panicked += 1,
                 Err(RouteError::DeadlineExceeded { .. }) => stats.timed_out += 1,
+                Err(RouteError::Infeasible { .. }) => stats.infeasible += 1,
                 Err(_) => stats.errored += 1,
             }
         }

@@ -68,7 +68,7 @@ impl DetailedRouter for Trapped {
 fn poisoned(name: &str) -> Problem {
     let mut b = route_model::ProblemBuilder::switchbox(6, 6);
     b.net(name).pin_side(route_model::PinSide::Left, 2).pin_side(route_model::PinSide::Right, 2);
-    b.build().unwrap()
+    b.build().expect("valid problem")
 }
 
 #[test]
@@ -146,8 +146,64 @@ fn stats_add_up() {
     let s = out.stats;
     assert_eq!(s.instances, 8);
     assert_eq!(s.jobs, 3);
-    assert_eq!(s.complete + s.incomplete + s.errored + s.panicked + s.timed_out, s.instances);
+    assert_eq!(
+        s.complete + s.incomplete + s.errored + s.panicked + s.timed_out + s.infeasible,
+        s.instances
+    );
     assert!(s.wirelength > 0);
     assert!(s.busy_ms >= s.max_instance_ms);
     assert_eq!(out.timings.len(), 8);
+}
+
+/// A switchbox with a full-stack wall between its two pins: provably
+/// infeasible, and expensive for a rip-up router to discover by search.
+fn walled() -> Problem {
+    use route_geom::Point;
+    use route_model::{PinSide, ProblemBuilder};
+    let mut b = ProblemBuilder::switchbox(5, 4);
+    for y in 0..4 {
+        b.obstacle(Point::new(2, y));
+    }
+    b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+    b.build().expect("valid problem")
+}
+
+#[test]
+fn precheck_skips_provably_infeasible_instances() {
+    let problems = vec![routable_switchbox(10, 10, 4, 7), walled()];
+    let router = MightyRouter::new(RouterConfig::default());
+    let engine =
+        RouteEngine::new(EngineConfig { jobs: 1, precheck: true, ..EngineConfig::default() });
+    let out = engine.route_batch(&router, &problems);
+    assert!(out.results[0].is_ok(), "feasible instance routes normally");
+    match &out.results[1] {
+        Err(RouteError::Infeasible { reason }) => {
+            assert!(!reason.is_empty(), "the certificate summary travels with the error");
+        }
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+    assert_eq!(out.stats.infeasible, 1);
+    assert_eq!(out.stats.complete, 1);
+
+    // Without the precheck the router runs — and never reports the
+    // instance as infeasible, only as failed-after-search.
+    let plain = RouteEngine::with_jobs(1).route_batch(&router, &problems);
+    assert_eq!(plain.stats.infeasible, 0);
+    if let Ok(routing) = &plain.results[1] {
+        assert!(!routing.is_complete());
+    }
+}
+
+#[test]
+fn precheck_leaves_feasible_batches_untouched() {
+    let problems = batch(4);
+    let router = MightyRouter::new(RouterConfig::default());
+    let checked =
+        RouteEngine::new(EngineConfig { jobs: 2, precheck: true, ..EngineConfig::default() });
+    let plain = RouteEngine::with_jobs(2).route_batch(&router, &problems);
+    let gated = checked.route_batch(&router, &problems);
+    for (a, b) in plain.results.iter().zip(&gated.results) {
+        assert_eq!(a.as_ref().unwrap().db.checksum(), b.as_ref().unwrap().db.checksum());
+    }
+    assert_eq!(gated.stats.infeasible, 0);
 }

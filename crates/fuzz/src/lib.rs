@@ -11,9 +11,11 @@
 //! * [`driver`] — derives a case per seed, routes every instance
 //!   through the full router roster via the parallel batch engine, and
 //!   collects [`Finding`]s.
-//! * [`oracle`] — the two correctness oracles: DRC/claim verification
-//!   of every successful result, and the differential/observation
-//!   checks between the rip-up router and the sequential baseline.
+//! * [`oracle`] — the correctness oracles: DRC/claim verification of
+//!   every successful result, the differential/observation checks
+//!   between the rip-up router and the sequential baseline, and the
+//!   infeasibility-soundness check that a static analyzer certificate
+//!   never coexists with a completed route.
 //! * [`mod@shrink`] — minimizes a finding by delta-debugging the net set,
 //!   halving the grid, and re-seeding pins.
 //! * [`fault`] — deliberate, deterministic result corruption proving

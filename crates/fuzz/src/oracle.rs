@@ -18,6 +18,13 @@
 //!    event stream must balance against the claimed outcome — the
 //!    observer-consistency contract established by the observability
 //!    layer.
+//! 3. **Infeasibility soundness oracle** — the static analyzer
+//!    ([`route_analyze::analyze_problem`]) runs on every instance. Each
+//!    [`InfeasibilityCertificate`](route_analyze::InfeasibilityCertificate)
+//!    it emits must replay (its witness must re-derive), and no router
+//!    may ever *complete* an instance carrying a certificate: a proof
+//!    of infeasibility coexisting with a complete routing means the
+//!    analyzer is unsound, which is strictly worse than being weak.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -47,6 +54,9 @@ pub enum OracleKind {
     /// A router panicked, or a core router returned an unexpected
     /// structured error.
     RouterError,
+    /// The static analyzer issued an infeasibility certificate that
+    /// does not replay, or one that coexists with a completed route.
+    Infeasibility,
 }
 
 impl fmt::Display for OracleKind {
@@ -58,6 +68,7 @@ impl fmt::Display for OracleKind {
             OracleKind::ObservationDivergence => "observation-divergence",
             OracleKind::EventInconsistency => "event-inconsistency",
             OracleKind::RouterError => "router-error",
+            OracleKind::Infeasibility => "infeasibility",
         };
         f.write_str(name)
     }
@@ -138,7 +149,47 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
             });
         }
     }
+
+    check_infeasibility(problem, runs, &mut out);
     out
+}
+
+/// Infeasibility soundness: every certificate the analyzer emits must
+/// replay, and none may coexist with a completed route on the instance.
+fn check_infeasibility(problem: &Problem, runs: &InstanceRuns, out: &mut Vec<OracleViolation>) {
+    let feasibility = route_analyze::analyze_problem(problem);
+    let certificates = feasibility.certificates();
+    if certificates.is_empty() {
+        return;
+    }
+    for cert in certificates {
+        if !cert.replay(problem) {
+            out.push(OracleViolation {
+                kind: OracleKind::Infeasibility,
+                router: "analyzer".to_string(),
+                detail: format!("certificate does not replay: {}", cert.summary()),
+            });
+        }
+    }
+    let proof = certificates[0].summary();
+    let completed = |name: &str, result: &RouteResult, out: &mut Vec<OracleViolation>| {
+        if let Ok(routing) = result {
+            if routing.is_complete() {
+                out.push(OracleViolation {
+                    kind: OracleKind::Infeasibility,
+                    router: name.to_string(),
+                    detail: format!("completed a provably-infeasible instance ({proof})"),
+                });
+            }
+        }
+    };
+    for run in [&runs.ripup, &runs.lee] {
+        completed(&run.name, &run.plain, out);
+        completed(&run.name, &run.observed, out);
+    }
+    for (name, result) in &runs.extras {
+        completed(name, result, out);
+    }
 }
 
 /// DRC/claim checks for a core (differential-pair) router: any error at
@@ -361,6 +412,46 @@ mod tests {
             kinds_of(&violations).contains(&OracleKind::ClaimMismatch),
             "dropped trace must surface as a claim mismatch: {violations:?}"
         );
+    }
+
+    #[test]
+    fn infeasible_instances_pass_when_no_router_completes() {
+        use route_geom::Point;
+        use route_model::{PinSide, ProblemBuilder};
+        let mut b = ProblemBuilder::switchbox(6, 5);
+        for y in 0..5 {
+            b.obstacle(Point::new(3, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        b.net("b").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let problem = b.build().unwrap();
+        assert!(!route_analyze::analyze_problem(&problem).is_feasible());
+        let runs = runs_for(&problem, None);
+        let violations = check_instance(&problem, &runs);
+        assert!(violations.is_empty(), "honest failure on an infeasible case: {violations:?}");
+    }
+
+    #[test]
+    fn claiming_completion_on_an_infeasible_instance_trips_the_oracle() {
+        use route_geom::Point;
+        use route_model::{PinSide, ProblemBuilder, RouteDb, Routing};
+        let mut b = ProblemBuilder::switchbox(6, 5);
+        for y in 0..5 {
+            b.obstacle(Point::new(3, y));
+        }
+        b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+        let problem = b.build().unwrap();
+        let mut runs = runs_for(&problem, None);
+        // Doctor the rip-up result into a lying "complete" claim.
+        runs.ripup.plain = Ok(Routing { db: RouteDb::new(&problem), failed: Vec::new() });
+        let violations = check_instance(&problem, &runs);
+        let kinds = kinds_of(&violations);
+        assert!(
+            kinds.contains(&OracleKind::Infeasibility),
+            "a completed route must never coexist with a certificate: {violations:?}"
+        );
+        // The independent claim oracle catches the same lie.
+        assert!(kinds.contains(&OracleKind::ClaimMismatch));
     }
 
     #[test]

@@ -57,6 +57,14 @@ pub enum RouteError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// Static analysis proved the problem admits no complete routing,
+    /// so no router was run at all. Carries the human-readable summary
+    /// of the first infeasibility certificate; the full machine-checkable
+    /// witness lives in the `route-analyze` crate's report.
+    Infeasible {
+        /// Summary of the infeasibility proof (e.g. the saturated cut).
+        reason: String,
+    },
     /// The instance blew its wall-clock budget. The batch engine cannot
     /// interrupt a running router, but it disqualifies results delivered
     /// after the deadline so comparisons stay budget-fair.
@@ -83,6 +91,9 @@ impl fmt::Display for RouteError {
                 write!(f, "database has {found} nets but the problem has {expected}")
             }
             RouteError::Panicked { message } => write!(f, "router panicked: {message}"),
+            RouteError::Infeasible { reason } => {
+                write!(f, "provably infeasible: {reason}")
+            }
             RouteError::DeadlineExceeded { elapsed_ms, budget_ms } => {
                 write!(f, "deadline exceeded: {elapsed_ms} ms against a {budget_ms} ms budget")
             }
@@ -245,6 +256,7 @@ mod tests {
             (RouteError::BudgetExhausted { tracks: 3 }, "budget"),
             (RouteError::DbMismatch { expected: 2, found: 1 }, "database"),
             (RouteError::Panicked { message: "boom".into() }, "panicked"),
+            (RouteError::Infeasible { reason: "cut".into() }, "infeasible"),
             (RouteError::DeadlineExceeded { elapsed_ms: 9, budget_ms: 5 }, "deadline"),
         ];
         for (e, needle) in cases {

@@ -1,165 +1,48 @@
-use std::collections::{HashMap, HashSet, VecDeque};
-
-use route_geom::{Layer, Point};
-use route_model::{NetId, Occupant, Problem, RouteDb, Step};
+use route_analyze::{error_rules, lint_db_with, LintFinding};
+use route_model::{Problem, RouteDb};
 
 use crate::{Report, Violation};
 
 /// Verifies a routing database against its problem, recomputing all
 /// occupancy from pins and traces.
 ///
-/// Returns a [`Report`] with every violation found; see the
-/// [crate docs](crate) for the list of checks performed.
+/// Since the static analyzer subsumed DRC, this is a thin adapter: it
+/// runs the error-severity rules of `route-analyze`'s
+/// [lint registry](route_analyze::rules) — exactly the historical
+/// checks listed in the [crate docs](crate) — and reports them in the
+/// [`Violation`] vocabulary this crate has always exposed. Warning
+/// rules (stacked vias, via adjacency, dead wiring) never appear here;
+/// query [`route_analyze::lint_db`] directly for the full catalog.
+///
+/// Returns a [`Report`] with every violation found.
 pub fn verify(problem: &Problem, db: &RouteDb) -> Report {
-    let mut violations = Vec::new();
-    let base = problem.base_grid();
-
-    // Recompute occupancy from scratch: slot -> owning nets.
-    let mut occupancy: HashMap<(Point, Layer), Vec<NetId>> = HashMap::new();
-    // Vias required by traces (layer changes), per net, keyed by point
-    // and the pair's lower layer.
-    let mut required_vias: HashMap<NetId, HashSet<(Point, Layer)>> = HashMap::new();
-
-    for net in problem.nets() {
-        let mut slots: HashSet<(Point, Layer)> = HashSet::new();
-        for pin in &net.pins {
-            slots.insert((pin.at, pin.layer));
-        }
-        for (_, trace) in db.traces(net.id) {
-            for step in trace.steps() {
-                slots.insert((step.at, step.layer));
+    let lint = lint_db_with(problem, db, error_rules());
+    let violations = lint
+        .findings()
+        .iter()
+        .filter_map(|finding| match *finding {
+            LintFinding::Short { a, b, at, layer } => Some(Violation::Short { a, b, at, layer }),
+            LintFinding::BlockedCell { net, at, layer } => {
+                Some(Violation::ObstacleOverlap { net, at, layer })
             }
-            required_vias.entry(net.id).or_default().extend(trace.via_points());
-        }
-        for slot in slots {
-            occupancy.entry(slot).or_default().push(net.id);
-        }
-    }
-
-    // Shorts and obstacle overlaps.
-    for (&(at, layer), owners) in &occupancy {
-        if owners.len() > 1 {
-            violations.push(Violation::Short { a: owners[0], b: owners[1], at, layer });
-        }
-        if !base.in_bounds(at) || base.occupant(at, layer) == Occupant::Blocked {
-            for &net in owners {
-                violations.push(Violation::ObstacleOverlap { net, at, layer });
+            LintFinding::DanglingVia { net, at } => Some(Violation::BadVia { net, at }),
+            LintFinding::Disconnected { net, components } => {
+                Some(Violation::Disconnected { net, components })
             }
-        }
-    }
-
-    // Via legality: every required via must connect the two slots of its
-    // layer pair for its net, and the grid must record it for that net.
-    for (&net, vias) in &required_vias {
-        for &(at, lower) in vias {
-            let upper = lower.above().expect("via pairs have an upper layer");
-            let both_layers = [lower, upper]
-                .iter()
-                .all(|&l| occupancy.get(&(at, l)).is_some_and(|o| o.contains(&net)));
-            let grid_agrees =
-                db.grid().in_bounds(at) && db.grid().via_between(at, lower) == Some(net);
-            if !both_layers || !grid_agrees {
-                violations.push(Violation::BadVia { net, at });
-            }
-        }
-    }
-
-    // ...and the converse: every via marker on the grid must be backed
-    // by a layer change in some live trace of its net.
-    for p in base.bounds().cells() {
-        for lower in [Layer::M1, Layer::M2] {
-            if let Some(net) = db.grid().via_between(p, lower) {
-                let backed = required_vias.get(&net).is_some_and(|vias| vias.contains(&(p, lower)));
-                if !backed {
-                    violations.push(Violation::BadVia { net, at: p });
-                }
-            }
-        }
-    }
-
-    // Connectivity per net.
-    for net in problem.nets() {
-        let components = pin_components(db, net.id, &required_vias);
-        if components > 1 {
-            violations.push(Violation::Disconnected { net: net.id, components });
-        }
-    }
-
-    // Grid consistency: the live grid must equal recomputed occupancy
-    // wherever the base grid is not blocked.
-    for p in base.bounds().cells() {
-        for layer in Layer::ALL {
-            if base.occupant(p, layer) == Occupant::Blocked {
-                continue;
-            }
-            let expected = occupancy.get(&(p, layer)).and_then(|o| o.first().copied());
-            let actual = db.grid().occupant(p, layer).net();
-            let actual_free = db.grid().occupant(p, layer).is_free();
-            let matches = match expected {
-                Some(net) => actual == Some(net),
-                None => actual_free,
-            };
-            if !matches {
-                violations.push(Violation::GridMismatch { at: p, layer });
-            }
-        }
-    }
-
+            LintFinding::GridMismatch { at, layer } => Some(Violation::GridMismatch { at, layer }),
+            // Warning-severity findings are not selected above; if the
+            // registry grows, they still have no Violation counterpart.
+            _ => None,
+        })
+        .collect();
     Report::new(violations)
-}
-
-/// Counts the connected components of `net`'s occupancy that contain at
-/// least one pin. Complete nets have exactly one.
-fn pin_components(
-    db: &RouteDb,
-    net: NetId,
-    required_vias: &HashMap<NetId, HashSet<(Point, Layer)>>,
-) -> usize {
-    let slots: HashSet<(Point, Layer)> =
-        db.net_slots(net).into_iter().map(|s: Step| (s.at, s.layer)).collect();
-    let vias = required_vias.get(&net);
-    let has_via = |p: Point, lower: Layer| {
-        vias.is_some_and(|v| v.contains(&(p, lower)))
-            || db.grid().via_between(p, lower) == Some(net)
-    };
-
-    let mut seen: HashSet<(Point, Layer)> = HashSet::new();
-    let mut components = 0usize;
-    for pin in db.pins(net) {
-        let start = (pin.at, pin.layer);
-        if seen.contains(&start) {
-            continue;
-        }
-        components += 1;
-        let mut queue = VecDeque::from([start]);
-        seen.insert(start);
-        while let Some((p, layer)) = queue.pop_front() {
-            // Same-layer neighbours.
-            for n in p.neighbors() {
-                let key = (n, layer);
-                if slots.contains(&key) && seen.insert(key) {
-                    queue.push_back(key);
-                }
-            }
-            // Layer changes through vias to adjacent layers.
-            for adj in layer.adjacent() {
-                let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
-                if has_via(p, lower) {
-                    let key = (p, adj);
-                    if slots.contains(&key) && seen.insert(key) {
-                        queue.push_back(key);
-                    }
-                }
-            }
-        }
-    }
-    components
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_model::{PinSide, ProblemBuilder, Trace};
+    use route_geom::{Layer, Point};
+    use route_model::{PinSide, Problem, ProblemBuilder, Step, Trace};
 
     fn problem_two_pins() -> Problem {
         let mut b = ProblemBuilder::switchbox(5, 4);
@@ -258,5 +141,17 @@ mod tests {
         let p = b.build().unwrap();
         let db = RouteDb::new(&p);
         assert!(verify(&p, &db).is_clean());
+    }
+
+    #[test]
+    fn violations_arrive_in_the_registry_order() {
+        // Dead wiring (a warning lint) must never surface as a
+        // violation, while real errors still do.
+        let p = problem_two_pins();
+        let mut db = RouteDb::new(&p);
+        db.commit(p.nets()[0].id, m1_row(3, 1, 2)).unwrap();
+        let r = verify(&p, &db);
+        assert_eq!(r.violations().len(), 1);
+        assert!(matches!(r.violations()[0], Violation::Disconnected { .. }));
     }
 }

@@ -18,6 +18,11 @@
 //! Every experiment in the benchmark harness validates its routing result
 //! through [`verify`] before reporting numbers.
 //!
+//! The checks themselves live in the `route-analyze` crate's lint
+//! registry (rules `L001`–`L005`), so DRC logic has exactly one home;
+//! this crate keeps the stable [`Violation`]-shaped reporting API and
+//! adds the [`columns_used`]/[`rows_used`] track metrics.
+//!
 //! # Examples
 //!
 //! ```

@@ -36,14 +36,39 @@ if [[ "$QUICK" == 0 ]]; then
   run cargo build --workspace --release --offline
 fi
 
-# Bounded smoke fuzz: a fixed seed window through every router and
-# every oracle (see crates/fuzz). Deterministic, so a failure here is a
-# real regression with a replayable case; the window is sized to stay
-# within a few seconds even on one hardware thread.
+# Static analysis over the corpus: every case must analyze with the
+# verdict its name encodes — `*infeasible*` cases carry a certificate
+# (non-zero exit), everything else is diagnostic-free. This pins the
+# analyzer's soundness on real instances, not just unit fixtures.
 if [[ "$QUICK" == 0 ]]; then
-  run ./target/release/vroute fuzz --seeds 0..200 --shrink
+  VROUTE=./target/release/vroute
 else
-  run cargo run --offline --quiet -p route-cli -- fuzz --seeds 0..40 --shrink
+  run cargo build --offline --quiet -p route-cli
+  VROUTE=./target/debug/vroute
+fi
+for case in tests/corpus/*.case; do
+  if [[ "$case" == *infeasible* ]]; then
+    echo "==> $VROUTE analyze $case (expecting a certificate)"
+    if "$VROUTE" analyze "$case" > /dev/null; then
+      echo "ci: $case must carry an infeasibility certificate" >&2
+      exit 1
+    fi
+  else
+    echo "==> $VROUTE analyze $case"
+    "$VROUTE" analyze "$case" > /dev/null
+  fi
+done
+
+# Bounded smoke fuzz: a fixed seed window through every router and
+# every oracle (see crates/fuzz) — including the infeasibility-
+# soundness oracle, which fails any run where a router completes an
+# instance the analyzer certified as unroutable. Deterministic, so a
+# failure here is a real regression with a replayable case; the window
+# is sized to stay within a few seconds even on one hardware thread.
+if [[ "$QUICK" == 0 ]]; then
+  run "$VROUTE" fuzz --seeds 0..200 --shrink
+else
+  run "$VROUTE" fuzz --seeds 0..40 --shrink
 fi
 
 echo "ci: all checks passed"

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use mighty;
+pub use route_analyze as analyze;
 pub use route_benchdata as benchdata;
 pub use route_channel as channel;
 pub use route_fuzz as fuzz;
@@ -66,6 +67,7 @@ pub use route_opt as opt;
 pub use route_verify as verify;
 
 pub use mighty::{ConfigError, EngineConfig, ObserveMode, RouteEngine, RouterConfig};
+pub use route_analyze::{Diagnostic, InfeasibilityCertificate, Severity};
 pub use route_model::{
     DetailedRouter, EventLog, MetricsRecorder, NopObserver, RouteError, RouteEvent, RouteObserver,
     RouteResult, RouterStats, Routing,

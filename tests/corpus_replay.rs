@@ -21,7 +21,7 @@ fn corpus() -> Vec<(String, FuzzCase)> {
         .map(|e| e.expect("readable dir entry").path())
         .filter(|p| p.extension().is_some_and(|x| x == "case"))
         .map(|p| {
-            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let name = p.file_name().expect("case file name").to_string_lossy().into_owned();
             let text = std::fs::read_to_string(&p).expect("readable case file");
             let case =
                 FuzzCase::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
