@@ -53,4 +53,6 @@ pub mod lint;
 
 pub use diag::{render_json, render_text, sort_diagnostics, Diagnostic, GridSpan, Severity};
 pub use feasibility::{analyze_problem, CutAxis, FeasibilityReport, InfeasibilityCertificate};
-pub use lint::{error_rules, lint_db, lint_db_with, rules, LintFinding, LintReport, LintRule};
+pub use lint::{
+    error_rules, lint_db, lint_db_with, lint_salvage, rules, LintFinding, LintReport, LintRule,
+};

@@ -355,6 +355,46 @@ pub fn lint_db_with(problem: &Problem, db: &RouteDb, selected: &[LintRule]) -> L
     LintReport { findings, diagnostics }
 }
 
+/// Lints a *partial* routing salvaged from a failed or interrupted run.
+///
+/// Every error-severity rule runs, but [`LintFinding::Disconnected`]
+/// (`L004`) findings on nets the salvager already declared failed are
+/// excused: a salvage is expected to be incomplete, never illegal. A
+/// disconnected finding on a net **not** in `declared_failed` survives
+/// into the report — it means the salvage claims a net it did not
+/// actually connect, which is exactly the lie the fuzz oracle hunts.
+///
+/// # Examples
+///
+/// ```
+/// use route_model::{PinSide, ProblemBuilder, RouteDb};
+///
+/// let mut b = ProblemBuilder::switchbox(5, 4);
+/// b.net("a").pin_side(PinSide::Left, 1).pin_side(PinSide::Right, 1);
+/// let problem = b.build().unwrap();
+/// let net = problem.nets()[0].id;
+/// let empty = RouteDb::new(&problem);
+/// // An empty database is a legal salvage iff the net is declared failed.
+/// assert!(route_analyze::lint_salvage(&problem, &empty, &[net]).is_clean());
+/// assert!(!route_analyze::lint_salvage(&problem, &empty, &[]).is_legal());
+/// ```
+pub fn lint_salvage(problem: &Problem, db: &RouteDb, declared_failed: &[NetId]) -> LintReport {
+    let full = lint_db_with(problem, db, error_rules());
+    let findings: Vec<LintFinding> = full
+        .findings
+        .iter()
+        .filter(|f| match f {
+            LintFinding::Disconnected { net, .. } => !declared_failed.contains(net),
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    let mut diagnostics: Vec<Diagnostic> =
+        findings.iter().map(LintFinding::to_diagnostic).collect();
+    sort_diagnostics(&mut diagnostics);
+    LintReport { findings, diagnostics }
+}
+
 /// One occupied slot: a grid cell on one layer.
 type Slot = (Point, Layer);
 
@@ -785,7 +825,7 @@ mod tests {
             (LintFinding::DeadWire { at: a, .. }, LintFinding::DeadWire { at: b, .. }) => {
                 assert!(a < b)
             }
-            other => panic!("{other:?}"),
+            other => panic!("expected two ordered DeadWire findings, got {other:?}"),
         }
     }
 }

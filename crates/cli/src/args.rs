@@ -128,6 +128,18 @@ pub enum Command {
         metrics: bool,
         /// Skip provably infeasible instances via the engine precheck.
         analyze: bool,
+        /// Supervised recovery: retry budget per instance (implies the
+        /// supervised engine even when 0).
+        retries: Option<u32>,
+        /// Supervised recovery: fallback routers tried after the retry
+        /// budget is exhausted, in order.
+        fallback: Vec<BatchRouterKind>,
+        /// Supervised recovery: directory for the crash-safe run
+        /// journal (`journal.ldj`).
+        journal: Option<String>,
+        /// Resume from an existing journal, skipping completed
+        /// instances (requires `journal`).
+        resume: bool,
     },
     /// Route a channel file.
     Channel {
@@ -279,6 +291,20 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json, analyze })
 }
 
+/// Parses one batch router name, as used by `--router` and `--fallback`.
+fn batch_kind(name: &str) -> Result<BatchRouterKind, ParseArgsError> {
+    match name {
+        "ripup" => Ok(BatchRouterKind::Ripup),
+        "lee" => Ok(BatchRouterKind::Lee),
+        "lea" => Ok(BatchRouterKind::Lea),
+        "dogleg" => Ok(BatchRouterKind::Dogleg),
+        "greedy" => Ok(BatchRouterKind::Greedy),
+        "yacr" => Ok(BatchRouterKind::Yacr),
+        "swbox" => Ok(BatchRouterKind::Swbox),
+        other => Err(err(format!("unknown batch router `{other}`"))),
+    }
+}
+
 fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut files = Vec::new();
     let mut list = None;
@@ -289,20 +315,13 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut trace = None;
     let mut metrics = false;
     let mut analyze = false;
+    let mut retries = None;
+    let mut fallback = Vec::new();
+    let mut journal = None;
+    let mut resume = false;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
-            "--router" => {
-                router = match cur.value_of("--router")?.as_str() {
-                    "ripup" => BatchRouterKind::Ripup,
-                    "lee" => BatchRouterKind::Lee,
-                    "lea" => BatchRouterKind::Lea,
-                    "dogleg" => BatchRouterKind::Dogleg,
-                    "greedy" => BatchRouterKind::Greedy,
-                    "yacr" => BatchRouterKind::Yacr,
-                    "swbox" => BatchRouterKind::Swbox,
-                    other => return Err(err(format!("unknown batch router `{other}`"))),
-                };
-            }
+            "--router" => router = batch_kind(cur.value_of("--router")?.as_str())?,
             "--jobs" => {
                 jobs = cur.value_of("--jobs")?.parse().map_err(|_| err("--jobs needs a number"))?;
                 if jobs > 4096 {
@@ -321,6 +340,23 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
                         .map_err(|_| err("--deadline-ms needs a number"))?,
                 );
             }
+            "--retries" => {
+                let n: u32 = cur
+                    .value_of("--retries")?
+                    .parse()
+                    .map_err(|_| err("--retries needs a number"))?;
+                if n > 16 {
+                    return Err(err("--retries must be at most 16"));
+                }
+                retries = Some(n);
+            }
+            "--fallback" => {
+                for name in cur.value_of("--fallback")?.split(',') {
+                    fallback.push(batch_kind(name.trim())?);
+                }
+            }
+            "--journal" => journal = Some(cur.value_of("--journal")?),
+            "--resume" => resume = true,
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `batch`")))
             }
@@ -330,7 +366,31 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if files.is_empty() && list.is_none() {
         return Err(err("`batch` needs instance FILEs or --list"));
     }
-    Ok(Command::Batch { files, list, router, jobs, json, deadline_ms, trace, metrics, analyze })
+    if resume && journal.is_none() {
+        return Err(err("--resume requires --journal DIR"));
+    }
+    let supervised = retries.is_some() || !fallback.is_empty() || journal.is_some();
+    if supervised && (trace.is_some() || metrics) {
+        return Err(err(
+            "--trace/--metrics cannot be combined with the supervised recovery flags \
+             (--retries, --fallback, --journal): the supervised engine is unobserved",
+        ));
+    }
+    Ok(Command::Batch {
+        files,
+        list,
+        router,
+        jobs,
+        json,
+        deadline_ms,
+        trace,
+        metrics,
+        analyze,
+        retries,
+        fallback,
+        journal,
+        resume,
+    })
 }
 
 fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -580,6 +640,10 @@ mod tests {
                 trace: None,
                 metrics: true,
                 analyze: true,
+                retries: None,
+                fallback: vec![],
+                journal: None,
+                resume: false,
             }
         );
         assert_eq!(
@@ -594,11 +658,50 @@ mod tests {
                 trace: Some("ev.ldj".into()),
                 metrics: false,
                 analyze: false,
+                retries: None,
+                fallback: vec![],
+                journal: None,
+                resume: false,
             }
         );
         assert!(parse("batch").unwrap_err().to_string().contains("--list"));
         assert!(parse("batch a.sb --router bogus").unwrap_err().to_string().contains("bogus"));
         assert!(parse("batch a.sb --jobs x").unwrap_err().to_string().contains("number"));
+    }
+
+    #[test]
+    fn batch_supervised_flags() {
+        assert_eq!(
+            parse("batch a.sb --retries 2 --fallback lee,swbox --journal runs/j --resume").unwrap(),
+            Command::Batch {
+                files: vec!["a.sb".into()],
+                list: None,
+                router: BatchRouterKind::Ripup,
+                jobs: 0,
+                json: None,
+                deadline_ms: None,
+                trace: None,
+                metrics: false,
+                analyze: false,
+                retries: Some(2),
+                fallback: vec![BatchRouterKind::Lee, BatchRouterKind::Swbox],
+                journal: Some("runs/j".into()),
+                resume: true,
+            }
+        );
+        // --retries 0 still selects the supervised engine.
+        assert!(matches!(
+            parse("batch a.sb --retries 0").unwrap(),
+            Command::Batch { retries: Some(0), .. }
+        ));
+        assert!(parse("batch a.sb --retries x").unwrap_err().to_string().contains("number"));
+        assert!(parse("batch a.sb --retries 17").unwrap_err().to_string().contains("at most 16"));
+        assert!(parse("batch a.sb --fallback bogus").unwrap_err().to_string().contains("bogus"));
+        assert!(parse("batch a.sb --resume").unwrap_err().to_string().contains("--journal"));
+        let msg = parse("batch a.sb --retries 1 --metrics").unwrap_err().to_string();
+        assert!(msg.contains("supervised"), "{msg}");
+        let msg = parse("batch a.sb --journal j --trace ev.ldj").unwrap_err().to_string();
+        assert!(msg.contains("supervised"), "{msg}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!               [--metrics] [--trace OUT] [--json OUT] [--analyze]
 //! vroute batch  FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
 //!               [--metrics] [--trace OUT] [--analyze]
+//!               [--retries N] [--fallback KIND,...] [--journal DIR] [--resume]
 //! vroute analyze INSTANCE [ROUTES] [--json OUT]
 //! vroute check  FILE ROUTES [--svg OUT]
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
@@ -39,6 +40,7 @@ USAGE:
                [--metrics] [--trace OUT] [--json OUT] [--analyze]
   vroute batch FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
                [--metrics] [--trace OUT] [--analyze]
+               [--retries N] [--fallback KIND,...] [--journal DIR] [--resume]
   vroute analyze INSTANCE [ROUTES] [--json OUT]
   vroute check FILE ROUTES [--svg OUT]
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
@@ -80,7 +82,23 @@ OPTIONS:
   --shrink        Minimize each fuzz finding to a smallest reproducing case
   --out DIR       Write minimized fuzz finding case files into DIR
 
+SUPERVISED RECOVERY (batch; any of these selects the supervised engine):
+  --retries N     Re-route failed instances up to N times with escalated
+                  budgets and perturbed net order (N <= 16)
+  --fallback K,.. Comma-separated router chain tried after retries fail
+  --journal DIR   Append each outcome to DIR/journal.ldj (crash-safe WAL)
+  --resume        Skip instances already completed in DIR/journal.ldj;
+                  the resumed JSON report is byte-identical to an
+                  uninterrupted run's
+  Terminal failures salvage the best partial routing (most nets routed)
+  and lint it instead of discarding the work; --deadline-ms becomes a
+  per-attempt budget and timed-out attempts feed the salvage snapshot.
+  Not combinable with --metrics/--trace.
+
 ENVIRONMENT:
   VROUTE_FUZZ_FAULT  Inject a deliberate router bug into `fuzz` runs for
                      mutation testing: hide-failures | drop-trace
+  VROUTE_FAULT       Inject engine faults into supervised `batch` runs:
+                     KIND[@INSTANCES[@ATTEMPTS]] with KIND one of
+                     panic | fail | delay-MS (e.g. `fail@1,4@1`)
 ";

@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 use mighty::engine::{EngineConfig, ObserveMode, RouteEngine};
-use mighty::{MightyRouter, RouterConfig};
+use mighty::{
+    FallbackChain, FaultPlan, InstanceStatus, MightyRouter, RetryPolicy, RouterConfig, RunJournal,
+    Supervisor,
+};
 use route_analyze::{
     analyze_problem, lint_db, render_text, sort_diagnostics, Diagnostic, Severity,
 };
@@ -292,6 +295,10 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             trace,
             metrics,
             analyze,
+            retries,
+            fallback,
+            journal,
+            resume,
         } => {
             let mut paths: Vec<String> = files.clone();
             if let Some(listfile) = list {
@@ -305,10 +312,26 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 }
             }
             let mut problems = Vec::with_capacity(paths.len());
+            let mut fingerprints = Vec::with_capacity(paths.len());
             for path in &paths {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                fingerprints.push(RunJournal::fingerprint(&text));
                 problems.push(format::parse_problem(&text)?);
+            }
+            if retries.is_some() || !fallback.is_empty() || journal.is_some() {
+                let spec = SupervisedSpec {
+                    router: *router,
+                    jobs: *jobs,
+                    deadline_ms: *deadline_ms,
+                    analyze: *analyze,
+                    retries: retries.unwrap_or(0),
+                    fallback,
+                    journal: journal.as_deref(),
+                    resume: *resume,
+                    json: json.as_deref(),
+                };
+                return execute_batch_supervised(&paths, &problems, &fingerprints, &spec, out);
             }
             let algorithm = batch_router(*router);
             let observe = if trace.is_some() {
@@ -779,6 +802,229 @@ fn execute_fuzz(
     writeln!(out, "{}", if clean { "all oracles passed" } else { "ORACLE VIOLATIONS FOUND" })
         .expect("writing report");
     Ok(clean)
+}
+
+/// The supervised-recovery configuration of one `vroute batch` run.
+struct SupervisedSpec<'a> {
+    router: BatchRouterKind,
+    jobs: usize,
+    deadline_ms: Option<u64>,
+    analyze: bool,
+    retries: u32,
+    fallback: &'a [BatchRouterKind],
+    journal: Option<&'a str>,
+    resume: bool,
+    json: Option<&'a str>,
+}
+
+/// Executes `vroute batch` through the supervised recovery engine:
+/// retries with budget escalation, an optional fallback router chain,
+/// partial-result salvage, and a crash-safe resumable run journal.
+/// Fault injection for the recovery paths is enabled through the
+/// `VROUTE_FAULT` environment variable (`KIND[@INSTANCES[@ATTEMPTS]]`,
+/// e.g. `fail@1,4@1`).
+///
+/// The JSON report deliberately excludes wall-clock fields and the
+/// resumed-skip counter, so a killed-and-resumed run reproduces the
+/// uninterrupted run's report byte for byte.
+fn execute_batch_supervised(
+    paths: &[String],
+    problems: &[route_model::Problem],
+    fingerprints: &[u64],
+    spec: &SupervisedSpec<'_>,
+    out: &mut dyn fmt::Write,
+) -> Result<bool, ExecutionError> {
+    let policy = RetryPolicy::with_retries(spec.retries);
+    let mut sup = match spec.router {
+        BatchRouterKind::Ripup => Supervisor::new(RouterConfig::default(), policy),
+        kind => Supervisor::with_primary(batch_router(kind), policy),
+    };
+    let mut chain = FallbackChain::none();
+    for kind in spec.fallback {
+        chain.push(batch_router(*kind));
+    }
+    if !chain.is_empty() {
+        sup = sup.with_fallbacks(chain);
+    }
+    if let Ok(fault) = std::env::var("VROUTE_FAULT") {
+        if !fault.is_empty() {
+            let plan = FaultPlan::parse(&fault)
+                .map_err(|e| ExecutionError::Unroutable(format!("VROUTE_FAULT: {e}")))?;
+            writeln!(out, "fault injection active: {fault}").expect("writing");
+            sup = sup.with_fault(plan);
+        }
+    }
+    let instances: Vec<(String, u64)> =
+        paths.iter().cloned().zip(fingerprints.iter().copied()).collect();
+    let journal = match spec.journal {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let j = if spec.resume {
+                RunJournal::resume(dir, &instances)
+            } else {
+                RunJournal::create(dir, &instances)
+            }
+            .map_err(|e| ExecutionError::Io(dir.display().to_string(), e))?;
+            Some(j)
+        }
+        None => None,
+    };
+    let engine = RouteEngine::new(EngineConfig {
+        jobs: spec.jobs,
+        deadline: spec.deadline_ms.map(std::time::Duration::from_millis),
+        observe: ObserveMode::Off,
+        precheck: spec.analyze,
+    });
+    let batch = engine.route_batch_supervised(&sup, problems, journal.as_ref());
+    let s = &batch.stats;
+    writeln!(
+        out,
+        "router: {} (supervised, retries {}, fallbacks {}), jobs: {}, instances: {}",
+        sup.primary_name(),
+        spec.retries,
+        spec.fallback.len(),
+        s.jobs,
+        s.instances
+    )
+    .expect("writing");
+    // The same order-sensitive FNV-1a fold as the plain batch, over the
+    // deterministic per-instance record fields only.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut records = Vec::with_capacity(paths.len());
+    for (i, (path, entry)) in paths.iter().zip(&batch.entries).enumerate() {
+        let resumed = if batch.outcomes[i].is_none() { " (resumed)" } else { "" };
+        let status = entry.status.as_str();
+        let route_path = entry.path.encode();
+        let sum = entry.checksum.unwrap_or(0);
+        digest = fnv_str(digest, status);
+        digest = fnv_str(digest, &route_path);
+        digest = fnv_fold(digest, u64::from(entry.attempts));
+        digest = fnv_fold(digest, sum);
+        digest = fnv_fold(digest, entry.wire);
+        digest = fnv_fold(digest, entry.vias);
+        digest = fnv_fold(digest, entry.failed_nets as u64);
+        if let Some(e) = &entry.error {
+            digest = fnv_str(digest, e);
+        }
+        match entry.status {
+            InstanceStatus::Complete => writeln!(
+                out,
+                "  {path}: complete via {route_path}, {} attempt(s), wire {}, vias {}, \
+                 checksum {sum:016x}{resumed}",
+                entry.attempts, entry.wire, entry.vias
+            ),
+            InstanceStatus::Salvaged => writeln!(
+                out,
+                "  {path}: salvaged, {} net(s) unrouted, lint {}, checksum {sum:016x}, \
+                 after {} attempt(s): {}{resumed}",
+                entry.failed_nets,
+                entry.lint_findings.unwrap_or(0),
+                entry.attempts,
+                entry.error.as_deref().unwrap_or("unknown"),
+            ),
+            InstanceStatus::Infeasible => writeln!(
+                out,
+                "  {path}: infeasible: {}{resumed}",
+                entry.error.as_deref().unwrap_or("certified")
+            ),
+            _ => writeln!(
+                out,
+                "  {path}: {status} after {} attempt(s): {}{resumed}",
+                entry.attempts,
+                entry.error.as_deref().unwrap_or("unknown")
+            ),
+        }
+        .expect("writing");
+        let mut pairs = vec![
+            ("file", Json::str(path.as_str())),
+            ("status", Json::str(status)),
+            ("path", Json::str(route_path)),
+            ("attempts", Json::from(u64::from(entry.attempts))),
+        ];
+        if entry.checksum.is_some() {
+            pairs.push(("wire", Json::from(entry.wire)));
+            pairs.push(("vias", Json::from(entry.vias)));
+            pairs.push(("checksum", Json::str(format!("{sum:016x}"))));
+        }
+        if entry.status == InstanceStatus::Salvaged {
+            pairs.push(("failed_nets", Json::from(entry.failed_nets as u64)));
+            pairs.push(("lint", Json::from(entry.lint_findings.unwrap_or(0))));
+        }
+        if entry.status != InstanceStatus::Complete {
+            if let Some(e) = &entry.error {
+                pairs.push(("error", Json::str(e.as_str())));
+            }
+        }
+        records.push(Json::obj(pairs));
+    }
+    writeln!(
+        out,
+        "batch: {} complete, {} salvaged, {} infeasible, {} errored, {} panicked, \
+         {} timed out; {} retried, {} fell back, {} resumed",
+        s.complete,
+        s.salvaged,
+        s.infeasible,
+        s.errored,
+        s.panicked,
+        s.timed_out,
+        s.retried,
+        s.fell_back,
+        s.resumed_skips
+    )
+    .expect("writing");
+    writeln!(out, "digest: {digest:016x}").expect("writing");
+    if let Some(j) = &journal {
+        if let Some(e) = j.take_error() {
+            return Err(ExecutionError::Unroutable(format!("journal write failed: {e}")));
+        }
+        writeln!(out, "journal: {}", j.path().display()).expect("writing");
+    }
+    if let Some(path) = spec.json {
+        let doc = Json::obj([
+            ("command", Json::str("batch")),
+            ("router", Json::str(batch_router_name(spec.router))),
+            ("jobs", Json::from(s.jobs)),
+            ("retries", Json::from(u64::from(spec.retries))),
+            (
+                "fallbacks",
+                Json::arr(spec.fallback.iter().map(|k| Json::str(batch_router_name(*k)))),
+            ),
+            ("digest", Json::str(format!("{digest:016x}"))),
+            ("instances", Json::arr(records)),
+            (
+                "stats",
+                Json::obj([
+                    ("complete", Json::from(s.complete)),
+                    ("salvaged", Json::from(s.salvaged)),
+                    ("infeasible", Json::from(s.infeasible)),
+                    ("errored", Json::from(s.errored)),
+                    ("panicked", Json::from(s.panicked)),
+                    ("timed_out", Json::from(s.timed_out)),
+                    ("retried", Json::from(s.retried)),
+                    ("fell_back", Json::from(s.fell_back)),
+                    ("failed_nets", Json::from(s.failed_nets)),
+                    ("wirelength", Json::from(s.wirelength)),
+                    ("vias", Json::from(s.vias)),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
+        writeln!(out, "json written to {path}").expect("writing");
+    }
+    Ok(s.complete == s.instances)
+}
+
+/// The name used for a batch router choice in reports.
+fn batch_router_name(kind: BatchRouterKind) -> &'static str {
+    match kind {
+        BatchRouterKind::Ripup => "ripup",
+        BatchRouterKind::Lee => "lee",
+        BatchRouterKind::Lea => "lea",
+        BatchRouterKind::Dogleg => "dogleg",
+        BatchRouterKind::Greedy => "greedy",
+        BatchRouterKind::Yacr => "yacr",
+        BatchRouterKind::Swbox => "swbox",
+    }
 }
 
 /// The unified trait object for a batch router choice.
@@ -1333,6 +1579,122 @@ mod tests {
         let (out, ok) = run(&format!("fuzz {}", cases[0].display()));
         assert!(ok.unwrap(), "{out}");
         assert!(out.contains("all oracles passed"), "{out}");
+    }
+
+    /// Serializes the supervised-batch tests: `VROUTE_FAULT` is
+    /// process-global, so runs that expect a clean engine must not
+    /// observe another test's injected fault.
+    static SUP_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Writes `count` routable instances into `dir`, returning their
+    /// space-joined paths.
+    fn supervised_fixture(dir: &std::path::Path, count: usize) -> String {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut files = String::new();
+        for seed in 0..count {
+            let (instance, _) =
+                run(&format!("gen switchbox --width 12 --height 10 --nets 6 --seed {seed}"));
+            let path = dir.join(format!("s{seed}.sb"));
+            std::fs::write(&path, instance).unwrap();
+            files.push_str(&format!("{} ", path.display()));
+        }
+        files.trim_end().to_owned()
+    }
+
+    #[test]
+    fn supervised_batch_recovers_injected_failures() {
+        let _guard = SUP_ENV.lock().unwrap();
+        let dir = std::env::temp_dir().join("vroute-test-sup-fault");
+        let files = supervised_fixture(&dir, 3);
+
+        // First-attempt spurious failures on instances 0 and 2: the
+        // retry completes them and the summary says so.
+        std::env::set_var("VROUTE_FAULT", "fail@0,2@1");
+        let (out, ok) = run(&format!("batch {files} --retries 2 --jobs 1"));
+        std::env::remove_var("VROUTE_FAULT");
+        assert!(ok.unwrap(), "retries recover the batch:\n{out}");
+        assert!(out.contains("fault injection active: fail@0,2@1"), "{out}");
+        assert!(out.contains("complete via retried:1"), "{out}");
+        assert!(out.contains("3 complete, 0 salvaged"), "{out}");
+        assert!(out.contains("2 retried"), "{out}");
+
+        // Failures on the primary and its retry (the fault window counts
+        // attempts across the whole chain): the Lee fallback rescues it.
+        std::env::set_var("VROUTE_FAULT", "fail@0@2");
+        let (out, ok) = run(&format!("batch {files} --retries 1 --fallback lee --jobs 1"));
+        std::env::remove_var("VROUTE_FAULT");
+        assert!(ok.unwrap(), "the fallback recovers the batch:\n{out}");
+        assert!(out.contains("complete via fallback:lee"), "{out}");
+        assert!(out.contains("1 fell back"), "{out}");
+
+        // An unknown fault spec is rejected with a message.
+        std::env::set_var("VROUTE_FAULT", "melt@0");
+        let (_, result) = run(&format!("batch {files} --retries 1"));
+        std::env::remove_var("VROUTE_FAULT");
+        let msg = result.unwrap_err().to_string();
+        assert!(msg.contains("VROUTE_FAULT"), "{msg}");
+    }
+
+    #[test]
+    fn supervised_batch_salvages_on_zero_deadline() {
+        let _guard = SUP_ENV.lock().unwrap();
+        std::env::remove_var("VROUTE_FAULT");
+        let dir = std::env::temp_dir().join("vroute-test-sup-salvage");
+        let files = supervised_fixture(&dir, 2);
+        let report = dir.join("salvage.json");
+        let (out, ok) =
+            run(&format!("batch {files} --retries 0 --deadline-ms 0 --json {}", report.display()));
+        assert!(!ok.unwrap(), "a salvaged batch is not complete:\n{out}");
+        assert!(out.contains("0 complete, 2 salvaged"), "{out}");
+        assert!(out.contains("salvaged,"), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"status\": \"salvaged\""), "{text}");
+        assert!(text.contains("\"lint\": 0"), "salvaged dbs lint clean:\n{text}");
+        assert!(text.contains("deadline"), "{text}");
+    }
+
+    #[test]
+    fn supervised_batch_resume_report_is_byte_identical() {
+        let _guard = SUP_ENV.lock().unwrap();
+        std::env::remove_var("VROUTE_FAULT");
+        let dir = std::env::temp_dir().join("vroute-test-sup-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = supervised_fixture(&dir, 6);
+        let jdir = dir.join("journal");
+        let full = dir.join("full.json");
+        let resumed = dir.join("resumed.json");
+
+        let (out, ok) = run(&format!(
+            "batch {files} --retries 1 --journal {} --jobs 2 --json {}",
+            jdir.display(),
+            full.display()
+        ));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("journal:"), "{out}");
+
+        // Simulate a SIGKILL mid-run: keep the first two completed
+        // records, one in-flight marker, and a torn half-line.
+        let log = jdir.join("journal.ldj");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let done: Vec<&str> = text.lines().filter(|l| l.contains("\"ev\":\"done\"")).collect();
+        let begin = text.lines().find(|l| l.contains("\"ev\":\"begin\"")).unwrap();
+        let torn = &done[2][..done[2].len() / 2];
+        std::fs::write(&log, format!("{}\n{}\n{}", done[..2].join("\n"), begin, torn)).unwrap();
+
+        let (out, ok) = run(&format!(
+            "batch {files} --retries 1 --journal {} --resume --jobs 2 --json {}",
+            jdir.display(),
+            resumed.display()
+        ));
+        assert!(ok.unwrap(), "{out}");
+        assert!(out.contains("2 resumed"), "{out}");
+        assert!(out.contains("(resumed)"), "{out}");
+
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "a killed-and-resumed report must be byte-identical"
+        );
     }
 
     #[test]

@@ -267,6 +267,89 @@ fn batch_infeasible_outcome_keys_are_pinned() {
 }
 
 #[test]
+fn supervised_batch_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-batch-sup");
+    let a = instance(&dir, "a.sb");
+    let b = instance(&dir, "b.sb");
+    let report = dir.join("supervised.json");
+    run(&format!("batch {a} {b} --retries 1 --fallback lee --jobs 1 --json {}", report.display()));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    // The supervised report is a deterministic contract: no wall-clock
+    // keys (ms, batch_ms, busy_ms, throughput) and no resume counter,
+    // so a killed-and-resumed run reproduces it byte for byte.
+    let expected = golden(
+        vec![
+            "command",
+            "router",
+            "jobs",
+            "retries",
+            "fallbacks",
+            "digest",
+            "instances",
+            "instances[].file",
+            "instances[].status",
+            "instances[].path",
+            "instances[].attempts",
+            "instances[].wire",
+            "instances[].vias",
+            "instances[].checksum",
+            "stats",
+            "stats.complete",
+            "stats.salvaged",
+            "stats.infeasible",
+            "stats.errored",
+            "stats.panicked",
+            "stats.timed_out",
+            "stats.retried",
+            "stats.fell_back",
+            "stats.failed_nets",
+            "stats.wirelength",
+            "stats.vias",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "supervised batch --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"batch\""), "{json}");
+    assert!(json.contains("\"router\": \"ripup\""), "{json}");
+    assert!(json.contains("\"retries\": 1"), "{json}");
+    assert!(json.contains("\"lee\""), "{json}");
+    assert!(json.contains("\"status\": \"complete\""), "{json}");
+    assert!(json.contains("\"path\": \"direct\""), "{json}");
+}
+
+#[test]
+fn supervised_salvage_outcome_keys_are_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-batch-sup-salvage");
+    let a = instance(&dir, "a.sb");
+    let report = dir.join("salvaged.json");
+    let cmd = parse_args(
+        format!("batch {a} --retries 0 --deadline-ms 0 --jobs 1 --json {}", report.display())
+            .split_whitespace()
+            .map(str::to_owned),
+    )
+    .expect("parses");
+    let mut out = String::new();
+    assert!(!execute(&cmd, &mut out).expect("executes"), "{out}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    let keys = key_paths(&json);
+    // Salvaged records keep the routed-stats keys (the snapshot db is
+    // real metal) and add the salvage accounting.
+    for key in [
+        "instances[].wire",
+        "instances[].vias",
+        "instances[].checksum",
+        "instances[].failed_nets",
+        "instances[].lint",
+        "instances[].error",
+    ] {
+        assert!(keys.contains(key), "missing {key} in:\n{json}");
+    }
+    assert!(json.contains("\"status\": \"salvaged\""), "{json}");
+    assert!(json.contains("\"salvaged\": 1"), "{json}");
+}
+
+#[test]
 fn batch_json_with_metrics_adds_only_the_metrics_block() {
     let dir = std::env::temp_dir().join("vroute-json-schema-batch-metrics");
     let a = instance(&dir, "a.sb");

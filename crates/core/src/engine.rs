@@ -53,6 +53,9 @@ use route_model::{
     RouteResult, RouterStats,
 };
 
+use crate::journal::{JournalEntry, RunJournal};
+use crate::recover::{InstanceStatus, RecoveryPath, SupervisedOutcome, Supervisor};
+
 /// How much the engine observes of each instance's routing run.
 ///
 /// Observation is strictly additive: the routed databases are
@@ -126,6 +129,19 @@ pub struct EngineStats {
     pub max_instance_ms: u64,
     /// Worker threads actually used.
     pub jobs: usize,
+    /// Supervised batches only: instances completed by a retry of the
+    /// primary router (see [`crate::recover::RetryPolicy`]).
+    pub retried: usize,
+    /// Supervised batches only: instances completed by a fallback
+    /// router (see [`crate::recover::FallbackChain`]).
+    pub fell_back: usize,
+    /// Supervised batches only: instances whose terminal failure was
+    /// softened into a salvaged partial routing. Never counted in
+    /// [`complete`](EngineStats::complete).
+    pub salvaged: usize,
+    /// Supervised batches only: instances skipped because a resumed
+    /// run journal already held their completed record.
+    pub resumed_skips: usize,
     /// Router work counters summed over all observed instances.
     /// Stays at zero when [`EngineConfig::observe`] is
     /// [`ObserveMode::Off`] — observation is what sources it.
@@ -344,6 +360,158 @@ impl RouteEngine {
     }
 }
 
+/// What [`RouteEngine::route_batch_supervised`] returns.
+#[derive(Debug)]
+pub struct SupervisedBatch {
+    /// Per-instance outcomes, in input order. `None` marks an instance
+    /// skipped by journal resume — its result lives only in `entries`.
+    pub outcomes: Vec<Option<SupervisedOutcome>>,
+    /// Per-instance journal-shaped summaries, in input order — present
+    /// for every instance (resumed ones replay their stored record),
+    /// so reports never depend on whether a run was resumed.
+    pub entries: Vec<JournalEntry>,
+    /// Per-instance routing time, in input order (zero for resumed
+    /// skips).
+    pub timings: Vec<Duration>,
+    /// Aggregate accounting, including the recovery counters
+    /// ([`EngineStats::retried`], [`EngineStats::fell_back`],
+    /// [`EngineStats::salvaged`], [`EngineStats::resumed_skips`]).
+    pub stats: EngineStats,
+}
+
+impl RouteEngine {
+    /// Routes every problem under supervision: each instance runs
+    /// through `supervisor`'s retry/fallback/salvage chain instead of a
+    /// single attempt, and (optionally) streams its outcome through a
+    /// crash-safe [`RunJournal`].
+    ///
+    /// Differences from [`route_batch`](RouteEngine::route_batch):
+    ///
+    /// * [`EngineConfig::deadline`] bounds each *attempt*, and a
+    ///   deadline-disqualified routing still feeds the salvage
+    ///   snapshot.
+    /// * [`EngineConfig::observe`] is ignored — supervision re-runs
+    ///   instances, so per-attempt observation would not merge into a
+    ///   meaningful batch trace.
+    /// * With a journal opened via [`RunJournal::resume`], instances
+    ///   with a valid completed record are skipped and their stored
+    ///   entries replayed verbatim ([`EngineStats::resumed_skips`]).
+    ///
+    /// Journal write failures never abort the batch; they latch inside
+    /// the journal for the caller to check
+    /// ([`RunJournal::take_error`]).
+    pub fn route_batch_supervised(
+        &self,
+        supervisor: &Supervisor,
+        problems: &[Problem],
+        journal: Option<&RunJournal>,
+    ) -> SupervisedBatch {
+        let started = Instant::now();
+        let n = problems.len();
+        let jobs = self.jobs().min(n).max(1);
+        let deadline = self.config.deadline;
+        let precheck = self.config.precheck;
+
+        let next = AtomicUsize::new(0);
+        type Report = (usize, Duration, JournalEntry, Option<SupervisedOutcome>);
+        let (tx, rx) = mpsc::channel::<Report>();
+        thread::scope(|s| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if let Some(entry) = journal.and_then(|j| j.replay(i)) {
+                        if tx.send((i, Duration::ZERO, entry.clone(), None)).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    let (label, fingerprint) = journal
+                        .and_then(|j| j.key(i).cloned())
+                        .unwrap_or_else(|| (format!("instance-{i}"), 0));
+                    let t0 = Instant::now();
+                    let outcome = if precheck {
+                        match route_analyze::analyze_problem(&problems[i]).certificates().first() {
+                            Some(cert) => SupervisedOutcome::infeasible(cert.summary()),
+                            None => {
+                                if let Some(j) = journal {
+                                    j.begin(i);
+                                }
+                                supervisor.route_supervised(&problems[i], i, deadline)
+                            }
+                        }
+                    } else {
+                        if let Some(j) = journal {
+                            j.begin(i);
+                        }
+                        supervisor.route_supervised(&problems[i], i, deadline)
+                    };
+                    let entry = JournalEntry::from_outcome(i, &label, fingerprint, &outcome);
+                    if let Some(j) = journal {
+                        j.finish(&entry);
+                    }
+                    if tx.send((i, t0.elapsed(), entry, Some(outcome))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        let mut entry_slots: Vec<Option<JournalEntry>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<SupervisedOutcome>> = (0..n).map(|_| None).collect();
+        let mut timings = vec![Duration::ZERO; n];
+        let mut resumed_flags = vec![false; n];
+        for (i, took, entry, outcome) in rx {
+            resumed_flags[i] = outcome.is_none();
+            entry_slots[i] = Some(entry);
+            outcomes[i] = outcome;
+            timings[i] = took;
+        }
+        let entries: Vec<JournalEntry> = entry_slots
+            .into_iter()
+            .map(|slot| slot.expect("every claimed instance reports exactly once"))
+            .collect();
+
+        let mut stats = EngineStats {
+            instances: n,
+            jobs,
+            batch_ms: started.elapsed().as_millis() as u64,
+            ..EngineStats::default()
+        };
+        for ((entry, took), resumed) in entries.iter().zip(&timings).zip(&resumed_flags) {
+            let ms = took.as_millis() as u64;
+            stats.busy_ms += ms;
+            stats.max_instance_ms = stats.max_instance_ms.max(ms);
+            if *resumed {
+                stats.resumed_skips += 1;
+            }
+            match entry.status {
+                InstanceStatus::Complete => stats.complete += 1,
+                InstanceStatus::Salvaged => stats.salvaged += 1,
+                InstanceStatus::Infeasible => stats.infeasible += 1,
+                InstanceStatus::Panicked => stats.panicked += 1,
+                InstanceStatus::TimedOut => stats.timed_out += 1,
+                InstanceStatus::Errored => stats.errored += 1,
+            }
+            match entry.path {
+                RecoveryPath::Retried { .. } => stats.retried += 1,
+                RecoveryPath::FellBack { .. } => stats.fell_back += 1,
+                _ => {}
+            }
+            stats.failed_nets += entry.failed_nets;
+            stats.wirelength += entry.wire;
+            stats.vias += entry.vias;
+        }
+
+        SupervisedBatch { outcomes, entries, timings, stats }
+    }
+}
+
 /// Per-instance observation payload shipped back from a worker. The
 /// recorder is boxed: it holds inline histograms, and the enum would
 /// otherwise be recorder-sized in every slot.
@@ -354,7 +522,7 @@ enum Observed {
 }
 
 /// Extracts a human-readable message from a panic payload.
-fn panic_text(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,526 @@
+//! Crash-safe run journal: an append-only LDJSON write-ahead log of
+//! per-instance batch outcomes.
+//!
+//! A supervised batch run with a journal writes two kinds of records to
+//! `DIR/journal.ldj`, one JSON object per line:
+//!
+//! * `begin` — appended *before* an instance is routed, marking it
+//!   in-flight.
+//! * `done` — appended (and fsync'd) *after* the instance's supervised
+//!   outcome is known, carrying its status, recovery path, attempt
+//!   count, [`RouteDb::checksum`](route_model::RouteDb::checksum),
+//!   wirelength/via totals and any terminal error.
+//!
+//! Every line carries a trailing FNV-1a `crc` over its own bytes, so a
+//! line torn by process death is detected and ignored on resume. A
+//! resumed run ([`RunJournal::resume`]) replays the last valid `done`
+//! record per instance — matched on index, label *and* a fingerprint of
+//! the instance text, so edited inputs are re-routed — skips those
+//! instances, and re-runs everything that was merely in flight. Replayed
+//! records feed the final report verbatim, which is what makes a
+//! killed-and-resumed batch report byte-identical to an uninterrupted
+//! one (the report excludes wall-clock fields for exactly this reason).
+
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::recover::{InstanceStatus, RecoveryPath, SupervisedOutcome};
+
+/// One `done` record: everything the final report needs to describe an
+/// instance without its live [`RouteDb`](route_model::RouteDb).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Batch index of the instance.
+    pub index: usize,
+    /// Instance label (the CLI uses the file path).
+    pub label: String,
+    /// Fingerprint of the instance text ([`RunJournal::fingerprint`]).
+    pub fingerprint: u64,
+    /// Terminal classification.
+    pub status: InstanceStatus,
+    /// How the result was obtained.
+    pub path: RecoveryPath,
+    /// Attempts spent across the recovery chain.
+    pub attempts: u32,
+    /// Database checksum, for completed and salvaged instances.
+    pub checksum: Option<u64>,
+    /// Total wirelength of the committed routing.
+    pub wire: u64,
+    /// Total vias of the committed routing.
+    pub vias: u64,
+    /// Unconnected nets (salvaged instances; zero when complete).
+    pub failed_nets: usize,
+    /// Salvage lint finding count (`None` unless salvaged).
+    pub lint_findings: Option<u64>,
+    /// Terminal error or salvage reason, if any.
+    pub error: Option<String>,
+}
+
+impl JournalEntry {
+    /// Builds the journal record for a live supervised outcome.
+    pub fn from_outcome(
+        index: usize,
+        label: &str,
+        fingerprint: u64,
+        outcome: &SupervisedOutcome,
+    ) -> JournalEntry {
+        let mut entry = JournalEntry {
+            index,
+            label: label.to_string(),
+            fingerprint,
+            status: outcome.status(),
+            path: outcome.path.clone(),
+            attempts: outcome.attempts,
+            checksum: None,
+            wire: 0,
+            vias: 0,
+            failed_nets: 0,
+            lint_findings: None,
+            error: None,
+        };
+        match &outcome.result {
+            Some(Ok(routing)) => {
+                let stats = routing.db.stats();
+                entry.checksum = Some(routing.db.checksum());
+                entry.wire = stats.wirelength;
+                entry.vias = stats.vias;
+                entry.failed_nets = routing.failed.len();
+            }
+            Some(Err(e)) => entry.error = Some(e.to_string()),
+            None => {}
+        }
+        if let Some(salvage) = &outcome.salvage {
+            entry.lint_findings = Some(salvage.lint.findings().len() as u64);
+            entry.error = Some(salvage.terminal.clone());
+        }
+        entry
+    }
+}
+
+/// State of the append side of the journal. A write error latches: the
+/// file is dropped, the message kept for the caller to surface after
+/// the batch (workers cannot abort mid-flight without losing results).
+struct Writer {
+    file: Option<File>,
+    error: Option<String>,
+}
+
+/// The run journal. See the [module docs](self) for the format and the
+/// resume contract.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    writer: Mutex<Writer>,
+    instances: Vec<(String, u64)>,
+    replayed: Vec<Option<JournalEntry>>,
+}
+
+impl std::fmt::Debug for Writer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Writer")
+            .field("open", &self.file.is_some())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl RunJournal {
+    /// File name of the log inside the journal directory.
+    pub const FILE_NAME: &'static str = "journal.ldj";
+
+    /// FNV-1a fingerprint of an instance's text, used to detect edited
+    /// inputs on resume.
+    pub fn fingerprint(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Starts a fresh journal for the given `(label, fingerprint)`
+    /// instances, truncating any previous log in `dir`.
+    pub fn create(dir: &Path, instances: &[(String, u64)]) -> io::Result<RunJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(RunJournal::FILE_NAME);
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        Ok(RunJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            instances: instances.to_vec(),
+            replayed: vec![None; instances.len()],
+        })
+    }
+
+    /// Opens a journal for resume: scans any existing log for valid
+    /// `done` records matching the given instances, then appends. A
+    /// missing log behaves like [`create`](RunJournal::create).
+    pub fn resume(dir: &Path, instances: &[(String, u64)]) -> io::Result<RunJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(RunJournal::FILE_NAME);
+        let mut replayed: Vec<Option<JournalEntry>> = vec![None; instances.len()];
+        match File::open(&path) {
+            Ok(mut file) => {
+                let mut text = String::new();
+                file.read_to_string(&mut text)?;
+                for line in text.lines() {
+                    let Some(entry) = parse_done_line(line) else { continue };
+                    let matches = instances.get(entry.index).is_some_and(|(label, fp)| {
+                        *label == entry.label && *fp == entry.fingerprint
+                    });
+                    if matches {
+                        // Last valid record wins: a re-run supersedes.
+                        let slot = entry.index;
+                        replayed[slot] = Some(entry);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        Ok(RunJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            instances: instances.to_vec(),
+            replayed,
+        })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The replayed `done` record for an instance, if resume found one.
+    pub fn replay(&self, index: usize) -> Option<&JournalEntry> {
+        self.replayed.get(index).and_then(Option::as_ref)
+    }
+
+    /// Instances resume will skip.
+    pub fn resumed_count(&self) -> usize {
+        self.replayed.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The label/fingerprint pair registered for an instance.
+    pub fn key(&self, index: usize) -> Option<&(String, u64)> {
+        self.instances.get(index)
+    }
+
+    /// Appends the in-flight marker for an instance. Errors latch (see
+    /// [`take_error`](RunJournal::take_error)).
+    pub fn begin(&self, index: usize) {
+        let (label, fp) = match self.instances.get(index) {
+            Some(pair) => pair,
+            None => return,
+        };
+        let mut body = String::from("{\"ev\":\"begin\"");
+        let _ = write!(body, ",\"idx\":{index},\"label\":\"{}\"", escape(label));
+        let _ = write!(body, ",\"fp\":\"{fp:016x}\"");
+        self.append(body, false);
+    }
+
+    /// Appends and fsyncs the terminal record for an instance. Errors
+    /// latch (see [`take_error`](RunJournal::take_error)).
+    pub fn finish(&self, entry: &JournalEntry) {
+        let mut body = String::from("{\"ev\":\"done\"");
+        let _ = write!(body, ",\"idx\":{},\"label\":\"{}\"", entry.index, escape(&entry.label));
+        let _ = write!(body, ",\"fp\":\"{:016x}\"", entry.fingerprint);
+        let _ = write!(body, ",\"status\":\"{}\"", entry.status.as_str());
+        let _ = write!(body, ",\"path\":\"{}\"", escape(&entry.path.encode()));
+        let _ = write!(body, ",\"attempts\":{}", entry.attempts);
+        if let Some(checksum) = entry.checksum {
+            let _ = write!(body, ",\"checksum\":\"{checksum:016x}\"");
+        }
+        let _ = write!(body, ",\"wire\":{},\"vias\":{}", entry.wire, entry.vias);
+        let _ = write!(body, ",\"failed\":{}", entry.failed_nets);
+        if let Some(lint) = entry.lint_findings {
+            let _ = write!(body, ",\"lint\":{lint}");
+        }
+        if let Some(error) = &entry.error {
+            let _ = write!(body, ",\"error\":\"{}\"", escape(error));
+        }
+        self.append(body, true);
+    }
+
+    /// The first write error, if any — callers check once per batch.
+    pub fn take_error(&self) -> Option<String> {
+        match self.writer.lock() {
+            Ok(mut writer) => writer.error.take(),
+            Err(_) => Some("journal writer mutex poisoned".to_string()),
+        }
+    }
+
+    /// Seals `body` with its `crc` field and appends it as one line,
+    /// optionally fsyncing. The crc covers every byte before `,"crc"`,
+    /// which is how resume detects torn lines.
+    fn append(&self, body: String, sync: bool) {
+        let mut line = body;
+        let crc = RunJournal::fingerprint(&line);
+        let _ = write!(line, ",\"crc\":\"{crc:016x}\"}}");
+        line.push('\n');
+        let Ok(mut writer) = self.writer.lock() else { return };
+        if writer.error.is_some() {
+            return;
+        }
+        let result = match writer.file.as_mut() {
+            Some(file) => file.write_all(line.as_bytes()).and_then(|()| {
+                if sync {
+                    file.sync_data()
+                } else {
+                    Ok(())
+                }
+            }),
+            None => return,
+        };
+        if let Err(e) = result {
+            writer.error = Some(format!("journal write failed: {e}"));
+            writer.file = None;
+        }
+    }
+}
+
+/// Escapes a string for embedding in a journal line: backslash, quote
+/// and control characters.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extracts the raw (still-escaped) value of a top-level `"key":` pair,
+/// scanning outside string context so a value containing `"key":`
+/// cannot spoof a field.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let bytes = line.as_bytes();
+    let needle = format!("\"{key}\":");
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        if in_string {
+            match bytes[i] {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            if line[i..].starts_with(&needle) {
+                let start = i + needle.len();
+                return Some(value_at(line, start));
+            }
+            in_string = true;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The value token starting at `start`: a quoted string's contents, or
+/// a bare token up to the next comma or closing brace.
+fn value_at(line: &str, start: usize) -> &str {
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let bytes = inner.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 1,
+                b'"' => return &inner[..i],
+                _ => {}
+            }
+            i += 1;
+        }
+        inner
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        &rest[..end]
+    }
+}
+
+/// Parses one journal line into a `done` entry, returning `None` for
+/// `begin` markers, torn lines (crc mismatch), and anything malformed.
+fn parse_done_line(line: &str) -> Option<JournalEntry> {
+    // crc check first: it covers everything before the crc field, and
+    // escaped strings cannot contain a bare `,"crc":"`, so rfind is
+    // unambiguous.
+    let crc_at = line.rfind(",\"crc\":\"")?;
+    let crc = u64::from_str_radix(raw_field(line, "crc")?, 16).ok()?;
+    if RunJournal::fingerprint(&line[..crc_at]) != crc {
+        return None;
+    }
+    if raw_field(line, "ev")? != "done" {
+        return None;
+    }
+    Some(JournalEntry {
+        index: raw_field(line, "idx")?.parse().ok()?,
+        label: unescape(raw_field(line, "label")?),
+        fingerprint: u64::from_str_radix(raw_field(line, "fp")?, 16).ok()?,
+        status: InstanceStatus::parse(raw_field(line, "status")?)?,
+        path: RecoveryPath::parse(&unescape(raw_field(line, "path")?))?,
+        attempts: raw_field(line, "attempts")?.parse().ok()?,
+        checksum: match raw_field(line, "checksum") {
+            Some(hex) => Some(u64::from_str_radix(hex, 16).ok()?),
+            None => None,
+        },
+        wire: raw_field(line, "wire")?.parse().ok()?,
+        vias: raw_field(line, "vias")?.parse().ok()?,
+        failed_nets: raw_field(line, "failed")?.parse().ok()?,
+        lint_findings: match raw_field(line, "lint") {
+            Some(n) => Some(n.parse().ok()?),
+            None => None,
+        },
+        error: raw_field(line, "error").map(unescape),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: usize, label: &str) -> JournalEntry {
+        JournalEntry {
+            index,
+            label: label.to_string(),
+            fingerprint: RunJournal::fingerprint(label),
+            status: InstanceStatus::Complete,
+            path: RecoveryPath::Direct,
+            attempts: 1,
+            checksum: Some(0xdead_beef),
+            wire: 42,
+            vias: 3,
+            failed_nets: 0,
+            lint_findings: None,
+            error: None,
+        }
+    }
+
+    fn keys(labels: &[&str]) -> Vec<(String, u64)> {
+        labels.iter().map(|l| (l.to_string(), RunJournal::fingerprint(l))).collect()
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vroute-journal-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_log() {
+        let dir = temp_dir("roundtrip");
+        let instances = keys(&["a.sb", "b \"quoted\" \\path\n.sb"]);
+        let journal = RunJournal::create(&dir, &instances).unwrap();
+        journal.begin(0);
+        journal.finish(&entry(0, "a.sb"));
+        let mut salvaged = entry(1, "b \"quoted\" \\path\n.sb");
+        salvaged.status = InstanceStatus::Salvaged;
+        salvaged.path = RecoveryPath::Salvaged;
+        salvaged.failed_nets = 2;
+        salvaged.lint_findings = Some(0);
+        salvaged.error = Some("deadline exceeded: 7 ms against a 5 ms budget".to_string());
+        journal.begin(1);
+        journal.finish(&salvaged);
+        assert_eq!(journal.take_error(), None);
+        drop(journal);
+
+        let resumed = RunJournal::resume(&dir, &instances).unwrap();
+        assert_eq!(resumed.resumed_count(), 2);
+        assert_eq!(resumed.replay(0), Some(&entry(0, "a.sb")));
+        assert_eq!(resumed.replay(1), Some(&salvaged));
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_are_ignored() {
+        let dir = temp_dir("torn");
+        let instances = keys(&["a.sb", "b.sb"]);
+        let journal = RunJournal::create(&dir, &instances).unwrap();
+        journal.finish(&entry(0, "a.sb"));
+        journal.finish(&entry(1, "b.sb"));
+        drop(journal);
+
+        // Tear the final line mid-byte, as a crash would.
+        let path = dir.join(RunJournal::FILE_NAME);
+        let text = fs::read_to_string(&path).unwrap();
+        let torn: String = text.chars().take(text.len() - 9).collect();
+        fs::write(&path, torn).unwrap();
+
+        let resumed = RunJournal::resume(&dir, &instances).unwrap();
+        assert_eq!(resumed.resumed_count(), 1, "the torn record must be re-run");
+        assert!(resumed.replay(0).is_some());
+        assert!(resumed.replay(1).is_none());
+    }
+
+    #[test]
+    fn edited_instances_are_not_replayed() {
+        let dir = temp_dir("edited");
+        let journal = RunJournal::create(&dir, &keys(&["a.sb"])).unwrap();
+        journal.finish(&entry(0, "a.sb"));
+        drop(journal);
+
+        // Same label, different content fingerprint: must re-run.
+        let edited = vec![("a.sb".to_string(), 0x1234u64)];
+        let resumed = RunJournal::resume(&dir, &edited).unwrap();
+        assert_eq!(resumed.resumed_count(), 0);
+    }
+
+    #[test]
+    fn spoofed_fields_inside_values_do_not_parse() {
+        // An error string that contains a fake status field must not
+        // override the real one.
+        let mut e = entry(0, "a.sb");
+        e.status = InstanceStatus::Errored;
+        e.path = RecoveryPath::Failed;
+        e.checksum = None;
+        e.error = Some("evil\",\"status\":\"complete".to_string());
+        let dir = temp_dir("spoof");
+        let instances = keys(&["a.sb"]);
+        let journal = RunJournal::create(&dir, &instances).unwrap();
+        journal.finish(&e);
+        drop(journal);
+
+        let resumed = RunJournal::resume(&dir, &instances).unwrap();
+        let replayed = resumed.replay(0).expect("record replays");
+        assert_eq!(replayed.status, InstanceStatus::Errored);
+        assert_eq!(replayed.error, e.error);
+    }
+}

@@ -48,12 +48,20 @@
 
 mod config;
 pub mod engine;
+pub mod journal;
 mod net_graph;
+pub mod recover;
 mod router;
 
 pub use config::{ConfigError, NetOrder, PenaltyGrowth, RouterConfig, RouterConfigBuilder};
 pub use engine::{
     BatchObservation, BatchOutcome, EngineConfig, EngineStats, ObserveMode, RouteEngine,
+    SupervisedBatch,
+};
+pub use journal::{JournalEntry, RunJournal};
+pub use recover::{
+    EngineFault, FallbackChain, FaultPlan, InstanceStatus, RecoveryPath, RetryPolicy, SalvageInfo,
+    SupervisedOutcome, Supervisor,
 };
 /// Work-accounting counters, re-exported from [`route_model`] — the
 /// router fills them and the engine/bench tables consume them.

@@ -661,10 +661,11 @@ mod tests {
         b2.net("b").pin_side(PinSide::Left, 2).pin_side(PinSide::Right, 2);
         let p2 = b2.build().unwrap();
         let db2 = RouteDb::new(&p2);
-        match default_router().try_route_incremental(&p1, db2) {
-            Err(RouteError::DbMismatch { expected: 1, found: 2 }) => {}
-            other => panic!("expected DbMismatch, got {other:?}"),
-        }
+        let result = default_router().try_route_incremental(&p1, db2);
+        assert!(
+            matches!(result, Err(RouteError::DbMismatch { expected: 1, found: 2 })),
+            "expected DbMismatch {{ expected: 1, found: 2 }}, got {result:?}"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use mighty::{RecoveryPath, RetryPolicy, RouterConfig, SupervisedOutcome, Supervisor};
 use route_model::{NetId, Problem, RouteError, RouteEvent, RouteResult};
 use route_verify::{verify, Violation};
 
@@ -57,6 +58,9 @@ pub enum OracleKind {
     /// The static analyzer issued an infeasibility certificate that
     /// does not replay, or one that coexists with a completed route.
     Infeasibility,
+    /// A supervised run salvaged a partial database that violates the
+    /// lint registry, claims completion, or is nondeterministic.
+    Salvage,
 }
 
 impl fmt::Display for OracleKind {
@@ -69,6 +73,7 @@ impl fmt::Display for OracleKind {
             OracleKind::EventInconsistency => "event-inconsistency",
             OracleKind::RouterError => "router-error",
             OracleKind::Infeasibility => "infeasibility",
+            OracleKind::Salvage => "salvage",
         };
         f.write_str(name)
     }
@@ -151,7 +156,107 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
     }
 
     check_infeasibility(problem, runs, &mut out);
+    check_salvage(problem, &mut out);
     out
+}
+
+/// Salvage soundness oracle: a budget-starved supervised run — harsh
+/// enough that most nontrivial instances end in salvage — must only
+/// ever salvage partial databases that pass the lint registry, honestly
+/// declare their unconnected nets, and route deterministically.
+fn check_salvage(problem: &Problem, out: &mut Vec<OracleViolation>) {
+    let Ok(starved) = RouterConfig::builder().max_attempts(1).max_events(8).build() else {
+        return;
+    };
+    let sup = Supervisor::new(starved, RetryPolicy::with_retries(1));
+    let outcome = sup.route_supervised(problem, 0, None);
+    check_salvage_outcome(problem, &outcome, out);
+
+    // Determinism: the whole recovery chain (escalation, order
+    // perturbation, snapshot choice) must replay identically.
+    let again = sup.route_supervised(problem, 0, None);
+    let key = |o: &SupervisedOutcome| {
+        let checksum = match &o.result {
+            Some(Ok(routing)) => routing.db.checksum(),
+            _ => 0,
+        };
+        (o.path.encode(), o.attempts, checksum)
+    };
+    if key(&outcome) != key(&again) {
+        out.push(OracleViolation {
+            kind: OracleKind::Salvage,
+            router: "supervisor".to_string(),
+            detail: format!(
+                "supervised run is nondeterministic: {:?} then {:?}",
+                key(&outcome),
+                key(&again)
+            ),
+        });
+    }
+}
+
+/// The per-outcome half of the salvage oracle, split out so tests can
+/// feed it doctored outcomes.
+pub(crate) fn check_salvage_outcome(
+    problem: &Problem,
+    outcome: &SupervisedOutcome,
+    out: &mut Vec<OracleViolation>,
+) {
+    if outcome.path != RecoveryPath::Salvaged {
+        return;
+    }
+    let mut salvage_violation = |detail: String| {
+        out.push(OracleViolation {
+            kind: OracleKind::Salvage,
+            router: "supervisor".to_string(),
+            detail,
+        });
+    };
+    if outcome.status() == mighty::InstanceStatus::Complete {
+        salvage_violation("a salvaged outcome reports status complete".to_string());
+    }
+    let routing = match &outcome.result {
+        Some(Ok(routing)) => routing,
+        other => {
+            salvage_violation(format!("salvaged outcome carries no routing: {other:?}"));
+            return;
+        }
+    };
+    // Without a deadline in play, the only honest salvage is an
+    // incomplete one: an empty failed set is a completion claim.
+    if routing.failed.is_empty() {
+        salvage_violation(
+            "salvage declares no failed nets — that is a completion claim".to_string(),
+        );
+    }
+    let lint = route_analyze::lint_salvage(problem, &routing.db, &routing.failed);
+    if !lint.is_legal() {
+        let first = lint
+            .diagnostics()
+            .first()
+            .map(|d| d.message.clone())
+            .unwrap_or_else(|| "unknown finding".to_string());
+        salvage_violation(format!(
+            "salvaged database violates the lint registry ({} finding(s), first: {first})",
+            lint.findings().len()
+        ));
+    }
+    if let Some(info) = &outcome.salvage {
+        let declared = info.connected + routing.failed.len();
+        if declared != problem.nets().len() {
+            salvage_violation(format!(
+                "salvage accounting is inconsistent: {} connected + {} failed != {} nets",
+                info.connected,
+                routing.failed.len(),
+                problem.nets().len()
+            ));
+        }
+        if !info.lint.is_legal() {
+            salvage_violation("salvage shipped with an illegal lint report attached".to_string());
+        }
+    } else {
+        salvage_violation("salvaged outcome is missing its salvage info".to_string());
+    }
 }
 
 /// Infeasibility soundness: every certificate the analyzer emits must
@@ -452,6 +557,67 @@ mod tests {
         );
         // The independent claim oracle catches the same lie.
         assert!(kinds.contains(&OracleKind::ClaimMismatch));
+    }
+
+    #[test]
+    fn starved_salvages_pass_the_salvage_oracle() {
+        // Dense enough that a starved budget cannot finish: the salvage
+        // oracle inside check_instance exercises a real salvage here.
+        let problem = SwitchboxGen { width: 12, height: 10, nets: 12, seed: 23 }.build();
+        let runs = runs_for(&problem, None);
+        let violations = check_instance(&problem, &runs);
+        assert!(
+            !kinds_of(&violations).contains(&OracleKind::Salvage),
+            "honest salvage flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn doctored_salvages_trip_the_salvage_oracle() {
+        use mighty::{SalvageInfo, SupervisedOutcome};
+        use route_model::{RouteDb, Routing};
+        let problem = SwitchboxGen { width: 10, height: 8, nets: 5, seed: 4 }.build();
+
+        // Lie 1: a salvage claiming every net connected (empty failed
+        // set) over an empty database.
+        let lying = SupervisedOutcome {
+            path: mighty::RecoveryPath::Salvaged,
+            attempts: 2,
+            result: Some(Ok(Routing { db: RouteDb::new(&problem), failed: Vec::new() })),
+            salvage: Some(SalvageInfo {
+                connected: problem.nets().len(),
+                terminal: "doctored".to_string(),
+                lint: route_analyze::LintReport::default(),
+            }),
+        };
+        let mut violations = Vec::new();
+        super::check_salvage_outcome(&problem, &lying, &mut violations);
+        assert!(violations.iter().any(|v| v.detail.contains("completion claim")), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.detail.contains("lint registry")),
+            "undeclared disconnections must fail the registry: {violations:?}"
+        );
+
+        // Lie 2: declaring only some of the unconnected nets failed.
+        let nets: Vec<_> = problem.nets().iter().map(|n| n.id).collect();
+        let partial_claim = SupervisedOutcome {
+            path: mighty::RecoveryPath::Salvaged,
+            attempts: 2,
+            result: Some(Ok(Routing { db: RouteDb::new(&problem), failed: nets[1..].to_vec() })),
+            salvage: Some(SalvageInfo {
+                connected: 1,
+                terminal: "doctored".to_string(),
+                lint: route_analyze::LintReport::default(),
+            }),
+        };
+        let mut violations = Vec::new();
+        super::check_salvage_outcome(&problem, &partial_claim, &mut violations);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == OracleKind::Salvage && v.detail.contains("lint registry")),
+            "an undeclared disconnected net must trip the oracle: {violations:?}"
+        );
     }
 
     #[test]

@@ -76,6 +76,44 @@ pub enum RouteError {
     },
 }
 
+impl RouteError {
+    /// Whether a supervised re-attempt of the same instance could
+    /// plausibly succeed.
+    ///
+    /// This is the classification the recovery layer consults before
+    /// retrying an instance under an escalated budget:
+    ///
+    /// - **Retryable** failures depend on the router's budget, schedule
+    ///   or environment: [`Unroutable`](RouteError::Unroutable) and
+    ///   [`BudgetExhausted`](RouteError::BudgetExhausted) can yield to a
+    ///   bigger rip-up budget or a different net order,
+    ///   [`DeadlineExceeded`](RouteError::DeadlineExceeded) to a retry
+    ///   that stays under the wall clock, and
+    ///   [`Panicked`](RouteError::Panicked) to a re-run (though
+    ///   supervisors cap panic retries at one, since a deterministic
+    ///   router panics the same way twice).
+    /// - **Non-retryable** failures are structural facts about the
+    ///   problem/router pairing that no budget can change:
+    ///   [`Unsupported`](RouteError::Unsupported),
+    ///   [`VerticalCycle`](RouteError::VerticalCycle) and
+    ///   [`DbMismatch`](RouteError::DbMismatch) describe the input
+    ///   shape, and [`Infeasible`](RouteError::Infeasible) carries a
+    ///   proof that *no* router can complete the instance, so retrying
+    ///   would only burn the budget the proof already saved.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RouteError::Unroutable { .. }
+            | RouteError::BudgetExhausted { .. }
+            | RouteError::Panicked { .. }
+            | RouteError::DeadlineExceeded { .. } => true,
+            RouteError::Unsupported { .. }
+            | RouteError::VerticalCycle { .. }
+            | RouteError::DbMismatch { .. }
+            | RouteError::Infeasible { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -248,19 +286,25 @@ mod tests {
     }
 
     #[test]
-    fn errors_render() {
-        let cases: Vec<(RouteError, &str)> = vec![
-            (RouteError::Unsupported { reason: "x".into() }, "unsupported"),
-            (RouteError::Unroutable { reason: "y".into() }, "unroutable"),
-            (RouteError::VerticalCycle { cycle: vec![1, 2] }, "cycle"),
-            (RouteError::BudgetExhausted { tracks: 3 }, "budget"),
-            (RouteError::DbMismatch { expected: 2, found: 1 }, "database"),
-            (RouteError::Panicked { message: "boom".into() }, "panicked"),
-            (RouteError::Infeasible { reason: "cut".into() }, "infeasible"),
-            (RouteError::DeadlineExceeded { elapsed_ms: 9, budget_ms: 5 }, "deadline"),
+    fn errors_render_and_classify_retryability() {
+        // One row per variant: display needle + whether a supervised
+        // retry is allowed to re-attempt it. Budget- and environment-
+        // dependent failures retry; structural rejections and
+        // infeasibility proofs never do (and `Panicked` retries are
+        // additionally capped at one by the supervisor itself).
+        let cases: Vec<(RouteError, &str, bool)> = vec![
+            (RouteError::Unsupported { reason: "x".into() }, "unsupported", false),
+            (RouteError::Unroutable { reason: "y".into() }, "unroutable", true),
+            (RouteError::VerticalCycle { cycle: vec![1, 2] }, "cycle", false),
+            (RouteError::BudgetExhausted { tracks: 3 }, "budget", true),
+            (RouteError::DbMismatch { expected: 2, found: 1 }, "database", false),
+            (RouteError::Panicked { message: "boom".into() }, "panicked", true),
+            (RouteError::Infeasible { reason: "cut".into() }, "infeasible", false),
+            (RouteError::DeadlineExceeded { elapsed_ms: 9, budget_ms: 5 }, "deadline", true),
         ];
-        for (e, needle) in cases {
+        for (e, needle, retryable) in cases {
             assert!(e.to_string().contains(needle), "{e}");
+            assert_eq!(e.is_retryable(), retryable, "retryability of {e}");
         }
     }
 }

@@ -59,6 +59,31 @@ for case in tests/corpus/*.case; do
   fi
 done
 
+# Supervised recovery smoke: SIGKILL a journaled batch mid-run, resume
+# it, and require the resumed JSON report to be byte-identical to an
+# uninterrupted run's. This exercises the crash path for real — a
+# process death, not a simulated truncation — so the journal's torn-
+# line handling and replay semantics are proven end to end.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+for seed in 0 1 2 3 4 5 6 7; do
+  "$VROUTE" gen switchbox --width 16 --height 16 --nets 8 --seed "$seed" \
+    > "$SMOKE/s$seed.sb"
+done
+FILES=("$SMOKE"/s*.sb)
+echo "==> $VROUTE batch (journaled reference run)"
+"$VROUTE" batch "${FILES[@]}" --retries 1 --jobs 2 \
+  --journal "$SMOKE/ref" --json "$SMOKE/ref.json" > /dev/null
+echo "==> $VROUTE batch (killed mid-run)"
+# A tiny per-attempt delay keeps the batch alive long enough to die.
+VROUTE_FAULT=delay-40 timeout -s KILL 0.15 \
+  "$VROUTE" batch "${FILES[@]}" --retries 1 --jobs 2 \
+  --journal "$SMOKE/kill" > /dev/null || true
+echo "==> $VROUTE batch --resume (after the kill)"
+"$VROUTE" batch "${FILES[@]}" --retries 1 --jobs 2 \
+  --journal "$SMOKE/kill" --resume --json "$SMOKE/resumed.json" > /dev/null
+run diff "$SMOKE/ref.json" "$SMOKE/resumed.json"
+
 # Bounded smoke fuzz: a fixed seed window through every router and
 # every oracle (see crates/fuzz) — including the infeasibility-
 # soundness oracle, which fails any run where a router completes an
