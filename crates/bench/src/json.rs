@@ -1,251 +1,9 @@
-//! A minimal JSON writer for machine-readable benchmark artifacts.
+//! Re-export of the shared JSON value type.
 //!
-//! The workspace is dependency-free, so this hand-rolls the small
-//! subset of JSON the benchmark emitters need: objects with ordered
-//! keys, arrays, strings, integers, floats and booleans. Output is
-//! pretty-printed with two-space indentation so artifacts diff well.
-//!
-//! # Examples
-//!
-//! ```
-//! use route_bench::json::Json;
-//!
-//! let doc = Json::obj([
-//!     ("suite", Json::str("channels")),
-//!     ("instances", Json::from(64u64)),
-//!     ("threads", Json::arr([Json::from(1u64), Json::from(8u64)])),
-//! ]);
-//! assert!(doc.render().contains("\"instances\": 64"));
-//! ```
+//! The `Json` writer grew up here as a benchmark-artifact emitter; the
+//! serve protocol promoted it (plus a parser) into the [`route_proto`]
+//! crate so every machine-readable surface shares one value type. This
+//! module stays as the historical path — `route_bench::json::Json` and
+//! `route_proto::Json` are the same type.
 
-use std::fmt;
-
-/// A JSON value. Object keys keep insertion order.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (serialized without a decimal point).
-    Int(i64),
-    /// A float (serialized with enough precision to round-trip).
-    Float(f64),
-    /// A string (escaped on output).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// A string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// An array from any iterator of values.
-    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
-        Json::Arr(items.into_iter().collect())
-    }
-
-    /// An object from any iterator of key/value pairs.
-    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Serializes the value as pretty-printed JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0).expect("writing to a String cannot fail");
-        out.push('\n');
-        out
-    }
-
-    /// Serializes the value on a single line with no insignificant
-    /// whitespace — the form line-delimited JSON (one record per line)
-    /// requires.
-    pub fn render_compact(&self) -> String {
-        let mut out = String::new();
-        self.write_compact(&mut out).expect("writing to a String cannot fail");
-        out
-    }
-
-    fn write_compact(&self, out: &mut String) -> fmt::Result {
-        use fmt::Write;
-        match self {
-            Json::Arr(items) => {
-                write!(out, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(out, ",")?;
-                    }
-                    item.write_compact(out)?;
-                }
-                write!(out, "]")
-            }
-            Json::Obj(pairs) => {
-                write!(out, "{{")?;
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        write!(out, ",")?;
-                    }
-                    write_escaped(out, key)?;
-                    write!(out, ":")?;
-                    value.write_compact(out)?;
-                }
-                write!(out, "}}")
-            }
-            scalar => scalar.write(out, 0),
-        }
-    }
-
-    fn write(&self, out: &mut String, indent: usize) -> fmt::Result {
-        use fmt::Write;
-        let pad = "  ".repeat(indent + 1);
-        let close = "  ".repeat(indent);
-        match self {
-            Json::Null => write!(out, "null"),
-            Json::Bool(b) => write!(out, "{b}"),
-            Json::Int(n) => write!(out, "{n}"),
-            Json::Float(x) if x.is_finite() => write!(out, "{x}"),
-            // JSON has no NaN/Infinity; null is the conventional stand-in.
-            Json::Float(_) => write!(out, "null"),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) if items.is_empty() => write!(out, "[]"),
-            Json::Arr(items) => {
-                writeln!(out, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad);
-                    item.write(out, indent + 1)?;
-                    writeln!(out, "{}", if i + 1 < items.len() { "," } else { "" })?;
-                }
-                write!(out, "{close}]")
-            }
-            Json::Obj(pairs) if pairs.is_empty() => write!(out, "{{}}"),
-            Json::Obj(pairs) => {
-                writeln!(out, "{{")?;
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    out.push_str(&pad);
-                    write_escaped(out, key)?;
-                    write!(out, ": ")?;
-                    value.write(out, indent + 1)?;
-                    writeln!(out, "{}", if i + 1 < pairs.len() { "," } else { "" })?;
-                }
-                write!(out, "{close}}}")
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
-    use fmt::Write;
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    Ok(())
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(n: u64) -> Json {
-        i64::try_from(n).map(Json::Int).unwrap_or(Json::Float(n as f64))
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::from(n as u64)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(n: i64) -> Json {
-        Json::Int(n)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Float(x)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::str(s)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null\n");
-        assert_eq!(Json::from(true).render(), "true\n");
-        assert_eq!(Json::from(42u64).render(), "42\n");
-        assert_eq!(Json::from(-7i64).render(), "-7\n");
-        assert_eq!(Json::from(1.5).render(), "1.5\n");
-        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
-        assert_eq!(Json::str("bell\u{7}").render(), "\"bell\\u0007\"\n");
-    }
-
-    #[test]
-    fn nested_structure_renders_stably() {
-        let doc = Json::obj([
-            ("name", Json::str("engine")),
-            ("empty_arr", Json::arr([])),
-            ("empty_obj", Json::obj::<String>([])),
-            ("rows", Json::arr([Json::obj([("jobs", Json::from(1u64))])])),
-        ]);
-        let text = doc.render();
-        assert_eq!(
-            text,
-            "{\n  \"name\": \"engine\",\n  \"empty_arr\": [],\n  \"empty_obj\": {},\n  \
-             \"rows\": [\n    {\n      \"jobs\": 1\n    }\n  ]\n}\n"
-        );
-    }
-
-    #[test]
-    fn huge_u64_degrades_to_float() {
-        assert!(matches!(Json::from(u64::MAX), Json::Float(_)));
-    }
-
-    #[test]
-    fn compact_rendering_is_single_line() {
-        let doc = Json::obj([
-            ("kind", Json::str("search_done")),
-            ("probe", Json::obj([("expanded", Json::from(12u64))])),
-            ("tags", Json::arr([Json::from(1u64), Json::from(2u64)])),
-        ]);
-        assert_eq!(
-            doc.render_compact(),
-            "{\"kind\":\"search_done\",\"probe\":{\"expanded\":12},\"tags\":[1,2]}"
-        );
-        assert_eq!(Json::arr([]).render_compact(), "[]");
-        assert_eq!(Json::obj::<String>([]).render_compact(), "{}");
-    }
-}
+pub use route_proto::json::*;

@@ -34,6 +34,7 @@
 use route_model::{EventLog, NetId, RouteEvent, RouteObserver, SearchKind, SearchProbe};
 
 use crate::json::Json;
+use route_proto::event_pairs;
 
 /// An observer that records events and renders them as line-delimited
 /// JSON tagged with an instance label.
@@ -107,44 +108,12 @@ pub fn trace_lines(instance: &str, events: &[RouteEvent]) -> String {
     out
 }
 
-/// The JSON object for one event.
+/// The JSON object for one event: the shared payload vocabulary from
+/// [`route_proto::event_pairs`], tagged with the instance label.
 fn event_json(instance: &str, ev: &RouteEvent) -> Json {
     let mut pairs: Vec<(String, Json)> =
         vec![("ev".into(), Json::str(ev.kind_name())), ("instance".into(), Json::str(instance))];
-    match *ev {
-        RouteEvent::NetScheduled { net }
-        | RouteEvent::NetCommitted { net }
-        | RouteEvent::NetFailed { net } => {
-            pairs.push(("net".into(), Json::from(u64::from(net.0))));
-        }
-        RouteEvent::SearchDone { net, kind, probe } => {
-            pairs.push(("net".into(), Json::from(u64::from(net.0))));
-            pairs.push((
-                "kind".into(),
-                Json::str(match kind {
-                    SearchKind::Hard => "hard",
-                    SearchKind::Soft => "soft",
-                }),
-            ));
-            pairs.push(("expanded".into(), Json::from(probe.expanded)));
-            pairs.push(("relaxed".into(), Json::from(probe.relaxed)));
-            pairs.push(("heap_peak".into(), Json::from(probe.heap_peak)));
-            pairs.push(("found".into(), Json::from(probe.found)));
-        }
-        RouteEvent::WeakModification { net, victim } => {
-            pairs.push(("net".into(), Json::from(u64::from(net.0))));
-            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
-        }
-        RouteEvent::StrongRipup { net, victim, rip_count } => {
-            pairs.push(("net".into(), Json::from(u64::from(net.0))));
-            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
-            pairs.push(("rip_count".into(), Json::from(u64::from(rip_count))));
-        }
-        RouteEvent::PenaltyEscalation { victim, penalty } => {
-            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
-            pairs.push(("penalty".into(), Json::from(penalty)));
-        }
-    }
+    pairs.extend(event_pairs(ev));
     Json::Obj(pairs)
 }
 

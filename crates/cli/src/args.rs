@@ -81,6 +81,15 @@ pub enum GenKind {
     },
 }
 
+/// Where the routing service listens (and where the client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEndpoint {
+    /// A unix-domain socket at this path.
+    Unix(String),
+    /// A TCP listen/connect address, e.g. `127.0.0.1:7777`.
+    Tcp(String),
+}
+
 /// A fully parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -173,6 +182,43 @@ pub enum Command {
     },
     /// Generate an instance to stdout.
     Gen(GenKind),
+    /// Run the persistent routing service: a daemon with warm router
+    /// workers speaking the versioned line-delimited JSON protocol.
+    Serve {
+        /// Listen endpoint (exactly one of `--socket`/`--tcp`).
+        endpoint: ServeEndpoint,
+        /// Warm worker threads (0 = one per hardware thread).
+        workers: usize,
+        /// Admission-queue bound (requests beyond it are rejected with
+        /// an `overloaded` error).
+        queue: usize,
+        /// Default per-request wall-clock budget in milliseconds,
+        /// applied to requests that do not carry their own.
+        deadline_ms: Option<u64>,
+        /// Directory for the crash-safe request journal (`serve.ldj`).
+        journal: Option<String>,
+        /// Replay unanswered journaled requests on startup (requires
+        /// `journal`).
+        resume: bool,
+    },
+    /// Drive a running routing service: submit instance files as
+    /// protocol requests and print the responses.
+    Client {
+        /// Connect endpoint (exactly one of `--socket`/`--tcp`).
+        endpoint: ServeEndpoint,
+        /// Instance paths to route, one request per file.
+        files: Vec<String>,
+        /// Algorithm requested for every file.
+        router: BatchRouterKind,
+        /// Per-request wall-clock budget in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Request priority (0-9, higher first).
+        priority: Option<u8>,
+        /// Subscribe to streamed routing events.
+        events: bool,
+        /// Ask the daemon to shut down after any file requests.
+        shutdown: bool,
+    },
     /// Differentially fuzz the router roster over seeded generator
     /// sweeps, or replay saved case files.
     Fuzz {
@@ -243,6 +289,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "check" => parse_check(&mut cur),
         "channel" => parse_channel(&mut cur),
         "gen" => parse_gen(&mut cur),
+        "serve" => parse_serve(&mut cur),
+        "client" => parse_client(&mut cur),
         "fuzz" => parse_fuzz(&mut cur),
         other => Err(err(format!("unknown command `{other}`"))),
     }
@@ -291,8 +339,9 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json, analyze })
 }
 
-/// Parses one batch router name, as used by `--router` and `--fallback`.
-fn batch_kind(name: &str) -> Result<BatchRouterKind, ParseArgsError> {
+/// Parses one batch router name, as used by `--router`, `--fallback`,
+/// and the serve protocol's `router` field.
+pub(crate) fn batch_kind(name: &str) -> Result<BatchRouterKind, ParseArgsError> {
     match name {
         "ripup" => Ok(BatchRouterKind::Ripup),
         "lee" => Ok(BatchRouterKind::Lee),
@@ -532,6 +581,112 @@ fn parse_gen(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         })),
         other => Err(err(format!("unknown gen kind `{other}`"))),
     }
+}
+
+/// Shared `--socket`/`--tcp` handling for `serve` and `client`.
+fn endpoint_flag(
+    endpoint: &mut Option<ServeEndpoint>,
+    value: ServeEndpoint,
+) -> Result<(), ParseArgsError> {
+    if endpoint.replace(value).is_some() {
+        return Err(err("give exactly one of --socket PATH or --tcp ADDR"));
+    }
+    Ok(())
+}
+
+fn parse_serve(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut endpoint = None;
+    let mut workers = 0usize;
+    let mut queue = 64usize;
+    let mut deadline_ms = None;
+    let mut journal = None;
+    let mut resume = false;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--socket" => {
+                endpoint_flag(&mut endpoint, ServeEndpoint::Unix(cur.value_of("--socket")?))?;
+            }
+            "--tcp" => endpoint_flag(&mut endpoint, ServeEndpoint::Tcp(cur.value_of("--tcp")?))?,
+            "--workers" => {
+                workers = cur
+                    .value_of("--workers")?
+                    .parse()
+                    .map_err(|_| err("--workers needs a number"))?;
+                if workers > 1024 {
+                    return Err(err("--workers must be at most 1024"));
+                }
+            }
+            "--queue" => {
+                queue =
+                    cur.value_of("--queue")?.parse().map_err(|_| err("--queue needs a number"))?;
+                if queue == 0 {
+                    return Err(err("--queue must be at least 1"));
+                }
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    cur.value_of("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| err("--deadline-ms needs a number"))?,
+                );
+            }
+            "--journal" => journal = Some(cur.value_of("--journal")?),
+            "--resume" => resume = true,
+            flag => return Err(err(format!("unknown flag `{flag}` for `serve`"))),
+        }
+    }
+    let endpoint = endpoint.ok_or_else(|| err("`serve` needs --socket PATH or --tcp ADDR"))?;
+    if resume && journal.is_none() {
+        return Err(err("--resume requires --journal DIR (there is no log to replay without one)"));
+    }
+    Ok(Command::Serve { endpoint, workers, queue, deadline_ms, journal, resume })
+}
+
+fn parse_client(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    let mut endpoint = None;
+    let mut files = Vec::new();
+    let mut router = BatchRouterKind::default();
+    let mut deadline_ms = None;
+    let mut priority = None;
+    let mut events = false;
+    let mut shutdown = false;
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--socket" => {
+                endpoint_flag(&mut endpoint, ServeEndpoint::Unix(cur.value_of("--socket")?))?;
+            }
+            "--tcp" => endpoint_flag(&mut endpoint, ServeEndpoint::Tcp(cur.value_of("--tcp")?))?,
+            "--router" => router = batch_kind(cur.value_of("--router")?.as_str())?,
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    cur.value_of("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| err("--deadline-ms needs a number"))?,
+                );
+            }
+            "--priority" => {
+                let p: u8 = cur
+                    .value_of("--priority")?
+                    .parse()
+                    .map_err(|_| err("--priority needs a number"))?;
+                if p > 9 {
+                    return Err(err("--priority must be 0-9"));
+                }
+                priority = Some(p);
+            }
+            "--events" => events = true,
+            "--shutdown" => shutdown = true,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}` for `client`")))
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    let endpoint = endpoint.ok_or_else(|| err("`client` needs --socket PATH or --tcp ADDR"))?;
+    if files.is_empty() && !shutdown {
+        return Err(err("`client` needs instance FILEs or --shutdown"));
+    }
+    Ok(Command::Client { endpoint, files, router, deadline_ms, priority, events, shutdown })
 }
 
 fn parse_fuzz(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -774,6 +929,78 @@ mod tests {
         assert!(parse("fuzz --seeds 7").unwrap_err().to_string().contains("range"));
         assert!(parse("fuzz --seeds 9..9").unwrap_err().to_string().contains("empty"));
         assert!(parse("fuzz --seeds x..3").unwrap_err().to_string().contains("bad seed"));
+    }
+
+    #[test]
+    fn serve_flags() {
+        assert_eq!(
+            parse("serve --socket /tmp/v.sock").unwrap(),
+            Command::Serve {
+                endpoint: ServeEndpoint::Unix("/tmp/v.sock".into()),
+                workers: 0,
+                queue: 64,
+                deadline_ms: None,
+                journal: None,
+                resume: false,
+            }
+        );
+        assert_eq!(
+            parse(
+                "serve --tcp 127.0.0.1:7777 --workers 2 --queue 8 --deadline-ms 500 \
+                 --journal runs/j --resume"
+            )
+            .unwrap(),
+            Command::Serve {
+                endpoint: ServeEndpoint::Tcp("127.0.0.1:7777".into()),
+                workers: 2,
+                queue: 8,
+                deadline_ms: Some(500),
+                journal: Some("runs/j".into()),
+                resume: true,
+            }
+        );
+        assert!(parse("serve").unwrap_err().to_string().contains("--socket"));
+        let msg = parse("serve --socket a --tcp b").unwrap_err().to_string();
+        assert!(msg.contains("exactly one"), "{msg}");
+        assert!(parse("serve --socket s --queue 0").unwrap_err().to_string().contains("at least"));
+        // --resume without --journal must fail loudly, not be ignored.
+        let msg = parse("serve --socket s --resume").unwrap_err().to_string();
+        assert!(msg.contains("--journal"), "{msg}");
+    }
+
+    #[test]
+    fn client_flags() {
+        assert_eq!(
+            parse("client --socket /tmp/v.sock a.sb b.sb --router lee --priority 7 --events")
+                .unwrap(),
+            Command::Client {
+                endpoint: ServeEndpoint::Unix("/tmp/v.sock".into()),
+                files: vec!["a.sb".into(), "b.sb".into()],
+                router: BatchRouterKind::Lee,
+                deadline_ms: None,
+                priority: Some(7),
+                events: true,
+                shutdown: false,
+            }
+        );
+        assert_eq!(
+            parse("client --tcp 127.0.0.1:7777 --shutdown").unwrap(),
+            Command::Client {
+                endpoint: ServeEndpoint::Tcp("127.0.0.1:7777".into()),
+                files: vec![],
+                router: BatchRouterKind::Ripup,
+                deadline_ms: None,
+                priority: None,
+                events: false,
+                shutdown: true,
+            }
+        );
+        assert!(parse("client --socket s").unwrap_err().to_string().contains("FILE"));
+        assert!(parse("client a.sb").unwrap_err().to_string().contains("--socket"));
+        assert!(parse("client --socket s a.sb --priority 10")
+            .unwrap_err()
+            .to_string()
+            .contains("0-9"));
     }
 
     #[test]

@@ -24,10 +24,11 @@
 
 mod args;
 mod run;
+mod serve;
 
 pub use args::{
     parse_args, BatchRouterKind, ChannelRouterKind, Command, GenKind, ParseArgsError,
-    SwitchRouterKind,
+    ServeEndpoint, SwitchRouterKind,
 };
 pub use run::{execute, ExecutionError};
 
@@ -47,6 +48,10 @@ USAGE:
   vroute gen switchbox --width W --height H --nets N [--seed S]
   vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
   vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
+  vroute serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N]
+               [--deadline-ms MS] [--journal DIR] [--resume]
+  vroute client (--socket PATH | --tcp ADDR) [FILE...] [--router KIND]
+               [--deadline-ms MS] [--priority 0-9] [--events] [--shutdown]
 
 COMMANDS:
   route     Route a switchbox instance file (sb format)
@@ -60,6 +65,13 @@ COMMANDS:
   fuzz      Differentially fuzz every router over seeded generator sweeps
             (oracles: independent DRC/claim verification, rip-up vs Lee
             baseline, observer consistency) and/or replay saved CASE files
+  serve     Run the persistent routing daemon: warm router workers behind a
+            versioned line-delimited JSON protocol (v1) over a unix socket
+            or TCP, with bounded-queue admission control, priorities,
+            per-request deadlines, streamed events, and an optional
+            crash-safe request journal
+  client    Drive a running daemon: one route request per FILE, printing
+            each response line; --shutdown asks the daemon to stop
 
 OPTIONS:
   --router KIND   Routing algorithm (default: ripup; batch also takes
@@ -81,6 +93,17 @@ OPTIONS:
   --seeds A..B    Fuzz the half-open seed range A..B (one instance per seed)
   --shrink        Minimize each fuzz finding to a smallest reproducing case
   --out DIR       Write minimized fuzz finding case files into DIR
+  --socket PATH   serve/client: unix-domain socket endpoint
+  --tcp ADDR      serve/client: TCP endpoint, e.g. 127.0.0.1:7777
+  --workers N     serve: warm worker threads (0 = one per hardware thread)
+  --queue N       serve: admission-queue bound; excess requests are rejected
+                  with an `overloaded` error (default 64)
+  --priority P    client: request priority 0-9, higher first (default 4)
+  --events        client: subscribe to streamed per-net routing events
+  --shutdown      client: ask the daemon to stop
+  serve also takes --journal DIR (journal each accepted request to
+  DIR/serve.ldj before routing it) and --resume (replay requests left
+  pending by a crash before accepting connections; requires --journal)
 
 SUPERVISED RECOVERY (batch; any of these selects the supervised engine):
   --retries N     Re-route failed instances up to N times with escalated
@@ -101,4 +124,6 @@ ENVIRONMENT:
   VROUTE_FAULT       Inject engine faults into supervised `batch` runs:
                      KIND[@INSTANCES[@ATTEMPTS]] with KIND one of
                      panic | fail | delay-MS (e.g. `fail@1,4@1`)
+  VROUTE_SERVE_FAULT Delay every `serve` job by a fixed amount for crash
+                     testing: delay-MS (e.g. `delay-800`)
 ";

@@ -11,7 +11,6 @@ use mighty::{
 use route_analyze::{
     analyze_problem, lint_db, render_text, sort_diagnostics, Diagnostic, Severity,
 };
-use route_bench::json::Json;
 use route_bench::trace::trace_lines;
 use route_benchdata::format::{self, ParseError};
 use route_benchdata::gen::{ChannelGen, SwitchboxGen};
@@ -21,6 +20,7 @@ use route_model::{
     render_layers, render_svg, DetailedRouter, EventLog, MetricsRecorder, RouteDb, RouteObserver,
 };
 use route_opt::{cleanup, OptimizeConfig};
+use route_proto::{metrics_json, versioned_doc, Json, RouteOutcomeReport};
 use route_verify::verify;
 
 use crate::{BatchRouterKind, ChannelRouterKind, Command, GenKind, SwitchRouterKind, USAGE};
@@ -127,6 +127,33 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
         }
         Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
             execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
+        }
+        Command::Serve { endpoint, workers, queue, deadline_ms, journal, resume } => {
+            crate::serve::execute_serve(
+                &crate::serve::ServeSpec {
+                    endpoint,
+                    workers: *workers,
+                    queue: *queue,
+                    deadline_ms: *deadline_ms,
+                    journal: journal.as_deref(),
+                    resume: *resume,
+                },
+                out,
+            )
+        }
+        Command::Client { endpoint, files, router, deadline_ms, priority, events, shutdown } => {
+            crate::serve::execute_client(
+                &crate::serve::ClientSpec {
+                    endpoint,
+                    files,
+                    router: *router,
+                    deadline_ms: *deadline_ms,
+                    priority: *priority,
+                    events: *events,
+                    shutdown: *shutdown,
+                },
+                out,
+            )
         }
         Command::Analyze { instance, routes, json } => {
             execute_analyze(instance, routes.as_deref(), json.as_deref(), out)
@@ -268,17 +295,22 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             }
             if let Some(path) = json {
                 let stats = db.stats();
-                let doc = Json::obj([
-                    ("command", Json::str("route")),
-                    ("file", Json::str(file.as_str())),
-                    ("router", Json::str(switch_router_name(*router))),
-                    ("complete", Json::from(complete)),
-                    ("clean", Json::from(report.is_clean())),
-                    ("wire", Json::from(stats.wirelength)),
-                    ("vias", Json::from(stats.vias)),
-                    ("checksum", Json::str(format!("{:016x}", db.checksum()))),
-                    ("metrics", metrics_json(&rec)),
-                ]);
+                let outcome = RouteOutcomeReport::Routed {
+                    legal: report.is_clean() || report.is_legal_but_incomplete(),
+                    complete,
+                    wire: stats.wirelength,
+                    vias: stats.vias,
+                    checksum: db.checksum(),
+                };
+                let mut pairs = vec![
+                    ("file".to_string(), Json::str(file.as_str())),
+                    ("router".to_string(), Json::str(switch_router_name(*router))),
+                ];
+                pairs.extend(outcome.pairs());
+                pairs.push(("complete".to_string(), Json::from(complete)));
+                pairs.push(("clean".to_string(), Json::from(report.is_clean())));
+                pairs.push(("metrics".to_string(), metrics_json(&rec)));
+                let doc = versioned_doc("route", pairs);
                 std::fs::write(path, doc.render())
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
                 writeln!(out, "json written to {path}").expect("writing");
@@ -366,55 +398,41 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 match result {
                     Ok(routing) => {
                         let report = verify(&problems[i], &routing.db);
-                        let legal = report.is_clean() || report.is_legal_but_incomplete();
-                        let status = if !legal {
-                            "illegal"
-                        } else if routing.is_complete() {
-                            "complete"
-                        } else {
-                            "incomplete"
-                        };
-                        all_good &= report.is_clean();
                         let s = routing.db.stats();
                         let sum = routing.db.checksum();
+                        let outcome = RouteOutcomeReport::Routed {
+                            legal: report.is_clean() || report.is_legal_but_incomplete(),
+                            complete: routing.is_complete(),
+                            wire: s.wirelength,
+                            vias: s.vias,
+                            checksum: sum,
+                        };
+                        all_good &= report.is_clean();
                         digest = fnv_fold(digest, sum);
                         writeln!(
                             out,
-                            "  {path}: {status}, wire {}, vias {}, {ms} ms, checksum {sum:016x}",
-                            s.wirelength, s.vias
+                            "  {path}: {}, wire {}, vias {}, {ms} ms, checksum {sum:016x}",
+                            outcome.status(),
+                            s.wirelength,
+                            s.vias
                         )
                         .expect("writing");
-                        records.push(Json::obj([
-                            ("file", Json::str(path.as_str())),
-                            ("status", Json::str(status)),
-                            ("wire", Json::from(s.wirelength)),
-                            ("vias", Json::from(s.vias)),
-                            ("ms", Json::from(ms)),
-                            ("checksum", Json::str(format!("{sum:016x}"))),
-                        ]));
+                        records.push(record_json(path, &outcome, ms));
                     }
                     Err(route_model::RouteError::Infeasible { reason }) => {
                         // A precheck skip is a proof, not a failure: the
                         // instance was never routable in the first place.
                         digest = fnv_str(digest, reason);
                         writeln!(out, "  {path}: infeasible: {reason}").expect("writing");
-                        records.push(Json::obj([
-                            ("file", Json::str(path.as_str())),
-                            ("status", Json::str("infeasible")),
-                            ("reason", Json::str(reason.as_str())),
-                            ("ms", Json::from(ms)),
-                        ]));
+                        let outcome = RouteOutcomeReport::Infeasible { reason: reason.clone() };
+                        records.push(record_json(path, &outcome, ms));
                     }
                     Err(e) => {
                         all_good = false;
                         digest = fnv_str(digest, &e.to_string());
                         writeln!(out, "  {path}: error: {e}").expect("writing");
-                        records.push(Json::obj([
-                            ("file", Json::str(path.as_str())),
-                            ("status", Json::str("error")),
-                            ("error", Json::str(e.to_string())),
-                            ("ms", Json::from(ms)),
-                        ]));
+                        let outcome = RouteOutcomeReport::Failed { error: e.to_string() };
+                        records.push(record_json(path, &outcome, ms));
                     }
                 }
             }
@@ -452,7 +470,6 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             }
             if let Some(path) = json {
                 let mut pairs = vec![
-                    ("command", Json::str("batch")),
                     ("router", Json::str(algorithm.name())),
                     ("jobs", Json::from(s.jobs)),
                     ("digest", Json::str(format!("{digest:016x}"))),
@@ -478,7 +495,8 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 if let Some(obs) = &batch.observation {
                     pairs.push(("metrics", metrics_json(&obs.metrics)));
                 }
-                let doc = Json::obj(pairs);
+                let doc =
+                    versioned_doc("batch", pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
                 std::fs::write(path, doc.render())
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
                 writeln!(out, "json written to {path}").expect("writing");
@@ -589,26 +607,14 @@ fn switch_router_name(kind: SwitchRouterKind) -> &'static str {
     }
 }
 
-/// The JSON object for a metrics recorder, mirroring
-/// [`MetricsRecorder::table`] with machine-friendly keys.
-fn metrics_json(m: &MetricsRecorder) -> Json {
-    let r = m.router();
-    let e = m.expansion();
-    Json::obj([
-        ("nets_scheduled", Json::from(m.nets_scheduled())),
-        ("nets_committed", Json::from(m.nets_committed())),
-        ("nets_failed", Json::from(m.nets_failed())),
-        ("hard_searches_won", Json::from(r.hard_routes)),
-        ("soft_searches_won", Json::from(r.soft_routes)),
-        ("weak_modifications", Json::from(r.weak_pushes)),
-        ("strong_ripups", Json::from(r.rips)),
-        ("penalty_escalations", Json::from(m.escalations())),
-        ("max_penalty", Json::from(m.max_penalty())),
-        ("expanded", Json::from(r.expanded)),
-        ("searches", Json::from(e.count())),
-        ("expanded_per_search_mean", Json::from(e.mean())),
-        ("expanded_max", Json::from(e.max())),
-    ])
+/// One per-instance batch record: `file`, then the shared
+/// [`RouteOutcomeReport`] fields, then the elapsed time — the same
+/// shape a serve route response carries.
+fn record_json(path: &str, outcome: &RouteOutcomeReport, ms: u64) -> Json {
+    let mut pairs = vec![("file".to_string(), Json::str(path))];
+    pairs.extend(outcome.pairs());
+    pairs.push(("ms".to_string(), Json::from(ms)));
+    Json::Obj(pairs)
 }
 
 /// Loads an instance for analysis: sb format, or a saved `fuzzcase v1`
@@ -698,15 +704,15 @@ fn execute_analyze(
     .expect("writing");
     let clean = diags.iter().all(|d| d.severity != Severity::Error);
     if let Some(path) = json {
-        let doc = Json::obj([
-            ("command", Json::str("analyze")),
+        let pairs = [
             ("file", Json::str(instance)),
             ("feasible", Json::from(feasibility.is_feasible())),
             ("clean", Json::from(clean)),
             ("certificates", Json::from(feasibility.certificates().len())),
             ("lint_findings", Json::from(linted)),
             ("diagnostics", Json::arr(diags.iter().map(diagnostic_json))),
-        ]);
+        ];
+        let doc = versioned_doc("analyze", pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
         std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
         writeln!(out, "json written to {path}").expect("writing");
     }
@@ -980,8 +986,7 @@ fn execute_batch_supervised(
         writeln!(out, "journal: {}", j.path().display()).expect("writing");
     }
     if let Some(path) = spec.json {
-        let doc = Json::obj([
-            ("command", Json::str("batch")),
+        let pairs = [
             ("router", Json::str(batch_router_name(spec.router))),
             ("jobs", Json::from(s.jobs)),
             ("retries", Json::from(u64::from(spec.retries))),
@@ -1007,7 +1012,8 @@ fn execute_batch_supervised(
                     ("vias", Json::from(s.vias)),
                 ]),
             ),
-        ]);
+        ];
+        let doc = versioned_doc("batch", pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
         std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
         writeln!(out, "json written to {path}").expect("writing");
     }
@@ -1015,7 +1021,7 @@ fn execute_batch_supervised(
 }
 
 /// The name used for a batch router choice in reports.
-fn batch_router_name(kind: BatchRouterKind) -> &'static str {
+pub(crate) fn batch_router_name(kind: BatchRouterKind) -> &'static str {
     match kind {
         BatchRouterKind::Ripup => "ripup",
         BatchRouterKind::Lee => "lee",

@@ -118,13 +118,16 @@ fn route_json_schema_is_pinned() {
 
     let expected = golden(
         vec![
-            "command", "file", "router", "complete", "clean", "wire", "vias", "checksum", "metrics",
+            "v", "command", "file", "router", "status", "complete", "clean", "wire", "vias",
+            "checksum", "metrics",
         ],
         metrics_keys("metrics"),
     );
     assert_eq!(key_paths(&json), expected, "route --json schema changed:\n{json}");
+    assert!(json.contains("\"v\": 1"), "{json}");
     assert!(json.contains("\"command\": \"route\""), "{json}");
     assert!(json.contains("\"router\": \"ripup\""), "{json}");
+    assert!(json.contains("\"status\": \"complete\""), "{json}");
 }
 
 #[test]
@@ -138,6 +141,7 @@ fn batch_json_schema_is_pinned() {
 
     let expected = golden(
         vec![
+            "v",
             "command",
             "router",
             "jobs",
@@ -166,6 +170,7 @@ fn batch_json_schema_is_pinned() {
         Vec::new(),
     );
     assert_eq!(key_paths(&json), expected, "batch --json schema changed:\n{json}");
+    assert!(json.contains("\"v\": 1"), "{json}");
     assert!(json.contains("\"command\": \"batch\""), "{json}");
 }
 
@@ -183,6 +188,7 @@ fn analyze_json_schema_is_pinned() {
     // per-diagnostic keys on an infeasible one afterwards.
     let mut expected = golden(
         vec![
+            "v",
             "command",
             "file",
             "feasible",
@@ -280,6 +286,7 @@ fn supervised_batch_json_schema_is_pinned() {
     // so a killed-and-resumed run reproduces it byte for byte.
     let expected = golden(
         vec![
+            "v",
             "command",
             "router",
             "jobs",
@@ -347,6 +354,34 @@ fn supervised_salvage_outcome_keys_are_pinned() {
     }
     assert!(json.contains("\"status\": \"salvaged\""), "{json}");
     assert!(json.contains("\"salvaged\": 1"), "{json}");
+}
+
+#[test]
+fn serve_v1_envelope_key_paths_are_pinned() {
+    use route_proto::{event_line, response_err, response_ok, ErrorCode, Json, WireError};
+
+    // The serve wire envelopes are the same versioned contract as the
+    // report files: pin their key paths so the daemon cannot drift.
+    let ok = response_ok(Some("r0"), Json::obj([("status", Json::str("complete"))]));
+    let expected: BTreeSet<String> =
+        ["v", "id", "ok", "result", "result.status"].iter().map(|s| s.to_string()).collect();
+    assert_eq!(key_paths(&ok.render()), expected, "{}", ok.render());
+
+    let err = response_err(None, &WireError::new(ErrorCode::BadJson, "truncated".to_string()));
+    let expected: BTreeSet<String> = ["v", "id", "ok", "error", "error.code", "error.message"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(key_paths(&err.render()), expected, "{}", err.render());
+    assert!(err.render_compact().starts_with("{\"v\":1,"), "{}", err.render_compact());
+
+    let ev = event_line(
+        Some("r0"),
+        &route_model::RouteEvent::NetCommitted { net: route_model::NetId(3) },
+    );
+    let expected: BTreeSet<String> =
+        ["v", "id", "ev", "net"].iter().map(|s| s.to_string()).collect();
+    assert_eq!(key_paths(&ev.render()), expected, "{}", ev.render());
 }
 
 #[test]

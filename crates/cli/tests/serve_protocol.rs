@@ -1,0 +1,315 @@
+//! Socket-level tests for `vroute serve`: the daemon is started
+//! through the real CLI entry point and driven over a unix socket with
+//! raw protocol lines, so these tests cover the transport, the
+//! envelope, and the service together.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use route_cli::{execute, parse_args};
+use route_proto::Json;
+
+/// Runs a command line through the CLI library, returning its report.
+fn run(line: &str) -> String {
+    let cmd = parse_args(line.split_whitespace().map(str::to_owned)).expect("parses");
+    let mut out = String::new();
+    execute(&cmd, &mut out).expect("executes");
+    out
+}
+
+/// Starts the daemon on its own thread; join after a shutdown request.
+fn start_serve(args: &str) -> JoinHandle<(bool, String)> {
+    let args = args.to_owned();
+    std::thread::spawn(move || {
+        let cmd = parse_args(args.split_whitespace().map(str::to_owned)).expect("parses");
+        let mut out = String::new();
+        let ok = execute(&cmd, &mut out).expect("serve runs");
+        (ok, out)
+    })
+}
+
+/// Connects to the daemon's socket, waiting for it to come up.
+fn connect(socket: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "daemon never bound {socket:?}: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Sends one raw line and returns the next line from the server.
+fn roundtrip(stream: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    read_line(reader)
+}
+
+fn read_line(reader: &mut BufReader<UnixStream>) -> Json {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read");
+    assert!(n > 0, "server closed the connection");
+    Json::parse(line.trim_end()).expect("server line parses")
+}
+
+fn session(stream: &UnixStream) -> BufReader<UnixStream> {
+    BufReader::new(stream.try_clone().expect("clone"))
+}
+
+/// A fresh test directory with a short socket path (unix socket paths
+/// are length-limited, so temp_dir + short names).
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating test dir");
+    dir
+}
+
+/// Generates one routable instance and returns (path, text).
+fn instance(dir: &Path, name: &str, seed: u32) -> (String, String) {
+    let text = run(&format!("gen switchbox --width 10 --height 8 --nets 5 --seed {seed}"));
+    let path = dir.join(name);
+    std::fs::write(&path, &text).expect("writing instance");
+    (path.display().to_string(), text)
+}
+
+/// Encodes a minimal route request by hand so the tests exercise the
+/// documented wire format, not just the encoder.
+fn route_line(id: &str, instance_text: &str, extra: &str) -> String {
+    let escaped = Json::str(instance_text).render_compact();
+    format!("{{\"v\":1,\"op\":\"route\",\"id\":\"{id}\",\"instance\":{escaped}{extra}}}")
+}
+
+#[test]
+fn serve_routes_match_batch_byte_for_byte() {
+    let dir = test_dir("vroute-serve-parity");
+    let socket = dir.join("s.sock");
+    let mut paths = Vec::new();
+    let mut texts = Vec::new();
+    for (i, seed) in [3u32, 7, 11].iter().enumerate() {
+        let (path, text) = instance(&dir, &format!("i{i}.sb"), *seed);
+        paths.push(path);
+        texts.push(text);
+    }
+
+    // Ground truth: the batch engine's per-instance checksums.
+    let report = dir.join("batch.json");
+    run(&format!("batch {} --jobs 1 --json {}", paths.join(" "), report.display()));
+    let batch =
+        Json::parse(&std::fs::read_to_string(&report).expect("report")).expect("batch json parses");
+    let batch_sums: Vec<String> = match batch.get("instances") {
+        Some(Json::Arr(records)) => records
+            .iter()
+            .map(|r| r.get("checksum").and_then(Json::as_str).expect("checksum").to_string())
+            .collect(),
+        _ => panic!("no instances in {batch:?}"),
+    };
+
+    let daemon = start_serve(&format!("serve --socket {} --workers 2", socket.display()));
+    let mut stream = connect(&socket);
+    let mut reader = session(&stream);
+    for (i, text) in texts.iter().enumerate() {
+        let resp = roundtrip(&mut stream, &mut reader, &route_line(&format!("r{i}"), text, ""));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some(format!("r{i}").as_str()));
+        let result = resp.get("result").expect("result");
+        assert_eq!(result.get("status").and_then(Json::as_str), Some("complete"), "{resp:?}");
+        assert_eq!(
+            result.get("checksum").and_then(Json::as_str),
+            Some(batch_sums[i].as_str()),
+            "serve and batch disagree on instance {i}"
+        );
+    }
+    let resp = roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"shutdown","id":"bye"}"#);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let (ok, out) = daemon.join().expect("daemon thread");
+    assert!(ok, "{out}");
+    assert!(out.contains("3 completed") || out.contains("completed"), "{out}");
+}
+
+#[test]
+fn malformed_input_gets_structured_errors_not_disconnects() {
+    let dir = test_dir("vroute-serve-malformed");
+    let socket = dir.join("s.sock");
+    let daemon = start_serve(&format!("serve --socket {} --workers 1", socket.display()));
+    let mut stream = connect(&socket);
+    let mut reader = session(&stream);
+
+    let cases = [
+        ("{\"v\":1,\"op\":", "bad-json"),
+        ("{\"v\":2,\"op\":\"ping\"}", "bad-version"),
+        ("{\"v\":1,\"op\":\"frobnicate\"}", "unknown-op"),
+        ("{\"v\":1,\"op\":\"route\"}", "bad-request"),
+        ("{\"v\":1,\"op\":\"route\",\"instance\":\"not an instance\"}", "bad-request"),
+        ("{\"v\":1,\"op\":\"route\",\"instance\":\"sb 4 4\",\"router\":\"nope\"}", "bad-request"),
+        ("{\"v\":1,\"op\":\"route\",\"instance\":\"sb 4 4\",\"priority\":99}", "bad-request"),
+    ];
+    for (line, code) in cases {
+        let resp = roundtrip(&mut stream, &mut reader, line);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false), "{line} -> {resp:?}");
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some(code),
+            "{line} -> {resp:?}"
+        );
+        // The connection must survive every malformed line.
+        let pong = roundtrip(&mut stream, &mut reader, "{\"v\":1,\"op\":\"ping\",\"id\":\"p\"}");
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true), "{pong:?}");
+    }
+
+    // An oversized line is discarded and flagged, and the connection
+    // still works afterwards.
+    let huge = format!("{{\"v\":1,\"op\":\"route\",\"instance\":\"{}\"}}", "x".repeat(1 << 20));
+    let resp = roundtrip(&mut stream, &mut reader, &huge);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("oversized"),
+        "{resp:?}"
+    );
+    let pong = roundtrip(&mut stream, &mut reader, "{\"v\":1,\"op\":\"ping\",\"id\":\"after\"}");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true), "{pong:?}");
+
+    roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"shutdown"}"#);
+    let (ok, out) = daemon.join().expect("daemon thread");
+    assert!(ok, "{out}");
+}
+
+#[test]
+fn events_stream_before_the_response_and_deadlines_expire() {
+    let dir = test_dir("vroute-serve-events");
+    let socket = dir.join("s.sock");
+    let (_, text) = instance(&dir, "i.sb", 5);
+    let daemon = start_serve(&format!("serve --socket {} --workers 1", socket.display()));
+    let mut stream = connect(&socket);
+    let mut reader = session(&stream);
+
+    // Subscribe to events: every line before the terminal response is
+    // an event envelope carrying the request id.
+    stream
+        .write_all(route_line("ev", &text, ",\"events\":true").as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .expect("send");
+    let mut events = 0u64;
+    let resp = loop {
+        let line = read_line(&mut reader);
+        if line.get("ev").is_some() {
+            assert_eq!(line.get("id").and_then(Json::as_str), Some("ev"), "{line:?}");
+            events += 1;
+            continue;
+        }
+        break line;
+    };
+    assert!(events >= 5, "expected one event per net at least, got {events}");
+    let result = resp.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("complete"), "{resp:?}");
+    assert_eq!(result.get("events").and_then(Json::as_u64), Some(events), "{resp:?}");
+
+    // A zero deadline expires before routing: still ok:true (the
+    // request was valid), with the error in the outcome report.
+    let resp = roundtrip(&mut stream, &mut reader, &route_line("dl", &text, ",\"deadline_ms\":0"));
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
+    let result = resp.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("error"), "{resp:?}");
+    assert!(
+        result.get("error").and_then(Json::as_str).expect("error").contains("deadline"),
+        "{resp:?}"
+    );
+
+    roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"shutdown"}"#);
+    let (ok, out) = daemon.join().expect("daemon thread");
+    assert!(ok, "{out}");
+    assert!(out.contains("1 expired"), "{out}");
+}
+
+#[test]
+fn stats_op_reports_the_service_counters() {
+    let dir = test_dir("vroute-serve-stats");
+    let socket = dir.join("s.sock");
+    let (_, text) = instance(&dir, "i.sb", 9);
+    let daemon = start_serve(&format!("serve --socket {} --workers 1 --queue 7", socket.display()));
+    let mut stream = connect(&socket);
+    let mut reader = session(&stream);
+
+    roundtrip(&mut stream, &mut reader, &route_line("r", &text, ""));
+    // The worker counts a job completed just after delivering its
+    // reply, so poll the counter instead of racing it.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"stats","id":"s"}"#);
+        let result = resp.get("result").expect("result");
+        assert_eq!(result.get("queue_capacity").and_then(Json::as_u64), Some(7), "{resp:?}");
+        assert_eq!(result.get("workers").and_then(Json::as_u64), Some(1), "{resp:?}");
+        assert_eq!(result.get("accepted").and_then(Json::as_u64), Some(1), "{resp:?}");
+        if result.get("completed").and_then(Json::as_u64) == Some(1) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "completed never reached 1: {resp:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"shutdown"}"#);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn client_command_drives_the_daemon_end_to_end() {
+    let dir = test_dir("vroute-serve-client");
+    let socket = dir.join("s.sock");
+    let (path, _) = instance(&dir, "i.sb", 13);
+    let daemon = start_serve(&format!("serve --socket {} --workers 1", socket.display()));
+    connect(&socket); // wait for bind before pointing the client at it
+
+    let out = run(&format!("client --socket {} {} --events --shutdown", socket.display(), path));
+    assert!(out.contains("complete"), "{out}");
+    assert!(out.contains("checksum"), "{out}");
+    assert!(out.contains("events)"), "{out}");
+    assert!(out.contains("daemon stopping"), "{out}");
+    let (ok, serve_out) = daemon.join().expect("daemon thread");
+    assert!(ok, "{serve_out}");
+}
+
+#[test]
+fn journaled_requests_replay_after_a_crash() {
+    let dir = test_dir("vroute-serve-replay");
+    let socket = dir.join("s.sock");
+    let jdir = dir.join("wal");
+    std::fs::create_dir_all(&jdir).expect("journal dir");
+    let (_, text) = instance(&dir, "i.sb", 17);
+
+    // Simulate a daemon that accepted two requests and died after
+    // answering only the first: journal them directly.
+    {
+        let journal = mighty::ServeJournal::create(&jdir).expect("create journal");
+        let first = route_line("a", &text, "");
+        let second = route_line("b", &text, "");
+        let rid = journal.accept(&first);
+        journal.done(rid, "complete");
+        journal.accept(&second);
+        assert!(journal.take_error().is_none());
+    }
+
+    // A resumed daemon replays the unanswered request before serving.
+    let daemon = start_serve(&format!(
+        "serve --socket {} --workers 1 --journal {} --resume",
+        socket.display(),
+        jdir.display()
+    ));
+    let mut stream = connect(&socket);
+    let mut reader = session(&stream);
+    roundtrip(&mut stream, &mut reader, r#"{"v":1,"op":"shutdown"}"#);
+    let (ok, out) = daemon.join().expect("daemon thread");
+    assert!(ok, "{out}");
+    assert!(out.contains("replaying 1 journaled request(s)"), "{out}");
+
+    // After the replay the journal holds no pending work.
+    let (_, pending) = mighty::ServeJournal::resume(&jdir).expect("resume");
+    assert!(pending.is_empty(), "replayed requests must be marked done: {pending:?}");
+}

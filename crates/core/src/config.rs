@@ -129,8 +129,11 @@ impl Default for RouterConfig {
     }
 }
 
-/// A [`RouterConfig`] that failed validation in
-/// [`RouterConfigBuilder::build`].
+/// A configuration that failed validation in a builder — shared by
+/// [`RouterConfigBuilder::build`],
+/// [`EngineConfigBuilder::build`](crate::engine::EngineConfigBuilder::build)
+/// and
+/// [`ServiceConfigBuilder::build`](crate::serve::ServiceConfigBuilder::build).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// `max_attempts` was zero: every net would fail before its first
@@ -154,6 +157,19 @@ pub enum ConfigError {
         /// The requested ceiling, which was smaller.
         ceiling: u64,
     },
+    /// A zero wall-clock deadline: every instance would be disqualified
+    /// before routing. Use `None` to disable the check instead.
+    ZeroDeadline,
+    /// A worker/job count beyond the thread-spawn cap.
+    JobsOverCap {
+        /// The requested count.
+        jobs: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+    /// A zero admission-queue capacity: the service could never accept
+    /// a request.
+    ZeroQueueCapacity,
 }
 
 impl fmt::Display for ConfigError {
@@ -173,6 +189,15 @@ impl fmt::Display for ConfigError {
                     f,
                     "inverted penalty schedule: ceiling {ceiling} is below initial penalty {initial}"
                 )
+            }
+            ConfigError::ZeroDeadline => {
+                write!(f, "deadline must be positive (use None to disable the check)")
+            }
+            ConfigError::JobsOverCap { jobs, cap } => {
+                write!(f, "jobs {jobs} exceeds the thread cap {cap}")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "queue capacity must be at least 1")
             }
         }
     }
@@ -404,6 +429,9 @@ mod tests {
             ConfigError::ZeroBasePenalty,
             ConfigError::DoublingsOverflow { doublings: 64 },
             ConfigError::InvertedPenaltySchedule { initial: 9, ceiling: 3 },
+            ConfigError::ZeroDeadline,
+            ConfigError::JobsOverCap { jobs: 9999, cap: 1024 },
+            ConfigError::ZeroQueueCapacity,
         ] {
             assert!(!e.to_string().is_empty());
         }

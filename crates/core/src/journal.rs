@@ -20,11 +20,19 @@
 //! records feed the final report verbatim, which is what makes a
 //! killed-and-resumed batch report byte-identical to an uninterrupted
 //! one (the report excludes wall-clock fields for exactly this reason).
+//!
+//! The routing service reuses the same machinery through
+//! [`ServeJournal`]: one fsync'd `req` record per accepted request, one
+//! `done` record per delivered response. A `req` without a matching
+//! `done` was in flight when the daemon died, and
+//! [`ServeJournal::resume`] returns it for replay.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::recover::{InstanceStatus, RecoveryPath, SupervisedOutcome};
@@ -259,15 +267,24 @@ impl RunJournal {
     /// optionally fsyncing. The crc covers every byte before `,"crc"`,
     /// which is how resume detects torn lines.
     fn append(&self, body: String, sync: bool) {
-        let mut line = body;
-        let crc = RunJournal::fingerprint(&line);
-        let _ = write!(line, ",\"crc\":\"{crc:016x}\"}}");
-        line.push('\n');
-        let Ok(mut writer) = self.writer.lock() else { return };
-        if writer.error.is_some() {
-            return;
-        }
-        let result = match writer.file.as_mut() {
+        append_sealed(&self.writer, body, sync);
+    }
+}
+
+/// Seals `body` with its trailing `crc` field and appends it as one
+/// line through `writer`, optionally fsyncing. Write errors latch into
+/// the writer (see [`Writer`]).
+fn append_sealed(writer: &Mutex<Writer>, body: String, sync: bool) {
+    let mut line = body;
+    let crc = RunJournal::fingerprint(&line);
+    let _ = write!(line, ",\"crc\":\"{crc:016x}\"}}");
+    line.push('\n');
+    let Ok(mut writer) = writer.lock() else { return };
+    if writer.error.is_some() {
+        return;
+    }
+    let result =
+        match writer.file.as_mut() {
             Some(file) => file.write_all(line.as_bytes()).and_then(|()| {
                 if sync {
                     file.sync_data()
@@ -277,9 +294,153 @@ impl RunJournal {
             }),
             None => return,
         };
-        if let Err(e) = result {
-            writer.error = Some(format!("journal write failed: {e}"));
-            writer.file = None;
+    if let Err(e) = result {
+        writer.error = Some(format!("journal write failed: {e}"));
+        writer.file = None;
+    }
+}
+
+/// Checks a journal line's trailing crc seal. Returns `true` iff the
+/// line ends in a valid `,"crc":"..."}` covering everything before it.
+fn crc_valid(line: &str) -> bool {
+    let Some(crc_at) = line.rfind(",\"crc\":\"") else { return false };
+    let Some(crc) = raw_field(line, "crc").and_then(|h| u64::from_str_radix(h, 16).ok()) else {
+        return false;
+    };
+    RunJournal::fingerprint(&line[..crc_at]) == crc
+}
+
+/// A request the daemon accepted but never answered — found by
+/// [`ServeJournal::resume`] after a crash, for replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The journal's request id (also the replay order).
+    pub rid: u64,
+    /// The original request line, byte-for-byte as accepted.
+    pub body: String,
+}
+
+/// Crash-safe request journal for the routing service (`vroute serve`).
+///
+/// Two record kinds, both crc-sealed and fsync'd like the batch
+/// journal's:
+///
+/// * `req` — appended *before* a request is admitted, carrying the raw
+///   request line.
+/// * `done` — appended after the response for that request was written
+///   to the client.
+///
+/// [`ServeJournal::resume`] returns every `req` without a matching
+/// `done`, in acceptance order, so a restarted daemon can re-route
+/// exactly the requests that were in flight when it died.
+#[derive(Debug)]
+pub struct ServeJournal {
+    path: PathBuf,
+    writer: Mutex<Writer>,
+    next_rid: AtomicU64,
+}
+
+impl ServeJournal {
+    /// File name of the log inside the journal directory.
+    pub const FILE_NAME: &'static str = "serve.ldj";
+
+    /// Starts a fresh service journal, truncating any previous log in
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-open failures.
+    pub fn create(dir: &Path) -> io::Result<ServeJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(ServeJournal::FILE_NAME);
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        Ok(ServeJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            next_rid: AtomicU64::new(1),
+        })
+    }
+
+    /// Opens a journal for resume: scans any existing log and returns
+    /// the requests that were accepted but never answered, in
+    /// acceptance order. A missing log behaves like
+    /// [`create`](ServeJournal::create) with no pending requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation, read and file-open failures.
+    pub fn resume(dir: &Path) -> io::Result<(ServeJournal, Vec<PendingRequest>)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(ServeJournal::FILE_NAME);
+        let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+        let mut max_rid = 0u64;
+        match File::open(&path) {
+            Ok(mut file) => {
+                let mut text = String::new();
+                file.read_to_string(&mut text)?;
+                for line in text.lines() {
+                    if !crc_valid(line) {
+                        continue;
+                    }
+                    let Some(rid) = raw_field(line, "rid").and_then(|r| r.parse().ok()) else {
+                        continue;
+                    };
+                    max_rid = max_rid.max(rid);
+                    match raw_field(line, "ev") {
+                        Some("req") => {
+                            if let Some(body) = raw_field(line, "body") {
+                                pending.insert(rid, unescape(body));
+                            }
+                        }
+                        Some("done") => {
+                            pending.remove(&rid);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        let journal = ServeJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            next_rid: AtomicU64::new(max_rid + 1),
+        };
+        let pending = pending.into_iter().map(|(rid, body)| PendingRequest { rid, body }).collect();
+        Ok((journal, pending))
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records an accepted request (fsync'd before returning, so an
+    /// admitted request survives a crash) and assigns its rid. Errors
+    /// latch (see [`take_error`](ServeJournal::take_error)).
+    pub fn accept(&self, body: &str) -> u64 {
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::from("{\"ev\":\"req\"");
+        let _ = write!(line, ",\"rid\":{rid},\"body\":\"{}\"", escape(body));
+        append_sealed(&self.writer, line, true);
+        rid
+    }
+
+    /// Records that the response for `rid` reached the client, with its
+    /// terminal status word. Errors latch.
+    pub fn done(&self, rid: u64, status: &str) {
+        let mut line = String::from("{\"ev\":\"done\"");
+        let _ = write!(line, ",\"rid\":{rid},\"status\":\"{}\"", escape(status));
+        append_sealed(&self.writer, line, true);
+    }
+
+    /// The first write error, if any.
+    pub fn take_error(&self) -> Option<String> {
+        match self.writer.lock() {
+            Ok(mut writer) => writer.error.take(),
+            Err(_) => Some("journal writer mutex poisoned".to_string()),
         }
     }
 }
@@ -522,5 +683,53 @@ mod tests {
         let replayed = resumed.replay(0).expect("record replays");
         assert_eq!(replayed.status, InstanceStatus::Errored);
         assert_eq!(replayed.error, e.error);
+    }
+
+    #[test]
+    fn serve_journal_replays_unanswered_requests() {
+        let dir = temp_dir("serve");
+        let journal = ServeJournal::create(&dir).unwrap();
+        let tricky = "{\"v\":1,\"op\":\"route\",\"instance\":\"switchbox 4 4\\n\"}";
+        let r1 = journal.accept(tricky);
+        let r2 = journal.accept("{\"v\":1,\"op\":\"ping\",\"id\":\"p\"}");
+        let r3 = journal.accept("{\"v\":1,\"op\":\"route\",\"id\":\"x\"}");
+        assert_eq!((r1, r2, r3), (1, 2, 3));
+        journal.done(r2, "complete");
+        assert_eq!(journal.take_error(), None);
+        drop(journal);
+
+        let (resumed, pending) = ServeJournal::resume(&dir).unwrap();
+        assert_eq!(pending.len(), 2, "answered requests must not replay");
+        assert_eq!(pending[0].rid, 1);
+        assert_eq!(pending[0].body, tricky, "bodies survive byte-for-byte");
+        assert_eq!(pending[1].rid, 3);
+        // New rids continue after the highest seen.
+        assert_eq!(resumed.accept("{}"), 4);
+    }
+
+    #[test]
+    fn serve_journal_ignores_torn_tail() {
+        let dir = temp_dir("serve-torn");
+        let journal = ServeJournal::create(&dir).unwrap();
+        journal.accept("first");
+        journal.accept("second");
+        drop(journal);
+
+        let path = dir.join(ServeJournal::FILE_NAME);
+        let text = fs::read_to_string(&path).unwrap();
+        let torn: String = text.chars().take(text.len() - 7).collect();
+        fs::write(&path, torn).unwrap();
+
+        let (_resumed, pending) = ServeJournal::resume(&dir).unwrap();
+        assert_eq!(pending.len(), 1, "the torn record is not replayed");
+        assert_eq!(pending[0].body, "first");
+    }
+
+    #[test]
+    fn serve_journal_resume_on_empty_dir_is_fresh() {
+        let dir = temp_dir("serve-fresh");
+        let (journal, pending) = ServeJournal::resume(&dir).unwrap();
+        assert!(pending.is_empty());
+        assert_eq!(journal.accept("x"), 1);
     }
 }

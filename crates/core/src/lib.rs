@@ -52,13 +52,14 @@ pub mod journal;
 mod net_graph;
 pub mod recover;
 mod router;
+pub mod serve;
 
 pub use config::{ConfigError, NetOrder, PenaltyGrowth, RouterConfig, RouterConfigBuilder};
 pub use engine::{
-    BatchObservation, BatchOutcome, EngineConfig, EngineStats, ObserveMode, RouteEngine,
-    SupervisedBatch,
+    BatchObservation, BatchOutcome, EngineConfig, EngineConfigBuilder, EngineStats, ObserveMode,
+    RouteEngine, SupervisedBatch, MAX_JOBS,
 };
-pub use journal::{JournalEntry, RunJournal};
+pub use journal::{JournalEntry, PendingRequest, RunJournal, ServeJournal};
 pub use recover::{
     EngineFault, FallbackChain, FaultPlan, InstanceStatus, RecoveryPath, RetryPolicy, SalvageInfo,
     SupervisedOutcome, Supervisor,
@@ -67,3 +68,7 @@ pub use recover::{
 /// router fills them and the engine/bench tables consume them.
 pub use route_model::RouterStats;
 pub use router::{MightyRouter, RouteOutcome};
+pub use serve::{
+    JobDone, JobSpec, RouteService, ServiceConfig, ServiceConfigBuilder, ServiceReply,
+    ServiceStats, SubmitError,
+};

@@ -123,13 +123,55 @@ impl MightyRouter {
         db: RouteDb,
         observer: &mut dyn RouteObserver,
     ) -> Result<RouteOutcome, RouteError> {
+        let mut arena = SearchArena::new();
+        self.try_route_incremental_observed_in(problem, db, &mut arena, observer)
+    }
+
+    /// Routes every net of `problem` using a caller-owned
+    /// [`SearchArena`] for search scratch. This is the warm-worker entry
+    /// point: a long-running service hands each request the worker's
+    /// arena, so steady-state routing performs no per-request scratch
+    /// allocation (the arena grows to the largest grid it has seen and
+    /// is reset, not reallocated, between requests). The routed result
+    /// is bit-identical to [`route`](MightyRouter::route).
+    pub fn route_warm(&self, problem: &Problem, arena: &mut SearchArena) -> RouteOutcome {
+        self.route_warm_observed(problem, arena, &mut NopObserver)
+    }
+
+    /// Like [`route_warm`](MightyRouter::route_warm), but streams
+    /// [`RouteObserver`] events.
+    pub fn route_warm_observed(
+        &self,
+        problem: &Problem,
+        arena: &mut SearchArena,
+        observer: &mut dyn RouteObserver,
+    ) -> RouteOutcome {
+        self.try_route_incremental_observed_in(problem, RouteDb::new(problem), arena, observer)
+            .expect("a fresh database always matches its problem")
+    }
+
+    /// The most general entry point: incremental routing with an
+    /// external observer *and* an external search arena. All other
+    /// `route*` methods funnel here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DbMismatch`] when `db` was not created for
+    /// `problem` (net counts differ).
+    pub fn try_route_incremental_observed_in(
+        &self,
+        problem: &Problem,
+        db: RouteDb,
+        arena: &mut SearchArena,
+        observer: &mut dyn RouteObserver,
+    ) -> Result<RouteOutcome, RouteError> {
         if db.net_count() != problem.nets().len() {
             return Err(RouteError::DbMismatch {
                 expected: problem.nets().len(),
                 found: db.net_count(),
             });
         }
-        let mut run = Run::new(&self.cfg, problem, db, observer);
+        let mut run = Run::new(&self.cfg, problem, db, arena, observer);
         run.execute();
         // The outcome is the best configuration the run ever reached:
         // modification is speculative, so a late cascade of rips must not
@@ -183,8 +225,9 @@ struct Run<'a> {
     exhausted: bool,
     /// Best state reached so far: `(connected nets, database snapshot)`.
     best: Option<(usize, RouteDb)>,
-    /// Scratch buffers shared by every search of the run.
-    arena: SearchArena,
+    /// Scratch buffers shared by every search of the run; borrowed so a
+    /// warm worker can amortize them across requests.
+    arena: &'a mut SearchArena,
     stats: RouterStats,
     /// Event sink; a [`NopObserver`] on unobserved runs.
     obs: &'a mut dyn RouteObserver,
@@ -195,6 +238,7 @@ impl<'a> Run<'a> {
         cfg: &'a RouterConfig,
         problem: &'a Problem,
         db: RouteDb,
+        arena: &'a mut SearchArena,
         obs: &'a mut dyn RouteObserver,
     ) -> Self {
         let n = problem.nets().len();
@@ -263,7 +307,7 @@ impl<'a> Run<'a> {
             max_events,
             exhausted: false,
             best: None,
-            arena: SearchArena::new(),
+            arena,
             stats: RouterStats::default(),
             obs,
         }
@@ -360,7 +404,7 @@ impl<'a> Run<'a> {
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
             let query = Query { grid: self.db.grid(), net, sources, targets, cost: self.cfg.cost };
 
-            if let Some(found) = find_path_observed(&mut self.arena, &query, &mut *self.obs) {
+            if let Some(found) = find_path_observed(self.arena, &query, &mut *self.obs) {
                 self.stats.expanded += found.stats.expanded as u64;
                 self.stats.hard_routes += 1;
                 self.db.commit(net, found.trace).expect("hard paths commit");
@@ -384,7 +428,7 @@ impl<'a> Run<'a> {
                 }
             };
             let Some(soft) =
-                find_path_soft_observed(&mut self.arena, &query, &soft_cost, &mut *self.obs)
+                find_path_soft_observed(self.arena, &query, &soft_cost, &mut *self.obs)
             else {
                 return ConnectResult::Stuck;
             };
@@ -481,7 +525,7 @@ impl<'a> Run<'a> {
             let targets: Vec<Step> = comps[1..].iter().flatten().copied().collect();
             let query =
                 Query { grid: self.db.grid(), net: victim, sources, targets, cost: self.cfg.cost };
-            match find_path_observed(&mut self.arena, &query, &mut *self.obs) {
+            match find_path_observed(self.arena, &query, &mut *self.obs) {
                 Some(found) => {
                     self.stats.expanded += found.stats.expanded as u64;
                     committed.push(self.db.commit(victim, found.trace).expect("hard paths commit"));
@@ -718,6 +762,28 @@ mod tests {
         // Only the pins remain for the failed net.
         assert_eq!(out.db().net_slots(doomed).len(), 2);
         assert_eq!(out.db().traces(doomed).count(), 0);
+    }
+
+    #[test]
+    fn warm_arena_reuse_is_bit_identical() {
+        // One arena serving many requests of different grid sizes must
+        // not change any result: warm runs are bit-identical to cold
+        // runs, and a second warm pass over the same instance is
+        // bit-identical to the first (stale scratch never leaks).
+        let router = default_router();
+        let mut arena = SearchArena::new();
+        for (w, h) in [(6u32, 6u32), (11, 9), (5, 8)] {
+            let mut b = ProblemBuilder::switchbox(w, h);
+            b.net("h").pin_side(PinSide::Left, h / 2).pin_side(PinSide::Right, h / 2);
+            b.net("v").pin_side(PinSide::Bottom, w / 2).pin_side(PinSide::Top, w / 2);
+            let p = b.build().unwrap();
+            let cold = router.route(&p);
+            let warm1 = router.route_warm(&p, &mut arena);
+            let warm2 = router.route_warm(&p, &mut arena);
+            assert_eq!(cold.db().checksum(), warm1.db().checksum(), "{w}x{h} cold vs warm");
+            assert_eq!(warm1.db().checksum(), warm2.db().checksum(), "{w}x{h} warm vs warm");
+            assert_eq!(cold.failed(), warm1.failed());
+        }
     }
 
     #[test]

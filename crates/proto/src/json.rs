@@ -1,0 +1,654 @@
+//! A minimal JSON value: writer *and* parser, no dependencies.
+//!
+//! The workspace is dependency-free, so this hand-rolls the small
+//! subset of JSON the machine-readable surfaces need: objects with
+//! ordered keys, arrays, strings, integers, floats and booleans.
+//! Output is pretty-printed with two-space indentation so artifacts
+//! diff well, or rendered compactly for line-delimited protocols.
+//! [`Json::parse`] is a strict recursive-descent parser used by the
+//! serve protocol to decode request lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_proto::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("suite", Json::str("channels")),
+//!     ("instances", Json::from(64u64)),
+//!     ("threads", Json::arr([Json::from(1u64), Json::from(8u64)])),
+//! ]);
+//! assert!(doc.render().contains("\"instances\": 64"));
+//!
+//! let back = Json::parse(&doc.render_compact()).unwrap();
+//! assert_eq!(back.get("instances").and_then(Json::as_u64), Some(64));
+//! ```
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized with enough precision to round-trip).
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from any iterator of key/value pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes the value as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0).expect("writing to a String cannot fail");
+        out.push('\n');
+        out
+    }
+
+    /// Serializes the value on a single line with no insignificant
+    /// whitespace — the form line-delimited JSON (one record per line)
+    /// requires.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out).expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Looks up `key` in an object. `None` on missing keys and on
+    /// non-object values, so lookups chain without a type check first.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as unsigned, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers widen losslessly up to
+    /// 2^53), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Parses a complete JSON document. Strict: the whole input must be
+    /// one value plus optional surrounding whitespace; trailing garbage
+    /// is an error. Nesting is capped so hostile input cannot overflow
+    /// the stack.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    fn write_compact(&self, out: &mut String) -> fmt::Result {
+        use fmt::Write;
+        match self {
+            Json::Arr(items) => {
+                write!(out, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ",")?;
+                    }
+                    item.write_compact(out)?;
+                }
+                write!(out, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(out, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ",")?;
+                    }
+                    write_escaped(out, key)?;
+                    write!(out, ":")?;
+                    value.write_compact(out)?;
+                }
+                write!(out, "}}")
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) -> fmt::Result {
+        use fmt::Write;
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => write!(out, "null"),
+            Json::Bool(b) => write!(out, "{b}"),
+            Json::Int(n) => write!(out, "{n}"),
+            Json::Float(x) if x.is_finite() => write!(out, "{x}"),
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            Json::Float(_) => write!(out, "null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => write!(out, "[]"),
+            Json::Arr(items) => {
+                writeln!(out, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1)?;
+                    writeln!(out, "{}", if i + 1 < items.len() { "," } else { "" })?;
+                }
+                write!(out, "{close}]")
+            }
+            Json::Obj(pairs) if pairs.is_empty() => write!(out, "{{}}"),
+            Json::Obj(pairs) => {
+                writeln!(out, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, key)?;
+                    write!(out, ": ")?;
+                    value.write(out, indent + 1)?;
+                    writeln!(out, "{}", if i + 1 < pairs.len() { "," } else { "" })?;
+                }
+                write!(out, "{close}}}")
+            }
+        }
+    }
+}
+
+/// A parse failure: a byte offset into the input and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Deepest allowed nesting of arrays/objects while parsing. Documents
+/// deeper than this are rejected rather than risking a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", want as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // A surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("bad unicode escape"))?);
+                        }
+                        _ => return Err(self.err(format!("bad escape '\\{}'", esc as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = text.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+            _ => Err(self.err(format!("invalid number '{text}'"))),
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    Ok(())
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        i64::try_from(n).map(Json::Int).unwrap_or(Json::Float(n as f64))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::from(n as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::from(true).render(), "true\n");
+        assert_eq!(Json::from(42u64).render(), "42\n");
+        assert_eq!(Json::from(-7i64).render(), "-7\n");
+        assert_eq!(Json::from(1.5).render(), "1.5\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::str("bell\u{7}").render(), "\"bell\\u0007\"\n");
+    }
+
+    #[test]
+    fn nested_structure_renders_stably() {
+        let doc = Json::obj([
+            ("name", Json::str("engine")),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("rows", Json::arr([Json::obj([("jobs", Json::from(1u64))])])),
+        ]);
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"engine\",\n  \"empty_arr\": [],\n  \"empty_obj\": {},\n  \
+             \"rows\": [\n    {\n      \"jobs\": 1\n    }\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn huge_u64_degrades_to_float() {
+        assert!(matches!(Json::from(u64::MAX), Json::Float(_)));
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line() {
+        let doc = Json::obj([
+            ("kind", Json::str("search_done")),
+            ("probe", Json::obj([("expanded", Json::from(12u64))])),
+            ("tags", Json::arr([Json::from(1u64), Json::from(2u64)])),
+        ]);
+        assert_eq!(
+            doc.render_compact(),
+            "{\"kind\":\"search_done\",\"probe\":{\"expanded\":12},\"tags\":[1,2]}"
+        );
+        assert_eq!(Json::arr([]).render_compact(), "[]");
+        assert_eq!(Json::obj::<String>([]).render_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Float(2000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(Json::parse(r#""a\"b\\c\nd\t""#).unwrap(), Json::str("a\"b\\c\nd\t"));
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::str("Aé"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn parse_structures() {
+        let doc = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn every_render_round_trips() {
+        let doc = Json::obj([
+            ("s", Json::str("tricky \"quote\" \\ \n \u{1F600}")),
+            ("i", Json::from(-12i64)),
+            ("f", Json::from(0.25)),
+            ("b", Json::from(true)),
+            ("n", Json::Null),
+            ("a", Json::arr([Json::from(1u64), Json::str("two")])),
+            ("o", Json::obj([("inner", Json::from(3u64))])),
+        ]);
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "01a",
+            "--3",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"n": 5, "s": "x", "f": 1.5, "b": false}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("n").and_then(Json::as_i64), Some(5));
+        assert_eq!(doc.get("n").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # route-proto
+//!
+//! The versioned machine-readable surface of the workspace: a
+//! dependency-free JSON value type (writer **and** parser), the v1
+//! request/response/event wire envelopes spoken by `vroute serve`, and
+//! the shared report schemas that keep `vroute route --json`,
+//! `vroute batch --json` and the serve protocol emitting the same
+//! types.
+//!
+//! Everything on the wire and in report files carries an explicit
+//! `"v": 1` ([`PROTO_VERSION`]); consumers reject versions they do not
+//! speak instead of misreading them.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_proto::{decode_request, Request, PROTO_VERSION};
+//!
+//! assert_eq!(PROTO_VERSION, 1);
+//! let req = decode_request(r#"{"v":1,"op":"ping","id":"p"}"#).unwrap();
+//! assert_eq!(req, Request::Ping { id: Some("p".into()) });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+pub mod wire;
+
+pub use json::{Json, ParseError};
+pub use report::{metrics_json, versioned_doc, RouteOutcomeReport};
+pub use wire::{
+    decode_request, decode_server_msg, encode_request, event_line, event_pairs, response_err,
+    response_ok, ErrorCode, Request, RouteRequest, ServerMsg, WireError, DEFAULT_PRIORITY,
+    MAX_LINE_BYTES, MAX_PRIORITY, PROTO_VERSION,
+};

@@ -1,0 +1,193 @@
+//! Shared, versioned report schemas.
+//!
+//! `vroute route --json`, `vroute batch --json` and the serve protocol
+//! all describe a routing attempt the same way: a **status** plus the
+//! status-specific payload fields. This module owns that shape so the
+//! three surfaces cannot drift apart, and stamps every top-level
+//! document with the protocol version (`"v": 1`).
+//!
+//! # Examples
+//!
+//! ```
+//! use route_proto::report::RouteOutcomeReport;
+//! use route_proto::json::Json;
+//!
+//! let outcome =
+//!     RouteOutcomeReport::Routed { legal: true, complete: true, wire: 42, vias: 3, checksum: 7 };
+//! assert_eq!(outcome.status(), "complete");
+//! let obj = Json::Obj(outcome.pairs());
+//! assert_eq!(obj.get("checksum").and_then(Json::as_str), Some("0000000000000007"));
+//! ```
+
+use route_model::MetricsRecorder;
+
+use crate::json::Json;
+use crate::wire::PROTO_VERSION;
+
+/// Builds a versioned top-level document: `{"v":1,"command":...,...}`.
+pub fn versioned_doc(command: &str, pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+    let mut all: Vec<(String, Json)> =
+        vec![("v".into(), Json::Int(PROTO_VERSION)), ("command".into(), Json::str(command))];
+    all.extend(pairs);
+    Json::Obj(all)
+}
+
+/// The outcome of one routing attempt, as reported on every
+/// machine-readable surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcomeReport {
+    /// The router produced a database (possibly incomplete or illegal).
+    Routed {
+        /// The verifier found no rule violations on the routed nets.
+        legal: bool,
+        /// Every net was routed.
+        complete: bool,
+        /// Total wirelength of the database.
+        wire: u64,
+        /// Via count of the database.
+        vias: u64,
+        /// `RouteDb::checksum()` — byte-identical results share it.
+        checksum: u64,
+    },
+    /// Static analysis proved the instance unroutable before any
+    /// router ran.
+    Infeasible {
+        /// Summary of the infeasibility certificate.
+        reason: String,
+    },
+    /// The attempt failed (router error, panic, deadline...).
+    Failed {
+        /// The rendered error.
+        error: String,
+    },
+}
+
+impl RouteOutcomeReport {
+    /// The status word: `complete`, `incomplete`, `illegal`,
+    /// `infeasible` or `error`. Stable wire vocabulary.
+    pub fn status(&self) -> &'static str {
+        match self {
+            RouteOutcomeReport::Routed { legal: false, .. } => "illegal",
+            RouteOutcomeReport::Routed { complete: true, .. } => "complete",
+            RouteOutcomeReport::Routed { .. } => "incomplete",
+            RouteOutcomeReport::Infeasible { .. } => "infeasible",
+            RouteOutcomeReport::Failed { .. } => "error",
+        }
+    }
+
+    /// Whether this outcome counts as fully successful (complete and
+    /// legal).
+    pub fn is_success(&self) -> bool {
+        matches!(self, RouteOutcomeReport::Routed { legal: true, complete: true, .. })
+    }
+
+    /// The status field plus the status-specific payload fields, in
+    /// stable order. Callers prepend context (`file`, `router`...) and
+    /// append timings.
+    pub fn pairs(&self) -> Vec<(String, Json)> {
+        let mut pairs: Vec<(String, Json)> = vec![("status".into(), Json::str(self.status()))];
+        match self {
+            RouteOutcomeReport::Routed { wire, vias, checksum, .. } => {
+                pairs.push(("wire".into(), Json::from(*wire)));
+                pairs.push(("vias".into(), Json::from(*vias)));
+                pairs.push(("checksum".into(), Json::str(format!("{checksum:016x}"))));
+            }
+            RouteOutcomeReport::Infeasible { reason } => {
+                pairs.push(("reason".into(), Json::str(reason.as_str())));
+            }
+            RouteOutcomeReport::Failed { error } => {
+                pairs.push(("error".into(), Json::str(error.as_str())));
+            }
+        }
+        pairs
+    }
+}
+
+/// The JSON object for a metrics recorder, mirroring
+/// [`MetricsRecorder::table`] with machine-friendly keys. Shared by
+/// `route --json`, `batch --json` and the serve `stats`/`route`
+/// responses.
+pub fn metrics_json(m: &MetricsRecorder) -> Json {
+    let r = m.router();
+    let e = m.expansion();
+    Json::obj([
+        ("nets_scheduled", Json::from(m.nets_scheduled())),
+        ("nets_committed", Json::from(m.nets_committed())),
+        ("nets_failed", Json::from(m.nets_failed())),
+        ("hard_searches_won", Json::from(r.hard_routes)),
+        ("soft_searches_won", Json::from(r.soft_routes)),
+        ("weak_modifications", Json::from(r.weak_pushes)),
+        ("strong_ripups", Json::from(r.rips)),
+        ("penalty_escalations", Json::from(m.escalations())),
+        ("max_penalty", Json::from(m.max_penalty())),
+        ("expanded", Json::from(r.expanded)),
+        ("searches", Json::from(e.count())),
+        ("expanded_per_search_mean", Json::from(e.mean())),
+        ("expanded_max", Json::from(e.max())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_cover_every_outcome() {
+        let ok = RouteOutcomeReport::Routed {
+            legal: true,
+            complete: true,
+            wire: 10,
+            vias: 2,
+            checksum: 0xabc,
+        };
+        assert_eq!(ok.status(), "complete");
+        assert!(ok.is_success());
+        let partial = RouteOutcomeReport::Routed {
+            legal: true,
+            complete: false,
+            wire: 10,
+            vias: 2,
+            checksum: 0,
+        };
+        assert_eq!(partial.status(), "incomplete");
+        assert!(!partial.is_success());
+        let bad = RouteOutcomeReport::Routed {
+            legal: false,
+            complete: true,
+            wire: 10,
+            vias: 2,
+            checksum: 0,
+        };
+        assert_eq!(bad.status(), "illegal");
+        assert_eq!(RouteOutcomeReport::Infeasible { reason: "cut".into() }.status(), "infeasible");
+        assert_eq!(RouteOutcomeReport::Failed { error: "boom".into() }.status(), "error");
+    }
+
+    #[test]
+    fn pairs_carry_status_specific_fields() {
+        let obj = Json::Obj(
+            RouteOutcomeReport::Routed {
+                legal: true,
+                complete: true,
+                wire: 42,
+                vias: 3,
+                checksum: 0x1f,
+            }
+            .pairs(),
+        );
+        assert_eq!(obj.get("status").and_then(Json::as_str), Some("complete"));
+        assert_eq!(obj.get("wire").and_then(Json::as_u64), Some(42));
+        assert_eq!(obj.get("checksum").and_then(Json::as_str), Some("000000000000001f"));
+        let obj =
+            Json::Obj(RouteOutcomeReport::Infeasible { reason: "saturated cut".into() }.pairs());
+        assert_eq!(obj.get("reason").and_then(Json::as_str), Some("saturated cut"));
+        assert_eq!(obj.get("wire"), None);
+    }
+
+    #[test]
+    fn versioned_doc_stamps_v_first() {
+        let doc = versioned_doc("route", [("x".to_owned(), Json::from(1u64))]);
+        let text = doc.render_compact();
+        assert!(text.starts_with("{\"v\":1,\"command\":\"route\""), "{text}");
+    }
+}

@@ -1,0 +1,603 @@
+//! The v1 wire protocol: versioned request/response/event envelopes
+//! for the line-delimited JSON service (`vroute serve`).
+//!
+//! Every line on the wire is one JSON object carrying an explicit
+//! `"v"` field. Three envelope shapes exist:
+//!
+//! - **Request** (client → server): `{"v":1,"op":...,"id":...,...}`.
+//!   Ops: `route`, `ping`, `stats`, `shutdown`.
+//! - **Response** (server → client): `{"v":1,"id":...,"ok":true,
+//!   "result":{...}}` or `{"v":1,"id":...,"ok":false,"error":
+//!   {"code":...,"message":...}}`. Exactly one response terminates each
+//!   request.
+//! - **Event** (server → client, only when the request asked for
+//!   `"events":true`): `{"v":1,"id":...,"ev":<kind>,...}` — the same
+//!   event vocabulary as `RouteEvent::kind_name` and the `--trace`
+//!   line schema, tagged with the request id instead of an instance
+//!   label. Events precede the terminating response.
+//!
+//! Decoding is strict but *recoverable*: every malformed line maps to a
+//! [`WireError`] with a stable machine-readable [`ErrorCode`], which the
+//! server turns into an `ok:false` response on the same connection —
+//! a bad line never costs the client its connection.
+//!
+//! # Examples
+//!
+//! ```
+//! use route_proto::wire::{decode_request, encode_request, Request};
+//!
+//! let req = Request::Ping { id: Some("p1".into()) };
+//! let line = encode_request(&req).render_compact();
+//! assert_eq!(decode_request(&line).unwrap(), req);
+//! ```
+
+use std::fmt;
+
+use route_model::{RouteEvent, SearchKind};
+
+use crate::json::Json;
+
+/// The protocol version this build speaks. Bump only with a
+/// compatibility shim for the previous version.
+pub const PROTO_VERSION: i64 = 1;
+
+/// Default cap on one request line, in bytes. Instance texts are a few
+/// KiB; a megabyte of headroom keeps legitimate requests safe while
+/// bounding a hostile client's memory.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Highest request priority the protocol accepts (`0..=MAX_PRIORITY`,
+/// higher is more urgent).
+pub const MAX_PRIORITY: u8 = 9;
+
+/// Default priority for requests that do not specify one.
+pub const DEFAULT_PRIORITY: u8 = 4;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the server answers `{"pong":true}`.
+    Ping {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+    },
+    /// Service statistics snapshot.
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+    },
+    /// Graceful shutdown: drain queued work, then exit.
+    Shutdown {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+    },
+    /// Route one instance.
+    Route(RouteRequest),
+}
+
+impl Request {
+    /// The correlation id, whichever op this is.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => {
+                id.as_deref()
+            }
+            Request::Route(r) => r.id.as_deref(),
+        }
+    }
+}
+
+/// The payload of a `route` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Client-chosen correlation id, echoed in the response and in
+    /// every streamed event.
+    pub id: Option<String>,
+    /// The instance text, in the same `sb` format `vroute route` reads
+    /// from disk (embedded newlines are JSON-escaped on the wire).
+    pub instance: String,
+    /// Router name (same names as `vroute batch --router`); `None`
+    /// uses the server default.
+    pub router: Option<String>,
+    /// Per-request wall-clock budget covering queue wait plus routing.
+    pub deadline_ms: Option<u64>,
+    /// Priority `0..=9`, higher first out of the queue.
+    pub priority: u8,
+    /// Stream `RouteObserver` events before the final response.
+    pub events: bool,
+}
+
+impl RouteRequest {
+    /// A request with default priority, no deadline and no events.
+    pub fn new(instance: impl Into<String>) -> Self {
+        RouteRequest {
+            id: None,
+            instance: instance.into(),
+            router: None,
+            deadline_ms: None,
+            priority: DEFAULT_PRIORITY,
+            events: false,
+        }
+    }
+}
+
+/// Stable machine-readable error codes carried in `ok:false` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line exceeded the server's byte cap.
+    Oversized,
+    /// The line was not valid JSON.
+    BadJson,
+    /// The `"v"` field was missing or not a version this server speaks.
+    BadVersion,
+    /// The envelope was JSON but structurally invalid (missing/mistyped
+    /// fields, bad priority, unparsable instance...).
+    BadRequest,
+    /// The `"op"` field named no known operation.
+    UnknownOp,
+    /// Admission control rejected the request: the queue is full.
+    Overloaded,
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The request's deadline expired before a result was delivered.
+    DeadlineExceeded,
+    /// The server failed internally (e.g. a worker panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling (kebab-case, stable across releases).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back to a code (client side).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "oversized" => ErrorCode::Oversized,
+            "bad-json" => ErrorCode::BadJson,
+            "bad-version" => ErrorCode::BadVersion,
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-op" => ErrorCode::UnknownOp,
+            "overloaded" => ErrorCode::Overloaded,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level failure: a stable code plus a human-readable
+/// message. Serialized into `ok:false` responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// A new error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError { code, message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn bad(message: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::BadRequest, message)
+}
+
+/// Decodes one request line. Returns a structured [`WireError`] —
+/// never panics, so a server can always answer a bad line with an
+/// error response instead of dropping the connection.
+pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    let doc = Json::parse(line).map_err(|e| WireError::new(ErrorCode::BadJson, e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    match doc.get("v") {
+        Some(Json::Int(v)) if *v == PROTO_VERSION => {}
+        Some(Json::Int(v)) => {
+            return Err(WireError::new(
+                ErrorCode::BadVersion,
+                format!("protocol version {v} not supported (this server speaks {PROTO_VERSION})"),
+            ));
+        }
+        Some(_) => {
+            return Err(WireError::new(ErrorCode::BadVersion, "field 'v' must be an integer"))
+        }
+        None => return Err(WireError::new(ErrorCode::BadVersion, "missing field 'v'")),
+    }
+    let id = match doc.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("field 'id' must be a string")),
+    };
+    let op = doc.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing field 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "route" => {
+            let instance = doc
+                .get("instance")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("route: missing field 'instance'"))?
+                .to_owned();
+            let router = match doc.get("router") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(bad("route: field 'router' must be a string")),
+            };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    bad("route: field 'deadline_ms' must be a non-negative integer")
+                })?),
+            };
+            let priority = match doc.get("priority") {
+                None | Some(Json::Null) => DEFAULT_PRIORITY,
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|p| u8::try_from(p).ok())
+                    .filter(|p| *p <= MAX_PRIORITY)
+                    .ok_or_else(|| {
+                        bad(format!("route: field 'priority' must be 0..={MAX_PRIORITY}"))
+                    })?,
+            };
+            let events = match doc.get("events") {
+                None | Some(Json::Null) => false,
+                Some(v) => {
+                    v.as_bool().ok_or_else(|| bad("route: field 'events' must be a bool"))?
+                }
+            };
+            Ok(Request::Route(RouteRequest { id, instance, router, deadline_ms, priority, events }))
+        }
+        other => Err(WireError::new(ErrorCode::UnknownOp, format!("unknown op '{other}'"))),
+    }
+}
+
+/// Encodes a request as its wire object (client side). Render with
+/// [`Json::render_compact`] and terminate with `\n`.
+pub fn encode_request(req: &Request) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![("v".into(), Json::Int(PROTO_VERSION))];
+    let (op, id) = match req {
+        Request::Ping { id } => ("ping", id),
+        Request::Stats { id } => ("stats", id),
+        Request::Shutdown { id } => ("shutdown", id),
+        Request::Route(r) => ("route", &r.id),
+    };
+    pairs.push(("op".into(), Json::str(op)));
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::str(id.as_str())));
+    }
+    if let Request::Route(r) = req {
+        pairs.push(("instance".into(), Json::str(r.instance.as_str())));
+        if let Some(router) = &r.router {
+            pairs.push(("router".into(), Json::str(router.as_str())));
+        }
+        if let Some(ms) = r.deadline_ms {
+            pairs.push(("deadline_ms".into(), Json::from(ms)));
+        }
+        if r.priority != DEFAULT_PRIORITY {
+            pairs.push(("priority".into(), Json::from(u64::from(r.priority))));
+        }
+        if r.events {
+            pairs.push(("events".into(), Json::Bool(true)));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn id_json(id: Option<&str>) -> Json {
+    id.map_or(Json::Null, Json::str)
+}
+
+/// Builds a success response envelope.
+pub fn response_ok(id: Option<&str>, result: Json) -> Json {
+    Json::obj([
+        ("v", Json::Int(PROTO_VERSION)),
+        ("id", id_json(id)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// Builds an error response envelope.
+pub fn response_err(id: Option<&str>, err: &WireError) -> Json {
+    Json::obj([
+        ("v", Json::Int(PROTO_VERSION)),
+        ("id", id_json(id)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(err.code.as_str())),
+                ("message", Json::str(err.message.as_str())),
+            ]),
+        ),
+    ])
+}
+
+/// Builds one streamed event envelope: the request id plus the
+/// event's own payload fields (see [`event_pairs`]).
+pub fn event_line(id: Option<&str>, ev: &RouteEvent) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("v".into(), Json::Int(PROTO_VERSION)),
+        ("id".into(), id_json(id)),
+        ("ev".into(), Json::str(ev.kind_name())),
+    ];
+    pairs.extend(event_pairs(ev));
+    Json::Obj(pairs)
+}
+
+/// The payload fields for one [`RouteEvent`], shared by the `--trace`
+/// line schema and the serve event stream so both speak one
+/// vocabulary.
+pub fn event_pairs(ev: &RouteEvent) -> Vec<(String, Json)> {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    match *ev {
+        RouteEvent::NetScheduled { net }
+        | RouteEvent::NetCommitted { net }
+        | RouteEvent::NetFailed { net } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+        }
+        RouteEvent::SearchDone { net, kind, probe } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push((
+                "kind".into(),
+                Json::str(match kind {
+                    SearchKind::Hard => "hard",
+                    SearchKind::Soft => "soft",
+                }),
+            ));
+            pairs.push(("expanded".into(), Json::from(probe.expanded)));
+            pairs.push(("relaxed".into(), Json::from(probe.relaxed)));
+            pairs.push(("heap_peak".into(), Json::from(probe.heap_peak)));
+            pairs.push(("found".into(), Json::from(probe.found)));
+        }
+        RouteEvent::WeakModification { net, victim } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+        }
+        RouteEvent::StrongRipup { net, victim, rip_count } => {
+            pairs.push(("net".into(), Json::from(u64::from(net.0))));
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+            pairs.push(("rip_count".into(), Json::from(u64::from(rip_count))));
+        }
+        RouteEvent::PenaltyEscalation { victim, penalty } => {
+            pairs.push(("victim".into(), Json::from(u64::from(victim.0))));
+            pairs.push(("penalty".into(), Json::from(penalty)));
+        }
+    }
+    pairs
+}
+
+/// One server-to-client line, as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Terminal success response.
+    Ok {
+        /// Echoed correlation id.
+        id: Option<String>,
+        /// The op-specific result object.
+        result: Json,
+    },
+    /// Terminal error response.
+    Err {
+        /// Echoed correlation id (null when the request id was unreadable).
+        id: Option<String>,
+        /// The structured error.
+        error: WireError,
+    },
+    /// A streamed observer event (non-terminal).
+    Event {
+        /// Echoed correlation id.
+        id: Option<String>,
+        /// The full event object (including `"ev"` and payload fields).
+        body: Json,
+    },
+}
+
+/// Decodes one server line (client side). Responses carry `"ok"`;
+/// anything else with `"ev"` is a streamed event.
+pub fn decode_server_msg(line: &str) -> Result<ServerMsg, WireError> {
+    let doc = Json::parse(line).map_err(|e| WireError::new(ErrorCode::BadJson, e.to_string()))?;
+    match doc.get("v").and_then(Json::as_i64) {
+        Some(PROTO_VERSION) => {}
+        Some(v) => {
+            return Err(WireError::new(
+                ErrorCode::BadVersion,
+                format!("server speaks protocol version {v}, expected {PROTO_VERSION}"),
+            ));
+        }
+        None => return Err(WireError::new(ErrorCode::BadVersion, "missing field 'v'")),
+    }
+    let id = doc.get("id").and_then(Json::as_str).map(str::to_owned);
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            let result = doc.get("result").cloned().ok_or_else(|| bad("missing field 'result'"))?;
+            Ok(ServerMsg::Ok { id, result })
+        }
+        Some(false) => {
+            let error = doc.get("error").ok_or_else(|| bad("missing field 'error'"))?;
+            let code = error
+                .get("code")
+                .and_then(Json::as_str)
+                .and_then(ErrorCode::parse)
+                .ok_or_else(|| bad("missing or unknown error code"))?;
+            let message =
+                error.get("message").and_then(Json::as_str).unwrap_or_default().to_owned();
+            Ok(ServerMsg::Err { id, error: WireError::new(code, message) })
+        }
+        None if doc.get("ev").is_some() => Ok(ServerMsg::Event { id, body: doc }),
+        _ => Err(bad("line is neither a response nor an event")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_stats_shutdown_round_trip() {
+        for req in [
+            Request::Ping { id: Some("a".into()) },
+            Request::Stats { id: None },
+            Request::Shutdown { id: Some("bye".into()) },
+        ] {
+            let line = encode_request(&req).render_compact();
+            assert_eq!(decode_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn route_request_round_trips_with_all_fields() {
+        let req = Request::Route(RouteRequest {
+            id: Some("r-1".into()),
+            instance: "switchbox 4 4\nnet a L3 R1\n".into(),
+            router: Some("ripup".into()),
+            deadline_ms: Some(250),
+            priority: 9,
+            events: true,
+        });
+        let line = encode_request(&req).render_compact();
+        assert_eq!(decode_request(&line).unwrap(), req, "{line}");
+    }
+
+    #[test]
+    fn route_request_defaults() {
+        let req = decode_request(r#"{"v":1,"op":"route","instance":"x"}"#).unwrap();
+        match req {
+            Request::Route(r) => {
+                assert_eq!(r.priority, DEFAULT_PRIORITY);
+                assert_eq!(r.deadline_ms, None);
+                assert!(!r.events);
+                assert_eq!(r.router, None);
+                assert_eq!(r.id, None);
+            }
+            other => panic!("expected route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_is_checked_before_anything_else() {
+        let err = decode_request(r#"{"v":2,"op":"ping"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadVersion);
+        let err = decode_request(r#"{"op":"ping"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadVersion);
+        let err = decode_request(r#"{"v":"1","op":"ping"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadVersion);
+    }
+
+    #[test]
+    fn malformed_requests_map_to_stable_codes() {
+        assert_eq!(decode_request("not json").unwrap_err().code, ErrorCode::BadJson);
+        assert_eq!(decode_request("[1,2]").unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(
+            decode_request(r#"{"v":1,"op":"explode"}"#).unwrap_err().code,
+            ErrorCode::UnknownOp
+        );
+        assert_eq!(
+            decode_request(r#"{"v":1,"op":"route"}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode_request(r#"{"v":1,"op":"route","instance":"x","priority":99}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode_request(r#"{"v":1,"op":"route","instance":"x","deadline_ms":-5}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode_request(r#"{"v":1,"id":7,"op":"ping"}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn responses_decode_on_the_client() {
+        let ok = response_ok(Some("q"), Json::obj([("pong", Json::Bool(true))])).render_compact();
+        match decode_server_msg(&ok).unwrap() {
+            ServerMsg::Ok { id, result } => {
+                assert_eq!(id.as_deref(), Some("q"));
+                assert_eq!(result.get("pong").and_then(Json::as_bool), Some(true));
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        let err = response_err(None, &WireError::new(ErrorCode::Overloaded, "queue full (8)"))
+            .render_compact();
+        match decode_server_msg(&err).unwrap() {
+            ServerMsg::Err { id, error } => {
+                assert_eq!(id, None);
+                assert_eq!(error.code, ErrorCode::Overloaded);
+                assert_eq!(error.message, "queue full (8)");
+            }
+            other => panic!("expected err, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_decode_on_the_client() {
+        use route_model::NetId;
+        let ev = RouteEvent::NetCommitted { net: NetId(3) };
+        let line = event_line(Some("r9"), &ev).render_compact();
+        match decode_server_msg(&line).unwrap() {
+            ServerMsg::Event { id, body } => {
+                assert_eq!(id.as_deref(), Some("r9"));
+                assert_eq!(body.get("ev").and_then(Json::as_str), Some("net_committed"));
+                assert_eq!(body.get("net").and_then(Json::as_u64), Some(3));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Oversized,
+            ErrorCode::BadJson,
+            ErrorCode::BadVersion,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOp,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! v1 wire-compatibility goldens.
+//!
+//! These tests pin the exact bytes of representative v1 envelopes.
+//! They exist to make protocol drift loud: renaming a field, reordering
+//! keys or changing a default alters the wire format for every deployed
+//! client, so any diff here must come with a version bump (or proof the
+//! change is invisible on the wire).
+
+use route_model::{NetId, RouteEvent, SearchKind, SearchProbe};
+use route_proto::{
+    decode_request, decode_server_msg, encode_request, event_line, response_err, response_ok,
+    ErrorCode, Json, Request, RouteRequest, ServerMsg, WireError, PROTO_VERSION,
+};
+
+#[test]
+fn version_is_one() {
+    assert_eq!(PROTO_VERSION, 1);
+}
+
+#[test]
+fn golden_request_bytes() {
+    let cases: Vec<(Request, &str)> = vec![
+        (Request::Ping { id: Some("p1".into()) }, r#"{"v":1,"op":"ping","id":"p1"}"#),
+        (Request::Stats { id: None }, r#"{"v":1,"op":"stats"}"#),
+        (Request::Shutdown { id: Some("x".into()) }, r#"{"v":1,"op":"shutdown","id":"x"}"#),
+        (
+            Request::Route(RouteRequest {
+                id: Some("r1".into()),
+                instance: "switchbox 4 4\n".into(),
+                router: Some("ripup".into()),
+                deadline_ms: Some(100),
+                priority: 7,
+                events: true,
+            }),
+            r#"{"v":1,"op":"route","id":"r1","instance":"switchbox 4 4\n","router":"ripup","deadline_ms":100,"priority":7,"events":true}"#,
+        ),
+        (
+            // Defaults are elided on the wire.
+            Request::Route(RouteRequest::new("x")),
+            r#"{"v":1,"op":"route","instance":"x"}"#,
+        ),
+    ];
+    for (req, golden) in cases {
+        assert_eq!(encode_request(&req).render_compact(), golden);
+        assert_eq!(decode_request(golden).unwrap(), req, "{golden}");
+    }
+}
+
+#[test]
+fn golden_response_bytes() {
+    let ok = response_ok(Some("r1"), Json::obj([("pong", Json::Bool(true))]));
+    assert_eq!(ok.render_compact(), r#"{"v":1,"id":"r1","ok":true,"result":{"pong":true}}"#);
+
+    let err = response_err(None, &WireError::new(ErrorCode::Overloaded, "queue full"));
+    assert_eq!(
+        err.render_compact(),
+        r#"{"v":1,"id":null,"ok":false,"error":{"code":"overloaded","message":"queue full"}}"#
+    );
+}
+
+#[test]
+fn golden_event_bytes() {
+    let ev = RouteEvent::SearchDone {
+        net: NetId(2),
+        kind: SearchKind::Hard,
+        probe: SearchProbe { expanded: 9, relaxed: 20, heap_peak: 4, found: true },
+    };
+    assert_eq!(
+        event_line(Some("r1"), &ev).render_compact(),
+        r#"{"v":1,"id":"r1","ev":"search_done","net":2,"kind":"hard","expanded":9,"relaxed":20,"heap_peak":4,"found":true}"#
+    );
+}
+
+#[test]
+fn a_future_version_is_rejected_not_misread() {
+    let err = decode_request(r#"{"v":2,"op":"route","instance":"x","shape":"new"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadVersion);
+    assert!(err.message.contains("2"), "{err}");
+}
+
+#[test]
+fn server_messages_round_trip_through_the_client_decoder() {
+    let lines = [
+        response_ok(Some("a"), Json::obj([("status", Json::str("complete"))])).render_compact(),
+        response_err(Some("b"), &WireError::new(ErrorCode::BadJson, "boom")).render_compact(),
+        event_line(Some("c"), &RouteEvent::NetFailed { net: NetId(1) }).render_compact(),
+    ];
+    match decode_server_msg(&lines[0]).unwrap() {
+        ServerMsg::Ok { id, .. } => assert_eq!(id.as_deref(), Some("a")),
+        other => panic!("{other:?}"),
+    }
+    match decode_server_msg(&lines[1]).unwrap() {
+        ServerMsg::Err { error, .. } => assert_eq!(error.code, ErrorCode::BadJson),
+        other => panic!("{other:?}"),
+    }
+    match decode_server_msg(&lines[2]).unwrap() {
+        ServerMsg::Event { body, .. } => {
+            assert_eq!(body.get("ev").and_then(Json::as_str), Some("net_failed"));
+        }
+        other => panic!("{other:?}"),
+    }
+}

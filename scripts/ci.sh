@@ -84,6 +84,72 @@ echo "==> $VROUTE batch --resume (after the kill)"
   --journal "$SMOKE/kill" --resume --json "$SMOKE/resumed.json" > /dev/null
 run diff "$SMOKE/ref.json" "$SMOKE/resumed.json"
 
+# Serve smoke: start the daemon on a unix socket, drive requests
+# through the bundled client, and require complete responses plus a
+# clean shutdown. Then the crash path: kill the daemon mid-request
+# (an injected per-job delay widens the window), restart it with
+# --journal --resume, and require the journaled request to replay —
+# the resumed WAL must hold no pending work afterwards.
+SOCK="$SMOKE/serve.sock"
+echo "==> $VROUTE serve + client smoke"
+"$VROUTE" serve --socket "$SOCK" --workers 2 > "$SMOKE/serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.05; done
+[[ -S "$SOCK" ]] || { echo "ci: serve never bound $SOCK" >&2; exit 1; }
+"$VROUTE" client --socket "$SOCK" "${FILES[@]}" --shutdown > "$SMOKE/client.out"
+wait "$SERVE_PID"
+COMPLETE=$(grep -c ": complete" "$SMOKE/client.out")
+if [[ "$COMPLETE" != "${#FILES[@]}" ]]; then
+  echo "ci: expected ${#FILES[@]} complete serve responses, got $COMPLETE" >&2
+  cat "$SMOKE/client.out" >&2
+  exit 1
+fi
+grep -q "daemon stopping" "$SMOKE/client.out" || {
+  echo "ci: client never saw the shutdown acknowledgement" >&2; exit 1; }
+
+echo "==> $VROUTE serve (killed mid-request)"
+rm -f "$SOCK"; mkdir -p "$SMOKE/swal"
+VROUTE_SERVE_FAULT=delay-800 \
+  "$VROUTE" serve --socket "$SOCK" --workers 1 --journal "$SMOKE/swal" \
+  > /dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.05; done
+# Fire one request, wait for its WAL record, then kill the daemon
+# while the injected 800ms fault delay still holds the job.
+"$VROUTE" client --socket "$SOCK" "${FILES[0]}" > /dev/null 2>&1 &
+CLIENT_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '"ev":"req"' "$SMOKE/swal/serve.ldj" 2>/dev/null && break
+  sleep 0.05
+done
+kill -KILL "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$CLIENT_PID" 2>/dev/null || true
+grep -q '"ev":"req"' "$SMOKE/swal/serve.ldj" || {
+  echo "ci: the killed daemon never journaled the request" >&2; exit 1; }
+if grep -q '"ev":"done"' "$SMOKE/swal/serve.ldj"; then
+  echo "ci: the kill window missed — request finished before SIGKILL" >&2
+  exit 1
+fi
+echo "==> $VROUTE serve --resume (after the kill)"
+rm -f "$SOCK"
+"$VROUTE" serve --socket "$SOCK" --workers 1 --journal "$SMOKE/swal" --resume \
+  > "$SMOKE/resume.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.05; done
+"$VROUTE" client --socket "$SOCK" --shutdown > /dev/null
+wait "$SERVE_PID"
+grep -q "replaying 1 journaled request(s)" "$SMOKE/resume.out" || {
+  echo "ci: the resumed daemon did not replay the pending request" >&2
+  cat "$SMOKE/resume.out" >&2
+  exit 1
+}
+DONE=$(grep -c '"ev":"done"' "$SMOKE/swal/serve.ldj")
+if [[ "$DONE" != 1 ]]; then
+  echo "ci: replay did not settle the journal (done records: $DONE)" >&2
+  exit 1
+fi
+
 # Bounded smoke fuzz: a fixed seed window through every router and
 # every oracle (see crates/fuzz) — including the infeasibility-
 # soundness oracle, which fails any run where a router completes an

@@ -51,6 +51,37 @@
 //! assert!(outcome.is_complete());
 //! assert_eq!(metrics.nets_committed(), 1);
 //! ```
+//!
+//! ## Embedding the routing service
+//!
+//! The persistent daemon behind `vroute serve` is a library type:
+//! [`RouteService`] keeps warm workers (arena reuse, O(1) steady-state
+//! allocations) behind a bounded admission queue with priorities and
+//! per-request deadlines. The [`proto`] module holds the versioned
+//! JSON protocol it speaks on the wire.
+//!
+//! ```
+//! use std::sync::mpsc;
+//! use vlsi_route::model::{PinSide, ProblemBuilder};
+//! use vlsi_route::{JobSpec, ServiceConfig, ServiceReply};
+//! use vlsi_route::mighty::RouteService;
+//!
+//! let mut b = ProblemBuilder::switchbox(8, 8);
+//! b.net("a").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 5);
+//! let problem = b.build().expect("valid problem");
+//!
+//! let config = ServiceConfig::builder().workers(1).build().expect("valid config");
+//! let service = RouteService::start(config).expect("service starts");
+//! let (tx, rx) = mpsc::channel();
+//! service.submit(JobSpec::new(7, problem), tx).expect("admitted");
+//! match rx.recv().expect("reply") {
+//!     ServiceReply::Done(done) => {
+//!         assert_eq!(done.tag, 7);
+//!         assert!(done.result.expect("routes").is_complete());
+//!     }
+//!     ServiceReply::Event { .. } => unreachable!("no events were requested"),
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -64,11 +95,18 @@ pub use route_global as global;
 pub use route_maze as maze;
 pub use route_model as model;
 pub use route_opt as opt;
+pub use route_proto as proto;
 pub use route_verify as verify;
 
-pub use mighty::{ConfigError, EngineConfig, ObserveMode, RouteEngine, RouterConfig};
+pub use mighty::{
+    ConfigError, EngineConfig, EngineConfigBuilder, FallbackChain, JobDone, JobSpec, MightyRouter,
+    ObserveMode, RetryPolicy, RouteEngine, RouteService, RouterConfig, RouterConfigBuilder,
+    RunJournal, ServeJournal, ServiceConfig, ServiceConfigBuilder, ServiceReply, ServiceStats,
+    SubmitError, Supervisor,
+};
 pub use route_analyze::{Diagnostic, InfeasibilityCertificate, Severity};
 pub use route_model::{
     DetailedRouter, EventLog, MetricsRecorder, NopObserver, RouteError, RouteEvent, RouteObserver,
     RouteResult, RouterStats, Routing,
 };
+pub use route_proto::{Json, RouteOutcomeReport, PROTO_VERSION};
