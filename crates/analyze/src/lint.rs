@@ -17,7 +17,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use route_geom::{Layer, Point};
-use route_model::{Grid, NetId, Occupant, Problem, RouteDb};
+use route_model::{Grid, NetId, Occupant, Problem, RouteDb, SlotIndex, Step};
 
 use crate::diag::{sort_diagnostics, Diagnostic, GridSpan, Severity};
 
@@ -614,13 +614,13 @@ fn lint_stacked(ctx: &LintContext) -> Vec<LintFinding> {
 
 fn lint_adjacent(ctx: &LintContext) -> Vec<LintFinding> {
     let vias = ctx.sorted_vias();
-    let by_slot: HashMap<(Point, Layer), Vec<NetId>> = {
-        let mut m: HashMap<(Point, Layer), Vec<NetId>> = HashMap::new();
-        for &(p, l, net) in &vias {
-            m.entry((p, l)).or_default().push(net);
-        }
-        m
-    };
+    // Spatial index over via sites: inserting in sorted order keeps each
+    // slot's owner list in net order, so findings come out in the same
+    // order the old per-slot hash map produced.
+    let mut by_slot: SlotIndex<NetId> = SlotIndex::new(ctx.base.width(), ctx.base.height());
+    for &(p, l, net) in &vias {
+        by_slot.insert(Step { at: p, layer: l }, net);
+    }
     let mut out = Vec::new();
     for &(p, lower, net) in &vias {
         for n in p.neighbors() {
@@ -628,17 +628,15 @@ fn lint_adjacent(ctx: &LintContext) -> Vec<LintFinding> {
             if n < p {
                 continue;
             }
-            if let Some(owners) = by_slot.get(&(n, lower)) {
-                for &other in owners {
-                    if other != net {
-                        out.push(LintFinding::AdjacentVias {
-                            a: net,
-                            b: other,
-                            at: p,
-                            other: n,
-                            lower,
-                        });
-                    }
+            for &other in by_slot.at(n, lower) {
+                if other != net {
+                    out.push(LintFinding::AdjacentVias {
+                        a: net,
+                        b: other,
+                        at: p,
+                        other: n,
+                        lower,
+                    });
                 }
             }
         }

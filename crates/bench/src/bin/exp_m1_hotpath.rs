@@ -1,0 +1,100 @@
+//! Experiment M1: hot-path throughput of the maze-search inner loop
+//! across frontier/probe configurations.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_m1_hotpath [-- --quick] [-- --gate]
+//! ```
+//!
+//! Routes the replicated channel suite through the sequential Lee
+//! baseline and the rip-up router under each mode of
+//! [`route_bench::hotpath::MODES`], asserts the results are
+//! bit-identical, and reports routed-nets/second. Writes the
+//! machine-readable record to `BENCH_maze.json` in the working
+//! directory (skipped in `--quick` mode, which is the CI smoke
+//! configuration).
+//!
+//! With `--gate`, exits nonzero if the default bucket-queue mode is
+//! slower than the binary-heap mode on the rip-up router — the
+//! regression guard `scripts/ci.sh` runs.
+
+use route_bench::hotpath::{
+    hotpath_batch, hotpath_json, hotpath_sweep, mighty_speedup, pre_pr_comparison, MODES,
+    PRE_PR_COMMIT,
+};
+use route_bench::table;
+
+const INSTANCES: usize = 64;
+const REPS: usize = 5;
+const QUICK_INSTANCES: usize = 12;
+const QUICK_REPS: usize = 2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let (instances, reps) = if quick { (QUICK_INSTANCES, QUICK_REPS) } else { (INSTANCES, REPS) };
+
+    println!(
+        "M1: hot-path throughput — {} channel-suite instances x {reps} rep(s), {} mode(s)\n",
+        instances,
+        MODES.len()
+    );
+    let problems = hotpath_batch(instances);
+    let points = hotpath_sweep(&problems, reps);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.router.to_string(),
+                p.mode.to_string(),
+                format!("{:.1}", p.millis),
+                format!("{:.0}", p.nets_per_sec),
+                p.nets_routed.to_string(),
+                format!("{}/{instances}", p.complete),
+                format!("{:016x}", p.checksum),
+            ]
+        })
+        .collect();
+    let header = ["router", "mode", "total ms", "nets/sec", "nets", "complete", "checksum"];
+    println!("{}", table::render(&header, &rows));
+    println!("all modes checksum-verified bit-identical per router.");
+
+    let speedup = mighty_speedup(&points);
+    println!("\nmighty buckets-bits vs heap-scalar: {speedup:.2}x routed-nets/sec");
+    for router in ["lee", "mighty"] {
+        if let Some((vs_pre, matches)) = pre_pr_comparison(&points, instances, router) {
+            println!(
+                "{router} buckets-bits vs pre-PR binary ({PRE_PR_COMMIT}): {vs_pre:.2}x, \
+                 checksum {}",
+                if matches { "bit-identical" } else { "DIVERGED" }
+            );
+        }
+    }
+
+    if !quick {
+        let doc = hotpath_json(instances, reps, &points);
+        let path = "BENCH_maze.json";
+        std::fs::write(path, doc.render()).expect("writing BENCH_maze.json");
+        println!("wrote {path}");
+    }
+
+    if gate {
+        let rate = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.router == "mighty" && p.mode == mode)
+                .map(|p| p.nets_per_sec)
+                .unwrap_or(0.0)
+        };
+        let (buckets, heap) = (rate("buckets-bits"), rate("heap-bits"));
+        if buckets < heap {
+            eprintln!(
+                "GATE FAILED: bucket frontier ({buckets:.0} nets/sec) is slower than \
+                 the binary heap ({heap:.0} nets/sec)"
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed: buckets {buckets:.0} >= heap {heap:.0} nets/sec");
+    }
+}

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use mighty::FrontierKind;
+
 /// Router choices for switchbox instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SwitchRouterKind {
@@ -116,6 +118,8 @@ pub enum Command {
         /// Gate routing on the static feasibility analysis and lint the
         /// routed database afterwards.
         analyze: bool,
+        /// Open-list implementation for the rip-up router's searches.
+        frontier: FrontierKind,
     },
     /// Route many switchbox files concurrently through the batch engine.
     Batch {
@@ -149,6 +153,8 @@ pub enum Command {
         /// Resume from an existing journal, skipping completed
         /// instances (requires `journal`).
         resume: bool,
+        /// Open-list implementation for the rip-up router's searches.
+        frontier: FrontierKind,
     },
     /// Route a channel file.
     Channel {
@@ -307,6 +313,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut metrics = false;
     let mut json = None;
     let mut analyze = false;
+    let mut frontier = FrontierKind::default();
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => {
@@ -317,6 +324,7 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
                     other => return Err(err(format!("unknown switchbox router `{other}`"))),
                 };
             }
+            "--frontier" => frontier = cur.value_of("--frontier")?.parse().map_err(err)?,
             "--ascii" => ascii = true,
             "--svg" => svg = Some(cur.value_of("--svg")?),
             "--save" => save = Some(cur.value_of("--save")?),
@@ -336,7 +344,19 @@ fn parse_route(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         }
     }
     let file = file.ok_or_else(|| err("`route` needs a FILE"))?;
-    Ok(Command::Route { file, router, ascii, svg, save, optimize, trace, metrics, json, analyze })
+    Ok(Command::Route {
+        file,
+        router,
+        ascii,
+        svg,
+        save,
+        optimize,
+        trace,
+        metrics,
+        json,
+        analyze,
+        frontier,
+    })
 }
 
 /// Parses one batch router name, as used by `--router`, `--fallback`,
@@ -368,9 +388,11 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut fallback = Vec::new();
     let mut journal = None;
     let mut resume = false;
+    let mut frontier = FrontierKind::default();
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
             "--router" => router = batch_kind(cur.value_of("--router")?.as_str())?,
+            "--frontier" => frontier = cur.value_of("--frontier")?.parse().map_err(err)?,
             "--jobs" => {
                 jobs = cur.value_of("--jobs")?.parse().map_err(|_| err("--jobs needs a number"))?;
                 if jobs > 4096 {
@@ -439,6 +461,7 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         fallback,
         journal,
         resume,
+        frontier,
     })
 }
 
@@ -754,6 +777,7 @@ mod tests {
                 metrics: false,
                 json: None,
                 analyze: false,
+                frontier: FrontierKind::Buckets,
             }
         );
     }
@@ -777,6 +801,7 @@ mod tests {
                 metrics: true,
                 json: Some("rep.json".into()),
                 analyze: true,
+                frontier: FrontierKind::Buckets,
             }
         );
     }
@@ -799,6 +824,7 @@ mod tests {
                 fallback: vec![],
                 journal: None,
                 resume: false,
+                frontier: FrontierKind::Buckets,
             }
         );
         assert_eq!(
@@ -817,6 +843,7 @@ mod tests {
                 fallback: vec![],
                 journal: None,
                 resume: false,
+                frontier: FrontierKind::Buckets,
             }
         );
         assert!(parse("batch").unwrap_err().to_string().contains("--list"));
@@ -842,6 +869,7 @@ mod tests {
                 fallback: vec![BatchRouterKind::Lee, BatchRouterKind::Swbox],
                 journal: Some("runs/j".into()),
                 resume: true,
+                frontier: FrontierKind::Buckets,
             }
         );
         // --retries 0 still selects the supervised engine.
@@ -857,6 +885,25 @@ mod tests {
         assert!(msg.contains("supervised"), "{msg}");
         let msg = parse("batch a.sb --journal j --trace ev.ldj").unwrap_err().to_string();
         assert!(msg.contains("supervised"), "{msg}");
+    }
+
+    #[test]
+    fn frontier_flag() {
+        assert!(matches!(
+            parse("route box.sb --frontier heap").unwrap(),
+            Command::Route { frontier: FrontierKind::Heap, .. }
+        ));
+        assert!(matches!(
+            parse("batch a.sb --frontier buckets").unwrap(),
+            Command::Batch { frontier: FrontierKind::Buckets, .. }
+        ));
+        // The default is the bucket queue.
+        assert!(matches!(
+            parse("route box.sb").unwrap(),
+            Command::Route { frontier: FrontierKind::Buckets, .. }
+        ));
+        let msg = parse("route box.sb --frontier fibonacci").unwrap_err().to_string();
+        assert!(msg.contains("fibonacci"), "{msg}");
     }
 
     #[test]

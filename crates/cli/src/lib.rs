@@ -37,10 +37,10 @@ pub const USAGE: &str = "\
 vroute — two-layer detailed router
 
 USAGE:
-  vroute route FILE [--router ripup|lee|tiled] [--ascii] [--svg OUT] [--save OUT] [--optimize]
-               [--metrics] [--trace OUT] [--json OUT] [--analyze]
-  vroute batch FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
-               [--metrics] [--trace OUT] [--analyze]
+  vroute route FILE [--router ripup|lee|tiled] [--frontier heap|buckets] [--ascii] [--svg OUT]
+               [--save OUT] [--optimize] [--metrics] [--trace OUT] [--json OUT] [--analyze]
+  vroute batch FILE... [--list LIST] [--router KIND] [--frontier heap|buckets] [--jobs N]
+               [--json OUT] [--deadline-ms MS] [--metrics] [--trace OUT] [--analyze]
                [--retries N] [--fallback KIND,...] [--journal DIR] [--resume]
   vroute analyze INSTANCE [ROUTES] [--json OUT]
   vroute check FILE ROUTES [--svg OUT]
@@ -76,6 +76,8 @@ COMMANDS:
 OPTIONS:
   --router KIND   Routing algorithm (default: ripup; batch also takes
                   lee|lea|dogleg|greedy|yacr|swbox)
+  --frontier KIND Rip-up router open list: buckets (default) or heap; both
+                  produce bit-identical routings
   --jobs N        Batch worker threads (default 0 = one per hardware thread)
   --list LIST     File with one instance path per line (# comments allowed)
   --json OUT      Write a machine-readable report (including metrics) to OUT

@@ -169,6 +169,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             metrics,
             json,
             analyze,
+            frontier,
         } => {
             let text =
                 std::fs::read_to_string(file).map_err(|e| ExecutionError::Io(file.clone(), e))?;
@@ -194,7 +195,10 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             let mut db: RouteDb;
             let complete = match router {
                 SwitchRouterKind::Ripup => {
-                    let router = MightyRouter::new(RouterConfig::default());
+                    let router = MightyRouter::new(RouterConfig {
+                        frontier: *frontier,
+                        ..RouterConfig::default()
+                    });
                     let outcome = if observing {
                         router.route_observed(&problem, &mut log)
                     } else {
@@ -331,6 +335,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             fallback,
             journal,
             resume,
+            frontier,
         } => {
             let mut paths: Vec<String> = files.clone();
             if let Some(listfile) = list {
@@ -362,10 +367,11 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                     journal: journal.as_deref(),
                     resume: *resume,
                     json: json.as_deref(),
+                    frontier: *frontier,
                 };
                 return execute_batch_supervised(&paths, &problems, &fingerprints, &spec, out);
             }
-            let algorithm = batch_router(*router);
+            let algorithm = batch_router(*router, *frontier);
             let observe = if trace.is_some() {
                 ObserveMode::Trace
             } else if *metrics {
@@ -821,6 +827,7 @@ struct SupervisedSpec<'a> {
     journal: Option<&'a str>,
     resume: bool,
     json: Option<&'a str>,
+    frontier: mighty::FrontierKind,
 }
 
 /// Executes `vroute batch` through the supervised recovery engine:
@@ -841,13 +848,14 @@ fn execute_batch_supervised(
     out: &mut dyn fmt::Write,
 ) -> Result<bool, ExecutionError> {
     let policy = RetryPolicy::with_retries(spec.retries);
+    let ripup_cfg = RouterConfig { frontier: spec.frontier, ..RouterConfig::default() };
     let mut sup = match spec.router {
-        BatchRouterKind::Ripup => Supervisor::new(RouterConfig::default(), policy),
-        kind => Supervisor::with_primary(batch_router(kind), policy),
+        BatchRouterKind::Ripup => Supervisor::new(ripup_cfg, policy),
+        kind => Supervisor::with_primary(batch_router(kind, spec.frontier), policy),
     };
     let mut chain = FallbackChain::none();
     for kind in spec.fallback {
-        chain.push(batch_router(*kind));
+        chain.push(batch_router(*kind, spec.frontier));
     }
     if !chain.is_empty() {
         sup = sup.with_fallbacks(chain);
@@ -1034,9 +1042,14 @@ pub(crate) fn batch_router_name(kind: BatchRouterKind) -> &'static str {
 }
 
 /// The unified trait object for a batch router choice.
-fn batch_router(kind: BatchRouterKind) -> Box<dyn DetailedRouter + Sync> {
+fn batch_router(
+    kind: BatchRouterKind,
+    frontier: mighty::FrontierKind,
+) -> Box<dyn DetailedRouter + Sync> {
     match kind {
-        BatchRouterKind::Ripup => Box::new(MightyRouter::new(RouterConfig::default())),
+        BatchRouterKind::Ripup => {
+            Box::new(MightyRouter::new(RouterConfig { frontier, ..RouterConfig::default() }))
+        }
         BatchRouterKind::Lee => Box::new(LeeRouter::default()),
         BatchRouterKind::Lea => Box::new(route_channel::LeaRouter),
         BatchRouterKind::Dogleg => Box::new(route_channel::DoglegRouter),

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use route_maze::CostModel;
+use route_maze::{CostModel, FrontierKind};
 
 /// Order in which nets are first attempted.
 ///
@@ -84,6 +84,9 @@ pub struct RouterConfig {
     pub max_events: usize,
     /// Initial net order.
     pub order: NetOrder,
+    /// Open-list implementation for every path search. The two kinds
+    /// produce bit-identical routings; this is purely a speed knob.
+    pub frontier: FrontierKind,
 }
 
 impl RouterConfig {
@@ -125,6 +128,7 @@ impl Default for RouterConfig {
             max_attempts: 12,
             max_events: 0,
             order: NetOrder::ShortFirst,
+            frontier: FrontierKind::default(),
         }
     }
 }
@@ -294,6 +298,13 @@ impl RouterConfigBuilder {
     /// Sets the initial net order.
     pub fn order(mut self, order: NetOrder) -> Self {
         self.cfg.order = order;
+        self
+    }
+
+    /// Selects the open-list ([`FrontierKind`]) implementation used by
+    /// every path search. Both kinds route bit-identically.
+    pub fn frontier(mut self, frontier: FrontierKind) -> Self {
+        self.cfg.frontier = frontier;
         self
     }
 

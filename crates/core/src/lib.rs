@@ -64,6 +64,7 @@ pub use recover::{
     EngineFault, FallbackChain, FaultPlan, InstanceStatus, RecoveryPath, RetryPolicy, SalvageInfo,
     SupervisedOutcome, Supervisor,
 };
+pub use route_maze::FrontierKind;
 /// Work-accounting counters, re-exported from [`route_model`] — the
 /// router fills them and the engine/bench tables consume them.
 pub use route_model::RouterStats;

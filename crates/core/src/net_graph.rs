@@ -1,49 +1,56 @@
 //! Connectivity analysis over a net's committed occupancy.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use route_geom::{Layer, Point};
-use route_model::{NetId, RouteDb, Step};
+use route_geom::{Layer, Point, NUM_LAYERS};
+use route_model::{NetId, Occupant, RouteDb, Step};
 
 /// The connected components of `net`'s occupancy that contain at least
 /// one pin, as slot lists. A fully routed net has exactly one.
 ///
 /// Two slots are connected when they are Manhattan-adjacent on one layer,
 /// or stacked at a point where the net owns a via.
+///
+/// Slot membership is read straight off the grid (a slot belongs to
+/// `net` iff the grid occupant is `Net(net)` — the database keeps the
+/// two representations coherent) and visited marks live in a dense
+/// bitmap, so the walk performs no hashing.
 pub(crate) fn pin_components(db: &RouteDb, net: NetId) -> Vec<Vec<Step>> {
-    let slots: HashSet<(Point, Layer)> =
-        db.net_slots(net).into_iter().map(|s| (s.at, s.layer)).collect();
-    let has_via = |p: Point, lower: Layer| {
-        db.grid().in_bounds(p) && db.grid().via_between(p, lower) == Some(net)
-    };
+    let grid = db.grid();
+    let w = grid.width() as usize;
+    let node =
+        |p: Point, layer: Layer| (p.y as usize * w + p.x as usize) * NUM_LAYERS + layer.index();
+    let mut seen = vec![0u64; (w * grid.height() as usize * NUM_LAYERS).div_ceil(64)];
+    let owns =
+        |p: Point, layer: Layer| grid.in_bounds(p) && grid.occupant(p, layer) == Occupant::Net(net);
 
-    let mut component_of: HashMap<(Point, Layer), usize> = HashMap::new();
     let mut components: Vec<Vec<Step>> = Vec::new();
     for pin in db.pins(net) {
-        let start = (pin.at, pin.layer);
-        if component_of.contains_key(&start) {
+        let start = node(pin.at, pin.layer);
+        if seen[start >> 6] >> (start & 63) & 1 == 1 {
             continue;
         }
-        let idx = components.len();
+        seen[start >> 6] |= 1 << (start & 63);
         let mut members = Vec::new();
-        let mut queue = VecDeque::from([start]);
-        component_of.insert(start, idx);
+        let mut queue = VecDeque::from([(pin.at, pin.layer)]);
         while let Some((p, layer)) = queue.pop_front() {
             members.push(Step::new(p, layer));
             for n in p.neighbors() {
-                let key = (n, layer);
-                if slots.contains(&key) && !component_of.contains_key(&key) {
-                    component_of.insert(key, idx);
-                    queue.push_back(key);
+                if owns(n, layer) {
+                    let key = node(n, layer);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((n, layer));
+                    }
                 }
             }
             for adj in layer.adjacent() {
                 let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
-                if has_via(p, lower) {
-                    let key = (p, adj);
-                    if slots.contains(&key) && !component_of.contains_key(&key) {
-                        component_of.insert(key, idx);
-                        queue.push_back(key);
+                if grid.via_between(p, lower) == Some(net) && owns(p, adj) {
+                    let key = node(p, adj);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((p, adj));
                     }
                 }
             }

@@ -3,7 +3,8 @@ use std::collections::{BTreeSet, HashSet, VecDeque};
 use route_geom::{Layer, Point, Rect};
 use route_maze::search::{find_path_observed, find_path_soft_observed, Query, SearchArena};
 use route_model::{
-    NetId, NopObserver, Problem, RouteDb, RouteError, RouteObserver, Step, Trace, TraceId,
+    NetId, NopObserver, Problem, RouteDb, RouteError, RouteObserver, SlotIndex, Step, Trace,
+    TraceId,
 };
 
 use crate::net_graph::{is_connected, pin_components};
@@ -123,7 +124,7 @@ impl MightyRouter {
         db: RouteDb,
         observer: &mut dyn RouteObserver,
     ) -> Result<RouteOutcome, RouteError> {
-        let mut arena = SearchArena::new();
+        let mut arena = SearchArena::with_frontier(self.cfg.frontier);
         self.try_route_incremental_observed_in(problem, db, &mut arena, observer)
     }
 
@@ -176,7 +177,7 @@ impl MightyRouter {
         // The outcome is the best configuration the run ever reached:
         // modification is speculative, so a late cascade of rips must not
         // degrade the delivered result below an earlier state.
-        let final_connected = run.connected_count(None);
+        let final_connected = run.connected_count();
         let db = match run.best.take() {
             Some((best_count, best_db)) if best_count > final_connected => best_db,
             _ => run.db,
@@ -225,6 +226,12 @@ struct Run<'a> {
     exhausted: bool,
     /// Best state reached so far: `(connected nets, database snapshot)`.
     best: Option<(usize, RouteDb)>,
+    /// Per-net connectivity cache; `conn[i]` is valid iff `!conn_dirty[i]`.
+    /// Every database mutation touches exactly one net, so the cache lets
+    /// [`connected_count`](Run::connected_count) re-walk only the nets
+    /// whose wiring changed instead of sweeping the whole netlist.
+    conn: Vec<bool>,
+    conn_dirty: Vec<bool>,
     /// Scratch buffers shared by every search of the run; borrowed so a
     /// warm worker can amortize them across requests.
     arena: &'a mut SearchArena,
@@ -284,14 +291,16 @@ impl<'a> Run<'a> {
             NetOrder::Declared => {}
         }
         let mut queued = vec![false; n];
+        let mut conn = vec![false; n];
         let queue: VecDeque<NetId> = order
             .into_iter()
             .filter(|&id| {
-                let incomplete = !is_connected(&db, id);
-                if incomplete {
+                let connected = is_connected(&db, id);
+                conn[id.index()] = connected;
+                if !connected {
                     queued[id.index()] = true;
                 }
-                incomplete
+                !connected
             })
             .collect();
 
@@ -307,26 +316,38 @@ impl<'a> Run<'a> {
             max_events,
             exhausted: false,
             best: None,
+            conn,
+            conn_dirty: vec![false; n],
             arena,
             stats: RouterStats::default(),
             obs,
         }
     }
 
-    /// Number of fully connected nets in `db` (the run's own database
-    /// when `None`).
-    fn connected_count(&self, db: Option<&RouteDb>) -> usize {
-        let db = db.unwrap_or(&self.db);
-        (0..db.net_count() as u32)
-            .map(NetId)
-            .filter(|&id| pin_components(db, id).len() <= 1)
-            .count()
+    /// Marks `net`'s cached connectivity stale after a database
+    /// mutation.
+    fn touch_net(&mut self, net: NetId) {
+        self.conn_dirty[net.index()] = true;
+    }
+
+    /// Number of fully connected nets in the run's database, re-walking
+    /// only the nets whose wiring changed since the last call.
+    fn connected_count(&mut self) -> usize {
+        // Same predicate as `pin_components(db, id).len() <= 1`, without
+        // materializing the component slot lists.
+        for i in 0..self.conn.len() {
+            if self.conn_dirty[i] {
+                self.conn[i] = is_connected(&self.db, NetId(i as u32));
+                self.conn_dirty[i] = false;
+            }
+        }
+        self.conn.iter().filter(|&&c| c).count()
     }
 
     /// Snapshots the current state if it connects more nets than any
     /// earlier state.
     fn remember_best(&mut self) {
-        let count = self.connected_count(None);
+        let count = self.connected_count();
         let improved = self.best.as_ref().is_none_or(|&(best, _)| count > best);
         if improved {
             self.best = Some((count, self.db.clone()));
@@ -355,6 +376,7 @@ impl<'a> Run<'a> {
     fn fail(&mut self, net: NetId) {
         self.failed[net.index()] = true;
         self.db.rip_up_net(net);
+        self.touch_net(net);
         self.obs.on_net_failed(net);
     }
 
@@ -408,6 +430,7 @@ impl<'a> Run<'a> {
                 self.stats.expanded += found.stats.expanded as u64;
                 self.stats.hard_routes += 1;
                 self.db.commit(net, found.trace).expect("hard paths commit");
+                self.touch_net(net);
                 continue;
             }
 
@@ -435,12 +458,34 @@ impl<'a> Run<'a> {
             self.stats.expanded += soft.stats.expanded as u64;
             self.stats.soft_routes += 1;
 
-            // Lift every victim trace covering a crossed slot.
+            // Lift every victim trace covering a crossed slot. A spatial
+            // index over the crossing owners' wiring replaces the per-slot
+            // `traces_covering` scan; inserting owners in ascending order
+            // and traces in slot order reproduces its output order, and
+            // `rip_up` on an already-lifted id is a no-op, so the lifted
+            // sequence is bit-identical.
             let mut lifted: Vec<(NetId, Trace)> = Vec::new();
-            for &(owner, step) in &soft.crossings {
-                for id in self.db.traces_covering(owner, step.at, step.layer) {
-                    if let Some(trace) = self.db.rip_up(id) {
-                        lifted.push((owner, trace));
+            if !soft.crossings.is_empty() {
+                let owners: BTreeSet<NetId> = soft.crossings.iter().map(|&(n, _)| n).collect();
+                let grid = self.db.grid();
+                let mut index: SlotIndex<(NetId, TraceId)> =
+                    SlotIndex::new(grid.width(), grid.height());
+                for &owner in &owners {
+                    for (id, trace) in self.db.traces(owner) {
+                        for &step in trace.steps() {
+                            index.insert(step, (owner, id));
+                        }
+                    }
+                }
+                for &(owner, step) in &soft.crossings {
+                    for &(o, id) in index.at(step.at, step.layer) {
+                        if o != owner {
+                            continue;
+                        }
+                        if let Some(trace) = self.db.rip_up(id) {
+                            self.conn_dirty[owner.index()] = true;
+                            lifted.push((owner, trace));
+                        }
                     }
                 }
             }
@@ -454,10 +499,12 @@ impl<'a> Run<'a> {
                     // this merge for now.
                     for (owner, trace) in lifted {
                         let _ = self.db.commit(owner, trace);
+                        self.conn_dirty[owner.index()] = true;
                     }
                     return ConnectResult::Stuck;
                 }
             };
+            self.touch_net(net);
 
             // Weak modification: repair each victim in place.
             let mut repairs: Vec<TraceId> = Vec::new();
@@ -501,10 +548,13 @@ impl<'a> Run<'a> {
             self.stats.weak_rollbacks += 1;
             for id in repairs {
                 self.db.rip_up(id);
+                self.conn_dirty[id.net.index()] = true;
             }
             self.db.rip_up(our_id);
+            self.touch_net(net);
             for (owner, trace) in lifted {
                 self.db.commit(owner, trace).expect("rollback restores the previous state");
+                self.conn_dirty[owner.index()] = true;
             }
             return ConnectResult::Stuck;
         }
@@ -529,6 +579,7 @@ impl<'a> Run<'a> {
                 Some(found) => {
                     self.stats.expanded += found.stats.expanded as u64;
                     committed.push(self.db.commit(victim, found.trace).expect("hard paths commit"));
+                    self.touch_net(victim);
                 }
                 None => return Err(committed),
             }

@@ -503,7 +503,7 @@ impl Drop for RouteService {
 
 fn worker_loop(shared: &Shared, worker: usize) {
     let router = MightyRouter::new(shared.router);
-    let mut arena = SearchArena::new();
+    let mut arena = SearchArena::with_frontier(shared.router.frontier);
     loop {
         let job = {
             let mut state = shared.state.lock().expect("service state mutex");
@@ -586,7 +586,7 @@ fn serve_job(
     if did_panic {
         // The unwound search may have left the arena mid-flight; a
         // fresh one is cheap and provably clean.
-        *arena = SearchArena::new();
+        *arena = SearchArena::with_frontier(arena.frontier_kind());
     }
 
     let total = admitted.elapsed();

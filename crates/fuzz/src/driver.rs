@@ -9,7 +9,7 @@
 use std::fmt;
 
 use mighty::engine::{EngineConfig, ObserveMode, RouteEngine};
-use mighty::{MightyRouter, RouterConfig};
+use mighty::{FrontierKind, MightyRouter, RouterConfig};
 use route_benchdata::rng::SplitMix64;
 use route_maze::LeeRouter;
 use route_model::{DetailedRouter, Problem};
@@ -28,6 +28,10 @@ pub struct RouterSet {
     ripup: Box<dyn DetailedRouter + Sync>,
     lee: Box<dyn DetailedRouter + Sync>,
     extras: Vec<Box<dyn DetailedRouter + Sync>>,
+    /// The rip-up router with the binary-heap frontier, for the
+    /// frontier-parity oracle. Skipped under fault injection so the
+    /// parity oracle never double-reports an injected corruption.
+    ripup_heap: Option<Box<dyn DetailedRouter + Sync>>,
 }
 
 impl RouterSet {
@@ -37,12 +41,17 @@ impl RouterSet {
     /// the batch engine.
     pub fn standard(fault: Option<Fault>) -> Self {
         let mighty = MightyRouter::new(RouterConfig::default());
-        let ripup: Box<dyn DetailedRouter + Sync> = match fault {
-            Some(f) => Box::new(FaultyRouter::new(mighty, f)),
-            None => Box::new(mighty),
+        let heap_cfg = RouterConfig { frontier: FrontierKind::Heap, ..RouterConfig::default() };
+        let (ripup, ripup_heap): (Box<dyn DetailedRouter + Sync>, _) = match fault {
+            Some(f) => (Box::new(FaultyRouter::new(mighty, f)), None),
+            None => {
+                let heap: Box<dyn DetailedRouter + Sync> = Box::new(MightyRouter::new(heap_cfg));
+                (Box::new(mighty), Some(heap))
+            }
         };
         RouterSet {
             ripup,
+            ripup_heap,
             lee: Box::new(LeeRouter::default()),
             extras: vec![
                 Box::new(route_channel::LeaRouter),
@@ -200,6 +209,11 @@ pub fn run_batch(problems: &[Problem], routers: &RouterSet, jobs: usize) -> Vec<
         .map(|r| (r.name().to_string(), off.route_batch(r.as_ref(), problems).results.into_iter()))
         .collect();
 
+    let mut heap_runs: Option<std::vec::IntoIter<route_model::RouteResult>> = routers
+        .ripup_heap
+        .as_ref()
+        .map(|r| off.route_batch(r.as_ref(), problems).results.into_iter());
+
     (0..problems.len())
         .map(|_| InstanceRuns {
             ripup: ripup_runs.next().expect("one ripup run per instance"),
@@ -210,6 +224,9 @@ pub fn run_batch(problems: &[Problem], routers: &RouterSet, jobs: usize) -> Vec<
                     (name.clone(), results.next().expect("one extra run per instance"))
                 })
                 .collect(),
+            ripup_heap: heap_runs
+                .as_mut()
+                .map(|runs| runs.next().expect("one heap run per instance")),
         })
         .collect()
 }

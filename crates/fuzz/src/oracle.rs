@@ -61,6 +61,12 @@ pub enum OracleKind {
     /// A supervised run salvaged a partial database that violates the
     /// lint registry, claims completion, or is nondeterministic.
     Salvage,
+    /// The grid's packed occupancy bit plane disagrees with its cell
+    /// array — the two representations desynchronized.
+    OccupancyDesync,
+    /// The rip-up router produced different wiring under the bucket
+    /// and binary-heap frontiers; they are defined to pop identically.
+    FrontierDivergence,
 }
 
 impl fmt::Display for OracleKind {
@@ -74,6 +80,8 @@ impl fmt::Display for OracleKind {
             OracleKind::RouterError => "router-error",
             OracleKind::Infeasibility => "infeasibility",
             OracleKind::Salvage => "salvage",
+            OracleKind::OccupancyDesync => "occupancy-desync",
+            OracleKind::FrontierDivergence => "frontier-divergence",
         };
         f.write_str(name)
     }
@@ -121,6 +129,11 @@ pub struct InstanceRuns {
     /// Remaining roster results (channel adapters, switchbox sweep),
     /// unobserved: `(router name, result)`.
     pub extras: Vec<(String, RouteResult)>,
+    /// The rip-up router re-run with the binary-heap frontier (the
+    /// default is the bucket queue); `None` under fault injection.
+    /// Both frontiers are defined to pop identically, so this must
+    /// match `ripup.plain` bit for bit.
+    pub ripup_heap: Option<RouteResult>,
 }
 
 /// Applies every oracle to one instance, returning all violations found
@@ -155,9 +168,47 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
         }
     }
 
+    check_frontier_parity(runs, &mut out);
     check_infeasibility(problem, runs, &mut out);
     check_salvage(problem, &mut out);
     out
+}
+
+/// Frontier equivalence oracle: the bucket-queue and binary-heap
+/// frontiers pop in the same order by construction, so the rip-up
+/// router must produce bit-identical wiring (and the same failed set)
+/// under either one.
+fn check_frontier_parity(runs: &InstanceRuns, out: &mut Vec<OracleViolation>) {
+    let Some(heap) = &runs.ripup_heap else { return };
+    let mut diverged = |detail: String| {
+        out.push(OracleViolation {
+            kind: OracleKind::FrontierDivergence,
+            router: runs.ripup.name.clone(),
+            detail,
+        });
+    };
+    match (&runs.ripup.plain, heap) {
+        (Ok(buckets), Ok(heap)) => {
+            if buckets.db.checksum() != heap.db.checksum() {
+                diverged(format!(
+                    "bucket checksum {:016x} != heap checksum {:016x}",
+                    buckets.db.checksum(),
+                    heap.db.checksum()
+                ));
+            } else if buckets.failed != heap.failed {
+                diverged(format!(
+                    "bucket failed set {:?} != heap {:?}",
+                    buckets.failed, heap.failed
+                ));
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (buckets, heap) => diverged(format!(
+            "bucket run {} but heap run {}",
+            if buckets.is_ok() { "succeeded" } else { "errored" },
+            if heap.is_ok() { "succeeded" } else { "errored" }
+        )),
+    }
 }
 
 /// Salvage soundness oracle: a budget-starved supervised run — harsh
@@ -342,6 +393,13 @@ fn check_routing(
     routing: &route_model::Routing,
     out: &mut Vec<OracleViolation>,
 ) {
+    if !routing.db.grid().debug_validate_bits() {
+        out.push(OracleViolation {
+            kind: OracleKind::OccupancyDesync,
+            router: name.to_string(),
+            detail: "occupancy bit plane disagrees with the cell array".to_string(),
+        });
+    }
     let report = verify(problem, &routing.db);
     let mut disconnected: BTreeSet<NetId> = BTreeSet::new();
     let mut drc: Vec<String> = Vec::new();

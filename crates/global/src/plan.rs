@@ -1,9 +1,9 @@
 //! Congestion-aware global routing over the tile graph.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use route_geom::Rect;
+use route_maze::{BucketFrontier, Frontier};
 use route_model::{NetId, Problem};
 
 use crate::tiles::{TileEdge, TileGrid, TileId};
@@ -105,15 +105,18 @@ fn dijkstra(
         Some(1 + congestion + overflow)
     };
 
+    // Tile keys map onto the maze frontier as (f = distance, g = col,
+    // idx = row): lexicographic (f, g, idx) order is exactly the old
+    // BinaryHeap<Reverse<(d, (col, row))>> pop order.
     let mut dist: HashMap<TileId, u64> = HashMap::new();
     let mut prev: HashMap<TileId, TileId> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(u64, (u32, u32))>> = BinaryHeap::new();
+    let mut frontier = BucketFrontier::new();
     for &s in sources {
         dist.insert(s, 0);
-        heap.push(Reverse((0, (s.col, s.row))));
+        frontier.push(0, u64::from(s.col), s.row);
     }
-    while let Some(Reverse((d, (col, row)))) = heap.pop() {
-        let t = TileId { col, row };
+    while let Some((d, col, row)) = frontier.pop() {
+        let t = TileId { col: col as u32, row };
         if d > dist.get(&t).copied().unwrap_or(u64::MAX) {
             continue;
         }
@@ -134,7 +137,7 @@ fn dijkstra(
             if nd < dist.get(&n).copied().unwrap_or(u64::MAX) {
                 dist.insert(n, nd);
                 prev.insert(n, t);
-                heap.push(Reverse((nd, (n.col, n.row))));
+                frontier.push(nd, u64::from(n.col), n.row);
             }
         }
     }

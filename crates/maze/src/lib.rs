@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 
 mod cost;
+pub mod frontier;
 pub mod search;
 pub mod sequential;
 
 pub use cost::CostModel;
-pub use search::{FoundPath, SearchArena, SearchStats, SoftPath};
+pub use frontier::{BucketFrontier, Frontier, FrontierKind, HeapFrontier, BUCKET_SPAN};
+pub use search::{FoundPath, ProbeKind, SearchArena, SearchStats, SoftPath};
 pub use sequential::{LeeRouter, SequentialOutcome};

@@ -1,11 +1,9 @@
 //! Weighted A* path search over the multi-layer occupancy grid.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use route_geom::{Dir, Layer, Point, NUM_LAYERS};
 use route_model::{Grid, NetId, Occupant, RouteObserver, SearchKind, SearchProbe, Step, Trace};
 
+use crate::frontier::{BucketFrontier, Frontier, FrontierKind, HeapFrontier};
 use crate::CostModel;
 
 /// A path-search request: connect any of `sources` to any of `targets`
@@ -35,7 +33,9 @@ pub struct SearchStats {
     pub expanded: usize,
     /// Edge relaxations attempted.
     pub relaxed: usize,
-    /// Largest open-list (heap) size reached during the search.
+    /// Largest open-list size reached during the search. Stale entries
+    /// count, and every [`Frontier`] implementation counts them the
+    /// same way, so the value is frontier-independent.
     pub heap_peak: usize,
 }
 
@@ -111,29 +111,102 @@ pub struct SoftPath {
 ///     cost: CostModel::default(),
 /// };
 /// let fresh = search::find_path(&q).unwrap();
-/// let reused = search::find_path_with(&mut arena, &q).unwrap();
+/// let reused = search::find_path_in(&mut arena, &q).unwrap();
 /// assert_eq!(fresh.cost, reused.cost);
 /// # Ok::<(), route_model::ProblemError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SearchArena {
     dist: Vec<u64>,
     prev: Vec<u32>,
     target_mask: Vec<bool>,
     /// Node indices written since the last reset (dist/prev/target_mask).
     touched: Vec<u32>,
-    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Memoized heuristic per *cell* (the heuristic is layer-blind).
+    h_cache: Vec<u64>,
+    /// Cell indices written to `h_cache` since the last reset.
+    h_touched: Vec<u32>,
+    frontier: FrontierStore,
+    probe: ProbeKind,
+}
+
+/// The arena-owned open list, one variant per [`FrontierKind`].
+///
+/// The size split is deliberate: one long-lived instance per arena, so
+/// the bucket calendar's inline bitmap costs nothing to carry and
+/// boxing it would put a pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum FrontierStore {
+    Heap(HeapFrontier),
+    Buckets(BucketFrontier),
+}
+
+/// How the expansion loop tests whether a neighbor slot is free.
+///
+/// Purely a measurement knob: both modes compute identical results.
+/// The scalar mode exists so benchmarks can reproduce the
+/// pre-redesign inner loop — per-cell occupancy dereferences and an
+/// unmemoized heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeKind {
+    /// The historical loop: per-cell [`Grid::occupant`] dereferences
+    /// and the heuristic recomputed at every relaxation.
+    Scalar,
+    /// Word fetches from the grid's bit-packed
+    /// [`OccupancyView`](route_model::OccupancyView).
+    #[default]
+    Bits,
+}
+
+impl Default for SearchArena {
+    fn default() -> Self {
+        SearchArena::new()
+    }
 }
 
 impl SearchArena {
-    /// Creates an empty arena; buffers are sized lazily on first use.
+    /// Creates an empty arena with the default (bucket) frontier;
+    /// buffers are sized lazily on first use.
     pub fn new() -> Self {
-        SearchArena::default()
+        SearchArena::with_config(FrontierKind::default(), ProbeKind::default())
+    }
+
+    /// Creates an empty arena using the given frontier implementation.
+    pub fn with_frontier(kind: FrontierKind) -> Self {
+        SearchArena::with_config(kind, ProbeKind::default())
+    }
+
+    /// Creates an empty arena with explicit frontier and neighbor-probe
+    /// choices (the latter only matters for baseline measurements).
+    pub fn with_config(kind: FrontierKind, probe: ProbeKind) -> Self {
+        let frontier = match kind {
+            FrontierKind::Heap => FrontierStore::Heap(HeapFrontier::new()),
+            FrontierKind::Buckets => FrontierStore::Buckets(BucketFrontier::new()),
+        };
+        SearchArena {
+            dist: Vec::new(),
+            prev: Vec::new(),
+            target_mask: Vec::new(),
+            touched: Vec::new(),
+            h_cache: Vec::new(),
+            h_touched: Vec::new(),
+            frontier,
+            probe,
+        }
+    }
+
+    /// Which frontier implementation this arena's searches use.
+    pub fn frontier_kind(&self) -> FrontierKind {
+        match self.frontier {
+            FrontierStore::Heap(_) => FrontierKind::Heap,
+            FrontierStore::Buckets(_) => FrontierKind::Buckets,
+        }
     }
 
     /// Clears the previous search's marks and guarantees capacity for
-    /// `n_nodes` nodes.
-    fn reset(&mut self, n_nodes: usize) {
+    /// `n_nodes` nodes (`n_cells` = `n_nodes / NUM_LAYERS`).
+    fn reset(&mut self, n_nodes: usize, n_cells: usize) {
         for &idx in &self.touched {
             let idx = idx as usize;
             self.dist[idx] = u64::MAX;
@@ -141,11 +214,21 @@ impl SearchArena {
             self.target_mask[idx] = false;
         }
         self.touched.clear();
-        self.heap.clear();
+        for &cell in &self.h_touched {
+            self.h_cache[cell as usize] = u64::MAX;
+        }
+        self.h_touched.clear();
+        match &mut self.frontier {
+            FrontierStore::Heap(f) => f.clear(),
+            FrontierStore::Buckets(f) => f.clear(),
+        }
         if self.dist.len() < n_nodes {
             self.dist.resize(n_nodes, u64::MAX);
             self.prev.resize(n_nodes, NO_PREV);
             self.target_mask.resize(n_nodes, false);
+        }
+        if self.h_cache.len() < n_cells {
+            self.h_cache.resize(n_cells, u64::MAX);
         }
     }
 }
@@ -156,15 +239,22 @@ impl SearchArena {
 /// Returns `None` when no such path exists (or the source/target sets are
 /// empty after dropping unusable slots).
 pub fn find_path(query: &Query<'_>) -> Option<FoundPath> {
-    find_path_with(&mut SearchArena::new(), query)
+    find_path_in(&mut SearchArena::new(), query)
 }
 
-/// Like [`find_path`], but reuses the scratch buffers in `arena` instead
-/// of allocating per call — the hot-path entry point for routers.
-pub fn find_path_with(arena: &mut SearchArena, query: &Query<'_>) -> Option<FoundPath> {
+/// Like [`find_path`], but runs in the scratch buffers (and frontier) of
+/// `arena` instead of allocating per call — the hot-path entry point for
+/// routers.
+pub fn find_path_in(arena: &mut SearchArena, query: &Query<'_>) -> Option<FoundPath> {
     let (found, _) = run(arena, query, None);
     let found = found?;
     Some(FoundPath { trace: found.trace, cost: found.cost, stats: found.stats })
+}
+
+/// Renamed entry point, kept for one release so downstream code compiles.
+#[deprecated(since = "0.2.0", note = "renamed to `find_path_in`")]
+pub fn find_path_with(arena: &mut SearchArena, query: &Query<'_>) -> Option<FoundPath> {
+    find_path_in(arena, query)
 }
 
 /// Like [`find_path_with`], but reports the search to `obs` via
@@ -195,16 +285,27 @@ pub fn find_path_soft(
     query: &Query<'_>,
     soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
 ) -> Option<SoftPath> {
-    find_path_soft_with(&mut SearchArena::new(), query, soft)
+    find_path_soft_in(&mut SearchArena::new(), query, soft)
 }
 
-/// Like [`find_path_soft`], but reuses the scratch buffers in `arena`.
-pub fn find_path_soft_with(
+/// Like [`find_path_soft`], but runs in the scratch buffers (and
+/// frontier) of `arena`.
+pub fn find_path_soft_in(
     arena: &mut SearchArena,
     query: &Query<'_>,
     soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
 ) -> Option<SoftPath> {
     run(arena, query, Some(soft)).0
+}
+
+/// Renamed entry point, kept for one release so downstream code compiles.
+#[deprecated(since = "0.2.0", note = "renamed to `find_path_soft_in`")]
+pub fn find_path_soft_with(
+    arena: &mut SearchArena,
+    query: &Query<'_>,
+    soft: &dyn Fn(Point, Layer, NetId) -> Option<u64>,
+) -> Option<SoftPath> {
+    find_path_soft_in(arena, query, soft)
 }
 
 /// Like [`find_path_soft_with`], but reports the search (found or not)
@@ -255,17 +356,48 @@ fn enter_cost(
     }
 }
 
+/// The mutable node-indexed scratch of one search, destructured out of
+/// the arena so the core can be monomorphized per [`Frontier`].
+struct Scratch<'a> {
+    dist: &'a mut [u64],
+    prev: &'a mut [u32],
+    target_mask: &'a mut [bool],
+    touched: &'a mut Vec<u32>,
+    h_cache: &'a mut [u64],
+    h_touched: &'a mut Vec<u32>,
+}
+
 /// The search core: always returns the effort counters, even when no
 /// path exists, so observed entry points can report failed searches.
+///
+/// Dispatches once on the arena's frontier store, so the inner loop is
+/// monomorphic — no virtual calls per push/pop.
 fn run(
     arena: &mut SearchArena,
     query: &Query<'_>,
     soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
 ) -> (Option<SoftPath>, SearchStats) {
     let grid = query.grid;
-    let n_nodes = grid.width() as usize * grid.height() as usize * NUM_LAYERS;
-    arena.reset(n_nodes);
-    let SearchArena { dist, prev, target_mask, touched, heap } = arena;
+    let n_cells = grid.width() as usize * grid.height() as usize;
+    arena.reset(n_cells * NUM_LAYERS, n_cells);
+    let SearchArena { dist, prev, target_mask, touched, h_cache, h_touched, frontier, probe } =
+        arena;
+    let scratch = Scratch { dist, prev, target_mask, touched, h_cache, h_touched };
+    match frontier {
+        FrontierStore::Heap(f) => run_core(query, soft, scratch, f, *probe),
+        FrontierStore::Buckets(f) => run_core(query, soft, scratch, f, *probe),
+    }
+}
+
+fn run_core<F: Frontier>(
+    query: &Query<'_>,
+    soft: Option<&dyn Fn(Point, Layer, NetId) -> Option<u64>>,
+    scratch: Scratch<'_>,
+    frontier: &mut F,
+    probe: ProbeKind,
+) -> (Option<SoftPath>, SearchStats) {
+    let grid = query.grid;
+    let Scratch { dist, prev, target_mask, touched, h_cache, h_touched } = scratch;
     let mut stats = SearchStats::default();
 
     let usable = |s: &Step| grid.admits(s.at, s.layer, query.net);
@@ -278,28 +410,57 @@ fn run(
         target_mask[idx] = true;
         touched.push(idx as u32);
     }
-    let heuristic = |p: Point| -> u64 {
-        targets.iter().map(|t| p.manhattan(t.at) as u64 * query.cost.step as u64).min().unwrap_or(0)
+    let w = grid.width() as usize;
+    let step_w = query.cost.step as u64;
+    let probe_bits = probe == ProbeKind::Bits;
+    // Min-manhattan-to-any-target heuristic, memoized per cell (it is
+    // layer-blind). Memoization changes where the value is computed,
+    // never the value, so results stay bit-identical. The baseline
+    // probe mode recomputes every call, as the pre-redesign loop did.
+    let mut heuristic = |p: Point| -> u64 {
+        let cell = p.y as usize * w + p.x as usize;
+        if probe_bits {
+            let cached = h_cache[cell];
+            if cached != u64::MAX {
+                return cached;
+            }
+        }
+        let h = targets.iter().map(|t| p.manhattan(t.at) as u64 * step_w).min().unwrap_or(0);
+        if probe_bits {
+            h_cache[cell] = h;
+            h_touched.push(cell as u32);
+        }
+        h
     };
 
-    // Min-heap keyed by f = g + h; tiebreak on g to prefer settled depth.
+    // Open list keyed by f = g + h; tiebreak on g to prefer settled depth.
     let mut any_source = false;
     for s in query.sources.iter().filter(|s| usable(s)) {
         let idx = node_index(grid, s.at, s.layer);
         if dist[idx] == u64::MAX {
             dist[idx] = 0;
             touched.push(idx as u32);
-            heap.push(Reverse((heuristic(s.at), 0, idx as u32)));
+            frontier.push(heuristic(s.at), 0, idx as u32);
         }
         any_source = true;
     }
     if !any_source {
         return (None, stats);
     }
-    stats.heap_peak = heap.len();
+    stats.heap_peak = frontier.len();
+
+    let view = grid.occupancy_view();
+    // Node-index deltas for a wire step, in Dir::ALL order; only applied
+    // after the neighbor is proven in bounds.
+    let node_delta: [i64; 4] = [
+        (w * NUM_LAYERS) as i64,
+        -((w * NUM_LAYERS) as i64),
+        NUM_LAYERS as i64,
+        -(NUM_LAYERS as i64),
+    ];
 
     let mut reached: Option<usize> = None;
-    while let Some(Reverse((_f, g, idx))) = heap.pop() {
+    while let Some((_f, g, idx)) = frontier.pop() {
         let idx = idx as usize;
         if g > dist[idx] {
             continue; // stale entry
@@ -311,41 +472,56 @@ fn run(
         }
         let (p, layer) = node_point(grid, idx);
 
-        // Wire steps in the four directions.
-        for dir in Dir::ALL {
-            let np = p.step(dir);
+        // Wire steps in the four directions. A set bit in `free_mask`
+        // proves the neighbor is in bounds and free (enter cost 0)
+        // from one word fetch, skipping the cell dereference.
+        let free_mask = if probe_bits { view.neighbor_free_mask(p, layer) } else { 0 };
+        for (i, dir) in Dir::ALL.iter().enumerate() {
+            let np = p.step(*dir);
             stats.relaxed += 1;
-            let Some(extra) = enter_cost(grid, query.net, np, layer, soft) else {
-                continue;
+            let extra = if free_mask & (1 << i) != 0 {
+                0
+            } else {
+                match enter_cost(grid, query.net, np, layer, soft) {
+                    Some(e) => e,
+                    None => continue,
+                }
             };
             let step_cost = query.cost.step_cost(layer, dir.axis()) as u64;
             let ng = g + step_cost + extra;
-            let nidx = node_index(grid, np, layer);
+            let nidx = (idx as i64 + node_delta[i]) as usize;
+            debug_assert_eq!(nidx, node_index(grid, np, layer));
             if ng < dist[nidx] {
                 if dist[nidx] == u64::MAX {
                     touched.push(nidx as u32);
                 }
                 dist[nidx] = ng;
                 prev[nidx] = idx as u32;
-                heap.push(Reverse((ng + heuristic(np), ng, nidx as u32)));
-                stats.heap_peak = stats.heap_peak.max(heap.len());
+                frontier.push(ng + heuristic(np), ng, nidx as u32);
+                stats.heap_peak = stats.heap_peak.max(frontier.len());
             }
         }
 
         // Layer changes (vias) to the adjacent layers at the same point.
         for other in layer.adjacent() {
             stats.relaxed += 1;
-            if let Some(extra) = enter_cost(grid, query.net, p, other, soft) {
+            let extra = if probe_bits && view.is_free(p, other) {
+                Some(0)
+            } else {
+                enter_cost(grid, query.net, p, other, soft)
+            };
+            if let Some(extra) = extra {
                 let ng = g + query.cost.via as u64 + extra;
-                let nidx = node_index(grid, p, other);
+                let nidx = idx - layer.index() + other.index();
+                debug_assert_eq!(nidx, node_index(grid, p, other));
                 if ng < dist[nidx] {
                     if dist[nidx] == u64::MAX {
                         touched.push(nidx as u32);
                     }
                     dist[nidx] = ng;
                     prev[nidx] = idx as u32;
-                    heap.push(Reverse((ng + heuristic(p), ng, nidx as u32)));
-                    stats.heap_peak = stats.heap_peak.max(heap.len());
+                    frontier.push(ng + heuristic(p), ng, nidx as u32);
+                    stats.heap_peak = stats.heap_peak.max(frontier.len());
                 }
             }
         }
@@ -586,6 +762,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the one-release compatibility shim
     fn arena_reuse_is_equivalent_to_fresh_buffers() {
         // One arena across many searches, across two differently-sized
         // grids, with failures interleaved: every result must be

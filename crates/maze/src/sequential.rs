@@ -36,6 +36,18 @@ pub fn route_all(problem: &Problem, cost: CostModel) -> SequentialOutcome {
     route_all_observed(problem, cost, &mut NopObserver)
 }
 
+/// Like [`route_all`], but reusing the caller's [`SearchArena`] — the
+/// warm entry point for benches and services that want to pick a
+/// frontier and keep search scratch allocated across problems. The
+/// result is bit-identical to [`route_all`].
+pub fn route_all_in(
+    problem: &Problem,
+    cost: CostModel,
+    arena: &mut SearchArena,
+) -> SequentialOutcome {
+    route_in_order_observed_in(problem, cost, &sorted_order(problem), &mut NopObserver, arena)
+}
+
 /// Like [`route_all`], but streams [`RouteObserver`] events — one
 /// `on_net_scheduled` per net in routing order, `on_search_done` per
 /// pin-attachment search, and a terminal `on_net_committed` /
@@ -45,6 +57,12 @@ pub fn route_all_observed(
     cost: CostModel,
     obs: &mut dyn RouteObserver,
 ) -> SequentialOutcome {
+    route_in_order_observed(problem, cost, &sorted_order(problem), obs)
+}
+
+/// The sequential heuristic order: ascending bounding-box half-perimeter,
+/// net id breaking ties.
+fn sorted_order(problem: &Problem) -> Vec<NetId> {
     let mut order: Vec<NetId> = problem.nets().iter().map(|n| n.id).collect();
     order.sort_by_key(|&id| {
         let net = problem.net(id);
@@ -52,7 +70,7 @@ pub fn route_all_observed(
         let bbox = net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
         (bbox.width() + bbox.height(), id.0)
     });
-    route_in_order_observed(problem, cost, &order, obs)
+    order
 }
 
 /// Routes nets in the caller-specified order.
@@ -67,14 +85,25 @@ pub fn route_in_order_observed(
     order: &[NetId],
     obs: &mut dyn RouteObserver,
 ) -> SequentialOutcome {
+    // One arena for the whole run: every net's searches reuse it.
+    route_in_order_observed_in(problem, cost, order, obs, &mut SearchArena::new())
+}
+
+/// Like [`route_in_order_observed`], but reusing the caller's
+/// [`SearchArena`].
+pub fn route_in_order_observed_in(
+    problem: &Problem,
+    cost: CostModel,
+    order: &[NetId],
+    obs: &mut dyn RouteObserver,
+    arena: &mut SearchArena,
+) -> SequentialOutcome {
     let mut db = RouteDb::new(problem);
     let mut failed = Vec::new();
     let mut stats = SearchStats::default();
-    // One arena for the whole run: every net's searches reuse it.
-    let mut arena = SearchArena::new();
     for &net in order {
         obs.on_net_scheduled(net);
-        match connect_net_observed_in(&mut arena, &mut db, net, cost, obs) {
+        match connect_net_observed_in(arena, &mut db, net, cost, obs) {
             Ok(s) => {
                 stats.expanded += s.expanded;
                 stats.relaxed += s.relaxed;

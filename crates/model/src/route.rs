@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use route_geom::{Layer, Point};
+use route_geom::{Layer, Point, NUM_LAYERS};
 
 use crate::{Grid, NetId, Occupant, Pin, Problem};
 
@@ -280,27 +280,44 @@ impl RouteDb {
     pub fn is_net_connected(&self, net: NetId) -> bool {
         let state = &self.nets[net.index()];
         let Some(first) = state.pins.first() else { return true };
-        let mut seen: HashMap<(Point, Layer), ()> = HashMap::new();
+        // Slot membership is read off the grid (occupant == `Net(net)`
+        // iff the slot is in `state.occ` — the commit/rip paths keep the
+        // two coherent) and visited marks live in a dense bitmap, so
+        // the completion test performs no hashing.
+        let w = self.grid.width() as usize;
+        let node = |p: Point, l: Layer| (p.y as usize * w + p.x as usize) * NUM_LAYERS + l.index();
+        let mut seen = vec![0u64; (w * self.grid.height() as usize * NUM_LAYERS).div_ceil(64)];
+        let owns = |p: Point, l: Layer| {
+            self.grid.in_bounds(p) && self.grid.occupant(p, l) == Occupant::Net(net)
+        };
         let mut queue = std::collections::VecDeque::from([(first.at, first.layer)]);
-        seen.insert((first.at, first.layer), ());
+        let start = node(first.at, first.layer);
+        seen[start >> 6] |= 1 << (start & 63);
         while let Some((p, layer)) = queue.pop_front() {
             for n in p.neighbors() {
-                let key = (n, layer);
-                if state.occ.contains_key(&key) && seen.insert(key, ()).is_none() {
-                    queue.push_back(key);
+                if owns(n, layer) {
+                    let key = node(n, layer);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((n, layer));
+                    }
                 }
             }
             for adj in layer.adjacent() {
                 let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
-                if state.vias.contains_key(&(p, lower)) {
-                    let key = (p, adj);
-                    if state.occ.contains_key(&key) && seen.insert(key, ()).is_none() {
-                        queue.push_back(key);
+                if self.grid.via_between(p, lower) == Some(net) && owns(p, adj) {
+                    let key = node(p, adj);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((p, adj));
                     }
                 }
             }
         }
-        state.pins.iter().all(|pin| seen.contains_key(&(pin.at, pin.layer)))
+        state.pins.iter().all(|pin| {
+            let key = node(pin.at, pin.layer);
+            seen[key >> 6] >> (key & 63) & 1 == 1
+        })
     }
 
     /// Number of vias currently owned by `net`.

@@ -1,0 +1,174 @@
+//! Uniform-grid spatial index over routing slots.
+//!
+//! [`SlotIndex`] buckets `(Point, Layer)` slots into fixed-size square
+//! bins so point and 4-neighborhood queries touch one small `Vec`
+//! instead of hashing or scanning every committed segment. It is the
+//! segment-query backbone for weak-modification candidate search in the
+//! rip-up router and for the L001–L008 lint registry.
+//!
+//! Entries within a bin stay in insertion order, so a caller that
+//! inserts in a deterministic order gets deterministic query results —
+//! the property the routers rely on for bit-identical outcomes.
+
+use route_geom::{Layer, Point};
+
+use crate::Step;
+
+/// Side length of one square bin, in grid cells. Eight keeps a bin's
+/// entry list within a cache line or two on realistic densities while
+/// still pruning almost all of the grid per query.
+const BIN: u32 = 8;
+
+/// A uniform-grid spatial index mapping occupied slots to payloads.
+///
+/// # Examples
+///
+/// ```
+/// use route_geom::{Layer, Point};
+/// use route_model::{SlotIndex, Step};
+///
+/// let mut idx: SlotIndex<u32> = SlotIndex::new(16, 16);
+/// idx.insert(Step::new(Point::new(3, 4), Layer::M1), 7);
+/// idx.insert(Step::new(Point::new(3, 4), Layer::M2), 9);
+/// let hits: Vec<u32> = idx.at(Point::new(3, 4), Layer::M1).copied().collect();
+/// assert_eq!(hits, vec![7]);
+/// assert_eq!(idx.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotIndex<T> {
+    width: u32,
+    height: u32,
+    bins_x: u32,
+    bins: Vec<Vec<(Step, T)>>,
+    len: usize,
+}
+
+impl<T> SlotIndex<T> {
+    /// Creates an empty index covering a `width x height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "index dimensions must be non-zero");
+        let bins_x = width.div_ceil(BIN);
+        let bins_y = height.div_ceil(BIN);
+        SlotIndex {
+            width,
+            height,
+            bins_x,
+            bins: (0..bins_x as usize * bins_y as usize).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping bin capacity for reuse.
+    pub fn clear(&mut self) {
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn bin_of(&self, p: Point) -> Option<usize> {
+        if p.x < 0 || p.y < 0 || p.x as u32 >= self.width || p.y as u32 >= self.height {
+            return None;
+        }
+        Some((p.y as u32 / BIN * self.bins_x + p.x as u32 / BIN) as usize)
+    }
+
+    /// Inserts `payload` at `slot`. Out-of-bounds slots are ignored.
+    pub fn insert(&mut self, slot: Step, payload: T) {
+        if let Some(bin) = self.bin_of(slot.at) {
+            self.bins[bin].push((slot, payload));
+            self.len += 1;
+        }
+    }
+
+    /// All payloads stored exactly at `(p, layer)`, in insertion order.
+    pub fn at(&self, p: Point, layer: Layer) -> impl Iterator<Item = &T> {
+        let bin = self.bin_of(p).map(|b| self.bins[b].as_slice()).unwrap_or(&[]);
+        bin.iter().filter(move |(s, _)| s.at == p && s.layer == layer).map(|(_, t)| t)
+    }
+
+    /// All `(slot, payload)` entries on the four Manhattan neighbors of
+    /// `p` on `layer`, in [`route_geom::Dir::ALL`] order and insertion
+    /// order within each neighbor.
+    pub fn neighbors4(&self, p: Point, layer: Layer) -> impl Iterator<Item = (Step, &T)> {
+        p.neighbors().into_iter().flat_map(move |n| {
+            let bin = self.bin_of(n).map(|b| self.bins[b].as_slice()).unwrap_or(&[]);
+            bin.iter().filter(move |(s, _)| s.at == n && s.layer == layer).map(|(s, t)| (*s, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: i32, y: i32, layer: Layer) -> Step {
+        Step::new(Point::new(x, y), layer)
+    }
+
+    #[test]
+    fn point_queries_filter_by_layer() {
+        let mut idx = SlotIndex::new(20, 20);
+        idx.insert(s(9, 9, Layer::M1), 'a');
+        idx.insert(s(9, 9, Layer::M2), 'b');
+        idx.insert(s(10, 9, Layer::M1), 'c');
+        assert_eq!(idx.at(Point::new(9, 9), Layer::M1).collect::<Vec<_>>(), vec![&'a']);
+        assert_eq!(idx.at(Point::new(9, 9), Layer::M3).count(), 0);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_per_slot() {
+        let mut idx = SlotIndex::new(8, 8);
+        for v in 0..5 {
+            idx.insert(s(2, 3, Layer::M2), v);
+        }
+        assert_eq!(
+            idx.at(Point::new(2, 3), Layer::M2).copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn neighbors_cross_bin_boundaries() {
+        // (7,7) and (8,7) are in different 8x8 bins.
+        let mut idx = SlotIndex::new(16, 16);
+        idx.insert(s(8, 7, Layer::M1), 'e');
+        idx.insert(s(7, 8, Layer::M1), 'n');
+        idx.insert(s(7, 7, Layer::M2), 'x'); // wrong layer
+        let hits: Vec<(Step, char)> =
+            idx.neighbors4(Point::new(7, 7), Layer::M1).map(|(s, c)| (s, *c)).collect();
+        assert_eq!(hits, vec![(s(7, 8, Layer::M1), 'n'), (s(8, 7, Layer::M1), 'e')]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_ignored() {
+        let mut idx = SlotIndex::new(4, 4);
+        idx.insert(s(-1, 0, Layer::M1), 0);
+        idx.insert(s(0, 4, Layer::M1), 0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.at(Point::new(-1, 0), Layer::M1).count(), 0);
+        assert_eq!(idx.neighbors4(Point::new(0, 0), Layer::M1).count(), 0);
+        idx.insert(s(3, 3, Layer::M1), 1);
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the bit-packed occupancy plane: the word-probe
+//! API must agree with the scalar `Grid::is_free` path cell-for-cell,
+//! including grid edges and `u64` word boundaries (x ≡ 63 mod 64), and
+//! the bit plane must stay coherent with the `Vec<Cell>` store under
+//! arbitrary set/clear sequences.
+
+use route_geom::{Dir, Layer, Point};
+use route_model::{Grid, NetId, Occupant};
+
+/// Deterministic SplitMix64 so the suite needs no registry access.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A grid wide enough that x = 63/64 (word boundary) and x = 127/128
+/// (second boundary) are interior columns, scattered with random
+/// occupancy on every layer.
+fn scattered_grid(seed: u64, width: u32, height: u32) -> Grid {
+    let mut rng = Rng(seed);
+    let mut grid = Grid::new(width, height);
+    let cells = u64::from(width) * u64::from(height);
+    for _ in 0..cells / 2 {
+        let p = Point::new(rng.below(u64::from(width)) as i32, rng.below(u64::from(height)) as i32);
+        let layer = Layer::ALL[rng.below(Layer::ALL.len() as u64) as usize];
+        let occ = match rng.below(3) {
+            0 => Occupant::Free,
+            1 => Occupant::Blocked,
+            _ => Occupant::Net(NetId(rng.below(8) as u32)),
+        };
+        grid.set_occupant(p, layer, occ);
+    }
+    grid
+}
+
+#[test]
+fn probe_mask_agrees_with_scalar_is_free_everywhere() {
+    // 130 wide: columns 63/64 and 127/128 straddle word boundaries.
+    for seed in 0..8 {
+        let grid = scattered_grid(seed, 130, 9);
+        let view = grid.occupancy_view();
+        assert!(grid.debug_validate_bits(), "seed {seed}: bit plane coherent");
+        for layer in Layer::ALL {
+            for y in 0..9 {
+                for x in 0..130 {
+                    let p = Point::new(x, y);
+                    let mask = view.neighbor_free_mask(p, layer);
+                    for (i, dir) in Dir::ALL.iter().enumerate() {
+                        assert_eq!(
+                            mask >> i & 1 == 1,
+                            grid.is_free(p.step(*dir), layer),
+                            "seed {seed}: mask bit {i} ({dir:?}) at {p:?} on {layer:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_mask_handles_off_grid_centers() {
+    let grid = scattered_grid(99, 66, 6);
+    let view = grid.occupancy_view();
+    // Centers just outside every edge, including the corners.
+    let mut rim = Vec::new();
+    for x in -1..=66 {
+        rim.push(Point::new(x, -1));
+        rim.push(Point::new(x, 6));
+    }
+    for y in -1..=6 {
+        rim.push(Point::new(-1, y));
+        rim.push(Point::new(66, y));
+    }
+    for p in rim {
+        for layer in Layer::ALL {
+            let mask = view.neighbor_free_mask(p, layer);
+            for (i, dir) in Dir::ALL.iter().enumerate() {
+                assert_eq!(
+                    mask >> i & 1 == 1,
+                    grid.is_free(p.step(*dir), layer),
+                    "mask bit {i} ({dir:?}) at off-grid center {p:?} on {layer:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn word_probes_agree_with_scalar_at_boundaries() {
+    let grid = scattered_grid(7, 129, 5);
+    let view = grid.occupancy_view();
+    for layer in Layer::ALL {
+        for y in 0..5 {
+            for x in 0..129 {
+                let p = Point::new(x, y);
+                let cell = y as usize * 129 + x as usize;
+                let bit = view.word(layer, cell / 64) >> (cell % 64) & 1;
+                assert_eq!(
+                    bit == 1,
+                    grid.is_free(p, layer),
+                    "word bit vs scalar at {p:?} on {layer:?}"
+                );
+                assert_eq!(view.is_free(p, layer), grid.is_free(p, layer));
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_plane_stays_coherent_under_random_set_clear_churn() {
+    let mut rng = Rng(0xC0FFEE);
+    let mut grid = Grid::new(67, 11);
+    for step in 0..4000 {
+        let p = Point::new(rng.below(67) as i32, rng.below(11) as i32);
+        let layer = Layer::ALL[rng.below(Layer::ALL.len() as u64) as usize];
+        let occ = match rng.below(4) {
+            0 | 1 => Occupant::Free, // bias toward churn across free/used
+            2 => Occupant::Blocked,
+            _ => Occupant::Net(NetId(rng.below(4) as u32)),
+        };
+        grid.set_occupant(p, layer, occ);
+        assert_eq!(grid.is_free(p, layer), occ == Occupant::Free);
+        if step % 256 == 0 {
+            assert!(grid.debug_validate_bits(), "coherent after step {step}");
+        }
+    }
+    assert!(grid.debug_validate_bits());
+}

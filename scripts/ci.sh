@@ -162,4 +162,16 @@ else
   run "$VROUTE" fuzz --seeds 0..40 --shrink
 fi
 
+# Hot-path throughput gate: route the channel suite under every
+# frontier/probe mode (bit-identical checksums asserted inside the
+# sweep) and fail if the default bucket-queue frontier is slower than
+# the binary heap on the rip-up router. Perf ratios are only meaningful
+# in release, so both modes build the bench binary optimized; the full
+# run also refreshes the BENCH_maze.json artifact.
+if [[ "$QUICK" == 0 ]]; then
+  run cargo run --release --offline --quiet -p route-bench --bin exp_m1_hotpath -- --gate
+else
+  run cargo run --release --offline --quiet -p route-bench --bin exp_m1_hotpath -- --quick --gate
+fi
+
 echo "ci: all checks passed"

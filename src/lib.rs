@@ -105,8 +105,11 @@ pub use mighty::{
     SubmitError, Supervisor,
 };
 pub use route_analyze::{Diagnostic, InfeasibilityCertificate, Severity};
+pub use route_maze::{
+    BucketFrontier, Frontier, FrontierKind, HeapFrontier, ProbeKind, SearchArena,
+};
 pub use route_model::{
-    DetailedRouter, EventLog, MetricsRecorder, NopObserver, RouteError, RouteEvent, RouteObserver,
-    RouteResult, RouterStats, Routing,
+    DetailedRouter, EventLog, MetricsRecorder, NopObserver, OccupancyView, RouteError, RouteEvent,
+    RouteObserver, RouteResult, RouterStats, Routing, SlotIndex,
 };
 pub use route_proto::{Json, RouteOutcomeReport, PROTO_VERSION};
