@@ -1,0 +1,155 @@
+//! Experiment C1: chip-scale hierarchical flow — parallel per-tile
+//! detail routing with seam stitching vs flat single-grid routing.
+//!
+//! ```text
+//! cargo run --release -p route-bench --bin exp_c1_chip [-- --quick]
+//! ```
+//!
+//! Generates one deterministic synthetic chip ([`ChipGen`]): in the
+//! full configuration a 512x512 floorplan with 10,560 mostly-local nets
+//! and 24 macro obstacles over a 16x16 tile grid (256 tiles). The chip
+//! is routed flat (one rip-up router over the whole grid) and
+//! hierarchically at 1..N workers; every hierarchical database must be
+//! byte-identical regardless of the job count, and the full-size run
+//! must come out verifier-clean. Writes the machine-readable record to
+//! `BENCH_chip.json` (skipped in `--quick`, the CI smoke mode).
+
+use std::time::Instant;
+
+use mighty::{MightyRouter, RouterConfig};
+use route_bench::table;
+use route_benchdata::gen::ChipGen;
+use route_global::{route_hierarchical, GlobalConfig, TileGrid};
+use route_proto::{versioned_doc, Json};
+use route_verify::verify;
+
+struct Row {
+    config: String,
+    jobs: usize,
+    ms: f64,
+    nets_per_sec: f64,
+    routed: usize,
+    checksum: u64,
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let (gen, tile) = if quick {
+        (ChipGen::small(1), 16)
+    } else {
+        (ChipGen { width: 512, height: 512, nets: 10_560, macros: 24, ..ChipGen::small(1) }, 32)
+    };
+    let problem = gen.build();
+    let tile_count = TileGrid::new(&problem, tile).tiles().count();
+    let nets = problem.nets().len();
+    println!(
+        "C1: {}x{} chip, {nets} nets, {} macros, seed {} — {tile_count} tiles of {tile}\n",
+        gen.width, gen.height, gen.macros, gen.seed
+    );
+    if !quick {
+        assert!(tile_count >= 100, "the full chip must span at least 100 tiles");
+        assert!(nets >= 10_000, "the full chip must carry at least 10k nets");
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Flat baseline: one rip-up router over the whole grid.
+    let start = Instant::now();
+    let flat = MightyRouter::new(RouterConfig::default()).route(&problem);
+    let secs = start.elapsed().as_secs_f64();
+    let report = verify(&problem, flat.db());
+    assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+    rows.push(Row {
+        config: "flat".to_string(),
+        jobs: 1,
+        ms: secs * 1e3,
+        nets_per_sec: nets as f64 / secs,
+        routed: nets - flat.failed().len(),
+        checksum: flat.db().checksum(),
+    });
+    eprintln!("flat done in {:.1}s", secs);
+
+    // Hierarchical at 1..N workers: the database must not depend on N.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = if hw > 1 { vec![1, hw] } else { vec![1, 2] };
+    for jobs in sweep {
+        let cfg = GlobalConfig { tile, jobs, ..GlobalConfig::default() };
+        let start = Instant::now();
+        let hier = route_hierarchical(&problem, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        let report = verify(&problem, hier.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+        if !quick {
+            assert!(report.is_clean(), "the full-size chip must route verifier-clean: {report}");
+        }
+        eprintln!(
+            "hier jobs={jobs} done in {secs:.1}s ({} seams repaired, {} fallback)",
+            hier.chip_stats().seams_repaired,
+            hier.stats().fallback_completed
+        );
+        rows.push(Row {
+            config: "hier".to_string(),
+            jobs,
+            ms: secs * 1e3,
+            nets_per_sec: nets as f64 / secs,
+            routed: nets - hier.failed().len(),
+            checksum: hier.db().checksum(),
+        });
+    }
+    let hier_checksums: Vec<u64> =
+        rows.iter().filter(|r| r.config == "hier").map(|r| r.checksum).collect();
+    assert!(
+        hier_checksums.windows(2).all(|w| w[0] == w[1]),
+        "hierarchical checksums depend on the job count: {hier_checksums:x?}"
+    );
+
+    let render: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.jobs.to_string(),
+                format!("{:.0}", r.ms),
+                format!("{:.0}", r.nets_per_sec),
+                format!("{}/{nets}", r.routed),
+                format!("{:016x}", r.checksum),
+            ]
+        })
+        .collect();
+    let header = ["config", "jobs", "ms", "nets/sec", "routed", "checksum"];
+    println!("{}", table::render(&header, &render));
+    println!("hierarchical databases bit-identical across job counts.");
+
+    if !quick {
+        let runs: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("config", Json::str(r.config.as_str())),
+                    ("jobs", Json::from(r.jobs as u64)),
+                    ("ms", Json::from(r.ms)),
+                    ("nets_per_sec", Json::from(r.nets_per_sec)),
+                    ("routed", Json::from(r.routed as u64)),
+                    ("nets", Json::from(nets as u64)),
+                    ("checksum", Json::str(format!("{:016x}", r.checksum))),
+                ])
+            })
+            .collect();
+        let doc = versioned_doc(
+            "exp_c1_chip",
+            vec![
+                ("width".to_string(), Json::from(u64::from(gen.width))),
+                ("height".to_string(), Json::from(u64::from(gen.height))),
+                ("nets".to_string(), Json::from(nets as u64)),
+                ("macros".to_string(), Json::from(u64::from(gen.macros))),
+                ("seed".to_string(), Json::from(gen.seed)),
+                ("tile".to_string(), Json::from(u64::from(tile))),
+                ("tiles".to_string(), Json::from(tile_count as u64)),
+                ("runs".to_string(), Json::Arr(runs)),
+            ],
+        );
+        let path = "BENCH_chip.json";
+        std::fs::write(path, doc.render()).expect("writing BENCH_chip.json");
+        println!("wrote {path}");
+    }
+}

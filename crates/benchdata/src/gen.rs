@@ -204,6 +204,141 @@ impl ObstructedGen {
     }
 }
 
+/// Configuration of the synthetic chip generator: a chip-scale grid
+/// with macro-block obstacles and mostly-local multi-pin nets, sized
+/// for the hierarchical (tile) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipGen {
+    /// Grid width.
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Number of nets.
+    pub nets: u32,
+    /// Number of macro obstacle blocks scattered over the interior.
+    pub macros: u32,
+    /// Chebyshev radius of a local net's pin spread, in cells. Real
+    /// chips are dominated by short wires; keeping most nets inside a
+    /// window makes per-tile detailed routing meaningful.
+    pub span: u32,
+    /// Percent of nets whose window is widened to `4 * span` (the
+    /// chip-crossing minority that exercises the global planner).
+    pub long_pct: u32,
+    /// Percent of nets that get a third pin.
+    pub multi_pct: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChipGen {
+    /// A small-chip baseline (96x96, 700 nets): every knob has a value,
+    /// so call sites override only what they sweep.
+    pub fn small(seed: u64) -> Self {
+        ChipGen {
+            width: 96,
+            height: 96,
+            nets: 700,
+            macros: 6,
+            span: 10,
+            long_pct: 10,
+            multi_pct: 20,
+            seed,
+        }
+    }
+
+    /// Generates the chip problem: macro obstacles first, then nets with
+    /// 2-3 pins on `M1`, each net's pins confined to a random window.
+    /// Pure function of the configuration, like every generator here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot host the requested pins (the retry
+    /// guard runs out of free cells).
+    pub fn build(&self) -> Problem {
+        use route_geom::Layer;
+        let mut rng = SplitMix64::new(self.seed ^ 0xc419);
+        let mut builder = ProblemBuilder::switchbox(self.width, self.height);
+
+        // Macro blocks: full-stack rectangles in the interior, clear of
+        // the outermost ring so boundary wiring always exists.
+        let mut blocked = vec![false; (self.width * self.height) as usize];
+        let cell = |p: Point| (p.y as u32 * self.width + p.x as u32) as usize;
+        if self.width > 16 && self.height > 16 {
+            for _ in 0..self.macros {
+                let w = rng.range(4, 13) as u32;
+                let h = rng.range(4, 13) as u32;
+                let x = rng.range(1, u64::from(self.width - w - 1)) as i32;
+                let y = rng.range(1, u64::from(self.height - h - 1)) as i32;
+                let rect = Rect::with_size(Point::new(x, y), w, h);
+                builder.obstacle_rect(rect);
+                for p in rect.cells() {
+                    blocked[cell(p)] = true;
+                }
+            }
+        }
+
+        // Nets: an anchor pin anywhere free, remaining pins inside the
+        // net's window. Pins live on M1 and never share a cell (the
+        // builder would reject the conflict).
+        let mut used = blocked.clone();
+        let free_at =
+            |rng: &mut SplitMix64, used: &mut [bool], win: Option<(Point, u32)>| -> Option<Point> {
+                for _ in 0..64 {
+                    let p = match win {
+                        None => Point::new(
+                            rng.below(u64::from(self.width)) as i32,
+                            rng.below(u64::from(self.height)) as i32,
+                        ),
+                        Some((c, r)) => {
+                            let lo_x = c.x.saturating_sub(r as i32).max(0);
+                            let hi_x = (c.x + r as i32).min(self.width as i32 - 1);
+                            let lo_y = c.y.saturating_sub(r as i32).max(0);
+                            let hi_y = (c.y + r as i32).min(self.height as i32 - 1);
+                            Point::new(
+                                lo_x + rng.below((hi_x - lo_x + 1) as u64) as i32,
+                                lo_y + rng.below((hi_y - lo_y + 1) as u64) as i32,
+                            )
+                        }
+                    };
+                    if !used[cell(p)] {
+                        used[cell(p)] = true;
+                        return Some(p);
+                    }
+                }
+                None
+            };
+        for i in 0..self.nets {
+            let radius = if rng.chance(self.long_pct) { self.span * 4 } else { self.span };
+            let pins = 2 + u64::from(rng.chance(self.multi_pct));
+            let mut placed = false;
+            'attempt: for _ in 0..64 {
+                let Some(anchor) = free_at(&mut rng, &mut used, None) else { continue };
+                let mut taken = vec![anchor];
+                for _ in 1..pins {
+                    match free_at(&mut rng, &mut used, Some((anchor, radius.max(1)))) {
+                        Some(p) => taken.push(p),
+                        None => {
+                            // Window exhausted: release and retry the net.
+                            for p in taken {
+                                used[cell(p)] = false;
+                            }
+                            continue 'attempt;
+                        }
+                    }
+                }
+                let mut nb = builder.net(format!("n{i}"));
+                for p in taken {
+                    nb.pin_at(p, Layer::M1);
+                }
+                placed = true;
+                break;
+            }
+            assert!(placed, "chip too crowded for net n{i} ({}x{})", self.width, self.height);
+        }
+        builder.build().expect("pins are distinct free cells by construction")
+    }
+}
+
 /// A switchbox whose nets are *guaranteed routable*: the instance is
 /// produced by carving `nets` disjoint straight bands and exposing their
 /// endpoints as pins. Useful for completion-rate experiments where a
@@ -267,6 +402,38 @@ mod tests {
         // Zero obstacle percentage yields no obstacles.
         let clean = ObstructedGen { obstacle_pct: 0, ..cfg }.build();
         assert!(clean.obstacles().is_empty());
+    }
+
+    #[test]
+    fn chip_gen_is_deterministic_and_mostly_local() {
+        let cfg = ChipGen::small(5);
+        let a = cfg.build();
+        let b = cfg.build();
+        assert_eq!(a.nets(), b.nets());
+        assert_eq!(a.obstacles(), b.obstacles());
+        assert_eq!(a.nets().len(), 700);
+        assert!(!a.obstacles().is_empty());
+        // The local majority stays within its window; only the long
+        // minority (plus window clamping at the chip edge) exceeds it.
+        let wide = a
+            .nets()
+            .iter()
+            .filter(|n| {
+                let first = n.pins[0].at;
+                let bbox = n.pins.iter().fold(route_geom::Rect::cell(first), |acc, p| {
+                    acc.union(&route_geom::Rect::cell(p.at))
+                });
+                bbox.width().max(bbox.height()) > 2 * cfg.span + 1
+            })
+            .count();
+        assert!(wide * 4 < a.nets().len(), "{wide} of {} nets exceed the window", a.nets().len());
+    }
+
+    #[test]
+    fn chip_gen_seed_changes_instance() {
+        let a = ChipGen::small(1).build();
+        let b = ChipGen::small(2).build();
+        assert_ne!(a.nets(), b.nets());
     }
 
     #[test]

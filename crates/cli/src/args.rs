@@ -188,6 +188,28 @@ pub enum Command {
     },
     /// Generate an instance to stdout.
     Gen(GenKind),
+    /// Generate a synthetic chip floorplan and route it hierarchically:
+    /// tile-graph planning, parallel per-tile detail routing on the
+    /// batch engine, seam stitching, flat fallback.
+    Chip {
+        /// Chip width in cells.
+        width: u32,
+        /// Chip height in cells.
+        height: u32,
+        /// Net count.
+        nets: u32,
+        /// Macro-obstacle count.
+        macros: u32,
+        /// Generator seed.
+        seed: u64,
+        /// Tile side length in cells.
+        tile: u32,
+        /// Worker threads for the tile batch (0 = one per hardware
+        /// thread); any value yields a byte-identical database.
+        jobs: usize,
+        /// Write a machine-readable JSON report to this path.
+        json: Option<String>,
+    },
     /// Run the persistent routing service: a daemon with warm router
     /// workers speaking the versioned line-delimited JSON protocol.
     Serve {
@@ -295,6 +317,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "check" => parse_check(&mut cur),
         "channel" => parse_channel(&mut cur),
         "gen" => parse_gen(&mut cur),
+        "chip" => parse_chip(&mut cur),
         "serve" => parse_serve(&mut cur),
         "client" => parse_client(&mut cur),
         "fuzz" => parse_fuzz(&mut cur),
@@ -463,6 +486,49 @@ fn parse_batch(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
         resume,
         frontier,
     })
+}
+
+fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
+    // Defaults match `ChipGen::small`: a quick but multi-tile instance.
+    let mut width = 96u32;
+    let mut height = 96u32;
+    let mut nets = 700u32;
+    let mut macros = 6u32;
+    let mut seed = 0u64;
+    let mut tile = 16u32;
+    let mut jobs = 0usize;
+    let mut json = None;
+    let num = |flag: &str, v: String| -> Result<u64, ParseArgsError> {
+        v.parse().map_err(|_| err(format!("{flag} needs a number")))
+    };
+    while let Some(arg) = cur.next().map(str::to_owned) {
+        match arg.as_str() {
+            "--width" => width = num("--width", cur.value_of("--width")?)? as u32,
+            "--height" => height = num("--height", cur.value_of("--height")?)? as u32,
+            "--nets" => nets = num("--nets", cur.value_of("--nets")?)? as u32,
+            "--macros" => macros = num("--macros", cur.value_of("--macros")?)? as u32,
+            "--seed" => seed = num("--seed", cur.value_of("--seed")?)?,
+            "--tile" => tile = num("--tile", cur.value_of("--tile")?)? as u32,
+            "--jobs" => {
+                jobs = num("--jobs", cur.value_of("--jobs")?)? as usize;
+                if jobs > 4096 {
+                    return Err(err("--jobs must be at most 4096"));
+                }
+            }
+            "--json" => json = Some(cur.value_of("--json")?),
+            flag => return Err(err(format!("unknown flag `{flag}` for `chip`"))),
+        }
+    }
+    if !(8..=4096).contains(&width) || !(8..=4096).contains(&height) {
+        return Err(err("chip sides must be in 8..=4096"));
+    }
+    if nets == 0 {
+        return Err(err("--nets must be at least 1"));
+    }
+    if tile == 0 {
+        return Err(err("--tile must be at least 1"));
+    }
+    Ok(Command::Chip { width, height, nets, macros, seed, tile, jobs, json })
 }
 
 fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -885,6 +951,45 @@ mod tests {
         assert!(msg.contains("supervised"), "{msg}");
         let msg = parse("batch a.sb --journal j --trace ev.ldj").unwrap_err().to_string();
         assert!(msg.contains("supervised"), "{msg}");
+    }
+
+    #[test]
+    fn chip_flags() {
+        assert_eq!(
+            parse("chip").unwrap(),
+            Command::Chip {
+                width: 96,
+                height: 96,
+                nets: 700,
+                macros: 6,
+                seed: 0,
+                tile: 16,
+                jobs: 0,
+                json: None,
+            }
+        );
+        assert_eq!(
+            parse(
+                "chip --width 352 --height 352 --nets 10560 --macros 24 --seed 7 --tile 32 \
+                   --jobs 4 --json chip.json"
+            )
+            .unwrap(),
+            Command::Chip {
+                width: 352,
+                height: 352,
+                nets: 10560,
+                macros: 24,
+                seed: 7,
+                tile: 32,
+                jobs: 4,
+                json: Some("chip.json".into()),
+            }
+        );
+        assert!(parse("chip --width 4").unwrap_err().to_string().contains("8..=4096"));
+        assert!(parse("chip --tile 0").unwrap_err().to_string().contains("--tile"));
+        assert!(parse("chip --nets 0").unwrap_err().to_string().contains("--nets"));
+        assert!(parse("chip --jobs 9999").unwrap_err().to_string().contains("4096"));
+        assert!(parse("chip extra.sb").unwrap_err().to_string().contains("unknown flag"));
     }
 
     #[test]

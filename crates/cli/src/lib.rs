@@ -14,6 +14,8 @@
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
 //! vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+//! vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T] [--jobs N]
+//!             [--json OUT]
 //! vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
 //! ```
 //!
@@ -47,6 +49,8 @@ USAGE:
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
   vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
+  vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T]
+              [--jobs N] [--json OUT]
   vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
   vroute serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N]
                [--deadline-ms MS] [--journal DIR] [--resume]
@@ -62,6 +66,10 @@ COMMANDS:
   check     Verify a saved routing (routes format) against its instance
   channel   Route a channel instance file (channel format)
   gen       Generate a random instance and print it to stdout
+  chip      Generate a seeded synthetic chip (macro obstacles, mostly-local
+            nets) and route it hierarchically: tile-graph planning, parallel
+            per-tile detail routing on the batch engine, seam stitching,
+            then the flat fallback; --jobs never changes the checksum
   fuzz      Differentially fuzz every router over seeded generator sweeps
             (oracles: independent DRC/claim verification, rip-up vs Lee
             baseline, observer consistency) and/or replay saved CASE files

@@ -128,6 +128,103 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
         Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
             execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
         }
+        Command::Chip { width, height, nets, macros, seed, tile, jobs, json } => {
+            let gen = route_benchdata::gen::ChipGen {
+                width: *width,
+                height: *height,
+                nets: *nets,
+                macros: *macros,
+                ..route_benchdata::gen::ChipGen::small(*seed)
+            };
+            let problem = gen.build();
+            writeln!(out, "chip: {width}x{height}, {nets} nets, {macros} macros, seed {seed}")
+                .expect("writing");
+            let cfg = route_global::GlobalConfig {
+                tile: *tile,
+                jobs: *jobs,
+                ..route_global::GlobalConfig::default()
+            };
+            let started = std::time::Instant::now();
+            let outcome = route_global::route_hierarchical(&problem, &cfg);
+            let ms = started.elapsed().as_millis() as u64;
+            let report = verify(&problem, outcome.db());
+            let stats = outcome.stats();
+            let chip = outcome.chip_stats();
+            writeln!(
+                out,
+                "tiles: {}x{} (tile {tile}), {} crossings, {} dropped at planning",
+                stats.tiles.0, stats.tiles.1, stats.crossings, stats.dropped
+            )
+            .expect("writing");
+            writeln!(
+                out,
+                "detail: {} tiles routed, {} errored, {} tile failures",
+                chip.tiles_routed, chip.tiles_errored, stats.tile_failures
+            )
+            .expect("writing");
+            writeln!(
+                out,
+                "stitch: {}/{} seams repaired, {} rip-ups, {} nets completed; \
+                 fallback completed {}, pruned {} dead steps",
+                chip.seams_repaired,
+                chip.seams,
+                chip.seam_ripups,
+                chip.seam_completed,
+                stats.fallback_completed,
+                chip.pruned_steps
+            )
+            .expect("writing");
+            let complete = outcome.is_complete();
+            let legal = report.is_clean() || report.is_legal_but_incomplete();
+            let db_stats = outcome.db().stats();
+            writeln!(
+                out,
+                "result: {}/{} nets routed, legal: {legal}, checksum {:016x}, {ms} ms",
+                problem.nets().len() - outcome.failed().len(),
+                problem.nets().len(),
+                outcome.db().checksum()
+            )
+            .expect("writing");
+            if let Some(path) = json {
+                let report_outcome = RouteOutcomeReport::Routed {
+                    legal,
+                    complete,
+                    wire: db_stats.wirelength,
+                    vias: db_stats.vias,
+                    checksum: outcome.db().checksum(),
+                };
+                let mut pairs = vec![
+                    ("width".to_string(), Json::from(u64::from(*width))),
+                    ("height".to_string(), Json::from(u64::from(*height))),
+                    ("nets".to_string(), Json::from(u64::from(*nets))),
+                    ("seed".to_string(), Json::from(*seed)),
+                    ("tile".to_string(), Json::from(u64::from(*tile))),
+                    ("jobs".to_string(), Json::from(*jobs as u64)),
+                ];
+                pairs.extend(report_outcome.pairs());
+                pairs.extend([
+                    ("legal".to_string(), Json::from(legal)),
+                    ("complete".to_string(), Json::from(complete)),
+                    ("failed".to_string(), Json::from(outcome.failed().len() as u64)),
+                    ("crossings".to_string(), Json::from(stats.crossings as u64)),
+                    ("dropped".to_string(), Json::from(stats.dropped as u64)),
+                    ("tiles_routed".to_string(), Json::from(chip.tiles_routed as u64)),
+                    ("tiles_errored".to_string(), Json::from(chip.tiles_errored as u64)),
+                    ("seams".to_string(), Json::from(chip.seams as u64)),
+                    ("seams_repaired".to_string(), Json::from(chip.seams_repaired as u64)),
+                    ("seam_ripups".to_string(), Json::from(chip.seam_ripups as u64)),
+                    ("seam_completed".to_string(), Json::from(chip.seam_completed as u64)),
+                    ("fallback_completed".to_string(), Json::from(stats.fallback_completed as u64)),
+                    ("pruned_steps".to_string(), Json::from(chip.pruned_steps as u64)),
+                    ("ms".to_string(), Json::from(ms)),
+                ]);
+                let doc = versioned_doc("chip", pairs);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| ExecutionError::Io(path.clone(), e))?;
+                writeln!(out, "json written to {path}").expect("writing");
+            }
+            Ok(complete)
+        }
         Command::Serve { endpoint, workers, queue, deadline_ms, journal, resume } => {
             crate::serve::execute_serve(
                 &crate::serve::ServeSpec {
@@ -1094,6 +1191,34 @@ mod tests {
         let (out, ok) = run("help");
         assert!(ok.unwrap());
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn chip_routes_and_reports_json() {
+        let dir = std::env::temp_dir().join("vroute-test-chip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("chip.json");
+        let line = format!(
+            "chip --width 40 --height 40 --nets 90 --macros 2 --seed 5 --tile 10 --json {}",
+            json.display()
+        );
+        let (out, result) = run(&line);
+        result.expect("chip executes");
+        assert!(out.contains("tiles: 4x4"), "{out}");
+        assert!(out.contains("stitch:"), "{out}");
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"command\": \"chip\""), "{doc}");
+        assert!(doc.contains("\"legal\": true"), "{doc}");
+        assert!(doc.contains("\"checksum\""), "{doc}");
+        // The job count never changes the routed database.
+        let (one, _) = run(&format!("{line} --jobs 1"));
+        let (four, _) = run(&format!("{line} --jobs 4"));
+        let checksum = |s: &str| {
+            let line = s.lines().find(|l| l.contains("checksum")).expect("prints checksum");
+            let word = line.split_whitespace().skip_while(|w| *w != "checksum").nth(1);
+            word.expect("checksum value").trim_end_matches(',').to_owned()
+        };
+        assert_eq!(checksum(&one), checksum(&four));
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!    may ever *complete* an instance carrying a certificate: a proof
 //!    of infeasibility coexisting with a complete routing means the
 //!    analyzer is unsound, which is strictly worse than being weak.
+//! 4. **Chip-stitch oracle** — every instance is also routed through
+//!    the hierarchical chip flow (`route_global`) with small tiles: the
+//!    stitched database must be DRC-clean, its failed set must match
+//!    recomputed connectivity, its seam rip-up stats must equal the
+//!    strong-ripup events the observer actually saw, and it must never
+//!    lose an instance the flat rip-up router completes.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -67,6 +73,11 @@ pub enum OracleKind {
     /// The rip-up router produced different wiring under the bucket
     /// and binary-heap frontiers; they are defined to pop identically.
     FrontierDivergence,
+    /// The hierarchical chip flow (tile planning, per-tile detail,
+    /// seam stitching) produced an illegal database, lied about its
+    /// failed nets or its rip-up accounting, lost to the flat router,
+    /// or panicked.
+    ChipStitch,
 }
 
 impl fmt::Display for OracleKind {
@@ -82,6 +93,7 @@ impl fmt::Display for OracleKind {
             OracleKind::Salvage => "salvage",
             OracleKind::OccupancyDesync => "occupancy-desync",
             OracleKind::FrontierDivergence => "frontier-divergence",
+            OracleKind::ChipStitch => "chip-stitch",
         };
         f.write_str(name)
     }
@@ -171,7 +183,98 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
     check_frontier_parity(runs, &mut out);
     check_infeasibility(problem, runs, &mut out);
     check_salvage(problem, &mut out);
+    check_chip_stitch(problem, runs, &mut out);
     out
+}
+
+/// Hierarchical-flow oracle: every instance is also routed through the
+/// chip-scale pipeline (small tiles force real crossings and seams even
+/// at fuzz scale). The stitched database must be DRC-clean, the failed
+/// set must match recomputed connectivity, the claimed seam rip-up
+/// count must equal the strong-ripup events actually observed, and —
+/// since the flow ends in the same flat incremental router — an
+/// instance the flat rip-up router completes must complete
+/// hierarchically too.
+fn check_chip_stitch(problem: &Problem, runs: &InstanceRuns, out: &mut Vec<OracleViolation>) {
+    let cfg = route_global::GlobalConfig { tile: 8, ..route_global::GlobalConfig::default() };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut log = route_model::EventLog::new();
+        let outcome = route_global::route_hierarchical_observed(problem, &cfg, &mut log);
+        (outcome, log)
+    }));
+    let mut broken = |kind: OracleKind, detail: String| {
+        out.push(OracleViolation { kind, router: "hierarchical".to_string(), detail });
+    };
+    let (outcome, log) = match run {
+        Ok(pair) => pair,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            broken(OracleKind::ChipStitch, format!("hierarchical flow panicked: {message}"));
+            return;
+        }
+    };
+
+    // DRC + claim honesty, against recomputed occupancy.
+    let report = verify(problem, outcome.db());
+    let mut disconnected: BTreeSet<NetId> = BTreeSet::new();
+    let mut drc: Vec<String> = Vec::new();
+    for v in report.violations() {
+        match v {
+            Violation::Disconnected { net, .. } => {
+                disconnected.insert(*net);
+            }
+            other => drc.push(other.to_string()),
+        }
+    }
+    if !drc.is_empty() {
+        broken(
+            OracleKind::ChipStitch,
+            format!("stitched database breaks DRC: {} violation(s), first: {}", drc.len(), drc[0]),
+        );
+    }
+    let claimed: BTreeSet<NetId> = outcome.failed().iter().copied().collect();
+    if claimed != disconnected {
+        broken(
+            OracleKind::ChipStitch,
+            format!(
+                "claimed failed nets {:?} but verifier finds {:?} disconnected",
+                claimed.iter().map(|n| n.0).collect::<Vec<_>>(),
+                disconnected.iter().map(|n| n.0).collect::<Vec<_>>()
+            ),
+        );
+    }
+
+    // Rip-up accounting honesty: the stats must equal the events.
+    let observed_rips = log.count_kind("strong_ripup");
+    if outcome.chip_stats().seam_ripups != observed_rips {
+        broken(
+            OracleKind::ChipStitch,
+            format!(
+                "stats claim {} seam rip-ups but the observer saw {observed_rips}",
+                outcome.chip_stats().seam_ripups
+            ),
+        );
+    }
+
+    // Differential completion: the flow falls back to the same flat
+    // incremental router, so it must never lose nets the flat router
+    // connects from scratch.
+    if let Ok(flat) = &runs.ripup.plain {
+        if flat.is_complete() && !outcome.is_complete() {
+            broken(
+                OracleKind::ChipStitch,
+                format!(
+                    "flat rip-up completed all {} nets but the hierarchical flow failed {:?}",
+                    problem.nets().len(),
+                    outcome.failed()
+                ),
+            );
+        }
+    }
 }
 
 /// Frontier equivalence oracle: the bucket-queue and binary-heap
@@ -574,6 +677,34 @@ mod tests {
         assert!(
             kinds_of(&violations).contains(&OracleKind::ClaimMismatch),
             "dropped trace must surface as a claim mismatch: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn chip_stitch_oracle_exercises_real_tilings() {
+        // Wider than the oracle's 8-cell tiles, so the hierarchical run
+        // inside check_instance plans real crossings and seams.
+        let problem = SwitchboxGen { width: 20, height: 16, nets: 8, seed: 2 }.build();
+        let cfg = route_global::GlobalConfig { tile: 8, ..route_global::GlobalConfig::default() };
+        let outcome = route_global::route_hierarchical(&problem, &cfg);
+        assert!(outcome.stats().crossings > 0, "the oracle's tiling must not be vacuous");
+        let runs = runs_for(&problem, None);
+        let violations = check_instance(&problem, &runs);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn dishonest_ripup_accounting_would_trip_the_chip_oracle() {
+        // The accounting check compares ChipStats against the observed
+        // event stream; feed it a mismatching count to prove it bites.
+        let problem = SwitchboxGen { width: 20, height: 16, nets: 8, seed: 2 }.build();
+        let cfg = route_global::GlobalConfig { tile: 8, ..route_global::GlobalConfig::default() };
+        let mut log = route_model::EventLog::new();
+        let outcome = route_global::route_hierarchical_observed(&problem, &cfg, &mut log);
+        assert_eq!(
+            outcome.chip_stats().seam_ripups,
+            log.count_kind("strong_ripup"),
+            "stats must agree with the forwarded event stream"
         );
     }
 

@@ -1,10 +1,15 @@
-//! Crossing assignment, per-tile detailed routing and trace paste-back.
+//! Crossing assignment, parallel per-tile detailed routing, seam
+//! stitching and trace paste-back.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use mighty::MightyRouter;
-use route_geom::{Layer, Point};
-use route_model::{NetId, Occupant, Pin, Problem, ProblemBuilder, RouteDb, Step, Trace};
+use mighty::{EngineConfig, MightyRouter, RouteEngine};
+use route_geom::{Layer, Point, Rect};
+use route_maze::SearchArena;
+use route_model::{
+    Grid, NetId, NopObserver, Occupant, Pin, Problem, ProblemBuilder, RouteDb, RouteObserver,
+    SearchKind, SearchProbe, Step, Trace, TraceId,
+};
 
 use crate::plan::plan;
 use crate::tiles::{TileEdge, TileGrid, TileId};
@@ -19,12 +24,36 @@ pub struct GlobalStats {
     pub crossings: usize,
     /// Edges the planner over-subscribed.
     pub overflowed_edges: usize,
-    /// Nets dropped from the tiled phase (unassignable crossings).
+    /// Nets dropped from the tiled phase: unplannable over the tile
+    /// graph, or unassignable crossings on an over-subscribed edge.
     pub dropped: usize,
     /// Nets that failed inside some tile.
     pub tile_failures: usize,
     /// Nets the flat fallback pass completed.
     pub fallback_completed: usize,
+}
+
+/// Chip-flow counters of a hierarchical run: the tile batch, the seam
+/// repairs, and the post-stitch cleanup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChipStats {
+    /// Tile jobs the batch engine routed (complete or not).
+    pub tiles_routed: usize,
+    /// Tile jobs lost wholesale: panicked, past their deadline, or
+    /// skipped by the feasibility precheck.
+    pub tiles_errored: usize,
+    /// Tile edges carrying at least one assigned crossing.
+    pub seams: usize,
+    /// Seams the stitch pass repaired (at least one incomplete net).
+    pub seams_repaired: usize,
+    /// Strong rip-ups performed by the rip-up router inside seam bands.
+    pub seam_ripups: usize,
+    /// Nets the stitch pass completed.
+    pub seam_completed: usize,
+    /// Concrete boundary-cell crossing pairs assigned to nets.
+    pub crossing_pins: usize,
+    /// Wire steps reclaimed by the dead-wire prune after routing.
+    pub pruned_steps: usize,
 }
 
 /// The result of [`route_hierarchical`].
@@ -33,10 +62,13 @@ pub struct GlobalOutcome {
     db: RouteDb,
     failed: Vec<NetId>,
     stats: GlobalStats,
+    chip: ChipStats,
 }
 
 impl GlobalOutcome {
-    /// Whether every net was fully connected.
+    /// Whether every net was fully connected — including nets dropped at
+    /// planning time, which never reach a tile job: completion is always
+    /// recomputed from the final database, never from per-phase claims.
     pub fn is_complete(&self) -> bool {
         self.failed.is_empty()
     }
@@ -60,11 +92,62 @@ impl GlobalOutcome {
     pub fn stats(&self) -> &GlobalStats {
         &self.stats
     }
+
+    /// Chip-flow counters: tile batch, seam repairs, cleanup.
+    pub fn chip_stats(&self) -> &ChipStats {
+        &self.chip
+    }
+}
+
+/// Forwards band-local router events to the caller's observer with net
+/// ids translated back to the global namespace, counting rip-ups.
+struct SeamObserver<'a> {
+    /// Band-local net index to global id.
+    map: Vec<NetId>,
+    inner: &'a mut dyn RouteObserver,
+    ripups: usize,
+}
+
+impl RouteObserver for SeamObserver<'_> {
+    fn on_net_scheduled(&mut self, net: NetId) {
+        self.inner.on_net_scheduled(self.map[net.index()]);
+    }
+
+    fn on_search_done(&mut self, net: NetId, kind: SearchKind, probe: SearchProbe) {
+        self.inner.on_search_done(self.map[net.index()], kind, probe);
+    }
+
+    fn on_weak_modification(&mut self, net: NetId, victim: NetId) {
+        self.inner.on_weak_modification(self.map[net.index()], self.map[victim.index()]);
+    }
+
+    fn on_strong_ripup(&mut self, net: NetId, victim: NetId, rip_count: u32) {
+        self.ripups += 1;
+        self.inner.on_strong_ripup(self.map[net.index()], self.map[victim.index()], rip_count);
+    }
+
+    fn on_penalty_escalation(&mut self, victim: NetId, penalty: u64) {
+        self.inner.on_penalty_escalation(self.map[victim.index()], penalty);
+    }
+
+    fn on_net_committed(&mut self, net: NetId) {
+        self.inner.on_net_committed(self.map[net.index()]);
+    }
+
+    fn on_net_failed(&mut self, net: NetId) {
+        self.inner.on_net_failed(self.map[net.index()]);
+    }
 }
 
 /// Routes `problem` hierarchically: plan over tiles, assign crossings,
-/// detail-route each tile, paste, and (optionally) repair the leftovers
-/// flat. See the [crate docs](crate) for the pipeline.
+/// detail-route every tile concurrently on the batch engine, stitch the
+/// seams, and (optionally) repair the leftovers flat. See the
+/// [crate docs](crate) for the pipeline.
+///
+/// The routed database is a pure function of the problem and the
+/// configuration: any [`GlobalConfig::jobs`] value yields byte-identical
+/// checksums, stats and failed sets — unless a per-tile deadline is set,
+/// which trades that contract for bounded latency.
 ///
 /// # Panics
 ///
@@ -72,12 +155,28 @@ impl GlobalOutcome {
 /// conflicting with another tile's wiring would be a bug, not an input
 /// error).
 pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcome {
+    route_hierarchical_observed(problem, cfg, &mut NopObserver)
+}
+
+/// [`route_hierarchical`] with an observer attached to the seam-stitch
+/// repair pass: band-local events are forwarded with global net ids.
+/// The tile batch itself is unobserved — its sub-problems renumber nets
+/// per tile, so per-net events there would be meaningless to the caller.
+///
+/// # Panics
+///
+/// Panics if an internal invariant breaks, like [`route_hierarchical`].
+pub fn route_hierarchical_observed(
+    problem: &Problem,
+    cfg: &GlobalConfig,
+    observer: &mut dyn RouteObserver,
+) -> GlobalOutcome {
     let tiles = TileGrid::new(problem, cfg.tile);
     let base = problem.base_grid();
     let global_plan = plan(problem, &tiles);
 
     // All real pin slots, to keep crossings off them.
-    let pin_slots: HashSet<(Point, Layer)> =
+    let pin_slots: BTreeSet<(Point, Layer)> =
         problem.nets().iter().flat_map(|n| n.pins.iter().map(|p| (p.at, p.layer))).collect();
 
     // Nets crossing each edge.
@@ -88,10 +187,13 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         }
     }
 
-    // Assign concrete boundary cells per crossing; nets whose crossings
-    // cannot all be assigned are dropped to the fallback.
-    let mut dropped: BTreeSet<NetId> = BTreeSet::new();
+    // Assign concrete boundary cells per crossing. Nets the planner gave
+    // up on are dropped up front; nets whose crossings cannot all be
+    // assigned join them. Dropped nets keep only their real pins (as
+    // blockers) and fall through to the flat fallback.
+    let mut dropped: BTreeSet<NetId> = global_plan.unplanned().iter().copied().collect();
     let mut crossing_pins: HashMap<(TileId, NetId), Vec<Pin>> = HashMap::new();
+    let mut edge_cross: HashMap<(TileEdge, NetId), (Point, Point, Layer)> = HashMap::new();
     for (&edge, nets) in &edge_nets {
         let (layer, pairs) = tiles.edge_cells(edge, &base);
         let usable: Vec<(Point, Point)> = pairs
@@ -127,10 +229,19 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
             let (pa, pb) = usable[slot];
             crossing_pins.entry((edge.a, id)).or_default().push(Pin::new(pa, layer));
             crossing_pins.entry((edge.b, id)).or_default().push(Pin::new(pb, layer));
+            edge_cross.insert((edge, id), (pa, pb, layer));
         }
     }
     // Purge every crossing of dropped nets.
     crossing_pins.retain(|(_, id), _| !dropped.contains(id));
+    edge_cross.retain(|(_, id), _| !dropped.contains(id));
+    // Crossing-cell reservations: seam repair must never route one net
+    // through another net's (possibly still unwired) crossing cell.
+    let mut cross_owner: HashMap<(Point, Layer), NetId> = HashMap::new();
+    for (&(_, id), &(pa, pb, layer)) in &edge_cross {
+        cross_owner.insert((pa, layer), id);
+        cross_owner.insert((pb, layer), id);
+    }
 
     // Per-tile nets: real pins plus crossings.
     let mut tile_nets: BTreeMap<TileId, BTreeMap<NetId, Vec<Pin>>> = BTreeMap::new();
@@ -148,15 +259,16 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         tile_nets.entry(*tile).or_default().entry(*id).or_default().extend(pins.iter().copied());
     }
 
-    // Build every tile sub-problem, route them (in parallel — tiles are
-    // disjoint, so their routings are independent), then paste the
-    // traces back in deterministic tile order.
-    struct TileJob {
+    // Build every tile sub-problem; the batch engine routes them
+    // concurrently (tiles are disjoint, so their routings are
+    // independent) and delivers results in input order, which keeps the
+    // paste deterministic at any job count.
+    struct TileMeta {
         origin: Point,
-        sub: Problem,
         names: Vec<(NetId, String)>,
     }
-    let mut jobs: Vec<TileJob> = Vec::with_capacity(tile_nets.len());
+    let mut metas: Vec<TileMeta> = Vec::with_capacity(tile_nets.len());
+    let mut subs: Vec<Problem> = Vec::with_capacity(tile_nets.len());
     for (tile, nets) in &tile_nets {
         let rect = tiles.rect(*tile);
         let origin = rect.min();
@@ -187,58 +299,107 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
             names.push((id, name));
         }
         let sub = builder.build().expect("tile sub-problems are valid by construction");
-        jobs.push(TileJob { origin, sub, names });
+        metas.push(TileMeta { origin, names });
+        subs.push(sub);
     }
 
     let router = MightyRouter::new(cfg.router);
-    let outcomes: Vec<mighty::RouteOutcome> = if cfg.parallel && jobs.len() > 1 {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let chunk = jobs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|chunk| {
-                    let router = &router;
-                    scope.spawn(move || {
-                        chunk.iter().map(|job| router.route(&job.sub)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("tile routing threads do not panic"))
-                .collect()
-        })
-    } else {
-        jobs.iter().map(|job| router.route(&job.sub)).collect()
+    let mut engine_cfg = EngineConfig::builder()
+        .jobs(if cfg.parallel { cfg.jobs.min(mighty::MAX_JOBS) } else { 1 })
+        .precheck(cfg.precheck);
+    if cfg.tile_deadline_ms > 0 {
+        engine_cfg = engine_cfg.deadline_ms(cfg.tile_deadline_ms);
+    }
+    let engine = RouteEngine::new(engine_cfg.build().expect("knobs validated above"));
+    let batch = engine.route_batch(&router, &subs);
+
+    let mut chip = ChipStats {
+        crossing_pins: edge_cross.len(),
+        seams: edge_cross.keys().map(|(e, _)| *e).collect::<BTreeSet<_>>().len(),
+        ..ChipStats::default()
     };
 
     let mut db = RouteDb::new(problem);
     let mut tile_failures: BTreeSet<NetId> = BTreeSet::new();
-    for (job, outcome) in jobs.iter().zip(&outcomes) {
-        let origin = job.origin;
-        for (global_id, name) in &job.names {
-            let local = job.sub.net_by_name(name).expect("declared above");
-            if outcome.failed().contains(&local.id) {
-                tile_failures.insert(*global_id);
+    for ((meta, sub), result) in metas.iter().zip(&subs).zip(&batch.results) {
+        let origin = meta.origin;
+        match result {
+            Ok(routing) => {
+                chip.tiles_routed += 1;
+                for (global_id, name) in &meta.names {
+                    let local = sub.net_by_name(name).expect("declared above");
+                    if routing.failed.contains(&local.id) {
+                        tile_failures.insert(*global_id);
+                    }
+                    for (_, trace) in routing.db.traces(local.id) {
+                        let steps: Vec<Step> = trace
+                            .steps()
+                            .iter()
+                            .map(|s| {
+                                Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer)
+                            })
+                            .collect();
+                        let trace =
+                            Trace::from_steps(steps).expect("translation preserves contiguity");
+                        db.commit(*global_id, trace)
+                            .expect("tiles are disjoint, so pasted traces cannot conflict");
+                    }
+                }
             }
-            for (_, trace) in outcome.db().traces(local.id) {
-                let steps: Vec<Step> = trace
-                    .steps()
-                    .iter()
-                    .map(|s| Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer))
-                    .collect();
-                let trace = Trace::from_steps(steps).expect("translation preserves contiguity");
-                db.commit(*global_id, trace)
-                    .expect("tiles are disjoint, so pasted traces cannot conflict");
+            Err(_) => {
+                // Panicked, timed out, or certified infeasible: the tile
+                // contributes no wiring and all its nets ride on the
+                // stitch and fallback passes.
+                chip.tiles_errored += 1;
+                tile_failures.extend(meta.names.iter().map(|(id, _)| *id));
             }
         }
     }
 
-    let incomplete_before_fallback: Vec<NetId> = (0..problem.nets().len() as u32)
+    // Incomplete nets after the tile paste, kept incrementally current
+    // through the stitch pass.
+    let mut incomplete: BTreeSet<NetId> = (0..problem.nets().len() as u32)
         .map(NetId)
         .filter(|&id| !db.is_net_connected(id))
         .collect();
+    let after_tiles = incomplete.len();
+
+    // Seam stitching: for every tile edge whose crossing nets are still
+    // disconnected, run the rip-up router on a band around the boundary.
+    if cfg.stitch {
+        let mut arena = SearchArena::with_frontier(cfg.router.frontier);
+        for (&edge, nets) in &edge_nets {
+            let repair: Vec<NetId> = nets
+                .iter()
+                .copied()
+                .filter(|id| !dropped.contains(id) && incomplete.contains(id))
+                .collect();
+            if repair.is_empty() {
+                continue;
+            }
+            stitch_edge(
+                problem,
+                &base,
+                &tiles,
+                cfg,
+                &router,
+                edge,
+                &repair,
+                &edge_cross,
+                &cross_owner,
+                &mut db,
+                &mut arena,
+                observer,
+                &mut chip,
+            );
+            for id in repair {
+                if db.is_net_connected(id) {
+                    incomplete.remove(&id);
+                }
+            }
+        }
+        chip.seam_completed = after_tiles - incomplete.len();
+    }
 
     let mut stats = GlobalStats {
         tiles: (tiles.cols(), tiles.rows()),
@@ -249,26 +410,215 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
         fallback_completed: 0,
     };
 
-    let (db, failed) = if cfg.fallback && !incomplete_before_fallback.is_empty() {
+    let mut db = if cfg.fallback && !incomplete.is_empty() {
         let outcome = router
             .try_route_incremental(problem, db)
             .expect("the hierarchical database is built for this problem");
-        let failed = outcome.failed().to_vec();
         stats.fallback_completed =
-            incomplete_before_fallback.iter().filter(|id| !failed.contains(id)).count();
-        (outcome.into_db(), failed)
+            incomplete.iter().filter(|&&id| !outcome.failed().contains(&id)).count();
+        outcome.into_db()
     } else {
-        (db, incomplete_before_fallback)
+        db
     };
 
-    GlobalOutcome { db, failed, stats }
+    // Cleanup: wiring abandoned by failed tiles, ripped seams or the
+    // fallback that ended up in components touching no pin is pruned —
+    // it only wastes capacity and trips the dead-wire lint (`L008`).
+    for id in (0..problem.nets().len() as u32).map(NetId) {
+        chip.pruned_steps += db.prune_dangling(id);
+    }
+
+    // The failed set is always recomputed from the final database, so
+    // planning-dropped nets that never reached a tile job count too.
+    let failed: Vec<NetId> = (0..problem.nets().len() as u32)
+        .map(NetId)
+        .filter(|&id| !db.is_net_connected(id))
+        .collect();
+
+    GlobalOutcome { db, failed, stats, chip }
+}
+
+/// Repairs one seam: rips the repair nets' wiring inside a band around
+/// `edge`, rebuilds it as a sub-problem (foreign wiring, foreign pins
+/// and reserved crossing cells become obstacles; crossing cells, band
+/// pins and the cut points of the net's own wiring become pins), and
+/// re-routes it incrementally with the rip-up router.
+#[allow(clippy::too_many_arguments)]
+fn stitch_edge(
+    problem: &Problem,
+    base: &Grid,
+    tiles: &TileGrid,
+    cfg: &GlobalConfig,
+    router: &MightyRouter,
+    edge: TileEdge,
+    repair: &[NetId],
+    edge_cross: &HashMap<(TileEdge, NetId), (Point, Point, Layer)>,
+    cross_owner: &HashMap<(Point, Layer), NetId>,
+    db: &mut RouteDb,
+    arena: &mut SearchArena,
+    observer: &mut dyn RouteObserver,
+    chip: &mut ChipStats,
+) {
+    let ra = tiles.rect(edge.a);
+    let rb = tiles.rect(edge.b);
+    let w = cfg.stitch_band.max(1) as i32;
+    let band = if edge.is_horizontal() {
+        let x0 = (ra.max().x - (w - 1)).max(ra.min().x);
+        let x1 = (rb.min().x + (w - 1)).min(rb.max().x);
+        Rect::new(Point::new(x0, ra.min().y), Point::new(x1, ra.max().y))
+    } else {
+        let y0 = (ra.max().y - (w - 1)).max(ra.min().y);
+        let y1 = (rb.min().y + (w - 1)).min(rb.max().y);
+        Rect::new(Point::new(ra.min().x, y0), Point::new(ra.max().x, y1))
+    };
+    let origin = band.min();
+    let localize = |p: Point| Point::new(p.x - origin.x, p.y - origin.y);
+    let globalize = |p: Point| Point::new(p.x + origin.x, p.y + origin.y);
+    let repair_set: BTreeSet<NetId> = repair.iter().copied().collect();
+
+    // Surgery: rip every trace of a repair net that enters the band,
+    // re-commit its out-of-band runs unchanged, keep its in-band runs
+    // for replay, and record the cut points as anchors the repair must
+    // keep connected.
+    let mut kept: BTreeMap<NetId, Vec<Trace>> = BTreeMap::new();
+    let mut anchors: BTreeMap<NetId, BTreeSet<(Point, Layer)>> = BTreeMap::new();
+    for &id in repair {
+        let cut: Vec<TraceId> = db
+            .traces(id)
+            .filter(|(_, t)| t.steps().iter().any(|s| band.contains(s.at)))
+            .map(|(tid, _)| tid)
+            .collect();
+        for tid in cut {
+            let trace = db.rip_up(tid).expect("listed as live above");
+            let steps = trace.steps();
+            let mut run: Vec<Step> = Vec::new();
+            let mut run_inside = band.contains(steps[0].at);
+            for (i, &s) in steps.iter().enumerate() {
+                let inside = band.contains(s.at);
+                if inside != run_inside {
+                    let anchor = if run_inside { steps[i - 1] } else { s };
+                    anchors.entry(id).or_default().insert((anchor.at, anchor.layer));
+                    flush_run(db, &mut kept, id, &mut run, run_inside);
+                    run_inside = inside;
+                }
+                run.push(s);
+            }
+            flush_run(db, &mut kept, id, &mut run, run_inside);
+        }
+    }
+
+    // The band sub-problem: everything the repair nets may not touch is
+    // an obstacle — base blocks, wiring and pins of foreign nets (pins
+    // are grid-marked at construction), and crossing cells reserved for
+    // nets outside the repair set.
+    let mut builder = ProblemBuilder::switchbox(band.width(), band.height());
+    builder.layers(problem.layers());
+    for p in band.cells() {
+        for layer in Layer::ALL.into_iter().take(problem.layers() as usize) {
+            let foreign_wire = matches!(db.grid().occupant(p, layer), Occupant::Net(n) if !repair_set.contains(&n));
+            let foreign_cross =
+                cross_owner.get(&(p, layer)).is_some_and(|n| !repair_set.contains(n));
+            if base.occupant(p, layer) == Occupant::Blocked || foreign_wire || foreign_cross {
+                builder.obstacle_on(localize(p), layer);
+            }
+        }
+    }
+    let mut names: Vec<(NetId, String)> = Vec::new();
+    for &id in repair {
+        let name = problem.net(id).name.clone();
+        let mut pins: BTreeSet<(Point, Layer)> = BTreeSet::new();
+        let &(pa, pb, layer) = edge_cross.get(&(edge, id)).expect("repair nets cross this edge");
+        pins.insert((pa, layer));
+        pins.insert((pb, layer));
+        for p in &problem.net(id).pins {
+            if band.contains(p.at) {
+                pins.insert((p.at, p.layer));
+            }
+        }
+        if let Some(set) = anchors.get(&id) {
+            pins.extend(set.iter().copied());
+        }
+        let mut nb = builder.net(&name);
+        for &(at, layer) in &pins {
+            nb.pin_at(localize(at), layer);
+        }
+        names.push((id, name));
+    }
+    let band_problem = match builder.build() {
+        Ok(p) => p,
+        Err(_) => {
+            // A reservation hole would surface here; restore the ripped
+            // wiring and leave the seam to the flat fallback.
+            debug_assert!(false, "seam band problem must build");
+            for (id, runs) in kept {
+                for t in runs {
+                    db.commit(id, t).expect("restoring just-ripped wiring");
+                }
+            }
+            return;
+        }
+    };
+
+    // Replay the kept in-band runs, then let the rip-up router repair
+    // the band incrementally: it may push or rip the replayed wiring.
+    let mut band_db = RouteDb::new(&band_problem);
+    for (gid, name) in &names {
+        let local = band_problem.net_by_name(name).expect("declared above");
+        for t in kept.get(gid).into_iter().flatten() {
+            let steps: Vec<Step> =
+                t.steps().iter().map(|s| Step::new(localize(s.at), s.layer)).collect();
+            let t = Trace::from_steps(steps).expect("translation preserves contiguity");
+            band_db.commit(local.id, t).expect("kept runs lie in the band, off foreign wiring");
+        }
+    }
+    let name_to_global: HashMap<&str, NetId> =
+        names.iter().map(|(id, name)| (name.as_str(), *id)).collect();
+    let map: Vec<NetId> =
+        band_problem.nets().iter().map(|n| name_to_global[n.name.as_str()]).collect();
+    let mut seam_obs = SeamObserver { map, inner: observer, ripups: 0 };
+    let outcome = router
+        .try_route_incremental_observed_in(&band_problem, band_db, arena, &mut seam_obs)
+        .expect("the band database is built for the band problem");
+    chip.seam_ripups += seam_obs.ripups;
+    chip.seams_repaired += 1;
+
+    for (gid, name) in &names {
+        let local = band_problem.net_by_name(name).expect("declared above");
+        for (_, trace) in outcome.db().traces(local.id) {
+            let steps: Vec<Step> =
+                trace.steps().iter().map(|s| Step::new(globalize(s.at), s.layer)).collect();
+            let t = Trace::from_steps(steps).expect("translation preserves contiguity");
+            db.commit(*gid, t).expect("the band result respects foreign occupancy");
+        }
+    }
+}
+
+/// Flushes an accumulated sub-path of a ripped trace: out-of-band runs
+/// go straight back into the database, in-band runs are kept for replay
+/// inside the band sub-problem.
+fn flush_run(
+    db: &mut RouteDb,
+    kept: &mut BTreeMap<NetId, Vec<Trace>>,
+    id: NetId,
+    run: &mut Vec<Step>,
+    inside: bool,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let t = Trace::from_steps(std::mem::take(run)).expect("a contiguous sub-path");
+    if inside {
+        kept.entry(id).or_default().push(t);
+    } else {
+        db.commit(id, t).expect("re-committing just-ripped wiring");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_benchdata::gen::{ObstructedGen, SwitchboxGen};
-    use route_model::PinSide;
+    use route_benchdata::gen::{ChipGen, ObstructedGen, SwitchboxGen};
+    use route_model::{EventLog, PinSide};
     use route_verify::verify;
 
     fn hierarchical(problem: &Problem, tile: u32, fallback: bool) -> GlobalOutcome {
@@ -348,5 +698,102 @@ mod tests {
         assert!(out.is_complete());
         assert_eq!(out.stats().tiles, (1, 1));
         assert_eq!(out.stats().crossings, 0);
+    }
+
+    /// Regression test for the dropped-net completion lie: a net the
+    /// planner can never route over the tile graph (capacity-zero cut)
+    /// is handed to no tile job, so a failed set assembled from tile
+    /// results alone would miss it and `is_complete` would claim
+    /// success. The failed set must come from the final database.
+    #[test]
+    fn planning_dropped_nets_count_as_failed() {
+        let mut b = ProblemBuilder::switchbox(16, 8);
+        // A full-stack wall on the boundary columns between the tiles.
+        b.obstacle_rect(Rect::with_size(Point::new(7, 0), 2, 8));
+        b.net("cut").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let out = hierarchical(&p, 8, false);
+        assert_eq!(out.stats().dropped, 1, "the net is dropped at planning time");
+        assert!(!out.is_complete(), "a dropped net is not a routed net");
+        assert_eq!(out.failed(), &[NetId(0)]);
+        // With the fallback enabled the wall still blocks everything:
+        // the net must stay failed rather than vanish from accounting.
+        let out = hierarchical(&p, 8, true);
+        assert!(!out.is_complete());
+        assert_eq!(out.failed(), &[NetId(0)]);
+    }
+
+    #[test]
+    fn job_count_is_checksum_inert() {
+        let p =
+            ChipGen { width: 64, height: 64, nets: 260, macros: 4, ..ChipGen::small(3) }.build();
+        let route = |jobs: usize| {
+            let cfg = GlobalConfig { tile: 16, jobs, ..GlobalConfig::default() };
+            route_hierarchical(&p, &cfg)
+        };
+        let one = route(1);
+        let four = route(4);
+        assert_eq!(one.db().checksum(), four.db().checksum());
+        assert_eq!(one.failed(), four.failed());
+        assert_eq!(one.stats(), four.stats());
+        assert_eq!(one.chip_stats(), four.chip_stats());
+    }
+
+    #[test]
+    fn chip_stats_account_for_the_tile_batch() {
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let out = hierarchical(&p, 16, true);
+        let chip = out.chip_stats();
+        assert_eq!(chip.tiles_routed, 4, "every tile routes on this clean instance");
+        assert_eq!(chip.tiles_errored, 0);
+        assert!(chip.crossing_pins > 0);
+        assert!(chip.seams > 0);
+        assert!(chip.seams_repaired <= chip.seams);
+    }
+
+    #[test]
+    fn seam_events_carry_global_net_ids() {
+        let p =
+            ChipGen { width: 48, height: 48, nets: 170, macros: 3, ..ChipGen::small(11) }.build();
+        let cfg = GlobalConfig { tile: 12, fallback: false, ..GlobalConfig::default() };
+        let mut log = EventLog::default();
+        let observed = route_hierarchical_observed(&p, &cfg, &mut log);
+        // Observation is inert: same database as the unobserved run.
+        let plain = route_hierarchical(&p, &cfg);
+        assert_eq!(observed.db().checksum(), plain.db().checksum());
+        assert_eq!(observed.failed(), plain.failed());
+        // Every forwarded event names real global nets.
+        use route_model::RouteEvent;
+        for ev in log.events() {
+            let ids: Vec<NetId> = match *ev {
+                RouteEvent::NetScheduled { net }
+                | RouteEvent::NetCommitted { net }
+                | RouteEvent::NetFailed { net }
+                | RouteEvent::SearchDone { net, .. } => vec![net],
+                RouteEvent::WeakModification { net, victim }
+                | RouteEvent::StrongRipup { net, victim, .. } => vec![net, victim],
+                RouteEvent::PenaltyEscalation { victim, .. } => vec![victim],
+            };
+            for id in ids {
+                assert!(id.index() < p.nets().len(), "event names unknown net {id:?}");
+            }
+        }
+        if observed.chip_stats().seams_repaired > 0 {
+            assert!(!log.events().is_empty(), "seam repairs must emit events");
+        }
+    }
+
+    #[test]
+    fn stitched_databases_carry_no_dead_wire() {
+        let p =
+            ChipGen { width: 64, height: 64, nets: 260, macros: 4, ..ChipGen::small(7) }.build();
+        let cfg = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+        let out = route_hierarchical(&p, &cfg);
+        let lint = route_analyze::lint_db(&p, out.db());
+        assert!(
+            lint.findings().iter().all(|f| f.rule().code != "L008"),
+            "dead wire after prune: {:?}",
+            lint.diagnostics()
+        );
     }
 }

@@ -19,14 +19,22 @@
 //!    M2), nets spread across the edge in order of their destinations.
 //! 4. **Detailed routing** ([`route_hierarchical`]): each tile becomes a
 //!    sub-problem — real pins inside plus crossing pins on the boundary
-//!    — solved by the rip-up/reroute router; the resulting traces are
-//!    translated back and committed into one global database.
-//! 5. **Fallback**: nets that failed inside some tile are re-attempted
-//!    flat on the full grid with the incremental router.
+//!    — routed concurrently on the batch engine (`mighty::RouteEngine`:
+//!    input-order-deterministic merge, panic isolation, optional
+//!    per-tile deadlines and feasibility prechecks); the resulting
+//!    traces are translated back and committed into one global database.
+//! 5. **Seam stitching**: nets still disconnected after paste-back are
+//!    repaired by the rip-up router on narrow bands around the tile
+//!    boundaries they cross — foreign wiring is frozen, the net's own
+//!    seam wiring is ripped up and replayed incrementally.
+//! 6. **Fallback**: nets that remain incomplete are re-attempted flat
+//!    on the full grid with the incremental router, and wiring left in
+//!    components that touch no pin is pruned.
 //!
 //! The final database verifies through `route-verify` like any flat
-//! result: cross-tile connectivity needs no stitching because crossing
-//! cells of adjacent tiles are grid-adjacent on the same layer.
+//! result: a routed crossing needs no seam wiring because crossing
+//! cells of adjacent tiles are grid-adjacent on the same layer — the
+//! stitch pass exists for the crossings some tile *failed* to reach.
 //!
 //! # Examples
 //!
@@ -47,9 +55,11 @@ mod detail;
 mod plan;
 mod tiles;
 
-pub use detail::{route_hierarchical, GlobalOutcome, GlobalStats};
+pub use detail::{
+    route_hierarchical, route_hierarchical_observed, ChipStats, GlobalOutcome, GlobalStats,
+};
 pub use plan::{plan, GlobalPlan};
-pub use tiles::{TileGrid, TileId};
+pub use tiles::{TileEdge, TileGrid, TileId};
 
 use mighty::RouterConfig;
 
@@ -68,10 +78,38 @@ pub struct GlobalConfig {
     /// routing is deterministic — results are pasted in tile order
     /// regardless of completion order.
     pub parallel: bool,
+    /// Worker threads for the tile batch (`0` = one per hardware
+    /// thread). Ignored when [`parallel`](GlobalConfig::parallel) is
+    /// off. The routed database is byte-identical at any job count.
+    pub jobs: usize,
+    /// Wall-clock budget per tile job in milliseconds (`0` = none).
+    /// **Off by default**: a deadline makes results timing-dependent,
+    /// which forfeits the jobs-1-vs-N determinism contract.
+    pub tile_deadline_ms: u64,
+    /// Run the static feasibility analysis on every tile sub-problem
+    /// before routing it (see `route-analyze`); certified-unroutable
+    /// tiles are skipped instead of burning router budget.
+    pub precheck: bool,
+    /// Repair incomplete crossing nets with the rip-up router on seam
+    /// bands before (or instead of) the flat fallback.
+    pub stitch: bool,
+    /// Half-width of a seam band, in cells on each side of the tile
+    /// boundary.
+    pub stitch_band: u32,
 }
 
 impl Default for GlobalConfig {
     fn default() -> Self {
-        GlobalConfig { tile: 16, router: RouterConfig::default(), fallback: true, parallel: true }
+        GlobalConfig {
+            tile: 16,
+            router: RouterConfig::default(),
+            fallback: true,
+            parallel: true,
+            jobs: 0,
+            tile_deadline_ms: 0,
+            precheck: false,
+            stitch: true,
+            stitch_band: 3,
+        }
     }
 }

@@ -13,10 +13,26 @@ use crate::tiles::{TileEdge, TileGrid, TileId};
 #[derive(Debug, Clone)]
 pub struct GlobalPlan {
     pub(crate) net_edges: Vec<BTreeSet<TileEdge>>,
+    pub(crate) unplanned: Vec<NetId>,
     /// Edges whose planned usage exceeds their boundary capacity.
     pub overflowed_edges: usize,
     /// Total tile-edge crossings planned.
     pub crossings: usize,
+}
+
+impl GlobalPlan {
+    /// The tile edges `net` is planned to cross, in normalized order.
+    pub fn edges_of(&self, net: NetId) -> impl Iterator<Item = TileEdge> + '_ {
+        self.net_edges[net.index()].iter().copied()
+    }
+
+    /// Nets the planner could not fully connect over the tile graph
+    /// (some pin tile is unreachable through positive-capacity edges).
+    /// These nets receive no crossings: the detail phase keeps their
+    /// pins as blockers and the flat fallback is their only chance.
+    pub fn unplanned(&self) -> &[NetId] {
+        &self.unplanned
+    }
 }
 
 /// Plans every net of `problem` over `tiles`.
@@ -49,6 +65,7 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
     });
 
     let mut net_edges: Vec<BTreeSet<TileEdge>> = vec![BTreeSet::new(); problem.nets().len()];
+    let mut unplanned: Vec<NetId> = Vec::new();
     for id in order {
         let net = problem.net(id);
         let mut pin_tiles: Vec<TileId> = net.pins.iter().map(|p| tiles.tile_of(p.at)).collect();
@@ -69,17 +86,29 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
                     net_edges[id.index()].insert(edge);
                 }
                 component.extend(path);
+            } else {
+                // No path only happens when the tile graph is
+                // disconnected (capacity-zero cuts). Mark the net
+                // unplanned and release its partial path: half-planned
+                // crossings would waste seam capacity on a net that
+                // cannot connect through tiles anyway.
+                for &edge in &net_edges[id.index()] {
+                    if let Some(u) = usage.get_mut(&edge) {
+                        *u -= 1;
+                    }
+                }
+                net_edges[id.index()].clear();
+                unplanned.push(id);
+                break;
             }
-            // No path only happens when the tile graph is disconnected
-            // (capacity-zero cuts); the net is left partially planned and
-            // the fallback pass picks it up.
         }
     }
+    unplanned.sort_unstable_by_key(|id| id.0);
 
     let overflowed_edges =
         usage.iter().filter(|(e, &u)| u > capacity.get(e).copied().unwrap_or(0)).count();
     let crossings = net_edges.iter().map(BTreeSet::len).sum();
-    GlobalPlan { net_edges, overflowed_edges, crossings }
+    GlobalPlan { net_edges, unplanned, overflowed_edges, crossings }
 }
 
 /// Dijkstra from any tile of `sources` to `target`; returns the tile
@@ -200,6 +229,22 @@ mod tests {
             g.net_edges.iter().any(|e| e.len() > 1),
             "late nets detour around the congested edge"
         );
+    }
+
+    #[test]
+    fn capacity_zero_cut_marks_nets_unplanned() {
+        use route_geom::Rect;
+        let mut b = ProblemBuilder::switchbox(16, 8);
+        // A full-stack wall on the tile boundary columns: the edge
+        // between the two tiles has zero capacity.
+        b.obstacle_rect(Rect::with_size(Point::new(7, 0), 2, 8));
+        b.net("cut").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 8);
+        let g = plan(&p, &tiles);
+        assert_eq!(g.unplanned(), &[route_model::NetId(0)]);
+        assert_eq!(g.edges_of(route_model::NetId(0)).count(), 0);
+        assert_eq!(g.crossings, 0, "partial paths are released");
     }
 
     #[test]

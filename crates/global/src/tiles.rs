@@ -12,16 +12,19 @@ pub struct TileId {
     pub row: u32,
 }
 
-/// A directed-free edge between two adjacent tiles, normalised so `a` is
-/// the lower/left tile.
+/// A direction-free edge between two adjacent tiles, normalised so `a`
+/// is the lower/left tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) struct TileEdge {
+pub struct TileEdge {
+    /// The lower/left tile.
     pub a: TileId,
+    /// The upper/right tile.
     pub b: TileId,
 }
 
 impl TileEdge {
-    pub(crate) fn new(a: TileId, b: TileId) -> Self {
+    /// The edge between two adjacent tiles, in either order.
+    pub fn new(a: TileId, b: TileId) -> Self {
         if (a.col, a.row) <= (b.col, b.row) {
             TileEdge { a, b }
         } else {
@@ -30,7 +33,7 @@ impl TileEdge {
     }
 
     /// Whether the edge joins horizontally adjacent tiles.
-    pub(crate) fn is_horizontal(&self) -> bool {
+    pub fn is_horizontal(&self) -> bool {
         self.a.row == self.b.row
     }
 }
@@ -109,7 +112,7 @@ impl TileGrid {
     }
 
     /// The neighbours of `t` in the tile grid.
-    pub(crate) fn neighbors(&self, t: TileId) -> Vec<TileId> {
+    pub fn neighbors(&self, t: TileId) -> Vec<TileId> {
         let mut out = Vec::with_capacity(4);
         if t.col > 0 {
             out.push(TileId { col: t.col - 1, row: t.row });

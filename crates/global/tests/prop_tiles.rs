@@ -1,0 +1,118 @@
+//! Property tests for the tile grid and the global planner: tiles must
+//! partition the grid exactly, and every planned net must cross a
+//! connected, endpoint-correct set of tile edges.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use route_benchdata::gen::{ChipGen, ObstructedGen, SwitchboxGen};
+use route_benchdata::rng::SplitMix64;
+use route_geom::Point;
+use route_global::{plan, GlobalPlan, TileEdge, TileGrid, TileId};
+use route_model::Problem;
+
+/// Tiles cover every cell exactly once, and `tile_of` agrees with
+/// `rect` for every point of the grid.
+fn assert_exact_partition(problem: &Problem, tiles: &TileGrid) {
+    let mut owner: HashMap<Point, TileId> = HashMap::new();
+    for t in tiles.tiles() {
+        for p in tiles.rect(t).cells() {
+            let prev = owner.insert(p, t);
+            assert!(prev.is_none(), "cell {p} covered by {prev:?} and {t:?}");
+        }
+    }
+    let total = (problem.width() as usize) * (problem.height() as usize);
+    assert_eq!(owner.len(), total, "tiles leave gaps");
+    for (&p, &t) in &owner {
+        assert_eq!(tiles.tile_of(p), t, "tile_of({p}) disagrees with rect coverage");
+        assert!(tiles.rect(t).contains(p));
+    }
+}
+
+/// Every planned net's edge set forms one connected subgraph of the
+/// tile grid that touches every pin tile; unplanned nets have no edges.
+fn assert_plan_connected(problem: &Problem, tiles: &TileGrid, plan: &GlobalPlan) {
+    let unplanned: BTreeSet<_> = plan.unplanned().iter().copied().collect();
+    for net in problem.nets() {
+        let edges: Vec<TileEdge> = plan.edges_of(net.id).collect();
+        let mut pin_tiles: BTreeSet<TileId> =
+            net.pins.iter().map(|p| tiles.tile_of(p.at)).collect();
+        if unplanned.contains(&net.id) {
+            assert!(edges.is_empty(), "unplanned net {:?} still owns edges", net.id);
+            continue;
+        }
+        if pin_tiles.len() <= 1 {
+            assert!(edges.is_empty(), "intra-tile net {:?} needs no crossings", net.id);
+            continue;
+        }
+        // Every edge joins grid-adjacent tiles.
+        for e in &edges {
+            assert!(tiles.neighbors(e.a).contains(&e.b), "edge {e:?} joins non-adjacent tiles");
+        }
+        // The edge set, seeded from one pin tile, reaches every other.
+        let mut reached: HashSet<TileId> = HashSet::new();
+        let start = *pin_tiles.iter().next().expect("non-empty");
+        reached.insert(start);
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for e in &edges {
+                if reached.contains(&e.a) != reached.contains(&e.b) {
+                    reached.insert(e.a);
+                    reached.insert(e.b);
+                    grew = true;
+                }
+            }
+        }
+        pin_tiles.retain(|t| !reached.contains(t));
+        assert!(
+            pin_tiles.is_empty(),
+            "net {:?}: pin tiles {pin_tiles:?} unreached by planned edges {edges:?}",
+            net.id
+        );
+    }
+}
+
+#[test]
+fn tiles_partition_arbitrary_grids_exactly() {
+    let mut rng = SplitMix64::new(0x7a11e5);
+    for _ in 0..40 {
+        let width = rng.range(5, 60) as u32;
+        let height = rng.range(5, 60) as u32;
+        let tile = rng.range(1, 24) as u32;
+        let p = SwitchboxGen { width, height, nets: 2, seed: rng.next_u64() }.build();
+        let tiles = TileGrid::new(&p, tile);
+        assert_exact_partition(&p, &tiles);
+    }
+}
+
+#[test]
+fn planned_tile_paths_are_connected_and_endpoint_correct() {
+    for seed in 0..12 {
+        let p = SwitchboxGen { width: 40, height: 40, nets: 16, seed }.build();
+        let tiles = TileGrid::new(&p, 8 + (seed as u32 % 3) * 4);
+        let g = plan(&p, &tiles);
+        assert_plan_connected(&p, &tiles, &g);
+    }
+}
+
+#[test]
+fn obstructed_plans_stay_consistent() {
+    for seed in 0..8 {
+        let p = ObstructedGen { width: 36, height: 36, nets: 12, obstacle_pct: 15, seed }.build();
+        let tiles = TileGrid::new(&p, 12);
+        assert_exact_partition(&p, &tiles);
+        let g = plan(&p, &tiles);
+        assert_plan_connected(&p, &tiles, &g);
+    }
+}
+
+#[test]
+fn chip_instances_plan_cleanly() {
+    for seed in 0..4 {
+        let p = ChipGen::small(seed).build();
+        let tiles = TileGrid::new(&p, 16);
+        assert_exact_partition(&p, &tiles);
+        let g = plan(&p, &tiles);
+        assert_plan_connected(&p, &tiles, &g);
+    }
+}

@@ -325,6 +325,73 @@ impl RouteDb {
         self.nets[net.index()].vias.len()
     }
 
+    /// Rips every live trace of `net` lying in a connected component of
+    /// the net's occupancy that touches no pin (dead wire, lint `L008`),
+    /// returning the total step count of the ripped traces.
+    ///
+    /// A trace is contiguous, so it lies entirely in one component and
+    /// membership is decided by its first step. Hierarchical flows call
+    /// this after stitching: sub-problems abandoned mid-route (a failed
+    /// tile, a ripped seam) leave fragments that hold no pin and only
+    /// waste capacity.
+    pub fn prune_dangling(&mut self, net: NetId) -> usize {
+        let pins = self.nets[net.index()].pins.clone();
+        if pins.is_empty() {
+            return 0;
+        }
+        let w = self.grid.width() as usize;
+        let node = |p: Point, l: Layer| (p.y as usize * w + p.x as usize) * NUM_LAYERS + l.index();
+        let mut seen = vec![0u64; (w * self.grid.height() as usize * NUM_LAYERS).div_ceil(64)];
+        let owns = |p: Point, l: Layer| {
+            self.grid.in_bounds(p) && self.grid.occupant(p, l) == Occupant::Net(net)
+        };
+        let mut queue = std::collections::VecDeque::new();
+        for pin in &pins {
+            let key = node(pin.at, pin.layer);
+            if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                seen[key >> 6] |= 1 << (key & 63);
+                queue.push_back((pin.at, pin.layer));
+            }
+        }
+        while let Some((p, layer)) = queue.pop_front() {
+            for n in p.neighbors() {
+                if owns(n, layer) {
+                    let key = node(n, layer);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((n, layer));
+                    }
+                }
+            }
+            for adj in layer.adjacent() {
+                let lower = layer.via_pair_with(adj).expect("adjacent layers pair");
+                if self.grid.via_between(p, lower) == Some(net) && owns(p, adj) {
+                    let key = node(p, adj);
+                    if seen[key >> 6] >> (key & 63) & 1 == 0 {
+                        seen[key >> 6] |= 1 << (key & 63);
+                        queue.push_back((p, adj));
+                    }
+                }
+            }
+        }
+        let dead: Vec<TraceId> = self
+            .traces(net)
+            .filter(|(_, t)| {
+                let s = t.steps()[0];
+                let key = node(s.at, s.layer);
+                seen[key >> 6] >> (key & 63) & 1 == 0
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut ripped = 0;
+        for id in dead {
+            if let Some(t) = self.rip_up(id) {
+                ripped += t.steps().len();
+            }
+        }
+        ripped
+    }
+
     /// Validates that `trace` can be committed for `net` against the
     /// current grid, without modifying anything.
     ///
@@ -643,5 +710,40 @@ mod tests {
         let db = RouteDb::new(&p);
         let t = Trace::from_steps(vec![Step::new(Point::new(-1, 0), Layer::M1)]).unwrap();
         assert!(matches!(db.check(net, &t), Err(TraceError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn prune_dangling_rips_only_pinless_components() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        // The pin-connecting trace plus a floating fragment on row 3.
+        db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        db.commit(net, straight_m1(3, 1, 3)).unwrap();
+        assert!(db.is_net_connected(net));
+        assert_eq!(db.prune_dangling(net), 3);
+        assert!(db.is_net_connected(net));
+        assert_eq!(db.traces(net).count(), 1, "the live trace survives");
+        assert_eq!(db.grid().occupant(Point::new(2, 3), Layer::M1), Occupant::Free);
+        // A second pass finds nothing left to rip.
+        assert_eq!(db.prune_dangling(net), 0);
+    }
+
+    #[test]
+    fn prune_dangling_follows_vias() {
+        let p = one_net_problem();
+        let net = p.nets()[0].id;
+        let mut db = RouteDb::new(&p);
+        db.commit(net, straight_m1(1, 0, 4)).unwrap();
+        // A live spur that changes layers: reachable through the via.
+        let spur = Trace::from_steps(vec![
+            Step::new(Point::new(2, 1), Layer::M1),
+            Step::new(Point::new(2, 1), Layer::M2),
+            Step::new(Point::new(2, 2), Layer::M2),
+        ])
+        .unwrap();
+        db.commit(net, spur).unwrap();
+        assert_eq!(db.prune_dangling(net), 0, "via-linked wiring is live");
+        assert_eq!(db.traces(net).count(), 2);
     }
 }

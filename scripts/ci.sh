@@ -162,6 +162,35 @@ else
   run "$VROUTE" fuzz --seeds 0..40 --shrink
 fi
 
+# Chip-flow determinism gate: the hierarchical flow (plan → parallel
+# per-tile detail → seam stitch → fallback) must produce a byte-
+# identical database regardless of the worker count, and the stitched
+# result must come out legal and complete. The checksum comparison is
+# the real assertion — any worker-count-dependent merge order, seam
+# repair order, or fallback order changes it.
+echo "==> $VROUTE chip determinism gate (jobs 1 vs jobs 4)"
+"$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 1 --json "$SMOKE/chip1.json" > /dev/null
+"$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 4 --json "$SMOKE/chip4.json" > /dev/null
+# Everything but the wall-clock and the worker count itself must be
+# byte-identical: checksum, per-stage stats, failed set, legality.
+run diff <(grep -v '"ms"\|"jobs"' "$SMOKE/chip1.json") \
+         <(grep -v '"ms"\|"jobs"' "$SMOKE/chip4.json")
+grep -q '"legal": true' "$SMOKE/chip1.json" || {
+  echo "ci: the chip gate instance routed illegally" >&2; exit 1; }
+grep -q '"complete": true' "$SMOKE/chip1.json" || {
+  echo "ci: the chip gate instance did not route completely" >&2; exit 1; }
+
+# Chip-scale benchmark: flat vs hierarchical at 1..N workers. The
+# binary asserts jobs-parity checksums and (in full mode) a verifier-
+# clean 256-tile, 10k-net routing, then refreshes BENCH_chip.json.
+if [[ "$QUICK" == 0 ]]; then
+  run cargo run --release --offline --quiet -p route-bench --bin exp_c1_chip
+else
+  run cargo run --release --offline --quiet -p route-bench --bin exp_c1_chip -- --quick
+fi
+
 # Hot-path throughput gate: route the channel suite under every
 # frontier/probe mode (bit-identical checksums asserted inside the
 # sweep) and fail if the default bucket-queue frontier is slower than

@@ -1,0 +1,107 @@
+//! Golden chip-flow tests: fixed-seed synthetic chips routed through
+//! the full hierarchical pipeline (plan → parallel per-tile detail →
+//! seam stitch → fallback) must be bit-for-bit deterministic across
+//! worker counts, and the stitched database must hold up under the
+//! independent verifier and the whole-database lint registry.
+
+use vlsi_route::analyze::{lint_db, lint_salvage};
+use vlsi_route::benchdata::gen::ChipGen;
+use vlsi_route::global::{route_hierarchical, GlobalConfig, GlobalOutcome};
+use vlsi_route::model::Problem;
+use vlsi_route::verify::verify;
+
+/// The fixed golden instances: small enough for debug-mode CI, large
+/// enough that every tile boundary mechanism (crossings, seam repair,
+/// fallback) is exercised.
+fn golden_chips() -> Vec<(Problem, GlobalConfig)> {
+    let cfg16 = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+    vec![
+        (
+            ChipGen { width: 64, height: 64, nets: 260, macros: 4, ..ChipGen::small(11) }.build(),
+            cfg16,
+        ),
+        (
+            ChipGen { width: 96, height: 96, nets: 420, macros: 6, ..ChipGen::small(3) }.build(),
+            cfg16,
+        ),
+    ]
+}
+
+fn route_with_jobs(problem: &Problem, cfg: &GlobalConfig, jobs: usize) -> GlobalOutcome {
+    let cfg = GlobalConfig { jobs, ..*cfg };
+    route_hierarchical(problem, &cfg)
+}
+
+#[test]
+fn chip_flow_is_deterministic_across_worker_counts() {
+    for (i, (problem, cfg)) in golden_chips().into_iter().enumerate() {
+        let one = route_with_jobs(&problem, &cfg, 1);
+        for jobs in [2, 4] {
+            let many = route_with_jobs(&problem, &cfg, jobs);
+            assert_eq!(
+                one.db().checksum(),
+                many.db().checksum(),
+                "chip {i}: jobs 1 vs {jobs} databases differ"
+            );
+            assert_eq!(one.failed(), many.failed(), "chip {i}: failed sets differ at jobs {jobs}");
+            assert_eq!(one.stats(), many.stats(), "chip {i}: global stats differ at jobs {jobs}");
+            assert_eq!(
+                one.chip_stats(),
+                many.chip_stats(),
+                "chip {i}: chip stats differ at jobs {jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stitched_databases_pass_verifier_and_lints() {
+    for (i, (problem, cfg)) in golden_chips().into_iter().enumerate() {
+        let out = route_with_jobs(&problem, &cfg, 4);
+        let report = verify(&problem, out.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "chip {i}: {report}");
+        // The whole-database lint registry (L001..L008) over the
+        // stitched result: every error rule must pass once honestly
+        // declared failures are excused (L004 fires on *undeclared*
+        // disconnections only), and no dead wire may be left behind
+        // by seam surgery (L008).
+        let salvage = lint_salvage(&problem, out.db(), out.failed());
+        assert!(salvage.is_clean(), "chip {i}: lint errors: {:?}", salvage.diagnostics());
+        let lint = lint_db(&problem, out.db());
+        assert!(
+            lint.findings().iter().all(|f| f.rule().code != "L008"),
+            "chip {i}: dead wire after stitch: {:?}",
+            lint.diagnostics()
+        );
+    }
+}
+
+#[test]
+fn chip_flow_accounts_for_every_net_exactly_once() {
+    // Honesty golden: routed + failed partitions the net list, and
+    // `is_complete` answers from the final database, not the plan.
+    let (problem, cfg) = golden_chips().remove(0);
+    let out = route_with_jobs(&problem, &cfg, 2);
+    let nets = problem.nets().len();
+    assert!(out.failed().len() <= nets);
+    let verified = verify(&problem, out.db());
+    assert_eq!(
+        out.is_complete(),
+        verified.is_clean(),
+        "is_complete must agree with the independent verifier"
+    );
+    // Failed nets are exactly the disconnected ones in the verifier's eyes.
+    let mut failed: Vec<_> = out.failed().to_vec();
+    failed.sort_unstable();
+    let mut disconnected: Vec<_> = verified
+        .violations()
+        .iter()
+        .filter_map(|v| match v {
+            vlsi_route::verify::Violation::Disconnected { net, .. } => Some(*net),
+            _ => None,
+        })
+        .collect();
+    disconnected.sort_unstable();
+    disconnected.dedup();
+    assert_eq!(failed, disconnected);
+}
