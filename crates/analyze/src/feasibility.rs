@@ -88,6 +88,60 @@ pub enum InfeasibilityCertificate {
         /// The pin with zero escape routes.
         pin: Pin,
     },
+    /// More nets must cross a tile-boundary cut than it has unblocked
+    /// cell pairs — the chip-scale lift of [`DensityOverflow`]
+    /// (emitted by [`analyze_chip`](crate::chip::analyze_chip)).
+    ///
+    /// [`DensityOverflow`]: InfeasibilityCertificate::DensityOverflow
+    TileCutSaturated {
+        /// Tile side length the analysis ran at.
+        tile: u32,
+        /// Whether the cut separates tile columns or tile rows.
+        axis: CutAxis,
+        /// The cut runs along the boundary after tile column/row
+        /// `boundary` (the grid cut between cells
+        /// `(boundary + 1) * tile - 1` and `(boundary + 1) * tile`).
+        boundary: u32,
+        /// Nets forced across the cut (pins strictly on both sides).
+        crossing: Vec<NetId>,
+        /// Number of crossing nets (`crossing.len()`).
+        demand: usize,
+        /// Unblocked cell pairs on the cut usable by a crossing net.
+        capacity: usize,
+    },
+    /// A single seam — a bridge of the tile graph — must carry more
+    /// forced nets than it has crossing slots (emitted by
+    /// [`analyze_chip`](crate::chip::analyze_chip)).
+    SeamSaturated {
+        /// Tile side length the analysis ran at.
+        tile: u32,
+        /// Lower/left tile of the seam, as `(col, row)`.
+        a: (u32, u32),
+        /// Upper/right tile of the seam, as `(col, row)`.
+        b: (u32, u32),
+        /// Nets forced through the seam: removing it separates their
+        /// pin tiles in the tile graph.
+        forced: Vec<NetId>,
+        /// Number of forced nets (`forced.len()`).
+        demand: usize,
+        /// Boundary cell pairs on the seam usable by a forced net.
+        capacity: usize,
+    },
+    /// A pin's tile sits in a macro-walled region of the tile graph
+    /// that excludes another pin of the net (emitted by
+    /// [`analyze_chip`](crate::chip::analyze_chip)).
+    WalledTileRegion {
+        /// Tile side length the analysis ran at.
+        tile: u32,
+        /// The net that can never be completed.
+        net: NetId,
+        /// The pin sealed inside the walled region.
+        pin: Pin,
+        /// A pin of the same net outside the region.
+        goal: Pin,
+        /// Number of tiles in the region flooded from `pin`'s tile.
+        region: usize,
+    },
 }
 
 impl InfeasibilityCertificate {
@@ -125,6 +179,11 @@ impl InfeasibilityCertificate {
                 let Some(pins) = ctx.pins_of(*net) else { return false };
                 pins.len() >= 2 && pins.contains(pin) && ctx.flood(*net, *pin).len() == 1
             }
+            InfeasibilityCertificate::TileCutSaturated { .. }
+            | InfeasibilityCertificate::SeamSaturated { .. }
+            | InfeasibilityCertificate::WalledTileRegion { .. } => {
+                crate::chip::replay_chip(self, problem)
+            }
         }
     }
 
@@ -149,6 +208,37 @@ impl InfeasibilityCertificate {
                 format!(
                     "pin {} on {} of net {net} has no admissible neighbouring slot",
                     pin.at, pin.layer
+                )
+            }
+            InfeasibilityCertificate::TileCutSaturated {
+                tile,
+                axis,
+                boundary,
+                demand,
+                capacity,
+                ..
+            } => {
+                format!(
+                    "tile-boundary cut saturated after tile {} {boundary} \
+                     (tile size {tile}): {demand} crossing nets, {capacity} free cell pairs",
+                    match axis {
+                        CutAxis::Vertical => "column",
+                        CutAxis::Horizontal => "row",
+                    }
+                )
+            }
+            InfeasibilityCertificate::SeamSaturated { tile, a, b, demand, capacity, .. } => {
+                format!(
+                    "seam between tiles ({}, {}) and ({}, {}) (tile size {tile}) is the \
+                     only tile-graph link for {demand} nets but has {capacity} crossing slots",
+                    a.0, a.1, b.0, b.1
+                )
+            }
+            InfeasibilityCertificate::WalledTileRegion { tile, net, pin, goal, region } => {
+                format!(
+                    "pin {} on {} of net {net} is sealed in a {region}-tile walled region \
+                     (tile size {tile}) that excludes its pin {} on {}",
+                    pin.at, pin.layer, goal.at, goal.layer
                 )
             }
         }
@@ -199,6 +289,58 @@ impl InfeasibilityCertificate {
                 span: Some(GridSpan::cell(pin.at, pin.layer)),
                 net: Some(*net),
                 hint: Some("free at least one slot adjacent to the pin".to_string()),
+            },
+            InfeasibilityCertificate::TileCutSaturated {
+                tile, axis, boundary, crossing, ..
+            } => {
+                let index = ((*boundary + 1) * *tile) as i32 - 1;
+                let span = match axis {
+                    CutAxis::Vertical => GridSpan::area(
+                        Point::new(index, bounds.min().y),
+                        Point::new(index + 1, bounds.max().y),
+                    ),
+                    CutAxis::Horizontal => GridSpan::area(
+                        Point::new(bounds.min().x, index),
+                        Point::new(bounds.max().x, index + 1),
+                    ),
+                };
+                Diagnostic {
+                    severity: Severity::Error,
+                    code: "F004",
+                    rule: "tile-cut-saturated",
+                    message: self.summary(),
+                    span: Some(span),
+                    net: crossing.first().copied(),
+                    hint: Some(
+                        "raise the tile boundary's capacity: clear blockages on the cut \
+                         or re-floorplan the macros straddling it"
+                            .to_string(),
+                    ),
+                }
+            }
+            InfeasibilityCertificate::SeamSaturated { tile, a, b, forced, .. } => Diagnostic {
+                severity: Severity::Error,
+                code: "F005",
+                rule: "seam-saturated",
+                message: self.summary(),
+                span: crate::chip::seam_span(problem, *tile, *a, *b),
+                net: forced.first().copied(),
+                hint: Some(
+                    "the seam is a bridge of the tile graph: widen it or open a second \
+                     corridor between the regions it joins"
+                        .to_string(),
+                ),
+            },
+            InfeasibilityCertificate::WalledTileRegion { net, pin, .. } => Diagnostic {
+                severity: Severity::Error,
+                code: "F006",
+                rule: "walled-tile-region",
+                message: self.summary(),
+                span: Some(GridSpan::cell(pin.at, pin.layer)),
+                net: Some(*net),
+                hint: Some(
+                    "open a corridor through the macro wall enclosing the pin's tiles".to_string(),
+                ),
             },
         }
     }
@@ -299,21 +441,22 @@ pub fn analyze_problem(problem: &Problem) -> FeasibilityReport {
     FeasibilityReport { certificates, diagnostics }
 }
 
-/// Precomputed problem state shared by the checks.
-struct Context<'a> {
+/// Precomputed problem state shared by the checks (and reused by the
+/// chip-scale pass in [`crate::chip`]).
+pub(crate) struct Context<'a> {
     problem: &'a Problem,
     base: Grid,
     pin_owner: HashMap<(Point, Layer), NetId>,
 }
 
 /// One analysed cut: the nets forced across it and the cell pairs left.
-struct Cut {
-    crossing: Vec<NetId>,
-    capacity: usize,
+pub(crate) struct Cut {
+    pub(crate) crossing: Vec<NetId>,
+    pub(crate) capacity: usize,
 }
 
 impl<'a> Context<'a> {
-    fn new(problem: &'a Problem) -> Self {
+    pub(crate) fn new(problem: &'a Problem) -> Self {
         let base = problem.base_grid();
         let mut pin_owner = HashMap::new();
         for net in problem.nets() {
@@ -337,7 +480,7 @@ impl<'a> Context<'a> {
     }
 
     /// Analyzes one cut; `None` if no net crosses it.
-    fn cut(&self, axis: CutAxis, index: i32) -> Option<Cut> {
+    pub(crate) fn cut(&self, axis: CutAxis, index: i32) -> Option<Cut> {
         let bounds = self.base.bounds();
         let in_range = match axis {
             CutAxis::Vertical => index >= bounds.min().x && index < bounds.max().x,

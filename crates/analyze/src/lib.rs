@@ -47,12 +47,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chip;
 pub mod diag;
 pub mod feasibility;
 pub mod lint;
 
+pub use chip::{
+    analyze_chip, congestion_map, net_features, ChipReport, CongestionMap, NetFeatures,
+    FEATURE_SCALE,
+};
 pub use diag::{render_json, render_text, sort_diagnostics, Diagnostic, GridSpan, Severity};
 pub use feasibility::{analyze_problem, CutAxis, FeasibilityReport, InfeasibilityCertificate};
 pub use lint::{
-    error_rules, lint_db, lint_db_with, lint_salvage, rules, LintFinding, LintReport, LintRule,
+    error_rules, lint_db, lint_db_with, lint_salvage, lint_salvage_chip, rules, LintFinding,
+    LintReport, LintRule,
 };

@@ -99,6 +99,16 @@ pub enum LintFinding {
         /// Number of slots in the floating component.
         cells: usize,
     },
+    /// A pin of a partially wired net left with zero incident wiring —
+    /// the signature a pruned stitch anchor leaves behind (`L009`).
+    AnchorOrphan {
+        /// The net owning the orphaned pin.
+        net: NetId,
+        /// The orphaned pin cell.
+        at: Point,
+        /// The orphaned pin layer.
+        layer: Layer,
+    },
 }
 
 impl LintFinding {
@@ -117,6 +127,7 @@ impl LintFinding {
             LintFinding::StackedVia { .. } => 5,
             LintFinding::AdjacentVias { .. } => 6,
             LintFinding::DeadWire { .. } => 7,
+            LintFinding::AnchorOrphan { .. } => 8,
         }
     }
 
@@ -131,6 +142,7 @@ impl LintFinding {
             LintFinding::StackedVia { at, net } => (at, 0, net.0),
             LintFinding::AdjacentVias { at, lower, a, .. } => (at, lower.index(), a.0),
             LintFinding::DeadWire { at, layer, net, .. } => (at, layer.index(), net.0),
+            LintFinding::AnchorOrphan { at, layer, net } => (at, layer.index(), net.0),
         };
         (self.rule_index(), at.y, at.x, layer, net)
     }
@@ -193,6 +205,15 @@ impl LintFinding {
                 Some(*net),
                 Some("rip up the dead wiring to reclaim capacity".to_string()),
             ),
+            LintFinding::AnchorOrphan { net, at, layer } => (
+                format!("net {net} leaves its pin at {at} on {layer} with no incident wiring"),
+                Some(GridSpan::cell(*at, *layer)),
+                Some(*net),
+                Some(
+                    "a prune that strands an anchor pin should take the whole stub or none"
+                        .to_string(),
+                ),
+            ),
         };
         Diagnostic {
             severity: rule.severity,
@@ -221,7 +242,7 @@ pub struct LintRule {
 
 /// The full lint registry, in rule-code order.
 pub fn rules() -> &'static [LintRule] {
-    static RULES: [LintRule; 8] = [
+    static RULES: [LintRule; 9] = [
         LintRule {
             code: "L001",
             name: "short-circuit",
@@ -277,6 +298,13 @@ pub fn rules() -> &'static [LintRule] {
             severity: Severity::Warning,
             description: "wiring in a component that touches no pin",
             run: lint_dead,
+        },
+        LintRule {
+            code: "L009",
+            name: "seam-anchor-orphan",
+            severity: Severity::Warning,
+            description: "a pin of a partially wired net has zero incident wiring",
+            run: lint_anchors,
         },
     ];
     &RULES
@@ -385,6 +413,54 @@ pub fn lint_salvage(problem: &Problem, db: &RouteDb, declared_failed: &[NetId]) 
         .iter()
         .filter(|f| match f {
             LintFinding::Disconnected { net, .. } => !declared_failed.contains(net),
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    let mut diagnostics: Vec<Diagnostic> =
+        findings.iter().map(LintFinding::to_diagnostic).collect();
+    sort_diagnostics(&mut diagnostics);
+    LintReport { findings, diagnostics }
+}
+
+/// Chip-aware salvage lint for hierarchical (tiled) results.
+///
+/// Runs everything [`lint_salvage`] runs, plus the two warning rules a
+/// seam stitch can trip — dead wire (`L008`) and anchor orphans
+/// (`L009`) — *without* excusing the seam bands: an `L009` on a
+/// declared-failed net is forgiven only when the pin sits outside every
+/// band of half-width `band` around a tile boundary of pitch `tile`.
+/// An anchor the seam prune stranded inside a band is exactly the
+/// artifact this report exists to surface; it stays a warning, so
+/// [`LintReport::is_legal`] is unaffected.
+pub fn lint_salvage_chip(
+    problem: &Problem,
+    db: &RouteDb,
+    declared_failed: &[NetId],
+    tile: u32,
+    band: u32,
+) -> LintReport {
+    let near = |v: i32, extent: u32| {
+        if tile == 0 || v < 0 {
+            return false;
+        }
+        let v = v as u32;
+        (1..extent.div_ceil(tile)).any(|k| {
+            let boundary = k * tile;
+            v + band >= boundary && v < boundary + band
+        })
+    };
+    let in_band = |p: Point| near(p.x, problem.width()) || near(p.y, problem.height());
+    let full = lint_db_with(problem, db, rules());
+    let findings: Vec<LintFinding> = full
+        .findings
+        .iter()
+        .filter(|f| match f {
+            LintFinding::Disconnected { net, .. } => !declared_failed.contains(net),
+            LintFinding::AnchorOrphan { net, at, .. } => {
+                !declared_failed.contains(net) || in_band(*at)
+            }
+            LintFinding::StackedVia { .. } | LintFinding::AdjacentVias { .. } => false,
             _ => true,
         })
         .cloned()
@@ -644,6 +720,28 @@ fn lint_adjacent(ctx: &LintContext) -> Vec<LintFinding> {
     out
 }
 
+fn lint_anchors(ctx: &LintContext) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for net in ctx.problem.nets() {
+        // Only nets that carry wiring somewhere: a fully unrouted net is
+        // L004's business, not an orphaned anchor.
+        if net.pins.len() < 2 || ctx.db.traces(net.id).next().is_none() {
+            continue;
+        }
+        for pin in &net.pins {
+            let slot = (pin.at, pin.layer);
+            let orphaned = ctx.components[net.id.index()]
+                .iter()
+                .find(|(member, _)| member.binary_search(&slot).is_ok())
+                .is_some_and(|(member, _)| member.len() == 1);
+            if orphaned {
+                out.push(LintFinding::AnchorOrphan { net: net.id, at: pin.at, layer: pin.layer });
+            }
+        }
+    }
+    out
+}
+
 fn lint_dead(ctx: &LintContext) -> Vec<LintFinding> {
     let mut out = Vec::new();
     for net in ctx.problem.nets() {
@@ -676,7 +774,7 @@ mod tests {
     #[test]
     fn registry_is_stable() {
         let codes: Vec<&str> = rules().iter().map(|r| r.code).collect();
-        assert_eq!(codes, ["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008"]);
+        assert_eq!(codes, ["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009"]);
         let unique: HashSet<&str> = rules().iter().map(|r| r.name).collect();
         assert_eq!(unique.len(), rules().len(), "rule names must be unique");
     }
@@ -799,6 +897,80 @@ mod tests {
     }
 
     #[test]
+    fn orphaned_anchor_pin_warns_but_unrouted_net_does_not() {
+        let p = two_pin_problem();
+        // Wiring that reaches the left pin but strands the right one.
+        let mut db = RouteDb::new(&p);
+        db.commit(p.nets()[0].id, m1_row(1, 0, 2)).unwrap();
+        let report = lint_db(&p, &db);
+        let orphans: Vec<&LintFinding> = report
+            .findings()
+            .iter()
+            .filter(|f| matches!(f, LintFinding::AnchorOrphan { .. }))
+            .collect();
+        assert_eq!(
+            orphans,
+            [&LintFinding::AnchorOrphan { net: NetId(0), at: Point::new(4, 1), layer: Layer::M1 }]
+        );
+        assert_eq!(orphans[0].rule().code, "L009");
+        assert_eq!(orphans[0].rule().severity, Severity::Warning);
+        // A net with no wiring at all is L004's business only.
+        let empty = lint_db(&p, &RouteDb::new(&p));
+        assert!(empty.findings().iter().all(|f| !matches!(f, LintFinding::AnchorOrphan { .. })));
+    }
+
+    #[test]
+    fn salvage_chip_excuses_orphans_outside_the_seam_band_only() {
+        // A 10-wide box at tile 5, band 1: the seam band is x in {4, 5}.
+        let mut b = ProblemBuilder::switchbox(10, 4);
+        b.net("in").pin_at(Point::new(5, 1), Layer::M1).pin_at(Point::new(5, 3), Layer::M1);
+        b.net("out").pin_at(Point::new(0, 1), Layer::M1).pin_at(Point::new(2, 3), Layer::M1);
+        let p = b.build().unwrap();
+        let (inband, outside) = (p.nets()[0].id, p.nets()[1].id);
+        let mut db = RouteDb::new(&p);
+        // Each net gets one stub that strands its second pin.
+        db.commit(
+            inband,
+            Trace::from_steps(vec![
+                Step::new(Point::new(5, 1), Layer::M1),
+                Step::new(Point::new(6, 1), Layer::M1),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db.commit(
+            outside,
+            Trace::from_steps(vec![
+                Step::new(Point::new(0, 1), Layer::M1),
+                Step::new(Point::new(1, 1), Layer::M1),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let failed = [inband, outside];
+        // Plain salvage is clean: both nets are declared failed.
+        assert!(lint_salvage(&p, &db, &failed).is_clean());
+        // Chip-aware salvage keeps the in-band orphan as a warning.
+        let report = lint_salvage_chip(&p, &db, &failed, 5, 1);
+        assert!(report.is_legal());
+        let orphans: Vec<&LintFinding> = report
+            .findings()
+            .iter()
+            .filter(|f| matches!(f, LintFinding::AnchorOrphan { .. }))
+            .collect();
+        assert_eq!(
+            orphans,
+            [&LintFinding::AnchorOrphan { net: inband, at: Point::new(5, 3), layer: Layer::M1 }]
+        );
+        // An undeclared orphan survives regardless of position.
+        let undeclared = lint_salvage_chip(&p, &db, &[inband], 5, 1);
+        assert!(undeclared
+            .findings()
+            .iter()
+            .any(|f| matches!(f, LintFinding::AnchorOrphan { net, .. } if *net == outside)));
+    }
+
+    #[test]
     fn rule_subset_runs_only_selected_rules() {
         let p = two_pin_problem();
         let mut db = RouteDb::new(&p);
@@ -816,9 +988,10 @@ mod tests {
         db.commit(p.nets()[0].id, m1_row(3, 3, 4)).unwrap();
         db.commit(p.nets()[0].id, m1_row(3, 0, 1)).unwrap();
         let report = lint_db(&p, &db);
-        // One disconnected finding, then two dead wires left-to-right.
+        // One disconnected finding, two dead wires left-to-right, then
+        // both stranded pins as anchor orphans.
         let kinds: Vec<usize> = report.findings().iter().map(|f| f.rule_index()).collect();
-        assert_eq!(kinds, [3, 7, 7]);
+        assert_eq!(kinds, [3, 7, 7, 8, 8]);
         match (&report.findings()[1], &report.findings()[2]) {
             (LintFinding::DeadWire { at: a, .. }, LintFinding::DeadWire { at: b, .. }) => {
                 assert!(a < b)

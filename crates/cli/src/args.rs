@@ -17,6 +17,16 @@ pub enum SwitchRouterKind {
     Tiled,
 }
 
+/// Net-ordering policy for the `chip` planning phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChipOrder {
+    /// Smallest pin bounding box first (the historical order).
+    #[default]
+    Bbox,
+    /// Static congestion features first (`route_analyze::net_features`).
+    Features,
+}
+
 /// Router choices for channel instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ChannelRouterKind {
@@ -174,6 +184,9 @@ pub enum Command {
         instance: String,
         /// Optional routing path (routes format) to lint as well.
         routes: Option<String>,
+        /// Run the chip-scale analysis (F004–F006 certificates plus the
+        /// congestion map) at this tile size instead of the flat pass.
+        chip: Option<u32>,
         /// Write the diagnostics as a machine-readable JSON report here.
         json: Option<String>,
     },
@@ -207,6 +220,11 @@ pub enum Command {
         /// Worker threads for the tile batch (0 = one per hardware
         /// thread); any value yields a byte-identical database.
         jobs: usize,
+        /// Run the chip-scale analysis precheck before planning:
+        /// certified-unroutable nets are skipped and counted.
+        analyze: bool,
+        /// Net-ordering policy for the planning phase.
+        order: ChipOrder,
         /// Write a machine-readable JSON report to this path.
         json: Option<String>,
     },
@@ -497,6 +515,8 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut seed = 0u64;
     let mut tile = 16u32;
     let mut jobs = 0usize;
+    let mut analyze = false;
+    let mut order = ChipOrder::default();
     let mut json = None;
     let num = |flag: &str, v: String| -> Result<u64, ParseArgsError> {
         v.parse().map_err(|_| err(format!("{flag} needs a number")))
@@ -515,6 +535,18 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
                     return Err(err("--jobs must be at most 4096"));
                 }
             }
+            "--analyze" => analyze = true,
+            "--order" => {
+                order = match cur.value_of("--order")?.as_str() {
+                    "bbox" => ChipOrder::Bbox,
+                    "features" => ChipOrder::Features,
+                    other => {
+                        return Err(err(format!(
+                            "--order must be `bbox` or `features`, got `{other}`"
+                        )))
+                    }
+                }
+            }
             "--json" => json = Some(cur.value_of("--json")?),
             flag => return Err(err(format!("unknown flag `{flag}` for `chip`"))),
         }
@@ -528,14 +560,25 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if tile == 0 {
         return Err(err("--tile must be at least 1"));
     }
-    Ok(Command::Chip { width, height, nets, macros, seed, tile, jobs, json })
+    Ok(Command::Chip { width, height, nets, macros, seed, tile, jobs, analyze, order, json })
 }
 
 fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut paths: Vec<String> = Vec::new();
+    let mut chip = false;
+    let mut tile: Option<u32> = None;
     let mut json = None;
     while let Some(arg) = cur.next().map(str::to_owned) {
         match arg.as_str() {
+            "--chip" => chip = true,
+            "--tile" => {
+                let v = cur.value_of("--tile")?;
+                let t: u32 = v.parse().map_err(|_| err("--tile needs a number"))?;
+                if t == 0 {
+                    return Err(err("--tile must be at least 1"));
+                }
+                tile = Some(t);
+            }
             "--json" => json = Some(cur.value_of("--json")?),
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}` for `analyze`")))
@@ -546,9 +589,20 @@ fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if paths.len() > 2 {
         return Err(err("`analyze` takes INSTANCE and at most one ROUTES file"));
     }
+    if tile.is_some() && !chip {
+        return Err(err("--tile only applies to `analyze --chip`"));
+    }
+    if chip && paths.len() > 1 {
+        return Err(err("`analyze --chip` analyzes the instance alone; drop the ROUTES file"));
+    }
     let mut paths = paths.into_iter();
     let instance = paths.next().ok_or_else(|| err("`analyze` needs an INSTANCE"))?;
-    Ok(Command::Analyze { instance, routes: paths.next(), json })
+    Ok(Command::Analyze {
+        instance,
+        routes: paths.next(),
+        chip: chip.then(|| tile.unwrap_or(16)),
+        json,
+    })
 }
 
 fn parse_check(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -965,13 +1019,15 @@ mod tests {
                 seed: 0,
                 tile: 16,
                 jobs: 0,
+                analyze: false,
+                order: ChipOrder::Bbox,
                 json: None,
             }
         );
         assert_eq!(
             parse(
                 "chip --width 352 --height 352 --nets 10560 --macros 24 --seed 7 --tile 32 \
-                   --jobs 4 --json chip.json"
+                   --jobs 4 --analyze --order features --json chip.json"
             )
             .unwrap(),
             Command::Chip {
@@ -982,6 +1038,8 @@ mod tests {
                 seed: 7,
                 tile: 32,
                 jobs: 4,
+                analyze: true,
+                order: ChipOrder::Features,
                 json: Some("chip.json".into()),
             }
         );
@@ -990,6 +1048,7 @@ mod tests {
         assert!(parse("chip --nets 0").unwrap_err().to_string().contains("--nets"));
         assert!(parse("chip --jobs 9999").unwrap_err().to_string().contains("4096"));
         assert!(parse("chip extra.sb").unwrap_err().to_string().contains("unknown flag"));
+        assert!(parse("chip --order sideways").unwrap_err().to_string().contains("--order"));
     }
 
     #[test]
@@ -1159,19 +1218,41 @@ mod tests {
     fn analyze_flags() {
         assert_eq!(
             parse("analyze box.sb").unwrap(),
-            Command::Analyze { instance: "box.sb".into(), routes: None, json: None }
+            Command::Analyze { instance: "box.sb".into(), routes: None, chip: None, json: None }
         );
         assert_eq!(
             parse("analyze box.sb box.routes --json rep.json").unwrap(),
             Command::Analyze {
                 instance: "box.sb".into(),
                 routes: Some("box.routes".into()),
+                chip: None,
+                json: Some("rep.json".into()),
+            }
+        );
+        assert_eq!(
+            parse("analyze box.sb --chip").unwrap(),
+            Command::Analyze {
+                instance: "box.sb".into(),
+                routes: None,
+                chip: Some(16),
+                json: None
+            }
+        );
+        assert_eq!(
+            parse("analyze box.sb --chip --tile 8 --json rep.json").unwrap(),
+            Command::Analyze {
+                instance: "box.sb".into(),
+                routes: None,
+                chip: Some(8),
                 json: Some("rep.json".into()),
             }
         );
         assert!(parse("analyze").unwrap_err().to_string().contains("INSTANCE"));
         assert!(parse("analyze a b c").unwrap_err().to_string().contains("at most one"));
         assert!(parse("analyze a --bogus").unwrap_err().to_string().contains("--bogus"));
+        assert!(parse("analyze a --tile 8").unwrap_err().to_string().contains("--chip"));
+        assert!(parse("analyze a --chip --tile 0").unwrap_err().to_string().contains("--tile"));
+        assert!(parse("analyze a b --chip").unwrap_err().to_string().contains("ROUTES"));
     }
 
     #[test]

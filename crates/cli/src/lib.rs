@@ -9,13 +9,13 @@
 //! vroute batch  FILE... [--list LIST] [--router KIND] [--jobs N] [--json OUT] [--deadline-ms MS]
 //!               [--metrics] [--trace OUT] [--analyze]
 //!               [--retries N] [--fallback KIND,...] [--journal DIR] [--resume]
-//! vroute analyze INSTANCE [ROUTES] [--json OUT]
+//! vroute analyze INSTANCE [ROUTES] [--chip [--tile T]] [--json OUT]
 //! vroute check  FILE ROUTES [--svg OUT]
 //! vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
 //! vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
 //! vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T] [--jobs N]
-//!             [--json OUT]
+//!             [--analyze] [--order bbox|features] [--json OUT]
 //! vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
 //! ```
 //!
@@ -29,7 +29,7 @@ mod run;
 mod serve;
 
 pub use args::{
-    parse_args, BatchRouterKind, ChannelRouterKind, Command, GenKind, ParseArgsError,
+    parse_args, BatchRouterKind, ChannelRouterKind, ChipOrder, Command, GenKind, ParseArgsError,
     ServeEndpoint, SwitchRouterKind,
 };
 pub use run::{execute, ExecutionError};
@@ -44,13 +44,13 @@ USAGE:
   vroute batch FILE... [--list LIST] [--router KIND] [--frontier heap|buckets] [--jobs N]
                [--json OUT] [--deadline-ms MS] [--metrics] [--trace OUT] [--analyze]
                [--retries N] [--fallback KIND,...] [--journal DIR] [--resume]
-  vroute analyze INSTANCE [ROUTES] [--json OUT]
+  vroute analyze INSTANCE [ROUTES] [--chip [--tile T]] [--json OUT]
   vroute check FILE ROUTES [--svg OUT]
   vroute channel FILE [--router ripup|lea|dogleg|greedy|yacr] [--tracks N] [--layers 2|3]
   vroute gen switchbox --width W --height H --nets N [--seed S]
   vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
   vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T]
-              [--jobs N] [--json OUT]
+              [--jobs N] [--analyze] [--order bbox|features] [--json OUT]
   vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
   vroute serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N]
                [--deadline-ms MS] [--journal DIR] [--resume]
@@ -62,7 +62,9 @@ COMMANDS:
   batch     Route many instance files concurrently through the batch engine
   analyze   Statically analyze an instance (sb or fuzzcase format) without
             routing: feasibility certificates (F rules) plus, with a saved
-            ROUTES file, the whole-database lint registry (L rules)
+            ROUTES file, the whole-database lint registry (L rules);
+            --chip runs the chip-scale pass instead (F004-F006 tile-cut,
+            seam and walled-region certificates plus a congestion map)
   check     Verify a saved routing (routes format) against its instance
   channel   Route a channel instance file (channel format)
   gen       Generate a random instance and print it to stdout
@@ -91,7 +93,12 @@ OPTIONS:
   --json OUT      Write a machine-readable report (including metrics) to OUT
   --deadline-ms MS  Disqualify instances that take longer than MS
   --analyze       route: gate on the feasibility analysis and lint the routed
-                  database; batch: skip provably infeasible instances
+                  database; batch: skip provably infeasible instances;
+                  chip: run the chip-scale precheck and skip certified nets
+  --chip          analyze: run the chip-scale pass at tile size T
+                  (--tile, default 16) instead of the flat one
+  --order KIND    chip: planning net order, bbox (default) or features
+                  (static congestion estimate first); both deterministic
   --metrics       Print the observer metrics table (nets, searches, rip-ups)
   --trace OUT     Write the observer event stream as line-delimited JSON to OUT
   --ascii         Print the routed layout as ASCII art

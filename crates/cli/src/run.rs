@@ -128,7 +128,7 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
         Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
             execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
         }
-        Command::Chip { width, height, nets, macros, seed, tile, jobs, json } => {
+        Command::Chip { width, height, nets, macros, seed, tile, jobs, analyze, order, json } => {
             let gen = route_benchdata::gen::ChipGen {
                 width: *width,
                 height: *height,
@@ -139,9 +139,16 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
             let problem = gen.build();
             writeln!(out, "chip: {width}x{height}, {nets} nets, {macros} macros, seed {seed}")
                 .expect("writing");
+            let plan_order = match order {
+                crate::ChipOrder::Bbox => route_global::PlanOrder::Bbox,
+                crate::ChipOrder::Features => route_global::PlanOrder::Features,
+            };
             let cfg = route_global::GlobalConfig {
                 tile: *tile,
                 jobs: *jobs,
+                analyze: *analyze,
+                precheck: *analyze,
+                order: plan_order,
                 ..route_global::GlobalConfig::default()
             };
             let started = std::time::Instant::now();
@@ -174,6 +181,14 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 chip.pruned_steps
             )
             .expect("writing");
+            if *analyze {
+                writeln!(
+                    out,
+                    "analyze: {} chip certificate(s), {} net(s) certified unroutable",
+                    chip.analyze_certificates, chip.certified_nets
+                )
+                .expect("writing");
+            }
             let complete = outcome.is_complete();
             let legal = report.is_clean() || report.is_legal_but_incomplete();
             let db_stats = outcome.db().stats();
@@ -216,6 +231,15 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                     ("seam_completed".to_string(), Json::from(chip.seam_completed as u64)),
                     ("fallback_completed".to_string(), Json::from(stats.fallback_completed as u64)),
                     ("pruned_steps".to_string(), Json::from(chip.pruned_steps as u64)),
+                    ("infeasible".to_string(), Json::from(chip.analyze_certificates as u64)),
+                    ("certified_nets".to_string(), Json::from(chip.certified_nets as u64)),
+                    (
+                        "features".to_string(),
+                        Json::str(match order {
+                            crate::ChipOrder::Bbox => "bbox",
+                            crate::ChipOrder::Features => "features",
+                        }),
+                    ),
                     ("ms".to_string(), Json::from(ms)),
                 ]);
                 let doc = versioned_doc("chip", pairs);
@@ -252,8 +276,8 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 out,
             )
         }
-        Command::Analyze { instance, routes, json } => {
-            execute_analyze(instance, routes.as_deref(), json.as_deref(), out)
+        Command::Analyze { instance, routes, chip, json } => {
+            execute_analyze(instance, routes.as_deref(), *chip, json.as_deref(), out)
         }
         Command::Route {
             file,
@@ -775,15 +799,20 @@ fn diagnostic_json(d: &Diagnostic) -> Json {
 
 /// Executes `vroute analyze`: runs the pre-route feasibility analysis
 /// on the instance, and — when a saved routing is supplied — the
-/// whole-database lint registry on top. Exit is clean only when no
-/// error-severity diagnostic fired.
+/// whole-database lint registry on top. With `--chip` the chip-scale
+/// pass (F004–F006 plus the congestion map) runs instead of the flat
+/// one. Exit is clean only when no error-severity diagnostic fired.
 fn execute_analyze(
     instance: &str,
     routes: Option<&str>,
+    chip_tile: Option<u32>,
     json: Option<&str>,
     out: &mut dyn fmt::Write,
 ) -> Result<bool, ExecutionError> {
     let problem = load_instance(instance)?;
+    if let Some(tile) = chip_tile {
+        return execute_analyze_chip(instance, &problem, tile, json, out);
+    }
     let feasibility = analyze_problem(&problem);
     let mut diags: Vec<Diagnostic> = feasibility.diagnostics().to_vec();
     let mut linted = 0usize;
@@ -816,6 +845,85 @@ fn execute_analyze(
             ("diagnostics", Json::arr(diags.iter().map(diagnostic_json))),
         ];
         let doc = versioned_doc("analyze", pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
+        std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
+        writeln!(out, "json written to {path}").expect("writing");
+    }
+    Ok(clean)
+}
+
+/// Executes `vroute analyze --chip`: the chip-scale certificate pass
+/// plus the static congestion map, reported as diagnostics, a heatmap
+/// and per-net feature vectors.
+fn execute_analyze_chip(
+    instance: &str,
+    problem: &route_model::Problem,
+    tile: u32,
+    json: Option<&str>,
+    out: &mut dyn fmt::Write,
+) -> Result<bool, ExecutionError> {
+    let report = route_analyze::analyze_chip(problem, tile);
+    write!(out, "{}", render_text(report.diagnostics())).expect("writing");
+    let verdict = if report.is_feasible() { "feasible" } else { "infeasible" };
+    writeln!(
+        out,
+        "analyze --chip: {verdict}, {} certificate(s), {} net(s) certified unroutable",
+        report.certificates().len(),
+        report.certified_nets().len()
+    )
+    .expect("writing");
+    let map = report.congestion();
+    let (pc, pr, peak) = map.peak();
+    writeln!(
+        out,
+        "congestion: {}x{} tiles (tile {tile}), peak {}% at tile ({pc}, {pr})",
+        map.cols(),
+        map.rows(),
+        peak.min(9999)
+    )
+    .expect("writing");
+    let clean = report.is_feasible();
+    if let Some(path) = json {
+        // The heatmap saturates at 9999% so fully blocked tiles stay
+        // finite in the report.
+        let heatmap = Json::arr((0..map.rows()).map(|r| {
+            Json::arr((0..map.cols()).map(|c| Json::from(map.congestion_at(c, r).min(9999))))
+        }));
+        let features = Json::arr(report.features().iter().map(|f| {
+            Json::obj([
+                ("net", Json::from(u64::from(f.net.0))),
+                ("congestion", Json::from(f.congestion.min(9999))),
+                ("pin_density", Json::from(f.pin_density)),
+                ("bbox_area", Json::from(f.bbox_area)),
+                ("crossings", Json::from(f.crossings)),
+            ])
+        }));
+        let pairs = [
+            ("file", Json::str(instance)),
+            ("tile", Json::from(u64::from(tile))),
+            ("feasible", Json::from(report.is_feasible())),
+            ("clean", Json::from(clean)),
+            ("certificates", Json::from(report.certificates().len())),
+            ("certified_nets", Json::from(report.certified_nets().len())),
+            (
+                "congestion",
+                Json::obj([
+                    ("cols", Json::from(u64::from(map.cols()))),
+                    ("rows", Json::from(u64::from(map.rows()))),
+                    (
+                        "peak",
+                        Json::arr([
+                            Json::from(u64::from(pc)),
+                            Json::from(u64::from(pr)),
+                            Json::from(peak.min(9999)),
+                        ]),
+                    ),
+                    ("heatmap", heatmap),
+                ]),
+            ),
+            ("features", features),
+            ("diagnostics", Json::arr(report.diagnostics().iter().map(diagnostic_json))),
+        ];
+        let doc = versioned_doc("analyze-chip", pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
         std::fs::write(path, doc.render()).map_err(|e| ExecutionError::Io(path.to_owned(), e))?;
         writeln!(out, "json written to {path}").expect("writing");
     }

@@ -240,6 +240,126 @@ fn analyze_json_schema_is_pinned() {
 }
 
 #[test]
+fn chip_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-chip");
+    std::fs::create_dir_all(&dir).expect("creating the test directory");
+    let report = dir.join("chip.json");
+    run(&format!(
+        "chip --width 32 --height 32 --nets 40 --seed 3 --tile 8 --jobs 1 --analyze --json {}",
+        report.display()
+    ));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    let expected = golden(
+        vec![
+            "v",
+            "command",
+            "width",
+            "height",
+            "nets",
+            "seed",
+            "tile",
+            "jobs",
+            "status",
+            "wire",
+            "vias",
+            "checksum",
+            "legal",
+            "complete",
+            "failed",
+            "crossings",
+            "dropped",
+            "tiles_routed",
+            "tiles_errored",
+            "seams",
+            "seams_repaired",
+            "seam_ripups",
+            "seam_completed",
+            "fallback_completed",
+            "pruned_steps",
+            "infeasible",
+            "certified_nets",
+            "features",
+            "ms",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "chip --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"chip\""), "{json}");
+    // The analyze/ordering keys are constant-shape: present (with the
+    // same names) whether or not the gate fires, so report diffing
+    // over reruns stays key-stable.
+    assert!(json.contains("\"features\": \"bbox\""), "{json}");
+}
+
+#[test]
+fn analyze_chip_json_schema_is_pinned() {
+    let dir = std::env::temp_dir().join("vroute-json-schema-analyze-chip");
+    std::fs::create_dir_all(&dir).expect("creating the test directory");
+    // A sealed wall at x = 2 splits the 5x4 board into separate tile
+    // regions at tile size 2: the report carries certificates, the
+    // congestion heatmap and the per-net feature vectors at once.
+    let walled = dir.join("walled.sb");
+    std::fs::write(
+        &walled,
+        "sb 5 4\nobstacle 2 0\nobstacle 2 1\nobstacle 2 2\nobstacle 2 3\n\
+         net a 0 1 M1  4 2 M1\n",
+    )
+    .unwrap();
+    let report = dir.join("analyze-chip.json");
+    let cmd = parse_args(
+        format!("analyze {} --chip --tile 2 --json {}", walled.display(), report.display())
+            .split_whitespace()
+            .map(str::to_owned),
+    )
+    .expect("parses");
+    let mut out = String::new();
+    assert!(!execute(&cmd, &mut out).expect("executes"), "{out}");
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    let expected = golden(
+        vec![
+            "v",
+            "command",
+            "file",
+            "tile",
+            "feasible",
+            "clean",
+            "certificates",
+            "certified_nets",
+            "congestion",
+            "congestion.cols",
+            "congestion.rows",
+            "congestion.peak",
+            "congestion.heatmap",
+            "features",
+            "features[].net",
+            "features[].congestion",
+            "features[].pin_density",
+            "features[].bbox_area",
+            "features[].crossings",
+            "diagnostics",
+            "diagnostics[].severity",
+            "diagnostics[].code",
+            "diagnostics[].rule",
+            "diagnostics[].message",
+            "diagnostics[].span",
+            "diagnostics[].span.from",
+            "diagnostics[].span.to",
+            "diagnostics[].span.layer",
+            "diagnostics[].net",
+            "diagnostics[].hint",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "analyze --chip --json schema changed:\n{json}");
+    assert!(json.contains("\"command\": \"analyze-chip\""), "{json}");
+    assert!(json.contains("\"code\": \"F004\""), "{json}");
+    assert!(json.contains("\"code\": \"F006\""), "{json}");
+    assert!(json.contains("\"feasible\": false"), "{json}");
+}
+
+#[test]
 fn batch_infeasible_outcome_keys_are_pinned() {
     let dir = std::env::temp_dir().join("vroute-json-schema-batch-inf");
     std::fs::create_dir_all(&dir).unwrap();

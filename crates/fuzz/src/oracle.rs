@@ -78,6 +78,10 @@ pub enum OracleKind {
     /// failed nets or its rip-up accounting, lost to the flat router,
     /// or panicked.
     ChipStitch,
+    /// The chip-scale analyzer issued a certificate (F004–F006) that
+    /// does not replay, or one that coexists with a verifier-complete
+    /// route — flat or hierarchical.
+    ChipAnalysis,
 }
 
 impl fmt::Display for OracleKind {
@@ -94,6 +98,7 @@ impl fmt::Display for OracleKind {
             OracleKind::OccupancyDesync => "occupancy-desync",
             OracleKind::FrontierDivergence => "frontier-divergence",
             OracleKind::ChipStitch => "chip-stitch",
+            OracleKind::ChipAnalysis => "chip-analysis",
         };
         f.write_str(name)
     }
@@ -184,6 +189,7 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
     check_infeasibility(problem, runs, &mut out);
     check_salvage(problem, &mut out);
     check_chip_stitch(problem, runs, &mut out);
+    check_chip_analysis(problem, runs, &mut out);
     out
 }
 
@@ -273,6 +279,63 @@ fn check_chip_stitch(problem: &Problem, runs: &InstanceRuns, out: &mut Vec<Oracl
                     outcome.failed()
                 ),
             );
+        }
+    }
+}
+
+/// Chip-analysis soundness oracle: every certificate issued by the
+/// chip-scale pass (F004 tile-cut, F005 seam, F006 walled region) must
+/// replay against the instance, and since each one proves at least one
+/// net unroutable by *any* router, no certificate may coexist with a
+/// verifier-complete result — from the flat routers or from the
+/// hierarchical flow itself.
+fn check_chip_analysis(problem: &Problem, runs: &InstanceRuns, out: &mut Vec<OracleViolation>) {
+    let report = route_analyze::analyze_chip(problem, 8);
+    let certificates = report.certificates();
+    if certificates.is_empty() {
+        return;
+    }
+    for cert in certificates {
+        if !cert.replay(problem) {
+            out.push(OracleViolation {
+                kind: OracleKind::ChipAnalysis,
+                router: "chip-analyzer".to_string(),
+                detail: format!("chip certificate does not replay: {}", cert.summary()),
+            });
+        }
+    }
+    let proof = certificates[0].summary();
+    let completed = |name: &str, result: &RouteResult, out: &mut Vec<OracleViolation>| {
+        if let Ok(routing) = result {
+            if routing.is_complete() {
+                out.push(OracleViolation {
+                    kind: OracleKind::ChipAnalysis,
+                    router: name.to_string(),
+                    detail: format!("completed a chip-certified-infeasible instance ({proof})"),
+                });
+            }
+        }
+    };
+    for run in [&runs.ripup, &runs.lee] {
+        completed(&run.name, &run.plain, out);
+        completed(&run.name, &run.observed, out);
+    }
+    for (name, result) in &runs.extras {
+        completed(name, result, out);
+    }
+    // The certificate is a claim about the instance, not about any one
+    // router, so the hierarchical flow must agree with it too.
+    let cfg = route_global::GlobalConfig { tile: 8, ..route_global::GlobalConfig::default() };
+    let hier = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route_global::route_hierarchical(problem, &cfg)
+    }));
+    if let Ok(outcome) = hier {
+        if outcome.is_complete() {
+            out.push(OracleViolation {
+                kind: OracleKind::ChipAnalysis,
+                router: "hierarchical".to_string(),
+                detail: format!("completed a chip-certified-infeasible instance ({proof})"),
+            });
         }
     }
 }

@@ -11,7 +11,7 @@ use route_model::{
     SearchKind, SearchProbe, Step, Trace, TraceId,
 };
 
-use crate::plan::plan;
+use crate::plan::plan_with;
 use crate::tiles::{TileEdge, TileGrid, TileId};
 use crate::GlobalConfig;
 
@@ -54,6 +54,11 @@ pub struct ChipStats {
     pub crossing_pins: usize,
     /// Wire steps reclaimed by the dead-wire prune after routing.
     pub pruned_steps: usize,
+    /// Chip-scale infeasibility certificates found by the `--analyze`
+    /// precheck (zero when the precheck is off).
+    pub analyze_certificates: usize,
+    /// Nets the precheck certified unroutable and the pipeline skipped.
+    pub certified_nets: usize,
 }
 
 /// The result of [`route_hierarchical`].
@@ -173,7 +178,16 @@ pub fn route_hierarchical_observed(
 ) -> GlobalOutcome {
     let tiles = TileGrid::new(problem, cfg.tile);
     let base = problem.base_grid();
-    let global_plan = plan(problem, &tiles);
+
+    // Chip-scale precheck: nets a sound certificate already condemns
+    // are excluded from planning, crossing assignment and the fallback.
+    let (precertified, analyze_certificates) = if cfg.analyze {
+        let report = route_analyze::analyze_chip(problem, cfg.tile);
+        (report.certified_nets(), report.certificates().len())
+    } else {
+        (BTreeSet::new(), 0)
+    };
+    let global_plan = plan_with(problem, &tiles, cfg.order, &precertified);
 
     // All real pin slots, to keep crossings off them.
     let pin_slots: BTreeSet<(Point, Layer)> =
@@ -192,6 +206,7 @@ pub fn route_hierarchical_observed(
     // assigned join them. Dropped nets keep only their real pins (as
     // blockers) and fall through to the flat fallback.
     let mut dropped: BTreeSet<NetId> = global_plan.unplanned().iter().copied().collect();
+    dropped.extend(precertified.iter().copied());
     let mut crossing_pins: HashMap<(TileId, NetId), Vec<Pin>> = HashMap::new();
     let mut edge_cross: HashMap<(TileEdge, NetId), (Point, Point, Layer)> = HashMap::new();
     for (&edge, nets) in &edge_nets {
@@ -316,6 +331,8 @@ pub fn route_hierarchical_observed(
     let mut chip = ChipStats {
         crossing_pins: edge_cross.len(),
         seams: edge_cross.keys().map(|(e, _)| *e).collect::<BTreeSet<_>>().len(),
+        analyze_certificates,
+        certified_nets: precertified.len(),
         ..ChipStats::default()
     };
 
@@ -410,12 +427,18 @@ pub fn route_hierarchical_observed(
         fallback_completed: 0,
     };
 
-    let mut db = if cfg.fallback && !incomplete.is_empty() {
+    // Certified-unroutable nets are not fallback candidates: a sound
+    // certificate binds the flat router too, so retrying them is pure
+    // waste. If nothing else is incomplete, the fallback is skipped
+    // wholesale.
+    let fallback_candidates: BTreeSet<NetId> =
+        incomplete.difference(&precertified).copied().collect();
+    let mut db = if cfg.fallback && !fallback_candidates.is_empty() {
         let outcome = router
             .try_route_incremental(problem, db)
             .expect("the hierarchical database is built for this problem");
         stats.fallback_completed =
-            incomplete.iter().filter(|&&id| !outcome.failed().contains(&id)).count();
+            fallback_candidates.iter().filter(|&&id| !outcome.failed().contains(&id)).count();
         outcome.into_db()
     } else {
         db
@@ -721,6 +744,33 @@ mod tests {
         let out = hierarchical(&p, 8, true);
         assert!(!out.is_complete());
         assert_eq!(out.failed(), &[NetId(0)]);
+    }
+
+    #[test]
+    fn analyze_gate_skips_certified_nets_and_their_fallback() {
+        let mut b = ProblemBuilder::switchbox(16, 8);
+        // A full-stack wall on the boundary columns: F006 at tile 8.
+        b.obstacle_rect(Rect::with_size(Point::new(7, 0), 2, 8));
+        b.net("cut").pin_side(PinSide::Left, 3).pin_side(PinSide::Right, 3);
+        let p = b.build().unwrap();
+        let cfg = GlobalConfig { tile: 8, analyze: true, ..GlobalConfig::default() };
+        let out = route_hierarchical(&p, &cfg);
+        assert!(!out.is_complete());
+        assert_eq!(out.failed(), &[NetId(0)]);
+        assert!(out.chip_stats().analyze_certificates > 0, "{:?}", out.chip_stats());
+        assert_eq!(out.chip_stats().certified_nets, 1);
+        assert_eq!(out.stats().fallback_completed, 0, "certified nets skip the fallback");
+        // On a feasible chip the gate finds nothing and the result is
+        // byte-identical to a run without it.
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let off = route_hierarchical(&p, &GlobalConfig { tile: 16, ..GlobalConfig::default() });
+        let on = route_hierarchical(
+            &p,
+            &GlobalConfig { tile: 16, analyze: true, ..GlobalConfig::default() },
+        );
+        assert_eq!(off.db().checksum(), on.db().checksum());
+        assert_eq!(off.failed(), on.failed());
+        assert_eq!(on.chip_stats().certified_nets, 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod tiles;
 pub use detail::{
     route_hierarchical, route_hierarchical_observed, ChipStats, GlobalOutcome, GlobalStats,
 };
-pub use plan::{plan, GlobalPlan};
+pub use plan::{plan, plan_with, GlobalPlan, PlanOrder};
 pub use tiles::{TileEdge, TileGrid, TileId};
 
 use mighty::RouterConfig;
@@ -90,6 +90,18 @@ pub struct GlobalConfig {
     /// before routing it (see `route-analyze`); certified-unroutable
     /// tiles are skipped instead of burning router budget.
     pub precheck: bool,
+    /// Run the chip-scale analysis (`route_analyze::analyze_chip`)
+    /// before planning: nets certified unroutable (F006) are dropped up
+    /// front — their pins stay as blockers, no crossings are assigned,
+    /// and the flat fallback does not retry them — with the certificate
+    /// and net counts recorded in [`ChipStats`]. Off by default; with
+    /// it off the pipeline is byte-identical to earlier releases.
+    pub analyze: bool,
+    /// Net-ordering policy for the planning phase. The default
+    /// ([`PlanOrder::Bbox`]) preserves historical byte-identity;
+    /// [`PlanOrder::Features`] orders by the static congestion
+    /// estimate. Either way the result is `jobs`-independent.
+    pub order: PlanOrder,
     /// Repair incomplete crossing nets with the rip-up router on seam
     /// bands before (or instead of) the flat fallback.
     pub stitch: bool,
@@ -108,6 +120,8 @@ impl Default for GlobalConfig {
             jobs: 0,
             tile_deadline_ms: 0,
             precheck: false,
+            analyze: false,
+            order: PlanOrder::Bbox,
             stitch: true,
             stitch_band: 3,
         }

@@ -35,6 +35,21 @@ impl GlobalPlan {
     }
 }
 
+/// Net-ordering policy for the planning phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanOrder {
+    /// Smallest pin bounding box first — the historical order, and the
+    /// byte-identity baseline every determinism golden pins.
+    #[default]
+    Bbox,
+    /// Static-analysis feature order: nets through the most congested
+    /// tiles first (ties: more boundary crossings first, then net id),
+    /// from `route_analyze::net_features`. Deterministic and
+    /// `jobs`-independent — planning is serial either way — but it
+    /// changes which nets claim scarce seam capacity first.
+    Features,
+}
+
 /// Plans every net of `problem` over `tiles`.
 ///
 /// Nets are processed smallest pin bounding box first; each connection
@@ -44,6 +59,20 @@ impl GlobalPlan {
 /// reported and resolved later (the over-subscribed crossings simply
 /// fail assignment and fall back to flat routing).
 pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
+    plan_with(problem, tiles, PlanOrder::Bbox, &BTreeSet::new())
+}
+
+/// [`plan`] with an explicit net-ordering policy and a set of nets to
+/// leave out entirely (certified-unroutable nets the precheck already
+/// condemned: planning them would waste seam capacity on wiring that
+/// can never connect). Skipped nets get no edges and are *not* reported
+/// as unplanned — the caller already accounts for them.
+pub fn plan_with(
+    problem: &Problem,
+    tiles: &TileGrid,
+    net_order: PlanOrder,
+    skip: &BTreeSet<NetId>,
+) -> GlobalPlan {
     let base = problem.base_grid();
     // Edge capacities.
     let mut capacity: BTreeMap<TileEdge, usize> = BTreeMap::new();
@@ -55,14 +84,26 @@ pub fn plan(problem: &Problem, tiles: &TileGrid) -> GlobalPlan {
     }
     let mut usage: BTreeMap<TileEdge, usize> = BTreeMap::new();
 
-    // Net order: small bounding boxes first.
-    let mut order: Vec<NetId> = problem.nets().iter().map(|n| n.id).collect();
-    order.sort_by_key(|&id| {
-        let net = problem.net(id);
-        let first = net.pins[0].at;
-        let bbox = net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
-        (bbox.width() + bbox.height(), id.0)
-    });
+    let mut order: Vec<NetId> =
+        problem.nets().iter().map(|n| n.id).filter(|id| !skip.contains(id)).collect();
+    match net_order {
+        // Small bounding boxes first.
+        PlanOrder::Bbox => order.sort_by_key(|&id| {
+            let net = problem.net(id);
+            let first = net.pins[0].at;
+            let bbox =
+                net.pins.iter().fold(Rect::cell(first), |acc, p| acc.union(&Rect::cell(p.at)));
+            (bbox.width() + bbox.height(), id.0)
+        }),
+        // Hardest nets first, by the static congestion estimate.
+        PlanOrder::Features => {
+            let features = route_analyze::net_features(problem, tiles.tile());
+            order.sort_by_key(|&id| {
+                let f = &features[id.index()];
+                (std::cmp::Reverse(f.congestion), std::cmp::Reverse(f.crossings), id.0)
+            });
+        }
+    }
 
     let mut net_edges: Vec<BTreeSet<TileEdge>> = vec![BTreeSet::new(); problem.nets().len()];
     let mut unplanned: Vec<NetId> = Vec::new();
@@ -245,6 +286,27 @@ mod tests {
         assert_eq!(g.unplanned(), &[route_model::NetId(0)]);
         assert_eq!(g.edges_of(route_model::NetId(0)).count(), 0);
         assert_eq!(g.crossings, 0, "partial paths are released");
+    }
+
+    #[test]
+    fn plan_with_skips_nets_and_feature_order_is_deterministic() {
+        let mut b = ProblemBuilder::switchbox(16, 16);
+        for i in 0..4 {
+            b.net(format!("n{i}")).pin_side(PinSide::Left, i).pin_side(PinSide::Right, i);
+        }
+        let p = b.build().unwrap();
+        let tiles = TileGrid::new(&p, 8);
+        let skip = BTreeSet::from([route_model::NetId(1)]);
+        let g = plan_with(&p, &tiles, PlanOrder::Bbox, &skip);
+        assert!(g.net_edges[1].is_empty(), "skipped nets receive no edges");
+        assert!(g.unplanned().is_empty(), "skipped is not unplanned");
+        assert!(!g.net_edges[0].is_empty());
+        // Feature order is a pure function of the problem: two runs
+        // agree, and every net still gets planned.
+        let a = plan_with(&p, &tiles, PlanOrder::Features, &BTreeSet::new());
+        let b2 = plan_with(&p, &tiles, PlanOrder::Features, &BTreeSet::new());
+        assert_eq!(a.net_edges, b2.net_edges);
+        assert!(a.net_edges.iter().all(|e| !e.is_empty()));
     }
 
     #[test]

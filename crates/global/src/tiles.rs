@@ -77,6 +77,11 @@ impl TileGrid {
         }
     }
 
+    /// Tile side length the grid was built with.
+    pub const fn tile(&self) -> u32 {
+        self.tile
+    }
+
     /// Number of tile columns.
     pub const fn cols(&self) -> u32 {
         self.cols

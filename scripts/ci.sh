@@ -59,6 +59,50 @@ for case in tests/corpus/*.case; do
   fi
 done
 
+# Chip-scale corpus gate: the committed chip-*.sb cases carry golden
+# F004/F006 certificates (tile-cut saturation, walled tile regions),
+# so `analyze --chip` must keep convicting them — a zero exit means
+# the hierarchical analyzer lost a certificate it used to prove.
+for case in tests/corpus/chip-*.sb; do
+  echo "==> $VROUTE analyze $case --chip --tile 8 (expecting a certificate)"
+  if "$VROUTE" analyze "$case" --chip --tile 8 > /dev/null; then
+    echo "ci: $case must carry a chip-scale infeasibility certificate" >&2
+    exit 1
+  fi
+done
+
+# Concurrency-sanitizer lane: mighty-core hosts the multithreaded
+# engine and service, so its tests get a ThreadSanitizer pass when the
+# nightly toolchain can support one. TSan needs an instrumented std
+# (-Zbuild-std, hence rust-src) — against an uninstrumented std every
+# wait inside the standard library surfaces as a false race — so the
+# lane is gated on the whole toolchain being present and skips cleanly
+# elsewhere.
+if command -v rustup >/dev/null 2>&1 \
+   && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'rust-src (installed)'; then
+  echo "==> ThreadSanitizer lane (mighty-core engine/service tests)"
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -p mighty-core --offline --quiet \
+    -Zbuild-std --target x86_64-unknown-linux-gnu
+else
+  echo "==> nightly rust-src not installed; skipping ThreadSanitizer lane"
+fi
+
+# Miri smoke: the grid/occupancy core of route-model carries the
+# bit-packed occupancy planes the routers trust blindly; a bounded
+# miri pass over its unit tests catches undefined behaviour that
+# ordinary tests cannot.
+if command -v rustup >/dev/null 2>&1 \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'miri.* (installed)'; then
+  echo "==> miri smoke (route-model grid/occupancy unit tests)"
+  cargo +nightly miri test -p route-model --offline -- grid occupancy
+else
+  echo "==> nightly miri not installed; skipping miri smoke"
+fi
+
 # Supervised recovery smoke: SIGKILL a journaled batch mid-run, resume
 # it, and require the resumed JSON report to be byte-identical to an
 # uninterrupted run's. This exercises the crash path for real — a
