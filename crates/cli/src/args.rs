@@ -225,6 +225,18 @@ pub enum Command {
         analyze: bool,
         /// Net-ordering policy for the planning phase.
         order: ChipOrder,
+        /// Supervised recovery: retry budget per tile (implies the
+        /// supervised tile stage even when 0).
+        retries: Option<u32>,
+        /// Supervised recovery: hand exhausted tiles to the sequential
+        /// Lee baseline before salvaging (implies the supervised tile
+        /// stage).
+        fallback: bool,
+        /// Directory for the crash-safe chip journal (`chip.ldj`).
+        journal: Option<String>,
+        /// Resume from an existing chip journal, replaying completed
+        /// tiles (requires `journal`).
+        resume: bool,
         /// Write a machine-readable JSON report to this path.
         json: Option<String>,
     },
@@ -517,6 +529,10 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     let mut jobs = 0usize;
     let mut analyze = false;
     let mut order = ChipOrder::default();
+    let mut retries = None;
+    let mut fallback = false;
+    let mut journal = None;
+    let mut resume = false;
     let mut json = None;
     let num = |flag: &str, v: String| -> Result<u64, ParseArgsError> {
         v.parse().map_err(|_| err(format!("{flag} needs a number")))
@@ -547,6 +563,25 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
                     }
                 }
             }
+            "--retries" => {
+                let n: u32 = cur
+                    .value_of("--retries")?
+                    .parse()
+                    .map_err(|_| err("--retries needs a number"))?;
+                if n > 16 {
+                    return Err(err("--retries must be at most 16"));
+                }
+                retries = Some(n);
+            }
+            "--fallback" => {
+                let name = cur.value_of("--fallback")?;
+                if name != "lee" {
+                    return Err(err(format!("--fallback must be `lee` for `chip`, got `{name}`")));
+                }
+                fallback = true;
+            }
+            "--journal" => journal = Some(cur.value_of("--journal")?),
+            "--resume" => resume = true,
             "--json" => json = Some(cur.value_of("--json")?),
             flag => return Err(err(format!("unknown flag `{flag}` for `chip`"))),
         }
@@ -560,7 +595,25 @@ fn parse_chip(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
     if tile == 0 {
         return Err(err("--tile must be at least 1"));
     }
-    Ok(Command::Chip { width, height, nets, macros, seed, tile, jobs, analyze, order, json })
+    if resume && journal.is_none() {
+        return Err(err("--resume requires --journal DIR"));
+    }
+    Ok(Command::Chip {
+        width,
+        height,
+        nets,
+        macros,
+        seed,
+        tile,
+        jobs,
+        analyze,
+        order,
+        retries,
+        fallback,
+        journal,
+        resume,
+        json,
+    })
 }
 
 fn parse_analyze(cur: &mut Cursor) -> Result<Command, ParseArgsError> {
@@ -1021,13 +1074,18 @@ mod tests {
                 jobs: 0,
                 analyze: false,
                 order: ChipOrder::Bbox,
+                retries: None,
+                fallback: false,
+                journal: None,
+                resume: false,
                 json: None,
             }
         );
         assert_eq!(
             parse(
                 "chip --width 352 --height 352 --nets 10560 --macros 24 --seed 7 --tile 32 \
-                   --jobs 4 --analyze --order features --json chip.json"
+                   --jobs 4 --analyze --order features --retries 2 --fallback lee \
+                   --journal chipdir --resume --json chip.json"
             )
             .unwrap(),
             Command::Chip {
@@ -1040,6 +1098,10 @@ mod tests {
                 jobs: 4,
                 analyze: true,
                 order: ChipOrder::Features,
+                retries: Some(2),
+                fallback: true,
+                journal: Some("chipdir".into()),
+                resume: true,
                 json: Some("chip.json".into()),
             }
         );
@@ -1049,6 +1111,26 @@ mod tests {
         assert!(parse("chip --jobs 9999").unwrap_err().to_string().contains("4096"));
         assert!(parse("chip extra.sb").unwrap_err().to_string().contains("unknown flag"));
         assert!(parse("chip --order sideways").unwrap_err().to_string().contains("--order"));
+    }
+
+    #[test]
+    fn chip_supervision_flags() {
+        // --retries 0 still selects the supervised tile stage.
+        assert!(matches!(
+            parse("chip --retries 0").unwrap(),
+            Command::Chip { retries: Some(0), .. }
+        ));
+        assert!(parse("chip --retries 17").unwrap_err().to_string().contains("at most 16"));
+        assert!(parse("chip --fallback maze").unwrap_err().to_string().contains("lee"));
+        // Resuming needs somewhere to resume *from*.
+        let msg = parse("chip --resume").unwrap_err().to_string();
+        assert!(msg.contains("--resume requires --journal DIR"), "{msg}");
+        let msg = parse("chip --resume --retries 2").unwrap_err().to_string();
+        assert!(msg.contains("--resume requires --journal DIR"), "{msg}");
+        assert!(matches!(
+            parse("chip --journal d --resume").unwrap(),
+            Command::Chip { journal: Some(_), resume: true, .. }
+        ));
     }
 
     #[test]

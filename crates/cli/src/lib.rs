@@ -15,7 +15,8 @@
 //! vroute gen switchbox --width W --height H --nets N [--seed S]
 //! vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
 //! vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T] [--jobs N]
-//!             [--analyze] [--order bbox|features] [--json OUT]
+//!             [--analyze] [--order bbox|features] [--retries N] [--fallback lee]
+//!             [--journal DIR] [--resume] [--json OUT]
 //! vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
 //! ```
 //!
@@ -50,7 +51,8 @@ USAGE:
   vroute gen switchbox --width W --height H --nets N [--seed S]
   vroute gen channel --width W --nets N [--extra-pin-pct P] [--window W] [--seed S]
   vroute chip [--width W --height H --nets N --macros M] [--seed S] [--tile T]
-              [--jobs N] [--analyze] [--order bbox|features] [--json OUT]
+              [--jobs N] [--analyze] [--order bbox|features] [--retries N]
+              [--fallback lee] [--journal DIR] [--resume] [--json OUT]
   vroute fuzz [--seeds A..B] [CASE...] [--jobs N] [--shrink] [--out DIR]
   vroute serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N]
                [--deadline-ms MS] [--journal DIR] [--resume]
@@ -135,12 +137,31 @@ SUPERVISED RECOVERY (batch; any of these selects the supervised engine):
   per-attempt budget and timed-out attempts feed the salvage snapshot.
   Not combinable with --metrics/--trace.
 
+SUPERVISED CHIP FLOW (chip; --retries/--fallback select it):
+  --retries N     Re-route failed tiles up to N times with escalated
+                  budgets and a per-tile perturbed net order (N <= 16)
+  --fallback lee  Hand exhausted tiles to the sequential Lee baseline
+                  before salvaging their best partial snapshot
+  --journal DIR   Append each tile's outcome to DIR/chip.ldj (crash-safe
+                  WAL, fsync'd per tile); works with or without the
+                  supervision flags
+  --resume        Replay tiles already completed in DIR/chip.ldj byte
+                  for byte and route only the rest; requires --journal.
+                  The resumed JSON report is byte-identical to an
+                  uninterrupted run's (supervised chip reports omit the
+                  wall-clock field for exactly this reason).
+  Seam repair always escalates on its own: widened band, re-anchored
+  fresh band, then a per-net flat reroute. VROUTE_FAULT targets tiles
+  (`panic@tile:3`) or seam rungs (`fail@seam`).
+
 ENVIRONMENT:
   VROUTE_FUZZ_FAULT  Inject a deliberate router bug into `fuzz` runs for
                      mutation testing: hide-failures | drop-trace
-  VROUTE_FAULT       Inject engine faults into supervised `batch` runs:
-                     KIND[@INSTANCES[@ATTEMPTS]] with KIND one of
-                     panic | fail | delay-MS (e.g. `fail@1,4@1`)
+  VROUTE_FAULT       Inject engine faults into supervised `batch` and
+                     `chip` runs: KIND[@TARGETS[@ATTEMPTS]] with KIND one
+                     of panic | fail | delay-MS, and TARGETS instances
+                     (`fail@1,4@1`), tiles (`panic@tile:3`), or seam
+                     rungs (`fail@seam`)
   VROUTE_SERVE_FAULT Delay every `serve` job by a fixed amount for crash
                      testing: delay-MS (e.g. `delay-800`)
 ";

@@ -5,8 +5,8 @@ use std::fmt;
 
 use mighty::engine::{EngineConfig, ObserveMode, RouteEngine};
 use mighty::{
-    FallbackChain, FaultPlan, InstanceStatus, MightyRouter, RetryPolicy, RouterConfig, RunJournal,
-    Supervisor,
+    ChipJournal, FallbackChain, FaultPlan, InstanceStatus, MightyRouter, RetryPolicy, RouterConfig,
+    RunJournal, Supervisor,
 };
 use route_analyze::{
     analyze_problem, lint_db, render_text, sort_diagnostics, Diagnostic, Severity,
@@ -128,7 +128,22 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
         Command::Fuzz { seeds, cases, jobs, shrink, out: out_dir } => {
             execute_fuzz(seeds, cases, *jobs, *shrink, out_dir.as_deref(), out)
         }
-        Command::Chip { width, height, nets, macros, seed, tile, jobs, analyze, order, json } => {
+        Command::Chip {
+            width,
+            height,
+            nets,
+            macros,
+            seed,
+            tile,
+            jobs,
+            analyze,
+            order,
+            retries,
+            fallback,
+            journal,
+            resume,
+            json,
+        } => {
             let gen = route_benchdata::gen::ChipGen {
                 width: *width,
                 height: *height,
@@ -151,8 +166,51 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 order: plan_order,
                 ..route_global::GlobalConfig::default()
             };
+            // A fault plan or any supervision flag selects the
+            // supervised tile stage; a journal alone runs it with
+            // supervision off (`ChipSupervision::none()`), which routes
+            // each tile exactly once like the plain flow.
+            let fault = match std::env::var("VROUTE_FAULT") {
+                Ok(spec) if !spec.is_empty() => {
+                    let plan = FaultPlan::parse(&spec)
+                        .map_err(|e| ExecutionError::Unroutable(format!("VROUTE_FAULT: {e}")))?;
+                    writeln!(out, "fault injection active: {spec}").expect("writing");
+                    Some(plan)
+                }
+                _ => None,
+            };
+            let supervised = retries.is_some() || *fallback || fault.is_some();
+            let chip_journal = match journal {
+                Some(dir) => {
+                    let d = std::path::Path::new(dir);
+                    let j = if *resume { ChipJournal::resume(d) } else { ChipJournal::create(d) }
+                        .map_err(|e| ExecutionError::Io(d.display().to_string(), e))?;
+                    Some(j)
+                }
+                None => None,
+            };
             let started = std::time::Instant::now();
-            let outcome = route_global::route_hierarchical(&problem, &cfg);
+            let outcome = if supervised || chip_journal.is_some() {
+                let sup = if supervised {
+                    route_global::ChipSupervision {
+                        retries: retries.unwrap_or(1),
+                        fallback: *fallback,
+                        seed: *seed,
+                        fault,
+                    }
+                } else {
+                    route_global::ChipSupervision::none()
+                };
+                route_global::route_hierarchical_supervised(
+                    &problem,
+                    &cfg,
+                    &sup,
+                    chip_journal.as_ref(),
+                )
+            } else {
+                route_global::route_hierarchical(&problem, &cfg)
+            };
+            let recovering = supervised || chip_journal.is_some();
             let ms = started.elapsed().as_millis() as u64;
             let report = verify(&problem, outcome.db());
             let stats = outcome.stats();
@@ -169,6 +227,29 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                 chip.tiles_routed, chip.tiles_errored, stats.tile_failures
             )
             .expect("writing");
+            if recovering {
+                writeln!(
+                    out,
+                    "recovery: {} tile(s) retried, {} fell back, {} salvaged, \
+                     {} seam escalation(s)",
+                    chip.tiles_retried,
+                    chip.tiles_fell_back,
+                    chip.tiles_salvaged,
+                    chip.seam_escalations
+                )
+                .expect("writing");
+            }
+            if let Some(dir) = journal {
+                writeln!(
+                    out,
+                    "journal: {dir}, {} tile(s) replayed from a previous run",
+                    outcome.resumed_tiles()
+                )
+                .expect("writing");
+            }
+            if let Some(e) = outcome.journal_error() {
+                writeln!(out, "journal error: {e}").expect("writing");
+            }
             writeln!(
                 out,
                 "stitch: {}/{} seams repaired, {} rip-ups, {} nets completed; \
@@ -240,14 +321,28 @@ pub fn execute(cmd: &Command, out: &mut dyn fmt::Write) -> Result<bool, Executio
                             crate::ChipOrder::Features => "features",
                         }),
                     ),
-                    ("ms".to_string(), Json::from(ms)),
                 ]);
+                if recovering {
+                    // The supervised report adds the recovery counters
+                    // and deliberately omits the wall-clock field, so a
+                    // killed-and-resumed run reproduces the
+                    // uninterrupted run's JSON byte for byte (the
+                    // resumed-tile count stays in the human text only).
+                    pairs.extend([
+                        ("tiles_retried".to_string(), Json::from(chip.tiles_retried as u64)),
+                        ("tiles_fell_back".to_string(), Json::from(chip.tiles_fell_back as u64)),
+                        ("tiles_salvaged".to_string(), Json::from(chip.tiles_salvaged as u64)),
+                        ("seam_escalations".to_string(), Json::from(chip.seam_escalations as u64)),
+                    ]);
+                } else {
+                    pairs.push(("ms".to_string(), Json::from(ms)));
+                }
                 let doc = versioned_doc("chip", pairs);
                 std::fs::write(path, doc.render())
                     .map_err(|e| ExecutionError::Io(path.clone(), e))?;
                 writeln!(out, "json written to {path}").expect("writing");
             }
-            Ok(complete)
+            Ok(complete && outcome.journal_error().is_none())
         }
         Command::Serve { endpoint, workers, queue, deadline_ms, journal, resume } => {
             crate::serve::execute_serve(

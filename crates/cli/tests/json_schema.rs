@@ -293,6 +293,63 @@ fn chip_json_schema_is_pinned() {
 }
 
 #[test]
+fn supervised_chip_json_schema_is_pinned() {
+    // The supervised report swaps the wall-clock field for the recovery
+    // counters: everything else matches the plain chip schema, and no
+    // timing-dependent key remains (a killed-and-resumed run must
+    // reproduce this report byte for byte).
+    let dir = std::env::temp_dir().join("vroute-json-schema-chip-supervised");
+    std::fs::create_dir_all(&dir).expect("creating the test directory");
+    let report = dir.join("chip.json");
+    run(&format!(
+        "chip --width 32 --height 32 --nets 40 --seed 3 --tile 8 --jobs 1 --analyze \
+         --retries 1 --json {}",
+        report.display()
+    ));
+    let json = std::fs::read_to_string(&report).unwrap();
+
+    let expected = golden(
+        vec![
+            "v",
+            "command",
+            "width",
+            "height",
+            "nets",
+            "seed",
+            "tile",
+            "jobs",
+            "status",
+            "wire",
+            "vias",
+            "checksum",
+            "legal",
+            "complete",
+            "failed",
+            "crossings",
+            "dropped",
+            "tiles_routed",
+            "tiles_errored",
+            "seams",
+            "seams_repaired",
+            "seam_ripups",
+            "seam_completed",
+            "fallback_completed",
+            "pruned_steps",
+            "infeasible",
+            "certified_nets",
+            "features",
+            "tiles_retried",
+            "tiles_fell_back",
+            "tiles_salvaged",
+            "seam_escalations",
+        ],
+        Vec::new(),
+    );
+    assert_eq!(key_paths(&json), expected, "supervised chip --json schema changed:\n{json}");
+    assert!(!json.contains("\"ms\""), "supervised chip reports must omit wall-clock:\n{json}");
+}
+
+#[test]
 fn analyze_chip_json_schema_is_pinned() {
     let dir = std::env::temp_dir().join("vroute-json-schema-analyze-chip");
     std::fs::create_dir_all(&dir).expect("creating the test directory");

@@ -445,6 +445,290 @@ impl ServeJournal {
     }
 }
 
+/// One chip-tile `tile` record: everything the hierarchical flow needs
+/// to replay a finished tile without re-routing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipTileRecord {
+    /// Tile index in the chip's tile ordering.
+    pub index: usize,
+    /// Fingerprint of the tile sub-problem ([`RunJournal::fingerprint`]
+    /// over its serialized form), so edited chips re-route.
+    pub fingerprint: u64,
+    /// Terminal classification of the tile's supervised outcome.
+    pub status: InstanceStatus,
+    /// How the tile's result was obtained.
+    pub path: RecoveryPath,
+    /// Attempts spent across the tile's recovery chain.
+    pub attempts: u32,
+    /// Tile-local committed wiring, serialized by the chip flow — the
+    /// journal treats it as an opaque string.
+    pub routes: String,
+    /// Tile-local ids of the nets the tile left unconnected.
+    pub failed: Vec<u32>,
+    /// Terminal error or salvage reason, if any.
+    pub error: Option<String>,
+}
+
+/// Crash-safe journal for the hierarchical chip flow (`vroute chip`).
+///
+/// Three record kinds, all crc-sealed like the batch journal's:
+///
+/// * `begin` — appended before a tile is routed, marking it in-flight.
+/// * `tile` — appended (and fsync'd) after a tile's supervised outcome
+///   is known, carrying its status, recovery path and the tile-local
+///   wiring needed to replay it without re-routing.
+/// * `mark` — a stage checkpoint (e.g. the post-stitch database
+///   checksum), keyed by the chip fingerprint so stale chips never
+///   validate.
+///
+/// The journal is opened *before* the chip's tile decomposition exists
+/// ([`create`](ChipJournal::create) / [`resume`](ChipJournal::resume)
+/// only touch the filesystem); once the flow has computed per-tile
+/// fingerprints it calls [`establish`](ChipJournal::establish), which
+/// matches any parsed records against them — index *and* fingerprint,
+/// last valid record wins — and everything that matches replays.
+#[derive(Debug)]
+pub struct ChipJournal {
+    path: PathBuf,
+    writer: Mutex<Writer>,
+    state: Mutex<ChipState>,
+}
+
+#[derive(Debug, Default)]
+struct ChipState {
+    /// Established per-tile fingerprints.
+    tiles: Vec<u64>,
+    /// Chip fingerprint (FNV over the tile fingerprints).
+    chip_fp: u64,
+    /// Parsed `tile` records awaiting [`ChipJournal::establish`].
+    parsed: Vec<ChipTileRecord>,
+    /// Parsed `mark` records awaiting [`ChipJournal::establish`],
+    /// as `(chip fingerprint, stage, checksum)`.
+    marks: Vec<(u64, String, u64)>,
+    /// Post-establish replay set, one slot per tile.
+    replayed: Vec<Option<ChipTileRecord>>,
+    /// Post-establish stage checkpoints from the previous run.
+    checkpoints: BTreeMap<String, u64>,
+}
+
+impl ChipJournal {
+    /// File name of the log inside the journal directory.
+    pub const FILE_NAME: &'static str = "chip.ldj";
+
+    /// Starts a fresh chip journal, truncating any previous log in
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-open failures.
+    pub fn create(dir: &Path) -> io::Result<ChipJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(ChipJournal::FILE_NAME);
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        Ok(ChipJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            state: Mutex::new(ChipState::default()),
+        })
+    }
+
+    /// Opens a chip journal for resume: scans any existing log for
+    /// valid records (candidates until
+    /// [`establish`](ChipJournal::establish) validates them), then
+    /// appends. A missing log behaves like
+    /// [`create`](ChipJournal::create).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation, read and file-open failures.
+    pub fn resume(dir: &Path) -> io::Result<ChipJournal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(ChipJournal::FILE_NAME);
+        let mut state = ChipState::default();
+        match File::open(&path) {
+            Ok(mut file) => {
+                let mut text = String::new();
+                file.read_to_string(&mut text)?;
+                for line in text.lines() {
+                    if !crc_valid(line) {
+                        continue;
+                    }
+                    match raw_field(line, "ev") {
+                        Some("tile") => {
+                            if let Some(record) = parse_tile_line(line) {
+                                state.parsed.push(record);
+                            }
+                        }
+                        Some("mark") => {
+                            let fp =
+                                raw_field(line, "fp").and_then(|h| u64::from_str_radix(h, 16).ok());
+                            let stage = raw_field(line, "stage").map(unescape);
+                            let checksum = raw_field(line, "checksum")
+                                .and_then(|h| u64::from_str_radix(h, 16).ok());
+                            if let (Some(fp), Some(stage), Some(checksum)) = (fp, stage, checksum) {
+                                state.marks.push((fp, stage, checksum));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        Ok(ChipJournal {
+            path,
+            writer: Mutex::new(Writer { file: Some(file), error: None }),
+            state: Mutex::new(state),
+        })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The chip fingerprint for a tile decomposition: FNV over the
+    /// per-tile fingerprints.
+    pub fn chip_fingerprint(tiles: &[u64]) -> u64 {
+        let mut text = String::with_capacity(tiles.len() * 17);
+        for fp in tiles {
+            let _ = write!(text, "{fp:016x};");
+        }
+        RunJournal::fingerprint(&text)
+    }
+
+    /// Registers the chip's per-tile fingerprints and validates any
+    /// records parsed at [`resume`](ChipJournal::resume) time against
+    /// them: a `tile` record replays iff its index and fingerprint both
+    /// match (last valid record wins); a `mark` checkpoint survives iff
+    /// its chip fingerprint matches. Must be called before
+    /// [`begin`](ChipJournal::begin)/[`finish`](ChipJournal::finish).
+    pub fn establish(&self, tiles: &[u64]) {
+        let Ok(mut state) = self.state.lock() else { return };
+        state.tiles = tiles.to_vec();
+        state.chip_fp = ChipJournal::chip_fingerprint(tiles);
+        state.replayed = vec![None; tiles.len()];
+        let parsed = std::mem::take(&mut state.parsed);
+        for record in parsed {
+            if state.tiles.get(record.index) == Some(&record.fingerprint) {
+                let slot = record.index;
+                state.replayed[slot] = Some(record);
+            }
+        }
+        let marks = std::mem::take(&mut state.marks);
+        let chip_fp = state.chip_fp;
+        for (fp, stage, checksum) in marks {
+            if fp == chip_fp {
+                state.checkpoints.insert(stage, checksum);
+            }
+        }
+    }
+
+    /// The replayed record for a tile, if resume found a valid one.
+    pub fn replay(&self, index: usize) -> Option<ChipTileRecord> {
+        let state = self.state.lock().ok()?;
+        state.replayed.get(index).and_then(|r| r.clone())
+    }
+
+    /// Tiles resume will skip.
+    pub fn resumed_count(&self) -> usize {
+        match self.state.lock() {
+            Ok(state) => state.replayed.iter().filter(|r| r.is_some()).count(),
+            Err(_) => 0,
+        }
+    }
+
+    /// The established fingerprint for a tile.
+    pub fn tile_fingerprint(&self, index: usize) -> Option<u64> {
+        let state = self.state.lock().ok()?;
+        state.tiles.get(index).copied()
+    }
+
+    /// The previous run's checkpoint for a stage, if one survived
+    /// [`establish`](ChipJournal::establish).
+    pub fn replayed_checkpoint(&self, stage: &str) -> Option<u64> {
+        let state = self.state.lock().ok()?;
+        state.checkpoints.get(stage).copied()
+    }
+
+    /// Appends the in-flight marker for a tile. Errors latch (see
+    /// [`take_error`](ChipJournal::take_error)).
+    pub fn begin(&self, index: usize) {
+        let fp = match self.state.lock() {
+            Ok(state) => match state.tiles.get(index) {
+                Some(fp) => *fp,
+                None => return,
+            },
+            Err(_) => return,
+        };
+        let mut body = String::from("{\"ev\":\"begin\"");
+        let _ = write!(body, ",\"idx\":{index},\"fp\":\"{fp:016x}\"");
+        append_sealed(&self.writer, body, false);
+    }
+
+    /// Appends and fsyncs the terminal record for a tile. Errors latch
+    /// (see [`take_error`](ChipJournal::take_error)).
+    pub fn finish(&self, record: &ChipTileRecord) {
+        let mut body = String::from("{\"ev\":\"tile\"");
+        let _ = write!(body, ",\"idx\":{},\"fp\":\"{:016x}\"", record.index, record.fingerprint);
+        let _ = write!(body, ",\"status\":\"{}\"", record.status.as_str());
+        let _ = write!(body, ",\"path\":\"{}\"", escape(&record.path.encode()));
+        let _ = write!(body, ",\"attempts\":{}", record.attempts);
+        let _ = write!(body, ",\"routes\":\"{}\"", escape(&record.routes));
+        let failed: Vec<String> = record.failed.iter().map(u32::to_string).collect();
+        let _ = write!(body, ",\"failed\":\"{}\"", failed.join(","));
+        if let Some(error) = &record.error {
+            let _ = write!(body, ",\"error\":\"{}\"", escape(error));
+        }
+        append_sealed(&self.writer, body, true);
+    }
+
+    /// Appends and fsyncs a stage checkpoint, keyed by the established
+    /// chip fingerprint. Errors latch.
+    pub fn checkpoint(&self, stage: &str, checksum: u64) {
+        let fp = match self.state.lock() {
+            Ok(state) => state.chip_fp,
+            Err(_) => return,
+        };
+        let mut body = String::from("{\"ev\":\"mark\"");
+        let _ = write!(body, ",\"fp\":\"{fp:016x}\",\"stage\":\"{}\"", escape(stage));
+        let _ = write!(body, ",\"checksum\":\"{checksum:016x}\"");
+        append_sealed(&self.writer, body, true);
+    }
+
+    /// The first write error, if any — callers check once per run.
+    pub fn take_error(&self) -> Option<String> {
+        match self.writer.lock() {
+            Ok(mut writer) => writer.error.take(),
+            Err(_) => Some("journal writer mutex poisoned".to_string()),
+        }
+    }
+}
+
+/// Parses one crc-checked journal line into a chip `tile` record.
+fn parse_tile_line(line: &str) -> Option<ChipTileRecord> {
+    let failed_raw = raw_field(line, "failed")?;
+    let mut failed = Vec::new();
+    for part in failed_raw.split(',') {
+        if part.is_empty() {
+            continue;
+        }
+        failed.push(part.parse().ok()?);
+    }
+    Some(ChipTileRecord {
+        index: raw_field(line, "idx")?.parse().ok()?,
+        fingerprint: u64::from_str_radix(raw_field(line, "fp")?, 16).ok()?,
+        status: InstanceStatus::parse(raw_field(line, "status")?)?,
+        path: RecoveryPath::parse(&unescape(raw_field(line, "path")?))?,
+        attempts: raw_field(line, "attempts")?.parse().ok()?,
+        routes: unescape(raw_field(line, "routes")?),
+        failed,
+        error: raw_field(line, "error").map(unescape),
+    })
+}
+
 /// Escapes a string for embedding in a journal line: backslash, quote
 /// and control characters.
 fn escape(text: &str) -> String {
@@ -731,5 +1015,106 @@ mod tests {
         let (journal, pending) = ServeJournal::resume(&dir).unwrap();
         assert!(pending.is_empty());
         assert_eq!(journal.accept("x"), 1);
+    }
+
+    fn tile_record(index: usize, fp: u64) -> ChipTileRecord {
+        ChipTileRecord {
+            index,
+            fingerprint: fp,
+            status: InstanceStatus::Complete,
+            path: RecoveryPath::Direct,
+            attempts: 1,
+            routes: format!("0:1,2,0;3,2,0|1:0,0,1;0,1,1 tile {index}"),
+            failed: vec![],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn chip_journal_replays_matching_tiles() {
+        let dir = temp_dir("chip");
+        let tiles = [0x11u64, 0x22, 0x33];
+        let journal = ChipJournal::create(&dir).unwrap();
+        journal.establish(&tiles);
+        journal.begin(0);
+        journal.finish(&tile_record(0, 0x11));
+        let mut salvaged = tile_record(2, 0x33);
+        salvaged.status = InstanceStatus::Salvaged;
+        salvaged.path = RecoveryPath::Salvaged;
+        salvaged.attempts = 3;
+        salvaged.failed = vec![4, 9];
+        salvaged.error = Some("incomplete after 3 attempt(s): 2 net(s) unrouted".to_string());
+        journal.begin(2);
+        journal.finish(&salvaged);
+        journal.checkpoint("stitch", 0xfeed_f00d);
+        assert_eq!(journal.take_error(), None);
+        drop(journal);
+
+        let resumed = ChipJournal::resume(&dir).unwrap();
+        resumed.establish(&tiles);
+        assert_eq!(resumed.resumed_count(), 2);
+        assert_eq!(resumed.replay(0), Some(tile_record(0, 0x11)));
+        assert_eq!(resumed.replay(1), None, "tile 1 never finished");
+        assert_eq!(resumed.replay(2), Some(salvaged));
+        assert_eq!(resumed.replayed_checkpoint("stitch"), Some(0xfeed_f00d));
+        assert_eq!(resumed.replayed_checkpoint("final"), None);
+    }
+
+    #[test]
+    fn chip_journal_rejects_stale_fingerprints() {
+        let dir = temp_dir("chip-stale");
+        let journal = ChipJournal::create(&dir).unwrap();
+        journal.establish(&[0x11, 0x22]);
+        journal.finish(&tile_record(0, 0x11));
+        journal.finish(&tile_record(1, 0x22));
+        journal.checkpoint("stitch", 0xabcd);
+        drop(journal);
+
+        // A different chip: tile 0 matches, tile 1 changed, and the
+        // chip-level checkpoint must not validate.
+        let resumed = ChipJournal::resume(&dir).unwrap();
+        resumed.establish(&[0x11, 0x99]);
+        assert_eq!(resumed.resumed_count(), 1);
+        assert!(resumed.replay(0).is_some());
+        assert!(resumed.replay(1).is_none(), "edited tile must re-route");
+        assert_eq!(resumed.replayed_checkpoint("stitch"), None);
+    }
+
+    #[test]
+    fn chip_journal_ignores_torn_tail_and_last_record_wins() {
+        let dir = temp_dir("chip-torn");
+        let tiles = [0x1u64, 0x2];
+        let journal = ChipJournal::create(&dir).unwrap();
+        journal.establish(&tiles);
+        let mut first = tile_record(0, 0x1);
+        first.attempts = 1;
+        journal.finish(&first);
+        let mut second = tile_record(0, 0x1);
+        second.attempts = 2;
+        journal.finish(&second);
+        journal.finish(&tile_record(1, 0x2));
+        drop(journal);
+
+        // Tear the final line mid-byte, as a crash would.
+        let path = dir.join(ChipJournal::FILE_NAME);
+        let text = fs::read_to_string(&path).unwrap();
+        let torn: String = text.chars().take(text.len() - 9).collect();
+        fs::write(&path, torn).unwrap();
+
+        let resumed = ChipJournal::resume(&dir).unwrap();
+        resumed.establish(&tiles);
+        assert_eq!(resumed.resumed_count(), 1, "the torn record must be re-run");
+        let replayed = resumed.replay(0).expect("tile 0 replays");
+        assert_eq!(replayed.attempts, 2, "last valid record wins");
+        assert!(resumed.replay(1).is_none());
+    }
+
+    #[test]
+    fn chip_journal_resume_on_empty_dir_is_fresh() {
+        let dir = temp_dir("chip-fresh");
+        let journal = ChipJournal::resume(&dir).unwrap();
+        journal.establish(&[0x1]);
+        assert_eq!(journal.resumed_count(), 0);
+        assert!(journal.replay(0).is_none());
     }
 }

@@ -59,7 +59,9 @@ pub use engine::{
     BatchObservation, BatchOutcome, EngineConfig, EngineConfigBuilder, EngineStats, ObserveMode,
     RouteEngine, SupervisedBatch, MAX_JOBS,
 };
-pub use journal::{JournalEntry, PendingRequest, RunJournal, ServeJournal};
+pub use journal::{
+    ChipJournal, ChipTileRecord, JournalEntry, PendingRequest, RunJournal, ServeJournal,
+};
 pub use recover::{
     EngineFault, FallbackChain, FaultPlan, InstanceStatus, RecoveryPath, RetryPolicy, SalvageInfo,
     SupervisedOutcome, Supervisor,

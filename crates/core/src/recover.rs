@@ -197,32 +197,42 @@ pub enum EngineFault {
 ///
 /// The spec grammar (used by the CLI's `VROUTE_FAULT` environment
 /// variable and by [`FaultPlan::parse`]) is
-/// `KIND[@INSTANCES[@ATTEMPTS]]`:
+/// `KIND[@TARGETS[@ATTEMPTS]]`:
 ///
 /// * `KIND` — `panic`, `fail`, or `delay-MS` (milliseconds).
-/// * `INSTANCES` — `*` for all, or a comma-separated list of 0-based
-///   batch indices. Defaults to `*`.
+/// * `TARGETS` — `*` for everything, a comma-separated list of 0-based
+///   batch indices (`0,2`), a comma-separated list of chip tiles
+///   (`tile:3,tile:7`), or the chip seam stage (`seam`). Defaults to
+///   `*`. Index lists target only batch instances; `tile:` lists
+///   target only chip tiles; `seam` targets only seam-repair rungs —
+///   a bare or `*` plan hits batch instances *and* tiles, but never
+///   the seam stage (the seam ladder must be opted into explicitly).
 /// * `ATTEMPTS` — inject into the first this-many attempts of each
-///   targeted instance (counted across retries *and* fallbacks).
-///   Defaults to `1`, so the first attempt fails and recovery runs.
+///   target (counted across retries *and* fallbacks; for `seam`,
+///   across the escalation-ladder rungs of each seam). Defaults to
+///   `1`, so the first attempt fails and recovery runs.
 ///
 /// `panic@0,2@1` panics the first attempt of instances 0 and 2;
-/// `delay-200@*@2` delays the first two attempts of every instance.
+/// `delay-200@*@2` delays the first two attempts of every instance;
+/// `panic@tile:3` panics tile 3's first attempt; `fail@seam@2` fails
+/// the first two rungs of every seam repair.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     fault: EngineFault,
     instances: Option<Vec<usize>>,
+    tiles: Option<Vec<usize>>,
+    seam: bool,
     attempts: u32,
 }
 
 impl FaultPlan {
     /// A plan injecting `fault` into the first `attempts` attempts of
-    /// the given instances (`None` targets every instance).
+    /// the given batch instances (`None` targets every instance).
     pub fn new(fault: EngineFault, instances: Option<Vec<usize>>, attempts: u32) -> Self {
-        FaultPlan { fault, instances, attempts }
+        FaultPlan { fault, instances, tiles: None, seam: false, attempts }
     }
 
-    /// Parses the `KIND[@INSTANCES[@ATTEMPTS]]` spec described on the
+    /// Parses the `KIND[@TARGETS[@ATTEMPTS]]` spec described on the
     /// type. Errors are human-readable and name the offending part.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut parts = spec.split('@');
@@ -237,19 +247,32 @@ impl FaultPlan {
         } else {
             return Err(format!("unknown fault kind {kind:?} (panic, fail, delay-MS)"));
         };
-        let instances = match parts.next() {
-            None | Some("*") => None,
+        let mut instances: Option<Vec<usize>> = None;
+        let mut tiles: Option<Vec<usize>> = None;
+        let mut seam = false;
+        match parts.next() {
+            None | Some("*") => {}
+            Some("seam") => seam = true,
             Some(list) => {
-                let mut idx = Vec::new();
                 for part in list.split(',') {
-                    idx.push(
-                        part.parse::<usize>()
-                            .map_err(|_| format!("bad instance index {part:?}"))?,
-                    );
+                    if part == "seam" {
+                        return Err("seam must be the sole fault target".to_string());
+                    } else if let Some(t) = part.strip_prefix("tile:") {
+                        let t =
+                            t.parse::<usize>().map_err(|_| format!("bad tile index {part:?}"))?;
+                        tiles.get_or_insert_with(Vec::new).push(t);
+                    } else {
+                        let i = part
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad instance index {part:?}"))?;
+                        instances.get_or_insert_with(Vec::new).push(i);
+                    }
                 }
-                Some(idx)
+                if instances.is_some() && tiles.is_some() {
+                    return Err("cannot mix instance and tile fault targets".to_string());
+                }
             }
-        };
+        }
         let attempts = match parts.next() {
             None => 1,
             Some(n) => n.parse::<u32>().map_err(|_| format!("bad attempt count {n:?}"))?,
@@ -257,14 +280,33 @@ impl FaultPlan {
         if let Some(extra) = parts.next() {
             return Err(format!("trailing fault spec part {extra:?}"));
         }
-        Ok(FaultPlan { fault, instances, attempts })
+        Ok(FaultPlan { fault, instances, tiles, seam, attempts })
     }
 
     /// Whether the plan fires for attempt `attempt` (0-based, counted
     /// across the whole recovery chain) of batch instance `instance`.
+    /// Tile- and seam-targeted plans never hit batch instances.
     pub fn applies(&self, instance: usize, attempt: u32) -> bool {
         attempt < self.attempts
+            && !self.seam
+            && self.tiles.is_none()
             && self.instances.as_ref().is_none_or(|list| list.contains(&instance))
+    }
+
+    /// Whether the plan fires for attempt `attempt` of chip tile
+    /// `tile`. Bare plans hit every tile; instance- and seam-targeted
+    /// plans never hit tiles.
+    pub fn applies_tile(&self, tile: usize, attempt: u32) -> bool {
+        attempt < self.attempts
+            && !self.seam
+            && self.instances.is_none()
+            && self.tiles.as_ref().is_none_or(|list| list.contains(&tile))
+    }
+
+    /// Whether the plan fires for escalation rung `rung` (0-based) of a
+    /// chip seam repair. Only explicit `@seam` plans ever fire here.
+    pub fn applies_seam(&self, rung: u32) -> bool {
+        self.seam && rung < self.attempts
     }
 
     /// The injected fault.
@@ -444,6 +486,10 @@ pub struct Supervisor {
     retry: RetryPolicy,
     fallbacks: FallbackChain,
     fault: Option<FaultPlan>,
+    /// When set, the `instance` passed to
+    /// [`route_supervised`](Supervisor::route_supervised) is a chip
+    /// tile index and faults match via [`FaultPlan::applies_tile`].
+    fault_on_tiles: bool,
 }
 
 impl fmt::Debug for Supervisor {
@@ -466,6 +512,7 @@ impl Supervisor {
             retry,
             fallbacks: FallbackChain::none(),
             fault: None,
+            fault_on_tiles: false,
         }
     }
 
@@ -477,6 +524,7 @@ impl Supervisor {
             retry,
             fallbacks: FallbackChain::none(),
             fault: None,
+            fault_on_tiles: false,
         }
     }
 
@@ -489,6 +537,16 @@ impl Supervisor {
     /// Attaches a fault-injection plan (testing / `VROUTE_FAULT`).
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Attaches a fault-injection plan scoped to chip tiles: the
+    /// `instance` argument of
+    /// [`route_supervised`](Supervisor::route_supervised) is treated as
+    /// a tile index and matched via [`FaultPlan::applies_tile`].
+    pub fn with_tile_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self.fault_on_tiles = true;
         self
     }
 
@@ -640,8 +698,17 @@ impl Supervisor {
         deadline: Option<Duration>,
         best: &mut Option<Routing>,
     ) -> RouteResult {
-        let injected =
-            self.fault.as_ref().filter(|f| f.applies(instance, attempt_no)).map(FaultPlan::fault);
+        let injected = self
+            .fault
+            .as_ref()
+            .filter(|f| {
+                if self.fault_on_tiles {
+                    f.applies_tile(instance, attempt_no)
+                } else {
+                    f.applies(instance, attempt_no)
+                }
+            })
+            .map(FaultPlan::fault);
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             match injected {
@@ -738,6 +805,50 @@ mod tests {
         for bad in ["", "explode", "delay-", "delay-x", "panic@x", "panic@1@x", "panic@1@2@3"] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn fault_plan_tile_and_seam_targets() {
+        let plan = FaultPlan::parse("panic@tile:3").unwrap();
+        assert!(plan.applies_tile(3, 0));
+        assert!(!plan.applies_tile(2, 0), "untargeted tile");
+        assert!(!plan.applies_tile(3, 1), "attempt past the window");
+        assert!(!plan.applies(3, 0), "tile plans never hit batch instances");
+        assert!(!plan.applies_seam(0), "tile plans never hit the seam stage");
+
+        let plan = FaultPlan::parse("fail@tile:1,tile:4@2").unwrap();
+        assert!(plan.applies_tile(1, 1) && plan.applies_tile(4, 0));
+        assert!(!plan.applies_tile(2, 0));
+
+        let plan = FaultPlan::parse("fail@seam@2").unwrap();
+        assert!(plan.applies_seam(0) && plan.applies_seam(1));
+        assert!(!plan.applies_seam(2), "rung past the window");
+        assert!(!plan.applies(0, 0) && !plan.applies_tile(0, 0));
+
+        // Bare plans hit batch instances and tiles, never seams.
+        let plan = FaultPlan::parse("delay-40").unwrap();
+        assert!(plan.applies(7, 0) && plan.applies_tile(7, 0));
+        assert!(!plan.applies_seam(0));
+
+        // Instance-index plans never hit tiles, and vice versa.
+        let plan = FaultPlan::parse("panic@2").unwrap();
+        assert!(plan.applies(2, 0) && !plan.applies_tile(2, 0));
+
+        for bad in ["panic@tile:x", "panic@seam,1", "panic@1,tile:2"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn tile_scoped_supervisor_matches_tile_targets() {
+        // A tile-scoped fault on tile 0: the first attempt panics and
+        // the retry recovers; other tiles are untouched.
+        let sup = Supervisor::new(RouterConfig::default(), RetryPolicy::with_retries(2))
+            .with_tile_fault(FaultPlan::parse("panic@tile:0").unwrap());
+        let out = sup.route_supervised(&tiny(), 0, None);
+        assert_eq!(out.path, RecoveryPath::Retried { attempt: 1 });
+        let out = sup.route_supervised(&tiny(), 1, None);
+        assert_eq!(out.path, RecoveryPath::Direct, "tile 1 is untargeted");
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub enum OracleKind {
     /// does not replay, or one that coexists with a verifier-complete
     /// route — flat or hierarchical.
     ChipAnalysis,
+    /// The supervised chip flow (per-tile retry/fallback/salvage)
+    /// produced an illegal database, lied about its failed nets, kept
+    /// inconsistent recovery counters, was nondeterministic across
+    /// worker counts, or panicked.
+    ChipSalvage,
 }
 
 impl fmt::Display for OracleKind {
@@ -99,6 +104,7 @@ impl fmt::Display for OracleKind {
             OracleKind::FrontierDivergence => "frontier-divergence",
             OracleKind::ChipStitch => "chip-stitch",
             OracleKind::ChipAnalysis => "chip-analysis",
+            OracleKind::ChipSalvage => "chip-salvage",
         };
         f.write_str(name)
     }
@@ -190,7 +196,118 @@ pub fn check_instance(problem: &Problem, runs: &InstanceRuns) -> Vec<OracleViola
     check_salvage(problem, &mut out);
     check_chip_stitch(problem, runs, &mut out);
     check_chip_analysis(problem, runs, &mut out);
+    check_chip_salvage(problem, &mut out);
     out
+}
+
+/// Supervised-chip oracle: the hierarchical flow under a starved router
+/// budget and per-tile supervision (retry + salvage, no fallback so
+/// salvage actually fires) must stay honest — DRC-clean database, a
+/// failed set matching recomputed connectivity, recovery counters that
+/// add up, and a bit-identical result at any worker count.
+fn check_chip_salvage(problem: &Problem, out: &mut Vec<OracleViolation>) {
+    let Ok(starved) = RouterConfig::builder().max_attempts(1).max_events(8).build() else {
+        return;
+    };
+    let sup =
+        route_global::ChipSupervision { retries: 1, fallback: false, seed: 0x5eed, fault: None };
+    let mut broken = |kind: OracleKind, detail: String| {
+        out.push(OracleViolation { kind, router: "supervised-chip".to_string(), detail });
+    };
+    let route = |jobs: usize| {
+        let cfg = route_global::GlobalConfig {
+            tile: 8,
+            router: starved,
+            jobs,
+            fallback: false,
+            ..route_global::GlobalConfig::default()
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route_global::route_hierarchical_supervised(problem, &cfg, &sup, None)
+        }))
+    };
+    let outcome = match route(1) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            broken(OracleKind::ChipSalvage, format!("supervised chip flow panicked: {message}"));
+            return;
+        }
+    };
+
+    // DRC + claim honesty: salvaged tiles put real partial metal in the
+    // database, and every unconnected net must still be declared.
+    let report = verify(problem, outcome.db());
+    let mut disconnected: BTreeSet<NetId> = BTreeSet::new();
+    let mut drc: Vec<String> = Vec::new();
+    for v in report.violations() {
+        match v {
+            Violation::Disconnected { net, .. } => {
+                disconnected.insert(*net);
+            }
+            other => drc.push(other.to_string()),
+        }
+    }
+    if !drc.is_empty() {
+        broken(
+            OracleKind::ChipSalvage,
+            format!(
+                "supervised database breaks DRC: {} violation(s), first: {}",
+                drc.len(),
+                drc[0]
+            ),
+        );
+    }
+    let claimed: BTreeSet<NetId> = outcome.failed().iter().copied().collect();
+    if claimed != disconnected {
+        broken(
+            OracleKind::ChipSalvage,
+            format!(
+                "claimed failed nets {:?} but verifier finds {:?} disconnected",
+                claimed.iter().map(|n| n.0).collect::<Vec<_>>(),
+                disconnected.iter().map(|n| n.0).collect::<Vec<_>>()
+            ),
+        );
+    }
+
+    // Counter consistency: every recovered tile is a routed tile, and
+    // no tile takes more than one recovery path.
+    let chip = outcome.chip_stats();
+    let recovered = chip.tiles_retried + chip.tiles_fell_back + chip.tiles_salvaged;
+    if recovered > chip.tiles_routed {
+        broken(
+            OracleKind::ChipSalvage,
+            format!(
+                "{} recovered tiles exceed {} routed tiles ({:?})",
+                recovered, chip.tiles_routed, chip
+            ),
+        );
+    }
+
+    // Worker-count determinism: the supervised recovery chain is seeded
+    // per tile, so jobs must be checksum-inert like the plain flow.
+    if let Ok(two) = route(2) {
+        if outcome.db().checksum() != two.db().checksum()
+            || outcome.failed() != two.failed()
+            || outcome.chip_stats() != two.chip_stats()
+        {
+            broken(
+                OracleKind::ChipSalvage,
+                format!(
+                    "supervised chip flow is jobs-dependent: checksum {:016x} vs {:016x}, \
+                     failed {:?} vs {:?}",
+                    outcome.db().checksum(),
+                    two.db().checksum(),
+                    outcome.failed(),
+                    two.failed()
+                ),
+            );
+        }
+    }
 }
 
 /// Hierarchical-flow oracle: every instance is also routed through the
@@ -870,6 +987,16 @@ mod tests {
                 .any(|v| v.kind == OracleKind::Salvage && v.detail.contains("lint registry")),
             "an undeclared disconnected net must trip the oracle: {violations:?}"
         );
+    }
+
+    #[test]
+    fn starved_supervised_chips_pass_the_chip_salvage_oracle() {
+        // Dense enough that the starved per-tile budget forces retries
+        // and salvages; the oracle checks honesty and jobs-inertness.
+        let problem = SwitchboxGen { width: 20, height: 16, nets: 10, seed: 23 }.build();
+        let mut violations = Vec::new();
+        super::check_chip_salvage(&problem, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -1,19 +1,45 @@
 //! Crossing assignment, parallel per-tile detailed routing, seam
 //! stitching and trace paste-back.
+//!
+//! Two tile-stage execution paths share one paste loop:
+//!
+//! * The plain path runs every tile once on the batch engine
+//!   ([`mighty::RouteEngine`]), exactly as earlier releases did.
+//! * The supervised path ([`route_hierarchical_supervised`]) runs every
+//!   tile through a [`mighty::Supervisor`] — retry with perturbed
+//!   schedules and escalated budgets (seeded `seed ^ tile`), per-tile
+//!   fallback chain, best-snapshot salvage — and optionally streams
+//!   per-tile outcomes through a crash-safe [`mighty::ChipJournal`] so
+//!   a killed run resumes without re-routing finished tiles.
+//!
+//! Seam repair always runs as an escalation ladder per edge: the
+//! configured band first, then a widened band, then a widened band with
+//! the net's in-band wiring discarded (re-anchor), and finally a
+//! per-net flat rip-and-reroute — so one stubborn seam degrades locally
+//! instead of leaning on the whole-chip fallback.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
 
-use mighty::{EngineConfig, MightyRouter, RouteEngine};
+use mighty::{
+    ChipJournal, ChipTileRecord, EngineConfig, EngineFault, FallbackChain, InstanceStatus,
+    MightyRouter, RecoveryPath, RetryPolicy, RouteEngine, RunJournal, SupervisedOutcome,
+    Supervisor,
+};
 use route_geom::{Layer, Point, Rect};
 use route_maze::SearchArena;
 use route_model::{
-    Grid, NetId, NopObserver, Occupant, Pin, Problem, ProblemBuilder, RouteDb, RouteObserver,
-    SearchKind, SearchProbe, Step, Trace, TraceId,
+    Grid, NetId, NopObserver, Occupant, Pin, Problem, ProblemBuilder, RouteDb, RouteError,
+    RouteObserver, RouteResult, SearchKind, SearchProbe, Step, Trace, TraceId,
 };
 
 use crate::plan::plan_with;
 use crate::tiles::{TileEdge, TileGrid, TileId};
-use crate::GlobalConfig;
+use crate::{ChipSupervision, GlobalConfig};
 
 /// Work counters of a hierarchical run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +68,18 @@ pub struct ChipStats {
     /// Tile jobs lost wholesale: panicked, past their deadline, or
     /// skipped by the feasibility precheck.
     pub tiles_errored: usize,
+    /// Tiles completed by a supervised retry (supervised flow only).
+    pub tiles_retried: usize,
+    /// Tiles completed by a per-tile fallback router (supervised flow
+    /// only).
+    pub tiles_fell_back: usize,
+    /// Tiles whose best partial snapshot was salvaged after every
+    /// attempt fell short (supervised flow only; the snapshot still
+    /// feeds the seam stage, so a salvaged tile is never an empty tile).
+    pub tiles_salvaged: usize,
+    /// Seam-repair escalation rungs taken beyond each seam's first
+    /// attempt (widened band, re-anchor, per-net flat).
+    pub seam_escalations: usize,
     /// Tile edges carrying at least one assigned crossing.
     pub seams: usize,
     /// Seams the stitch pass repaired (at least one incomplete net).
@@ -68,6 +106,8 @@ pub struct GlobalOutcome {
     failed: Vec<NetId>,
     stats: GlobalStats,
     chip: ChipStats,
+    resumed_tiles: usize,
+    journal_error: Option<String>,
 }
 
 impl GlobalOutcome {
@@ -101,6 +141,21 @@ impl GlobalOutcome {
     /// Chip-flow counters: tile batch, seam repairs, cleanup.
     pub fn chip_stats(&self) -> &ChipStats {
         &self.chip
+    }
+
+    /// Tiles replayed from the chip journal instead of re-routed
+    /// (always zero without a journal). Deliberately *not* part of
+    /// [`ChipStats`]: a resumed report must be byte-identical to an
+    /// uninterrupted one, so resume provenance lives outside it.
+    pub fn resumed_tiles(&self) -> usize {
+        self.resumed_tiles
+    }
+
+    /// The first journal write error or resume-divergence, if any —
+    /// the run still completes (recovery must not lose results), but
+    /// callers should surface this.
+    pub fn journal_error(&self) -> Option<&str> {
+        self.journal_error.as_deref()
     }
 }
 
@@ -174,6 +229,45 @@ pub fn route_hierarchical(problem: &Problem, cfg: &GlobalConfig) -> GlobalOutcom
 pub fn route_hierarchical_observed(
     problem: &Problem,
     cfg: &GlobalConfig,
+    observer: &mut dyn RouteObserver,
+) -> GlobalOutcome {
+    route_chip(problem, cfg, None, None, observer)
+}
+
+/// [`route_hierarchical`] with per-tile supervision and an optional
+/// crash-safe journal. Every tile runs through a [`Supervisor`] built
+/// from `supervision` — retry under escalated budgets with a
+/// per-tile-seeded schedule perturbation (`supervision.seed ^ tile`),
+/// then the per-tile fallback chain, then best-snapshot salvage — and,
+/// with a journal, finished tiles are persisted as they complete and
+/// replayed on resume ([`ChipJournal`]), yielding a byte-identical
+/// outcome after a mid-run kill.
+///
+/// The result is still a pure function of problem, configuration and
+/// supervision at any [`GlobalConfig::jobs`] value; journal write
+/// errors never abort the run (they latch into
+/// [`GlobalOutcome::journal_error`]).
+///
+/// # Panics
+///
+/// Panics if an internal invariant breaks, like [`route_hierarchical`].
+pub fn route_hierarchical_supervised(
+    problem: &Problem,
+    cfg: &GlobalConfig,
+    supervision: &ChipSupervision,
+    journal: Option<&ChipJournal>,
+) -> GlobalOutcome {
+    route_chip(problem, cfg, Some(supervision), journal, &mut NopObserver)
+}
+
+/// The shared pipeline behind every entry point. `supervision` selects
+/// the tile-stage execution path; the seam escalation ladder and the
+/// paste loop are common.
+fn route_chip(
+    problem: &Problem,
+    cfg: &GlobalConfig,
+    supervision: Option<&ChipSupervision>,
+    journal: Option<&ChipJournal>,
     observer: &mut dyn RouteObserver,
 ) -> GlobalOutcome {
     let tiles = TileGrid::new(problem, cfg.tile);
@@ -274,14 +368,10 @@ pub fn route_hierarchical_observed(
         tile_nets.entry(*tile).or_default().entry(*id).or_default().extend(pins.iter().copied());
     }
 
-    // Build every tile sub-problem; the batch engine routes them
+    // Build every tile sub-problem; the tile stage routes them
     // concurrently (tiles are disjoint, so their routings are
     // independent) and delivers results in input order, which keeps the
     // paste deterministic at any job count.
-    struct TileMeta {
-        origin: Point,
-        names: Vec<(NetId, String)>,
-    }
     let mut metas: Vec<TileMeta> = Vec::with_capacity(tile_nets.len());
     let mut subs: Vec<Problem> = Vec::with_capacity(tile_nets.len());
     for (tile, nets) in &tile_nets {
@@ -318,15 +408,33 @@ pub fn route_hierarchical_observed(
         subs.push(sub);
     }
 
-    let router = MightyRouter::new(cfg.router);
-    let mut engine_cfg = EngineConfig::builder()
-        .jobs(if cfg.parallel { cfg.jobs.min(mighty::MAX_JOBS) } else { 1 })
-        .precheck(cfg.precheck);
-    if cfg.tile_deadline_ms > 0 {
-        engine_cfg = engine_cfg.deadline_ms(cfg.tile_deadline_ms);
+    // Journal establishment: per-tile fingerprints gate replay, so an
+    // edited chip re-routes instead of replaying stale wiring.
+    let mut resumed_tiles = 0usize;
+    if let Some(j) = journal {
+        let fps: Vec<u64> = subs.iter().zip(&metas).map(|(s, m)| tile_fingerprint(s, m)).collect();
+        j.establish(&fps);
+        resumed_tiles = j.resumed_count();
     }
-    let engine = RouteEngine::new(engine_cfg.build().expect("knobs validated above"));
-    let batch = engine.route_batch(&router, &subs);
+
+    let router = MightyRouter::new(cfg.router);
+    let outcomes: Vec<TileOutcome> = if supervision.is_some() || journal.is_some() {
+        // A journal without explicit supervision still routes through
+        // the supervisor (with zero retries the routing is unchanged)
+        // so every tile yields a journal-shaped outcome.
+        let zero = ChipSupervision::none();
+        let sup = supervision.unwrap_or(&zero);
+        supervised_tile_batch(&subs, &metas, cfg, sup, journal)
+    } else {
+        let mut engine_cfg = EngineConfig::builder()
+            .jobs(if cfg.parallel { cfg.jobs.min(mighty::MAX_JOBS) } else { 1 })
+            .precheck(cfg.precheck);
+        if cfg.tile_deadline_ms > 0 {
+            engine_cfg = engine_cfg.deadline_ms(cfg.tile_deadline_ms);
+        }
+        let engine = RouteEngine::new(engine_cfg.build().expect("knobs validated above"));
+        engine.route_batch(&router, &subs).results.into_iter().map(TileOutcome::Plain).collect()
+    };
 
     let mut chip = ChipStats {
         crossing_pins: edge_cross.len(),
@@ -338,37 +446,63 @@ pub fn route_hierarchical_observed(
 
     let mut db = RouteDb::new(problem);
     let mut tile_failures: BTreeSet<NetId> = BTreeSet::new();
-    for ((meta, sub), result) in metas.iter().zip(&subs).zip(&batch.results) {
-        let origin = meta.origin;
-        match result {
-            Ok(routing) => {
+    for ((meta, sub), outcome) in metas.iter().zip(&subs).zip(outcomes) {
+        match outcome {
+            TileOutcome::Plain(Ok(routing)) => {
                 chip.tiles_routed += 1;
-                for (global_id, name) in &meta.names {
-                    let local = sub.net_by_name(name).expect("declared above");
-                    if routing.failed.contains(&local.id) {
-                        tile_failures.insert(*global_id);
-                    }
-                    for (_, trace) in routing.db.traces(local.id) {
-                        let steps: Vec<Step> = trace
-                            .steps()
-                            .iter()
-                            .map(|s| {
-                                Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer)
-                            })
-                            .collect();
-                        let trace =
-                            Trace::from_steps(steps).expect("translation preserves contiguity");
-                        db.commit(*global_id, trace)
-                            .expect("tiles are disjoint, so pasted traces cannot conflict");
-                    }
-                }
+                paste_tile(&mut db, &mut tile_failures, meta, sub, &routing.db, &routing.failed);
             }
-            Err(_) => {
+            TileOutcome::Plain(Err(_)) => {
                 // Panicked, timed out, or certified infeasible: the tile
                 // contributes no wiring and all its nets ride on the
                 // stitch and fallback passes.
                 chip.tiles_errored += 1;
                 tile_failures.extend(meta.names.iter().map(|(id, _)| *id));
+            }
+            TileOutcome::Supervised(out) => {
+                account_recovery(&mut chip, &out.path);
+                match &out.result {
+                    Some(Ok(routing)) => {
+                        // Complete or salvaged: both carry real metal —
+                        // a salvaged tile feeds the seam stage its best
+                        // snapshot instead of an empty tile.
+                        chip.tiles_routed += 1;
+                        paste_tile(
+                            &mut db,
+                            &mut tile_failures,
+                            meta,
+                            sub,
+                            &routing.db,
+                            &routing.failed,
+                        );
+                    }
+                    _ => {
+                        chip.tiles_errored += 1;
+                        tile_failures.extend(meta.names.iter().map(|(id, _)| *id));
+                    }
+                }
+            }
+            TileOutcome::Replayed(record) => {
+                account_recovery(&mut chip, &record.path);
+                let routed =
+                    matches!(record.status, InstanceStatus::Complete | InstanceStatus::Salvaged);
+                match routed.then(|| parse_tile_routes(&record.routes)).flatten() {
+                    Some(traces) => {
+                        chip.tiles_routed += 1;
+                        replay_tile(
+                            &mut db,
+                            &mut tile_failures,
+                            meta,
+                            sub,
+                            &traces,
+                            &record.failed,
+                        );
+                    }
+                    None => {
+                        chip.tiles_errored += 1;
+                        tile_failures.extend(meta.names.iter().map(|(id, _)| *id));
+                    }
+                }
             }
         }
     }
@@ -382,8 +516,20 @@ pub fn route_hierarchical_observed(
     let after_tiles = incomplete.len();
 
     // Seam stitching: for every tile edge whose crossing nets are still
-    // disconnected, run the rip-up router on a band around the boundary.
+    // disconnected, run the rip-up router on a band around the boundary,
+    // escalating per edge until its nets connect or the ladder is spent:
+    //
+    //   rung 0  configured band, in-band wiring replayed   (historical)
+    //   rung 1  band widened 2x, in-band wiring replayed
+    //   rung 2  band widened 4x, in-band wiring discarded  (re-anchor)
+    //   rung 3  per-net flat rip-and-reroute
+    //
+    // A seam whose rung 0 succeeds behaves byte-identically to earlier
+    // releases; the ladder only engages where they failed. Seam faults
+    // (`VROUTE_FAULT=...@seam`) fire at rung entry, before any database
+    // mutation, so a faulted rung escalates instead of corrupting state.
     if cfg.stitch {
+        let seam_fault = supervision.and_then(|s| s.fault.as_ref());
         let mut arena = SearchArena::with_frontier(cfg.router.frontier);
         for (&edge, nets) in &edge_nets {
             let repair: Vec<NetId> = nets
@@ -394,28 +540,108 @@ pub fn route_hierarchical_observed(
             if repair.is_empty() {
                 continue;
             }
-            stitch_edge(
-                problem,
-                &base,
-                &tiles,
-                cfg,
-                &router,
-                edge,
-                &repair,
-                &edge_cross,
-                &cross_owner,
-                &mut db,
-                &mut arena,
-                observer,
-                &mut chip,
-            );
+            chip.seams_repaired += 1;
+            for rung in 0u32..4 {
+                let remaining: Vec<NetId> =
+                    repair.iter().copied().filter(|&id| !db.is_net_connected(id)).collect();
+                if remaining.is_empty() {
+                    break;
+                }
+                if rung > 0 {
+                    chip.seam_escalations += 1;
+                }
+                if let Some(f) = seam_fault.filter(|f| f.applies_seam(rung)) {
+                    match f.fault() {
+                        EngineFault::Panic => {
+                            // A real unwind, isolated here: the rung is
+                            // lost, the ladder escalates.
+                            let _ = catch_unwind(AssertUnwindSafe(|| {
+                                panic!("injected fault: seam panic")
+                            }));
+                            continue;
+                        }
+                        EngineFault::SpuriousFail => continue,
+                        EngineFault::Delay(ms) => thread::sleep(Duration::from_millis(ms)),
+                    }
+                }
+                match rung {
+                    0 | 1 => stitch_edge(
+                        problem,
+                        &base,
+                        &tiles,
+                        cfg,
+                        &router,
+                        edge,
+                        &remaining,
+                        &edge_cross,
+                        &cross_owner,
+                        &mut db,
+                        &mut arena,
+                        observer,
+                        &mut chip,
+                        1 << rung,
+                        StitchMode::Replay,
+                    ),
+                    2 => stitch_edge(
+                        problem,
+                        &base,
+                        &tiles,
+                        cfg,
+                        &router,
+                        edge,
+                        &remaining,
+                        &edge_cross,
+                        &cross_owner,
+                        &mut db,
+                        &mut arena,
+                        observer,
+                        &mut chip,
+                        4,
+                        StitchMode::Fresh,
+                    ),
+                    _ => {
+                        // Last rung: rip each stubborn net wholesale so
+                        // its broken seam wiring cannot block it, then
+                        // reroute flat and incrementally — scoped to
+                        // this edge's nets, not the whole chip.
+                        for &id in &remaining {
+                            let tids: Vec<TraceId> = db.traces(id).map(|(tid, _)| tid).collect();
+                            for tid in tids {
+                                db.rip_up(tid).expect("listed as live above");
+                            }
+                        }
+                        db = router
+                            .try_route_incremental(problem, db)
+                            .expect("the hierarchical database is built for this problem")
+                            .into_db();
+                    }
+                }
+            }
             for id in repair {
                 if db.is_net_connected(id) {
                     incomplete.remove(&id);
                 }
             }
         }
+        // The per-net flat rung may complete nets beyond its own edge's
+        // repair set; keep the incomplete set honest either way.
+        incomplete.retain(|&id| !db.is_net_connected(id));
         chip.seam_completed = after_tiles - incomplete.len();
+    }
+
+    // Post-stitch checkpoint: a resumed run must reproduce the exact
+    // pre-fallback database, or its replayed tiles were not equivalent.
+    let mut journal_error: Option<String> = None;
+    if let Some(j) = journal {
+        let checksum = db.checksum();
+        if let Some(prev) = j.replayed_checkpoint("stitch") {
+            if prev != checksum {
+                journal_error = Some(format!(
+                    "resume diverged at the stitch checkpoint: journal {prev:016x}, live {checksum:016x}"
+                ));
+            }
+        }
+        j.checkpoint("stitch", checksum);
     }
 
     let mut stats = GlobalStats {
@@ -458,14 +684,334 @@ pub fn route_hierarchical_observed(
         .filter(|&id| !db.is_net_connected(id))
         .collect();
 
-    GlobalOutcome { db, failed, stats, chip }
+    if let Some(j) = journal {
+        let checksum = db.checksum();
+        if journal_error.is_none() {
+            if let Some(prev) = j.replayed_checkpoint("final") {
+                if prev != checksum {
+                    journal_error = Some(format!(
+                        "resume diverged at the final checkpoint: journal {prev:016x}, live {checksum:016x}"
+                    ));
+                }
+            }
+        }
+        j.checkpoint("final", checksum);
+        if journal_error.is_none() {
+            journal_error = j.take_error();
+        }
+    }
+
+    GlobalOutcome { db, failed, stats, chip, resumed_tiles, journal_error }
+}
+
+/// Per-tile paste metadata: the tile's origin and its (global id, name)
+/// pairs, in sub-problem declaration order.
+struct TileMeta {
+    origin: Point,
+    names: Vec<(NetId, String)>,
+}
+
+/// One tile's result entering the paste loop.
+enum TileOutcome {
+    /// Plain batch-engine result (unsupervised flow).
+    Plain(RouteResult),
+    /// Live supervised outcome.
+    Supervised(SupervisedOutcome),
+    /// Journal-replayed record of a previous run's outcome.
+    Replayed(ChipTileRecord),
+}
+
+/// Bumps the supervised recovery counters for one tile's path.
+fn account_recovery(chip: &mut ChipStats, path: &RecoveryPath) {
+    match path {
+        RecoveryPath::Retried { .. } => chip.tiles_retried += 1,
+        RecoveryPath::FellBack { .. } => chip.tiles_fell_back += 1,
+        RecoveryPath::Salvaged => chip.tiles_salvaged += 1,
+        RecoveryPath::Direct | RecoveryPath::Failed => {}
+    }
+}
+
+/// Pastes one tile's local routing into the global database: failed
+/// locals join the tile-failure set, traces translate by the tile
+/// origin. Shared by the live paths and (via the same ordering) the
+/// journal replay, which is what keeps resumed databases byte-identical.
+fn paste_tile(
+    db: &mut RouteDb,
+    tile_failures: &mut BTreeSet<NetId>,
+    meta: &TileMeta,
+    sub: &Problem,
+    tile_db: &RouteDb,
+    failed: &[NetId],
+) {
+    let origin = meta.origin;
+    for (global_id, name) in &meta.names {
+        let local = sub.net_by_name(name).expect("declared above");
+        if failed.contains(&local.id) {
+            tile_failures.insert(*global_id);
+        }
+        for (_, trace) in tile_db.traces(local.id) {
+            let steps: Vec<Step> = trace
+                .steps()
+                .iter()
+                .map(|s| Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer))
+                .collect();
+            let trace = Trace::from_steps(steps).expect("translation preserves contiguity");
+            db.commit(*global_id, trace)
+                .expect("tiles are disjoint, so pasted traces cannot conflict");
+        }
+    }
+}
+
+/// Pastes a journal-replayed tile: the serialized traces were captured
+/// in [`paste_tile`]'s iteration order, so committing them in stored
+/// order reproduces the live paste exactly.
+fn replay_tile(
+    db: &mut RouteDb,
+    tile_failures: &mut BTreeSet<NetId>,
+    meta: &TileMeta,
+    sub: &Problem,
+    traces: &[(u32, Vec<Step>)],
+    failed: &[u32],
+) {
+    let origin = meta.origin;
+    let mut to_global: HashMap<u32, NetId> = HashMap::new();
+    for (global_id, name) in &meta.names {
+        let local = sub.net_by_name(name).expect("declared above");
+        to_global.insert(local.id.0, *global_id);
+    }
+    for &id in failed {
+        if let Some(gid) = to_global.get(&id) {
+            tile_failures.insert(*gid);
+        }
+    }
+    for (local, steps) in traces {
+        let Some(gid) = to_global.get(local) else { continue };
+        let steps: Vec<Step> = steps
+            .iter()
+            .map(|s| Step::new(Point::new(s.at.x + origin.x, s.at.y + origin.y), s.layer))
+            .collect();
+        let trace = Trace::from_steps(steps).expect("journaled traces preserve contiguity");
+        db.commit(*gid, trace).expect("replayed tile wiring pastes like live wiring");
+    }
+}
+
+/// Fingerprint of a tile sub-problem — origin, dimensions, obstacles,
+/// nets and pins — used to key journal records so an edited chip never
+/// replays stale wiring.
+fn tile_fingerprint(sub: &Problem, meta: &TileMeta) -> u64 {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = write!(
+        text,
+        "tile {},{} {}x{} L{};",
+        meta.origin.x,
+        meta.origin.y,
+        sub.width(),
+        sub.height(),
+        sub.layers()
+    );
+    for (at, layer) in sub.obstacles() {
+        let _ = write!(text, "o{},{},{:?};", at.x, at.y, layer.map(Layer::index));
+    }
+    for net in sub.nets() {
+        let _ = write!(text, "n{}:", net.name);
+        for pin in &net.pins {
+            let _ = write!(text, "{},{},{};", pin.at.x, pin.at.y, pin.layer.index());
+        }
+    }
+    RunJournal::fingerprint(&text)
+}
+
+/// Serializes a tile's local routing for the chip journal, in
+/// [`paste_tile`] iteration order: `LOCAL:x,y,l;x,y,l|LOCAL:...` — one
+/// part per trace, steps in trace order.
+fn serialize_tile_routes(sub: &Problem, names: &[(NetId, String)], tile_db: &RouteDb) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (_, name) in names {
+        let local = sub.net_by_name(name).expect("declared in the sub-problem");
+        for (_, trace) in tile_db.traces(local.id) {
+            let steps: Vec<String> = trace
+                .steps()
+                .iter()
+                .map(|s| format!("{},{},{}", s.at.x, s.at.y, s.layer.index()))
+                .collect();
+            parts.push(format!("{}:{}", local.id.0, steps.join(";")));
+        }
+    }
+    parts.join("|")
+}
+
+/// Parses [`serialize_tile_routes`]'s output. `None` marks a malformed
+/// payload (the tile then re-routes as if it had errored).
+fn parse_tile_routes(routes: &str) -> Option<Vec<(u32, Vec<Step>)>> {
+    let mut out = Vec::new();
+    for part in routes.split('|') {
+        if part.is_empty() {
+            continue;
+        }
+        let (id, steps_text) = part.split_once(':')?;
+        let id: u32 = id.parse().ok()?;
+        let mut steps = Vec::new();
+        for s in steps_text.split(';') {
+            let mut it = s.split(',');
+            let x: i32 = it.next()?.parse().ok()?;
+            let y: i32 = it.next()?.parse().ok()?;
+            let l: usize = it.next()?.parse().ok()?;
+            steps.push(Step::new(Point::new(x, y), *Layer::ALL.get(l)?));
+        }
+        out.push((id, steps));
+    }
+    Some(out)
+}
+
+/// Builds the journal record for one live supervised tile outcome.
+fn tile_record(
+    index: usize,
+    fingerprint: u64,
+    sub: &Problem,
+    meta: &TileMeta,
+    outcome: &SupervisedOutcome,
+) -> ChipTileRecord {
+    let mut record = ChipTileRecord {
+        index,
+        fingerprint,
+        status: outcome.status(),
+        path: outcome.path.clone(),
+        attempts: outcome.attempts,
+        routes: String::new(),
+        failed: Vec::new(),
+        error: None,
+    };
+    match &outcome.result {
+        Some(Ok(routing)) => {
+            record.routes = serialize_tile_routes(sub, &meta.names, &routing.db);
+            record.failed = routing.failed.iter().map(|id| id.0).collect();
+        }
+        Some(Err(e)) => record.error = Some(e.to_string()),
+        None => {}
+    }
+    if let Some(salvage) = &outcome.salvage {
+        record.error = Some(salvage.terminal.clone());
+    }
+    record
+}
+
+/// Routes one tile through the full recovery chain: retry with a
+/// per-tile-seeded schedule perturbation, the per-tile fallback chain,
+/// then best-snapshot salvage.
+fn supervise_tile(
+    cfg: &GlobalConfig,
+    sup: &ChipSupervision,
+    sub: &Problem,
+    tile: usize,
+    deadline: Option<Duration>,
+) -> SupervisedOutcome {
+    let retry = RetryPolicy {
+        attempts: sup.retries.saturating_add(1),
+        seed: sup.seed ^ tile as u64,
+        ..RetryPolicy::default()
+    };
+    let mut supervisor = Supervisor::new(cfg.router, retry);
+    if sup.fallback {
+        supervisor = supervisor.with_fallbacks(FallbackChain::lee());
+    }
+    if let Some(fault) = &sup.fault {
+        supervisor = supervisor.with_tile_fault(fault.clone());
+    }
+    supervisor.route_supervised(sub, tile, deadline)
+}
+
+/// The supervised tile stage: workers claim tiles from a shared
+/// counter; each tile either replays from the journal or routes through
+/// its [`Supervisor`], with its outcome persisted (fsync'd) as soon as
+/// it is known. Results are delivered in tile order regardless of
+/// worker count, so the paste stays deterministic.
+fn supervised_tile_batch(
+    subs: &[Problem],
+    metas: &[TileMeta],
+    cfg: &GlobalConfig,
+    sup: &ChipSupervision,
+    journal: Option<&ChipJournal>,
+) -> Vec<TileOutcome> {
+    let n = subs.len();
+    let requested = if cfg.parallel { cfg.jobs.min(mighty::MAX_JOBS) } else { 1 };
+    let jobs = if requested == 0 {
+        thread::available_parallelism().map(|j| j.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+    .min(n)
+    .max(1);
+    let deadline = (cfg.tile_deadline_ms > 0).then(|| Duration::from_millis(cfg.tile_deadline_ms));
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, TileOutcome)>();
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if let Some(record) = journal.and_then(|j| j.replay(i)) {
+                    if tx.send((i, TileOutcome::Replayed(record))).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                if let Some(j) = journal {
+                    j.begin(i);
+                }
+                let outcome = if cfg.precheck {
+                    match route_analyze::analyze_problem(&subs[i]).certificates().first() {
+                        Some(cert) => SupervisedOutcome {
+                            path: RecoveryPath::Failed,
+                            attempts: 0,
+                            result: Some(Err(RouteError::Infeasible { reason: cert.summary() })),
+                            salvage: None,
+                        },
+                        None => supervise_tile(cfg, sup, &subs[i], i, deadline),
+                    }
+                } else {
+                    supervise_tile(cfg, sup, &subs[i], i, deadline)
+                };
+                if let Some(j) = journal {
+                    let fp = j.tile_fingerprint(i).unwrap_or(0);
+                    j.finish(&tile_record(i, fp, &subs[i], &metas[i], &outcome));
+                }
+                if tx.send((i, TileOutcome::Supervised(outcome))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<TileOutcome>> = (0..n).map(|_| None).collect();
+    for (i, outcome) in rx {
+        slots[i] = Some(outcome);
+    }
+    slots.into_iter().map(|s| s.expect("every claimed tile reports exactly once")).collect()
+}
+
+/// How a seam repair treats the repair nets' pre-existing in-band
+/// wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StitchMode {
+    /// Replay it into the band database as a starting point (the
+    /// rip-up router may still push or rip it).
+    Replay,
+    /// Discard it and re-anchor: only the cut points survive, so wiring
+    /// that painted the band into a corner cannot do so again.
+    Fresh,
 }
 
 /// Repairs one seam: rips the repair nets' wiring inside a band around
-/// `edge`, rebuilds it as a sub-problem (foreign wiring, foreign pins
-/// and reserved crossing cells become obstacles; crossing cells, band
-/// pins and the cut points of the net's own wiring become pins), and
-/// re-routes it incrementally with the rip-up router.
+/// `edge` (widened by `scale`), rebuilds it as a sub-problem (foreign
+/// wiring, foreign pins and reserved crossing cells become obstacles;
+/// crossing cells, band pins and the cut points of the net's own wiring
+/// become pins), and re-routes it incrementally with the rip-up router.
 #[allow(clippy::too_many_arguments)]
 fn stitch_edge(
     problem: &Problem,
@@ -481,10 +1027,12 @@ fn stitch_edge(
     arena: &mut SearchArena,
     observer: &mut dyn RouteObserver,
     chip: &mut ChipStats,
+    scale: u32,
+    mode: StitchMode,
 ) {
     let ra = tiles.rect(edge.a);
     let rb = tiles.rect(edge.b);
-    let w = cfg.stitch_band.max(1) as i32;
+    let w = (cfg.stitch_band.max(1) * scale.max(1)) as i32;
     let band = if edge.is_horizontal() {
         let x0 = (ra.max().x - (w - 1)).max(ra.min().x);
         let x1 = (rb.min().x + (w - 1)).min(rb.max().x);
@@ -534,21 +1082,19 @@ fn stitch_edge(
     // an obstacle — base blocks, wiring and pins of foreign nets (pins
     // are grid-marked at construction), and crossing cells reserved for
     // nets outside the repair set.
-    let mut builder = ProblemBuilder::switchbox(band.width(), band.height());
-    builder.layers(problem.layers());
+    let mut blocked: BTreeSet<(Point, Layer)> = BTreeSet::new();
     for p in band.cells() {
         for layer in Layer::ALL.into_iter().take(problem.layers() as usize) {
             let foreign_wire = matches!(db.grid().occupant(p, layer), Occupant::Net(n) if !repair_set.contains(&n));
             let foreign_cross =
                 cross_owner.get(&(p, layer)).is_some_and(|n| !repair_set.contains(n));
             if base.occupant(p, layer) == Occupant::Blocked || foreign_wire || foreign_cross {
-                builder.obstacle_on(localize(p), layer);
+                blocked.insert((p, layer));
             }
         }
     }
-    let mut names: Vec<(NetId, String)> = Vec::new();
+    let mut members: Vec<(NetId, BTreeSet<(Point, Layer)>)> = Vec::new();
     for &id in repair {
-        let name = problem.net(id).name.clone();
         let mut pins: BTreeSet<(Point, Layer)> = BTreeSet::new();
         let &(pa, pb, layer) = edge_cross.get(&(edge, id)).expect("repair nets cross this edge");
         pins.insert((pa, layer));
@@ -561,18 +1107,60 @@ fn stitch_edge(
         if let Some(set) = anchors.get(&id) {
             pins.extend(set.iter().copied());
         }
+        members.push((id, pins));
+    }
+    // Foreign wiring can legally sit on a repair net's crossing cell:
+    // a per-net flat repair of an *earlier* edge routes over the full
+    // grid, where reservations do not bind. Such a net cannot be
+    // repaired in this band — restore its ripped wiring and leave it
+    // to its own flat rung. Once evicted, the net is foreign to the
+    // band: its restored wiring, its grid-marked pins, and its
+    // reserved crossing cells all join the obstacle set, which may
+    // evict further nets — iterate to a fixpoint before any net is
+    // declared in the band problem.
+    loop {
+        let mut evicted = false;
+        members.retain(|(id, pins)| {
+            if !pins.iter().any(|p| blocked.contains(p)) {
+                return true;
+            }
+            for t in kept.remove(id).into_iter().flatten() {
+                for s in t.steps() {
+                    blocked.insert((s.at, s.layer));
+                }
+                db.commit(*id, t).expect("restoring just-ripped wiring");
+            }
+            blocked.extend(pins.iter().copied());
+            evicted = true;
+            false
+        });
+        if !evicted {
+            break;
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+    let mut builder = ProblemBuilder::switchbox(band.width(), band.height());
+    builder.layers(problem.layers());
+    for &(p, layer) in &blocked {
+        builder.obstacle_on(localize(p), layer);
+    }
+    let mut names: Vec<(NetId, String)> = Vec::new();
+    for (id, pins) in &members {
+        let name = problem.net(*id).name.clone();
         let mut nb = builder.net(&name);
-        for &(at, layer) in &pins {
+        for &(at, layer) in pins {
             nb.pin_at(localize(at), layer);
         }
-        names.push((id, name));
+        names.push((*id, name));
     }
     let band_problem = match builder.build() {
         Ok(p) => p,
-        Err(_) => {
+        Err(e) => {
             // A reservation hole would surface here; restore the ripped
             // wiring and leave the seam to the flat fallback.
-            debug_assert!(false, "seam band problem must build");
+            debug_assert!(false, "seam band problem must build: {e}");
             for (id, runs) in kept {
                 for t in runs {
                     db.commit(id, t).expect("restoring just-ripped wiring");
@@ -584,14 +1172,18 @@ fn stitch_edge(
 
     // Replay the kept in-band runs, then let the rip-up router repair
     // the band incrementally: it may push or rip the replayed wiring.
+    // In [`StitchMode::Fresh`] the kept runs are discarded instead —
+    // the band starts empty and only the anchors constrain it.
     let mut band_db = RouteDb::new(&band_problem);
-    for (gid, name) in &names {
-        let local = band_problem.net_by_name(name).expect("declared above");
-        for t in kept.get(gid).into_iter().flatten() {
-            let steps: Vec<Step> =
-                t.steps().iter().map(|s| Step::new(localize(s.at), s.layer)).collect();
-            let t = Trace::from_steps(steps).expect("translation preserves contiguity");
-            band_db.commit(local.id, t).expect("kept runs lie in the band, off foreign wiring");
+    if mode == StitchMode::Replay {
+        for (gid, name) in &names {
+            let local = band_problem.net_by_name(name).expect("declared above");
+            for t in kept.get(gid).into_iter().flatten() {
+                let steps: Vec<Step> =
+                    t.steps().iter().map(|s| Step::new(localize(s.at), s.layer)).collect();
+                let t = Trace::from_steps(steps).expect("translation preserves contiguity");
+                band_db.commit(local.id, t).expect("kept runs lie in the band, off foreign wiring");
+            }
         }
     }
     let name_to_global: HashMap<&str, NetId> =
@@ -603,7 +1195,6 @@ fn stitch_edge(
         .try_route_incremental_observed_in(&band_problem, band_db, arena, &mut seam_obs)
         .expect("the band database is built for the band problem");
     chip.seam_ripups += seam_obs.ripups;
-    chip.seams_repaired += 1;
 
     for (gid, name) in &names {
         let local = band_problem.net_by_name(name).expect("declared above");
@@ -640,6 +1231,7 @@ fn flush_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mighty::RouterConfig;
     use route_benchdata::gen::{ChipGen, ObstructedGen, SwitchboxGen};
     use route_model::{EventLog, PinSide};
     use route_verify::verify;
@@ -831,6 +1423,181 @@ mod tests {
         if observed.chip_stats().seams_repaired > 0 {
             assert!(!log.events().is_empty(), "seam repairs must emit events");
         }
+    }
+
+    #[test]
+    fn supervised_flow_without_recovery_matches_plain_routing() {
+        // Supervision with zero retries and no fallback routes each
+        // tile exactly once, like the plain engine path: the database
+        // must come out byte-identical.
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let cfg = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+        let plain = route_hierarchical(&p, &cfg);
+        let supervised = route_hierarchical_supervised(&p, &cfg, &ChipSupervision::none(), None);
+        assert_eq!(plain.db().checksum(), supervised.db().checksum());
+        assert_eq!(plain.failed(), supervised.failed());
+        assert_eq!(supervised.chip_stats().tiles_retried, 0);
+        assert_eq!(supervised.chip_stats().tiles_salvaged, 0);
+        assert_eq!(supervised.resumed_tiles(), 0);
+        assert_eq!(supervised.journal_error(), None);
+    }
+
+    #[test]
+    fn supervised_flow_is_jobs_inert() {
+        let p =
+            ChipGen { width: 64, height: 64, nets: 260, macros: 4, ..ChipGen::small(3) }.build();
+        let sup = ChipSupervision { retries: 2, seed: 7, ..ChipSupervision::default() };
+        let route = |jobs: usize| {
+            let cfg = GlobalConfig { tile: 16, jobs, ..GlobalConfig::default() };
+            route_hierarchical_supervised(&p, &cfg, &sup, None)
+        };
+        let one = route(1);
+        let four = route(4);
+        assert_eq!(one.db().checksum(), four.db().checksum());
+        assert_eq!(one.failed(), four.failed());
+        assert_eq!(one.stats(), four.stats());
+        assert_eq!(one.chip_stats(), four.chip_stats());
+    }
+
+    #[test]
+    fn injected_tile_fault_is_recovered_and_accounted() {
+        use mighty::FaultPlan;
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let cfg = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+        let sup = ChipSupervision::default();
+        let clean = route_hierarchical_supervised(&p, &cfg, &sup, None);
+        // Panic tile 1's first attempt: the retry recovers it, so the
+        // chip completes exactly as well as the unfaulted run — the
+        // recovered tile's wiring comes from a perturbed re-attempt, so
+        // only completion parity (not byte parity) is promised.
+        let faulted = ChipSupervision {
+            fault: Some(FaultPlan::parse("panic@tile:1").expect("valid spec")),
+            ..sup.clone()
+        };
+        let out = route_hierarchical_supervised(&p, &cfg, &faulted, None);
+        assert!(
+            out.chip_stats().tiles_retried > clean.chip_stats().tiles_retried,
+            "the panicked tile must be recovered by a retry: {:?} vs {:?}",
+            out.chip_stats(),
+            clean.chip_stats()
+        );
+        assert_eq!(out.chip_stats().tiles_errored, 0, "{:?}", out.chip_stats());
+        let report = verify(&p, out.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+        // A fault aimed past the tile grid never fires, so the run is
+        // byte-identical to the unfaulted one.
+        let inert = ChipSupervision {
+            fault: Some(FaultPlan::parse("panic@tile:99").expect("valid spec")),
+            ..sup.clone()
+        };
+        let out = route_hierarchical_supervised(&p, &cfg, &inert, None);
+        assert_eq!(out.db().checksum(), clean.db().checksum());
+        assert_eq!(out.chip_stats(), clean.chip_stats());
+    }
+
+    #[test]
+    fn persistent_tile_fault_errors_the_tile_without_poisoning_the_chip() {
+        // Fail *every* attempt of tile 0 (the fault's attempt budget
+        // outlasts retries and there is no fallback): no attempt yields
+        // a snapshot, so the tile is errored — and the rest of the chip
+        // still routes and verifies.
+        use mighty::FaultPlan;
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let cfg = GlobalConfig { tile: 16, fallback: false, ..GlobalConfig::default() };
+        let sup = ChipSupervision {
+            retries: 1,
+            fallback: false,
+            seed: 0,
+            fault: Some(FaultPlan::parse("fail@tile:0@99").expect("valid spec")),
+        };
+        let out = route_hierarchical_supervised(&p, &cfg, &sup, None);
+        assert_eq!(out.chip_stats().tiles_errored, 1, "{:?}", out.chip_stats());
+        assert!(out.chip_stats().tiles_routed > 0, "{:?}", out.chip_stats());
+        let report = verify(&p, out.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+    }
+
+    #[test]
+    fn starved_tiles_salvage_their_best_snapshot() {
+        // A starved per-tile budget leaves nets unrouted in dense
+        // tiles; with retries exhausted and no fallback the supervisor
+        // salvages the best partial snapshot, which still reaches the
+        // database (a salvaged tile is never an empty tile).
+        let starved = RouterConfig::builder()
+            .max_attempts(1)
+            .max_events(8)
+            .build()
+            .expect("starved config is valid");
+        let p = SwitchboxGen { width: 12, height: 10, nets: 12, seed: 23 }.build();
+        let cfg =
+            GlobalConfig { tile: 8, router: starved, fallback: false, ..GlobalConfig::default() };
+        let sup = ChipSupervision { retries: 1, fallback: false, seed: 0x5eed, fault: None };
+        let out = route_hierarchical_supervised(&p, &cfg, &sup, None);
+        assert!(out.chip_stats().tiles_salvaged > 0, "{:?}", out.chip_stats());
+        assert!(out.db().checksum() != 0, "salvaged snapshots must carry wiring");
+        let report = verify(&p, out.db());
+        assert!(report.is_clean() || report.is_legal_but_incomplete(), "{report}");
+    }
+
+    #[test]
+    fn journal_resume_replays_tiles_byte_identically() {
+        let dir = std::env::temp_dir().join("vroute-chip-journal-detail");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p =
+            ChipGen { width: 64, height: 64, nets: 260, macros: 4, ..ChipGen::small(3) }.build();
+        let cfg = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+        let sup = ChipSupervision::default();
+
+        // Uninterrupted journaled run.
+        let journal = ChipJournal::create(&dir).expect("journal dir");
+        let first = route_hierarchical_supervised(&p, &cfg, &sup, Some(&journal));
+        assert_eq!(first.journal_error(), None);
+        assert_eq!(first.resumed_tiles(), 0);
+        drop(journal);
+
+        // Simulated kill: truncate the log to its first 60% of bytes,
+        // as a SIGKILL mid-run would, then resume.
+        let path = dir.join(ChipJournal::FILE_NAME);
+        let text = std::fs::read_to_string(&path).expect("journal written");
+        let cut = text.len() * 6 / 10;
+        std::fs::write(&path, &text.as_bytes()[..cut]).expect("truncate journal");
+
+        let journal = ChipJournal::resume(&dir).expect("journal reopens");
+        let resumed = route_hierarchical_supervised(&p, &cfg, &sup, Some(&journal));
+        assert!(resumed.resumed_tiles() > 0, "the surviving prefix must replay");
+        assert_eq!(resumed.journal_error(), None, "replayed tiles reproduce the run");
+        assert_eq!(first.db().checksum(), resumed.db().checksum());
+        assert_eq!(first.failed(), resumed.failed());
+        assert_eq!(first.stats(), resumed.stats());
+        assert_eq!(first.chip_stats(), resumed.chip_stats());
+
+        // A third run over the now-complete journal replays everything.
+        drop(journal);
+        let journal = ChipJournal::resume(&dir).expect("journal reopens");
+        let replayed = route_hierarchical_supervised(&p, &cfg, &sup, Some(&journal));
+        assert!(replayed.resumed_tiles() > resumed.resumed_tiles());
+        assert_eq!(replayed.journal_error(), None);
+        assert_eq!(first.db().checksum(), replayed.db().checksum());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_only_run_matches_unsupervised_checksum() {
+        // A journal without supervision must not change the routing:
+        // the supervisor runs with zero retries and no fallback, so the
+        // database checksum matches the plain flow exactly.
+        let dir = std::env::temp_dir().join("vroute-chip-journal-plain");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = SwitchboxGen { width: 32, height: 32, nets: 14, seed: 9 }.build();
+        let cfg = GlobalConfig { tile: 16, ..GlobalConfig::default() };
+        let plain = route_hierarchical(&p, &cfg);
+        let journal = ChipJournal::create(&dir).expect("journal dir");
+        let journaled =
+            route_hierarchical_supervised(&p, &cfg, &ChipSupervision::none(), Some(&journal));
+        assert_eq!(plain.db().checksum(), journaled.db().checksum());
+        assert_eq!(plain.failed(), journaled.failed());
+        assert_eq!(journaled.journal_error(), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -56,12 +56,13 @@ mod plan;
 mod tiles;
 
 pub use detail::{
-    route_hierarchical, route_hierarchical_observed, ChipStats, GlobalOutcome, GlobalStats,
+    route_hierarchical, route_hierarchical_observed, route_hierarchical_supervised, ChipStats,
+    GlobalOutcome, GlobalStats,
 };
 pub use plan::{plan, plan_with, GlobalPlan, PlanOrder};
 pub use tiles::{TileEdge, TileGrid, TileId};
 
-use mighty::RouterConfig;
+use mighty::{FaultPlan, RouterConfig};
 
 /// Configuration of the hierarchical pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,5 +126,45 @@ impl Default for GlobalConfig {
             stitch: true,
             stitch_band: 3,
         }
+    }
+}
+
+/// Per-tile supervision knobs for
+/// [`route_hierarchical_supervised`]: how hard each tile fights before
+/// salvaging, and which faults (if any) are injected for testing.
+///
+/// The supervised result is deterministic at any
+/// [`GlobalConfig::jobs`] value: retry perturbations are seeded
+/// `seed ^ tile`, so every tile's recovery chain is a pure function of
+/// the problem and this configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipSupervision {
+    /// Re-attempts per tile after its first run, under escalated
+    /// budgets and a perturbed net order (`mighty::RetryPolicy`).
+    pub retries: u32,
+    /// Hand exhausted tiles to the sequential Lee baseline
+    /// (`mighty::FallbackChain::lee`) before salvaging.
+    pub fallback: bool,
+    /// Base seed of the per-tile retry perturbation (each tile uses
+    /// `seed ^ tile`).
+    pub seed: u64,
+    /// Fault-injection plan for tiles (`tile:`-targeted or bare specs)
+    /// and seam rungs (`@seam` specs); see `mighty::FaultPlan`.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ChipSupervision {
+    fn default() -> Self {
+        ChipSupervision { retries: 1, fallback: true, seed: 0, fault: None }
+    }
+}
+
+impl ChipSupervision {
+    /// Supervision with every recovery mechanism off: the tile stage
+    /// routes exactly once per tile, like the unsupervised flow, but
+    /// yields journal-shaped outcomes (used when only a journal is
+    /// requested).
+    pub fn none() -> Self {
+        ChipSupervision { retries: 0, fallback: false, seed: 0, fault: None }
     }
 }

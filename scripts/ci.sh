@@ -198,10 +198,11 @@ fi
 # every oracle (see crates/fuzz) — including the infeasibility-
 # soundness oracle, which fails any run where a router completes an
 # instance the analyzer certified as unroutable. Deterministic, so a
-# failure here is a real regression with a replayable case; the window
-# is sized to stay within a few seconds even on one hardware thread.
+# failure here is a real regression with a replayable case. The full
+# window runs to 800 so it covers the chip-salvage oracle over the
+# seed range that produced the stitch-727 finding (now a corpus case).
 if [[ "$QUICK" == 0 ]]; then
-  run "$VROUTE" fuzz --seeds 0..200 --shrink
+  run "$VROUTE" fuzz --seeds 0..800 --shrink
 else
   run "$VROUTE" fuzz --seeds 0..40 --shrink
 fi
@@ -225,6 +226,44 @@ grep -q '"legal": true' "$SMOKE/chip1.json" || {
   echo "ci: the chip gate instance routed illegally" >&2; exit 1; }
 grep -q '"complete": true' "$SMOKE/chip1.json" || {
   echo "ci: the chip gate instance did not route completely" >&2; exit 1; }
+
+# Supervised chip crash smoke: SIGKILL a journaled chip run mid-tile
+# (an injected per-tile delay widens the window), resume it, and
+# require the resumed JSON report to be byte-identical to an
+# uninterrupted run's. Supervised chip reports carry no wall-clock
+# field, so a plain diff is the whole assertion.
+echo "==> $VROUTE chip (journaled reference run)"
+"$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 2 --retries 1 --journal "$SMOKE/chipref" \
+  --json "$SMOKE/chipref.json" > /dev/null
+echo "==> $VROUTE chip (killed mid-run)"
+VROUTE_FAULT=delay-60 timeout -s KILL 0.35 \
+  "$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 2 --retries 1 --journal "$SMOKE/chipkill" \
+  > /dev/null || true
+echo "==> $VROUTE chip --resume (after the kill)"
+"$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 2 --retries 1 --journal "$SMOKE/chipkill" --resume \
+  --json "$SMOKE/chipresumed.json" > "$SMOKE/chipresume.out"
+run diff "$SMOKE/chipref.json" "$SMOKE/chipresumed.json"
+
+# Fault-injected chip smoke: panic one tile's first attempt and require
+# the supervised flow to retry it to a complete, legal routing — the
+# recovery must be visible in the report, not silent.
+echo "==> $VROUTE chip (VROUTE_FAULT=panic@tile:3)"
+VROUTE_FAULT=panic@tile:3 \
+  "$VROUTE" chip --width 40 --height 40 --nets 70 --macros 2 --seed 3 \
+  --tile 10 --jobs 2 --retries 1 --json "$SMOKE/chipfault.json" > /dev/null
+grep -q '"complete": true' "$SMOKE/chipfault.json" || {
+  echo "ci: the fault-injected chip did not complete" >&2; exit 1; }
+grep -q '"legal": true' "$SMOKE/chipfault.json" || {
+  echo "ci: the fault-injected chip routed illegally" >&2; exit 1; }
+RETRIED=$(grep -o '"tiles_retried": [0-9]*' "$SMOKE/chipfault.json" | grep -o '[0-9]*$')
+if [[ -z "$RETRIED" || "$RETRIED" -lt 1 ]]; then
+  echo "ci: the injected tile fault was not recovered by a retry" >&2
+  cat "$SMOKE/chipfault.json" >&2
+  exit 1
+fi
 
 # Chip-scale benchmark: flat vs hierarchical at 1..N workers. The
 # binary asserts jobs-parity checksums and (in full mode) a verifier-

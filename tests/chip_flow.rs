@@ -6,7 +6,10 @@
 
 use vlsi_route::analyze::{lint_db, lint_salvage_chip};
 use vlsi_route::benchdata::gen::ChipGen;
-use vlsi_route::global::{route_hierarchical, GlobalConfig, GlobalOutcome};
+use vlsi_route::global::{
+    route_hierarchical, route_hierarchical_supervised, ChipSupervision, GlobalConfig, GlobalOutcome,
+};
+use vlsi_route::mighty::ChipJournal;
 use vlsi_route::model::Problem;
 use vlsi_route::verify::verify;
 
@@ -115,4 +118,63 @@ fn chip_flow_accounts_for_every_net_exactly_once() {
     disconnected.sort_unstable();
     disconnected.dedup();
     assert_eq!(failed, disconnected);
+}
+
+#[test]
+fn seed_727_stitch_finding_routes_to_completion() {
+    // Regression for the fuzz finding at switchbox seed 727: the
+    // tiled flow left one crossing net disconnected after the stitch
+    // pass until the seam-repair escalation ladder (widened band,
+    // re-anchored band, per-net flat reroute) was added. The shrunk
+    // case lives in tests/corpus/stitch-727.case; this test pins the
+    // hierarchical flow itself completing it.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/stitch-727.case"
+    ))
+    .expect("the shrunk seed-727 case is in the corpus");
+    let case = vlsi_route::fuzz::FuzzCase::parse(&text).expect("case parses");
+    let problem = case.try_build().expect("case builds");
+    let cfg = GlobalConfig { tile: 8, ..GlobalConfig::default() };
+    let out = route_hierarchical(&problem, &cfg);
+    assert!(
+        out.is_complete(),
+        "seed 727 must complete through the escalation ladder: failed {:?} ({:?})",
+        out.failed(),
+        out.chip_stats()
+    );
+    assert!(verify(&problem, out.db()).is_clean());
+}
+
+#[test]
+fn journaled_chip_resumes_byte_identically_after_a_simulated_kill() {
+    // Crash-safety golden: journal a chip run, cut the journal off
+    // mid-file the way a SIGKILL would, and resume. Replayed tiles
+    // must reproduce the uninterrupted database byte for byte — the
+    // journal's stitch/final checkpoints cross-check that claim from
+    // inside the flow, and this test re-checks it from outside.
+    let dir = std::env::temp_dir().join("vroute-chip-flow-kill-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (problem, cfg) = golden_chips().remove(0);
+    let sup = ChipSupervision::default();
+
+    let journal = ChipJournal::create(&dir).expect("journal dir");
+    let first = route_hierarchical_supervised(&problem, &cfg, &sup, Some(&journal));
+    assert_eq!(first.journal_error(), None);
+    drop(journal);
+
+    let path = dir.join(ChipJournal::FILE_NAME);
+    let bytes = std::fs::read(&path).expect("journal written");
+    assert!(bytes.len() > 64, "the journal holds per-tile records");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("simulated kill");
+
+    let journal = ChipJournal::resume(&dir).expect("journal reopens");
+    let resumed = route_hierarchical_supervised(&problem, &cfg, &sup, Some(&journal));
+    assert!(resumed.resumed_tiles() > 0, "the surviving journal prefix must replay");
+    assert_eq!(resumed.journal_error(), None, "checkpoints must match the first run");
+    assert_eq!(first.db().checksum(), resumed.db().checksum());
+    assert_eq!(first.failed(), resumed.failed());
+    assert_eq!(first.stats(), resumed.stats());
+    assert_eq!(first.chip_stats(), resumed.chip_stats());
+    let _ = std::fs::remove_dir_all(&dir);
 }
